@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the bound computations — `m_opt` prediction
+//! must stay cheap enough to run inside design-space sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orp_core::bounds::{continuous_moore_haspl, haspl_lower_bound, optimal_switch_count};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    for &(n, r) in &[(1024u64, 24u64), (65536, 48)] {
+        group.bench_with_input(
+            BenchmarkId::new("optimal_switch_count", format!("n{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| b.iter(|| optimal_switch_count(n, r)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("haspl_lower_bound", format!("n{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| b.iter(|| haspl_lower_bound(n, r)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("continuous_moore", format!("n{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| b.iter(|| continuous_moore_haspl(n, n / 8, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmarks of the multilevel partitioner on the graphs the
+//! bandwidth panels (Figs. 9b/10b/11b) feed it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orp_bench::to_cut_graph;
+use orp_core::construct::random_general;
+use orp_partition::{partition, PartitionConfig};
+use orp_topo::prelude::*;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    let torus = Torus::paper_5d()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .expect("torus");
+    let proposed = random_general(1024, 195, 15, 7).expect("constructible");
+    for (name, g) in [("torus_1024", &torus), ("proposed_1024", &proposed)] {
+        let cg = to_cut_graph(g);
+        for k in [2usize, 8, 16] {
+            group.bench_with_input(BenchmarkId::new(name.to_string(), k), &k, |b, &k| {
+                b.iter(|| partition(&cg, k, &PartitionConfig::default()).cut)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

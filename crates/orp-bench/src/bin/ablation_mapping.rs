@@ -1,0 +1,90 @@
+//! Ablation: how much does host placement / rank mapping matter?
+//!
+//! Section 1 of the paper argues the host↔vertex mapping "strongly
+//! affects the network performance"; §6.2.1 therefore attaches hosts to
+//! the proposed topology in DFS order. This binary quantifies both
+//! claims: the same fabric under (a) annealed placement + DFS ranks,
+//! (b) annealed placement with randomly shuffled rank order, and the
+//! torus under sequential vs round-robin attachment.
+
+use orp_bench::{performance_panel, write_json, Effort};
+use orp_core::graph::HostSwitchGraph;
+use orp_core::metrics::path_metrics;
+use orp_netsim::npb::Benchmark;
+use orp_topo::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Rebuilds `g` with host ids randomly permuted across the same slots.
+fn shuffle_hosts(g: &HostSwitchGraph, seed: u64) -> HostSwitchGraph {
+    let mut out = HostSwitchGraph::new(g.num_switches(), g.radix()).expect("same params");
+    for (a, b) in g.links() {
+        out.add_link(a, b).expect("same structure");
+    }
+    let mut slots: Vec<u32> = (0..g.num_hosts()).map(|h| g.switch_of(h)).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    slots.shuffle(&mut rng);
+    for s in slots {
+        out.attach_host(s).expect("same capacity");
+    }
+    out
+}
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    haspl: f64,
+    results: Vec<orp_netsim::report::BenchResult>,
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let benches = [Benchmark::Cg, Benchmark::Mg, Benchmark::Lu, Benchmark::Is];
+    let mut rows: Vec<Row> = Vec::new();
+    let add = |rows: &mut Vec<Row>, variant: &str, g: &HostSwitchGraph| {
+        let res = performance_panel(g, &benches, n, &effort);
+        let haspl = path_metrics(g).unwrap().haspl;
+        println!("\n{variant}  (h-ASPL {haspl:.4})");
+        for r in &res {
+            println!("  {:<4} {:>12.0} Mop/s", r.name, r.mops);
+        }
+        rows.push(Row { variant: variant.into(), haspl, results: res });
+    };
+
+    // proposed fabric: DFS ranks (paper) vs shuffled ranks
+    let (proposed, _, m_opt) = orp_bench::proposed_topology(n, 15, &effort);
+    println!("== mapping ablation on the proposed fabric (m={m_opt}) ==");
+    add(&mut rows, "proposed + DFS ranks (paper)", &proposed);
+    add(&mut rows, "proposed + shuffled ranks", &shuffle_hosts(&proposed, 99));
+
+    // torus: sequential (paper) vs round robin attachment
+    let torus = Torus::paper_5d();
+    add(
+        &mut rows,
+        "torus + sequential attach (paper)",
+        &torus.build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+    );
+    add(
+        &mut rows,
+        "torus + round-robin attach",
+        &torus.build_with_hosts(n, AttachOrder::RoundRobin).expect("fits"),
+    );
+
+    // headline: mapping deltas per benchmark
+    println!("\nmapping effect (variant / first variant of the same fabric):");
+    for pair in rows.chunks(2) {
+        if let [a, b] = pair {
+            for (x, y) in a.results.iter().zip(&b.results) {
+                println!(
+                    "  {:<4} {:>28} vs {:>28}: {:.3}",
+                    x.name, a.variant, b.variant, y.mops / x.mops
+                );
+            }
+        }
+    }
+    let path = write_json("ablation_mapping", &rows);
+    println!("\nwrote {}", path.display());
+}

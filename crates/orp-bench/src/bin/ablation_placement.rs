@@ -1,0 +1,89 @@
+//! Ablation: id-order cabinet packing (the paper's implicit layout)
+//! versus partitioner-driven placement ([`orp_layout::placement`]).
+//!
+//! The paper observes the proposed topology pays a cable-complexity
+//! premium (Fig. 9d: +45 % cable cost vs the torus). Much of that
+//! premium is *placement*, not topology: clustering connected switches
+//! into cabinets converts optical runs back into in-cabinet copper.
+
+use orp_bench::{proposed_sketch, write_json, Effort};
+use orp_core::graph::HostSwitchGraph;
+use orp_layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
+use orp_topo::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    topology: String,
+    per_cabinet: u32,
+    naive_cable_m: f64,
+    opt_cable_m: f64,
+    naive_optical: u32,
+    opt_optical: u32,
+    naive_cable_cost: f64,
+    opt_cable_cost: f64,
+}
+
+fn row(name: &str, g: &HostSwitchGraph, per: u32, seed: u64) -> Row {
+    let hw = HardwareModel::default();
+    let naive = evaluate(g, &Floorplan::new(g, per), &hw);
+    let opt = evaluate(g, &optimized_floorplan(g, per, seed), &hw);
+    Row {
+        topology: name.to_string(),
+        per_cabinet: per,
+        naive_cable_m: naive.cable_m,
+        opt_cable_m: opt.cable_m,
+        naive_optical: naive.optical_cables,
+        opt_optical: opt.optical_cables,
+        naive_cable_cost: naive.cable_cost,
+        opt_cable_cost: opt.cable_cost,
+    }
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let graphs: Vec<(String, HostSwitchGraph)> = vec![
+        (
+            "5-D torus".into(),
+            Torus::paper_5d().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+        ),
+        (
+            "dragonfly a=8".into(),
+            Dragonfly::paper_a8().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+        ),
+        (
+            "16-ary fat-tree".into(),
+            FatTree::paper_16ary().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+        ),
+        (
+            "proposed (r=15)".into(),
+            proposed_sketch(n, 15, effort.seed).expect("constructible"),
+        ),
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:<18} {:>4} {:>11} {:>11} {:>9} {:>9} {:>11} {:>11}",
+        "topology", "per", "cable_m", "cable_m*", "optical", "optical*", "cbl_cost", "cbl_cost*"
+    );
+    for per in [2u32, 4] {
+        for (name, g) in &graphs {
+            let r = row(name, g, per, effort.seed);
+            println!(
+                "{:<18} {:>4} {:>11.0} {:>11.0} {:>9} {:>9} {:>11.0} {:>11.0}",
+                r.topology,
+                r.per_cabinet,
+                r.naive_cable_m,
+                r.opt_cable_m,
+                r.naive_optical,
+                r.opt_optical,
+                r.naive_cable_cost,
+                r.opt_cable_cost
+            );
+            rows.push(r);
+        }
+    }
+    println!("\n(* = partitioner-driven placement; lower is better)");
+    let path = write_json("ablation_placement", &rows);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Ablation: static single-path routing (the paper's SimGrid setup)
+//! versus per-flow ECMP.
+//!
+//! The fat-tree is engineered for multipath: under ECMP it recovers most
+//! of its full-bisection advantage, while under static routing all flows
+//! between an edge-switch pair pile onto one core path. The proposed
+//! topology barely cares — its path diversity is incidental, not load-
+//! bearing. This decomposes how much of the paper's Fig. 11a gap is
+//! routing policy.
+
+use orp_bench::{proposed_topology, write_json, Effort};
+use orp_core::graph::HostSwitchGraph;
+use orp_netsim::network::{NetConfig, Network, RouteMode};
+use orp_netsim::npb::Benchmark;
+use orp_netsim::report::{run_suite, BenchResult};
+use orp_topo::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    topology: String,
+    mode: String,
+    results: Vec<BenchResult>,
+}
+
+fn run(g: &HostSwitchGraph, mode: RouteMode, benches: &[Benchmark], iters: usize) -> Vec<BenchResult> {
+    let cfg = NetConfig { route_mode: mode, ..Default::default() };
+    let net = Network::new(g, cfg);
+    run_suite(&net, benches, g.num_hosts(), iters)
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let benches = [Benchmark::Cg, Benchmark::Mg, Benchmark::Bt, Benchmark::Lu];
+    let ft = FatTree::paper_16ary()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .expect("fits");
+    let (proposed, _, _) = proposed_topology(n, 16, &effort);
+    let mut rows = Vec::new();
+    println!(
+        "{:<18} {:<12} {}",
+        "topology",
+        "routing",
+        benches.iter().map(|b| format!("{:>10}", b.name())).collect::<String>()
+    );
+    for (name, g) in [("fat-tree", &ft), ("proposed", &proposed)] {
+        for (mode_name, mode) in [("single-path", RouteMode::SinglePath), ("ecmp", RouteMode::Ecmp)] {
+            let res = run(g, mode, &benches, effort.npb_iters);
+            println!(
+                "{:<18} {:<12} {}",
+                name,
+                mode_name,
+                res.iter().map(|r| format!("{:>10.0}", r.mops)).collect::<String>()
+            );
+            rows.push(Row { topology: name.into(), mode: mode_name.into(), results: res });
+        }
+    }
+    // ECMP gain per topology
+    println!("\nECMP / single-path speedup:");
+    for pair in rows.chunks(2) {
+        if let [sp, ecmp] = pair {
+            let gains: Vec<String> = sp
+                .results
+                .iter()
+                .zip(&ecmp.results)
+                .map(|(a, b)| format!("{}: {:.3}", a.name, b.mops / a.mops))
+                .collect();
+            println!("  {:<10} {}", sp.topology, gains.join("  "));
+        }
+    }
+    let path = write_json("ablation_routing", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! §2.1 replication: local search beats naive random topologies.
+//!
+//! Compares the annealed ORP solution against the related-work random
+//! families at identical `(n, r)` budgets — Erdős–Rényi, Watts–Strogatz,
+//! cycle-plus-matching, Barabási–Albert — on h-ASPL and diameter.
+
+use orp_bench::{write_json, Effort};
+use orp_core::anneal::solve_orp;
+use orp_core::bounds::{haspl_lower_bound, optimal_switch_count};
+use orp_core::metrics::path_metrics;
+use orp_core::random_graphs::{barabasi_albert, cycle_plus_matching, erdos_renyi, watts_strogatz};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    family: String,
+    m: u32,
+    haspl: f64,
+    diameter: u32,
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let (n, r) = (1024u32, 24u32);
+    let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
+    let m = m_opt as u32;
+    let lb = haspl_lower_bound(n as u64, r as u64);
+    println!("== random baselines at n={n}, r={r}, m={m} (Thm-2 bound {lb:.4}) ==");
+    println!("{:<26} {:>5} {:>9} {:>4}", "family", "m", "h-ASPL", "D");
+    let mut rows: Vec<Row> = Vec::new();
+    let add = |rows: &mut Vec<Row>, family: &str, g: Option<orp_core::HostSwitchGraph>| {
+        match g {
+            Some(g) => {
+                let pm = path_metrics(&g).expect("connected");
+                println!(
+                    "{:<26} {:>5} {:>9.4} {:>4}",
+                    family,
+                    g.num_switches(),
+                    pm.haspl,
+                    pm.diameter
+                );
+                rows.push(Row {
+                    family: family.into(),
+                    m: g.num_switches(),
+                    haspl: pm.haspl,
+                    diameter: pm.diameter,
+                });
+            }
+            None => println!("{family:<26} construction failed"),
+        }
+    };
+    add(&mut rows, "Erdős–Rényi", erdos_renyi(n, m, r, effort.seed).ok());
+    // cycle+matching needs even m
+    let m_even = m + m % 2;
+    add(&mut rows, "cycle + matching", cycle_plus_matching(n, m_even, r, effort.seed).ok());
+    add(
+        &mut rows,
+        "Watts–Strogatz (β=0.1, k=10)",
+        watts_strogatz(n, m, 10, 0.1, r, effort.seed).ok(),
+    );
+    add(
+        &mut rows,
+        "Watts–Strogatz (β=1.0, k=10)",
+        watts_strogatz(n, m, 10, 1.0, r, effort.seed).ok(),
+    );
+    add(&mut rows, "Barabási–Albert (k=5)", barabasi_albert(n, m, 5, r, effort.seed).ok());
+    let cfg = effort.sa_config();
+    let (res, _) = solve_orp(n, r, &cfg).expect("feasible");
+    add(&mut rows, "ORP annealed (ours)", Some(res.graph));
+    if let (Some(best_random), Some(ours)) = (
+        rows.iter()
+            .filter(|x| x.family != "ORP annealed (ours)")
+            .map(|x| x.haspl)
+            .min_by(f64::total_cmp),
+        rows.iter().find(|x| x.family == "ORP annealed (ours)"),
+    ) {
+        println!(
+            "\nannealed vs best random family: {:.4} vs {best_random:.4} ({:+.1}%)",
+            ours.haspl,
+            100.0 * (ours.haspl / best_random - 1.0)
+        );
+    }
+    let path = write_json("baselines_random", &rows);
+    println!("wrote {}", path.display());
+}

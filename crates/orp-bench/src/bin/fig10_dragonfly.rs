@@ -1,0 +1,57 @@
+//! Fig. 10 — proposed topology versus the **dragonfly** (Cori-like).
+//!
+//! Paper instances (§6.3.2): dragonfly `a = 8` → `m = 264`, `r = 15`,
+//! `n ≤ 1056`; proposed `n = 1024`, `r = 15`, `m ≈ 194` — a ≈27 % switch
+//! reduction. Panels: (a) NPB performance (paper: proposed +12 % average;
+//! the dragonfly's low diameter keeps it competitive), (b) bandwidth
+//! (paper: bisection +24 %), (c)/(d) power & cost versus connectable
+//! hosts — here the dragonfly's radix grows with size (`r = 2a − 1`), so
+//! each sweep point re-derives the proposed topology at that radix.
+
+use orp_bench::{
+    build_comparison, print_comparison, proposed_sketch, proposed_topology, sweep_point,
+    write_json, Effort,
+};
+use orp_netsim::npb::Benchmark;
+use orp_topo::prelude::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let r = 15u32;
+    let df = Dragonfly::paper_a8();
+    let baseline = df
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .expect("a=8 dragonfly holds 1056 hosts");
+    let (proposed, sa, m_opt) = proposed_topology(n, r, &effort);
+    eprintln!(
+        "proposed: m_opt={m_opt}, h-ASPL={:.4} after {} proposals",
+        sa.metrics.haspl, sa.proposed
+    );
+    // panels (c)/(d): sweep the dragonfly size parameter a; the proposed
+    // topology matches each point's host count and radix
+    let mut sweep = Vec::new();
+    for a in [4u32, 6, 8, 10, 12] {
+        let d = Dragonfly { a };
+        let hosts = d.max_hosts();
+        let b = d
+            .build_with_hosts(hosts, AttachOrder::Sequential)
+            .expect("full dragonfly");
+        if let Some(p) = proposed_sketch(hosts, d.radix(), effort.seed) {
+            sweep.push(sweep_point(hosts, &b, &p));
+        }
+    }
+    let cmp = build_comparison(
+        &df.name(),
+        &baseline,
+        "proposed (ORP)",
+        &proposed,
+        &Benchmark::all(),
+        n,
+        sweep,
+        &effort,
+    );
+    print_comparison(&cmp);
+    let path = write_json("fig10_dragonfly", &cmp);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Fig. 11 — proposed topology versus the **16-ary fat-tree**
+//! (Tianhe-2-like).
+//!
+//! Paper instances (§6.3.3): fat-tree `K = 16` → `m = 320`, `r = 16`,
+//! `n = 1024`; proposed `n = 1024`, `r = 16`, `m ≈ 183` — a ≈43 % switch
+//! reduction. Panels: (a) NPB performance on the Fig.-11 subset (IS and
+//! FT omitted, as in the paper; expect the largest average win, ≈ +84 %,
+//! with CG most extreme), (b) bandwidth — **the fat-tree wins here**
+//! (full bisection by construction; paper: +53 % for the fat-tree),
+//! (c)/(d) power & cost — the fat-tree is the most expensive of the
+//! three conventional topologies.
+
+use orp_bench::{
+    build_comparison, print_comparison, proposed_sketch, proposed_topology, sweep_point,
+    write_json, Effort,
+};
+use orp_netsim::npb::Benchmark;
+use orp_topo::prelude::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let r = 16u32;
+    let ft = FatTree::paper_16ary();
+    let baseline = ft
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .expect("16-ary fat-tree holds exactly 1024 hosts");
+    let (proposed, sa, m_opt) = proposed_topology(n, r, &effort);
+    eprintln!(
+        "proposed: m_opt={m_opt}, h-ASPL={:.4} after {} proposals",
+        sa.metrics.haspl, sa.proposed
+    );
+    // panels (c)/(d): sweep the fat-tree arity
+    let mut sweep = Vec::new();
+    for k in [8u32, 12, 16, 20] {
+        let f = FatTree { k };
+        let hosts = f.max_hosts();
+        let b = f
+            .build_with_hosts(hosts, AttachOrder::Sequential)
+            .expect("full fat-tree");
+        if let Some(p) = proposed_sketch(hosts, f.radix(), effort.seed) {
+            sweep.push(sweep_point(hosts, &b, &p));
+        }
+    }
+    let cmp = build_comparison(
+        &ft.name(),
+        &baseline,
+        "proposed (ORP)",
+        &proposed,
+        &Benchmark::fig11_subset(),
+        n,
+        sweep,
+        &effort,
+    );
+    print_comparison(&cmp);
+    let path = write_json("fig11_fattree", &cmp);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Fig. 9 — proposed topology versus the **5-D torus** (Sequoia-like).
+//!
+//! Paper instances (§6.3.1): torus `K = 5`, `N = 3`, `r = 15` → `m = 243`,
+//! `n ≤ 1215`; proposed `n = 1024`, `r = 15`, `m = m_opt ≈ 194` — a ≈20 %
+//! switch reduction. Panels: (a) NPB performance (paper: proposed +22 %
+//! average, biggest wins on IS/FT/MG), (b) partition bandwidth for
+//! P = 2..16 (paper: bisection +31 %), (c) power and (d) cost versus
+//! connectable hosts (paper: torus cheaper beyond 1215 hosts because its
+//! fabric is fixed; proposed cheaper at n ≤ 1215).
+//!
+//! Sweep topologies use the `proposed_sketch` (no annealing) since
+//! power/cost depend on counts and placement, not path lengths.
+
+use orp_bench::{
+    build_comparison, print_comparison, proposed_sketch, proposed_topology, sweep_point,
+    write_json, Effort,
+};
+use orp_netsim::npb::Benchmark;
+use orp_topo::prelude::*;
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    let r = 15u32;
+    let torus = Torus::paper_5d();
+    let baseline = torus
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .expect("5-D torus holds 1215 hosts");
+    let (proposed, sa, m_opt) = proposed_topology(n, r, &effort);
+    eprintln!(
+        "proposed: m_opt={m_opt}, h-ASPL={:.4} after {} proposals ({} accepted)",
+        sa.metrics.haspl, sa.proposed, sa.accepted
+    );
+    // panels (c)/(d): the torus fabric is fixed (K and r fixed per the
+    // paper), so its figures saturate at 1215 connectable hosts while the
+    // proposed topology keeps re-sizing m_opt(n) — points beyond 1215
+    // clamp the torus at full capacity to expose the paper's crossover.
+    let cap = torus.max_hosts();
+    let mut sweep = Vec::new();
+    for hosts in (128..=1664u32).step_by(128).chain([cap]) {
+        let b = torus
+            .build_with_hosts(hosts.min(cap), AttachOrder::Sequential)
+            .expect("within capacity");
+        if let Some(p) = proposed_sketch(hosts, r, effort.seed) {
+            sweep.push(sweep_point(hosts, &b, &p));
+        }
+    }
+    sweep.sort_by_key(|s| s.hosts);
+    let cmp = build_comparison(
+        &torus.name(),
+        &baseline,
+        "proposed (ORP)",
+        &proposed,
+        &Benchmark::all(),
+        n,
+        sweep,
+        &effort,
+    );
+    print_comparison(&cmp);
+    let path = write_json("fig9_torus", &cmp);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,32 @@
+//! Scaling probe: wall-clock cost of simulating each NPB kernel at the
+//! paper's full scale (1024 ranks) on the proposed topology — a quick
+//! sanity check that the full figure runs fit a workstation budget, and
+//! a record of simulator event counts.
+
+use orp_core::construct::random_general;
+use orp_netsim::network::{NetConfig, Network};
+use orp_netsim::npb::Benchmark;
+use orp_netsim::report::run_benchmark;
+use std::time::Instant;
+
+fn main() {
+    let n = 1024;
+    let g = random_general(n, 194, 15, 7).expect("constructible");
+    let net = Network::new(&g, NetConfig::default());
+    println!(
+        "{:<5} {:>12} {:>14} {:>10} {:>10}",
+        "bench", "sim time/s", "Mop/s", "flows", "wall/s"
+    );
+    for b in Benchmark::all() {
+        let t = Instant::now();
+        let r = run_benchmark(&net, b, n, b.paper_class(), 1);
+        println!(
+            "{:<5} {:>12.6} {:>14.0} {:>10} {:>10.2}",
+            r.name,
+            r.time,
+            r.mops,
+            r.flows,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

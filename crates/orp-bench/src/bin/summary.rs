@@ -1,0 +1,74 @@
+//! Headline summary: the paper's abstract in one table.
+//!
+//! * m_opt predictions for the paper's configurations,
+//! * h-ASPL / diameter / switch counts of the proposed topology versus
+//!   the three conventional ones at n = 1024,
+//! * the switch reductions the abstract quotes (20 % / 27 % / 43 %).
+
+use orp_bench::{proposed_topology, write_json, Effort};
+use orp_core::bounds::{haspl_lower_bound, optimal_switch_count};
+use orp_core::metrics::path_metrics;
+use orp_topo::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    m_opt_r15: u64,
+    m_opt_r16: u64,
+    reductions: Vec<(String, f64)>,
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    let n = 1024u32;
+    println!("== m_opt predictions (continuous Moore bound) ==");
+    for (nn, r, paper) in [(1024u64, 15u64, 194u64), (1024, 16, 183), (128, 24, 8)] {
+        let (m, a) = optimal_switch_count(nn, r);
+        println!(
+            "n={nn:<5} r={r:<3} -> m_opt = {m:<4} (paper: {paper}), bound {a:.4}, Thm-2 {:.4}",
+            haspl_lower_bound(nn, r)
+        );
+    }
+
+    println!("\n== topologies at n = 1024 ==");
+    println!("{:<30} {:>5} {:>4} {:>8} {:>3}", "topology", "m", "r", "h-ASPL", "D");
+    let mut rows: Vec<(String, u32)> = Vec::new();
+    let mut print_row = |name: String, g: &orp_core::HostSwitchGraph| {
+        let pm = path_metrics(g).expect("connected");
+        println!(
+            "{:<30} {:>5} {:>4} {:>8.4} {:>3}",
+            name,
+            g.num_switches(),
+            g.radix(),
+            pm.haspl,
+            pm.diameter
+        );
+        rows.push((name, g.num_switches()));
+    };
+    let torus = Torus::paper_5d().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    print_row(Torus::paper_5d().name(), &torus);
+    let df = Dragonfly::paper_a8().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    print_row(Dragonfly::paper_a8().name(), &df);
+    let ft = FatTree::paper_16ary().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    print_row(FatTree::paper_16ary().name(), &ft);
+    let (p15, _, m15) = proposed_topology(n, 15, &effort);
+    print_row(format!("proposed r=15 (m_opt={m15})"), &p15);
+    let (p16, _, m16) = proposed_topology(n, 16, &effort);
+    print_row(format!("proposed r=16 (m_opt={m16})"), &p16);
+
+    println!("\n== switch reductions (paper: 20% / 27% / 43%) ==");
+    let mut reductions = Vec::new();
+    for (name, conv_m, prop_m) in [
+        ("vs torus", 243u32, m15),
+        ("vs dragonfly", 264, m15),
+        ("vs fat-tree", 320, m16),
+    ] {
+        let red = 100.0 * (1.0 - prop_m as f64 / conv_m as f64);
+        println!("{name:<14} {conv_m} -> {prop_m} switches ({red:.0}% fewer)");
+        reductions.push((name.to_string(), red));
+    }
+    let (m_opt_r15, _) = optimal_switch_count(1024, 15);
+    let (m_opt_r16, _) = optimal_switch_count(1024, 16);
+    let path = write_json("summary", &Summary { m_opt_r15, m_opt_r16, reductions });
+    println!("\nwrote {}", path.display());
+}

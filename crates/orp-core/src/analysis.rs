@@ -1,0 +1,196 @@
+//! Structural analysis of host-switch graphs: which switches actually
+//! carry traffic (the paper's *otiose* switches of Fig. 8), path-length
+//! distributions, and degree statistics.
+
+use crate::graph::{HostSwitchGraph, Switch};
+use crate::metrics::SwitchCsr;
+
+/// Histogram of host-to-host distances: `hist[d]` = number of unordered
+/// host pairs at distance `d`. Empty when some pair is unreachable.
+pub fn distance_histogram(g: &HostSwitchGraph) -> Option<Vec<u64>> {
+    let csr = SwitchCsr::from_graph(g);
+    let counts = g.host_counts();
+    let mut hist: Vec<u64> = Vec::new();
+    let mut bump = |d: usize, c: u64| {
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += c;
+    };
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    for a in 0..g.num_switches() {
+        let ka = counts[a as usize] as u64;
+        if ka == 0 {
+            continue;
+        }
+        // intra-switch pairs at distance 2
+        bump(2, ka * (ka - 1) / 2);
+        csr.bfs(a, &mut dist, &mut queue);
+        for b in (a + 1)..g.num_switches() {
+            let kb = counts[b as usize] as u64;
+            if kb == 0 {
+                continue;
+            }
+            let d = dist[b as usize];
+            if d == u32::MAX {
+                return None;
+            }
+            bump(d as usize + 2, ka * kb);
+        }
+    }
+    Some(hist)
+}
+
+/// Switches that lie on **no** shortest path between any host pair — the
+/// "otiose" switches whose presence Fig. 8 diagnoses. A switch `v` is
+/// *useful* if it hosts a computer, or if some host-bearing pair `(a, b)`
+/// has `d(a, v) + d(v, b) = d(a, b)`.
+pub fn otiose_switches(g: &HostSwitchGraph) -> Vec<Switch> {
+    let m = g.num_switches() as usize;
+    let counts = g.host_counts();
+    let csr = SwitchCsr::from_graph(g);
+    // distance rows from every host-bearing switch
+    let sources: Vec<u32> = (0..m as u32).filter(|&s| counts[s as usize] > 0).collect();
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
+    let mut queue = Vec::new();
+    for &s in &sources {
+        let mut dist = Vec::new();
+        csr.bfs(s, &mut dist, &mut queue);
+        rows.push(dist);
+    }
+    let mut useful = vec![false; m];
+    for &s in &sources {
+        useful[s as usize] = true;
+    }
+    for v in 0..m {
+        if useful[v] {
+            continue;
+        }
+        'pairs: for i in 0..sources.len() {
+            let ra = &rows[i];
+            if ra[v] == u32::MAX {
+                continue;
+            }
+            for j in (i + 1)..sources.len() {
+                let rb = &rows[j];
+                let dab = ra[sources[j] as usize];
+                if rb[v] != u32::MAX && dab != u32::MAX && ra[v] + rb[v] == dab {
+                    useful[v] = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    (0..m as u32).filter(|&v| !useful[v as usize]).collect()
+}
+
+/// Summary statistics of the switch degree / host distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum switch-to-switch degree.
+    pub min_links: u32,
+    /// Maximum switch-to-switch degree.
+    pub max_links: u32,
+    /// Mean switch-to-switch degree.
+    pub mean_links: f64,
+    /// Minimum hosts per switch.
+    pub min_hosts: u32,
+    /// Maximum hosts per switch.
+    pub max_hosts: u32,
+    /// Mean hosts per switch (`n/m`).
+    pub mean_hosts: f64,
+    /// Number of completely unused ports.
+    pub free_ports: u32,
+}
+
+/// Computes [`DegreeStats`] of a graph.
+pub fn degree_stats(g: &HostSwitchGraph) -> DegreeStats {
+    let m = g.num_switches();
+    let links: Vec<u32> = (0..m).map(|s| g.neighbors(s).len() as u32).collect();
+    let hosts: Vec<u32> = (0..m).map(|s| g.host_count(s)).collect();
+    DegreeStats {
+        min_links: links.iter().copied().min().unwrap_or(0),
+        max_links: links.iter().copied().max().unwrap_or(0),
+        mean_links: links.iter().map(|&x| x as f64).sum::<f64>() / m as f64,
+        min_hosts: hosts.iter().copied().min().unwrap_or(0),
+        max_hosts: hosts.iter().copied().max().unwrap_or(0),
+        mean_hosts: hosts.iter().map(|&x| x as f64).sum::<f64>() / m as f64,
+        free_ports: (0..m).map(|s| g.free_ports(s)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::random_general;
+    use crate::metrics::path_metrics;
+
+    fn path3() -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(1, 2).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(2).unwrap();
+        g
+    }
+
+    #[test]
+    fn histogram_sums_to_pairs_and_matches_haspl() {
+        let g = random_general(48, 12, 8, 9).unwrap();
+        let hist = distance_histogram(&g).unwrap();
+        let pairs: u64 = hist.iter().sum();
+        assert_eq!(pairs, 48 * 47 / 2);
+        let total: u64 = hist.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+        let pm = path_metrics(&g).unwrap();
+        assert_eq!(total, pm.total_length);
+        // diameter = last non-empty bucket
+        let dmax = hist.iter().rposition(|&c| c > 0).unwrap();
+        assert_eq!(dmax as u32, pm.diameter);
+    }
+
+    #[test]
+    fn histogram_on_disconnected_is_none() {
+        let mut g = HostSwitchGraph::new(2, 4).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(1).unwrap();
+        assert!(distance_histogram(&g).is_none());
+    }
+
+    #[test]
+    fn middle_switch_on_path_is_useful() {
+        let g = path3();
+        assert!(otiose_switches(&g).is_empty());
+    }
+
+    #[test]
+    fn dead_end_switch_is_otiose() {
+        // path h - s0 - s1 - h plus a pendant s2 off s1
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(1, 2).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(1).unwrap();
+        assert_eq!(otiose_switches(&g), vec![2]);
+    }
+
+    #[test]
+    fn host_bearing_switches_are_never_otiose() {
+        let g = random_general(60, 15, 8, 4).unwrap();
+        let otiose = otiose_switches(&g);
+        for s in otiose {
+            assert_eq!(g.host_count(s), 0);
+        }
+    }
+
+    #[test]
+    fn degree_stats_consistency() {
+        let g = random_general(48, 12, 8, 9).unwrap();
+        let st = degree_stats(&g);
+        assert!(st.min_links <= st.max_links);
+        assert!((st.mean_hosts - 4.0).abs() < 1e-12);
+        assert!(st.free_ports <= 1);
+        // radix budget respected
+        assert!(st.max_links + st.max_hosts <= 2 * 8);
+    }
+}

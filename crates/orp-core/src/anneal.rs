@@ -1,0 +1,543 @@
+//! Randomized search for ORP (Section 5): simulated annealing with the
+//! swap operation (restricted to regular host-switch graphs, §5.1) and
+//! with the 2-neighbor swing operation (arbitrary host-switch graphs,
+//! §5.2), plus the end-to-end [`solve_orp`] pipeline of §5.3 that first
+//! predicts `m_opt` from the continuous Moore bound.
+
+use crate::bounds::optimal_switch_count;
+use crate::construct::{random_general, random_regular};
+use crate::error::GraphError;
+use crate::graph::HostSwitchGraph;
+use crate::metrics::{path_metrics, path_metrics_par, PathMetrics};
+use crate::ops::{sample_swap, sample_swing, EdgeSet, Swing};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which neighbourhood the annealer explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Swap only (Fig. 2) — preserves the host distribution, so a regular
+    /// initial graph stays regular.
+    Swap,
+    /// Plain swing only (Fig. 3) — ablation; the paper argues this alone
+    /// is insufficient because it always changes host-switch edges.
+    Swing,
+    /// The 2-neighbor swing of §5.2 (Fig. 4): try a swing; if rejected,
+    /// try the follow-up swing whose net effect is a swap.
+    TwoNeighborSwing,
+}
+
+/// Annealing schedule and bookkeeping knobs.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// Number of proposed moves.
+    pub iters: usize,
+    /// Initial temperature (h-ASPL units).
+    pub t0: f64,
+    /// Final temperature. Set `t0 = t_end = 0` for pure hill climbing.
+    pub t_end: f64,
+    /// RNG seed; identical seeds reproduce identical runs.
+    pub seed: u64,
+    /// Retries when sampling a valid move.
+    pub sample_attempts: usize,
+    /// Record `(iteration, best h-ASPL)` every this many iterations
+    /// (0 = no history).
+    pub history_stride: usize,
+    /// Evaluate h-ASPL with rayon-parallel BFS sweeps — worthwhile from a
+    /// few hundred switches upward.
+    pub parallel_eval: bool,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            iters: 20_000,
+            t0: 0.01,
+            t_end: 1e-6,
+            seed: 1,
+            sample_attempts: 32,
+            history_stride: 0,
+            parallel_eval: false,
+        }
+    }
+}
+
+impl SaConfig {
+    /// Convenience: hill climbing (zero temperature throughout).
+    pub fn hill_climb(iters: usize, seed: u64) -> Self {
+        Self { iters, t0: 0.0, t_end: 0.0, seed, ..Self::default() }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Best graph found.
+    pub graph: HostSwitchGraph,
+    /// Its metrics.
+    pub metrics: PathMetrics,
+    /// Moves proposed.
+    pub proposed: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+    /// Moves reverted because they disconnected some host pair.
+    pub disconnected: usize,
+    /// `(iteration, best h-ASPL)` samples when history was requested.
+    pub history: Vec<(usize, f64)>,
+}
+
+struct Annealer {
+    g: HostSwitchGraph,
+    parallel: bool,
+    edges: EdgeSet,
+    rng: ChaCha8Rng,
+    cur: PathMetrics,
+    best: HostSwitchGraph,
+    best_metrics: PathMetrics,
+    accepted: usize,
+    proposed: usize,
+    disconnected: usize,
+    history: Vec<(usize, f64)>,
+}
+
+impl Annealer {
+    fn new(g: HostSwitchGraph, seed: u64, parallel: bool) -> Result<Self, GraphError> {
+        let cur = path_metrics(&g).ok_or(GraphError::Disconnected)?;
+        let edges = EdgeSet::from_graph(&g);
+        Ok(Self {
+            parallel,
+            best: g.clone(),
+            best_metrics: cur,
+            g,
+            edges,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cur,
+            accepted: 0,
+            proposed: 0,
+            disconnected: 0,
+            history: Vec::new(),
+        })
+    }
+
+    fn eval(&self) -> Option<PathMetrics> {
+        if self.parallel {
+            path_metrics_par(&self.g)
+        } else {
+            path_metrics(&self.g)
+        }
+    }
+
+    fn metropolis(&mut self, delta: f64, t: f64) -> bool {
+        if delta <= 0.0 {
+            return true;
+        }
+        if t <= 0.0 {
+            return false;
+        }
+        self.rng.gen::<f64>() < (-delta / t).exp()
+    }
+
+    fn note_accept(&mut self, metrics: PathMetrics) {
+        self.cur = metrics;
+        self.accepted += 1;
+        if metrics.haspl < self.best_metrics.haspl {
+            self.best_metrics = metrics;
+            self.best = self.g.clone();
+        }
+    }
+
+    /// One swap proposal; returns whether it was accepted.
+    fn step_swap(&mut self, t: f64, attempts: usize) -> bool {
+        let Some(s) = sample_swap(&self.g, &self.edges, &mut self.rng, attempts) else {
+            return false;
+        };
+        self.proposed += 1;
+        s.apply(&mut self.g).expect("sampled swap is valid");
+        match self.eval() {
+            Some(m2) => {
+                let delta = m2.haspl - self.cur.haspl;
+                if self.metropolis(delta, t) {
+                    self.edges.remove(s.a, s.b);
+                    self.edges.remove(s.c, s.d);
+                    self.edges.insert(s.a, s.d);
+                    self.edges.insert(s.c, s.b);
+                    self.note_accept(m2);
+                    return true;
+                }
+                s.inverse().apply(&mut self.g).expect("inverse of applied swap");
+                false
+            }
+            None => {
+                self.disconnected += 1;
+                s.inverse().apply(&mut self.g).expect("inverse of applied swap");
+                false
+            }
+        }
+    }
+
+    /// One plain-swing proposal.
+    fn step_swing(&mut self, t: f64, attempts: usize) -> bool {
+        let Some(s) = sample_swing(&self.g, &self.edges, &mut self.rng, attempts) else {
+            return false;
+        };
+        self.proposed += 1;
+        let h = s.apply(&mut self.g).expect("sampled swing is valid");
+        match self.eval() {
+            Some(m2) => {
+                let delta = m2.haspl - self.cur.haspl;
+                if self.metropolis(delta, t) {
+                    self.edges.remove(s.a, s.b);
+                    self.edges.insert(s.a, s.c);
+                    self.note_accept(m2);
+                    return true;
+                }
+                s.undo(&mut self.g, h).expect("undo applied swing");
+                false
+            }
+            None => {
+                self.disconnected += 1;
+                s.undo(&mut self.g, h).expect("undo applied swing");
+                false
+            }
+        }
+    }
+
+    /// One 2-neighbor-swing proposal (the four steps of §5.2).
+    fn step_two_neighbor(&mut self, t: f64, attempts: usize) -> bool {
+        let Some(s1) = sample_swing(&self.g, &self.edges, &mut self.rng, attempts) else {
+            return false;
+        };
+        self.proposed += 1;
+        // Step 1: the 1-neighbor solution.
+        let h1 = s1.apply(&mut self.g).expect("sampled swing is valid");
+        if let Some(m1) = self.eval() {
+            let delta = m1.haspl - self.cur.haspl;
+            if self.metropolis(delta, t) {
+                // Step 2: accept the 1-neighbor solution.
+                self.edges.remove(s1.a, s1.b);
+                self.edges.insert(s1.a, s1.c);
+                self.note_accept(m1);
+                return true;
+            }
+        } else {
+            self.disconnected += 1;
+        }
+        // Step 3: the 2-neighbor solution swing(s_d, s_c, s_b):
+        // pick d adjacent to c (excluding a), rewire {d,c} and move a host
+        // back from b to c. Net effect on the original graph is the swap
+        // {a,b},{c,d} → {a,c},{b,d}.
+        let s2 = {
+            let nbrs = self.g.neighbors(s1.c);
+            let cands: Vec<u32> = nbrs
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    d != s1.a
+                        && d != s1.b
+                        && Swing { a: d, b: s1.c, c: s1.b }.is_valid(&self.g)
+                })
+                .collect();
+            match cands.as_slice() {
+                [] => None,
+                cs => Some(Swing {
+                    a: cs[self.rng.gen_range(0..cs.len())],
+                    b: s1.c,
+                    c: s1.b,
+                }),
+            }
+        };
+        if let Some(s2) = s2 {
+            let h2 = s2.apply(&mut self.g).expect("validated candidate");
+            if let Some(m2) = self.eval() {
+                let delta = m2.haspl - self.cur.haspl;
+                if self.metropolis(delta, t) {
+                    // Step 4: accept the 2-neighbor solution.
+                    self.edges.remove(s1.a, s1.b);
+                    self.edges.insert(s1.a, s1.c);
+                    self.edges.remove(s2.a, s2.b);
+                    self.edges.insert(s2.a, s2.c);
+                    self.note_accept(m2);
+                    return true;
+                }
+            } else {
+                self.disconnected += 1;
+            }
+            s2.undo(&mut self.g, h2).expect("undo applied swing");
+        }
+        // Otherwise the initial solution holds.
+        s1.undo(&mut self.g, h1).expect("undo applied swing");
+        false
+    }
+
+    fn run(mut self, kind: MoveKind, cfg: &SaConfig) -> SaResult {
+        let iters = cfg.iters.max(1);
+        // Geometric cooling; degenerate temperatures fall back to constant.
+        let ratio = if cfg.t0 > 0.0 && cfg.t_end > 0.0 {
+            (cfg.t_end / cfg.t0).powf(1.0 / iters as f64)
+        } else {
+            1.0
+        };
+        let mut t = cfg.t0;
+        for it in 0..cfg.iters {
+            let _accepted = match kind {
+                MoveKind::Swap => self.step_swap(t, cfg.sample_attempts),
+                MoveKind::Swing => self.step_swing(t, cfg.sample_attempts),
+                MoveKind::TwoNeighborSwing => self.step_two_neighbor(t, cfg.sample_attempts),
+            };
+            t *= ratio;
+            if cfg.history_stride > 0 && it % cfg.history_stride == 0 {
+                self.history.push((it, self.best_metrics.haspl));
+            }
+        }
+        SaResult {
+            graph: self.best,
+            metrics: self.best_metrics,
+            proposed: self.proposed,
+            accepted: self.accepted,
+            disconnected: self.disconnected,
+            history: self.history,
+        }
+    }
+}
+
+/// Anneals an arbitrary starting graph with the chosen move kind.
+///
+/// The starting graph must have all host pairs connected.
+pub fn anneal(
+    start: HostSwitchGraph,
+    kind: MoveKind,
+    cfg: &SaConfig,
+) -> Result<SaResult, GraphError> {
+    Ok(Annealer::new(start, cfg.seed, cfg.parallel_eval)?.run(kind, cfg))
+}
+
+/// §5.1: swap-based annealing over regular host-switch graphs with `m`
+/// switches (`m | n` required).
+pub fn anneal_regular(
+    n: u32,
+    m: u32,
+    r: u32,
+    cfg: &SaConfig,
+) -> Result<SaResult, GraphError> {
+    let start = random_regular(n, m, r, cfg.seed)?;
+    anneal(start, MoveKind::Swap, cfg)
+}
+
+/// §5.2: 2-neighbor-swing annealing from a balanced random graph with `m`
+/// switches (any `m`).
+pub fn anneal_general(
+    n: u32,
+    m: u32,
+    r: u32,
+    cfg: &SaConfig,
+) -> Result<SaResult, GraphError> {
+    let start = random_general(n, m, r, cfg.seed)?;
+    anneal(start, MoveKind::TwoNeighborSwing, cfg)
+}
+
+/// §5.3, the proposed method end-to-end: choose `m = m_opt` by minimising
+/// the continuous Moore bound, then run the 2-neighbor-swing annealer.
+///
+/// Returns the result together with the predicted `m_opt`.
+pub fn solve_orp(n: u32, r: u32, cfg: &SaConfig) -> Result<(SaResult, u32), GraphError> {
+    let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
+    let m_opt = m_opt as u32;
+    let res = anneal_general(n, m_opt, r, cfg)?;
+    Ok((res, m_opt))
+}
+
+/// Multi-restart [`solve_orp`]: runs `restarts` independently seeded
+/// annealers in parallel (rayon) and keeps the best result. Restart `i`
+/// uses seed `cfg.seed + i`, so the single-restart case reproduces
+/// [`solve_orp`] exactly.
+pub fn solve_orp_multi(
+    n: u32,
+    r: u32,
+    cfg: &SaConfig,
+    restarts: usize,
+) -> Result<(SaResult, u32), GraphError> {
+    use rayon::prelude::*;
+    let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
+    let m_opt = m_opt as u32;
+    let results: Vec<Result<SaResult, GraphError>> = (0..restarts.max(1) as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i);
+            // the inner evaluation stays sequential; parallelism comes
+            // from the restarts themselves
+            c.parallel_eval = false;
+            anneal_general(n, m_opt, r, &c)
+        })
+        .collect();
+    let mut best: Option<SaResult> = None;
+    let mut last_err = None;
+    for res in results {
+        match res {
+            Ok(r) => {
+                if best.as_ref().map(|b| r.metrics.haspl < b.metrics.haspl).unwrap_or(true) {
+                    best = Some(r);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match best {
+        Some(b) => Ok((b, m_opt)),
+        None => Err(last_err.unwrap_or(GraphError::ConstructionFailed("no restarts ran".into()))),
+    }
+}
+
+/// Calibrates an initial temperature from the instance itself: samples
+/// random swing moves on a scratch copy and sets `t0` to the median
+/// |Δh-ASPL| (so roughly half of all degrading moves are accepted at the
+/// start) and `t_end` three orders of magnitude below.
+pub fn auto_temperature(start: &HostSwitchGraph, cfg: &SaConfig) -> SaConfig {
+    let Some(base) = path_metrics(start) else {
+        return cfg.clone();
+    };
+    let mut g = start.clone();
+    let edges = EdgeSet::from_graph(&g);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7e5);
+    let mut deltas: Vec<f64> = Vec::new();
+    for _ in 0..24 {
+        let Some(s) = sample_swing(&g, &edges, &mut rng, 16) else { continue };
+        let h = s.apply(&mut g).expect("sampled move valid");
+        if let Some(m2) = path_metrics(&g) {
+            deltas.push((m2.haspl - base.haspl).abs());
+        }
+        s.undo(&mut g, h).expect("undo");
+    }
+    if deltas.is_empty() {
+        return cfg.clone();
+    }
+    deltas.sort_by(f64::total_cmp);
+    let t0 = deltas[deltas.len() / 2].max(1e-9);
+    SaConfig { t0, t_end: t0 * 1e-3, ..cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::haspl_lower_bound;
+
+    fn small_cfg(iters: usize) -> SaConfig {
+        SaConfig { iters, t0: 0.02, t_end: 1e-5, seed: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn swap_anneal_improves_over_random_start() {
+        let n = 64;
+        let m = 16;
+        let r = 8; // per = 4, k = 4
+        let start = random_regular(n, m, r, 7).unwrap();
+        let before = path_metrics(&start).unwrap().haspl;
+        let res = anneal(start, MoveKind::Swap, &small_cfg(800)).unwrap();
+        assert!(res.metrics.haspl <= before);
+        res.graph.validate().unwrap();
+        // swap preserves regularity
+        assert_eq!(res.graph.regularity(), Some((4, 4)));
+        assert!(res.accepted > 0);
+    }
+
+    #[test]
+    fn two_neighbor_swing_anneal_improves() {
+        let n = 64;
+        let m = 16;
+        let r = 8;
+        let start = random_general(n, m, r, 3).unwrap();
+        let before = path_metrics(&start).unwrap().haspl;
+        let res = anneal(start, MoveKind::TwoNeighborSwing, &small_cfg(800)).unwrap();
+        assert!(res.metrics.haspl <= before);
+        res.graph.validate().unwrap();
+        assert_eq!(res.graph.num_hosts(), n);
+        assert_eq!(res.graph.num_switches(), m);
+        assert!(res.metrics.haspl >= haspl_lower_bound(n as u64, r as u64) - 1e-9);
+    }
+
+    #[test]
+    fn plain_swing_anneal_runs() {
+        let start = random_general(48, 12, 8, 5).unwrap();
+        let res = anneal(start, MoveKind::Swing, &small_cfg(400)).unwrap();
+        res.graph.validate().unwrap();
+        assert!(res.metrics.haspl >= 2.0);
+    }
+
+    #[test]
+    fn hill_climb_never_accepts_worse() {
+        let start = random_general(48, 12, 8, 5).unwrap();
+        let before = path_metrics(&start).unwrap();
+        let cfg = SaConfig::hill_climb(400, 11);
+        let res = anneal(start, MoveKind::TwoNeighborSwing, &cfg).unwrap();
+        assert!(res.metrics.haspl <= before.haspl);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = small_cfg(300);
+        let a = anneal_general(48, 12, 8, &cfg).unwrap();
+        let b = anneal_general(48, 12, 8, &cfg).unwrap();
+        assert_eq!(a.metrics.total_length, b.metrics.total_length);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let cfg = SaConfig { history_stride: 50, ..small_cfg(500) };
+        let res = anneal_general(48, 12, 8, &cfg).unwrap();
+        assert!(!res.history.is_empty());
+        for w in res.history.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_orp_uses_m_opt() {
+        let (res, m_opt) = solve_orp(64, 10, &small_cfg(300)).unwrap();
+        assert_eq!(res.graph.num_switches(), m_opt);
+        assert_eq!(res.graph.num_hosts(), 64);
+        res.graph.validate().unwrap();
+        let lb = haspl_lower_bound(64, 10);
+        assert!(res.metrics.haspl >= lb - 1e-9);
+        // should come reasonably close to the bound on such a small case
+        assert!(res.metrics.haspl <= lb + 1.5, "{} vs {lb}", res.metrics.haspl);
+    }
+
+    #[test]
+    fn multi_restart_takes_the_best() {
+        let cfg = small_cfg(300);
+        let (single, _) = solve_orp(64, 10, &cfg).unwrap();
+        let (multi, m) = solve_orp_multi(64, 10, &cfg, 4).unwrap();
+        assert_eq!(multi.graph.num_switches(), m);
+        assert!(multi.metrics.haspl <= single.metrics.haspl + 1e-12);
+    }
+
+    #[test]
+    fn single_restart_reproduces_solve_orp() {
+        let cfg = small_cfg(300);
+        let (a, _) = solve_orp(64, 10, &cfg).unwrap();
+        let (b, _) = solve_orp_multi(64, 10, &cfg, 1).unwrap();
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn auto_temperature_matches_move_scale() {
+        let g = random_general(128, 32, 10, 3).unwrap();
+        let tuned = auto_temperature(&g, &SaConfig::default());
+        // typical swing deltas at this size are O(1/n)..O(0.1)
+        assert!(tuned.t0 > 0.0 && tuned.t0 < 0.5, "t0 = {}", tuned.t0);
+        assert!(tuned.t_end < tuned.t0);
+        // annealing with the tuned schedule still works
+        let res = anneal(g, MoveKind::TwoNeighborSwing, &SaConfig { iters: 400, ..tuned }).unwrap();
+        res.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn anneal_rejects_disconnected_start() {
+        let mut g = HostSwitchGraph::new(2, 4).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(1).unwrap();
+        assert!(anneal(g, MoveKind::Swap, &small_cfg(10)).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Lower bounds (Section 4) and the Moore-bound machinery (Section 5).
+//!
+//! * [`diameter_lower_bound`] — Theorem 1.
+//! * [`haspl_lower_bound`] — Theorem 2.
+//! * [`moore_aspl`] / [`continuous_moore_aspl`] — the (continuous) Moore
+//!   bound on the ASPL of an `N`-vertex `K`-regular graph.
+//! * [`moore_haspl`] / [`continuous_moore_haspl`] — the bound transferred
+//!   to regular host-switch graphs via Eq. (2).
+//! * [`optimal_switch_count`] — the `m_opt` prediction: the `m` minimising
+//!   the continuous Moore bound.
+
+/// Theorem 1: `D(G) ≥ ⌈log_{r−1}(n−1)⌉ + 1` for any host-switch graph of
+/// order `n` and radix `r`, clamped to 2 (a host-to-host path always
+/// crosses at least one switch).
+///
+/// # Panics
+/// Panics if `n < 2` or `r < 3`.
+pub fn diameter_lower_bound(n: u64, r: u64) -> u32 {
+    assert!(n >= 2, "need at least two hosts");
+    assert!(r >= 3, "radix must be at least 3");
+    // smallest D with (r-1)^(D-1) >= n-1
+    let mut reach: u128 = 1;
+    let mut d = 1u32;
+    while reach < (n - 1) as u128 {
+        reach = reach.saturating_mul((r - 1) as u128);
+        d += 1;
+    }
+    d.max(2)
+}
+
+/// Theorem 2: lower bound on the h-ASPL of any host-switch graph of order
+/// `n` and radix `r`:
+///
+/// * `D⁻` if `n = (r−1)^{D⁻−1} + 1`,
+/// * `D⁻ − α/(n−1)` otherwise, with
+///   `α = (r−1)^{D⁻−2} − ⌈(n−1−(r−1)^{D⁻−2})/(r−2)⌉`,
+///
+/// where `D⁻` is the Theorem-1 diameter bound.
+///
+/// # Panics
+/// Panics if `n < 2` or `r < 3`.
+pub fn haspl_lower_bound(n: u64, r: u64) -> f64 {
+    assert!(n >= 2, "need at least two hosts");
+    assert!(r >= 3, "radix must be at least 3");
+    if n as u128 <= r as u128 {
+        // One switch holds everything: every pair at distance exactly 2.
+        return 2.0;
+    }
+    let d_minus = diameter_lower_bound(n, r) as u64;
+    let pow = |e: u64| -> u128 { ((r - 1) as u128).pow(e as u32) };
+    if (n - 1) as u128 == pow(d_minus - 1) {
+        return d_minus as f64;
+    }
+    // D⁻ ≥ 3 here: n > r rules out D⁻ = 2 with n−1 ≠ (r−1).
+    let cap = pow(d_minus - 2); // (r−1)^{D⁻−2}
+    let need = (n - 1) as u128 - cap; // hosts beyond a full (D⁻−1)-ball
+    let converted = need.div_ceil((r - 2) as u128);
+    let alpha = cap.saturating_sub(converted) as f64;
+    d_minus as f64 - alpha / (n - 1) as f64
+}
+
+/// Moore bound on the ASPL of an `N`-vertex `K`-regular undirected graph:
+/// greedily fill BFS levels of capacity `K(K−1)^{i−1}` and average the
+/// distances. Returns `None` when the levels cannot cover `N−1` vertices
+/// (i.e. no connected `K`-regular graph of that size exists, e.g. `K ≤ 1`).
+pub fn moore_aspl(n_vertices: u64, k: u64) -> Option<f64> {
+    if n_vertices < 2 {
+        return Some(0.0);
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut remaining = (n_vertices - 1) as u128;
+    let mut cap: u128 = k as u128;
+    let mut dist_sum: u128 = 0;
+    let mut i: u128 = 1;
+    while remaining > 0 {
+        if cap == 0 {
+            return None; // K = 1 path exhausted
+        }
+        let take = cap.min(remaining);
+        dist_sum += i * take;
+        remaining -= take;
+        cap = cap.saturating_mul((k as u128).saturating_sub(1));
+        i += 1;
+    }
+    Some(dist_sum as f64 / (n_vertices - 1) as f64)
+}
+
+/// Continuous Moore bound: as [`moore_aspl`] but the degree `k` may be any
+/// real number > 1 (the paper's extension that makes the bound defined for
+/// every `m`, not only divisors of `n`). Returns `None` when the geometric
+/// level capacities cannot cover the graph (`k ≤ 1`, or `1 < k < 2` with
+/// too many vertices).
+pub fn continuous_moore_aspl(n_vertices: f64, k: f64) -> Option<f64> {
+    if n_vertices < 2.0 {
+        return Some(0.0);
+    }
+    if k <= 0.0 {
+        return None;
+    }
+    let mut remaining = n_vertices - 1.0;
+    let mut cap = k;
+    let mut dist_sum = 0.0;
+    let mut i = 1.0f64;
+    // For k ≤ 2 capacities stop growing; bail out once they vanish.
+    while remaining > 1e-12 {
+        if cap < 1e-12 || i > 1e7 {
+            return None;
+        }
+        let take = cap.min(remaining);
+        dist_sum += i * take;
+        remaining -= take;
+        cap *= k - 1.0;
+        i += 1.0;
+    }
+    Some(dist_sum / (n_vertices - 1.0))
+}
+
+/// Equation (2): Moore bound on the h-ASPL of a *regular* host-switch
+/// graph with `n` hosts, `m` switches, radix `r` (requires `m | n`):
+/// `A(G) ≥ M(m, r − n/m)·(mn−n)/(mn−m) + 2`.
+///
+/// Returns `None` if `m ∤ n`, ports are over-subscribed, or no such
+/// regular graph can be connected.
+pub fn moore_haspl(n: u64, m: u64, r: u64) -> Option<f64> {
+    if m == 0 || n == 0 || !n.is_multiple_of(m) {
+        return None;
+    }
+    let per = n / m;
+    if per > r {
+        return None;
+    }
+    let k = r - per;
+    if m == 1 {
+        return (per <= r).then_some(2.0);
+    }
+    let aspl = moore_aspl(m, k)?;
+    Some(scale_to_haspl(aspl, n as f64, m as f64))
+}
+
+/// Continuous Moore bound on the h-ASPL for *any* `m` (Section 5.3):
+/// the switch degree becomes the rational `r − n/m`.
+///
+/// Returns `f64::INFINITY` for infeasible `m` so that minimisation over
+/// `m` is uniform.
+pub fn continuous_moore_haspl(n: u64, m: u64, r: u64) -> f64 {
+    if m == 0 || n == 0 {
+        return f64::INFINITY;
+    }
+    let per = n as f64 / m as f64;
+    if per > r as f64 {
+        return f64::INFINITY;
+    }
+    if m == 1 {
+        return 2.0;
+    }
+    let k = r as f64 - per;
+    match continuous_moore_aspl(m as f64, k) {
+        Some(aspl) => scale_to_haspl(aspl, n as f64, m as f64),
+        None => f64::INFINITY,
+    }
+}
+
+#[inline]
+fn scale_to_haspl(switch_aspl: f64, n: f64, m: f64) -> f64 {
+    switch_aspl * (m * n - n) / (m * n - m) + 2.0
+}
+
+/// The `m_opt` prediction of Section 5.3: the number of switches at which
+/// the continuous Moore bound takes its minimum, together with that
+/// minimum bound value (`A_opt`'s prediction).
+///
+/// Scans `m = 1..=n`; ties resolve to the smallest `m`.
+///
+/// # Panics
+/// Panics if `n < 2` or `r < 3`.
+pub fn optimal_switch_count(n: u64, r: u64) -> (u64, f64) {
+    assert!(n >= 2, "need at least two hosts");
+    assert!(r >= 3, "radix must be at least 3");
+    let mut best_m = 1;
+    let mut best = continuous_moore_haspl(n, 1, r);
+    for m in 2..=n {
+        let b = continuous_moore_haspl(n, m, r);
+        if b < best {
+            best = b;
+            best_m = m;
+        }
+    }
+    (best_m, best)
+}
+
+/// Largest `n` for which all switches can form an `m`-clique
+/// (Section 3.2): `n ≤ m(r − m + 1)`.
+pub fn clique_capacity(m: u64, r: u64) -> u64 {
+    if m == 0 || m > r {
+        0
+    } else {
+        m * (r + 1 - m)
+    }
+}
+
+/// Smallest clique size `m` whose capacity reaches `n`, if any
+/// (`None` when even the best clique cannot hold `n` hosts).
+pub fn min_clique_switches(n: u64, r: u64) -> Option<u64> {
+    (1..=r + 1).find(|&m| clique_capacity(m, r) >= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_bound_examples() {
+        // n-1 <= r-1: everything two hops apart.
+        assert_eq!(diameter_lower_bound(10, 24), 2);
+        assert_eq!(diameter_lower_bound(24, 24), 2);
+        // one more host than a switch can hold
+        assert_eq!(diameter_lower_bound(25, 24), 3);
+        // paper-scale example: n=1024, r=24 → ⌈log_23(1023)⌉+1 = 4... check:
+        // 23^2 = 529 < 1023 <= 23^3 → ceil = 3 → D⁻ = 4.
+        assert_eq!(diameter_lower_bound(1024, 24), 4);
+        // r=12: 11^2=121 < 1023 <= 11^3=1331 → 4.
+        assert_eq!(diameter_lower_bound(1024, 12), 4);
+        assert_eq!(diameter_lower_bound(2, 3), 2);
+    }
+
+    #[test]
+    fn haspl_bound_tight_cases() {
+        // n = (r-1)^{D⁻-1} + 1 → bound is exactly D⁻.
+        // r=4, D⁻=3: n = 3^2+1 = 10.
+        assert_eq!(haspl_lower_bound(10, 4), 3.0);
+        // star case: n <= r → exactly 2.
+        assert_eq!(haspl_lower_bound(24, 24), 2.0);
+        assert_eq!(haspl_lower_bound(5, 24), 2.0);
+    }
+
+    #[test]
+    fn haspl_bound_general_case() {
+        // n=12, r=4: D⁻ = ⌈log_3 11⌉+1 = 4 (3^2=9 < 11 ≤ 27).
+        // α = 3^2 − ⌈(11−3)/2⌉ = 9 − 4 = 5... wait cap=(r−1)^{D⁻−2}=3^2=9,
+        // need = 11−9 = 2, converted = ⌈2/2⌉=1, α = 8.
+        // bound = 4 − 8/11.
+        let b = haspl_lower_bound(12, 4);
+        assert!((b - (4.0 - 8.0 / 11.0)).abs() < 1e-12, "{b}");
+    }
+
+    #[test]
+    fn haspl_bound_below_diameter_bound() {
+        for &(n, r) in &[(100u64, 8u64), (1024, 24), (1024, 12), (500, 10)] {
+            let a = haspl_lower_bound(n, r);
+            let d = diameter_lower_bound(n, r) as f64;
+            assert!(a <= d);
+            assert!(a > d - 1.0, "bound should be within 1 of D⁻");
+            assert!(a >= 2.0);
+        }
+    }
+
+    #[test]
+    fn moore_aspl_small_cases() {
+        // Complete graph K4: 3-regular on 4 vertices → ASPL 1.
+        assert_eq!(moore_aspl(4, 3), Some(1.0));
+        // Petersen-graph parameters: 10 vertices, 3-regular.
+        // Levels: 3 at d=1, 6 at d=2 → (3+12)/9 = 5/3.
+        assert_eq!(moore_aspl(10, 3), Some(5.0 / 3.0));
+        // Ring of 6, K=2: levels 2,2,1 → (2+4+3)/5 = 1.8.
+        assert_eq!(moore_aspl(6, 2), Some(1.8));
+        // K=1 cannot connect more than 2 vertices.
+        assert_eq!(moore_aspl(2, 1), Some(1.0));
+        assert_eq!(moore_aspl(3, 1), None);
+        assert_eq!(moore_aspl(5, 0), None);
+    }
+
+    #[test]
+    fn continuous_matches_integer_moore_at_integers() {
+        for &(n, k) in &[(10u64, 3u64), (64, 5), (194, 9), (1024, 23), (6, 2)] {
+            let a = moore_aspl(n, k).unwrap();
+            let b = continuous_moore_aspl(n as f64, k as f64).unwrap();
+            assert!((a - b).abs() < 1e-9, "n={n} k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn continuous_moore_is_monotone_in_k() {
+        // Higher degree → lower ASPL bound.
+        let mut prev = f64::INFINITY;
+        for k10 in 21..60u32 {
+            let k = k10 as f64 / 10.0;
+            let a = continuous_moore_aspl(500.0, k).unwrap();
+            assert!(a <= prev + 1e-12, "k={k}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn continuous_infeasible_degrees() {
+        assert_eq!(continuous_moore_aspl(100.0, 1.0), None);
+        assert_eq!(continuous_moore_aspl(1000.0, 1.05), None);
+        assert_eq!(continuous_moore_aspl(100.0, -2.0), None);
+    }
+
+    #[test]
+    fn eq2_matches_continuous_at_divisors() {
+        let (n, r) = (1024u64, 24u64);
+        for m in [128u64, 256, 512] {
+            if n % m == 0 {
+                let a = moore_haspl(n, m, r).unwrap();
+                let b = continuous_moore_haspl(n, m, r);
+                assert!((a - b).abs() < 1e-9, "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn moore_haspl_rejects_nondivisors() {
+        assert_eq!(moore_haspl(1024, 194, 24), None);
+        assert!(continuous_moore_haspl(1024, 194, 24).is_finite());
+    }
+
+    #[test]
+    fn m_opt_paper_configurations() {
+        // The paper's proposed topologies: (n=1024, r=15) → m=194,
+        // (n=1024, r=16) → m=183. These pin our continuous-Moore argmin.
+        let (m15, a15) = optimal_switch_count(1024, 15);
+        let (m16, a16) = optimal_switch_count(1024, 16);
+        assert!(a15.is_finite() && a16.is_finite());
+        // Allow ±2 in case of formula-edge rounding, but print the value so
+        // a drift is visible in test output.
+        assert!((192..=196).contains(&m15), "m_opt(1024,15) = {m15}");
+        assert!((181..=185).contains(&m16), "m_opt(1024,16) = {m16}");
+        assert!(a16 < a15, "higher radix must not hurt");
+    }
+
+    #[test]
+    fn m_opt_small_case_is_clique() {
+        // n=128, r=24: the paper notes m≈8 forms a clique and h-ASPL < 3.
+        let (m, a) = optimal_switch_count(128, 24);
+        assert!((7..=10).contains(&m), "m_opt(128,24) = {m}");
+        assert!(a < 3.0, "A_opt = {a}");
+    }
+
+    #[test]
+    fn clique_capacity_formula() {
+        assert_eq!(clique_capacity(8, 24), 8 * 17); // 136 ≥ 128 ✓
+        assert_eq!(clique_capacity(1, 24), 24);
+        assert_eq!(clique_capacity(25, 24), 0);
+        assert_eq!(min_clique_switches(128, 24), Some(8));
+        assert_eq!(min_clique_switches(24, 24), Some(1));
+        // max clique capacity for r=24 is around m=12..13: 12*13=156
+        assert_eq!(min_clique_switches(157, 24), None);
+    }
+
+    #[test]
+    fn bound_is_infinite_for_too_few_switches() {
+        // m switches with all ports used by hosts cannot interconnect.
+        let b = continuous_moore_haspl(1024, 43, 24); // 1024/43 ≈ 23.8 → k ≈ 0.2
+        assert!(b.is_infinite());
+    }
+}

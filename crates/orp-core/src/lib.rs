@@ -1,0 +1,56 @@
+//! # orp-core — host-switch graphs and the Order/Radix Problem
+//!
+//! Reference implementation of *"Order/Radix Problem: Towards Low
+//! End-to-End Latency Interconnection Networks"* (Yasudo et al.,
+//! ICPP 2017).
+//!
+//! A [`HostSwitchGraph`] models an interconnection network with `n`
+//! single-port **hosts** and `m` radix-`r` **switches**. The *Order/Radix
+//! Problem* (ORP) asks: given `n` and `r` — with `m` free — find the
+//! host-switch graph minimising the host-to-host average shortest path
+//! length (**h-ASPL**), which is the ideal all-to-all latency of the
+//! network.
+//!
+//! The crate provides:
+//!
+//! * the graph model and invariant enforcement ([`graph`]),
+//! * exact h-ASPL / diameter computation via switch-level APSP
+//!   ([`metrics`]),
+//! * all lower bounds of the paper — Theorems 1 and 2, the Moore bound,
+//!   and the continuous Moore bound that predicts the optimal switch
+//!   count `m_opt` ([`bounds`]),
+//! * the swap / swing / 2-neighbor-swing local-search operations
+//!   ([`ops`]) and the simulated-annealing solver ([`anneal`]),
+//! * constructions for the analytically optimal regimes ([`construct`])
+//!   and a textual interchange format ([`io`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use orp_core::anneal::{solve_orp, SaConfig};
+//! use orp_core::bounds::haspl_lower_bound;
+//!
+//! let cfg = SaConfig { iters: 500, seed: 42, ..Default::default() };
+//! let (result, m_opt) = solve_orp(64, 10, &cfg).unwrap();
+//! assert_eq!(result.graph.num_switches(), m_opt);
+//! assert!(result.metrics.haspl >= haspl_lower_bound(64, 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod anneal;
+pub mod bounds;
+pub mod construct;
+pub mod error;
+pub mod exact;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod odp;
+pub mod ops;
+pub mod random_graphs;
+
+pub use error::GraphError;
+pub use graph::{Host, HostSwitchGraph, Switch};
+pub use metrics::{path_metrics, path_metrics_par, PathMetrics};

@@ -1,0 +1,391 @@
+//! Local-search operations of Section 5: the *swap* operation (Fig. 2),
+//! the *swing* operation (Fig. 3), and helpers for sampling random moves.
+//!
+//! Both operations preserve every switch's total degree (used ports), so a
+//! graph that satisfies the radix constraint keeps satisfying it; they can
+//! however disconnect the graph, which the annealer detects via the metric
+//! evaluation and reverts.
+
+use crate::error::GraphError;
+use crate::graph::{Host, HostSwitchGraph, Switch};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The swap operation: replaces `{a,b}, {c,d}` by `{a,d}, {c,b}` (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Swap {
+    /// First endpoint of the first edge (keeps its other port).
+    pub a: Switch,
+    /// Second endpoint of the first edge (reconnects to `c`).
+    pub b: Switch,
+    /// First endpoint of the second edge (keeps its other port).
+    pub c: Switch,
+    /// Second endpoint of the second edge (reconnects to `a`).
+    pub d: Switch,
+}
+
+impl Swap {
+    /// The swap that undoes this one.
+    #[inline]
+    pub fn inverse(self) -> Self {
+        Swap { a: self.a, b: self.d, c: self.c, d: self.b }
+    }
+
+    /// Whether applying the swap to `g` keeps the graph simple: all four
+    /// switches pairwise usable, replacement edges absent.
+    pub fn is_valid(&self, g: &HostSwitchGraph) -> bool {
+        let Swap { a, b, c, d } = *self;
+        // the two edges must exist and be distinct
+        if !(g.has_link(a, b) && g.has_link(c, d)) {
+            return false;
+        }
+        if (a == c && b == d) || (a == d && b == c) {
+            return false;
+        }
+        // new edges must not create loops or duplicates
+        if a == d || c == b {
+            return false;
+        }
+        !(g.has_link(a, d) || g.has_link(c, b))
+    }
+
+    /// Applies the swap. Degrees are unchanged, so only simplicity is
+    /// checked (via [`Self::is_valid`]).
+    pub fn apply(&self, g: &mut HostSwitchGraph) -> Result<(), GraphError> {
+        if !self.is_valid(g) {
+            return Err(GraphError::InvalidParameters(format!("invalid swap {self:?}")));
+        }
+        g.remove_link(self.a, self.b)?;
+        g.remove_link(self.c, self.d)?;
+        g.add_link(self.a, self.d)?;
+        g.add_link(self.c, self.b)?;
+        Ok(())
+    }
+}
+
+/// The swing operation `swing(s_a, s_b, s_c)`: replaces `{a,b}, {c,h}` by
+/// `{a,c}, {b,h}` for some host `h` on `c` (Fig. 3). Moves one host from
+/// `c` to `b` and rewires one switch link; every switch keeps its total
+/// degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Swing {
+    /// Switch that loses the link to `b` and gains a link to `c`.
+    pub a: Switch,
+    /// Switch that loses the link to `a` and gains a host.
+    pub b: Switch,
+    /// Switch that loses a host and gains the link to `a`.
+    pub c: Switch,
+}
+
+impl Swing {
+    /// Whether the swing is applicable to `g`.
+    pub fn is_valid(&self, g: &HostSwitchGraph) -> bool {
+        let Swing { a, b, c } = *self;
+        if a == c || b == c {
+            return false;
+        }
+        if !g.has_link(a, b) {
+            return false;
+        }
+        if g.host_count(c) == 0 {
+            return false;
+        }
+        !g.has_link(a, c)
+    }
+
+    /// Applies the swing, returning the host that moved (needed to undo).
+    pub fn apply(&self, g: &mut HostSwitchGraph) -> Result<Host, GraphError> {
+        if !self.is_valid(g) {
+            return Err(GraphError::InvalidParameters(format!("invalid swing {self:?}")));
+        }
+        let h = *g.hosts_of(self.c).last().expect("validated non-empty");
+        g.remove_link(self.a, self.b)?;
+        g.move_host(h, self.b)?;
+        g.add_link(self.a, self.c)?;
+        Ok(h)
+    }
+
+    /// Undoes a swing that moved host `h`.
+    pub fn undo(&self, g: &mut HostSwitchGraph, h: Host) -> Result<(), GraphError> {
+        g.remove_link(self.a, self.c)?;
+        g.move_host(h, self.c)?;
+        g.add_link(self.a, self.b)?;
+        Ok(())
+    }
+}
+
+/// A sampled-in-O(1), update-in-O(1) multiset of the switch-to-switch
+/// links, kept in sync with the graph by the annealer. Stores each
+/// undirected edge once as `(min, max)`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeSet {
+    edges: Vec<(Switch, Switch)>,
+    index: HashMap<(Switch, Switch), usize>,
+}
+
+impl EdgeSet {
+    /// Collects all links of `g`.
+    pub fn from_graph(g: &HostSwitchGraph) -> Self {
+        let mut s = Self::default();
+        for (a, b) in g.links() {
+            s.insert(a, b);
+        }
+        s
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether there are no links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    fn key(a: Switch, b: Switch) -> (Switch, Switch) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Adds the link `{a,b}`.
+    pub fn insert(&mut self, a: Switch, b: Switch) {
+        let k = Self::key(a, b);
+        debug_assert!(!self.index.contains_key(&k));
+        self.index.insert(k, self.edges.len());
+        self.edges.push(k);
+    }
+
+    /// Removes the link `{a,b}`.
+    pub fn remove(&mut self, a: Switch, b: Switch) {
+        let k = Self::key(a, b);
+        let pos = self.index.remove(&k).expect("edge present");
+        self.edges.swap_remove(pos);
+        if pos < self.edges.len() {
+            self.index.insert(self.edges[pos], pos);
+        }
+    }
+
+    /// Whether `{a,b}` is tracked.
+    pub fn contains(&self, a: Switch, b: Switch) -> bool {
+        self.index.contains_key(&Self::key(a, b))
+    }
+
+    /// A uniformly random link, as stored (`a < b`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Switch, Switch) {
+        self.edges[rng.gen_range(0..self.edges.len())]
+    }
+
+    /// A uniformly random link in random orientation.
+    pub fn sample_oriented<R: Rng + ?Sized>(&self, rng: &mut R) -> (Switch, Switch) {
+        let (a, b) = self.sample(rng);
+        if rng.gen::<bool>() {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// All tracked links (test/diagnostic use).
+    pub fn edges(&self) -> &[(Switch, Switch)] {
+        &self.edges
+    }
+}
+
+/// Samples a random *valid* swap from the tracked edges, trying up to
+/// `attempts` times.
+pub fn sample_swap<R: Rng + ?Sized>(
+    g: &HostSwitchGraph,
+    edges: &EdgeSet,
+    rng: &mut R,
+    attempts: usize,
+) -> Option<Swap> {
+    if edges.len() < 2 {
+        return None;
+    }
+    for _ in 0..attempts {
+        let (a, b) = edges.sample_oriented(rng);
+        let (c, d) = edges.sample_oriented(rng);
+        let s = Swap { a, b, c, d };
+        if s.is_valid(g) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Samples a random *valid* swing: a random oriented link `{a,b}` plus a
+/// random host-bearing switch `c`.
+pub fn sample_swing<R: Rng + ?Sized>(
+    g: &HostSwitchGraph,
+    edges: &EdgeSet,
+    rng: &mut R,
+    attempts: usize,
+) -> Option<Swing> {
+    if edges.is_empty() || g.num_hosts() == 0 {
+        return None;
+    }
+    for _ in 0..attempts {
+        let (a, b) = edges.sample_oriented(rng);
+        // pick c through a random host so switches holding more hosts are
+        // proportionally more likely — cheap and biases toward useful moves
+        let h = rng.gen_range(0..g.num_hosts());
+        let c = g.switch_of(h);
+        let s = Swing { a, b, c };
+        if s.is_valid(g) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(m: u32, hosts_per: u32, r: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(m, r).unwrap();
+        for s in 0..m {
+            g.add_link(s, (s + 1) % m).unwrap();
+        }
+        for s in 0..m {
+            for _ in 0..hosts_per {
+                g.attach_host(s).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn swap_roundtrip() {
+        let mut g = ring(6, 1, 5);
+        // chords keep the graph connected across the swap
+        g.add_link(0, 3).unwrap();
+        g.add_link(1, 4).unwrap();
+        let s = Swap { a: 0, b: 1, c: 3, d: 4 };
+        assert!(s.is_valid(&g));
+        s.apply(&mut g).unwrap();
+        assert!(g.has_link(0, 4) && g.has_link(3, 1));
+        assert!(!g.has_link(0, 1) && !g.has_link(3, 4));
+        g.validate().unwrap();
+        s.inverse().apply(&mut g).unwrap();
+        assert!(g.has_link(0, 1) && g.has_link(3, 4));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn swap_rejects_duplicate_creation() {
+        let mut g = ring(4, 1, 4);
+        // swapping {0,1},{1,2} to {0,2},{1,1} → self loop at b==c? Here
+        // c=1,b=1 invalid.
+        let s = Swap { a: 0, b: 1, c: 1, d: 2 };
+        assert!(!s.is_valid(&g));
+        assert!(s.apply(&mut g).is_err());
+        // {0,1},{2,3} → {0,3},{2,1}: but 0-3 already exists in C4.
+        let s = Swap { a: 0, b: 1, c: 2, d: 3 };
+        assert!(!s.is_valid(&g));
+    }
+
+    #[test]
+    fn swap_preserves_degrees() {
+        let mut g = ring(8, 2, 6);
+        let before: Vec<u32> = (0..8).map(|s| g.switch_degree(s)).collect();
+        let s = Swap { a: 0, b: 1, c: 4, d: 5 };
+        s.apply(&mut g).unwrap();
+        let after: Vec<u32> = (0..8).map(|s| g.switch_degree(s)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn swing_moves_one_host_and_preserves_degrees() {
+        let mut g = ring(5, 2, 6);
+        let before: Vec<u32> = (0..5).map(|s| g.switch_degree(s)).collect();
+        let s = Swing { a: 0, b: 1, c: 3 };
+        assert!(s.is_valid(&g));
+        let h = s.apply(&mut g).unwrap();
+        assert_eq!(g.switch_of(h), 1);
+        assert_eq!(g.host_count(3), 1);
+        assert_eq!(g.host_count(1), 3);
+        assert!(g.has_link(0, 3) && !g.has_link(0, 1));
+        let after: Vec<u32> = (0..5).map(|s| g.switch_degree(s)).collect();
+        assert_eq!(before, after);
+        g.validate().unwrap();
+        s.undo(&mut g, h).unwrap();
+        assert_eq!(g.host_count(3), 2);
+        assert!(g.has_link(0, 1) && !g.has_link(0, 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn swing_validity_constraints() {
+        let g = ring(5, 1, 6);
+        // a == c
+        assert!(!Swing { a: 0, b: 1, c: 0 }.is_valid(&g));
+        // b == c
+        assert!(!Swing { a: 0, b: 1, c: 1 }.is_valid(&g));
+        // a already adjacent to c (0-4 in C5)
+        assert!(!Swing { a: 0, b: 1, c: 4 }.is_valid(&g));
+        // missing edge
+        assert!(!Swing { a: 0, b: 2, c: 3 }.is_valid(&g));
+        // valid
+        assert!(Swing { a: 0, b: 1, c: 3 }.is_valid(&g));
+    }
+
+    #[test]
+    fn swing_requires_host_on_c() {
+        let mut g = ring(5, 0, 6);
+        g.attach_host(0).unwrap();
+        assert!(!Swing { a: 0, b: 1, c: 3 }.is_valid(&g));
+    }
+
+    #[test]
+    fn edge_set_tracks_graph() {
+        let g = ring(6, 0, 4);
+        let mut es = EdgeSet::from_graph(&g);
+        assert_eq!(es.len(), 6);
+        assert!(es.contains(0, 1) && es.contains(1, 0));
+        es.remove(0, 1);
+        assert!(!es.contains(0, 1));
+        assert_eq!(es.len(), 5);
+        es.insert(0, 2);
+        assert!(es.contains(2, 0));
+        assert_eq!(es.len(), 6);
+    }
+
+    #[test]
+    fn sampled_moves_are_valid_and_reversible() {
+        let mut g = ring(10, 2, 8);
+        // add some chords so swaps have room
+        g.add_link(0, 5).unwrap();
+        g.add_link(2, 7).unwrap();
+        let mut es = EdgeSet::from_graph(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            if let Some(s) = sample_swap(&g, &es, &mut rng, 20) {
+                s.apply(&mut g).unwrap();
+                es.remove(s.a, s.b);
+                es.remove(s.c, s.d);
+                es.insert(s.a, s.d);
+                es.insert(s.c, s.b);
+                g.validate().ok(); // may disconnect; structural checks still pass
+            }
+            if let Some(s) = sample_swing(&g, &es, &mut rng, 20) {
+                let h = s.apply(&mut g).unwrap();
+                es.remove(s.a, s.b);
+                es.insert(s.a, s.c);
+                // undo to keep the ring degree profile
+                s.undo(&mut g, h).unwrap();
+                es.remove(s.a, s.c);
+                es.insert(s.a, s.b);
+            }
+        }
+        assert_eq!(es.len(), g.num_links());
+    }
+}

@@ -1,0 +1,159 @@
+//! Physical floorplanning (§6.2.3): cabinets on a 2-D grid, each 60 cm
+//! wide and 210 cm deep *including aisle space*, switches packed into
+//! cabinets in id order, and cable runs measured with Manhattan distance
+//! plus an in-cabinet overhead.
+
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// Cabinet width along an aisle, meters (paper: 60 cm).
+pub const CABINET_WIDTH_M: f64 = 0.6;
+/// Cabinet pitch across aisles, meters (paper: 210 cm incl. aisle).
+pub const CABINET_DEPTH_M: f64 = 2.1;
+
+/// A floorplan: every switch assigned a cabinet, cabinets on a grid.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Cabinet index per switch.
+    cabinet_of: Vec<u32>,
+    /// Cabinet grid positions `(row, col)`.
+    cabinet_pos: Vec<(u32, u32)>,
+    /// Cabinets per row of the grid.
+    cols: u32,
+    /// Fixed slack added to every inter-cabinet run (vertical cable
+    /// managers, patch slack), meters.
+    overhead_m: f64,
+    /// Length assumed for runs inside one cabinet, meters.
+    intra_cabinet_m: f64,
+}
+
+impl Floorplan {
+    /// Packs `switches_per_cabinet` switches into each cabinet in id
+    /// order and lays the cabinets out on a near-square grid, column
+    /// major along aisles.
+    pub fn new(g: &HostSwitchGraph, switches_per_cabinet: u32) -> Self {
+        assert!(switches_per_cabinet >= 1);
+        let m = g.num_switches();
+        let cabinet_of: Vec<u32> = (0..m).map(|s| s / switches_per_cabinet).collect();
+        Self::with_assignment(cabinet_of)
+    }
+
+    /// Builds a floorplan from an explicit switch→cabinet assignment
+    /// (e.g. the partitioner-driven [`crate::placement`]); cabinet ids
+    /// must be dense from 0.
+    pub fn with_assignment(cabinet_of: Vec<u32>) -> Self {
+        let num_cabinets = cabinet_of.iter().copied().max().map_or(0, |c| c + 1);
+        let cols = (num_cabinets as f64).sqrt().ceil().max(1.0) as u32;
+        let cabinet_pos: Vec<(u32, u32)> =
+            (0..num_cabinets).map(|c| (c / cols, c % cols)).collect();
+        Self { cabinet_of, cabinet_pos, cols, overhead_m: 2.0, intra_cabinet_m: 0.5 }
+    }
+
+    /// Number of cabinets.
+    pub fn num_cabinets(&self) -> u32 {
+        self.cabinet_pos.len() as u32
+    }
+
+    /// Cabinets per grid row.
+    pub fn grid_cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The cabinet a switch lives in.
+    pub fn cabinet_of(&self, s: Switch) -> u32 {
+        self.cabinet_of[s as usize]
+    }
+
+    /// Physical centre of a cabinet, meters.
+    pub fn cabinet_xy(&self, cab: u32) -> (f64, f64) {
+        let (row, col) = self.cabinet_pos[cab as usize];
+        (col as f64 * CABINET_WIDTH_M, row as f64 * CABINET_DEPTH_M)
+    }
+
+    /// Cable length between two switches: Manhattan distance between
+    /// their cabinets plus routing overhead, or the intra-cabinet length
+    /// when they share one.
+    pub fn cable_length(&self, a: Switch, b: Switch) -> f64 {
+        let (ca, cb) = (self.cabinet_of(a), self.cabinet_of(b));
+        if ca == cb {
+            return self.intra_cabinet_m;
+        }
+        let (xa, ya) = self.cabinet_xy(ca);
+        let (xb, yb) = self.cabinet_xy(cb);
+        (xa - xb).abs() + (ya - yb).abs() + self.overhead_m
+    }
+
+    /// Host-to-switch cable length (hosts sit in their switch's cabinet).
+    pub fn host_cable_length(&self) -> f64 {
+        self.intra_cabinet_m
+    }
+
+    /// Lengths of all switch-to-switch cables of `g` under this plan.
+    pub fn link_lengths<'a>(
+        &'a self,
+        g: &'a HostSwitchGraph,
+    ) -> impl Iterator<Item = f64> + 'a {
+        g.links().map(move |(a, b)| self.cable_length(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(m: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(m, 4).unwrap();
+        for s in 0..m {
+            g.add_link(s, (s + 1) % m).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn packs_switches_into_cabinets() {
+        let g = ring(10);
+        let fp = Floorplan::new(&g, 4);
+        assert_eq!(fp.num_cabinets(), 3);
+        assert_eq!(fp.cabinet_of(0), 0);
+        assert_eq!(fp.cabinet_of(3), 0);
+        assert_eq!(fp.cabinet_of(4), 1);
+        assert_eq!(fp.cabinet_of(9), 2);
+    }
+
+    #[test]
+    fn grid_is_near_square() {
+        let g = ring(16);
+        let fp = Floorplan::new(&g, 1);
+        assert_eq!(fp.num_cabinets(), 16);
+        assert_eq!(fp.grid_cols(), 4);
+        let (x, y) = fp.cabinet_xy(5); // row 1, col 1
+        assert!((x - CABINET_WIDTH_M).abs() < 1e-12);
+        assert!((y - CABINET_DEPTH_M).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_cabinet_is_short() {
+        let g = ring(4);
+        let fp = Floorplan::new(&g, 4);
+        assert_eq!(fp.cable_length(0, 3), 0.5);
+    }
+
+    #[test]
+    fn cross_cabinet_uses_manhattan_plus_overhead() {
+        let g = ring(4);
+        let fp = Floorplan::new(&g, 1); // 2x2 grid
+        // cabinets 0 (0,0) and 3 (1,1)
+        let l = fp.cable_length(0, 3);
+        assert!((l - (CABINET_WIDTH_M + CABINET_DEPTH_M + 2.0)).abs() < 1e-12);
+        // symmetric
+        assert_eq!(fp.cable_length(0, 3), fp.cable_length(3, 0));
+    }
+
+    #[test]
+    fn link_lengths_cover_every_link() {
+        let g = ring(6);
+        let fp = Floorplan::new(&g, 2);
+        let ls: Vec<f64> = fp.link_lengths(&g).collect();
+        assert_eq!(ls.len(), 6);
+        assert!(ls.iter().all(|&l| l > 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! # orp-layout — floorplans, cables, power and cost
+//!
+//! The physical-deployment model of §6.2.3: cabinets 60 cm × 210 cm on a
+//! 2-D grid, Manhattan cable runs, electrical cables up to 100 cm and
+//! optical beyond, and Mellanox-FDR10-flavoured power/cost constants.
+//!
+//! ```
+//! use orp_core::construct::random_general;
+//! use orp_layout::evaluate_default;
+//!
+//! let g = random_general(64, 16, 10, 3).unwrap();
+//! let report = evaluate_default(&g);
+//! assert!(report.total_cost() > 0.0);
+//! assert_eq!(report.switches, 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod floorplan;
+pub mod models;
+pub mod placement;
+pub mod report;
+
+pub use floorplan::Floorplan;
+pub use models::HardwareModel;
+pub use placement::optimized_floorplan;
+pub use report::{evaluate, evaluate_default, LayoutReport};

@@ -1,0 +1,125 @@
+//! Hardware power/cost models in the style of Mellanox InfiniBand FDR10
+//! equipment (§6.2.3 uses FDR10 switches and 40 Gb/s QSFP cables).
+//!
+//! The exact vendor price sheets are proprietary; the constants below are
+//! public ballpark figures (documented in DESIGN.md). The paper's
+//! comparisons depend on *ratios* — switch count × per-switch figures vs
+//! the cable-length distribution — which these preserve.
+
+use serde::{Deserialize, Serialize};
+
+/// Power and cost constants for switches and cables.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HardwareModel {
+    /// Switch chassis power, watts (fans, management).
+    pub switch_base_power: f64,
+    /// Power per active port, watts.
+    pub port_power: f64,
+    /// Extra power per optical cable *end* (transceiver), watts.
+    pub optical_end_power: f64,
+    /// Switch chassis cost, dollars.
+    pub switch_base_cost: f64,
+    /// Cost per port (SerDes, buffers), dollars — multiplied by the
+    /// radix, since you buy the whole switch.
+    pub port_cost: f64,
+    /// Electrical (passive copper) cable: fixed + per-meter dollars.
+    pub electrical_cable_base: f64,
+    /// Per-meter cost of electrical cable.
+    pub electrical_cable_per_m: f64,
+    /// Optical (active) cable: fixed + per-meter dollars.
+    pub optical_cable_base: f64,
+    /// Per-meter cost of optical cable.
+    pub optical_cable_per_m: f64,
+    /// Longest run an electrical cable supports, meters (the paper uses
+    /// 100 cm: longer runs switch to optics).
+    pub electrical_max_m: f64,
+}
+
+impl Default for HardwareModel {
+    /// FDR10-flavoured constants: a 36-port FDR10 switch draws roughly
+    /// 230 W fully populated and lists near $12k; passive QSFP copper
+    /// runs ≈ $70 + $10/m, active optics ≈ $180 + $15/m with ≈ 1 W per
+    /// transceiver.
+    fn default() -> Self {
+        Self {
+            switch_base_power: 100.0,
+            port_power: 3.6,
+            optical_end_power: 1.0,
+            switch_base_cost: 2500.0,
+            port_cost: 270.0,
+            electrical_cable_base: 70.0,
+            electrical_cable_per_m: 10.0,
+            optical_cable_base: 180.0,
+            optical_cable_per_m: 15.0,
+            electrical_max_m: 1.0,
+        }
+    }
+}
+
+impl HardwareModel {
+    /// Whether a run of `meters` needs an optical cable.
+    pub fn is_optical(&self, meters: f64) -> bool {
+        meters > self.electrical_max_m
+    }
+
+    /// Cost of one cable of the given length.
+    pub fn cable_cost(&self, meters: f64) -> f64 {
+        if self.is_optical(meters) {
+            self.optical_cable_base + self.optical_cable_per_m * meters
+        } else {
+            self.electrical_cable_base + self.electrical_cable_per_m * meters
+        }
+    }
+
+    /// Power attributable to one cable (transceivers only; copper is
+    /// passive).
+    pub fn cable_power(&self, meters: f64) -> f64 {
+        if self.is_optical(meters) {
+            2.0 * self.optical_end_power
+        } else {
+            0.0
+        }
+    }
+
+    /// Power of one switch with `used_ports` active ports.
+    pub fn switch_power(&self, used_ports: u32) -> f64 {
+        self.switch_base_power + self.port_power * used_ports as f64
+    }
+
+    /// Cost of one switch of the given radix.
+    pub fn switch_cost(&self, radix: u32) -> f64 {
+        self.switch_base_cost + self.port_cost * radix as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cable_type_threshold() {
+        let m = HardwareModel::default();
+        assert!(!m.is_optical(0.5));
+        assert!(!m.is_optical(1.0));
+        assert!(m.is_optical(1.01));
+    }
+
+    #[test]
+    fn optical_costs_more_and_draws_power() {
+        let m = HardwareModel::default();
+        assert!(m.cable_cost(2.0) > m.cable_cost(1.0));
+        assert!(m.cable_cost(1.01) > m.cable_cost(1.0) + 50.0, "step to optics");
+        assert_eq!(m.cable_power(0.5), 0.0);
+        assert!(m.cable_power(5.0) > 0.0);
+    }
+
+    #[test]
+    fn switch_figures_scale_with_ports() {
+        let m = HardwareModel::default();
+        assert!(m.switch_power(36) > m.switch_power(10));
+        assert!(m.switch_cost(36) > m.switch_cost(16));
+        // fully-populated 36-port switch lands near the published ~230 W
+        let p = m.switch_power(36);
+        assert!((200.0..280.0).contains(&p), "{p}");
+    }
+}

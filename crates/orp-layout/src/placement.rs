@@ -1,0 +1,141 @@
+//! Cable-aware switch placement: assign switches to cabinets with the
+//! multilevel partitioner so that heavily connected switches share a
+//! cabinet — fewer optical runs, shorter total cable, lower cost. An
+//! extension beyond the paper's id-order packing, used by the ablation
+//! bench to quantify how much placement alone is worth.
+
+use crate::floorplan::Floorplan;
+use orp_core::graph::HostSwitchGraph;
+use orp_partition::{partition, Graph as CutGraph, PartitionConfig};
+
+/// Assigns switches to `⌈m / per_cabinet⌉` cabinets by partitioning the
+/// switch graph, then returns the resulting floorplan. Parts that
+/// overflow the cabinet capacity spill into the least-loaded cabinet
+/// (the partitioner balances within a small tolerance, so spills are
+/// rare and small).
+pub fn optimized_floorplan(
+    g: &HostSwitchGraph,
+    per_cabinet: u32,
+    seed: u64,
+) -> Floorplan {
+    assert!(per_cabinet >= 1);
+    let m = g.num_switches();
+    let k = m.div_ceil(per_cabinet).max(1) as usize;
+    if k <= 1 {
+        return Floorplan::new(g, per_cabinet);
+    }
+    let edges: Vec<(u32, u32)> = g.links().collect();
+    let cg = CutGraph::from_edges(m as usize, &edges);
+    let cfg = PartitionConfig { seed, eps: 0.02, ..Default::default() };
+    let parts = partition(&cg, k, &cfg);
+    // enforce the hard cabinet capacity
+    let mut load = vec![0u32; k];
+    let mut assignment = vec![0u32; m as usize];
+    // first pass: take the partitioner's assignment where it fits
+    let mut overflow = Vec::new();
+    for (s, &part) in parts.assignment.iter().enumerate() {
+        let c = part as usize;
+        if load[c] < per_cabinet {
+            load[c] += 1;
+            assignment[s] = c as u32;
+        } else {
+            overflow.push(s);
+        }
+    }
+    for s in overflow {
+        let c = (0..k).min_by_key(|&c| load[c]).expect("k >= 1");
+        load[c] += 1;
+        assignment[s] = c as u32;
+    }
+    Floorplan::with_assignment(assignment)
+}
+
+/// Total switch-to-switch cable length under a floorplan — the quantity
+/// placement optimisation minimises.
+pub fn total_cable_length(g: &HostSwitchGraph, fp: &Floorplan) -> f64 {
+    fp.link_lengths(g).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::HardwareModel;
+    use crate::report::evaluate;
+    use orp_core::construct::random_general;
+    use orp_core::HostSwitchGraph;
+
+    /// Two 8-switch cliques joined by one bridge: the optimal 2-cabinet
+    /// packing is one clique per cabinet.
+    fn two_cliques() -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(16, 16).unwrap();
+        for base in [0u32, 8] {
+            for a in 0..8 {
+                for b in (a + 1)..8 {
+                    g.add_link(base + a, base + b).unwrap();
+                }
+            }
+        }
+        g.add_link(0, 8).unwrap();
+        g
+    }
+
+    #[test]
+    fn clusters_end_up_in_one_cabinet() {
+        // interleave the ids so naive packing is terrible
+        let g = two_cliques();
+        let fp = optimized_floorplan(&g, 8, 1);
+        // all of clique 1 in one cabinet, clique 2 in the other
+        let c0 = fp.cabinet_of(0);
+        for s in 1..8 {
+            assert_eq!(fp.cabinet_of(s), c0, "switch {s}");
+        }
+        assert_ne!(fp.cabinet_of(8), c0);
+    }
+
+    #[test]
+    fn optimized_is_no_worse_than_naive() {
+        for seed in [1u64, 2, 3] {
+            let g = random_general(96, 24, 10, seed).unwrap();
+            let naive = Floorplan::new(&g, 4);
+            let opt = optimized_floorplan(&g, 4, seed);
+            let ln = total_cable_length(&g, &naive);
+            let lo = total_cable_length(&g, &opt);
+            assert!(lo <= ln * 1.02, "seed {seed}: optimized {lo} vs naive {ln}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let g = random_general(96, 24, 10, 5).unwrap();
+        let fp = optimized_floorplan(&g, 4, 5);
+        let mut load = std::collections::HashMap::new();
+        for s in 0..24 {
+            *load.entry(fp.cabinet_of(s)).or_insert(0u32) += 1;
+        }
+        assert!(load.values().all(|&l| l <= 4), "{load:?}");
+        assert_eq!(load.values().sum::<u32>(), 24);
+    }
+
+    #[test]
+    fn fewer_optical_cables_after_optimization() {
+        let g = two_cliques();
+        let hw = HardwareModel::default();
+        let naive = {
+            // adversarial: alternate cliques across cabinets
+            let assignment = (0..16).map(|s| s % 2).collect();
+            Floorplan::with_assignment(assignment)
+        };
+        let opt = optimized_floorplan(&g, 8, 1);
+        let rn = evaluate(&g, &naive, &hw);
+        let ro = evaluate(&g, &opt, &hw);
+        assert!(ro.optical_cables < rn.optical_cables);
+        assert!(ro.cable_cost < rn.cable_cost);
+    }
+
+    #[test]
+    fn single_cabinet_short_circuits() {
+        let g = random_general(16, 4, 8, 1).unwrap();
+        let fp = optimized_floorplan(&g, 8, 1);
+        assert_eq!(fp.num_cabinets(), 1);
+    }
+}

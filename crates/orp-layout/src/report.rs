@@ -1,0 +1,157 @@
+//! End-to-end power and cost evaluation of a host-switch network under a
+//! floorplan — the data behind panels (c) and (d) of Figs. 9–11.
+
+use crate::floorplan::Floorplan;
+use crate::models::HardwareModel;
+use orp_core::graph::HostSwitchGraph;
+use serde::{Deserialize, Serialize};
+
+/// Power/cost breakdown of one deployed network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayoutReport {
+    /// Hosts `n`.
+    pub hosts: u32,
+    /// Switches `m`.
+    pub switches: u32,
+    /// Switch-to-switch cables.
+    pub sw_cables: u32,
+    /// Of which optical.
+    pub optical_cables: u32,
+    /// Host-to-switch cables (always electrical in-cabinet runs).
+    pub host_cables: u32,
+    /// Total cable length, meters.
+    pub cable_m: f64,
+    /// Switch power, watts.
+    pub switch_power: f64,
+    /// Transceiver power, watts.
+    pub cable_power: f64,
+    /// Switch cost, dollars.
+    pub switch_cost: f64,
+    /// Cable cost (switch + host cables), dollars.
+    pub cable_cost: f64,
+}
+
+impl LayoutReport {
+    /// Total power, watts.
+    pub fn total_power(&self) -> f64 {
+        self.switch_power + self.cable_power
+    }
+
+    /// Total cost, dollars.
+    pub fn total_cost(&self) -> f64 {
+        self.switch_cost + self.cable_cost
+    }
+}
+
+/// Evaluates `g` under a floorplan and hardware model.
+pub fn evaluate(
+    g: &HostSwitchGraph,
+    fp: &Floorplan,
+    hw: &HardwareModel,
+) -> LayoutReport {
+    let mut sw_cables = 0u32;
+    let mut optical = 0u32;
+    let mut cable_m = 0.0;
+    let mut cable_cost = 0.0;
+    let mut cable_power = 0.0;
+    for len in fp.link_lengths(g) {
+        sw_cables += 1;
+        cable_m += len;
+        cable_cost += hw.cable_cost(len);
+        cable_power += hw.cable_power(len);
+        if hw.is_optical(len) {
+            optical += 1;
+        }
+    }
+    let host_len = fp.host_cable_length();
+    let n = g.num_hosts();
+    cable_m += host_len * n as f64;
+    cable_cost += hw.cable_cost(host_len) * n as f64;
+    cable_power += hw.cable_power(host_len) * n as f64;
+    let mut switch_power = 0.0;
+    let mut switch_cost = 0.0;
+    for s in 0..g.num_switches() {
+        switch_power += hw.switch_power(g.switch_degree(s));
+        switch_cost += hw.switch_cost(g.radix());
+    }
+    LayoutReport {
+        hosts: n,
+        switches: g.num_switches(),
+        sw_cables,
+        optical_cables: optical,
+        host_cables: n,
+        cable_m,
+        switch_power,
+        cable_power,
+        switch_cost,
+        cable_cost,
+    }
+}
+
+/// Convenience: default floorplan (one switch per cabinet) + default
+/// hardware model.
+pub fn evaluate_default(g: &HostSwitchGraph) -> LayoutReport {
+    let fp = Floorplan::new(g, 1);
+    evaluate(g, &fp, &HardwareModel::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::construct::random_general;
+
+    #[test]
+    fn report_counts_everything() {
+        let g = random_general(64, 16, 10, 3).unwrap();
+        let r = evaluate_default(&g);
+        assert_eq!(r.hosts, 64);
+        assert_eq!(r.switches, 16);
+        assert_eq!(r.sw_cables as usize, g.num_links());
+        assert_eq!(r.host_cables, 64);
+        assert!(r.total_power() > 0.0);
+        assert!(r.total_cost() > 0.0);
+        assert!(r.optical_cables <= r.sw_cables);
+    }
+
+    #[test]
+    fn more_switches_cost_more() {
+        let small = random_general(64, 8, 12, 3).unwrap();
+        let large = random_general(64, 20, 12, 3).unwrap();
+        let rs = evaluate_default(&small);
+        let rl = evaluate_default(&large);
+        assert!(rl.switch_cost > rs.switch_cost);
+        assert!(rl.switch_power > rs.switch_power);
+    }
+
+    #[test]
+    fn dense_cabinets_reduce_optics() {
+        let g = random_general(64, 16, 10, 3).unwrap();
+        let hw = HardwareModel::default();
+        let sparse = evaluate(&g, &Floorplan::new(&g, 1), &hw);
+        let dense = evaluate(&g, &Floorplan::new(&g, 8), &hw);
+        assert!(dense.optical_cables <= sparse.optical_cables);
+        assert!(dense.cable_m < sparse.cable_m);
+    }
+
+    #[test]
+    fn power_grows_with_hosts() {
+        // same switch fabric, different host populations: the extra
+        // active ports must show up in the power figure
+        let mut fabric = orp_core::HostSwitchGraph::new(8, 10).unwrap();
+        for s in 0..8 {
+            fabric.add_link(s, (s + 1) % 8).unwrap();
+        }
+        let mut small = fabric.clone();
+        let mut large = fabric;
+        for h in 0..32 {
+            large.attach_host(h % 8).unwrap();
+            if h < 8 {
+                small.attach_host(h % 8).unwrap();
+            }
+        }
+        let a = evaluate_default(&small);
+        let b = evaluate_default(&large);
+        assert!(b.switch_power > a.switch_power, "more used ports draw more");
+        assert!(b.cable_cost > a.cable_cost, "more host cables cost more");
+    }
+}

@@ -1,0 +1,641 @@
+//! Flow-level discrete-event simulation with max-min fair bandwidth
+//! sharing — the same model family as SimGrid's SMPI network model, which
+//! the paper's evaluation uses.
+//!
+//! Each MPI **rank** runs a sequential program of [`Op`]s on its host.
+//! Messages become *flows* along their routed links; whenever the set of
+//! active flows changes, bandwidth is re-allocated max-min fairly
+//! (progressive filling) and the next completion is scheduled. Message
+//! latency (software overhead + per-hop delay) is modelled as an
+//! activation delay before a flow starts streaming.
+
+use crate::network::{LinkId, Network};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Local computation of this many floating-point operations.
+    Compute(f64),
+    /// Blocking send: the rank resumes once the message is delivered.
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+    /// Blocking receive of the next matching message from `from`.
+    Recv {
+        /// Source rank.
+        from: u32,
+    },
+    /// Simultaneous send + receive (MPI_Sendrecv), the workhorse of the
+    /// collective algorithms.
+    SendRecv {
+        /// Destination rank of the outgoing message.
+        to: u32,
+        /// Outgoing payload in bytes.
+        bytes: f64,
+        /// Source rank of the awaited incoming message.
+        from: u32,
+    },
+}
+
+/// A complete per-rank program.
+pub type Program = Vec<Op>;
+
+/// Simulation outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// Wall-clock seconds of simulated time until every rank finished.
+    pub time: f64,
+    /// Number of network flows simulated.
+    pub flows: u64,
+    /// Total bytes moved across the network.
+    pub bytes: f64,
+    /// Peak number of simultaneously active flows.
+    pub peak_flows: usize,
+    /// Total flops executed across ranks.
+    pub flops: f64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    route: Box<[LinkId]>,
+    remaining: f64,
+    rate: f64,
+    src: u32,
+    dst: u32,
+    active: bool,
+    finished: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Channel {
+    delivered: u32,
+    consumed: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Activate(u32),
+    ComputeDone(u32),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RankCtx {
+    pc: u32,
+    waiting_send: bool,
+    waiting_recv_from: u32, // u32::MAX = none
+    computing: bool,
+    done: bool,
+}
+
+const NO_RECV: u32 = u32::MAX;
+
+/// Time-ordered event queue key (f64 wrapped for the heap).
+#[derive(PartialEq, PartialOrd)]
+struct TimeKey(f64);
+impl Eq for TimeKey {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("simulation times are never NaN")
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`], then call
+/// [`Simulator::run`].
+pub struct Simulator<'a> {
+    net: &'a Network,
+    ranks: Vec<RankCtx>,
+    programs: Vec<Program>,
+    flows: Vec<Flow>,
+    active: Vec<u32>,
+    channels: HashMap<(u32, u32), Channel>,
+    waiting_rx: HashMap<(u32, u32), u32>,
+    events: BinaryHeap<Reverse<(TimeKey, u64)>>,
+    event_payload: HashMap<u64, Event>,
+    event_seq: u64,
+    runnable: VecDeque<u32>,
+    now: f64,
+    rates_dirty: bool,
+    // scratch buffers for rate computation
+    link_count: Vec<u32>,
+    link_cap: Vec<f64>,
+    touched_links: Vec<LinkId>,
+    // stats
+    total_flows: u64,
+    total_bytes: f64,
+    total_flops: f64,
+    peak_flows: usize,
+    flow_seq: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulation of `programs` (rank `r` runs on host `r`).
+    ///
+    /// # Panics
+    /// Panics if there are more ranks than hosts.
+    pub fn new(net: &'a Network, programs: Vec<Program>) -> Self {
+        assert!(
+            programs.len() <= net.num_hosts() as usize,
+            "{} ranks exceed {} hosts",
+            programs.len(),
+            net.num_hosts()
+        );
+        let nl = net.num_links() as usize;
+        Self {
+            net,
+            ranks: vec![
+                RankCtx { waiting_recv_from: NO_RECV, ..Default::default() };
+                programs.len()
+            ],
+            programs,
+            flows: Vec::new(),
+            active: Vec::new(),
+            channels: HashMap::new(),
+            waiting_rx: HashMap::new(),
+            events: BinaryHeap::new(),
+            event_payload: HashMap::new(),
+            event_seq: 0,
+            runnable: VecDeque::new(),
+            now: 0.0,
+            rates_dirty: false,
+            link_count: vec![0; nl],
+            link_cap: vec![0.0; nl],
+            touched_links: Vec::new(),
+            total_flows: 0,
+            total_bytes: 0.0,
+            total_flops: 0.0,
+            peak_flows: 0,
+            flow_seq: 0,
+        }
+    }
+
+    fn push_event(&mut self, t: f64, e: Event) {
+        let id = self.event_seq;
+        self.event_seq += 1;
+        self.event_payload.insert(id, e);
+        self.events.push(Reverse((TimeKey(t), id)));
+    }
+
+    fn rank_runnable(&self, r: u32) -> bool {
+        let c = &self.ranks[r as usize];
+        !c.done && !c.computing && !c.waiting_send && c.waiting_recv_from == NO_RECV
+    }
+
+    fn start_flow(&mut self, src: u32, dst: u32, bytes: f64) {
+        if src == dst {
+            // loopback: deliver immediately
+            self.deliver(src, dst);
+            return;
+        }
+        self.flow_seq += 1;
+        let route = self.net.route(src, dst, self.flow_seq).into_boxed_slice();
+        let delay = self.net.message_delay(route.len());
+        let id = self.flows.len() as u32;
+        self.flows.push(Flow {
+            route,
+            remaining: bytes.max(0.0),
+            rate: 0.0,
+            src,
+            dst,
+            active: false,
+            finished: false,
+        });
+        self.total_flows += 1;
+        self.total_bytes += bytes.max(0.0);
+        self.push_event(self.now + delay, Event::Activate(id));
+    }
+
+    /// Marks one message from `src` delivered at `dst`, waking the blocked
+    /// sender and/or receiver.
+    fn deliver(&mut self, src: u32, dst: u32) {
+        self.channels.entry((src, dst)).or_default().delivered += 1;
+        // wake the sender (blocking send semantics)
+        if let Some(c) = self.ranks.get_mut(src as usize) {
+            if c.waiting_send {
+                c.waiting_send = false;
+                if self.rank_runnable(src) {
+                    self.runnable.push_back(src);
+                }
+            }
+        }
+        // wake a waiting receiver
+        if let Some(&r) = self.waiting_rx.get(&(src, dst)) {
+            let ch = self.channels.get_mut(&(src, dst)).expect("just touched");
+            if ch.delivered > ch.consumed {
+                ch.consumed += 1;
+                self.waiting_rx.remove(&(src, dst));
+                let c = &mut self.ranks[r as usize];
+                debug_assert_eq!(c.waiting_recv_from, src);
+                c.waiting_recv_from = NO_RECV;
+                if self.rank_runnable(r) {
+                    self.runnable.push_back(r);
+                }
+            }
+        }
+    }
+
+    /// Tries to consume a pending message `from → me`; blocks the rank
+    /// otherwise.
+    fn try_recv(&mut self, me: u32, from: u32) {
+        let ch = self.channels.entry((from, me)).or_default();
+        if ch.delivered > ch.consumed {
+            ch.consumed += 1;
+        } else {
+            self.ranks[me as usize].waiting_recv_from = from;
+            let prev = self.waiting_rx.insert((from, me), me);
+            debug_assert!(prev.is_none(), "double recv on one channel");
+        }
+    }
+
+    /// Runs rank `r` until it blocks or finishes.
+    fn run_rank(&mut self, r: u32) {
+        loop {
+            if !self.rank_runnable(r) {
+                return;
+            }
+            let pc = self.ranks[r as usize].pc as usize;
+            let Some(&op) = self.programs[r as usize].get(pc) else {
+                self.ranks[r as usize].done = true;
+                return;
+            };
+            self.ranks[r as usize].pc += 1;
+            match op {
+                Op::Compute(flops) => {
+                    self.total_flops += flops;
+                    let dt = flops.max(0.0) / self.net.config().flops;
+                    self.ranks[r as usize].computing = true;
+                    self.push_event(self.now + dt, Event::ComputeDone(r));
+                }
+                Op::Send { to, bytes } => {
+                    self.ranks[r as usize].waiting_send = true;
+                    self.start_flow(r, to, bytes);
+                }
+                Op::Recv { from } => {
+                    self.try_recv(r, from);
+                }
+                Op::SendRecv { to, bytes, from } => {
+                    self.ranks[r as usize].waiting_send = true;
+                    self.start_flow(r, to, bytes);
+                    self.try_recv(r, from);
+                }
+            }
+        }
+    }
+
+    /// Max-min fair progressive filling over the active flows.
+    fn compute_rates(&mut self) {
+        let bw = self.net.config().bandwidth;
+        for &l in &self.touched_links {
+            self.link_count[l as usize] = 0;
+            self.link_cap[l as usize] = bw;
+        }
+        self.touched_links.clear();
+        for &fid in &self.active {
+            for &l in self.flows[fid as usize].route.iter() {
+                if self.link_count[l as usize] == 0 {
+                    self.touched_links.push(l);
+                    self.link_cap[l as usize] = bw;
+                }
+                self.link_count[l as usize] += 1;
+            }
+        }
+        let mut unfrozen: Vec<u32> = self.active.clone();
+        while !unfrozen.is_empty() {
+            // bottleneck link = min cap/count among links carrying flows
+            let mut share = f64::INFINITY;
+            for &l in &self.touched_links {
+                let c = self.link_count[l as usize];
+                if c > 0 {
+                    let s = self.link_cap[l as usize] / c as f64;
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            if !share.is_finite() {
+                break;
+            }
+            // freeze every unfrozen flow crossing a bottleneck-tight link
+            let mut still = Vec::with_capacity(unfrozen.len());
+            let eps = share * 1e-9;
+            for &fid in &unfrozen {
+                let tight = self.flows[fid as usize].route.iter().any(|&l| {
+                    let c = self.link_count[l as usize];
+                    c > 0 && self.link_cap[l as usize] / c as f64 <= share + eps
+                });
+                if tight {
+                    self.flows[fid as usize].rate = share;
+                    for &l in self.flows[fid as usize].route.iter() {
+                        self.link_cap[l as usize] -= share;
+                        self.link_count[l as usize] -= 1;
+                    }
+                } else {
+                    still.push(fid);
+                }
+            }
+            debug_assert!(still.len() < unfrozen.len(), "filling must progress");
+            if still.len() == unfrozen.len() {
+                // numerical corner: freeze everything at the current share
+                for &fid in &still {
+                    self.flows[fid as usize].rate = share;
+                }
+                break;
+            }
+            unfrozen = still;
+        }
+        self.rates_dirty = false;
+    }
+
+    /// Advances simulated time by `dt`, streaming active flows.
+    fn advance(&mut self, dt: f64) {
+        if dt > 0.0 {
+            for &fid in &self.active {
+                let f = &mut self.flows[fid as usize];
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+            self.now += dt;
+        }
+    }
+
+    /// Executes the programs to completion and reports.
+    ///
+    /// # Panics
+    /// Panics on deadlock (blocked ranks with no pending events or
+    /// flows), which indicates an ill-formed program.
+    pub fn run(mut self) -> SimReport {
+        for r in 0..self.ranks.len() as u32 {
+            self.runnable.push_back(r);
+        }
+        loop {
+            // 1. drain runnable ranks (may create flows/events)
+            while let Some(r) = self.runnable.pop_front() {
+                self.run_rank(r);
+            }
+            if self.ranks.iter().all(|c| c.done) {
+                break;
+            }
+            if self.rates_dirty {
+                self.compute_rates();
+            }
+            // 2. next completion among active flows
+            let mut flow_dt = f64::INFINITY;
+            for &fid in &self.active {
+                let f = &self.flows[fid as usize];
+                let dt = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
+                if dt < flow_dt {
+                    flow_dt = dt;
+                }
+            }
+            // 3. next heap event
+            let event_t = self.events.peek().map(|Reverse((TimeKey(t), _))| *t);
+            let flow_t = self.now + flow_dt;
+            let next_t = match event_t {
+                Some(et) => et.min(flow_t),
+                None => flow_t,
+            };
+            assert!(
+                next_t.is_finite(),
+                "deadlock at t={}: {} ranks blocked, {} active flows",
+                self.now,
+                self.ranks.iter().filter(|c| !c.done).count(),
+                self.active.len()
+            );
+            self.advance(next_t - self.now);
+            self.now = next_t;
+            // 4a. complete flows that drained (cluster completions)
+            if !self.active.is_empty() {
+                let mut i = 0;
+                let mut changed = false;
+                while i < self.active.len() {
+                    let fid = self.active[i];
+                    let f = &self.flows[fid as usize];
+                    let left_t = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
+                    if f.remaining <= 1e-9 || left_t <= 1e-12 {
+                        self.active.swap_remove(i);
+                        let f = &mut self.flows[fid as usize];
+                        f.active = false;
+                        f.finished = true;
+                        let (src, dst) = (f.src, f.dst);
+                        self.deliver(src, dst);
+                        changed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if changed {
+                    self.rates_dirty = true;
+                }
+            }
+            // 4b. pop due heap events
+            while let Some(Reverse((TimeKey(t), _))) = self.events.peek() {
+                if *t > self.now + 1e-15 {
+                    break;
+                }
+                let Reverse((_, id)) = self.events.pop().expect("peeked");
+                match self.event_payload.remove(&id).expect("payload") {
+                    Event::Activate(fid) => {
+                        let f = &mut self.flows[fid as usize];
+                        if f.remaining <= 0.0 {
+                            f.finished = true;
+                            let (src, dst) = (f.src, f.dst);
+                            self.deliver(src, dst);
+                        } else {
+                            f.active = true;
+                            self.active.push(fid);
+                            self.peak_flows = self.peak_flows.max(self.active.len());
+                            self.rates_dirty = true;
+                        }
+                    }
+                    Event::ComputeDone(r) => {
+                        self.ranks[r as usize].computing = false;
+                        if self.rank_runnable(r) {
+                            self.runnable.push_back(r);
+                        }
+                    }
+                }
+            }
+            if self.rates_dirty && !self.active.is_empty() {
+                self.compute_rates();
+            }
+        }
+        SimReport {
+            time: self.now,
+            flows: self.total_flows,
+            bytes: self.total_bytes,
+            peak_flows: self.peak_flows,
+            flops: self.total_flops,
+        }
+    }
+}
+
+/// Convenience: builds a [`Simulator`] and runs it.
+pub fn simulate(net: &Network, programs: Vec<Program>) -> SimReport {
+    Simulator::new(net, programs).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+    use orp_core::graph::HostSwitchGraph;
+
+    /// Two switches, `per` hosts each, one inter-switch link.
+    fn dumbbell(per: u32) -> Network {
+        let mut g = HostSwitchGraph::new(2, (per + 1).max(3)).unwrap();
+        g.add_link(0, 1).unwrap();
+        for s in [0u32, 1] {
+            for _ in 0..per {
+                g.attach_host(s).unwrap();
+            }
+        }
+        // hosts 0..per on switch 0? attach order: alternating per loop above
+        Network::new(&g, NetConfig::default())
+    }
+
+    #[test]
+    fn empty_programs_finish_instantly() {
+        let net = dumbbell(2);
+        let rep = simulate(&net, vec![vec![], vec![]]);
+        assert_eq!(rep.time, 0.0);
+        assert_eq!(rep.flows, 0);
+    }
+
+    #[test]
+    fn compute_takes_flops_over_rate() {
+        let net = dumbbell(1);
+        let rep = simulate(&net, vec![vec![Op::Compute(1e9)]]);
+        assert!((rep.time - 1e9 / 100e9).abs() < 1e-12);
+        assert_eq!(rep.flops, 1e9);
+    }
+
+    #[test]
+    fn single_transfer_time_is_latency_plus_bytes_over_bw() {
+        let net = dumbbell(2); // hosts 0,1 on sw0; 2,3 on sw1
+        let bytes = 50e6;
+        let rep = simulate(
+            &net,
+            vec![
+                vec![Op::Send { to: 2, bytes }],
+                vec![],
+                vec![Op::Recv { from: 0 }],
+            ],
+        );
+        let cfg = net.config();
+        // route: uplink + 1 switch link + downlink = 3 links
+        let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + bytes / cfg.bandwidth;
+        assert!((rep.time - expect).abs() < expect * 1e-9, "{} vs {expect}", rep.time);
+        assert_eq!(rep.flows, 1);
+    }
+
+    #[test]
+    fn shared_bottleneck_halves_throughput() {
+        // hosts 0,1 (sw0) both send to hosts 2,3 (sw1): the single
+        // inter-switch link is shared → twice the single-flow time.
+        let net = dumbbell(2);
+        let bytes = 50e6;
+        let rep = simulate(
+            &net,
+            vec![
+                vec![Op::Send { to: 2, bytes }],
+                vec![Op::Send { to: 3, bytes }],
+                vec![Op::Recv { from: 0 }],
+                vec![Op::Recv { from: 1 }],
+            ],
+        );
+        let cfg = net.config();
+        let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + 2.0 * bytes / cfg.bandwidth;
+        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+        assert_eq!(rep.peak_flows, 2);
+    }
+
+    #[test]
+    fn disjoint_flows_run_at_full_rate() {
+        // 0→1 stays on sw0 (up+down only), 2→3 on sw1: no shared link.
+        let net = dumbbell(2);
+        let bytes = 50e6;
+        let rep = simulate(
+            &net,
+            vec![
+                vec![Op::Send { to: 1, bytes }],
+                vec![Op::Recv { from: 0 }],
+                vec![Op::Send { to: 3, bytes }],
+                vec![Op::Recv { from: 2 }],
+            ],
+        );
+        let cfg = net.config();
+        let expect = cfg.sw_overhead + 2.0 * cfg.hop_latency + bytes / cfg.bandwidth;
+        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_in_one_round() {
+        let net = dumbbell(1); // host 0 on sw0, host 1 on sw1
+        let bytes = 10e6;
+        let rep = simulate(
+            &net,
+            vec![
+                vec![Op::SendRecv { to: 1, bytes, from: 1 }],
+                vec![Op::SendRecv { to: 0, bytes, from: 0 }],
+            ],
+        );
+        let cfg = net.config();
+        // full duplex: both directions in parallel
+        let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + bytes / cfg.bandwidth;
+        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+        assert_eq!(rep.flows, 2);
+    }
+
+    #[test]
+    fn messages_match_in_fifo_order() {
+        let net = dumbbell(1);
+        let rep = simulate(
+            &net,
+            vec![
+                vec![
+                    Op::Send { to: 1, bytes: 1e6 },
+                    Op::Send { to: 1, bytes: 2e6 },
+                ],
+                vec![Op::Recv { from: 0 }, Op::Recv { from: 0 }],
+            ],
+        );
+        assert_eq!(rep.flows, 2);
+        assert!(rep.time > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_without_send_deadlocks() {
+        let net = dumbbell(1);
+        simulate(&net, vec![vec![Op::Recv { from: 1 }], vec![]]);
+    }
+
+    #[test]
+    fn zero_byte_message_is_pure_latency() {
+        let net = dumbbell(1);
+        let rep = simulate(
+            &net,
+            vec![
+                vec![Op::Send { to: 1, bytes: 0.0 }],
+                vec![Op::Recv { from: 0 }],
+            ],
+        );
+        let cfg = net.config();
+        let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency;
+        assert!((rep.time - expect).abs() < 1e-12, "{} vs {expect}", rep.time);
+    }
+
+    #[test]
+    fn loopback_send_is_instant() {
+        let net = dumbbell(1);
+        let rep = simulate(
+            &net,
+            vec![vec![Op::Send { to: 0, bytes: 1e6 }, Op::Recv { from: 0 }]],
+        );
+        assert_eq!(rep.time, 0.0);
+    }
+}

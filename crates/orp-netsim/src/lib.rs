@@ -1,0 +1,43 @@
+//! # orp-netsim — a flow-level MPI network simulator
+//!
+//! The SimGrid substitute for the paper's performance evaluation
+//! (§6.2.1): hosts compute at 100 GFlops; messages become fluid *flows*
+//! over shortest-path routes with max-min fair bandwidth sharing (the
+//! same model family as SimGrid's SMPI); MPI collectives follow the
+//! MVAPICH2-style algorithms; and the NAS Parallel Benchmarks are
+//! reproduced as communication skeletons with calibrated compute phases.
+//!
+//! Layering:
+//!
+//! * [`network`] — links, routes, and physical constants,
+//! * [`engine`] — the discrete-event fluid simulator and the per-rank
+//!   [`engine::Op`] programs it executes,
+//! * [`mpi`] — collective algorithms building those programs,
+//! * [`npb`] — the eight NPB kernels (EP, IS, FT, MG, CG, LU, BT, SP),
+//! * [`report`] — Mop/s accounting as plotted in Figs. 9a/10a/11a.
+//!
+//! ```
+//! use orp_core::construct::random_general;
+//! use orp_netsim::network::{NetConfig, Network};
+//! use orp_netsim::npb::{Benchmark, Class};
+//! use orp_netsim::report::run_benchmark;
+//!
+//! let g = random_general(16, 4, 8, 1).unwrap();
+//! let net = Network::new(&g, NetConfig::default());
+//! let res = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+//! assert!(res.mops > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod mpi;
+pub mod network;
+pub mod npb;
+pub mod packet;
+pub mod patterns;
+pub mod report;
+
+pub use engine::{simulate, Op, Program, SimReport};
+pub use network::{NetConfig, Network, RouteMode};
+pub use report::{run_benchmark, run_suite, BenchResult};

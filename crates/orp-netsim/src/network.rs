@@ -1,0 +1,224 @@
+//! The simulated network: directed capacitated links derived from a
+//! host-switch graph plus per-flow route computation.
+//!
+//! Modelling choices mirror the paper's SimGrid setup (§6.2.1):
+//! full-duplex links of equal bandwidth (InfiniBand FDR10-style 40 Gb/s),
+//! a fixed per-hop latency, and static shortest-path routing (the
+//! default; per-flow ECMP is available as an ablation via
+//! [`RouteMode`]). Every host owns a dedicated up/down link pair to its
+//! switch, so a host talking to many peers serialises on its own port —
+//! exactly the property that makes the host distribution matter.
+
+use orp_core::graph::{Host, HostSwitchGraph, Switch};
+use orp_route::RoutingTable;
+
+/// Directed link identifier.
+pub type LinkId = u32;
+
+/// Routing policy for flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Static shortest-path routing: every `(src, dst)` pair always uses
+    /// the same single path, like the SimGrid setup the paper evaluates
+    /// with (no adaptive routing is mentioned in §6.2.1). The default.
+    #[default]
+    SinglePath,
+    /// Per-flow ECMP: equal-cost paths chosen by flow hash — an ablation
+    /// showing how much path diversity would change the comparison
+    /// (it flatters the fat-tree, which is engineered for it).
+    Ecmp,
+}
+
+/// Physical constants of the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Link bandwidth in bytes/second per direction
+    /// (FDR10 ≈ 40 Gb/s ≈ 5 GB/s).
+    pub bandwidth: f64,
+    /// Latency per traversed link, seconds (switch traversal +
+    /// serialisation + wire; ≈200 ns per FDR switch hop).
+    pub hop_latency: f64,
+    /// Fixed per-message software overhead, seconds (MPI stack; ≈300 ns
+    /// for MVAPICH2-class stacks — end-to-end small-message latency then
+    /// lands at the familiar 1–1.5 µs over 3–6 hops).
+    pub sw_overhead: f64,
+    /// Host compute speed, flop/s (the paper fixes 100 GFlops).
+    pub flops: f64,
+    /// Routing policy (static single path by default).
+    pub route_mode: RouteMode,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth: 5.0e9,
+            hop_latency: 200e-9,
+            sw_overhead: 300e-9,
+            flops: 100.0e9,
+            route_mode: RouteMode::SinglePath,
+        }
+    }
+}
+
+/// A host-switch graph compiled into directed links + routing.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    num_hosts: u32,
+    host_sw: Vec<Switch>,
+    table: RoutingTable,
+    /// switch-switch directed link ids: CSR parallel to the graph
+    /// adjacency (offsets per switch, one id per (switch, neighbor slot)).
+    sw_offsets: Vec<u32>,
+    sw_neighbors: Vec<Switch>,
+    num_links: u32,
+}
+
+impl Network {
+    /// Compiles `g` into a network. Builds the routing table (one BFS per
+    /// switch).
+    pub fn new(g: &HostSwitchGraph, cfg: NetConfig) -> Self {
+        let n = g.num_hosts();
+        let m = g.num_switches();
+        let host_sw: Vec<Switch> = (0..n).map(|h| g.switch_of(h)).collect();
+        let table = RoutingTable::build(g);
+        let mut sw_offsets = Vec::with_capacity(m as usize + 1);
+        let mut sw_neighbors = Vec::new();
+        // link id layout: [0, n) host uplinks, [n, 2n) host downlinks,
+        // [2n, 2n + 2L) directed switch links
+        sw_offsets.push(2 * n);
+        for s in 0..m {
+            sw_neighbors.extend_from_slice(g.neighbors(s));
+            sw_offsets.push(2 * n + sw_neighbors.len() as u32);
+        }
+        let num_links = 2 * n + sw_neighbors.len() as u32;
+        Self { cfg, num_hosts: n, host_sw, table, sw_offsets, sw_neighbors, num_links }
+    }
+
+    /// The simulation constants.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> u32 {
+        self.num_hosts
+    }
+
+    /// Total number of directed links (host up/down + switch links).
+    pub fn num_links(&self) -> u32 {
+        self.num_links
+    }
+
+    /// The switch a host hangs off.
+    pub fn switch_of(&self, h: Host) -> Switch {
+        self.host_sw[h as usize]
+    }
+
+    /// The shortest-path routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    fn sw_link(&self, u: Switch, v: Switch) -> LinkId {
+        let lo = self.sw_offsets[u as usize] as usize - 2 * self.num_hosts as usize;
+        let hi = self.sw_offsets[u as usize + 1] as usize - 2 * self.num_hosts as usize;
+        for (i, &w) in self.sw_neighbors[lo..hi].iter().enumerate() {
+            if w == v {
+                return self.sw_offsets[u as usize] + i as u32;
+            }
+        }
+        panic!("no link {u} → {v}");
+    }
+
+    /// The directed-link route for a flow `src → dst`, ECMP-resolved by
+    /// `flow_hash`. Returns the link ids and the hop count (number of
+    /// traversed links).
+    pub fn route(&self, src: Host, dst: Host, flow_hash: u64) -> Vec<LinkId> {
+        assert_ne!(src, dst, "self-messages never hit the network");
+        let s = self.host_sw[src as usize];
+        let d = self.host_sw[dst as usize];
+        let hash = match self.cfg.route_mode {
+            RouteMode::SinglePath => 0,
+            RouteMode::Ecmp => flow_hash,
+        };
+        let mut links = Vec::with_capacity(8);
+        links.push(src); // uplink
+        if s != d {
+            let path = self
+                .table
+                .path(s, d, hash)
+                .expect("simulated networks must be connected");
+            for w in path.windows(2) {
+                links.push(self.sw_link(w[0], w[1]));
+            }
+        }
+        links.push(self.num_hosts + dst); // downlink
+        links
+    }
+
+    /// Message latency component: software overhead plus per-hop wire and
+    /// switch delay for a route of `hops` links.
+    pub fn message_delay(&self, hops: usize) -> f64 {
+        self.cfg.sw_overhead + hops as f64 * self.cfg.hop_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> (HostSwitchGraph, Network) {
+        // h0 - s0 - s1 - s2 - h1 ; plus h2 on s0
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(1, 2).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(2).unwrap();
+        g.attach_host(0).unwrap();
+        let net = Network::new(&g, NetConfig::default());
+        (g, net)
+    }
+
+    #[test]
+    fn route_crosses_expected_links() {
+        let (_, net) = line();
+        let r = net.route(0, 1, 0);
+        // uplink + 2 switch links + downlink
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], 0); // host 0 uplink
+        assert_eq!(*r.last().unwrap(), net.num_hosts() + 1);
+    }
+
+    #[test]
+    fn same_switch_route_is_two_links() {
+        let (_, net) = line();
+        let r = net.route(0, 2, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r, vec![0, 3 + 2]);
+    }
+
+    #[test]
+    fn link_count_accounts_directions() {
+        let (_, net) = line();
+        // 3 hosts × 2 + 2 undirected switch links × 2
+        assert_eq!(net.num_links(), 10);
+    }
+
+    #[test]
+    fn message_delay_scales_with_hops() {
+        let (_, net) = line();
+        let d2 = net.message_delay(2);
+        let d4 = net.message_delay(4);
+        let cfg = net.config();
+        assert!((d4 - d2 - 2.0 * cfg.hop_latency).abs() < 1e-15);
+        assert!(d2 > cfg.sw_overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-messages")]
+    fn self_route_panics() {
+        let (_, net) = line();
+        net.route(1, 1, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Benchmark reporting: runs an NPB skeleton on a network and expresses
+//! the result in the paper's currency (operations per second).
+
+use crate::engine::{simulate, SimReport};
+use crate::network::Network;
+use crate::npb::{Benchmark, Class};
+use serde::{Deserialize, Serialize};
+
+/// Result of one benchmark on one network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Benchmark name (EP, IS, …).
+    pub name: String,
+    /// Simulated seconds.
+    pub time: f64,
+    /// Total flops executed (identical across topologies for the same
+    /// benchmark — only `time` varies).
+    pub flops: f64,
+    /// Mega-operations per second — the paper's Fig. 9a/10a/11a metric.
+    pub mops: f64,
+    /// Number of simulated network flows.
+    pub flows: u64,
+    /// Bytes moved.
+    pub bytes: f64,
+}
+
+impl BenchResult {
+    /// Wraps a raw simulation report.
+    pub fn from_report(name: &str, rep: SimReport) -> Self {
+        Self {
+            name: name.to_string(),
+            time: rep.time,
+            flops: rep.flops,
+            mops: rep.flops / rep.time.max(1e-30) / 1e6,
+            flows: rep.flows,
+            bytes: rep.bytes,
+        }
+    }
+}
+
+/// Runs one NPB benchmark on `net` with `ranks` MPI processes.
+pub fn run_benchmark(
+    net: &Network,
+    bench: Benchmark,
+    ranks: u32,
+    class: Class,
+    iters: usize,
+) -> BenchResult {
+    let programs = bench.build(ranks, class, iters);
+    let rep = simulate(net, programs);
+    BenchResult::from_report(bench.name(), rep)
+}
+
+/// Runs a suite of benchmarks, returning results in order.
+pub fn run_suite(
+    net: &Network,
+    benches: &[Benchmark],
+    ranks: u32,
+    iters: usize,
+) -> Vec<BenchResult> {
+    benches
+        .iter()
+        .map(|&b| run_benchmark(net, b, ranks, b.paper_class(), iters))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+    use orp_core::construct::random_general;
+
+    #[test]
+    fn suite_runs_all_benchmarks_small() {
+        let g = random_general(16, 4, 8, 1).unwrap();
+        let net = Network::new(&g, NetConfig::default());
+        let results = run_suite(&net, &Benchmark::all(), 16, 1);
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert!(r.time > 0.0, "{}", r.name);
+            assert!(r.mops > 0.0, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn mops_is_flops_over_time() {
+        let g = random_general(16, 4, 8, 1).unwrap();
+        let net = Network::new(&g, NetConfig::default());
+        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+        assert!((r.mops - r.flops / r.time / 1e6).abs() < r.mops * 1e-12);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let g = random_general(16, 4, 8, 1).unwrap();
+        let net = Network::new(&g, NetConfig::default());
+        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("EP"));
+    }
+}

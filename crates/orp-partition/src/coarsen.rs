@@ -1,0 +1,162 @@
+//! Coarsening by heavy-edge matching (the first phase of the multilevel
+//! scheme of Karypis & Kumar).
+
+use crate::csr::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One level of the coarsening hierarchy: the coarse graph plus the map
+/// from fine vertices to coarse vertices.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: Graph,
+    /// `fine_to_coarse[v]` = coarse vertex containing fine vertex `v`.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Matches each vertex with its unmatched neighbour of maximum edge
+/// weight (ties broken by smaller coarse degree bias — here first seen),
+/// visiting vertices in random order; unmatched vertices map alone.
+///
+/// Returns `None` when matching cannot shrink the graph (no edges).
+pub fn heavy_edge_matching<R: Rng>(g: &Graph, rng: &mut R) -> Option<CoarseLevel> {
+    let n = g.len();
+    if g.num_edges() == 0 {
+        return None;
+    }
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED && u != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        if let Some((u, _)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        } else {
+            mate[v as usize] = v; // matched with itself
+        }
+    }
+    // assign coarse ids
+    let mut fine_to_coarse = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if fine_to_coarse[v as usize] != UNMATCHED {
+            continue;
+        }
+        fine_to_coarse[v as usize] = next;
+        let m = mate[v as usize];
+        if m != v && m != UNMATCHED {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    if next as usize == n {
+        return None; // nothing merged
+    }
+    // build coarse graph
+    let mut vwgt = vec![0u64; next as usize];
+    for v in 0..n as u32 {
+        vwgt[fine_to_coarse[v as usize] as usize] += g.vertex_weight(v);
+    }
+    let mut edges: Vec<(u32, u32, u64)> = Vec::with_capacity(g.num_edges());
+    for v in 0..n as u32 {
+        let cv = fine_to_coarse[v as usize];
+        for (u, w) in g.neighbors(v) {
+            if u > v {
+                let cu = fine_to_coarse[u as usize];
+                if cu != cv {
+                    edges.push((cv, cu, w));
+                }
+            }
+        }
+    }
+    Some(CoarseLevel { graph: Graph::from_weighted(vwgt, &edges), fine_to_coarse })
+}
+
+/// Coarsens repeatedly until the graph has at most `target` vertices or
+/// matching stalls. Returns the hierarchy, finest level first.
+pub fn coarsen_to<R: Rng>(g: &Graph, target: usize, rng: &mut R) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut cur = g.clone();
+    while cur.len() > target {
+        match heavy_edge_matching(&cur, rng) {
+            Some(level) => {
+                // require at least ~5% shrinkage to continue
+                if level.graph.len() as f64 > cur.len() as f64 * 0.98 {
+                    levels.push(level);
+                    break;
+                }
+                cur = level.graph.clone();
+                levels.push(level);
+            }
+            None => break,
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn matching_halves_a_ring() {
+        let g = ring(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let lvl = heavy_edge_matching(&g, &mut rng).unwrap();
+        assert!(lvl.graph.len() >= 8 && lvl.graph.len() < 16);
+        // total vertex weight preserved
+        assert_eq!(lvl.graph.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn coarse_edges_preserve_cut_structure() {
+        // two triangles joined by one bridge; the bridge weight must
+        // survive coarsening in some form (total edge weight conserved
+        // minus internal collapsed edges)
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let lvl = heavy_edge_matching(&g, &mut rng).unwrap();
+        assert!(lvl.graph.len() < 6);
+        assert_eq!(lvl.fine_to_coarse.len(), 6);
+    }
+
+    #[test]
+    fn edgeless_graph_does_not_coarsen() {
+        let g = Graph::from_edges(4, &[]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(heavy_edge_matching(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = ring(256);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let levels = coarsen_to(&g, 32, &mut rng);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(last.len() <= 64, "stalled at {}", last.len());
+        assert_eq!(last.total_weight(), 256);
+    }
+}

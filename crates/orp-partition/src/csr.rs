@@ -1,0 +1,176 @@
+//! The weighted undirected graph the partitioner works on, in CSR form.
+
+/// An undirected graph with integer vertex and edge weights, stored as a
+/// symmetric CSR adjacency. Self loops are dropped; parallel edges are
+/// merged by summing weights.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    xadj: Vec<u32>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<u64>,
+    vwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` vertices with unit
+    /// vertex and edge weights.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_weighted(
+            vec![1; n],
+            edges.iter().map(|&(a, b)| (a, b, 1)).collect::<Vec<_>>().as_slice(),
+        )
+    }
+
+    /// Builds a graph from weighted vertices and weighted edges.
+    /// Duplicate `(a,b)` pairs (in either order) merge by summing weights.
+    pub fn from_weighted(vwgt: Vec<u64>, edges: &[(u32, u32, u64)]) -> Self {
+        let n = vwgt.len();
+        // merge duplicates via sort over normalized pairs
+        let mut norm: Vec<(u32, u32, u64)> = edges
+            .iter()
+            .filter(|&&(a, b, _)| a != b)
+            .map(|&(a, b, w)| if a < b { (a, b, w) } else { (b, a, w) })
+            .collect();
+        norm.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        let mut merged: Vec<(u32, u32, u64)> = Vec::with_capacity(norm.len());
+        for (a, b, w) in norm {
+            match merged.last_mut() {
+                Some(last) if last.0 == a && last.1 == b => last.2 += w,
+                _ => merged.push((a, b, w)),
+            }
+        }
+        let mut deg = vec![0u32; n];
+        for &(a, b, _) in &merged {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0u32);
+        for d in &deg {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let total = *xadj.last().unwrap() as usize;
+        let mut adjncy = vec![0u32; total];
+        let mut adjwgt = vec![0u64; total];
+        let mut cursor: Vec<u32> = xadj[..n].to_vec();
+        for &(a, b, w) in &merged {
+            let ca = cursor[a as usize] as usize;
+            adjncy[ca] = b;
+            adjwgt[ca] = w;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize] as usize;
+            adjncy[cb] = a;
+            adjwgt[cb] = w;
+            cursor[b as usize] += 1;
+        }
+        Self { xadj, adjncy, adjwgt, vwgt }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: u32) -> u64 {
+        self.vwgt[v as usize]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        self.adjncy[lo..hi].iter().copied().zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v` (distinct neighbours).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
+    }
+
+    /// Sum of weights of edges whose endpoints lie in different parts of
+    /// `assignment` — the `c` the paper calls *bandwidth* when vertices
+    /// are partitioned (each edge counted once).
+    pub fn edge_cut(&self, assignment: &[u32]) -> u64 {
+        debug_assert_eq!(assignment.len(), self.len());
+        let mut cut = 0u64;
+        for v in 0..self.len() as u32 {
+            for (u, w) in self.neighbors(v) {
+                if u > v && assignment[u as usize] != assignment[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Per-part vertex weights under `assignment` (`k` parts).
+    pub fn part_weights(&self, assignment: &[u32], k: usize) -> Vec<u64> {
+        let mut w = vec![0u64; k];
+        for (v, &p) in assignment.iter().enumerate() {
+            w[p as usize] += self.vwgt[v];
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        let n0: Vec<u32> = g.neighbors(0).map(|(u, _)| u).collect();
+        assert!(n0.contains(&1) && n0.contains(&3));
+    }
+
+    #[test]
+    fn duplicates_merge_and_loops_drop() {
+        let g = Graph::from_weighted(vec![1; 3], &[(0, 1, 2), (1, 0, 3), (2, 2, 9)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0).next(), Some((1, 5)));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // split {0,1} | {2,3}: edges 1-2 and 3-0 cross
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 2);
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 4);
+    }
+
+    #[test]
+    fn part_weights_sum_to_total() {
+        let g = Graph::from_weighted(vec![2, 3, 5], &[(0, 1, 1)]);
+        let w = g.part_weights(&[0, 1, 1], 2);
+        assert_eq!(w, vec![2, 8]);
+        assert_eq!(g.total_weight(), 10);
+    }
+}

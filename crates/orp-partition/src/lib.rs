@@ -1,0 +1,38 @@
+//! # orp-partition — a multilevel graph partitioner
+//!
+//! A from-scratch METIS-style partitioner used for the bandwidth
+//! evaluation of §6.2.2: the vertices of a host-switch graph
+//! (`V = H ∪ S`) are split into `P = 2..16` equal parts and the number of
+//! crossing edges `c` is the *bandwidth*; `P = 2` gives the bisection
+//! bandwidth.
+//!
+//! Pipeline (Karypis–Kumar multilevel recursive bisection):
+//!
+//! 1. [`coarsen`] — heavy-edge matching until the graph is small,
+//! 2. [`initial`] — greedy graph-growing bisection of the coarsest graph,
+//! 3. [`refine`] — FM passes while projecting back through the hierarchy,
+//! 4. [`kway`] — recursive bisection with proportional targets for any `k`.
+//!
+//! [`maxflow`] provides a Dinic max-flow implementation to cross-check
+//! cuts via the max-flow min-cut theorem.
+//!
+//! ```
+//! use orp_partition::{Graph, partition, PartitionConfig};
+//!
+//! let ring: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+//! let g = Graph::from_edges(8, &ring);
+//! let p = partition(&g, 2, &PartitionConfig::default());
+//! assert_eq!(p.cut, 2); // a ring bisects with exactly two cut edges
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod csr;
+pub mod initial;
+pub mod kway;
+pub mod maxflow;
+pub mod refine;
+
+pub use csr::Graph;
+pub use kway::{bisect, partition, Partition, PartitionConfig};

@@ -1,0 +1,197 @@
+//! Dinic's maximum-flow algorithm, used to sanity-check cuts via the
+//! max-flow min-cut theorem the paper invokes in §6.2.2: any edge cut
+//! separating `s` from `t` upper-bounds no flow — i.e. `maxflow(s,t)` is
+//! a lower bound on every s-t-separating cut, bisections included.
+
+/// A flow network over directed arcs with residual bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    // arcs stored as parallel arrays; arc i and i^1 are a residual pair
+    to: Vec<u32>,
+    cap: Vec<u64>,
+    head: Vec<Vec<u32>>, // per-vertex arc indices
+}
+
+impl FlowNetwork {
+    /// An empty network on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the network has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Adds a directed arc `u → v` with capacity `c`.
+    pub fn add_arc(&mut self, u: u32, v: u32, c: u64) {
+        self.head[u as usize].push(self.to.len() as u32);
+        self.to.push(v);
+        self.cap.push(c);
+        self.head[v as usize].push(self.to.len() as u32);
+        self.to.push(u);
+        self.cap.push(0);
+    }
+
+    /// Adds an undirected edge of capacity `c` (capacity in both
+    /// directions).
+    pub fn add_edge(&mut self, u: u32, v: u32, c: u64) {
+        self.head[u as usize].push(self.to.len() as u32);
+        self.to.push(v);
+        self.cap.push(c);
+        self.head[v as usize].push(self.to.len() as u32);
+        self.to.push(u);
+        self.cap.push(c);
+    }
+
+    fn bfs_levels(&self, s: u32, t: u32) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.len()];
+        let mut q = std::collections::VecDeque::new();
+        level[s as usize] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &a in &self.head[u as usize] {
+                let v = self.to[a as usize];
+                if self.cap[a as usize] > 0 && level[v as usize] < 0 {
+                    level[v as usize] = level[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        (level[t as usize] >= 0).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: u32,
+        t: u32,
+        pushed: u64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> u64 {
+        if u == t {
+            return pushed;
+        }
+        while iter[u as usize] < self.head[u as usize].len() {
+            let a = self.head[u as usize][iter[u as usize]] as usize;
+            let v = self.to[a];
+            if self.cap[a] > 0 && level[v as usize] == level[u as usize] + 1 {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[a]), level, iter);
+                if d > 0 {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[u as usize] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t` (destructive: consumes
+    /// residual capacity; clone first to reuse).
+    pub fn max_flow(&mut self, s: u32, t: u32) -> u64 {
+        assert_ne!(s, t);
+        let mut flow = 0u64;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut iter = vec![0usize; self.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After [`Self::max_flow`], the set of vertices still reachable from
+    /// `s` in the residual network — one side of a minimum cut.
+    pub fn min_cut_side(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut q = std::collections::VecDeque::new();
+        seen[s as usize] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &a in &self.head[u as usize] {
+                let v = self.to[a as usize];
+                if self.cap[a as usize] > 0 && !seen[v as usize] {
+                    seen[v as usize] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Builds a unit-capacity flow network from an undirected edge list.
+pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> FlowNetwork {
+    let mut f = FlowNetwork::new(n);
+    for &(a, b) in edges {
+        f.add_edge(a, b, 1);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_flow_is_one() {
+        // K4 — bridge — K4
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        edges.push((0, 4));
+        let mut f = from_edges(8, &edges);
+        assert_eq!(f.max_flow(1, 6), 1);
+        let side = f.min_cut_side(1);
+        assert_eq!(side.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn ring_flow_is_two() {
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
+        let mut f = from_edges(6, &edges);
+        assert_eq!(f.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn complete_graph_flow_is_degree() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let mut f = from_edges(5, &edges);
+        assert_eq!(f.max_flow(0, 4), 4);
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut f = from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(f.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn directed_arcs_are_one_way() {
+        let mut f = FlowNetwork::new(3);
+        f.add_arc(0, 1, 5);
+        f.add_arc(1, 2, 3);
+        assert_eq!(f.clone().max_flow(0, 2), 3);
+        assert_eq!(f.max_flow(2, 0), 0);
+    }
+}

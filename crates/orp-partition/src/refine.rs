@@ -1,0 +1,191 @@
+//! Fiduccia–Mattheyses-style refinement of a bisection: gain-ordered
+//! moves taken from the currently more-loaded side, with lock-out and
+//! rollback to the best *balanced* prefix.
+
+use crate::csr::Graph;
+
+/// Gain of moving `v` to the other side: external minus internal edge
+/// weight.
+fn gain(g: &Graph, assignment: &[u32], v: u32) -> i64 {
+    let p = assignment[v as usize];
+    let mut ext = 0i64;
+    let mut int = 0i64;
+    for (u, w) in g.neighbors(v) {
+        if assignment[u as usize] == p {
+            int += w as i64;
+        } else {
+            ext += w as i64;
+        }
+    }
+    ext - int
+}
+
+/// One FM pass over a bisection (parts 0/1).
+///
+/// Moves always leave the side whose load (weight relative to `targets`)
+/// is higher, so the pass walks through near-balanced states; a state
+/// qualifies as a rollback point only if both parts fit `max_weight`.
+/// Returns the cut improvement (non-negative).
+fn fm_pass(
+    g: &Graph,
+    assignment: &mut [u32],
+    targets: [u64; 2],
+    max_weight: [u64; 2],
+) -> u64 {
+    let n = g.len();
+    let mut gains: Vec<i64> = (0..n as u32).map(|v| gain(g, assignment, v)).collect();
+    let mut part_w = [0u64; 2];
+    for (v, &p) in assignment.iter().enumerate() {
+        part_w[p as usize] += g.vertex_weight(v as u32);
+    }
+    let mut locked = vec![false; n];
+    let mut moves: Vec<u32> = Vec::new();
+    let mut cum: i64 = 0;
+    let mut best_cum: i64 = 0;
+    let mut best_len = 0usize;
+    let t0 = targets[0].max(1);
+    let t1 = targets[1].max(1);
+    for _ in 0..n {
+        // move from the side with higher relative load
+        let from = if part_w[0] * t1 >= part_w[1] * t0 { 0usize } else { 1 };
+        let to = 1 - from;
+        let mut cand: Option<(u32, i64)> = None;
+        for v in 0..n as u32 {
+            if locked[v as usize] || assignment[v as usize] as usize != from {
+                continue;
+            }
+            if part_w[to] + g.vertex_weight(v) > max_weight[to] {
+                continue;
+            }
+            match cand {
+                Some((_, bg)) if bg >= gains[v as usize] => {}
+                _ => cand = Some((v, gains[v as usize])),
+            }
+        }
+        let Some((v, gv)) = cand else { break };
+        assignment[v as usize] = to as u32;
+        part_w[from] -= g.vertex_weight(v);
+        part_w[to] += g.vertex_weight(v);
+        locked[v as usize] = true;
+        cum += gv;
+        moves.push(v);
+        gains[v as usize] = -gains[v as usize];
+        for (u, w) in g.neighbors(v) {
+            if assignment[u as usize] == to as u32 {
+                gains[u as usize] -= 2 * w as i64;
+            } else {
+                gains[u as usize] += 2 * w as i64;
+            }
+        }
+        let balanced = part_w[0] <= max_weight[0] && part_w[1] <= max_weight[1];
+        if balanced && cum > best_cum {
+            best_cum = cum;
+            best_len = moves.len();
+        }
+    }
+    // roll back past the best balanced prefix
+    for &v in &moves[best_len..] {
+        let p = assignment[v as usize] as usize;
+        assignment[v as usize] = (1 - p) as u32;
+    }
+    best_cum.max(0) as u64
+}
+
+/// Refines a bisection with repeated FM passes until a pass stops
+/// improving (at most `max_passes`). `targets` are the desired part
+/// weights; `max_weight` caps each side (the balance constraint).
+///
+/// Returns the total cut improvement.
+pub fn refine_bisection(
+    g: &Graph,
+    assignment: &mut [u32],
+    targets: [u64; 2],
+    max_weight: [u64; 2],
+    max_passes: usize,
+) -> u64 {
+    let mut total = 0;
+    for _ in 0..max_passes {
+        let improved = fm_pass(g, assignment, targets, max_weight);
+        total += improved;
+        if improved == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two K4s plus a bridge; start from a deliberately bad split.
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        edges.push((0, 4));
+        Graph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn fm_recovers_optimal_clique_split() {
+        let g = two_cliques();
+        // interleaved split: cut = lots
+        let mut a = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let before = g.edge_cut(&a);
+        let improved = refine_bisection(&g, &mut a, [4, 4], [5, 5], 8);
+        let after = g.edge_cut(&a);
+        assert_eq!(before - improved, after);
+        assert_eq!(after, 1, "should cut only the bridge, got {a:?}");
+        assert_eq!(g.part_weights(&a, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn fm_respects_balance_cap() {
+        let g = two_cliques();
+        let mut a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        refine_bisection(&g, &mut a, [4, 4], [5, 5], 8);
+        let w = g.part_weights(&a, 2);
+        assert!(w[0] <= 5 && w[1] <= 5);
+        assert_eq!(g.edge_cut(&a), 1); // already optimal, must not degrade
+    }
+
+    #[test]
+    fn fm_never_worsens_the_cut() {
+        let g = two_cliques();
+        for start in [
+            vec![0u32, 0, 1, 1, 0, 0, 1, 1],
+            vec![1, 0, 0, 0, 1, 1, 0, 1],
+            vec![0, 1, 1, 0, 1, 0, 0, 1],
+        ] {
+            let mut a = start.clone();
+            let before = g.edge_cut(&a);
+            refine_bisection(&g, &mut a, [4, 4], [5, 5], 4);
+            assert!(g.edge_cut(&a) <= before);
+        }
+    }
+
+    #[test]
+    fn weighted_vertices_respect_cap() {
+        // a triangle with one heavy vertex
+        let g = Graph::from_weighted(vec![10, 1, 1], &[(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let mut a = vec![0u32, 1, 1];
+        refine_bisection(&g, &mut a, [10, 2], [10, 2], 4);
+        let w = g.part_weights(&a, 2);
+        assert!(w[0] <= 10 && w[1] <= 2);
+    }
+
+    #[test]
+    fn ring_interleaved_start_improves() {
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let g = Graph::from_edges(8, &edges);
+        let mut a = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert_eq!(g.edge_cut(&a), 8);
+        refine_bisection(&g, &mut a, [4, 4], [5, 5], 8);
+        assert_eq!(g.edge_cut(&a), 2, "{a:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! All-pairs shortest-path routing tables with ECMP next-hop sets.
+//!
+//! The table stores, for every `(current switch, destination switch)`
+//! pair, the set of neighbours lying on a shortest path. Deterministic
+//! per-flow ECMP selection hashes the flow id over that set, matching how
+//! real fabrics (and SimGrid's SMPI) pick one path per flow.
+
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// Dense all-pairs next-hop table over the switch graph.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    m: u32,
+    /// `dist[d·m + s]` = hops from `s` to `d` (`u32::MAX` unreachable).
+    dist: Vec<u32>,
+    /// CSR of ECMP next hops per `(dst, src)` pair.
+    nh_offsets: Vec<u32>,
+    nh_targets: Vec<Switch>,
+}
+
+impl RoutingTable {
+    /// Builds the table with one BFS per destination.
+    pub fn build(g: &HostSwitchGraph) -> Self {
+        let m = g.num_switches();
+        let mm = m as usize;
+        let mut dist = vec![u32::MAX; mm * mm];
+        let mut nh_offsets = Vec::with_capacity(mm * mm + 1);
+        let mut nh_targets = Vec::new();
+        nh_offsets.push(0u32);
+        // distances first
+        for d in 0..m {
+            let row = g.switch_distances(d);
+            dist[d as usize * mm..(d as usize + 1) * mm].copy_from_slice(&row);
+        }
+        // next hops: neighbour v of s is a shortest next hop toward d iff
+        // dist[v→d] + 1 == dist[s→d]
+        for d in 0..m {
+            let drow = &dist[d as usize * mm..(d as usize + 1) * mm];
+            for s in 0..m {
+                if s != d && drow[s as usize] != u32::MAX {
+                    for &v in g.neighbors(s) {
+                        if drow[v as usize].wrapping_add(1) == drow[s as usize] {
+                            nh_targets.push(v);
+                        }
+                    }
+                }
+                nh_offsets.push(nh_targets.len() as u32);
+            }
+        }
+        Self { m, dist, nh_offsets, nh_targets }
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> u32 {
+        self.m
+    }
+
+    /// Hop distance between switches (`None` when unreachable).
+    pub fn distance(&self, s: Switch, d: Switch) -> Option<u32> {
+        let v = self.dist[d as usize * self.m as usize + s as usize];
+        (v != u32::MAX).then_some(v)
+    }
+
+    /// All equal-cost next hops from `s` toward `d` (empty when `s == d`
+    /// or unreachable).
+    pub fn next_hops(&self, s: Switch, d: Switch) -> &[Switch] {
+        let idx = d as usize * self.m as usize + s as usize;
+        let lo = self.nh_offsets[idx] as usize;
+        let hi = self.nh_offsets[idx + 1] as usize;
+        &self.nh_targets[lo..hi]
+    }
+
+    /// Deterministic ECMP choice: flows with the same `flow_hash` always
+    /// take the same next hop.
+    pub fn next_hop(&self, s: Switch, d: Switch, flow_hash: u64) -> Option<Switch> {
+        let hops = self.next_hops(s, d);
+        if hops.is_empty() {
+            return None;
+        }
+        // splitmix-style scramble of (s, d, flow)
+        let mut x = flow_hash
+            ^ (s as u64).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ (d as u64).wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        Some(hops[(x % hops.len() as u64) as usize])
+    }
+
+    /// The switch-level path from `s` to `d` for a given flow (inclusive
+    /// of both endpoints); `None` when unreachable.
+    pub fn path(&self, s: Switch, d: Switch, flow_hash: u64) -> Option<Vec<Switch>> {
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != d {
+            cur = self.next_hop(cur, d, flow_hash)?;
+            path.push(cur);
+            debug_assert!(path.len() <= self.m as usize + 1, "routing loop");
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(m: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(m, 4).unwrap();
+        for s in 0..m {
+            g.add_link(s, (s + 1) % m).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = ring(6);
+        let t = RoutingTable::build(&g);
+        assert_eq!(t.distance(0, 3), Some(3));
+        assert_eq!(t.distance(0, 5), Some(1));
+        assert_eq!(t.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn ecmp_sets_on_even_ring() {
+        // antipodal nodes on an even ring have two equal-cost first hops
+        let g = ring(6);
+        let t = RoutingTable::build(&g);
+        assert_eq!(t.next_hops(0, 3).len(), 2);
+        assert_eq!(t.next_hops(0, 1), &[1]);
+        assert!(t.next_hops(4, 4).is_empty());
+    }
+
+    #[test]
+    fn paths_are_shortest_and_loop_free() {
+        let g = ring(8);
+        let t = RoutingTable::build(&g);
+        for s in 0..8 {
+            for d in 0..8 {
+                for flow in 0..4u64 {
+                    let p = t.path(s, d, flow).unwrap();
+                    assert_eq!(p.len() as u32 - 1, t.distance(s, d).unwrap());
+                    assert_eq!(p.first(), Some(&s));
+                    assert_eq!(p.last(), Some(&d));
+                    // loop-free
+                    let mut q = p.clone();
+                    q.sort_unstable();
+                    q.dedup();
+                    assert_eq!(q.len(), p.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_hash_is_sticky() {
+        let g = ring(6);
+        let t = RoutingTable::build(&g);
+        let a = t.path(0, 3, 17).unwrap();
+        let b = t.path(0, 3, 17).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_flows_spread_over_ecmp() {
+        let g = ring(6);
+        let t = RoutingTable::build(&g);
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..64u64 {
+            seen.insert(t.next_hop(0, 3, flow).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "both ECMP hops should be used");
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        let t = RoutingTable::build(&g);
+        assert_eq!(t.distance(0, 2), None);
+        assert_eq!(t.next_hop(0, 2, 0), None);
+        assert_eq!(t.path(0, 2, 0), None);
+    }
+}

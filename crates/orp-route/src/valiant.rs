@@ -1,0 +1,136 @@
+//! Valiant's randomized routing: route via a random intermediate switch
+//! (`s → w → d` along shortest paths), trading path length for load
+//! balance — the classic remedy for adversarial traffic on low-diameter
+//! networks (dragonfly and Slim Fly deployments use exactly this).
+
+use crate::table::RoutingTable;
+use orp_core::graph::Switch;
+
+/// Valiant routing on top of a shortest-path table.
+#[derive(Debug, Clone)]
+pub struct ValiantRouting<'a> {
+    table: &'a RoutingTable,
+}
+
+impl<'a> ValiantRouting<'a> {
+    /// Wraps a routing table.
+    pub fn new(table: &'a RoutingTable) -> Self {
+        Self { table }
+    }
+
+    /// Picks the deterministic-per-flow random intermediate for
+    /// `(s, d, flow)`; never `s` or `d` when `m > 2`.
+    pub fn intermediate(&self, s: Switch, d: Switch, flow_hash: u64) -> Switch {
+        let m = self.table.num_switches() as u64;
+        let mut x = flow_hash ^ 0x2545f4914f6cdd1d;
+        x ^= (s as u64) << 32 | d as u64;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        let mut w = (x % m) as Switch;
+        // nudge off the endpoints deterministically
+        let mut guard = 0;
+        while (w == s || w == d) && guard < 3 {
+            w = (w + 1) % m as Switch;
+            guard += 1;
+        }
+        w
+    }
+
+    /// The two-phase path `s → w → d`; `None` if either leg is
+    /// unreachable.
+    pub fn path(&self, s: Switch, d: Switch, flow_hash: u64) -> Option<Vec<Switch>> {
+        if s == d {
+            return Some(vec![s]);
+        }
+        let w = self.intermediate(s, d, flow_hash);
+        if w == s || w == d {
+            return self.table.path(s, d, flow_hash);
+        }
+        let mut first = self.table.path(s, w, flow_hash)?;
+        let second = self.table.path(w, d, flow_hash)?;
+        first.extend_from_slice(&second[1..]);
+        Some(first)
+    }
+
+    /// Expected path length (hops) for a flow — at most
+    /// `d(s, w) + d(w, d)`.
+    pub fn path_len(&self, s: Switch, d: Switch, flow_hash: u64) -> Option<u32> {
+        self.path(s, d, flow_hash).map(|p| p.len() as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::construct::random_regular_fabric;
+    use orp_core::HostSwitchGraph;
+
+    fn ring(m: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(m, 4).unwrap();
+        for s in 0..m {
+            g.add_link(s, (s + 1) % m).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn paths_connect_endpoints() {
+        let g = ring(8);
+        let t = RoutingTable::build(&g);
+        let v = ValiantRouting::new(&t);
+        for s in 0..8 {
+            for d in 0..8 {
+                for flow in 0..4 {
+                    let p = v.path(s, d, flow).unwrap();
+                    assert_eq!(*p.first().unwrap(), s);
+                    assert_eq!(*p.last().unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_is_at_most_twice_diameter() {
+        let g = random_regular_fabric(40, 4, 11).unwrap();
+        let t = RoutingTable::build(&g);
+        let v = ValiantRouting::new(&t);
+        let diam = (0..40)
+            .map(|s| g.switch_distances(s).into_iter().max().unwrap())
+            .max()
+            .unwrap();
+        for flow in 0..8 {
+            let l = v.path_len(0, 20, flow).unwrap();
+            assert!(l <= 2 * diam, "{l} > 2·{diam}");
+        }
+    }
+
+    #[test]
+    fn valiant_spreads_intermediates() {
+        let g = ring(16);
+        let t = RoutingTable::build(&g);
+        let v = ValiantRouting::new(&t);
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..64 {
+            seen.insert(v.intermediate(0, 8, flow));
+        }
+        assert!(seen.len() > 6, "only {} intermediates", seen.len());
+        assert!(!seen.contains(&0) && !seen.contains(&8));
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let g = ring(6);
+        let t = RoutingTable::build(&g);
+        let v = ValiantRouting::new(&t);
+        assert_eq!(v.path(3, 3, 0).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn flow_determinism() {
+        let g = ring(12);
+        let t = RoutingTable::build(&g);
+        let v = ValiantRouting::new(&t);
+        assert_eq!(v.path(1, 7, 42), v.path(1, 7, 42));
+    }
+}

@@ -1,0 +1,194 @@
+//! Host attachment strategies (§6.2.1).
+//!
+//! The paper attaches hosts to conventional topologies *sequentially*
+//! (switch id order, filling each switch) and to the proposed topology in
+//! *depth-first order with backtracking* so that consecutive MPI ranks
+//! land on nearby switches. The strategy changes nothing about `m`, `r`,
+//! or the fabric — only which host ids sit where — yet §1 argues (and our
+//! ablation bench confirms) it visibly affects application performance.
+
+use orp_core::error::GraphError;
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// Order in which hosts are attached to switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachOrder {
+    /// Fill switch 0 to capacity, then switch 1, … (the paper's choice
+    /// for conventional topologies).
+    Sequential,
+    /// One host per switch in id order, cycling until done (spreads
+    /// hosts; an ablation alternative).
+    RoundRobin,
+}
+
+/// Attaches `n` hosts to `g` honouring per-switch `capacity`.
+pub fn attach_hosts(
+    g: &mut HostSwitchGraph,
+    capacity: &[u32],
+    n: u32,
+    order: AttachOrder,
+) -> Result<(), GraphError> {
+    let total: u64 = capacity.iter().map(|&c| c as u64).sum();
+    if (n as u64) > total {
+        return Err(GraphError::InvalidParameters(format!(
+            "capacity {total} cannot hold {n} hosts"
+        )));
+    }
+    let m = g.num_switches();
+    let mut left = n;
+    match order {
+        AttachOrder::Sequential => {
+            for s in 0..m {
+                let take = capacity[s as usize].min(left);
+                for _ in 0..take {
+                    g.attach_host(s)?;
+                }
+                left -= take;
+                if left == 0 {
+                    break;
+                }
+            }
+        }
+        AttachOrder::RoundRobin => {
+            let mut used = vec![0u32; m as usize];
+            while left > 0 {
+                let mut progressed = false;
+                for s in 0..m {
+                    if left == 0 {
+                        break;
+                    }
+                    if used[s as usize] < capacity[s as usize] {
+                        g.attach_host(s)?;
+                        used[s as usize] += 1;
+                        left -= 1;
+                        progressed = true;
+                    }
+                }
+                debug_assert!(progressed, "capacity checked above");
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Relabels the hosts of a populated graph so that host ids follow a
+/// depth-first traversal of the switch graph from `root` (the paper's
+/// "depth-first order by using backtracking" for the proposed topology):
+/// all hosts of the first visited switch get the lowest ids, and so on.
+///
+/// Returns a new graph with identical structure but renumbered hosts.
+pub fn relabel_hosts_dfs(g: &HostSwitchGraph, root: Switch) -> HostSwitchGraph {
+    let m = g.num_switches();
+    let mut visited = vec![false; m as usize];
+    let mut stack = vec![root];
+    let mut order: Vec<Switch> = Vec::with_capacity(m as usize);
+    while let Some(s) = stack.pop() {
+        if std::mem::replace(&mut visited[s as usize], true) {
+            continue;
+        }
+        order.push(s);
+        // push neighbours in reverse id order so lower ids are visited first
+        let mut nbrs: Vec<Switch> = g.neighbors(s).to_vec();
+        nbrs.sort_unstable_by(|a, b| b.cmp(a));
+        for v in nbrs {
+            if !visited[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    // switches unreachable from root (e.g. host-less stragglers) keep
+    // their relative order at the end
+    for s in 0..m {
+        if !visited[s as usize] {
+            order.push(s);
+        }
+    }
+    let mut out = HostSwitchGraph::new(m, g.radix()).expect("same parameters");
+    for (a, b) in g.links() {
+        out.add_link(a, b).expect("same structure");
+    }
+    for &s in &order {
+        for _ in 0..g.host_count(s) {
+            out.attach_host(s).expect("same capacity");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3(r: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(3, r).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(1, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn sequential_fills_in_order() {
+        let mut g = path3(6);
+        attach_hosts(&mut g, &[4, 4, 4], 6, AttachOrder::Sequential).unwrap();
+        assert_eq!(g.host_counts(), vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let mut g = path3(6);
+        attach_hosts(&mut g, &[4, 4, 4], 6, AttachOrder::RoundRobin).unwrap();
+        assert_eq!(g.host_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn round_robin_respects_uneven_capacity() {
+        let mut g = path3(6);
+        attach_hosts(&mut g, &[1, 4, 2], 6, AttachOrder::RoundRobin).unwrap();
+        assert_eq!(g.host_counts(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let mut g = path3(6);
+        assert!(attach_hosts(&mut g, &[1, 1, 1], 4, AttachOrder::Sequential).is_err());
+    }
+
+    #[test]
+    fn dfs_relabel_groups_consecutive_ranks() {
+        // star of switches: 0 linked to 1,2,3; hosts everywhere
+        let mut g = HostSwitchGraph::new(4, 8).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(0, 2).unwrap();
+        g.add_link(0, 3).unwrap();
+        // attach hosts round-robin so original ids interleave
+        attach_hosts(&mut g, &[2, 2, 2, 2], 8, AttachOrder::RoundRobin).unwrap();
+        assert_eq!(g.switch_of(0), 0);
+        assert_eq!(g.switch_of(1), 1);
+        let out = relabel_hosts_dfs(&g, 0);
+        // DFS from 0 visits 0, then 1 (lowest neighbour first), 2, 3
+        assert_eq!(out.switch_of(0), 0);
+        assert_eq!(out.switch_of(1), 0);
+        assert_eq!(out.switch_of(2), 1);
+        assert_eq!(out.switch_of(3), 1);
+        assert_eq!(out.switch_of(6), 3);
+        out.validate().unwrap();
+        // structure unchanged
+        assert_eq!(out.num_links(), g.num_links());
+        assert_eq!(out.host_counts(), g.host_counts());
+    }
+
+    #[test]
+    fn dfs_relabel_handles_unreachable_switches() {
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(1).unwrap();
+        // switch 2 isolated, no hosts
+        let out = relabel_hosts_dfs(&g, 0);
+        assert_eq!(out.num_hosts(), 2);
+        assert_eq!(out.host_counts(), vec![1, 1, 0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The dragonfly of §6.1.2 (Kim et al., ISCA 2008) under the paper's
+//! balanced specialisation `a = 2h = 2p` and `g = a·h + 1`:
+//!
+//! * every group is an `a`-switch clique,
+//! * exactly one global link between each pair of groups,
+//! * each switch owns `h = a/2` global ports and `p = a/2` host ports,
+//! * radix (4a): `r = (a − 1) + h + p = 2a − 1`,
+//! * switches (4b): `m = a(a²/2 + 1)`, hosts (4c): `n ≤ p·m`.
+
+use crate::spec::Topology;
+use orp_core::error::GraphError;
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// A balanced dragonfly parameterised by the group size `a` (must be even).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dragonfly {
+    /// Switches per group (the paper's `a`).
+    pub a: u32,
+}
+
+impl Dragonfly {
+    /// The Fig. 10 instance: `a = 8` → `m = 264`, `r = 15`, `n ≤ 1056`.
+    pub fn paper_a8() -> Self {
+        Self { a: 8 }
+    }
+
+    /// Global ports per switch `h = a/2`.
+    pub fn h(&self) -> u32 {
+        self.a / 2
+    }
+
+    /// Host ports per switch `p = a/2`.
+    pub fn p(&self) -> u32 {
+        self.a / 2
+    }
+
+    /// Number of groups `g = a·h + 1`.
+    pub fn groups(&self) -> u32 {
+        self.a * self.h() + 1
+    }
+
+    fn check(&self) -> Result<(), GraphError> {
+        if self.a < 2 || !self.a.is_multiple_of(2) {
+            return Err(GraphError::InvalidParameters(format!(
+                "dragonfly group size a = {} must be even and >= 2",
+                self.a
+            )));
+        }
+        Ok(())
+    }
+
+    /// Switch id of group `grp`, local index `idx`.
+    fn switch(&self, grp: u32, idx: u32) -> Switch {
+        grp * self.a + idx
+    }
+}
+
+impl Topology for Dragonfly {
+    fn name(&self) -> String {
+        format!("dragonfly (a={}, g={}, r={})", self.a, self.groups(), self.radix())
+    }
+
+    fn radix(&self) -> u32 {
+        2 * self.a - 1
+    }
+
+    fn num_switches(&self) -> u32 {
+        self.a * self.groups()
+    }
+
+    fn max_hosts(&self) -> u32 {
+        self.p() * self.num_switches()
+    }
+
+    fn build_fabric(&self) -> Result<HostSwitchGraph, GraphError> {
+        self.check()?;
+        let g = self.groups();
+        let mut fab = HostSwitchGraph::new(self.num_switches(), self.radix())?;
+        // intra-group cliques
+        for grp in 0..g {
+            for i in 0..self.a {
+                for j in (i + 1)..self.a {
+                    fab.add_link(self.switch(grp, i), self.switch(grp, j))?;
+                }
+            }
+        }
+        // one global link per group pair: from group u, peer v (v ≠ u) is
+        // handled by local switch ⌊pos/h⌋ where pos is v's rank among u's
+        // peers — each switch gets exactly h global links.
+        let h = self.h();
+        for u in 0..g {
+            for v in (u + 1)..g {
+                let pos_u = v - 1; // v > u ⇒ rank of v among u's peers is v−1
+                let pos_v = u; // u < v ⇒ rank of u among v's peers is u
+                let su = self.switch(u, pos_u / h);
+                let sv = self.switch(v, pos_v / h);
+                fab.add_link(su, sv)?;
+            }
+        }
+        Ok(fab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attach::AttachOrder;
+    use orp_core::metrics::path_metrics;
+
+    #[test]
+    fn paper_a8_parameters() {
+        let d = Dragonfly::paper_a8();
+        assert_eq!(d.groups(), 33);
+        assert_eq!(d.num_switches(), 264);
+        assert_eq!(d.radix(), 15);
+        assert_eq!(d.max_hosts(), 1056);
+    }
+
+    #[test]
+    fn fabric_structure() {
+        let d = Dragonfly { a: 4 };
+        let g = d.build_fabric().unwrap();
+        // a=4: h=p=2, groups=9, m=36, r=7
+        assert_eq!(g.num_switches(), 36);
+        // every switch: (a-1)=3 local + h=2 global links
+        assert!((0..36).all(|s| g.neighbors(s).len() == 5));
+        // total links: 9 cliques of 6 + C(9,2)=36 global
+        assert_eq!(g.num_links(), 9 * 6 + 36);
+        assert!(g.is_connected());
+        // host ports left: r − 5 = 2 = p
+        assert!((0..36).all(|s| g.free_ports(s) == 2));
+    }
+
+    #[test]
+    fn switch_diameter_is_three() {
+        // local → global → local: at most 3 switch hops.
+        let d = Dragonfly { a: 4 };
+        let g = d.build_fabric().unwrap();
+        for s in 0..g.num_switches() {
+            let dmax = g.switch_distances(s).into_iter().max().unwrap();
+            assert!(dmax <= 3, "ecc from {s} is {dmax}");
+        }
+    }
+
+    #[test]
+    fn host_diameter_is_five() {
+        let d = Dragonfly { a: 4 };
+        let g = d.build_with_hosts(d.max_hosts(), AttachOrder::Sequential).unwrap();
+        let m = path_metrics(&g).unwrap();
+        assert_eq!(m.diameter, 5);
+        assert!(m.haspl < 5.0);
+    }
+
+    #[test]
+    fn odd_group_size_rejected() {
+        assert!(Dragonfly { a: 5 }.build_fabric().is_err());
+    }
+
+    #[test]
+    fn paper_a8_builds() {
+        let d = Dragonfly::paper_a8();
+        let g = d.build_fabric().unwrap();
+        assert!(g.is_connected());
+        assert!((0..264).all(|s| g.free_ports(s) == 4));
+    }
+}

@@ -1,0 +1,184 @@
+//! The three-layer `K`-ary fat-tree of §6.1.3 (Al-Fares et al.,
+//! SIGCOMM 2008):
+//!
+//! * `K` pods, each with `K/2` edge and `K/2` aggregation switches,
+//! * `(K/2)²` core switches,
+//! * formulae (5): `r = K`, `m = 5K²/4`, `n = K³/4`,
+//! * only edge switches host computers (`K/2` each) — an *indirect*
+//!   network in the paper's taxonomy.
+
+use crate::spec::Topology;
+use orp_core::error::GraphError;
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// A `K`-ary three-layer fat-tree (`K` even, ≥ 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTree {
+    /// Ports per switch (the paper's `K`).
+    pub k: u32,
+}
+
+impl FatTree {
+    /// The Fig. 11 instance: 16-ary fat-tree → `m = 320`, `r = 16`,
+    /// `n = 1024`.
+    pub fn paper_16ary() -> Self {
+        Self { k: 16 }
+    }
+
+    fn half(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Switch ids: edge switches first (`pod·K/2 + i`), then aggregation
+    /// (`K²/2 + pod·K/2 + i`), then core (`K² + g·K/2 + j` for core group
+    /// `g`, member `j`).
+    fn edge(&self, pod: u32, i: u32) -> Switch {
+        pod * self.half() + i
+    }
+
+    fn agg(&self, pod: u32, i: u32) -> Switch {
+        self.k * self.half() + pod * self.half() + i
+    }
+
+    fn core(&self, grp: u32, j: u32) -> Switch {
+        2 * self.k * self.half() + grp * self.half() + j
+    }
+
+    fn check(&self) -> Result<(), GraphError> {
+        if self.k < 4 || !self.k.is_multiple_of(2) {
+            return Err(GraphError::InvalidParameters(format!(
+                "fat-tree needs even K >= 4, got {}",
+                self.k
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of edge switches (`K²/2`), the only layer holding hosts.
+    pub fn num_edge_switches(&self) -> u32 {
+        self.k * self.half()
+    }
+}
+
+impl Topology for FatTree {
+    fn name(&self) -> String {
+        format!("{}-ary fat-tree", self.k)
+    }
+
+    fn radix(&self) -> u32 {
+        self.k
+    }
+
+    fn num_switches(&self) -> u32 {
+        5 * self.k * self.k / 4
+    }
+
+    fn max_hosts(&self) -> u32 {
+        self.k * self.k * self.k / 4
+    }
+
+    fn build_fabric(&self) -> Result<HostSwitchGraph, GraphError> {
+        self.check()?;
+        let mut g = HostSwitchGraph::new(self.num_switches(), self.k)?;
+        let half = self.half();
+        for pod in 0..self.k {
+            for e in 0..half {
+                for a in 0..half {
+                    g.add_link(self.edge(pod, e), self.agg(pod, a))?;
+                }
+            }
+            // aggregation switch `a` of every pod uplinks to core group `a`
+            for a in 0..half {
+                for j in 0..half {
+                    g.add_link(self.agg(pod, a), self.core(a, j))?;
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Hosts attach to edge switches only, `K/2` per edge switch.
+    fn host_capacity(&self, _fabric: &HostSwitchGraph) -> Vec<u32> {
+        let mut cap = vec![0u32; self.num_switches() as usize];
+        for s in 0..self.num_edge_switches() {
+            cap[s as usize] = self.half();
+        }
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attach::AttachOrder;
+    use orp_core::metrics::path_metrics;
+
+    #[test]
+    fn paper_16ary_parameters() {
+        let f = FatTree::paper_16ary();
+        assert_eq!(f.num_switches(), 320);
+        assert_eq!(f.max_hosts(), 1024);
+        assert_eq!(f.radix(), 16);
+    }
+
+    #[test]
+    fn fabric_structure_k4() {
+        let f = FatTree { k: 4 };
+        let g = f.build_fabric().unwrap();
+        assert_eq!(g.num_switches(), 20);
+        // edge switches: 2 uplinks used, 2 ports free for hosts
+        for s in 0..8 {
+            assert_eq!(g.neighbors(s).len(), 2, "edge {s}");
+            assert_eq!(g.free_ports(s), 2);
+        }
+        // aggregation: 2 down + 2 up = full
+        for s in 8..16 {
+            assert_eq!(g.neighbors(s).len(), 4, "agg {s}");
+        }
+        // core: one link per pod = 4
+        for s in 16..20 {
+            assert_eq!(g.neighbors(s).len(), 4, "core {s}");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn full_fat_tree_diameter_six() {
+        let f = FatTree { k: 4 };
+        let g = f.build_with_hosts(16, AttachOrder::Sequential).unwrap();
+        let m = path_metrics(&g).unwrap();
+        // edge→agg→core→agg→edge = 4 switch hops, +2 host hops
+        assert_eq!(m.diameter, 6);
+        assert_eq!(g.num_hosts(), 16);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn hosts_only_on_edge_layer() {
+        let f = FatTree { k: 4 };
+        let g = f.build_with_hosts(16, AttachOrder::Sequential).unwrap();
+        for s in 0..8 {
+            assert_eq!(g.host_count(s), 2);
+        }
+        for s in 8..20 {
+            assert_eq!(g.host_count(s), 0);
+        }
+    }
+
+    #[test]
+    fn intra_pod_distance() {
+        let f = FatTree { k: 4 };
+        let g = f.build_fabric().unwrap();
+        // two edge switches of pod 0 are 2 apart (via an aggregation)
+        let d = g.switch_distances(f.edge(0, 0));
+        assert_eq!(d[f.edge(0, 1) as usize], 2);
+        // edge switches of different pods are 4 apart (via core)
+        assert_eq!(d[f.edge(1, 0) as usize], 4);
+    }
+
+    #[test]
+    fn odd_k_rejected() {
+        assert!(FatTree { k: 5 }.build_fabric().is_err());
+        assert!(FatTree { k: 2 }.build_fabric().is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! The K-ary N-mesh: the torus of §6.1.1 without wraparound links — the
+//! 2-D/3-D workhorse of 1980s machines the paper's history section
+//! recalls. Boundary switches keep more ports free for hosts, which
+//! makes the mesh a natural test of non-uniform host capacity.
+
+use crate::spec::Topology;
+use orp_core::error::GraphError;
+use orp_core::graph::{HostSwitchGraph, Switch};
+
+/// A `dim`-dimensional mesh with `base` switches per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    /// Number of dimensions.
+    pub dim: u32,
+    /// Switches per dimension.
+    pub base: u32,
+    /// Switch radix; must exceed `2·dim` (interior switches use that
+    /// many mesh ports).
+    pub radix: u32,
+}
+
+impl Mesh {
+    fn index(&self, addr: &[u32]) -> Switch {
+        let mut id = 0u64;
+        for &a in addr.iter().rev() {
+            id = id * self.base as u64 + a as u64;
+        }
+        id as Switch
+    }
+
+    fn check(&self) -> Result<(), GraphError> {
+        if self.dim == 0 || self.base < 2 {
+            return Err(GraphError::InvalidParameters(format!(
+                "mesh needs dim >= 1 and base >= 2, got K={} N={}",
+                self.dim, self.base
+            )));
+        }
+        if self.radix <= 2 * self.dim {
+            return Err(GraphError::InvalidParameters(format!(
+                "radix {} must exceed the {} mesh ports of interior switches",
+                self.radix,
+                2 * self.dim
+            )));
+        }
+        if (self.base as u64).pow(self.dim) > u32::MAX as u64 {
+            return Err(GraphError::InvalidParameters("mesh too large".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Topology for Mesh {
+    fn name(&self) -> String {
+        format!("{}-D {}-ary mesh (r={})", self.dim, self.base, self.radix)
+    }
+
+    fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    fn num_switches(&self) -> u32 {
+        (self.base as u64).pow(self.dim) as u32
+    }
+
+    fn max_hosts(&self) -> u32 {
+        // per-switch capacity depends on boundary position; sum exactly
+        let m = self.num_switches();
+        let mut total = 0u32;
+        let mut addr = vec![0u32; self.dim as usize];
+        for s in 0..m {
+            let mut rest = s;
+            for a in addr.iter_mut() {
+                *a = rest % self.base;
+                rest /= self.base;
+            }
+            let mesh_ports: u32 = addr
+                .iter()
+                .map(|&a| u32::from(a > 0) + u32::from(a + 1 < self.base))
+                .sum();
+            total += self.radix - mesh_ports;
+        }
+        total
+    }
+
+    fn build_fabric(&self) -> Result<HostSwitchGraph, GraphError> {
+        self.check()?;
+        let m = self.num_switches();
+        let mut g = HostSwitchGraph::new(m, self.radix)?;
+        let mut addr = vec![0u32; self.dim as usize];
+        for s in 0..m {
+            let mut rest = s;
+            for a in addr.iter_mut() {
+                *a = rest % self.base;
+                rest /= self.base;
+            }
+            for d in 0..self.dim as usize {
+                if addr[d] + 1 < self.base {
+                    let orig = addr[d];
+                    addr[d] = orig + 1;
+                    let t = self.index(&addr);
+                    addr[d] = orig;
+                    g.add_link(s, t)?;
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attach::AttachOrder;
+    use orp_core::metrics::path_metrics;
+
+    #[test]
+    fn mesh_link_count() {
+        // 2-D 4x4 mesh: 2·4·3 = 24 links
+        let m = Mesh { dim: 2, base: 4, radix: 8 };
+        let g = m.build_fabric().unwrap();
+        assert_eq!(g.num_links(), 24);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn corners_have_more_capacity() {
+        let m = Mesh { dim: 2, base: 4, radix: 8 };
+        let g = m.build_fabric().unwrap();
+        // corner (0,0) uses 2 ports, interior (1,1) uses 4
+        assert_eq!(g.free_ports(0), 6);
+        assert_eq!(g.free_ports(5), 4);
+    }
+
+    #[test]
+    fn max_hosts_counts_boundaries() {
+        let m = Mesh { dim: 1, base: 3, radix: 4 };
+        // path of 3: ends use 1 port (3 free), middle 2 (2 free) → 8
+        assert_eq!(m.max_hosts(), 8);
+    }
+
+    #[test]
+    fn mesh_diameter_exceeds_torus() {
+        let mesh = Mesh { dim: 1, base: 6, radix: 4 };
+        let g = mesh.build_with_hosts(6, AttachOrder::RoundRobin).unwrap();
+        let d = path_metrics(&g).unwrap().diameter;
+        assert_eq!(d, 5 + 2); // path end-to-end
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Mesh { dim: 2, base: 4, radix: 4 }.build_fabric().is_err());
+        assert!(Mesh { dim: 0, base: 4, radix: 6 }.build_fabric().is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! The [`Topology`] trait: a family of switch fabrics that can be
+//! instantiated as host-switch graphs and populated with hosts.
+
+use crate::attach::{attach_hosts, AttachOrder};
+use orp_core::error::GraphError;
+use orp_core::graph::HostSwitchGraph;
+
+/// A parametric interconnection topology (torus, dragonfly, fat-tree, …)
+/// viewed as a host-switch graph generator.
+pub trait Topology {
+    /// Human-readable name including the key parameters.
+    fn name(&self) -> String;
+
+    /// Ports per switch.
+    fn radix(&self) -> u32;
+
+    /// Number of switches `m`.
+    fn num_switches(&self) -> u32;
+
+    /// Maximum number of connectable hosts.
+    fn max_hosts(&self) -> u32;
+
+    /// Builds the switch fabric (no hosts attached).
+    fn build_fabric(&self) -> Result<HostSwitchGraph, GraphError>;
+
+    /// Per-switch host capacity; defaults to the free ports of the fabric.
+    /// Indirect networks (e.g. the fat-tree) override this to restrict
+    /// hosts to specific layers.
+    fn host_capacity(&self, fabric: &HostSwitchGraph) -> Vec<u32> {
+        (0..fabric.num_switches()).map(|s| fabric.free_ports(s)).collect()
+    }
+
+    /// Builds the fabric and attaches `n` hosts in the given order
+    /// (§6.2.1: conventional topologies attach sequentially).
+    fn build_with_hosts(
+        &self,
+        n: u32,
+        order: AttachOrder,
+    ) -> Result<HostSwitchGraph, GraphError> {
+        if n > self.max_hosts() {
+            return Err(GraphError::InvalidParameters(format!(
+                "{} holds at most {} hosts, asked {n}",
+                self.name(),
+                self.max_hosts()
+            )));
+        }
+        let mut g = self.build_fabric()?;
+        let cap = self.host_capacity(&g);
+        attach_hosts(&mut g, &cap, n, order)?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::Torus;
+
+    #[test]
+    fn build_with_hosts_respects_max() {
+        let t = Torus::paper_5d();
+        assert!(t.build_with_hosts(1216, AttachOrder::Sequential).is_err());
+        let g = t.build_with_hosts(1024, AttachOrder::Sequential).unwrap();
+        assert_eq!(g.num_hosts(), 1024);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! `orp` — command-line front end to the Order/Radix Problem toolkit.
+//!
+//! ```text
+//! orp bounds  <n> <r>                  lower bounds and m_opt prediction
+//! orp solve   <n> <r> [iters] [out]    anneal a topology, optionally save it
+//! orp eval    <file.hsg>               metrics of a saved host-switch graph
+//! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
+//! orp simulate <file.hsg> [bench]      run an NPB kernel on a saved graph
+//! orp partition <file.hsg> [k]         bandwidth (edge cut) for P = 2..k
+//! orp layout  <file.hsg> [per_cab]     floorplan power/cost (naive + optimized)
+//! ```
+
+use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::bounds::{diameter_lower_bound, haspl_lower_bound, optimal_switch_count};
+use orp::core::io;
+use orp::core::metrics::path_metrics;
+use orp::core::HostSwitchGraph;
+use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
+use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::npb::Benchmark;
+use orp::netsim::report::run_benchmark;
+use orp::partition::{partition, Graph as CutGraph, PartitionConfig};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<HostSwitchGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    io::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn arg_num<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
+    args.get(i).and_then(|a| a.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let n: u64 = args.first().and_then(|a| a.parse().ok()).ok_or("usage: orp bounds <n> <r>")?;
+    let r: u64 = args.get(1).and_then(|a| a.parse().ok()).ok_or("usage: orp bounds <n> <r>")?;
+    let (m_opt, a_opt) = optimal_switch_count(n, r);
+    println!("order n = {n}, radix r = {r}");
+    println!("diameter lower bound (Thm 1):  {}", diameter_lower_bound(n, r));
+    println!("h-ASPL lower bound (Thm 2):    {:.4}", haspl_lower_bound(n, r));
+    println!("predicted m_opt:               {m_opt}");
+    println!("continuous Moore bound there:  {a_opt:.4}");
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let n: u32 = args.first().and_then(|a| a.parse().ok()).ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
+    let r: u32 = args.get(1).and_then(|a| a.parse().ok()).ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
+    let iters: usize = arg_num(args, 2, 8000);
+    let cfg = SaConfig { iters, seed: 1, parallel_eval: n >= 1024, ..Default::default() };
+    let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "m = {m}, h-ASPL = {:.4} (bound {:.4}), diameter = {}",
+        res.metrics.haspl,
+        haspl_lower_bound(n as u64, r as u64),
+        res.metrics.diameter
+    );
+    if let Some(out) = args.get(3) {
+        std::fs::write(out, io::to_string(&res.graph)).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("usage: orp eval <file.hsg>")?)?;
+    g.validate().map_err(|e| e.to_string())?;
+    let pm = path_metrics(&g).ok_or("graph is disconnected")?;
+    println!("n = {}, m = {}, r = {}", g.num_hosts(), g.num_switches(), g.radix());
+    println!("links = {}", g.num_links());
+    println!("h-ASPL = {:.4}", pm.haspl);
+    println!("diameter = {}", pm.diameter);
+    println!(
+        "bounds: h-ASPL >= {:.4}, diameter >= {}",
+        haspl_lower_bound(g.num_hosts() as u64, g.radix() as u64),
+        diameter_lower_bound(g.num_hosts() as u64, g.radix() as u64)
+    );
+    let hist = g.host_distribution();
+    println!("host distribution (hosts: switches): {:?}",
+        hist.iter().enumerate().filter(|(_, &c)| c > 0).collect::<Vec<_>>());
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use orp::topo::prelude::*;
+    let n: u32 = arg_num(args, 0, 1024);
+    let r: u32 = arg_num(args, 1, 16);
+    println!("{:<28} {:>5} {:>4} {:>8} {:>3}", "topology", "m", "r", "h-ASPL", "D");
+    let row = |name: String, g: &HostSwitchGraph| {
+        let pm = path_metrics(g).expect("connected");
+        println!("{:<28} {:>5} {:>4} {:>8.4} {:>3}", name, g.num_switches(), g.radix(), pm.haspl, pm.diameter);
+    };
+    let torus = Torus::paper_5d();
+    if n <= torus.max_hosts() {
+        row(torus.name(), &torus.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+    }
+    let df = Dragonfly::paper_a8();
+    if n <= df.max_hosts() {
+        row(df.name(), &df.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+    }
+    let ft = FatTree::paper_16ary();
+    if n <= ft.max_hosts() {
+        row(ft.name(), &ft.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+    }
+    let cfg = SaConfig { iters: 5000, seed: 1, ..Default::default() };
+    let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
+    row(format!("proposed ORP (m_opt={m})"), &res.graph);
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("usage: orp simulate <file.hsg> [bench] [iters]")?)?;
+    let name = args.get(1).map(String::as_str).unwrap_or("MG");
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark {name}; one of BT CG EP FT IS LU MG SP"))?;
+    let iters: usize = arg_num(args, 2, 1);
+    let ranks = g.num_hosts();
+    let net = Network::new(&g, NetConfig::default());
+    let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters);
+    println!(
+        "{} on {} ranks: sim time {:.6} s, {:.0} Mop/s, {} flows, {:.3e} bytes",
+        res.name, ranks, res.time, res.mops, res.flows, res.bytes
+    );
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("usage: orp partition <file.hsg> [max_k]")?)?;
+    let max_k: usize = arg_num(args, 1, 16);
+    let n = g.num_hosts();
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|h| (h, n + g.switch_of(h))).collect();
+    edges.extend(g.links().map(|(a, b)| (n + a, n + b)));
+    let cg = CutGraph::from_edges((n + g.num_switches()) as usize, &edges);
+    println!("{:<4} {:>10}", "P", "edge cut");
+    for k in 2..=max_k.max(2) {
+        let p = partition(&cg, k, &PartitionConfig::default());
+        println!("{k:<4} {:>10}", p.cut);
+    }
+    Ok(())
+}
+
+fn cmd_layout(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("usage: orp layout <file.hsg> [switches_per_cabinet]")?)?;
+    let per: u32 = arg_num(args, 1, 1);
+    let hw = HardwareModel::default();
+    let naive = evaluate(&g, &Floorplan::new(&g, per), &hw);
+    let opt = evaluate(&g, &optimized_floorplan(&g, per, 1), &hw);
+    println!("{:<26} {:>12} {:>12}", "", "id-order", "optimized");
+    println!("{:<26} {:>12.0} {:>12.0}", "cable length (m)", naive.cable_m, opt.cable_m);
+    println!("{:<26} {:>12} {:>12}", "optical cables", naive.optical_cables, opt.optical_cables);
+    println!("{:<26} {:>12.0} {:>12.0}", "power (W)", naive.total_power(), opt.total_power());
+    println!("{:<26} {:>12.0} {:>12.0}", "cable cost ($)", naive.cable_cost, opt.cable_cost);
+    println!("{:<26} {:>12.0} {:>12.0}", "total cost ($)", naive.total_cost(), opt.total_cost());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: orp <bounds|solve|eval|compare|simulate|partition|layout> ...");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "bounds" => cmd_bounds(rest),
+        "solve" => cmd_solve(rest),
+        "eval" => cmd_eval(rest),
+        "compare" => cmd_compare(rest),
+        "simulate" => cmd_simulate(rest),
+        "partition" => cmd_partition(rest),
+        "layout" => cmd_layout(rest),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # orp — the Order/Radix Problem toolkit
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! *"Order/Radix Problem: Towards Low End-to-End Latency Interconnection
+//! Networks"* (Yasudo et al., ICPP 2017) plus the substrates its
+//! evaluation needs (network simulator, graph partitioner, floorplanner)
+//! and a set of extensions (exact solver, Slim Fly, packet-level
+//! validation, placement optimisation).
+//!
+//! ## Map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `orp-core` | host-switch graphs, h-ASPL metrics, bounds, SA solver |
+//! | [`topo`] | `orp-topo` | torus, mesh, dragonfly, fat-tree, Slim Fly |
+//! | [`route`] | `orp-route` | shortest-path/ECMP, up*/down*, Valiant |
+//! | [`netsim`] | `orp-netsim` | fluid + packet simulators, MPI, NPB skeletons |
+//! | [`partition`] | `orp-partition` | multilevel k-way partitioner, max-flow |
+//! | [`layout`] | `orp-layout` | floorplans, cables, power/cost, placement |
+//!
+//! ## The 30-second tour
+//!
+//! ```
+//! use orp::core::anneal::{solve_orp, SaConfig};
+//! use orp::core::bounds::optimal_switch_count;
+//!
+//! // The paper's design recipe: m_opt from the continuous Moore bound…
+//! let (m_opt, bound) = optimal_switch_count(256, 12);
+//! // …then 2-neighbor-swing simulated annealing at that switch count.
+//! let cfg = SaConfig { iters: 2_000, seed: 42, ..Default::default() };
+//! let (result, m) = solve_orp(256, 12, &cfg).unwrap();
+//! assert_eq!(m as u64, m_opt);
+//! assert!(result.metrics.haspl >= bound * 0.95); // sanity, not tightness
+//! ```
+
+pub use orp_core as core;
+pub use orp_layout as layout;
+pub use orp_netsim as netsim;
+pub use orp_partition as partition;
+pub use orp_route as route;
+pub use orp_topo as topo;

@@ -1,0 +1,88 @@
+//! End-to-end integration: the full §5.3 pipeline (m_opt prediction →
+//! annealing → relabelling → serialization) with bound checks at every
+//! stage.
+
+use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::bounds::{
+    continuous_moore_haspl, diameter_lower_bound, haspl_lower_bound, optimal_switch_count,
+};
+use orp::core::io;
+use orp::core::metrics::{path_metrics, path_metrics_par};
+use orp::topo::attach::relabel_hosts_dfs;
+
+fn small_cfg() -> SaConfig {
+    SaConfig { iters: 1500, seed: 11, ..Default::default() }
+}
+
+#[test]
+fn solve_respects_all_lower_bounds() {
+    for (n, r) in [(64u32, 8u32), (128, 12), (96, 10)] {
+        let (res, m) = solve_orp(n, r, &small_cfg()).expect("feasible");
+        let haspl_lb = haspl_lower_bound(n as u64, r as u64);
+        let d_lb = diameter_lower_bound(n as u64, r as u64);
+        assert!(
+            res.metrics.haspl >= haspl_lb - 1e-9,
+            "n={n} r={r}: {} < bound {haspl_lb}",
+            res.metrics.haspl
+        );
+        assert!(res.metrics.diameter >= d_lb, "n={n} r={r}");
+        // continuous Moore bound at the chosen m is also a lower bound
+        // for the *regular* relaxation; the annealed non-regular graph
+        // may beat it slightly only when m < m_opt (tree-like regime),
+        // never at m = m_opt
+        let cmb = continuous_moore_haspl(n as u64, m as u64, r as u64);
+        assert!(res.metrics.haspl >= cmb - 0.25, "far below Moore? {}", res.metrics.haspl);
+    }
+}
+
+#[test]
+fn m_opt_is_finite_and_feasible_across_grid() {
+    for n in [32u64, 100, 256, 1000, 1024] {
+        for r in [6u64, 10, 16, 24] {
+            let (m, a) = optimal_switch_count(n, r);
+            assert!(m >= 1 && m <= n);
+            assert!(a.is_finite(), "n={n} r={r}");
+            assert!(a >= 2.0);
+        }
+    }
+}
+
+#[test]
+fn relabelled_graph_has_identical_metrics() {
+    let (res, _) = solve_orp(96, 10, &small_cfg()).expect("feasible");
+    let relabeled = relabel_hosts_dfs(&res.graph, 0);
+    let a = path_metrics(&res.graph).unwrap();
+    let b = path_metrics(&relabeled).unwrap();
+    assert_eq!(a.total_length, b.total_length);
+    assert_eq!(a.diameter, b.diameter);
+    relabeled.validate().unwrap();
+}
+
+#[test]
+fn solution_survives_serialization() {
+    let (res, _) = solve_orp(64, 8, &small_cfg()).expect("feasible");
+    let text = io::to_string(&res.graph);
+    let parsed = io::from_str(&text).expect("own output parses");
+    let a = path_metrics(&res.graph).unwrap();
+    let b = path_metrics(&parsed).unwrap();
+    assert_eq!(a.total_length, b.total_length);
+    assert_eq!(res.graph.host_counts(), parsed.host_counts());
+}
+
+#[test]
+fn sequential_and_parallel_metrics_agree_on_solutions() {
+    let (res, _) = solve_orp(128, 12, &small_cfg()).expect("feasible");
+    let s = path_metrics(&res.graph).unwrap();
+    let p = path_metrics_par(&res.graph).unwrap();
+    assert_eq!(s.total_length, p.total_length);
+    assert_eq!(s.diameter, p.diameter);
+}
+
+#[test]
+fn deeper_annealing_never_hurts_the_best() {
+    let short = SaConfig { iters: 300, seed: 5, ..Default::default() };
+    let long = SaConfig { iters: 3000, seed: 5, ..Default::default() };
+    let (a, _) = solve_orp(96, 10, &short).expect("feasible");
+    let (b, _) = solve_orp(96, 10, &long).expect("feasible");
+    assert!(b.metrics.haspl <= a.metrics.haspl + 1e-12);
+}

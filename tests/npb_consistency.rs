@@ -1,0 +1,120 @@
+//! Consistency checks of the NPB communication skeletons: volumes match
+//! the kernels' published communication formulas and scale correctly
+//! with rank count and class.
+
+use orp::core::construct::random_general;
+use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::npb::{Benchmark, Class};
+use orp::netsim::simulate;
+
+fn run(bench: Benchmark, n: u32, class: Class) -> orp::netsim::SimReport {
+    let g = random_general(n, (n / 4).max(4), 10, 3).unwrap();
+    let net = Network::new(&g, NetConfig::default());
+    simulate(&net, bench.build(n, class, 1))
+}
+
+#[test]
+fn ft_moves_one_grid_per_transpose() {
+    // FT Class A: 256×256×128 complex points × 16 B ≈ 134 MB per
+    // alltoall; the skeleton runs one transpose per iteration
+    let rep = run(Benchmark::Ft, 16, Class::A);
+    let grid = 256.0 * 256.0 * 128.0 * 16.0;
+    let comm = rep.bytes;
+    assert!(comm > grid * (15.0 / 16.0) * 0.99, "{comm} vs {grid}");
+    assert!(comm < grid * 1.1);
+}
+
+#[test]
+fn is_moves_the_key_array() {
+    // IS Class A: 2^23 keys × 4 B redistributed (n−1)/n of it
+    let rep = run(Benchmark::Is, 16, Class::A);
+    let keys = (1u64 << 23) as f64 * 4.0;
+    assert!(rep.bytes > keys * 0.9);
+    assert!(rep.bytes < keys * 1.7); // + allreduces
+}
+
+#[test]
+fn ep_is_nearly_communication_free() {
+    let rep = run(Benchmark::Ep, 16, Class::B);
+    // two small allreduces only
+    assert!(rep.bytes < 16.0 * 4.0 * 100.0);
+    assert!(rep.flops > 1e10);
+}
+
+#[test]
+fn class_b_never_lighter_than_class_a() {
+    for bench in [Benchmark::Is, Benchmark::Ft, Benchmark::Cg, Benchmark::Lu] {
+        let a = run(bench, 16, Class::A);
+        let b = run(bench, 16, Class::B);
+        assert!(
+            b.flops >= a.flops * 0.99,
+            "{}: B flops {} < A flops {}",
+            bench.name(),
+            b.flops,
+            a.flops
+        );
+    }
+}
+
+#[test]
+fn flow_counts_grow_with_ranks() {
+    for bench in [Benchmark::Mg, Benchmark::Bt, Benchmark::Lu] {
+        let small = run(bench, 16, Class::A);
+        let large = run(bench, 64, Class::A);
+        assert!(
+            large.flows > small.flows,
+            "{}: {} vs {}",
+            bench.name(),
+            large.flows,
+            small.flows
+        );
+    }
+}
+
+#[test]
+fn alltoall_benchmarks_have_quadratic_flow_counts() {
+    for bench in [Benchmark::Is, Benchmark::Ft] {
+        let n16 = run(bench, 16, Class::A).flows;
+        let n64 = run(bench, 64, Class::A).flows;
+        // n(n−1) scaling dominates: 64²/16² = 16×
+        let ratio = n64 as f64 / n16 as f64;
+        assert!(
+            (10.0..24.0).contains(&ratio),
+            "{}: ratio {ratio}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn total_flops_are_rank_count_invariant() {
+    // the same problem divided among more ranks: total work constant
+    for bench in [Benchmark::Ft, Benchmark::Ep] {
+        let a = run(bench, 16, Class::A);
+        let b = run(bench, 64, Class::A);
+        let ratio = b.flops / a.flops;
+        assert!(
+            (0.9..1.4).contains(&ratio),
+            "{}: flops ratio {ratio} (comm-combine flops may add a little)",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn per_iteration_structure_is_steady_state() {
+    // 3 iterations ≈ 3 × 1 iteration in both bytes and flows
+    let g = random_general(16, 4, 10, 3).unwrap();
+    let net = Network::new(&g, NetConfig::default());
+    for bench in [Benchmark::Is, Benchmark::Mg, Benchmark::Cg] {
+        let one = simulate(&net, bench.build(16, Class::A, 1));
+        let three = simulate(&net, bench.build(16, Class::A, 3));
+        let byte_ratio = three.bytes / one.bytes;
+        assert!(
+            (2.9..3.1).contains(&byte_ratio),
+            "{}: byte ratio {byte_ratio}",
+            bench.name()
+        );
+        assert_eq!(three.flows, 3 * one.flows, "{}", bench.name());
+    }
+}

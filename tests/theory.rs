@@ -1,0 +1,107 @@
+//! Empirical validation of the paper's theory sections: the Lemma 1
+//! improvement step, the Theorem 3 clique optimality (via exhaustive
+//! search), the Moore-bound hierarchy, and Eq. (1)'s regular-graph
+//! identity.
+
+use orp::core::bounds::{
+    clique_capacity, continuous_moore_haspl, haspl_lower_bound, min_clique_switches,
+    moore_haspl,
+};
+use orp::core::construct::{clique, random_regular};
+use orp::core::exact::solve_exact;
+use orp::core::metrics::{haspl_from_switch_aspl, path_metrics, switch_aspl};
+use orp::core::HostSwitchGraph;
+
+/// Lemma 1: a switch at maximum distance holding exactly one host is
+/// wasteful — replacing it by a direct host attachment shortens the
+/// single-source distances by exactly 1/(n−1) on average.
+#[test]
+fn lemma1_conversion_improves_haspl() {
+    // path: s0(h0,h1) - s1 - s2(h2): switch s2 holds exactly one host at
+    // max distance; Lemma 1 converts s2 into a host on s1.
+    let mut g = HostSwitchGraph::new(3, 4).unwrap();
+    g.add_link(0, 1).unwrap();
+    g.add_link(1, 2).unwrap();
+    g.attach_host(0).unwrap();
+    g.attach_host(0).unwrap();
+    g.attach_host(2).unwrap();
+    let before = path_metrics(&g).unwrap();
+
+    let mut improved = HostSwitchGraph::new(2, 4).unwrap();
+    improved.add_link(0, 1).unwrap();
+    improved.attach_host(0).unwrap();
+    improved.attach_host(0).unwrap();
+    improved.attach_host(1).unwrap();
+    let after = path_metrics(&improved).unwrap();
+    assert!(
+        after.haspl < before.haspl,
+        "Lemma 1: {} should beat {}",
+        after.haspl,
+        before.haspl
+    );
+}
+
+/// Theorem 3 (Appendix): in the clique regime, the clique construction
+/// is exactly optimal — certified by exhaustive search.
+#[test]
+fn theorem3_certified_by_exhaustive_search() {
+    for (n, r) in [(7u32, 4u32), (8, 5), (10, 6), (12, 7)] {
+        let m = min_clique_switches(n as u64, r as u64);
+        let Some(m) = m else { continue };
+        if m > 4 {
+            continue; // keep the exhaustive search tractable
+        }
+        let cl = clique(n, r).unwrap();
+        let cl_metrics = path_metrics(&cl).unwrap();
+        let exact = solve_exact(n, r, 4).unwrap();
+        assert_eq!(
+            exact.metrics.total_length, cl_metrics.total_length,
+            "(n={n}, r={r}): clique {} vs exact {}",
+            cl_metrics.haspl, exact.metrics.haspl
+        );
+    }
+}
+
+/// The bound hierarchy: Theorem-2 ≤ continuous Moore at m_opt ≤ the
+/// measured h-ASPL of any real graph.
+#[test]
+fn bound_hierarchy_holds() {
+    for (n, m, r, seed) in [(128u32, 32u32, 12u32, 1u64), (256, 64, 12, 2), (96, 24, 10, 3)] {
+        let g = random_regular(n, m, r, seed).unwrap();
+        let measured = path_metrics(&g).unwrap().haspl;
+        let thm2 = haspl_lower_bound(n as u64, r as u64);
+        let moore = moore_haspl(n as u64, m as u64, r as u64).unwrap();
+        let cont = continuous_moore_haspl(n as u64, m as u64, r as u64);
+        assert!(thm2 <= moore + 1e-9, "Thm2 {thm2} vs Moore {moore}");
+        assert!((moore - cont).abs() < 1e-9, "Eq.2 at a divisor");
+        assert!(moore <= measured + 1e-9, "Moore {moore} vs measured {measured}");
+    }
+}
+
+/// Equation (1): regular host-switch graphs satisfy
+/// `A(G) = A(G')·(mn−n)/(mn−m) + 2` exactly.
+#[test]
+fn equation1_exact_for_regular_graphs() {
+    for seed in 0..4u64 {
+        let g = random_regular(144, 36, 12, seed).unwrap();
+        let direct = path_metrics(&g).unwrap().haspl;
+        let via_eq1 =
+            haspl_from_switch_aspl(switch_aspl(&g).unwrap(), g.num_hosts(), g.num_switches());
+        assert!((direct - via_eq1).abs() < 1e-12, "seed {seed}: {direct} vs {via_eq1}");
+    }
+}
+
+/// §3.2's case analysis: the h-ASPL equals 2 iff one switch suffices;
+/// the clique regime keeps it below 3.
+#[test]
+fn section32_case_boundaries() {
+    // n ≤ r: exactly 2
+    let star = orp::core::construct::star(8, 8).unwrap();
+    assert_eq!(path_metrics(&star).unwrap().haspl, 2.0);
+    // r < n ≤ max clique capacity: strictly between 2 and 3
+    let max_cap = (1..=24u64).map(|m| clique_capacity(m, 24)).max().unwrap();
+    assert_eq!(max_cap, 156); // m=12 or 13 at r=24
+    let cl = clique(156, 24).unwrap();
+    let a = path_metrics(&cl).unwrap().haspl;
+    assert!(a > 2.0 && a < 3.0, "{a}");
+}
