@@ -2,13 +2,40 @@
 //! move kind, plus the ablation the DESIGN.md calls out (swap-only vs
 //! swing-only vs 2-neighbor swing at equal budget).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use orp_core::anneal::{anneal, MoveKind, SaConfig};
 use orp_core::construct::{random_general, random_regular};
 use orp_core::metrics::path_metrics;
+use orp_core::ops::sample_swing;
+use orp_core::search::SearchState;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn cfg(iters: usize) -> SaConfig {
-    SaConfig { iters, seed: 3, ..Default::default() }
+    SaConfig {
+        iters,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+/// The raw engine transaction cycle without annealing bookkeeping:
+/// sample → begin → apply → evaluate → rollback.
+fn bench_engine_proposal(c: &mut Criterion) {
+    let g = random_general(256, 55, 12, 3).expect("constructible");
+    let mut st = SearchState::new(g, Some(false)).expect("connected");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    c.bench_function("engine_proposal_cycle", |b| {
+        b.iter(|| {
+            let Some(s) = sample_swing(st.graph(), st.edges(), &mut rng, 32) else {
+                return;
+            };
+            st.begin();
+            st.apply_swing(s).expect("sampled swing valid");
+            black_box(st.evaluate());
+            st.rollback();
+        })
+    });
 }
 
 fn bench_moves(c: &mut Criterion) {
@@ -41,11 +68,19 @@ fn ablation_quality(c: &mut Criterion) {
     println!("\n== ablation (n=256, r=12, {budget} proposals) ==");
     println!("random start (m=55):      h-ASPL {start:.4}");
     println!("swap-only (m=64 regular): h-ASPL {:.4}", swap.metrics.haspl);
-    println!("swing-only (m=55):        h-ASPL {:.4}", swing.metrics.haspl);
+    println!(
+        "swing-only (m=55):        h-ASPL {:.4}",
+        swing.metrics.haspl
+    );
     println!("2-neighbor swing (m=55):  h-ASPL {:.4}", two.metrics.haspl);
     // keep criterion happy with a trivial measured body
     c.bench_function("ablation_noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
 }
 
-criterion_group!(benches, bench_moves, ablation_quality);
+criterion_group!(
+    benches,
+    bench_engine_proposal,
+    bench_moves,
+    ablation_quality
+);
 criterion_main!(benches);

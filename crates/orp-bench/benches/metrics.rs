@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orp_core::construct::random_general;
 use orp_core::metrics::{path_metrics, path_metrics_par};
+use orp_core::search::SearchState;
 
 fn bench_path_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("path_metrics");
@@ -20,6 +21,14 @@ fn bench_path_metrics(c: &mut Criterion) {
             &g,
             |b, g| b.iter(|| path_metrics_par(g).unwrap()),
         );
+        group.bench_with_input(
+            BenchmarkId::new("engine_batched", format!("n{n}_m{m}_r{r}")),
+            &g,
+            |b, g| {
+                let mut st = SearchState::new(g.clone(), Some(false)).expect("connected");
+                b.iter(|| st.evaluate().unwrap())
+            },
+        );
     }
     group.finish();
 }
@@ -31,6 +40,10 @@ fn bench_large_fabric(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sequential", |b| b.iter(|| path_metrics(&g).unwrap()));
     group.bench_function("parallel", |b| b.iter(|| path_metrics_par(&g).unwrap()));
+    group.bench_function("engine_batched", |b| {
+        let mut st = SearchState::new(g.clone(), Some(false)).expect("connected");
+        b.iter(|| st.evaluate().unwrap())
+    });
     group.finish();
 }
 

@@ -51,26 +51,38 @@ fn main() {
         for r in &res {
             println!("  {:<4} {:>12.0} Mop/s", r.name, r.mops);
         }
-        rows.push(Row { variant: variant.into(), haspl, results: res });
+        rows.push(Row {
+            variant: variant.into(),
+            haspl,
+            results: res,
+        });
     };
 
     // proposed fabric: DFS ranks (paper) vs shuffled ranks
     let (proposed, _, m_opt) = orp_bench::proposed_topology(n, 15, &effort);
     println!("== mapping ablation on the proposed fabric (m={m_opt}) ==");
     add(&mut rows, "proposed + DFS ranks (paper)", &proposed);
-    add(&mut rows, "proposed + shuffled ranks", &shuffle_hosts(&proposed, 99));
+    add(
+        &mut rows,
+        "proposed + shuffled ranks",
+        &shuffle_hosts(&proposed, 99),
+    );
 
     // torus: sequential (paper) vs round robin attachment
     let torus = Torus::paper_5d();
     add(
         &mut rows,
         "torus + sequential attach (paper)",
-        &torus.build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+        &torus
+            .build_with_hosts(n, AttachOrder::Sequential)
+            .expect("fits"),
     );
     add(
         &mut rows,
         "torus + round-robin attach",
-        &torus.build_with_hosts(n, AttachOrder::RoundRobin).expect("fits"),
+        &torus
+            .build_with_hosts(n, AttachOrder::RoundRobin)
+            .expect("fits"),
     );
 
     // headline: mapping deltas per benchmark
@@ -80,7 +92,10 @@ fn main() {
             for (x, y) in a.results.iter().zip(&b.results) {
                 println!(
                     "  {:<4} {:>28} vs {:>28}: {:.3}",
-                    x.name, a.variant, b.variant, y.mops / x.mops
+                    x.name,
+                    a.variant,
+                    b.variant,
+                    y.mops / x.mops
                 );
             }
         }

@@ -46,15 +46,21 @@ fn main() {
     let graphs: Vec<(String, HostSwitchGraph)> = vec![
         (
             "5-D torus".into(),
-            Torus::paper_5d().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+            Torus::paper_5d()
+                .build_with_hosts(n, AttachOrder::Sequential)
+                .expect("fits"),
         ),
         (
             "dragonfly a=8".into(),
-            Dragonfly::paper_a8().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+            Dragonfly::paper_a8()
+                .build_with_hosts(n, AttachOrder::Sequential)
+                .expect("fits"),
         ),
         (
             "16-ary fat-tree".into(),
-            FatTree::paper_16ary().build_with_hosts(n, AttachOrder::Sequential).expect("fits"),
+            FatTree::paper_16ary()
+                .build_with_hosts(n, AttachOrder::Sequential)
+                .expect("fits"),
         ),
         (
             "proposed (r=15)".into(),

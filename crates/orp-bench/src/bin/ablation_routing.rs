@@ -23,8 +23,16 @@ struct Row {
     results: Vec<BenchResult>,
 }
 
-fn run(g: &HostSwitchGraph, mode: RouteMode, benches: &[Benchmark], iters: usize) -> Vec<BenchResult> {
-    let cfg = NetConfig { route_mode: mode, ..Default::default() };
+fn run(
+    g: &HostSwitchGraph,
+    mode: RouteMode,
+    benches: &[Benchmark],
+    iters: usize,
+) -> Vec<BenchResult> {
+    let cfg = NetConfig {
+        route_mode: mode,
+        ..Default::default()
+    };
     let net = Network::new(g, cfg);
     run_suite(&net, benches, g.num_hosts(), iters)
 }
@@ -42,18 +50,30 @@ fn main() {
         "{:<18} {:<12} {}",
         "topology",
         "routing",
-        benches.iter().map(|b| format!("{:>10}", b.name())).collect::<String>()
+        benches
+            .iter()
+            .map(|b| format!("{:>10}", b.name()))
+            .collect::<String>()
     );
     for (name, g) in [("fat-tree", &ft), ("proposed", &proposed)] {
-        for (mode_name, mode) in [("single-path", RouteMode::SinglePath), ("ecmp", RouteMode::Ecmp)] {
+        for (mode_name, mode) in [
+            ("single-path", RouteMode::SinglePath),
+            ("ecmp", RouteMode::Ecmp),
+        ] {
             let res = run(g, mode, &benches, effort.npb_iters);
             println!(
                 "{:<18} {:<12} {}",
                 name,
                 mode_name,
-                res.iter().map(|r| format!("{:>10.0}", r.mops)).collect::<String>()
+                res.iter()
+                    .map(|r| format!("{:>10.0}", r.mops))
+                    .collect::<String>()
             );
-            rows.push(Row { topology: name.into(), mode: mode_name.into(), results: res });
+            rows.push(Row {
+                topology: name.into(),
+                mode: mode_name.into(),
+                results: res,
+            });
         }
     }
     // ECMP gain per topology

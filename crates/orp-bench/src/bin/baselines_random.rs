@@ -28,31 +28,37 @@ fn main() {
     println!("== random baselines at n={n}, r={r}, m={m} (Thm-2 bound {lb:.4}) ==");
     println!("{:<26} {:>5} {:>9} {:>4}", "family", "m", "h-ASPL", "D");
     let mut rows: Vec<Row> = Vec::new();
-    let add = |rows: &mut Vec<Row>, family: &str, g: Option<orp_core::HostSwitchGraph>| {
-        match g {
-            Some(g) => {
-                let pm = path_metrics(&g).expect("connected");
-                println!(
-                    "{:<26} {:>5} {:>9.4} {:>4}",
-                    family,
-                    g.num_switches(),
-                    pm.haspl,
-                    pm.diameter
-                );
-                rows.push(Row {
-                    family: family.into(),
-                    m: g.num_switches(),
-                    haspl: pm.haspl,
-                    diameter: pm.diameter,
-                });
-            }
-            None => println!("{family:<26} construction failed"),
+    let add = |rows: &mut Vec<Row>, family: &str, g: Option<orp_core::HostSwitchGraph>| match g {
+        Some(g) => {
+            let pm = path_metrics(&g).expect("connected");
+            println!(
+                "{:<26} {:>5} {:>9.4} {:>4}",
+                family,
+                g.num_switches(),
+                pm.haspl,
+                pm.diameter
+            );
+            rows.push(Row {
+                family: family.into(),
+                m: g.num_switches(),
+                haspl: pm.haspl,
+                diameter: pm.diameter,
+            });
         }
+        None => println!("{family:<26} construction failed"),
     };
-    add(&mut rows, "Erdős–Rényi", erdos_renyi(n, m, r, effort.seed).ok());
+    add(
+        &mut rows,
+        "Erdős–Rényi",
+        erdos_renyi(n, m, r, effort.seed).ok(),
+    );
     // cycle+matching needs even m
     let m_even = m + m % 2;
-    add(&mut rows, "cycle + matching", cycle_plus_matching(n, m_even, r, effort.seed).ok());
+    add(
+        &mut rows,
+        "cycle + matching",
+        cycle_plus_matching(n, m_even, r, effort.seed).ok(),
+    );
     add(
         &mut rows,
         "Watts–Strogatz (β=0.1, k=10)",
@@ -63,7 +69,11 @@ fn main() {
         "Watts–Strogatz (β=1.0, k=10)",
         watts_strogatz(n, m, 10, 1.0, r, effort.seed).ok(),
     );
-    add(&mut rows, "Barabási–Albert (k=5)", barabasi_albert(n, m, 5, r, effort.seed).ok());
+    add(
+        &mut rows,
+        "Barabási–Albert (k=5)",
+        barabasi_albert(n, m, 5, r, effort.seed).ok(),
+    );
     let cfg = effort.sa_config();
     let (res, _) = solve_orp(n, r, &cfg).expect("feasible");
     add(&mut rows, "ORP annealed (ours)", Some(res.graph));

@@ -94,17 +94,21 @@ fn main() {
                 continue;
             }
             let moore = moore_haspl(n as u64, m as u64, r as u64);
+            // parallel_eval stays None: the engine auto-selects threading
             let mut cfg = effort.sa_config();
-            cfg.parallel_eval = m >= 512
-                && std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false);
             // scale effort down for the biggest fabrics
             if m > 512 {
                 cfg.iters = cfg.iters.min(3000);
             }
-            let sa_swap = anneal_regular(n, m, r, &cfg).ok().map(|res| res.metrics.haspl);
-            let sa_swing = anneal_general(n, m, r, &cfg).ok().map(|res| res.metrics.haspl);
+            let sa_swap = anneal_regular(n, m, r, &cfg)
+                .ok()
+                .map(|res| res.metrics.haspl);
+            let sa_swing = anneal_general(n, m, r, &cfg)
+                .ok()
+                .map(|res| res.metrics.haspl);
             let fmt = |o: Option<f64>| {
-                o.map(|v| format!("{v:>10.4}")).unwrap_or_else(|| format!("{:>10}", "-"))
+                o.map(|v| format!("{v:>10.4}"))
+                    .unwrap_or_else(|| format!("{:>10}", "-"))
             };
             println!(
                 "{:>5} {:>12.4} {} {} {}{}",
@@ -115,7 +119,13 @@ fn main() {
                 fmt(sa_swing),
                 if m == m_opt { "   <- m_opt" } else { "" }
             );
-            points.push(Point { m, continuous_moore: cmb, moore, sa_swap, sa_swing });
+            points.push(Point {
+                m,
+                continuous_moore: cmb,
+                moore,
+                sa_swap,
+                sa_swing,
+            });
         }
         // sanity: empirical best should be near m_opt
         if let Some(best) = points
@@ -123,9 +133,18 @@ fn main() {
             .filter(|p| p.sa_swing.is_some())
             .min_by(|a, b| a.sa_swing.unwrap().total_cmp(&b.sa_swing.unwrap()))
         {
-            println!("empirical best m (swing SA): {} vs predicted m_opt {m_opt}", best.m);
+            println!(
+                "empirical best m (swing SA): {} vs predicted m_opt {m_opt}",
+                best.m
+            );
         }
-        all.push(Series { n, r, m_opt, theorem2_bound: t2, points });
+        all.push(Series {
+            n,
+            r,
+            m_opt,
+            theorem2_bound: t2,
+            points,
+        });
     }
     let path = write_json("fig5_aspl_vs_m", &all);
     println!("\nwrote {}", path.display());

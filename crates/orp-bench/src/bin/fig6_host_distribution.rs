@@ -27,9 +27,8 @@ fn main() {
     let combos = [(128u32, 24u32), (1024, 12), (1024, 24)];
     let mut out = Vec::new();
     for (n, r) in combos {
-        let mut cfg = effort.sa_config();
-        cfg.parallel_eval = n >= 1024
-            && std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false);
+        // parallel_eval stays None: the engine auto-selects threading
+        let cfg = effort.sa_config();
         let (res, m_opt) = solve_orp(n, r, &cfg).expect("feasible");
         let hist = res.graph.host_distribution();
         let lb = haspl_lower_bound(n as u64, r as u64);
@@ -46,7 +45,11 @@ fn main() {
         let distinct = hist.iter().filter(|&&c| c > 0).count();
         println!(
             "distinct host counts: {distinct} -> {}",
-            if distinct > 1 { "NON-regular (matches the paper)" } else { "regular" }
+            if distinct > 1 {
+                "NON-regular (matches the paper)"
+            } else {
+                "regular"
+            }
         );
         out.push(Dist {
             n,

@@ -39,7 +39,11 @@ fn main() {
                 if m as u64 == m_opt { "   <- m_opt" } else { "" }
             );
         }
-        rows.push(Row { m, continuous: c, discrete: d });
+        rows.push(Row {
+            m,
+            continuous: c,
+            discrete: d,
+        });
     }
     // the two bounds agree wherever both exist
     for row in &rows {

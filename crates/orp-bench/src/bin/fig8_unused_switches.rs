@@ -28,14 +28,13 @@ fn main() {
     let effort = Effort::from_env();
     let (n, m, r) = (1024u32, 1024u32, 24u32);
     let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
-    // m = 1024 evaluations are ~25× costlier than at m_opt; use the
-    // parallel evaluator. The unused-switch fraction keeps growing with
-    // the budget (the paper's >70% is its converged value).
+    // m = 1024 evaluations are ~25× costlier than at m_opt; the engine
+    // auto-selects threaded evaluation at this size. The unused-switch
+    // fraction keeps growing with the budget (the paper's >70% is its
+    // converged value).
     let iters = effort.sa_iters;
-    let parallel = std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false);
     let cfg = SaConfig {
         iters,
-        parallel_eval: parallel,
         seed: effort.seed,
         ..Default::default()
     };
@@ -43,7 +42,10 @@ fn main() {
     let hist = res.graph.host_distribution();
     let unused = hist[0];
     println!("== Fig 8: (n, m, r) = ({n}, {m}, {r}), m_opt would be {m_opt} ==");
-    println!("h-ASPL after {iters} SA iterations: {:.4}", res.metrics.haspl);
+    println!(
+        "h-ASPL after {iters} SA iterations: {:.4}",
+        res.metrics.haspl
+    );
     println!("{:>6} {:>9}", "hosts", "switches");
     for (k, &cnt) in hist.iter().enumerate() {
         if cnt > 0 {

@@ -31,7 +31,10 @@ fn main() {
     }
 
     println!("\n== topologies at n = 1024 ==");
-    println!("{:<30} {:>5} {:>4} {:>8} {:>3}", "topology", "m", "r", "h-ASPL", "D");
+    println!(
+        "{:<30} {:>5} {:>4} {:>8} {:>3}",
+        "topology", "m", "r", "h-ASPL", "D"
+    );
     let mut rows: Vec<(String, u32)> = Vec::new();
     let mut print_row = |name: String, g: &orp_core::HostSwitchGraph| {
         let pm = path_metrics(g).expect("connected");
@@ -45,11 +48,17 @@ fn main() {
         );
         rows.push((name, g.num_switches()));
     };
-    let torus = Torus::paper_5d().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let torus = Torus::paper_5d()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     print_row(Torus::paper_5d().name(), &torus);
-    let df = Dragonfly::paper_a8().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let df = Dragonfly::paper_a8()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     print_row(Dragonfly::paper_a8().name(), &df);
-    let ft = FatTree::paper_16ary().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let ft = FatTree::paper_16ary()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     print_row(FatTree::paper_16ary().name(), &ft);
     let (p15, _, m15) = proposed_topology(n, 15, &effort);
     print_row(format!("proposed r=15 (m_opt={m15})"), &p15);
@@ -69,6 +78,13 @@ fn main() {
     }
     let (m_opt_r15, _) = optimal_switch_count(1024, 15);
     let (m_opt_r16, _) = optimal_switch_count(1024, 16);
-    let path = write_json("summary", &Summary { m_opt_r15, m_opt_r16, reductions });
+    let path = write_json(
+        "summary",
+        &Summary {
+            m_opt_r15,
+            m_opt_r16,
+            reductions,
+        },
+    );
     println!("\nwrote {}", path.display());
 }

@@ -31,9 +31,13 @@ fn main() {
     let topos: Vec<(String, HostSwitchGraph)> = vec![
         (
             "torus 3D".into(),
-            Torus { dim: 3, base: 4, radix: 10 }
-                .build_with_hosts(n, AttachOrder::Sequential)
-                .expect("fits"),
+            Torus {
+                dim: 3,
+                base: 4,
+                radix: 10,
+            }
+            .build_with_hosts(n, AttachOrder::Sequential)
+            .expect("fits"),
         ),
         (
             "dragonfly a=6".into(),
@@ -47,21 +51,26 @@ fn main() {
                 .build_with_hosts(n, AttachOrder::Sequential)
                 .expect("fits"),
         ),
-        ("proposed".into(), proposed_sketch(n, 11, effort.seed).expect("constructible")),
+        (
+            "proposed".into(),
+            proposed_sketch(n, 11, effort.seed).expect("constructible"),
+        ),
     ];
     let mut cells = Vec::new();
     let mut agreements = 0;
     let mut total = 0;
     for pattern in Pattern::all() {
         println!("\npattern: {}", pattern.name());
-        println!("{:<16} {:>12} {:>12}", "topology", "fluid (ms)", "packet (ms)");
+        println!(
+            "{:<16} {:>12} {:>12}",
+            "topology", "fluid (ms)", "packet (ms)"
+        );
         let mut fluid_rank = Vec::new();
         let mut packet_rank = Vec::new();
         for (name, g) in &topos {
             let net = Network::new(g, NetConfig::default());
             let fl = simulate(&net, pattern.programs(n, bytes, 1, effort.seed)).time;
-            let pk = packet_simulate_pattern(&net, pattern, bytes, effort.seed)
-                .makespan;
+            let pk = packet_simulate_pattern(&net, pattern, bytes, effort.seed).makespan;
             println!("{name:<16} {:>12.4} {:>12.4}", fl * 1e3, pk * 1e3);
             fluid_rank.push((name.clone(), fl));
             packet_rank.push((name.clone(), pk));

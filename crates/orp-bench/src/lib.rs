@@ -41,7 +41,10 @@ impl Effort {
     /// Reads `ORP_SA_ITERS` / `ORP_NPB_ITERS` / `ORP_FULL` / `ORP_SEED`.
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         Self {
             sa_iters: get("ORP_SA_ITERS", 8_000),
@@ -53,7 +56,11 @@ impl Effort {
 
     /// The SA configuration derived from these knobs.
     pub fn sa_config(&self) -> SaConfig {
-        SaConfig { iters: self.sa_iters, seed: self.seed, ..Default::default() }
+        SaConfig {
+            iters: self.sa_iters,
+            seed: self.seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -201,8 +208,11 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write artifact");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write artifact");
     path
 }
 
@@ -217,7 +227,11 @@ pub fn proposed_sketch(n: u32, r: u32, seed: u64) -> Option<HostSwitchGraph> {
 }
 
 /// Computes one sweep point of panels (c)/(d) from two deployed graphs.
-pub fn sweep_point(hosts: u32, baseline: &HostSwitchGraph, proposed: &HostSwitchGraph) -> SweepPoint {
+pub fn sweep_point(
+    hosts: u32,
+    baseline: &HostSwitchGraph,
+    proposed: &HostSwitchGraph,
+) -> SweepPoint {
     let rb = layout_panel(baseline);
     let rp = layout_panel(proposed);
     SweepPoint {
@@ -261,11 +275,7 @@ pub fn build_comparison(
 /// how the paper summarises "outperforms by X% on average".
 pub fn mean_speedup(a: &[BenchResult], b: &[BenchResult]) -> f64 {
     assert_eq!(a.len(), b.len());
-    let log_sum: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x.mops / y.mops).ln())
-        .sum();
+    let log_sum: f64 = a.iter().zip(b).map(|(x, y)| (x.mops / y.mops).ln()).sum();
     (log_sum / a.len() as f64).exp()
 }
 
@@ -274,18 +284,29 @@ pub fn print_comparison(c: &Comparison) {
     println!("== {} vs proposed ==", c.baseline_name);
     println!(
         "{:<22} n={:<5} m={:<4} r={:<3} h-ASPL={:<7.4} D={}",
-        c.baseline.name, c.baseline.n, c.baseline.m, c.baseline.r, c.baseline.haspl,
+        c.baseline.name,
+        c.baseline.n,
+        c.baseline.m,
+        c.baseline.r,
+        c.baseline.haspl,
         c.baseline.diameter
     );
     println!(
         "{:<22} n={:<5} m={:<4} r={:<3} h-ASPL={:<7.4} D={}",
-        c.proposed.name, c.proposed.n, c.proposed.m, c.proposed.r, c.proposed.haspl,
+        c.proposed.name,
+        c.proposed.n,
+        c.proposed.m,
+        c.proposed.r,
+        c.proposed.haspl,
         c.proposed.diameter
     );
     let dm = 100.0 * (1.0 - c.proposed.m as f64 / c.baseline.m as f64);
     println!("switch reduction: {dm:.0}%");
     println!("\n(a) performance (Mop/s total):");
-    println!("{:<6} {:>14} {:>14} {:>8}", "bench", "baseline", "proposed", "ratio");
+    println!(
+        "{:<6} {:>14} {:>14} {:>8}",
+        "bench", "baseline", "proposed", "ratio"
+    );
     for (b, p) in c.perf_baseline.iter().zip(&c.perf_proposed) {
         println!(
             "{:<6} {:>14.0} {:>14.0} {:>8.3}",
@@ -351,14 +372,24 @@ mod tests {
     #[test]
     fn mean_speedup_identity() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let e = Effort { sa_iters: 10, npb_iters: 1, full: false, seed: 1 };
+        let e = Effort {
+            sa_iters: 10,
+            npb_iters: 1,
+            full: false,
+            seed: 1,
+        };
         let perf = performance_panel(&g, &[Benchmark::Ep], 16, &e);
         assert!((mean_speedup(&perf, &perf) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn proposed_topology_small() {
-        let e = Effort { sa_iters: 200, npb_iters: 1, full: false, seed: 1 };
+        let e = Effort {
+            sa_iters: 200,
+            npb_iters: 1,
+            full: false,
+            seed: 1,
+        };
         let (g, res, m_opt) = proposed_topology(64, 10, &e);
         assert_eq!(g.num_switches(), m_opt);
         assert_eq!(g.num_hosts(), 64);

@@ -8,8 +8,9 @@ use crate::bounds::optimal_switch_count;
 use crate::construct::{random_general, random_regular};
 use crate::error::GraphError;
 use crate::graph::HostSwitchGraph;
-use crate::metrics::{path_metrics, path_metrics_par, PathMetrics};
-use crate::ops::{sample_swap, sample_swing, EdgeSet, Swing};
+use crate::metrics::PathMetrics;
+use crate::ops::{sample_swap, sample_swing, Swing};
+use crate::search::SearchState;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -44,9 +45,11 @@ pub struct SaConfig {
     /// Record `(iteration, best h-ASPL)` every this many iterations
     /// (0 = no history).
     pub history_stride: usize,
-    /// Evaluate h-ASPL with rayon-parallel BFS sweeps — worthwhile from a
-    /// few hundred switches upward.
-    pub parallel_eval: bool,
+    /// Threaded h-ASPL evaluation. `None` (the default) auto-selects:
+    /// threads are used when the instance has at least
+    /// [`crate::search::PARALLEL_SWITCH_THRESHOLD`] switches and more
+    /// than one CPU is available. `Some(_)` overrides the heuristic.
+    pub parallel_eval: Option<bool>,
 }
 
 impl Default for SaConfig {
@@ -58,7 +61,7 @@ impl Default for SaConfig {
             seed: 1,
             sample_attempts: 32,
             history_stride: 0,
-            parallel_eval: false,
+            parallel_eval: None,
         }
     }
 }
@@ -66,7 +69,13 @@ impl Default for SaConfig {
 impl SaConfig {
     /// Convenience: hill climbing (zero temperature throughout).
     pub fn hill_climb(iters: usize, seed: u64) -> Self {
-        Self { iters, t0: 0.0, t_end: 0.0, seed, ..Self::default() }
+        Self {
+            iters,
+            t0: 0.0,
+            t_end: 0.0,
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -88,9 +97,7 @@ pub struct SaResult {
 }
 
 struct Annealer {
-    g: HostSwitchGraph,
-    parallel: bool,
-    edges: EdgeSet,
+    state: SearchState,
     rng: ChaCha8Rng,
     cur: PathMetrics,
     best: HostSwitchGraph,
@@ -99,33 +106,27 @@ struct Annealer {
     proposed: usize,
     disconnected: usize,
     history: Vec<(usize, f64)>,
+    /// Candidate buffer for the 2-neighbor second swing, reused across
+    /// proposals so the steady state allocates nothing.
+    cand_buf: Vec<u32>,
 }
 
 impl Annealer {
-    fn new(g: HostSwitchGraph, seed: u64, parallel: bool) -> Result<Self, GraphError> {
-        let cur = path_metrics(&g).ok_or(GraphError::Disconnected)?;
-        let edges = EdgeSet::from_graph(&g);
+    fn new(g: HostSwitchGraph, seed: u64, parallel: Option<bool>) -> Result<Self, GraphError> {
+        let mut state = SearchState::new(g, parallel)?;
+        let cur = state.evaluate().ok_or(GraphError::Disconnected)?;
         Ok(Self {
-            parallel,
-            best: g.clone(),
+            best: state.graph().clone(),
             best_metrics: cur,
-            g,
-            edges,
+            state,
             rng: ChaCha8Rng::seed_from_u64(seed),
             cur,
             accepted: 0,
             proposed: 0,
             disconnected: 0,
             history: Vec::new(),
+            cand_buf: Vec::new(),
         })
-    }
-
-    fn eval(&self) -> Option<PathMetrics> {
-        if self.parallel {
-            path_metrics_par(&self.g)
-        } else {
-            path_metrics(&self.g)
-        }
     }
 
     fn metropolis(&mut self, delta: f64, t: f64) -> bool {
@@ -143,34 +144,37 @@ impl Annealer {
         self.accepted += 1;
         if metrics.haspl < self.best_metrics.haspl {
             self.best_metrics = metrics;
-            self.best = self.g.clone();
+            self.best = self.state.graph().clone();
         }
     }
 
     /// One swap proposal; returns whether it was accepted.
     fn step_swap(&mut self, t: f64, attempts: usize) -> bool {
-        let Some(s) = sample_swap(&self.g, &self.edges, &mut self.rng, attempts) else {
+        let Some(s) = sample_swap(
+            self.state.graph(),
+            self.state.edges(),
+            &mut self.rng,
+            attempts,
+        ) else {
             return false;
         };
         self.proposed += 1;
-        s.apply(&mut self.g).expect("sampled swap is valid");
-        match self.eval() {
+        self.state.begin();
+        self.state.apply_swap(s).expect("sampled swap is valid");
+        match self.state.evaluate() {
             Some(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
-                    self.edges.remove(s.a, s.b);
-                    self.edges.remove(s.c, s.d);
-                    self.edges.insert(s.a, s.d);
-                    self.edges.insert(s.c, s.b);
+                    self.state.commit();
                     self.note_accept(m2);
                     return true;
                 }
-                s.inverse().apply(&mut self.g).expect("inverse of applied swap");
+                self.state.rollback();
                 false
             }
             None => {
                 self.disconnected += 1;
-                s.inverse().apply(&mut self.g).expect("inverse of applied swap");
+                self.state.rollback();
                 false
             }
         }
@@ -178,45 +182,57 @@ impl Annealer {
 
     /// One plain-swing proposal.
     fn step_swing(&mut self, t: f64, attempts: usize) -> bool {
-        let Some(s) = sample_swing(&self.g, &self.edges, &mut self.rng, attempts) else {
+        let Some(s) = sample_swing(
+            self.state.graph(),
+            self.state.edges(),
+            &mut self.rng,
+            attempts,
+        ) else {
             return false;
         };
         self.proposed += 1;
-        let h = s.apply(&mut self.g).expect("sampled swing is valid");
-        match self.eval() {
+        self.state.begin();
+        self.state.apply_swing(s).expect("sampled swing is valid");
+        match self.state.evaluate() {
             Some(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
-                    self.edges.remove(s.a, s.b);
-                    self.edges.insert(s.a, s.c);
+                    self.state.commit();
                     self.note_accept(m2);
                     return true;
                 }
-                s.undo(&mut self.g, h).expect("undo applied swing");
+                self.state.rollback();
                 false
             }
             None => {
                 self.disconnected += 1;
-                s.undo(&mut self.g, h).expect("undo applied swing");
+                self.state.rollback();
                 false
             }
         }
     }
 
-    /// One 2-neighbor-swing proposal (the four steps of §5.2).
+    /// One 2-neighbor-swing proposal (the four steps of §5.2), expressed
+    /// as a nested transaction: the second swing stacks on the first and
+    /// either both commit or both unwind.
     fn step_two_neighbor(&mut self, t: f64, attempts: usize) -> bool {
-        let Some(s1) = sample_swing(&self.g, &self.edges, &mut self.rng, attempts) else {
+        let Some(s1) = sample_swing(
+            self.state.graph(),
+            self.state.edges(),
+            &mut self.rng,
+            attempts,
+        ) else {
             return false;
         };
         self.proposed += 1;
         // Step 1: the 1-neighbor solution.
-        let h1 = s1.apply(&mut self.g).expect("sampled swing is valid");
-        if let Some(m1) = self.eval() {
+        self.state.begin();
+        self.state.apply_swing(s1).expect("sampled swing is valid");
+        if let Some(m1) = self.state.evaluate() {
             let delta = m1.haspl - self.cur.haspl;
             if self.metropolis(delta, t) {
                 // Step 2: accept the 1-neighbor solution.
-                self.edges.remove(s1.a, s1.b);
-                self.edges.insert(s1.a, s1.c);
+                self.state.commit();
                 self.note_accept(m1);
                 return true;
             }
@@ -228,17 +244,20 @@ impl Annealer {
         // back from b to c. Net effect on the original graph is the swap
         // {a,b},{c,d} → {a,c},{b,d}.
         let s2 = {
-            let nbrs = self.g.neighbors(s1.c);
-            let cands: Vec<u32> = nbrs
-                .iter()
-                .copied()
-                .filter(|&d| {
+            let g = self.state.graph();
+            self.cand_buf.clear();
+            self.cand_buf
+                .extend(g.neighbors(s1.c).iter().copied().filter(|&d| {
                     d != s1.a
                         && d != s1.b
-                        && Swing { a: d, b: s1.c, c: s1.b }.is_valid(&self.g)
-                })
-                .collect();
-            match cands.as_slice() {
+                        && Swing {
+                            a: d,
+                            b: s1.c,
+                            c: s1.b,
+                        }
+                        .is_valid(g)
+                }));
+            match self.cand_buf.as_slice() {
                 [] => None,
                 cs => Some(Swing {
                     a: cs[self.rng.gen_range(0..cs.len())],
@@ -248,25 +267,25 @@ impl Annealer {
             }
         };
         if let Some(s2) = s2 {
-            let h2 = s2.apply(&mut self.g).expect("validated candidate");
-            if let Some(m2) = self.eval() {
+            self.state.begin();
+            self.state.apply_swing(s2).expect("validated candidate");
+            if let Some(m2) = self.state.evaluate() {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
-                    // Step 4: accept the 2-neighbor solution.
-                    self.edges.remove(s1.a, s1.b);
-                    self.edges.insert(s1.a, s1.c);
-                    self.edges.remove(s2.a, s2.b);
-                    self.edges.insert(s2.a, s2.c);
+                    // Step 4: accept the 2-neighbor solution — the inner
+                    // commit folds s2 into the outer transaction.
+                    self.state.commit();
+                    self.state.commit();
                     self.note_accept(m2);
                     return true;
                 }
             } else {
                 self.disconnected += 1;
             }
-            s2.undo(&mut self.g, h2).expect("undo applied swing");
+            self.state.rollback();
         }
         // Otherwise the initial solution holds.
-        s1.undo(&mut self.g, h1).expect("undo applied swing");
+        self.state.rollback();
         false
     }
 
@@ -314,24 +333,14 @@ pub fn anneal(
 
 /// §5.1: swap-based annealing over regular host-switch graphs with `m`
 /// switches (`m | n` required).
-pub fn anneal_regular(
-    n: u32,
-    m: u32,
-    r: u32,
-    cfg: &SaConfig,
-) -> Result<SaResult, GraphError> {
+pub fn anneal_regular(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, GraphError> {
     let start = random_regular(n, m, r, cfg.seed)?;
     anneal(start, MoveKind::Swap, cfg)
 }
 
 /// §5.2: 2-neighbor-swing annealing from a balanced random graph with `m`
 /// switches (any `m`).
-pub fn anneal_general(
-    n: u32,
-    m: u32,
-    r: u32,
-    cfg: &SaConfig,
-) -> Result<SaResult, GraphError> {
+pub fn anneal_general(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, GraphError> {
     let start = random_general(n, m, r, cfg.seed)?;
     anneal(start, MoveKind::TwoNeighborSwing, cfg)
 }
@@ -348,8 +357,8 @@ pub fn solve_orp(n: u32, r: u32, cfg: &SaConfig) -> Result<(SaResult, u32), Grap
 }
 
 /// Multi-restart [`solve_orp`]: runs `restarts` independently seeded
-/// annealers in parallel (rayon) and keeps the best result. Restart `i`
-/// uses seed `cfg.seed + i`, so the single-restart case reproduces
+/// annealers on parallel OS threads and keeps the best result. Restart
+/// `i` uses seed `cfg.seed + i`, so the single-restart case reproduces
 /// [`solve_orp`] exactly.
 pub fn solve_orp_multi(
     n: u32,
@@ -357,26 +366,34 @@ pub fn solve_orp_multi(
     cfg: &SaConfig,
     restarts: usize,
 ) -> Result<(SaResult, u32), GraphError> {
-    use rayon::prelude::*;
     let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
     let m_opt = m_opt as u32;
-    let results: Vec<Result<SaResult, GraphError>> = (0..restarts.max(1) as u64)
-        .into_par_iter()
-        .map(|i| {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(i);
-            // the inner evaluation stays sequential; parallelism comes
-            // from the restarts themselves
-            c.parallel_eval = false;
-            anneal_general(n, m_opt, r, &c)
-        })
-        .collect();
+    let results: Vec<Result<SaResult, GraphError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..restarts.max(1) as u64)
+            .map(|i| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(i);
+                // the inner evaluation stays sequential; parallelism comes
+                // from the restarts themselves
+                c.parallel_eval = Some(false);
+                scope.spawn(move || anneal_general(n, m_opt, r, &c))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("restart worker panicked"))
+            .collect()
+    });
     let mut best: Option<SaResult> = None;
     let mut last_err = None;
     for res in results {
         match res {
             Ok(r) => {
-                if best.as_ref().map(|b| r.metrics.haspl < b.metrics.haspl).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|b| r.metrics.haspl < b.metrics.haspl)
+                    .unwrap_or(true)
+                {
                     best = Some(r);
                 }
             }
@@ -394,36 +411,51 @@ pub fn solve_orp_multi(
 /// |Δh-ASPL| (so roughly half of all degrading moves are accepted at the
 /// start) and `t_end` three orders of magnitude below.
 pub fn auto_temperature(start: &HostSwitchGraph, cfg: &SaConfig) -> SaConfig {
-    let Some(base) = path_metrics(start) else {
+    let Ok(mut state) = SearchState::new(start.clone(), Some(false)) else {
         return cfg.clone();
     };
-    let mut g = start.clone();
-    let edges = EdgeSet::from_graph(&g);
+    let Some(base) = state.evaluate() else {
+        return cfg.clone();
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7e5);
     let mut deltas: Vec<f64> = Vec::new();
     for _ in 0..24 {
-        let Some(s) = sample_swing(&g, &edges, &mut rng, 16) else { continue };
-        let h = s.apply(&mut g).expect("sampled move valid");
-        if let Some(m2) = path_metrics(&g) {
+        let Some(s) = sample_swing(state.graph(), state.edges(), &mut rng, 16) else {
+            continue;
+        };
+        state.begin();
+        state.apply_swing(s).expect("sampled move valid");
+        if let Some(m2) = state.evaluate() {
             deltas.push((m2.haspl - base.haspl).abs());
         }
-        s.undo(&mut g, h).expect("undo");
+        state.rollback();
     }
     if deltas.is_empty() {
         return cfg.clone();
     }
     deltas.sort_by(f64::total_cmp);
     let t0 = deltas[deltas.len() / 2].max(1e-9);
-    SaConfig { t0, t_end: t0 * 1e-3, ..cfg.clone() }
+    SaConfig {
+        t0,
+        t_end: t0 * 1e-3,
+        ..cfg.clone()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bounds::haspl_lower_bound;
+    use crate::metrics::path_metrics;
 
     fn small_cfg(iters: usize) -> SaConfig {
-        SaConfig { iters, t0: 0.02, t_end: 1e-5, seed: 7, ..Default::default() }
+        SaConfig {
+            iters,
+            t0: 0.02,
+            t_end: 1e-5,
+            seed: 7,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -484,7 +516,10 @@ mod tests {
 
     #[test]
     fn history_is_monotone_nonincreasing() {
-        let cfg = SaConfig { history_stride: 50, ..small_cfg(500) };
+        let cfg = SaConfig {
+            history_stride: 50,
+            ..small_cfg(500)
+        };
         let res = anneal_general(48, 12, 8, &cfg).unwrap();
         assert!(!res.history.is_empty());
         for w in res.history.windows(2) {
@@ -501,7 +536,11 @@ mod tests {
         let lb = haspl_lower_bound(64, 10);
         assert!(res.metrics.haspl >= lb - 1e-9);
         // should come reasonably close to the bound on such a small case
-        assert!(res.metrics.haspl <= lb + 1.5, "{} vs {lb}", res.metrics.haspl);
+        assert!(
+            res.metrics.haspl <= lb + 1.5,
+            "{} vs {lb}",
+            res.metrics.haspl
+        );
     }
 
     #[test]
@@ -529,7 +568,15 @@ mod tests {
         assert!(tuned.t0 > 0.0 && tuned.t0 < 0.5, "t0 = {}", tuned.t0);
         assert!(tuned.t_end < tuned.t0);
         // annealing with the tuned schedule still works
-        let res = anneal(g, MoveKind::TwoNeighborSwing, &SaConfig { iters: 400, ..tuned }).unwrap();
+        let res = anneal(
+            g,
+            MoveKind::TwoNeighborSwing,
+            &SaConfig {
+                iters: 400,
+                ..tuned
+            },
+        )
+        .unwrap();
         res.graph.validate().unwrap();
     }
 

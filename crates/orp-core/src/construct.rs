@@ -64,7 +64,9 @@ pub fn clique_with_switches(n: u32, m: u32, r: u32) -> Result<HostSwitchGraph, G
 /// matching repaired with edge swaps.
 pub fn random_regular(n: u32, m: u32, r: u32, seed: u64) -> Result<HostSwitchGraph, GraphError> {
     if m == 0 || !n.is_multiple_of(m) {
-        return Err(GraphError::InvalidParameters(format!("m={m} must divide n={n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "m={m} must divide n={n}"
+        )));
     }
     let per = n / m;
     if per > r {
@@ -97,7 +99,8 @@ pub fn random_regular(n: u32, m: u32, r: u32, seed: u64) -> Result<HostSwitchGra
     }
     // The greedy filler can rarely strand ports; retry with derived seeds.
     for attempt in 0..32u64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9e3779b97f4a7c15)));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(0x9e3779b97f4a7c15)));
         let mut g = HostSwitchGraph::new(m, r)?;
         for h in 0..n {
             g.attach_host(h % m)?;
@@ -181,7 +184,9 @@ pub fn random_general(n: u32, m: u32, r: u32, seed: u64) -> Result<HostSwitchGra
         }
         debug_assert!(placed, "capacity verified above");
         if !placed {
-            return Err(GraphError::ConstructionFailed("host placement stalled".into()));
+            return Err(GraphError::ConstructionFailed(
+                "host placement stalled".into(),
+            ));
         }
     }
     fill_free_ports(&mut g, &mut rng);
@@ -191,10 +196,7 @@ pub fn random_general(n: u32, m: u32, r: u32, seed: u64) -> Result<HostSwitchGra
 /// Connects all switches in a random Hamiltonian ring, then fills the
 /// remaining free ports with random simple edges. At most one odd port may
 /// remain unused. Assumes every switch currently has ≥ 2 free ports.
-fn random_fill_ring_first<R: Rng>(
-    g: &mut HostSwitchGraph,
-    rng: &mut R,
-) -> Result<(), GraphError> {
+fn random_fill_ring_first<R: Rng>(g: &mut HostSwitchGraph, rng: &mut R) -> Result<(), GraphError> {
     let m = g.num_switches();
     if m == 2 {
         g.add_link(0, 1)?;
@@ -248,10 +250,13 @@ pub fn fill_free_ports<R: Rng>(g: &mut HostSwitchGraph, rng: &mut R) {
                 .links()
                 .filter(|&(c, d)| c != a && d != a && (!g.has_link(a, c) || !g.has_link(a, d)))
                 .collect();
-            let Some(&(c, d)) = candidates.as_slice().choose(rng) else { return };
+            let Some(&(c, d)) = candidates.as_slice().choose(rng) else {
+                return;
+            };
             let other = if !g.has_link(a, c) { c } else { d };
             g.remove_link(c, d).expect("edge came from links()");
-            g.add_link(a, other).expect("checked not adjacent with free port");
+            g.add_link(a, other)
+                .expect("checked not adjacent with free port");
             // c or d regained a free port; loop continues
         }
     }
@@ -325,7 +330,7 @@ mod tests {
     fn random_regular_rejects_bad_params() {
         assert!(random_regular(100, 7, 12, 0).is_err()); // 7 ∤ 100
         assert!(random_regular(128, 16, 9, 0).is_err()); // k = 1
-        // odd m·k: m=5, per=2, r=5 → k=3, 5·3 odd
+                                                         // odd m·k: m=5, per=2, r=5 → k=3, 5·3 odd
         assert!(random_regular(10, 5, 5, 0).is_err());
     }
 

@@ -68,7 +68,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::SwitchOutOfRange { switch, num_switches } => {
+            Self::SwitchOutOfRange {
+                switch,
+                num_switches,
+            } => {
                 write!(f, "switch {switch} out of range (m = {num_switches})")
             }
             Self::HostOutOfRange { host, num_hosts } => {
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn display_messages_mention_ids() {
-        let e = GraphError::SwitchOutOfRange { switch: 7, num_switches: 4 };
+        let e = GraphError::SwitchOutOfRange {
+            switch: 7,
+            num_switches: 4,
+        };
         assert!(e.to_string().contains('7'));
         let e = GraphError::DuplicateEdge { a: 1, b: 2 };
         assert!(e.to_string().contains("{1,2}"));

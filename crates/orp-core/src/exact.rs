@@ -32,7 +32,10 @@ pub struct ExactSolution {
 /// Panics if `max_m > 6` (the search would not terminate in reasonable
 /// time) or `n < 2`.
 pub fn solve_exact(n: u32, r: u32, max_m: u32) -> Option<ExactSolution> {
-    assert!(max_m <= 6, "exhaustive search is exponential; keep max_m <= 6");
+    assert!(
+        max_m <= 6,
+        "exhaustive search is exponential; keep max_m <= 6"
+    );
     assert!(n >= 2);
     let mut best: Option<ExactSolution> = None;
     let mut evaluated = 0u64;
@@ -46,15 +49,10 @@ pub fn solve_exact(n: u32, r: u32, max_m: u32) -> Option<ExactSolution> {
 }
 
 /// All candidates with exactly `m` switches.
-fn search_m(
-    n: u32,
-    m: u32,
-    r: u32,
-    best: &mut Option<ExactSolution>,
-    evaluated: &mut u64,
-) {
-    let pairs: Vec<(u32, u32)> =
-        (0..m).flat_map(|a| ((a + 1)..m).map(move |b| (a, b))).collect();
+fn search_m(n: u32, m: u32, r: u32, best: &mut Option<ExactSolution>, evaluated: &mut u64) {
+    let pairs: Vec<(u32, u32)> = (0..m)
+        .flat_map(|a| ((a + 1)..m).map(move |b| (a, b)))
+        .collect();
     let num_pairs = pairs.len() as u32;
     let mut dist = vec![0u32; m as usize];
     // enumerate host distributions: compositions of n into m parts ≥ 0
@@ -101,7 +99,11 @@ fn search_m(
                     .map(|b| pm.total_length < b.metrics.total_length)
                     .unwrap_or(true);
                 if better {
-                    *best = Some(ExactSolution { graph: g, metrics: pm, evaluated: 0 });
+                    *best = Some(ExactSolution {
+                        graph: g,
+                        metrics: pm,
+                        evaluated: 0,
+                    });
                 }
             }
         }
@@ -170,7 +172,11 @@ mod tests {
     fn annealer_reaches_the_exact_optimum_on_tiny_instances() {
         let (n, r) = (10u32, 5u32);
         let sol = solve_exact(n, r, 5).unwrap();
-        let cfg = SaConfig { iters: 4000, seed: 3, ..Default::default() };
+        let cfg = SaConfig {
+            iters: 4000,
+            seed: 3,
+            ..Default::default()
+        };
         let (sa, _) = solve_orp(n, r, &cfg).unwrap();
         // SA fixes m = m_opt, the exhaustive search roams all m — SA may
         // only match or exceed slightly; require within 5 %.

@@ -147,7 +147,10 @@ impl HostSwitchGraph {
         if (s as usize) < self.sw_adj.len() {
             Ok(())
         } else {
-            Err(GraphError::SwitchOutOfRange { switch: s, num_switches: self.num_switches() })
+            Err(GraphError::SwitchOutOfRange {
+                switch: s,
+                num_switches: self.num_switches(),
+            })
         }
     }
 
@@ -162,10 +165,16 @@ impl HostSwitchGraph {
             return Err(GraphError::DuplicateEdge { a, b });
         }
         if self.free_ports(a) == 0 {
-            return Err(GraphError::RadixExceeded { switch: a, radix: self.radix });
+            return Err(GraphError::RadixExceeded {
+                switch: a,
+                radix: self.radix,
+            });
         }
         if self.free_ports(b) == 0 {
-            return Err(GraphError::RadixExceeded { switch: b, radix: self.radix });
+            return Err(GraphError::RadixExceeded {
+                switch: b,
+                radix: self.radix,
+            });
         }
         self.sw_adj[a as usize].push(b);
         self.sw_adj[b as usize].push(a);
@@ -192,7 +201,10 @@ impl HostSwitchGraph {
     pub fn attach_host(&mut self, s: Switch) -> Result<Host, GraphError> {
         self.check_switch(s)?;
         if self.free_ports(s) == 0 {
-            return Err(GraphError::RadixExceeded { switch: s, radix: self.radix });
+            return Err(GraphError::RadixExceeded {
+                switch: s,
+                radix: self.radix,
+            });
         }
         let h = self.host_sw.len() as Host;
         self.host_sw.push(s);
@@ -205,7 +217,10 @@ impl HostSwitchGraph {
     /// `to` may equal the current switch (a no-op).
     pub fn move_host(&mut self, h: Host, to: Switch) -> Result<(), GraphError> {
         if (h as usize) >= self.host_sw.len() {
-            return Err(GraphError::HostOutOfRange { host: h, num_hosts: self.num_hosts() });
+            return Err(GraphError::HostOutOfRange {
+                host: h,
+                num_hosts: self.num_hosts(),
+            });
         }
         self.check_switch(to)?;
         let from = self.host_sw[h as usize];
@@ -213,12 +228,18 @@ impl HostSwitchGraph {
             return Ok(());
         }
         if self.free_ports(to) == 0 {
-            return Err(GraphError::RadixExceeded { switch: to, radix: self.radix });
+            return Err(GraphError::RadixExceeded {
+                switch: to,
+                radix: self.radix,
+            });
         }
         let pos = self.sw_hosts[from as usize]
             .iter()
             .position(|&x| x == h)
-            .ok_or(GraphError::HostNotOnSwitch { host: h, switch: from })?;
+            .ok_or(GraphError::HostNotOnSwitch {
+                host: h,
+                switch: from,
+            })?;
         self.sw_hosts[from as usize].swap_remove(pos);
         self.sw_hosts[to as usize].push(h);
         self.host_sw[h as usize] = to;
@@ -230,7 +251,9 @@ impl HostSwitchGraph {
     pub fn links(&self) -> impl Iterator<Item = (Switch, Switch)> + '_ {
         self.sw_adj.iter().enumerate().flat_map(|(a, nbrs)| {
             let a = a as Switch;
-            nbrs.iter().copied().filter_map(move |b| (a < b).then_some((a, b)))
+            nbrs.iter()
+                .copied()
+                .filter_map(move |b| (a < b).then_some((a, b)))
         })
     }
 
@@ -271,7 +294,9 @@ impl HostSwitchGraph {
     /// [`Self::is_connected`]: switches without hosts may live in separate
     /// components.
     pub fn hosts_connected(&self) -> bool {
-        let Some(&s0) = self.host_sw.first() else { return true };
+        let Some(&s0) = self.host_sw.first() else {
+            return true;
+        };
         let dist = self.switch_distances(s0);
         self.host_sw.iter().all(|&s| dist[s as usize] != u32::MAX)
     }
@@ -281,7 +306,10 @@ impl HostSwitchGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for s in 0..self.num_switches() {
             if self.switch_degree(s) > self.radix {
-                return Err(GraphError::RadixExceeded { switch: s, radix: self.radix });
+                return Err(GraphError::RadixExceeded {
+                    switch: s,
+                    radix: self.radix,
+                });
             }
             let nbrs = &self.sw_adj[s as usize];
             for (i, &v) in nbrs.iter().enumerate() {
@@ -303,7 +331,10 @@ impl HostSwitchGraph {
         }
         for (h, &s) in self.host_sw.iter().enumerate() {
             if !self.sw_hosts[s as usize].contains(&(h as Host)) {
-                return Err(GraphError::HostNotOnSwitch { host: h as Host, switch: s });
+                return Err(GraphError::HostNotOnSwitch {
+                    host: h as Host,
+                    switch: s,
+                });
             }
         }
         if !self.hosts_connected() {
@@ -387,7 +418,10 @@ mod tests {
         assert_eq!(g.free_ports(0), 0);
         assert_eq!(
             g.attach_host(0),
-            Err(GraphError::RadixExceeded { switch: 0, radix: 3 })
+            Err(GraphError::RadixExceeded {
+                switch: 0,
+                radix: 3
+            })
         );
     }
 
@@ -396,13 +430,19 @@ mod tests {
         let mut g = HostSwitchGraph::new(3, 4).unwrap();
         assert_eq!(g.add_link(1, 1), Err(GraphError::SelfLoop { switch: 1 }));
         g.add_link(0, 1).unwrap();
-        assert_eq!(g.add_link(1, 0), Err(GraphError::DuplicateEdge { a: 1, b: 0 }));
+        assert_eq!(
+            g.add_link(1, 0),
+            Err(GraphError::DuplicateEdge { a: 1, b: 0 })
+        );
     }
 
     #[test]
     fn remove_missing_edge_fails() {
         let mut g = HostSwitchGraph::new(3, 4).unwrap();
-        assert_eq!(g.remove_link(0, 1), Err(GraphError::MissingEdge { a: 0, b: 1 }));
+        assert_eq!(
+            g.remove_link(0, 1),
+            Err(GraphError::MissingEdge { a: 0, b: 1 })
+        );
     }
 
     #[test]
@@ -426,7 +466,10 @@ mod tests {
         let h = g.attach_host(0).unwrap();
         g.attach_host(1).unwrap();
         g.attach_host(1).unwrap();
-        assert!(matches!(g.move_host(h, 1), Err(GraphError::RadixExceeded { .. })));
+        assert!(matches!(
+            g.move_host(h, 1),
+            Err(GraphError::RadixExceeded { .. })
+        ));
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub fn from_str(text: &str) -> Result<HostSwitchGraph, ParseError> {
         if line.is_empty() {
             continue;
         }
-        let bad = || ParseError::BadLine { line_no, content: raw.to_string() };
+        let bad = || ParseError::BadLine {
+            line_no,
+            content: raw.to_string(),
+        };
         let mut it = line.split_whitespace();
         let tag = it.next().ok_or_else(bad)?;
         if !saw_magic {
@@ -62,9 +65,8 @@ pub fn from_str(text: &str) -> Result<HostSwitchGraph, ParseError> {
             saw_magic = true;
             continue;
         }
-        let mut num = || -> Result<u32, ParseError> {
-            it.next().ok_or_else(bad)?.parse().map_err(|_| bad())
-        };
+        let mut num =
+            || -> Result<u32, ParseError> { it.next().ok_or_else(bad)?.parse().map_err(|_| bad()) };
         match tag {
             "n" => n = Some(num()?),
             "m" => m = Some(num()?),
@@ -138,9 +140,15 @@ mod tests {
 
     #[test]
     fn missing_header_is_rejected() {
-        assert!(matches!(from_str("n 2\nm 1\nr 4\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            from_str("n 2\nm 1\nr 4\n"),
+            Err(ParseError::BadHeader(_))
+        ));
         assert!(matches!(from_str(""), Err(ParseError::BadHeader(_))));
-        assert!(matches!(from_str("orp-hsg 2\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            from_str("orp-hsg 2\n"),
+            Err(ParseError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   and the continuous Moore bound that predicts the optimal switch
 //!   count `m_opt` ([`bounds`]),
 //! * the swap / swing / 2-neighbor-swing local-search operations
-//!   ([`ops`]) and the simulated-annealing solver ([`anneal`]),
+//!   ([`ops`]), the transactional, allocation-free evaluation engine
+//!   behind the annealer ([`search`]), and the simulated-annealing solver
+//!   itself ([`anneal`]),
 //! * constructions for the analytically optimal regimes ([`construct`])
 //!   and a textual interchange format ([`io`]).
 //!
@@ -50,7 +52,9 @@ pub mod metrics;
 pub mod odp;
 pub mod ops;
 pub mod random_graphs;
+pub mod search;
 
 pub use error::GraphError;
 pub use graph::{Host, HostSwitchGraph, Switch};
 pub use metrics::{path_metrics, path_metrics_par, PathMetrics};
+pub use search::SearchState;

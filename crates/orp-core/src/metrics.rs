@@ -8,7 +8,6 @@
 //! `n`.
 
 use crate::graph::{HostSwitchGraph, Switch};
-use rayon::prelude::*;
 
 /// Compressed sparse row view of the switch graph, the workhorse for the
 /// BFS sweeps. Rebuild after structural mutations.
@@ -115,7 +114,10 @@ fn source_contribution(
         weighted += ka * kb as u64 * (d as u64 + 2);
         ecc = ecc.max(d);
     }
-    Some(SourceContribution { weighted, ecc: Some(ecc) })
+    Some(SourceContribution {
+        weighted,
+        ecc: Some(ecc),
+    })
 }
 
 fn finalize(
@@ -152,8 +154,13 @@ pub fn path_metrics(g: &HostSwitchGraph) -> Option<PathMetrics> {
     path_metrics_with(&csr, &counts, g.num_hosts())
 }
 
-/// As [`path_metrics`] but reusing a prebuilt CSR and host counts —
-/// the hot path of the annealer.
+/// As [`path_metrics`] but reusing a prebuilt CSR and host counts.
+///
+/// Superseded as the annealer's hot path by
+/// [`crate::search::SearchState::evaluate`], which keeps the CSR and
+/// counts incrementally consistent and scores with a batched BFS; this
+/// source-at-a-time version remains the reference implementation the
+/// engine is equivalence-tested against.
 pub fn path_metrics_with(csr: &SwitchCsr, counts: &[u32], n: u32) -> Option<PathMetrics> {
     if n < 2 {
         return None;
@@ -180,7 +187,7 @@ pub fn path_metrics_with(csr: &SwitchCsr, counts: &[u32], n: u32) -> Option<Path
 }
 
 /// Parallel variant of [`path_metrics`]; worthwhile from a few hundred
-/// switches upward (one rayon task per BFS source).
+/// switches upward (BFS sources sliced across OS threads).
 pub fn path_metrics_par(g: &HostSwitchGraph) -> Option<PathMetrics> {
     let csr = SwitchCsr::from_graph(g);
     let counts = g.host_counts();
@@ -188,19 +195,52 @@ pub fn path_metrics_par(g: &HostSwitchGraph) -> Option<PathMetrics> {
     if n < 2 {
         return None;
     }
-    let sources: Vec<u32> =
-        (0..csr.len() as u32).filter(|&a| counts[a as usize] > 0).collect();
-    let partial: Option<Vec<SourceContribution>> = sources
-        .par_iter()
-        .map_init(
-            || (Vec::new(), Vec::new()),
-            |(dist, queue), &a| source_contribution(&csr, &counts, a, dist, queue),
-        )
+    let sources: Vec<u32> = (0..csr.len() as u32)
+        .filter(|&a| counts[a as usize] > 0)
         .collect();
-    let partial = partial?;
-    let ordered_sum: u64 = partial.iter().map(|c| c.weighted).sum();
-    let max_d = partial.iter().filter_map(|c| c.ecc).max().unwrap_or(0);
-    let any = partial.iter().any(|c| c.weighted > 0);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(sources.len().max(1));
+    if workers <= 1 {
+        return path_metrics_with(&csr, &counts, n);
+    }
+    let chunk = sources.len().div_ceil(workers);
+    // (ordered_sum, max ecc, any inter-switch pair seen) per worker;
+    // None propagates a disconnected host pair.
+    let partial: Vec<Option<(u64, u32, bool)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .chunks(chunk)
+            .map(|slice| {
+                let (csr, counts) = (&csr, &counts);
+                scope.spawn(move || {
+                    let (mut dist, mut queue) = (Vec::new(), Vec::new());
+                    let (mut sum, mut max_d, mut any) = (0u64, 0u32, false);
+                    for &a in slice {
+                        let c = source_contribution(csr, counts, a, &mut dist, &mut queue)?;
+                        sum += c.weighted;
+                        if let Some(e) = c.ecc {
+                            if c.weighted > 0 {
+                                any = true;
+                            }
+                            max_d = max_d.max(e);
+                        }
+                    }
+                    Some((sum, max_d, any))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("metrics worker panicked"))
+            .collect()
+    });
+    let (mut ordered_sum, mut max_d, mut any) = (0u64, 0u32, false);
+    for p in partial {
+        let (s, d, a) = p?;
+        ordered_sum += s;
+        max_d = max_d.max(d);
+        any |= a;
+    }
     Some(finalize(n as u64, &counts, ordered_sum, max_d, any))
 }
 

@@ -82,7 +82,10 @@ pub fn from_edge_list(text: &str, radix: u32) -> Result<HostSwitchGraph, ParseEr
         if line.is_empty() {
             continue;
         }
-        let bad = || ParseError::BadLine { line_no: idx + 1, content: raw.to_string() };
+        let bad = || ParseError::BadLine {
+            line_no: idx + 1,
+            content: raw.to_string(),
+        };
         let mut it = line.split_whitespace();
         let a: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let b: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;

@@ -28,7 +28,12 @@ impl Swap {
     /// The swap that undoes this one.
     #[inline]
     pub fn inverse(self) -> Self {
-        Swap { a: self.a, b: self.d, c: self.c, d: self.b }
+        Swap {
+            a: self.a,
+            b: self.d,
+            c: self.c,
+            d: self.b,
+        }
     }
 
     /// Whether applying the swap to `g` keeps the graph simple: all four
@@ -53,7 +58,9 @@ impl Swap {
     /// checked (via [`Self::is_valid`]).
     pub fn apply(&self, g: &mut HostSwitchGraph) -> Result<(), GraphError> {
         if !self.is_valid(g) {
-            return Err(GraphError::InvalidParameters(format!("invalid swap {self:?}")));
+            return Err(GraphError::InvalidParameters(format!(
+                "invalid swap {self:?}"
+            )));
         }
         g.remove_link(self.a, self.b)?;
         g.remove_link(self.c, self.d)?;
@@ -96,7 +103,9 @@ impl Swing {
     /// Applies the swing, returning the host that moved (needed to undo).
     pub fn apply(&self, g: &mut HostSwitchGraph) -> Result<Host, GraphError> {
         if !self.is_valid(g) {
-            return Err(GraphError::InvalidParameters(format!("invalid swing {self:?}")));
+            return Err(GraphError::InvalidParameters(format!(
+                "invalid swing {self:?}"
+            )));
         }
         let h = *g.hosts_of(self.c).last().expect("validated non-empty");
         g.remove_link(self.a, self.b)?;
@@ -269,7 +278,12 @@ mod tests {
         // chords keep the graph connected across the swap
         g.add_link(0, 3).unwrap();
         g.add_link(1, 4).unwrap();
-        let s = Swap { a: 0, b: 1, c: 3, d: 4 };
+        let s = Swap {
+            a: 0,
+            b: 1,
+            c: 3,
+            d: 4,
+        };
         assert!(s.is_valid(&g));
         s.apply(&mut g).unwrap();
         assert!(g.has_link(0, 4) && g.has_link(3, 1));
@@ -285,11 +299,21 @@ mod tests {
         let mut g = ring(4, 1, 4);
         // swapping {0,1},{1,2} to {0,2},{1,1} → self loop at b==c? Here
         // c=1,b=1 invalid.
-        let s = Swap { a: 0, b: 1, c: 1, d: 2 };
+        let s = Swap {
+            a: 0,
+            b: 1,
+            c: 1,
+            d: 2,
+        };
         assert!(!s.is_valid(&g));
         assert!(s.apply(&mut g).is_err());
         // {0,1},{2,3} → {0,3},{2,1}: but 0-3 already exists in C4.
-        let s = Swap { a: 0, b: 1, c: 2, d: 3 };
+        let s = Swap {
+            a: 0,
+            b: 1,
+            c: 2,
+            d: 3,
+        };
         assert!(!s.is_valid(&g));
     }
 
@@ -297,7 +321,12 @@ mod tests {
     fn swap_preserves_degrees() {
         let mut g = ring(8, 2, 6);
         let before: Vec<u32> = (0..8).map(|s| g.switch_degree(s)).collect();
-        let s = Swap { a: 0, b: 1, c: 4, d: 5 };
+        let s = Swap {
+            a: 0,
+            b: 1,
+            c: 4,
+            d: 5,
+        };
         s.apply(&mut g).unwrap();
         let after: Vec<u32> = (0..8).map(|s| g.switch_degree(s)).collect();
         assert_eq!(before, after);

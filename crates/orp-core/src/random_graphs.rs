@@ -18,11 +18,7 @@ use rand_chacha::ChaCha8Rng;
 
 /// Spreads `n` hosts over `m` switches as evenly as possible, requiring
 /// `reserve` free ports on every switch afterwards.
-fn attach_balanced(
-    g: &mut HostSwitchGraph,
-    n: u32,
-    reserve: u32,
-) -> Result<(), GraphError> {
+fn attach_balanced(g: &mut HostSwitchGraph, n: u32, reserve: u32) -> Result<(), GraphError> {
     let m = g.num_switches();
     // round-robin, skipping switches whose remaining ports (beyond the
     // reservation) ran out — keeps the distribution as even as capacity
@@ -103,7 +99,9 @@ pub fn cycle_plus_matching(
         }
         return Ok(g);
     }
-    Err(GraphError::ConstructionFailed("no valid matching found".into()))
+    Err(GraphError::ConstructionFailed(
+        "no valid matching found".into(),
+    ))
 }
 
 /// Watts–Strogatz small world over the switches: a ring lattice where
@@ -124,7 +122,9 @@ pub fn watts_strogatz(
         )));
     }
     if !(0.0..=1.0).contains(&beta) {
-        return Err(GraphError::InvalidParameters(format!("beta={beta} not in [0,1]")));
+        return Err(GraphError::InvalidParameters(format!(
+            "beta={beta} not in [0,1]"
+        )));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut g = HostSwitchGraph::new(m, r)?;
@@ -156,7 +156,9 @@ pub fn watts_strogatz(
     }
     attach_balanced(&mut g, n, 0)?;
     if !g.hosts_connected() {
-        return Err(GraphError::ConstructionFailed("rewiring disconnected hosts".into()));
+        return Err(GraphError::ConstructionFailed(
+            "rewiring disconnected hosts".into(),
+        ));
     }
     Ok(g)
 }
@@ -306,7 +308,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(erdos_renyi(64, 16, 10, 3).unwrap(), erdos_renyi(64, 16, 10, 3).unwrap());
+        assert_eq!(
+            erdos_renyi(64, 16, 10, 3).unwrap(),
+            erdos_renyi(64, 16, 10, 3).unwrap()
+        );
         assert_eq!(
             watts_strogatz(32, 16, 4, 0.3, 8, 3).unwrap(),
             watts_strogatz(32, 16, 4, 0.3, 8, 3).unwrap()

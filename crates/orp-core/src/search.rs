@@ -1,0 +1,824 @@
+//! The annealing evaluation engine: a [`SearchState`] that owns the graph
+//! and every derived structure the local search needs, keeps them all in
+//! sync through a transactional apply/score/commit/rollback API, and
+//! evaluates h-ASPL with a bit-parallel batched BFS over reusable scratch
+//! so that steady-state annealing performs **zero heap allocation and zero
+//! full rebuilds per proposal**.
+//!
+//! # Why
+//!
+//! The original annealer rebuilt a [`SwitchCsr`] and the host-count vector
+//! from the graph on every proposal (`O(m + L)` of pure allocation and
+//! copying before a single BFS step ran) and hand-mirrored every
+//! `EdgeSet::remove`/`insert` in each of the three move kinds — a classic
+//! source of drift bugs. Here the graph, the CSR, the host counts, and the
+//! [`EdgeSet`] live behind one API; a move is applied exactly once and
+//! every structure follows.
+//!
+//! # Transactions
+//!
+//! [`SearchState::begin`] opens a transaction; [`SearchState::apply_swap`]
+//! and [`SearchState::apply_swing`] mutate all owned structures and append
+//! to an undo log; [`SearchState::rollback`] replays the log backwards to
+//! the matching `begin`, and [`SearchState::commit`] forgets it.
+//! Transactions nest, which is exactly what the 2-neighbor swing of §5.2
+//! needs: apply the first swing, score, and on rejection stack a second
+//! swing on top before deciding the fate of both.
+//!
+//! # Evaluation
+//!
+//! [`SearchState::evaluate`] runs a *batched* BFS: 64 sources advance
+//! together, one bit per source in a `u64` frontier mask per switch. Per
+//! level every switch ORs its neighbours' frontier masks — with the tiny
+//! diameters of ORP solutions (3–5) the whole sweep touches each adjacency
+//! list a handful of times instead of once per source, which is roughly an
+//! order of magnitude faster than source-at-a-time BFS even before
+//! threading. Batches are independent, so large instances can additionally
+//! split them across OS threads (see [`resolve_parallel_eval`]).
+
+use crate::error::GraphError;
+use crate::graph::{Host, HostSwitchGraph, Switch};
+use crate::metrics::{PathMetrics, SwitchCsr};
+use crate::ops::{EdgeSet, Swap, Swing};
+
+/// Switch count from which the auto heuristic turns on threaded
+/// evaluation (when more than one CPU is available).
+pub const PARALLEL_SWITCH_THRESHOLD: u32 = 256;
+
+/// Resolves the effective number of evaluation worker threads from the
+/// user's override (`SaConfig::parallel_eval`) and the instance size:
+/// `Some(false)` forces 1, `Some(true)` forces threading, `None` picks
+/// threading iff `m >=` [`PARALLEL_SWITCH_THRESHOLD`] and the machine has
+/// more than one CPU. Returns at least 1.
+pub fn resolve_parallel_eval(override_flag: Option<bool>, num_switches: u32) -> usize {
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let parallel = override_flag.unwrap_or(num_switches >= PARALLEL_SWITCH_THRESHOLD && cpus > 1);
+    if parallel {
+        cpus.max(1)
+    } else {
+        1
+    }
+}
+
+/// Fixed-capacity CSR adjacency, edited in place on every link change
+/// instead of rebuilt from the graph: switch `s` owns slots
+/// `[s·r, s·r + deg(s))` of a flat array (`r` = radix), so adding or
+/// removing a link is `O(r)` with no allocation.
+#[derive(Debug, Clone)]
+pub struct SlotCsr {
+    radix: usize,
+    deg: Vec<u32>,
+    slots: Vec<u32>,
+}
+
+impl SlotCsr {
+    /// Builds the slotted adjacency from a graph.
+    pub fn from_graph(g: &HostSwitchGraph) -> Self {
+        let m = g.num_switches() as usize;
+        let radix = g.radix() as usize;
+        let mut csr = Self {
+            radix,
+            deg: vec![0; m],
+            slots: vec![u32::MAX; m * radix],
+        };
+        for s in 0..m as u32 {
+            for &t in g.neighbors(s) {
+                let d = &mut csr.deg[s as usize];
+                csr.slots[s as usize * radix + *d as usize] = t;
+                *d += 1;
+            }
+        }
+        csr
+    }
+
+    /// Number of switches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.deg.len()
+    }
+
+    /// Whether there are no switches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.deg.is_empty()
+    }
+
+    /// Switch neighbours of `s` (unsorted).
+    #[inline]
+    pub fn neighbors(&self, s: Switch) -> &[u32] {
+        let base = s as usize * self.radix;
+        &self.slots[base..base + self.deg[s as usize] as usize]
+    }
+
+    #[inline]
+    fn push(&mut self, s: Switch, t: Switch) {
+        let d = &mut self.deg[s as usize];
+        debug_assert!((*d as usize) < self.radix, "slot overflow at switch {s}");
+        self.slots[s as usize * self.radix + *d as usize] = t;
+        *d += 1;
+    }
+
+    #[inline]
+    fn pull(&mut self, s: Switch, t: Switch) {
+        let base = s as usize * self.radix;
+        let d = self.deg[s as usize] as usize;
+        let row = &mut self.slots[base..base + d];
+        let pos = row.iter().position(|&x| x == t).expect("neighbor present");
+        row[pos] = row[d - 1];
+        self.deg[s as usize] -= 1;
+    }
+
+    /// Records the new link `{a, b}` (`O(1)`).
+    #[inline]
+    pub fn add_link(&mut self, a: Switch, b: Switch) {
+        self.push(a, b);
+        self.push(b, a);
+    }
+
+    /// Drops the link `{a, b}` (`O(r)`).
+    #[inline]
+    pub fn remove_link(&mut self, a: Switch, b: Switch) {
+        self.pull(a, b);
+        self.pull(b, a);
+    }
+}
+
+/// Reusable buffers for one evaluation worker: three `u64` frontier masks
+/// per switch. Allocated once, reused by every proposal.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    cur: Vec<u64>,
+    next: Vec<u64>,
+    seen: Vec<u64>,
+}
+
+impl EvalScratch {
+    fn reset(&mut self, m: usize) {
+        self.cur.clear();
+        self.cur.resize(m, 0);
+        self.next.clear();
+        self.next.resize(m, 0);
+        self.seen.clear();
+        self.seen.resize(m, 0);
+    }
+}
+
+/// Partial result of sweeping one batch of sources.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchSums {
+    /// Σ `k_a·k_b·(d+2)` over ordered hostful pairs with source in batch.
+    weighted: u64,
+    /// Max inter-switch distance seen from this batch's sources.
+    max_d: u32,
+    /// Hostful switches reached, summed over the batch's sources
+    /// (each source counts itself). Detects disconnection.
+    reached: u64,
+}
+
+/// Sweeps sources `srcs[lo..hi]` (at most 64) in lockstep: bit `i` of a
+/// mask tracks source `srcs[lo + i]`.
+fn sweep_batch(
+    csr: &SlotCsr,
+    counts: &[u32],
+    srcs: &[u32],
+    scratch: &mut EvalScratch,
+) -> BatchSums {
+    debug_assert!(!srcs.is_empty() && srcs.len() <= 64);
+    let m = csr.len();
+    scratch.reset(m);
+    let mut k_src = [0u64; 64];
+    for (i, &s) in srcs.iter().enumerate() {
+        scratch.cur[s as usize] = 1 << i;
+        scratch.seen[s as usize] = 1 << i;
+        k_src[i] = counts[s as usize] as u64;
+    }
+    let mut sums = BatchSums {
+        reached: srcs.len() as u64,
+        ..Default::default()
+    };
+    let mut depth = 0u64;
+    loop {
+        depth += 1;
+        let mut active = false;
+        for (v, &kv) in counts.iter().enumerate().take(m) {
+            let mut gather = 0u64;
+            for &u in csr.neighbors(v as u32) {
+                gather |= scratch.cur[u as usize];
+            }
+            let new = gather & !scratch.seen[v];
+            scratch.next[v] = new;
+            if new != 0 {
+                scratch.seen[v] |= new;
+                active = true;
+                let kv = kv as u64;
+                if kv > 0 {
+                    sums.max_d = sums.max_d.max(depth as u32);
+                    sums.reached += new.count_ones() as u64;
+                    let mut bits = new;
+                    let mut batch_k = 0u64;
+                    while bits != 0 {
+                        batch_k += k_src[bits.trailing_zeros() as usize];
+                        bits &= bits - 1;
+                    }
+                    sums.weighted += batch_k * kv * (depth + 2);
+                }
+            }
+        }
+        if !active {
+            return sums;
+        }
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
+    }
+}
+
+/// One entry of the undo log; each names the *applied* mutation, so
+/// rollback performs its inverse.
+#[derive(Debug, Clone, Copy)]
+enum UndoOp {
+    AddedLink(Switch, Switch),
+    RemovedLink(Switch, Switch),
+    /// Host `.0` was moved; it previously sat on switch `.1`.
+    MovedHost(Host, Switch),
+}
+
+/// The single source of truth for everything the local search reads or
+/// mutates: the [`HostSwitchGraph`], a mutation-tracked [`SlotCsr`], the
+/// per-switch host counts, and the [`EdgeSet`] used for move sampling.
+///
+/// Moves go through [`SearchState::apply_swap`] /
+/// [`SearchState::apply_swing`] inside a [`SearchState::begin`] …
+/// [`SearchState::commit`]/[`SearchState::rollback`] transaction, which
+/// keeps all four structures consistent by construction; the structures
+/// are never rebuilt after [`SearchState::new`]. Scoring via
+/// [`SearchState::evaluate`] reuses per-worker [`EvalScratch`] buffers —
+/// after warm-up a proposal allocates nothing.
+#[derive(Debug)]
+pub struct SearchState {
+    g: HostSwitchGraph,
+    csr: SlotCsr,
+    counts: Vec<u32>,
+    edges: EdgeSet,
+    hostful: u64,
+    undo: Vec<UndoOp>,
+    txn_marks: Vec<usize>,
+    workers: usize,
+    scratch: Vec<EvalScratch>,
+    srcs: Vec<u32>,
+}
+
+impl SearchState {
+    /// Builds the engine around `start`. `parallel` follows
+    /// [`resolve_parallel_eval`]: `None` auto-selects threading from the
+    /// switch count, `Some(_)` overrides.
+    ///
+    /// Fails with [`GraphError::Disconnected`] if some host pair is
+    /// unreachable (the annealer requires a connected start), and with
+    /// [`GraphError::InvalidParameters`] on fewer than two hosts.
+    pub fn new(start: HostSwitchGraph, parallel: Option<bool>) -> Result<Self, GraphError> {
+        if start.num_hosts() < 2 {
+            return Err(GraphError::InvalidParameters(
+                "search needs at least two hosts".into(),
+            ));
+        }
+        let counts = start.host_counts();
+        let workers = resolve_parallel_eval(parallel, start.num_switches());
+        let mut state = Self {
+            csr: SlotCsr::from_graph(&start),
+            edges: EdgeSet::from_graph(&start),
+            hostful: counts.iter().filter(|&&k| k > 0).count() as u64,
+            counts,
+            g: start,
+            undo: Vec::new(),
+            txn_marks: Vec::new(),
+            workers,
+            scratch: vec![EvalScratch::default(); workers],
+            srcs: Vec::new(),
+        };
+        if state.evaluate().is_none() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(state)
+    }
+
+    /// The owned graph. Mutate it only through this engine.
+    #[inline]
+    pub fn graph(&self) -> &HostSwitchGraph {
+        &self.g
+    }
+
+    /// The link multiset kept in sync with the graph (for move sampling).
+    #[inline]
+    pub fn edges(&self) -> &EdgeSet {
+        &self.edges
+    }
+
+    /// The in-place-maintained adjacency.
+    #[inline]
+    pub fn csr(&self) -> &SlotCsr {
+        &self.csr
+    }
+
+    /// `k_s` per switch, maintained incrementally.
+    #[inline]
+    pub fn host_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of evaluation worker threads this state resolved to.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Consumes the engine, returning the graph.
+    pub fn into_graph(self) -> HostSwitchGraph {
+        self.g
+    }
+
+    // ---- transactional mutation ------------------------------------
+
+    /// Opens a transaction. Transactions nest; each `begin` must be
+    /// matched by exactly one [`Self::commit`] or [`Self::rollback`].
+    pub fn begin(&mut self) {
+        self.txn_marks.push(self.undo.len());
+    }
+
+    /// Whether a transaction is currently open.
+    #[inline]
+    pub fn in_txn(&self) -> bool {
+        !self.txn_marks.is_empty()
+    }
+
+    /// Makes the innermost transaction's mutations permanent (or part of
+    /// the enclosing transaction, if one is open).
+    pub fn commit(&mut self) {
+        self.txn_marks.pop().expect("commit without begin");
+        if self.txn_marks.is_empty() {
+            self.undo.clear();
+        }
+    }
+
+    /// Reverts every mutation of the innermost transaction, restoring the
+    /// graph, CSR, host counts, and edge set to their state at `begin`.
+    pub fn rollback(&mut self) {
+        let mark = self.txn_marks.pop().expect("rollback without begin");
+        while self.undo.len() > mark {
+            match self.undo.pop().expect("len > mark") {
+                UndoOp::AddedLink(a, b) => self.raw_unlink(a, b),
+                UndoOp::RemovedLink(a, b) => self.raw_link(a, b),
+                UndoOp::MovedHost(h, from) => self.raw_move_host(h, from),
+            }
+        }
+    }
+
+    fn raw_link(&mut self, a: Switch, b: Switch) {
+        self.g.add_link(a, b).expect("undo-logged link re-add");
+        self.csr.add_link(a, b);
+        self.edges.insert(a, b);
+    }
+
+    fn raw_unlink(&mut self, a: Switch, b: Switch) {
+        self.g.remove_link(a, b).expect("undo-logged link removal");
+        self.csr.remove_link(a, b);
+        self.edges.remove(a, b);
+    }
+
+    fn raw_move_host(&mut self, h: Host, to: Switch) {
+        let from = self.g.switch_of(h);
+        self.g.move_host(h, to).expect("undo-logged host move");
+        self.counts[from as usize] -= 1;
+        if self.counts[from as usize] == 0 {
+            self.hostful -= 1;
+        }
+        if self.counts[to as usize] == 0 {
+            self.hostful += 1;
+        }
+        self.counts[to as usize] += 1;
+    }
+
+    fn link(&mut self, a: Switch, b: Switch) {
+        self.raw_link(a, b);
+        self.undo.push(UndoOp::AddedLink(a, b));
+    }
+
+    fn unlink(&mut self, a: Switch, b: Switch) {
+        self.raw_unlink(a, b);
+        self.undo.push(UndoOp::RemovedLink(a, b));
+    }
+
+    fn move_host(&mut self, h: Host, to: Switch) {
+        let from = self.g.switch_of(h);
+        self.raw_move_host(h, to);
+        self.undo.push(UndoOp::MovedHost(h, from));
+    }
+
+    /// Applies a swap (Fig. 2) to every owned structure. Must be inside a
+    /// transaction; invalid swaps leave the state untouched.
+    pub fn apply_swap(&mut self, s: Swap) -> Result<(), GraphError> {
+        assert!(self.in_txn(), "apply_swap outside a transaction");
+        if !s.is_valid(&self.g) {
+            return Err(GraphError::InvalidParameters(format!("invalid swap {s:?}")));
+        }
+        self.unlink(s.a, s.b);
+        self.unlink(s.c, s.d);
+        self.link(s.a, s.d);
+        self.link(s.c, s.b);
+        Ok(())
+    }
+
+    /// Applies a swing (Fig. 3) to every owned structure, returning the
+    /// host that moved. Must be inside a transaction; invalid swings leave
+    /// the state untouched.
+    pub fn apply_swing(&mut self, s: Swing) -> Result<Host, GraphError> {
+        assert!(self.in_txn(), "apply_swing outside a transaction");
+        if !s.is_valid(&self.g) {
+            return Err(GraphError::InvalidParameters(format!(
+                "invalid swing {s:?}"
+            )));
+        }
+        let h = *self.g.hosts_of(s.c).last().expect("validated non-empty");
+        self.unlink(s.a, s.b);
+        self.move_host(h, s.b);
+        self.link(s.a, s.c);
+        Ok(h)
+    }
+
+    // ---- evaluation -------------------------------------------------
+
+    /// Scores the current (possibly uncommitted) graph: h-ASPL, diameter,
+    /// and total pair length, or `None` if some host pair is unreachable.
+    ///
+    /// Runs the batched BFS over the in-place CSR and reused scratch; no
+    /// structure is rebuilt and, past the first call, nothing is
+    /// allocated (single-worker path).
+    pub fn evaluate(&mut self) -> Option<PathMetrics> {
+        let n = self.g.num_hosts() as u64;
+        self.srcs.clear();
+        self.srcs
+            .extend((0..self.csr.len() as u32).filter(|&s| self.counts[s as usize] > 0));
+        let totals = if self.workers > 1 && self.srcs.len() > 64 {
+            self.sweep_all_threaded()
+        } else {
+            let mut totals = BatchSums::default();
+            for lo in (0..self.srcs.len()).step_by(64) {
+                let hi = (lo + 64).min(self.srcs.len());
+                let b = sweep_batch(
+                    &self.csr,
+                    &self.counts,
+                    &self.srcs[lo..hi],
+                    &mut self.scratch[0],
+                );
+                totals.weighted += b.weighted;
+                totals.max_d = totals.max_d.max(b.max_d);
+                totals.reached += b.reached;
+            }
+            totals
+        };
+        // every source must have reached every hostful switch
+        if totals.reached != self.srcs.len() as u64 * self.hostful {
+            return None;
+        }
+        Some(Self::finalize(n, &self.counts, totals))
+    }
+
+    /// Splits the source batches across `self.workers` scoped threads,
+    /// each with its own scratch. Thread spawning does allocate — the
+    /// threaded path trades that for BFS throughput on large `m`.
+    fn sweep_all_threaded(&mut self) -> BatchSums {
+        let batches: Vec<&[u32]> = self.srcs.chunks(64).collect();
+        let per_worker = batches.len().div_ceil(self.workers);
+        let (csr, counts) = (&self.csr, &self.counts);
+        let partials: Vec<BatchSums> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .chunks(per_worker)
+                .zip(self.scratch.iter_mut())
+                .map(|(work, scratch)| {
+                    scope.spawn(move || {
+                        let mut acc = BatchSums::default();
+                        for batch in work {
+                            let b = sweep_batch(csr, counts, batch, scratch);
+                            acc.weighted += b.weighted;
+                            acc.max_d = acc.max_d.max(b.max_d);
+                            acc.reached += b.reached;
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("eval worker panicked"))
+                .collect()
+        });
+        let mut totals = BatchSums::default();
+        for p in partials {
+            totals.weighted += p.weighted;
+            totals.max_d = totals.max_d.max(p.max_d);
+            totals.reached += p.reached;
+        }
+        totals
+    }
+
+    /// Identical accounting to `metrics::finalize`: halve the ordered
+    /// inter-switch sum, add the `ℓ = 2` intra-switch pairs, and lift the
+    /// switch diameter by the two host hops.
+    fn finalize(n: u64, counts: &[u32], totals: BatchSums) -> PathMetrics {
+        let mut total = totals.weighted / 2;
+        let mut diameter = if totals.weighted > 0 {
+            totals.max_d + 2
+        } else {
+            0
+        };
+        for &k in counts {
+            let k = k as u64;
+            if k >= 2 {
+                total += k * (k - 1) / 2 * 2;
+                diameter = diameter.max(2);
+            }
+        }
+        let pairs = n * (n - 1) / 2;
+        PathMetrics {
+            haspl: total as f64 / pairs as f64,
+            diameter,
+            total_length: total,
+        }
+    }
+
+    /// Debug-grade cross-check that every incremental structure matches a
+    /// from-scratch derivation (used by the property suite).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let fresh_counts = self.g.host_counts();
+        if self.counts != fresh_counts {
+            return Err(format!(
+                "host counts diverged: incremental {:?} vs fresh {:?}",
+                self.counts, fresh_counts
+            ));
+        }
+        let fresh = SwitchCsr::from_graph(&self.g);
+        for s in 0..self.csr.len() as u32 {
+            let mut a: Vec<u32> = self.csr.neighbors(s).to_vec();
+            let mut b: Vec<u32> = fresh.neighbors(s).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                return Err(format!("adjacency of switch {s} diverged: {a:?} vs {b:?}"));
+            }
+        }
+        let mut ours: Vec<(u32, u32)> = self.edges.edges().to_vec();
+        let mut theirs: Vec<(u32, u32)> = self.g.links().collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        if ours != theirs {
+            return Err(format!("edge set diverged: {ours:?} vs {theirs:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::random_general;
+    use crate::metrics::path_metrics;
+    use crate::ops::{sample_swap, sample_swing};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Structural equality up to adjacency-list ordering (rollback uses
+    /// `swap_remove`, which permutes neighbour lists).
+    fn assert_same_graph(a: &HostSwitchGraph, b: &HostSwitchGraph) {
+        let (mut a, mut b) = (a.clone(), b.clone());
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a, b);
+    }
+
+    fn ring(m: u32, hosts_per: u32, r: u32) -> HostSwitchGraph {
+        let mut g = HostSwitchGraph::new(m, r).unwrap();
+        for s in 0..m {
+            g.add_link(s, (s + 1) % m).unwrap();
+        }
+        for s in 0..m {
+            for _ in 0..hosts_per {
+                g.attach_host(s).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn evaluate_matches_path_metrics() {
+        for seed in 0..4 {
+            let g = random_general(96, 24, 8, seed).unwrap();
+            let expect = path_metrics(&g).unwrap();
+            let mut st = SearchState::new(g, Some(false)).unwrap();
+            let got = st.evaluate().unwrap();
+            assert_eq!(got.total_length, expect.total_length, "seed {seed}");
+            assert_eq!(got.diameter, expect.diameter, "seed {seed}");
+            assert!((got.haspl - expect.haspl).abs() < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_on_irregular_counts() {
+        // hostless switches, piles of hosts on others
+        let mut g = HostSwitchGraph::new(5, 8).unwrap();
+        for s in 0..5 {
+            g.add_link(s, (s + 1) % 5).unwrap();
+        }
+        for _ in 0..5 {
+            g.attach_host(0).unwrap();
+        }
+        g.attach_host(2).unwrap();
+        let expect = path_metrics(&g).unwrap();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        assert_eq!(st.evaluate().unwrap(), expect);
+    }
+
+    #[test]
+    fn evaluate_batches_beyond_64_sources() {
+        // more than 64 hostful switches exercises multi-batch sweeps
+        let g = ring(130, 1, 4);
+        let expect = path_metrics(&g).unwrap();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        assert_eq!(st.evaluate().unwrap(), expect);
+    }
+
+    #[test]
+    fn threaded_evaluation_is_bit_identical() {
+        let g = random_general(256, 72, 10, 9).unwrap();
+        let mut seq = SearchState::new(g.clone(), Some(false)).unwrap();
+        let mut par = SearchState::new(g, Some(true)).unwrap();
+        assert!(par.workers() >= 1);
+        assert_eq!(seq.evaluate().unwrap(), par.evaluate().unwrap());
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        let mut g = HostSwitchGraph::new(4, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(2, 3).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(3).unwrap();
+        assert!(matches!(
+            SearchState::new(g, Some(false)),
+            Err(GraphError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn swap_commit_and_rollback() {
+        let mut g = ring(6, 1, 5);
+        g.add_link(0, 3).unwrap();
+        g.add_link(1, 4).unwrap();
+        let snapshot = g.clone();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let s = Swap {
+            a: 0,
+            b: 1,
+            c: 3,
+            d: 4,
+        };
+
+        st.begin();
+        st.apply_swap(s).unwrap();
+        assert!(st.graph().has_link(0, 4) && !st.graph().has_link(0, 1));
+        st.rollback();
+        assert_same_graph(st.graph(), &snapshot);
+        st.check_consistency().unwrap();
+
+        st.begin();
+        st.apply_swap(s).unwrap();
+        st.commit();
+        assert!(st.graph().has_link(0, 4) && st.graph().has_link(3, 1));
+        st.check_consistency().unwrap();
+        assert_eq!(st.evaluate().unwrap(), path_metrics(st.graph()).unwrap());
+    }
+
+    #[test]
+    fn swing_rollback_restores_host() {
+        let g = ring(5, 2, 6);
+        let snapshot = g.clone();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let s = Swing { a: 0, b: 1, c: 3 };
+        st.begin();
+        let h = st.apply_swing(s).unwrap();
+        assert_eq!(st.graph().switch_of(h), 1);
+        assert_eq!(st.host_counts()[3], 1);
+        st.rollback();
+        assert_same_graph(st.graph(), &snapshot);
+        assert_eq!(st.host_counts()[3], 2);
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn nested_transactions_support_two_neighbor_flow() {
+        let g = ring(8, 2, 6);
+        let snapshot = g.clone();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+
+        // outer swing, inner swing stacked on top, roll both back
+        st.begin();
+        st.apply_swing(Swing { a: 0, b: 1, c: 3 }).unwrap();
+        st.begin();
+        let s2 = Swing { a: 4, b: 3, c: 1 };
+        assert!(s2.is_valid(st.graph()));
+        st.apply_swing(s2).unwrap();
+        st.rollback();
+        st.rollback();
+        assert_same_graph(st.graph(), &snapshot);
+        st.check_consistency().unwrap();
+
+        // commit inner into outer, then commit outer
+        st.begin();
+        st.apply_swing(Swing { a: 0, b: 1, c: 3 }).unwrap();
+        st.begin();
+        st.apply_swing(s2).unwrap();
+        st.commit();
+        st.commit();
+        assert!(!st.in_txn());
+        st.check_consistency().unwrap();
+        assert_eq!(st.evaluate().unwrap(), path_metrics(st.graph()).unwrap());
+    }
+
+    #[test]
+    fn invalid_moves_leave_state_untouched() {
+        let g = ring(5, 1, 5);
+        let snapshot = g.clone();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        st.begin();
+        assert!(st
+            .apply_swap(Swap {
+                a: 0,
+                b: 1,
+                c: 1,
+                d: 2
+            })
+            .is_err());
+        assert!(st.apply_swing(Swing { a: 0, b: 1, c: 0 }).is_err());
+        st.rollback();
+        assert_same_graph(st.graph(), &snapshot);
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn long_random_walk_stays_consistent() {
+        let g = random_general(64, 16, 8, 5).unwrap();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for step in 0..300 {
+            let accept = step % 3 != 0;
+            if step % 2 == 0 {
+                let Some(s) = sample_swap(st.graph(), st.edges(), &mut rng, 24) else {
+                    continue;
+                };
+                st.begin();
+                st.apply_swap(s).unwrap();
+                let ok = st.evaluate().is_some();
+                if accept && ok {
+                    st.commit();
+                } else {
+                    st.rollback();
+                }
+            } else {
+                let Some(s) = sample_swing(st.graph(), st.edges(), &mut rng, 24) else {
+                    continue;
+                };
+                st.begin();
+                st.apply_swing(s).unwrap();
+                let ok = st.evaluate().is_some();
+                if accept && ok {
+                    st.commit();
+                } else {
+                    st.rollback();
+                }
+            }
+        }
+        st.check_consistency().unwrap();
+        assert_eq!(st.evaluate().unwrap(), path_metrics(st.graph()).unwrap());
+    }
+
+    #[test]
+    fn slot_csr_tracks_link_edits() {
+        let g = ring(6, 0, 4);
+        let mut csr = SlotCsr::from_graph(&g);
+        csr.remove_link(0, 1);
+        csr.add_link(0, 3);
+        let mut n0: Vec<u32> = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![3, 5]);
+        assert!(csr.neighbors(1).iter().all(|&t| t != 0));
+        assert!(csr.neighbors(3).contains(&0));
+    }
+
+    #[test]
+    fn resolve_parallel_eval_honours_override() {
+        assert_eq!(resolve_parallel_eval(Some(false), 100_000), 1);
+        assert!(resolve_parallel_eval(Some(true), 4) >= 1);
+        // auto: small instances stay sequential
+        assert_eq!(
+            resolve_parallel_eval(None, PARALLEL_SWITCH_THRESHOLD - 1),
+            1
+        );
+    }
+}

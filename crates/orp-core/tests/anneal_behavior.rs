@@ -7,7 +7,11 @@ use orp_core::construct::random_general;
 use orp_core::metrics::path_metrics;
 
 fn cfg(iters: usize, seed: u64) -> SaConfig {
-    SaConfig { iters, seed, ..Default::default() }
+    SaConfig {
+        iters,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// §5.3 Case 1: when `m ≫ m_opt`, the swing annealer parks switches with
@@ -98,8 +102,20 @@ fn counters_are_consistent() {
 #[test]
 fn temperature_controls_acceptance() {
     let start = random_general(96, 24, 8, 13).unwrap();
-    let cold = SaConfig { iters: 1000, t0: 1e-9, t_end: 1e-9, seed: 13, ..Default::default() };
-    let hot = SaConfig { iters: 1000, t0: 0.5, t_end: 0.4, seed: 13, ..Default::default() };
+    let cold = SaConfig {
+        iters: 1000,
+        t0: 1e-9,
+        t_end: 1e-9,
+        seed: 13,
+        ..Default::default()
+    };
+    let hot = SaConfig {
+        iters: 1000,
+        t0: 0.5,
+        t_end: 0.4,
+        seed: 13,
+        ..Default::default()
+    };
     let rc = anneal(start.clone(), MoveKind::TwoNeighborSwing, &cold).unwrap();
     let rh = anneal(start, MoveKind::TwoNeighborSwing, &hot).unwrap();
     assert!(
@@ -119,8 +135,8 @@ fn parallel_eval_is_bit_identical() {
         parallel_eval: parallel,
         ..Default::default()
     };
-    let a = anneal_general(96, 24, 8, &mk(false)).unwrap();
-    let b = anneal_general(96, 24, 8, &mk(true)).unwrap();
+    let a = anneal_general(96, 24, 8, &mk(Some(false))).unwrap();
+    let b = anneal_general(96, 24, 8, &mk(Some(true))).unwrap();
     assert_eq!(a.graph, b.graph);
     assert_eq!(a.metrics.total_length, b.metrics.total_length);
 }

@@ -45,7 +45,13 @@ impl Floorplan {
         let cols = (num_cabinets as f64).sqrt().ceil().max(1.0) as u32;
         let cabinet_pos: Vec<(u32, u32)> =
             (0..num_cabinets).map(|c| (c / cols, c % cols)).collect();
-        Self { cabinet_of, cabinet_pos, cols, overhead_m: 2.0, intra_cabinet_m: 0.5 }
+        Self {
+            cabinet_of,
+            cabinet_pos,
+            cols,
+            overhead_m: 2.0,
+            intra_cabinet_m: 0.5,
+        }
     }
 
     /// Number of cabinets.
@@ -88,10 +94,7 @@ impl Floorplan {
     }
 
     /// Lengths of all switch-to-switch cables of `g` under this plan.
-    pub fn link_lengths<'a>(
-        &'a self,
-        g: &'a HostSwitchGraph,
-    ) -> impl Iterator<Item = f64> + 'a {
+    pub fn link_lengths<'a>(&'a self, g: &'a HostSwitchGraph) -> impl Iterator<Item = f64> + 'a {
         g.links().map(move |(a, b)| self.cable_length(a, b))
     }
 }
@@ -141,7 +144,7 @@ mod tests {
     fn cross_cabinet_uses_manhattan_plus_overhead() {
         let g = ring(4);
         let fp = Floorplan::new(&g, 1); // 2x2 grid
-        // cabinets 0 (0,0) and 3 (1,1)
+                                        // cabinets 0 (0,0) and 3 (1,1)
         let l = fp.cable_length(0, 3);
         assert!((l - (CABINET_WIDTH_M + CABINET_DEPTH_M + 2.0)).abs() < 1e-12);
         // symmetric

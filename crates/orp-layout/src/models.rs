@@ -108,7 +108,10 @@ mod tests {
     fn optical_costs_more_and_draws_power() {
         let m = HardwareModel::default();
         assert!(m.cable_cost(2.0) > m.cable_cost(1.0));
-        assert!(m.cable_cost(1.01) > m.cable_cost(1.0) + 50.0, "step to optics");
+        assert!(
+            m.cable_cost(1.01) > m.cable_cost(1.0) + 50.0,
+            "step to optics"
+        );
         assert_eq!(m.cable_power(0.5), 0.0);
         assert!(m.cable_power(5.0) > 0.0);
     }

@@ -13,11 +13,7 @@ use orp_partition::{partition, Graph as CutGraph, PartitionConfig};
 /// overflow the cabinet capacity spill into the least-loaded cabinet
 /// (the partitioner balances within a small tolerance, so spills are
 /// rare and small).
-pub fn optimized_floorplan(
-    g: &HostSwitchGraph,
-    per_cabinet: u32,
-    seed: u64,
-) -> Floorplan {
+pub fn optimized_floorplan(g: &HostSwitchGraph, per_cabinet: u32, seed: u64) -> Floorplan {
     assert!(per_cabinet >= 1);
     let m = g.num_switches();
     let k = m.div_ceil(per_cabinet).max(1) as usize;
@@ -26,7 +22,11 @@ pub fn optimized_floorplan(
     }
     let edges: Vec<(u32, u32)> = g.links().collect();
     let cg = CutGraph::from_edges(m as usize, &edges);
-    let cfg = PartitionConfig { seed, eps: 0.02, ..Default::default() };
+    let cfg = PartitionConfig {
+        seed,
+        eps: 0.02,
+        ..Default::default()
+    };
     let parts = partition(&cg, k, &cfg);
     // enforce the hard cabinet capacity
     let mut load = vec![0u32; k];

@@ -44,11 +44,7 @@ impl LayoutReport {
 }
 
 /// Evaluates `g` under a floorplan and hardware model.
-pub fn evaluate(
-    g: &HostSwitchGraph,
-    fp: &Floorplan,
-    hw: &HardwareModel,
-) -> LayoutReport {
+pub fn evaluate(g: &HostSwitchGraph, fp: &Floorplan, hw: &HardwareModel) -> LayoutReport {
     let mut sw_cables = 0u32;
     let mut optical = 0u32;
     let mut cable_m = 0.0;

@@ -101,7 +101,8 @@ impl Eq for TimeKey {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for TimeKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("simulation times are never NaN")
+        self.partial_cmp(other)
+            .expect("simulation times are never NaN")
     }
 }
 
@@ -149,7 +150,10 @@ impl<'a> Simulator<'a> {
         Self {
             net,
             ranks: vec![
-                RankCtx { waiting_recv_from: NO_RECV, ..Default::default() };
+                RankCtx {
+                    waiting_recv_from: NO_RECV,
+                    ..Default::default()
+                };
                 programs.len()
             ],
             programs,
@@ -386,7 +390,11 @@ impl<'a> Simulator<'a> {
             let mut flow_dt = f64::INFINITY;
             for &fid in &self.active {
                 let f = &self.flows[fid as usize];
-                let dt = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
+                let dt = if f.rate > 0.0 {
+                    f.remaining / f.rate
+                } else {
+                    f64::INFINITY
+                };
                 if dt < flow_dt {
                     flow_dt = dt;
                 }
@@ -414,7 +422,11 @@ impl<'a> Simulator<'a> {
                 while i < self.active.len() {
                     let fid = self.active[i];
                     let f = &self.flows[fid as usize];
-                    let left_t = if f.rate > 0.0 { f.remaining / f.rate } else { f64::INFINITY };
+                    let left_t = if f.rate > 0.0 {
+                        f.remaining / f.rate
+                    } else {
+                        f64::INFINITY
+                    };
                     if f.remaining <= 1e-9 || left_t <= 1e-12 {
                         self.active.swap_remove(i);
                         let f = &mut self.flows[fid as usize];
@@ -528,7 +540,11 @@ mod tests {
         let cfg = net.config();
         // route: uplink + 1 switch link + downlink = 3 links
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + bytes / cfg.bandwidth;
-        assert!((rep.time - expect).abs() < expect * 1e-9, "{} vs {expect}", rep.time);
+        assert!(
+            (rep.time - expect).abs() < expect * 1e-9,
+            "{} vs {expect}",
+            rep.time
+        );
         assert_eq!(rep.flows, 1);
     }
 
@@ -549,7 +565,11 @@ mod tests {
         );
         let cfg = net.config();
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + 2.0 * bytes / cfg.bandwidth;
-        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+        assert!(
+            (rep.time - expect).abs() < expect * 1e-6,
+            "{} vs {expect}",
+            rep.time
+        );
         assert_eq!(rep.peak_flows, 2);
     }
 
@@ -569,7 +589,11 @@ mod tests {
         );
         let cfg = net.config();
         let expect = cfg.sw_overhead + 2.0 * cfg.hop_latency + bytes / cfg.bandwidth;
-        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+        assert!(
+            (rep.time - expect).abs() < expect * 1e-6,
+            "{} vs {expect}",
+            rep.time
+        );
     }
 
     #[test]
@@ -579,14 +603,26 @@ mod tests {
         let rep = simulate(
             &net,
             vec![
-                vec![Op::SendRecv { to: 1, bytes, from: 1 }],
-                vec![Op::SendRecv { to: 0, bytes, from: 0 }],
+                vec![Op::SendRecv {
+                    to: 1,
+                    bytes,
+                    from: 1,
+                }],
+                vec![Op::SendRecv {
+                    to: 0,
+                    bytes,
+                    from: 0,
+                }],
             ],
         );
         let cfg = net.config();
         // full duplex: both directions in parallel
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency + bytes / cfg.bandwidth;
-        assert!((rep.time - expect).abs() < expect * 1e-6, "{} vs {expect}", rep.time);
+        assert!(
+            (rep.time - expect).abs() < expect * 1e-6,
+            "{} vs {expect}",
+            rep.time
+        );
         assert_eq!(rep.flows, 2);
     }
 
@@ -626,7 +662,11 @@ mod tests {
         );
         let cfg = net.config();
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency;
-        assert!((rep.time - expect).abs() < 1e-12, "{} vs {expect}", rep.time);
+        assert!(
+            (rep.time - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            rep.time
+        );
     }
 
     #[test]

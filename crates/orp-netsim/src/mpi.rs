@@ -20,7 +20,9 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// `n` empty rank programs.
     pub fn new(n: u32) -> Self {
-        Self { progs: vec![Vec::new(); n as usize] }
+        Self {
+            progs: vec![Vec::new(); n as usize],
+        }
     }
 
     /// Number of ranks.
@@ -71,8 +73,22 @@ impl ProgramBuilder {
         if a == b {
             return;
         }
-        self.push(a, Op::SendRecv { to: b, bytes, from: b });
-        self.push(b, Op::SendRecv { to: a, bytes, from: a });
+        self.push(
+            a,
+            Op::SendRecv {
+                to: b,
+                bytes,
+                from: b,
+            },
+        );
+        self.push(
+            b,
+            Op::SendRecv {
+                to: a,
+                bytes,
+                from: a,
+            },
+        );
     }
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds of staggered token
@@ -87,7 +103,14 @@ impl ProgramBuilder {
             for r in 0..n {
                 let to = (r + k) % n;
                 let from = (r + n - k) % n;
-                self.push(r, Op::SendRecv { to, bytes: CTRL_BYTES, from });
+                self.push(
+                    r,
+                    Op::SendRecv {
+                        to,
+                        bytes: CTRL_BYTES,
+                        from,
+                    },
+                );
             }
             k <<= 1;
         }
@@ -158,7 +181,14 @@ impl ProgramBuilder {
             while k < n {
                 for r in 0..n {
                     let partner = r ^ k;
-                    self.push(r, Op::SendRecv { to: partner, bytes, from: partner });
+                    self.push(
+                        r,
+                        Op::SendRecv {
+                            to: partner,
+                            bytes,
+                            from: partner,
+                        },
+                    );
                     self.compute(r, bytes / 8.0);
                 }
                 k <<= 1;
@@ -180,7 +210,14 @@ impl ProgramBuilder {
             for r in 0..n {
                 let to = (r + 1) % n;
                 let from = (r + n - 1) % n;
-                self.push(r, Op::SendRecv { to, bytes: block_bytes, from });
+                self.push(
+                    r,
+                    Op::SendRecv {
+                        to,
+                        bytes: block_bytes,
+                        from,
+                    },
+                );
             }
         }
     }
@@ -204,12 +241,23 @@ impl ProgramBuilder {
                     let partner = r ^ i;
                     self.push(
                         r,
-                        Op::SendRecv { to: partner, bytes: bytes(r, partner), from: partner },
+                        Op::SendRecv {
+                            to: partner,
+                            bytes: bytes(r, partner),
+                            from: partner,
+                        },
                     );
                 } else {
                     let to = (r + i) % n;
                     let from = (r + n - i) % n;
-                    self.push(r, Op::SendRecv { to, bytes: bytes(r, to), from });
+                    self.push(
+                        r,
+                        Op::SendRecv {
+                            to,
+                            bytes: bytes(r, to),
+                            from,
+                        },
+                    );
                 }
             }
         }
@@ -240,7 +288,13 @@ impl ProgramBuilder {
                     let dst = (rel + mask + root) % n;
                     // the subtree rooted at dst holds min(mask, n-rel-mask) blocks
                     let blocks = mask.min(n - rel - mask) as f64;
-                    self.push(r, Op::Send { to: dst, bytes: block_bytes * blocks });
+                    self.push(
+                        r,
+                        Op::Send {
+                            to: dst,
+                            bytes: block_bytes * blocks,
+                        },
+                    );
                 }
                 mask >>= 1;
             }
@@ -260,7 +314,13 @@ impl ProgramBuilder {
                 if rel & mask != 0 {
                     let dst = (rel - mask + root) % n;
                     let blocks = mask.min(n - rel) as f64;
-                    self.push(r, Op::Send { to: dst, bytes: block_bytes * blocks });
+                    self.push(
+                        r,
+                        Op::Send {
+                            to: dst,
+                            bytes: block_bytes * blocks,
+                        },
+                    );
                     break;
                 } else if rel + mask < n {
                     let src = (rel + mask + root) % n;
@@ -293,7 +353,14 @@ impl ProgramBuilder {
         while k >= 1 {
             for r in 0..n {
                 let partner = r ^ k;
-                self.push(r, Op::SendRecv { to: partner, bytes: chunk, from: partner });
+                self.push(
+                    r,
+                    Op::SendRecv {
+                        to: partner,
+                        bytes: chunk,
+                        from: partner,
+                    },
+                );
             }
             chunk *= 2.0;
             if k == 1 {
@@ -318,7 +385,14 @@ impl ProgramBuilder {
                 let k = n / (2 * step);
                 for r in 0..n {
                     let partner = r ^ k;
-                    self.push(r, Op::SendRecv { to: partner, bytes: chunk, from: partner });
+                    self.push(
+                        r,
+                        Op::SendRecv {
+                            to: partner,
+                            bytes: chunk,
+                            from: partner,
+                        },
+                    );
                     self.compute(r, chunk / 8.0);
                 }
                 step <<= 1;

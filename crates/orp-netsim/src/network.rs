@@ -92,7 +92,15 @@ impl Network {
             sw_offsets.push(2 * n + sw_neighbors.len() as u32);
         }
         let num_links = 2 * n + sw_neighbors.len() as u32;
-        Self { cfg, num_hosts: n, host_sw, table, sw_offsets, sw_neighbors, num_links }
+        Self {
+            cfg,
+            num_hosts: n,
+            host_sw,
+            table,
+            sw_offsets,
+            sw_neighbors,
+            num_links,
+        }
     }
 
     /// The simulation constants.

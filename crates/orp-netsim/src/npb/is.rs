@@ -54,7 +54,11 @@ mod tests {
         let rep = simulate(&net, program(16, Class::A, 1));
         let keys_bytes = (1u64 << 23) as f64 * 4.0;
         // alltoallv moves (n-1)/n of the array, plus the allreduces
-        assert!(rep.bytes > keys_bytes * 0.9, "{} vs {keys_bytes}", rep.bytes);
+        assert!(
+            rep.bytes > keys_bytes * 0.9,
+            "{} vs {keys_bytes}",
+            rep.bytes
+        );
         assert!(rep.bytes < keys_bytes * 1.6);
     }
 

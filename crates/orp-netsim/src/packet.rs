@@ -76,11 +76,19 @@ pub fn packet_simulate(net: &Network, demands: &[FlowDemand], mtu: f64) -> Packe
         let tail = d.bytes - full as f64 * mtu;
         let mut count = 0;
         for _ in 0..full {
-            packets.push(PacketState { route: route.clone(), flow: fid as u32, bytes: mtu });
+            packets.push(PacketState {
+                route: route.clone(),
+                flow: fid as u32,
+                bytes: mtu,
+            });
             count += 1;
         }
         if tail > 0.0 || full == 0 {
-            packets.push(PacketState { route, flow: fid as u32, bytes: tail.max(0.0) });
+            packets.push(PacketState {
+                route,
+                flow: fid as u32,
+                bytes: tail.max(0.0),
+            });
             count += 1;
         }
         remaining_pkts.push(count);
@@ -117,7 +125,12 @@ pub fn packet_simulate(net: &Network, demands: &[FlowDemand], mtu: f64) -> Packe
         seq += 1;
     }
     let makespan = completion.iter().copied().fold(0.0, f64::max);
-    PacketReport { completion, makespan, packets: packets.len() as u64, events }
+    PacketReport {
+        completion,
+        makespan,
+        packets: packets.len() as u64,
+        events,
+    }
 }
 
 /// Convenience: simulate a permutation pattern (see
@@ -131,9 +144,11 @@ pub fn packet_simulate_pattern(
     let n = net.num_hosts();
     let demands: Vec<FlowDemand> = (0..n)
         .filter_map(|r| {
-            pattern
-                .destination(r, n, seed)
-                .map(|d| FlowDemand { src: r, dst: d, bytes })
+            pattern.destination(r, n, seed).map(|d| FlowDemand {
+                src: r,
+                dst: d,
+                bytes,
+            })
         })
         .collect();
     packet_simulate(net, &demands, DEFAULT_MTU)
@@ -164,13 +179,21 @@ mod tests {
         let cfg = *net.config();
         let rep = packet_simulate(
             &net,
-            &[FlowDemand { src: 0, dst: 2, bytes: 1000.0 }],
+            &[FlowDemand {
+                src: 0,
+                dst: 2,
+                bytes: 1000.0,
+            }],
             DEFAULT_MTU,
         );
         // one packet over 3 links: sw_overhead + 3·(tx + hop_latency)
         let tx = 1000.0 / cfg.bandwidth;
         let expect = cfg.sw_overhead + 3.0 * (tx + cfg.hop_latency);
-        assert!((rep.makespan - expect).abs() < 1e-12, "{} vs {expect}", rep.makespan);
+        assert!(
+            (rep.makespan - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            rep.makespan
+        );
         assert_eq!(rep.packets, 1);
     }
 
@@ -180,7 +203,15 @@ mod tests {
         let net = dumbbell();
         let cfg = *net.config();
         let bytes = 10.0 * DEFAULT_MTU;
-        let rep = packet_simulate(&net, &[FlowDemand { src: 0, dst: 2, bytes }], DEFAULT_MTU);
+        let rep = packet_simulate(
+            &net,
+            &[FlowDemand {
+                src: 0,
+                dst: 2,
+                bytes,
+            }],
+            DEFAULT_MTU,
+        );
         let tx = DEFAULT_MTU / cfg.bandwidth;
         let expect = cfg.sw_overhead + (3.0 + 9.0) * tx + 3.0 * cfg.hop_latency;
         assert!(
@@ -199,8 +230,16 @@ mod tests {
         let rep = packet_simulate(
             &net,
             &[
-                FlowDemand { src: 0, dst: 2, bytes },
-                FlowDemand { src: 1, dst: 3, bytes },
+                FlowDemand {
+                    src: 0,
+                    dst: 2,
+                    bytes,
+                },
+                FlowDemand {
+                    src: 1,
+                    dst: 3,
+                    bytes,
+                },
             ],
             DEFAULT_MTU,
         );
@@ -223,7 +262,15 @@ mod tests {
                 vec![],
             ],
         );
-        let pkt = packet_simulate(&net, &[FlowDemand { src: 0, dst: 2, bytes }], DEFAULT_MTU);
+        let pkt = packet_simulate(
+            &net,
+            &[FlowDemand {
+                src: 0,
+                dst: 2,
+                bytes,
+            }],
+            DEFAULT_MTU,
+        );
         // the packet model adds per-hop serialisation the fluid model
         // folds into latency; agreement within ~5% at this size
         let ratio = pkt.makespan / fluid.time;
@@ -253,8 +300,15 @@ mod tests {
     fn zero_byte_flow_is_latency_only() {
         let net = dumbbell();
         let cfg = *net.config();
-        let rep =
-            packet_simulate(&net, &[FlowDemand { src: 0, dst: 2, bytes: 0.0 }], DEFAULT_MTU);
+        let rep = packet_simulate(
+            &net,
+            &[FlowDemand {
+                src: 0,
+                dst: 2,
+                bytes: 0.0,
+            }],
+            DEFAULT_MTU,
+        );
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency;
         assert!((rep.makespan - expect).abs() < 1e-12);
     }

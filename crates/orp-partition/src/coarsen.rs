@@ -83,7 +83,10 @@ pub fn heavy_edge_matching<R: Rng>(g: &Graph, rng: &mut R) -> Option<CoarseLevel
             }
         }
     }
-    Some(CoarseLevel { graph: Graph::from_weighted(vwgt, &edges), fine_to_coarse })
+    Some(CoarseLevel {
+        graph: Graph::from_weighted(vwgt, &edges),
+        fine_to_coarse,
+    })
 }
 
 /// Coarsens repeatedly until the graph has at most `target` vertices or
@@ -115,8 +118,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn ring(n: usize) -> Graph {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Graph::from_edges(n, &edges)
     }
 

@@ -17,7 +17,11 @@ impl Graph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         Self::from_weighted(
             vec![1; n],
-            edges.iter().map(|&(a, b)| (a, b, 1)).collect::<Vec<_>>().as_slice(),
+            edges
+                .iter()
+                .map(|&(a, b)| (a, b, 1))
+                .collect::<Vec<_>>()
+                .as_slice(),
         )
     }
 
@@ -63,7 +67,12 @@ impl Graph {
             adjwgt[cb] = w;
             cursor[b as usize] += 1;
         }
-        Self { xadj, adjncy, adjwgt, vwgt }
+        Self {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
     }
 
     /// Number of vertices.
@@ -100,7 +109,10 @@ impl Graph {
     pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
         let lo = self.xadj[v as usize] as usize;
         let hi = self.xadj[v as usize + 1] as usize;
-        self.adjncy[lo..hi].iter().copied().zip(self.adjwgt[lo..hi].iter().copied())
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
     }
 
     /// Degree of `v` (distinct neighbours).

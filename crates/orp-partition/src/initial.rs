@@ -8,12 +8,7 @@ use rand::Rng;
 /// Bisects `g` into parts 0/1 with part-0 target weight `target0`.
 /// Returns the assignment. Runs `trials` seeded growths, keeping the best
 /// cut among balanced results.
-pub fn greedy_bisection<R: Rng>(
-    g: &Graph,
-    target0: u64,
-    trials: usize,
-    rng: &mut R,
-) -> Vec<u32> {
+pub fn greedy_bisection<R: Rng>(g: &Graph, target0: u64, trials: usize, rng: &mut R) -> Vec<u32> {
     let n = g.len();
     if n == 0 {
         return Vec::new();
@@ -45,11 +40,11 @@ fn grow_from(g: &Graph, seed: u32, target0: u64) -> Vec<u32> {
     let mut weight0 = 0u64;
 
     let add = |v: u32,
-                   assignment: &mut Vec<u32>,
-                   in0: &mut Vec<bool>,
-                   gain: &mut Vec<i64>,
-                   frontier: &mut Vec<u32>,
-                   weight0: &mut u64| {
+               assignment: &mut Vec<u32>,
+               in0: &mut Vec<bool>,
+               gain: &mut Vec<i64>,
+               frontier: &mut Vec<u32>,
+               weight0: &mut u64| {
         assignment[v as usize] = 0;
         in0[v as usize] = true;
         *weight0 += g.vertex_weight(v);
@@ -75,7 +70,14 @@ fn grow_from(g: &Graph, seed: u32, target0: u64) -> Vec<u32> {
         }
     };
 
-    add(seed, &mut assignment, &mut in0, &mut gain, &mut frontier, &mut weight0);
+    add(
+        seed,
+        &mut assignment,
+        &mut in0,
+        &mut gain,
+        &mut frontier,
+        &mut weight0,
+    );
     while weight0 < target0 {
         // pick max-gain frontier vertex; fall back to any unassigned vertex
         // when the region's component is exhausted
@@ -90,7 +92,14 @@ fn grow_from(g: &Graph, seed: u32, target0: u64) -> Vec<u32> {
         } else {
             break;
         };
-        add(next, &mut assignment, &mut in0, &mut gain, &mut frontier, &mut weight0);
+        add(
+            next,
+            &mut assignment,
+            &mut in0,
+            &mut gain,
+            &mut frontier,
+            &mut weight0,
+        );
     }
     assignment
 }

@@ -40,7 +40,13 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        Self { eps: 0.03, coarsest: 48, init_trials: 8, fm_passes: 6, seed: 1 }
+        Self {
+            eps: 0.03,
+            coarsest: 48,
+            init_trials: 8,
+            fm_passes: 6,
+            seed: 1,
+        }
     }
 }
 
@@ -59,7 +65,11 @@ pub fn partition(g: &Graph, k: usize, cfg: &PartitionConfig) -> Partition {
     }
     let cut = g.edge_cut(&assignment);
     let part_weights = g.part_weights(&assignment, k);
-    Partition { assignment, cut, part_weights }
+    Partition {
+        assignment,
+        cut,
+        part_weights,
+    }
 }
 
 /// Recursively bisects the subgraph of `g` induced by `vertices` into `k`
@@ -114,12 +124,7 @@ fn recurse<R: Rng>(
 }
 
 /// Multilevel bisection of `g` with part-0 target weight `target0`.
-pub fn bisect<R: Rng>(
-    g: &Graph,
-    target0: u64,
-    cfg: &PartitionConfig,
-    rng: &mut R,
-) -> Vec<u32> {
+pub fn bisect<R: Rng>(g: &Graph, target0: u64, cfg: &PartitionConfig, rng: &mut R) -> Vec<u32> {
     let total = g.total_weight();
     let target1 = total - target0;
     let cap = |t: u64| ((t as f64) * (1.0 + cfg.eps)).ceil() as u64;

@@ -15,7 +15,11 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -66,14 +70,7 @@ impl FlowNetwork {
         (level[t as usize] >= 0).then_some(level)
     }
 
-    fn dfs_push(
-        &mut self,
-        u: u32,
-        t: u32,
-        pushed: u64,
-        level: &[i32],
-        iter: &mut [usize],
-    ) -> u64 {
+    fn dfs_push(&mut self, u: u32, t: u32, pushed: u64, level: &[i32], iter: &mut [usize]) -> u64 {
         if u == t {
             return pushed;
         }

@@ -26,12 +26,7 @@ fn gain(g: &Graph, assignment: &[u32], v: u32) -> i64 {
 /// is higher, so the pass walks through near-balanced states; a state
 /// qualifies as a rollback point only if both parts fit `max_weight`.
 /// Returns the cut improvement (non-negative).
-fn fm_pass(
-    g: &Graph,
-    assignment: &mut [u32],
-    targets: [u64; 2],
-    max_weight: [u64; 2],
-) -> u64 {
+fn fm_pass(g: &Graph, assignment: &mut [u32], targets: [u64; 2], max_weight: [u64; 2]) -> u64 {
     let n = g.len();
     let mut gains: Vec<i64> = (0..n as u32).map(|v| gain(g, assignment, v)).collect();
     let mut part_w = [0u64; 2];
@@ -47,7 +42,11 @@ fn fm_pass(
     let t1 = targets[1].max(1);
     for _ in 0..n {
         // move from the side with higher relative load
-        let from = if part_w[0] * t1 >= part_w[1] * t0 { 0usize } else { 1 };
+        let from = if part_w[0] * t1 >= part_w[1] * t0 {
+            0usize
+        } else {
+            1
+        };
         let to = 1 - from;
         let mut cand: Option<(u32, i64)> = None;
         for v in 0..n as u32 {

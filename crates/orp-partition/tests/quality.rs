@@ -12,8 +12,7 @@ use rand_chacha::ChaCha8Rng;
 /// A connected random graph: ring + extra random chords.
 fn random_graph(n: usize, extra: usize, seed: u64) -> (Graph, Vec<(u32, u32)>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut edges: Vec<(u32, u32)> =
-        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
     let mut added = 0;
     while added < extra {
         let a = rng.gen_range(0..n as u32);
@@ -30,7 +29,14 @@ fn random_graph(n: usize, extra: usize, seed: u64) -> (Graph, Vec<(u32, u32)>) {
 fn bisection_respects_maxflow_lower_bound() {
     for seed in [1u64, 2, 3, 4] {
         let (g, edges) = random_graph(40, 40, seed);
-        let p = partition(&g, 2, &PartitionConfig { seed, ..Default::default() });
+        let p = partition(
+            &g,
+            2,
+            &PartitionConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         // pick a vertex from each side and bound the cut by maxflow
         let s = p.assignment.iter().position(|&x| x == 0).unwrap() as u32;
         let t = p.assignment.iter().position(|&x| x == 1).unwrap() as u32;
@@ -80,12 +86,18 @@ fn partitioner_matches_exact_min_bisection_on_small_instances() {
         let mut best = u64::MAX;
         for mask in 0u32..(1 << 12) {
             if (5..=7).contains(&mask.count_ones()) {
-                let assignment: Vec<u32> =
-                    (0..12).map(|v| (mask >> v) & 1).collect();
+                let assignment: Vec<u32> = (0..12).map(|v| (mask >> v) & 1).collect();
                 best = best.min(g.edge_cut(&assignment));
             }
         }
-        let p = partition(&g, 2, &PartitionConfig { seed, ..Default::default() });
+        let p = partition(
+            &g,
+            2,
+            &PartitionConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         assert!(
             p.cut <= best * 3 / 2 + 1,
             "seed {seed}: heuristic {} vs optimal {best}",

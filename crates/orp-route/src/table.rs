@@ -47,7 +47,12 @@ impl RoutingTable {
                 nh_offsets.push(nh_targets.len() as u32);
             }
         }
-        Self { m, dist, nh_offsets, nh_targets }
+        Self {
+            m,
+            dist,
+            nh_offsets,
+            nh_targets,
+        }
     }
 
     /// Number of switches.

@@ -57,7 +57,12 @@ impl Dragonfly {
 
 impl Topology for Dragonfly {
     fn name(&self) -> String {
-        format!("dragonfly (a={}, g={}, r={})", self.a, self.groups(), self.radix())
+        format!(
+            "dragonfly (a={}, g={}, r={})",
+            self.a,
+            self.groups(),
+            self.radix()
+        )
     }
 
     fn radix(&self) -> u32 {
@@ -145,7 +150,9 @@ mod tests {
     #[test]
     fn host_diameter_is_five() {
         let d = Dragonfly { a: 4 };
-        let g = d.build_with_hosts(d.max_hosts(), AttachOrder::Sequential).unwrap();
+        let g = d
+            .build_with_hosts(d.max_hosts(), AttachOrder::Sequential)
+            .unwrap();
         let m = path_metrics(&g).unwrap();
         assert_eq!(m.diameter, 5);
         assert!(m.haspl < 5.0);

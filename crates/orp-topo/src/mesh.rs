@@ -116,7 +116,11 @@ mod tests {
     #[test]
     fn mesh_link_count() {
         // 2-D 4x4 mesh: 2·4·3 = 24 links
-        let m = Mesh { dim: 2, base: 4, radix: 8 };
+        let m = Mesh {
+            dim: 2,
+            base: 4,
+            radix: 8,
+        };
         let g = m.build_fabric().unwrap();
         assert_eq!(g.num_links(), 24);
         assert!(g.is_connected());
@@ -124,7 +128,11 @@ mod tests {
 
     #[test]
     fn corners_have_more_capacity() {
-        let m = Mesh { dim: 2, base: 4, radix: 8 };
+        let m = Mesh {
+            dim: 2,
+            base: 4,
+            radix: 8,
+        };
         let g = m.build_fabric().unwrap();
         // corner (0,0) uses 2 ports, interior (1,1) uses 4
         assert_eq!(g.free_ports(0), 6);
@@ -133,14 +141,22 @@ mod tests {
 
     #[test]
     fn max_hosts_counts_boundaries() {
-        let m = Mesh { dim: 1, base: 3, radix: 4 };
+        let m = Mesh {
+            dim: 1,
+            base: 3,
+            radix: 4,
+        };
         // path of 3: ends use 1 port (3 free), middle 2 (2 free) → 8
         assert_eq!(m.max_hosts(), 8);
     }
 
     #[test]
     fn mesh_diameter_exceeds_torus() {
-        let mesh = Mesh { dim: 1, base: 6, radix: 4 };
+        let mesh = Mesh {
+            dim: 1,
+            base: 6,
+            radix: 4,
+        };
         let g = mesh.build_with_hosts(6, AttachOrder::RoundRobin).unwrap();
         let d = path_metrics(&g).unwrap().diameter;
         assert_eq!(d, 5 + 2); // path end-to-end
@@ -148,7 +164,19 @@ mod tests {
 
     #[test]
     fn invalid_parameters() {
-        assert!(Mesh { dim: 2, base: 4, radix: 4 }.build_fabric().is_err());
-        assert!(Mesh { dim: 0, base: 4, radix: 6 }.build_fabric().is_err());
+        assert!(Mesh {
+            dim: 2,
+            base: 4,
+            radix: 4
+        }
+        .build_fabric()
+        .is_err());
+        assert!(Mesh {
+            dim: 0,
+            base: 4,
+            radix: 6
+        }
+        .build_fabric()
+        .is_err());
     }
 }

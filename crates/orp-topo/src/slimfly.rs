@@ -37,7 +37,10 @@ impl SlimFly {
     /// extra ports per switch for hosts.
     pub fn balanced(q: u32) -> Self {
         let k = (3 * q - 1) / 2;
-        Self { q, radix: k + k.div_ceil(2) }
+        Self {
+            q,
+            radix: k + k.div_ceil(2),
+        }
     }
 
     fn check(&self) -> Result<(), GraphError> {

@@ -27,16 +27,14 @@ pub trait Topology {
     /// Indirect networks (e.g. the fat-tree) override this to restrict
     /// hosts to specific layers.
     fn host_capacity(&self, fabric: &HostSwitchGraph) -> Vec<u32> {
-        (0..fabric.num_switches()).map(|s| fabric.free_ports(s)).collect()
+        (0..fabric.num_switches())
+            .map(|s| fabric.free_ports(s))
+            .collect()
     }
 
     /// Builds the fabric and attaches `n` hosts in the given order
     /// (§6.2.1: conventional topologies attach sequentially).
-    fn build_with_hosts(
-        &self,
-        n: u32,
-        order: AttachOrder,
-    ) -> Result<HostSwitchGraph, GraphError> {
+    fn build_with_hosts(&self, n: u32, order: AttachOrder) -> Result<HostSwitchGraph, GraphError> {
         if n > self.max_hosts() {
             return Err(GraphError::InvalidParameters(format!(
                 "{} holds at most {} hosts, asked {n}",

@@ -24,13 +24,21 @@ impl Torus {
     /// The 5-D torus used for the Fig. 9 comparison: `K = 5`, `N = 3`,
     /// `r = 15` (Sequoia-like; `m = 243`, `n ≤ 1215`).
     pub fn paper_5d() -> Self {
-        Self { dim: 5, base: 3, radix: 15 }
+        Self {
+            dim: 5,
+            base: 3,
+            radix: 15,
+        }
     }
 
     /// A binary hypercube of the given dimension (a base-2 torus: the
     /// 1970s Cosmic-Cube-era topology of the paper's history section).
     pub fn hypercube(dim: u32, radix: u32) -> Self {
-        Self { dim, base: 2, radix }
+        Self {
+            dim,
+            base: 2,
+            radix,
+        }
     }
 
     /// Switch address → id (`Σ aᵢ·Nⁱ`).
@@ -134,7 +142,11 @@ mod tests {
 
     #[test]
     fn fabric_is_2k_regular() {
-        let t = Torus { dim: 3, base: 4, radix: 8 };
+        let t = Torus {
+            dim: 3,
+            base: 4,
+            radix: 8,
+        };
         let g = t.build_fabric().unwrap();
         assert_eq!(g.num_switches(), 64);
         assert!((0..64).all(|s| g.neighbors(s).len() == 6));
@@ -144,7 +156,11 @@ mod tests {
 
     #[test]
     fn base_two_collapses_to_hypercube() {
-        let t = Torus { dim: 4, base: 2, radix: 6 };
+        let t = Torus {
+            dim: 4,
+            base: 2,
+            radix: 6,
+        };
         let g = t.build_fabric().unwrap();
         assert_eq!(g.num_switches(), 16);
         // each switch has 4 distinct neighbours (±1 mod 2 coincide)
@@ -155,7 +171,11 @@ mod tests {
     #[test]
     fn ring_distances() {
         // 1-D 6-ary torus is a 6-ring.
-        let t = Torus { dim: 1, base: 6, radix: 4 };
+        let t = Torus {
+            dim: 1,
+            base: 6,
+            radix: 4,
+        };
         let g = t.build_fabric().unwrap();
         let d = g.switch_distances(0);
         assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
@@ -165,7 +185,11 @@ mod tests {
     fn torus_diameter_with_hosts() {
         // 2-D 3-ary torus, 1 host per switch: switch diameter = 2·⌊3/2⌋ = 2,
         // host diameter = 4.
-        let t = Torus { dim: 2, base: 3, radix: 6 };
+        let t = Torus {
+            dim: 2,
+            base: 3,
+            radix: 6,
+        };
         let mut g = t.build_fabric().unwrap();
         for s in 0..9 {
             g.attach_host(s).unwrap();
@@ -176,8 +200,26 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
-        assert!(Torus { dim: 5, base: 3, radix: 10 }.build_fabric().is_err());
-        assert!(Torus { dim: 0, base: 3, radix: 10 }.build_fabric().is_err());
-        assert!(Torus { dim: 2, base: 1, radix: 10 }.build_fabric().is_err());
+        assert!(Torus {
+            dim: 5,
+            base: 3,
+            radix: 10
+        }
+        .build_fabric()
+        .is_err());
+        assert!(Torus {
+            dim: 0,
+            base: 3,
+            radix: 10
+        }
+        .build_fabric()
+        .is_err());
+        assert!(Torus {
+            dim: 2,
+            base: 1,
+            radix: 10
+        }
+        .build_fabric()
+        .is_err());
     }
 }

@@ -36,16 +36,26 @@ fn main() {
     );
 
     // the three conventional topologies at their paper configurations
-    let torus = Torus::paper_5d().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let torus = Torus::paper_5d()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     row(&Torus::paper_5d().name(), &torus);
-    let df = Dragonfly::paper_a8().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let df = Dragonfly::paper_a8()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     row(&Dragonfly::paper_a8().name(), &df);
-    let ft = FatTree::paper_16ary().build_with_hosts(n, AttachOrder::Sequential).unwrap();
+    let ft = FatTree::paper_16ary()
+        .build_with_hosts(n, AttachOrder::Sequential)
+        .unwrap();
     row(&FatTree::paper_16ary().name(), &ft);
 
     // the proposed topology at both radixes the paper uses
     for r in [15u32, 16] {
-        let cfg = SaConfig { iters: 4000, seed: 7, ..Default::default() };
+        let cfg = SaConfig {
+            iters: 4000,
+            seed: 7,
+            ..Default::default()
+        };
         let (res, m_opt) = solve_orp(n, r, &cfg).expect("feasible");
         row(&format!("proposed ORP (r={r}, m={m_opt})"), &res.graph);
     }

@@ -23,26 +23,38 @@ fn main() {
     let out = args.next().unwrap_or_else(|| format!("orp_n{n}_r{r}.hsg"));
 
     println!("designing a network: n = {n}, r = {r} ({iters} SA proposals)");
-    let cfg = SaConfig { iters, seed: 7, parallel_eval: n >= 1024, ..Default::default() };
+    let cfg = SaConfig {
+        iters,
+        seed: 7,
+        ..Default::default()
+    };
     let (result, m) = solve_orp(n, r, &cfg).expect("feasible instance");
     let graph = relabel_hosts_dfs(&result.graph, 0);
     graph.validate().expect("valid design");
 
     let lb = haspl_lower_bound(n as u64, r as u64);
-    println!("  m = {m} switches, h-ASPL = {:.4} (lower bound {lb:.4}, gap {:.1}%)",
+    println!(
+        "  m = {m} switches, h-ASPL = {:.4} (lower bound {lb:.4}, gap {:.1}%)",
         result.metrics.haspl,
-        100.0 * (result.metrics.haspl / lb - 1.0));
+        100.0 * (result.metrics.haspl / lb - 1.0)
+    );
     println!("  diameter = {}", result.metrics.diameter);
 
     let fp = Floorplan::new(&graph, 1);
     let report = evaluate(&graph, &fp, &HardwareModel::default());
     println!("\ndeployment estimate ({} cabinets):", fp.num_cabinets());
-    println!("  cables: {} switch-switch ({} optical) + {} host", report.sw_cables,
-        report.optical_cables, report.host_cables);
+    println!(
+        "  cables: {} switch-switch ({} optical) + {} host",
+        report.sw_cables, report.optical_cables, report.host_cables
+    );
     println!("  total cable length: {:.0} m", report.cable_m);
     println!("  power: {:.1} kW", report.total_power() / 1e3);
-    println!("  cost:  ${:.0}k (switches ${:.0}k, cables ${:.0}k)",
-        report.total_cost() / 1e3, report.switch_cost / 1e3, report.cable_cost / 1e3);
+    println!(
+        "  cost:  ${:.0}k (switches ${:.0}k, cables ${:.0}k)",
+        report.total_cost() / 1e3,
+        report.switch_cost / 1e3,
+        report.cable_cost / 1e3
+    );
 
     std::fs::write(&out, io::to_string(&graph)).expect("write design");
     println!("\nwrote {out} (parse it back with orp_core::io::from_str)");

@@ -18,21 +18,44 @@ use orp::topo::prelude::*;
 fn build(topology: &str, ranks: u32) -> (String, HostSwitchGraph) {
     match topology {
         "torus" => {
-            let t = Torus { dim: 3, base: 4, radix: 10 }; // 64 switches, ≤256 hosts
-            (t.name(), t.build_with_hosts(ranks, AttachOrder::Sequential).expect("fits"))
+            let t = Torus {
+                dim: 3,
+                base: 4,
+                radix: 10,
+            }; // 64 switches, ≤256 hosts
+            (
+                t.name(),
+                t.build_with_hosts(ranks, AttachOrder::Sequential)
+                    .expect("fits"),
+            )
         }
         "dragonfly" => {
             let d = Dragonfly { a: 6 }; // 114 switches, ≤342 hosts
-            (d.name(), d.build_with_hosts(ranks, AttachOrder::Sequential).expect("fits"))
+            (
+                d.name(),
+                d.build_with_hosts(ranks, AttachOrder::Sequential)
+                    .expect("fits"),
+            )
         }
         "fattree" => {
             let f = FatTree { k: 10 }; // 125 switches, 250 hosts
-            (f.name(), f.build_with_hosts(ranks, AttachOrder::Sequential).expect("fits"))
+            (
+                f.name(),
+                f.build_with_hosts(ranks, AttachOrder::Sequential)
+                    .expect("fits"),
+            )
         }
         _ => {
-            let cfg = SaConfig { iters: 3000, seed: 7, ..Default::default() };
+            let cfg = SaConfig {
+                iters: 3000,
+                seed: 7,
+                ..Default::default()
+            };
             let (res, m) = solve_orp(ranks, 10, &cfg).expect("feasible");
-            (format!("proposed ORP (m={m}, r=10)"), relabel_hosts_dfs(&res.graph, 0))
+            (
+                format!("proposed ORP (m={m}, r=10)"),
+                relabel_hosts_dfs(&res.graph, 0),
+            )
         }
     }
 }

@@ -28,7 +28,10 @@ fn main() {
         "ODP score: order={}, degree={}, diameter={}, ASPL={:.4}, gap={:.2e}",
         sc.order, sc.degree, sc.diameter, sc.aspl, sc.aspl_gap
     );
-    assert!(sc.aspl_gap.abs() < 1e-12, "Hoffman–Singleton is a Moore graph");
+    assert!(
+        sc.aspl_gap.abs() < 1e-12,
+        "Hoffman–Singleton is a Moore graph"
+    );
 
     // 3. reimport at a bigger radix and attach hosts → an ORP candidate
     let rehostable = odp::from_edge_list(&edge_list, 11).expect("parses");
@@ -41,7 +44,11 @@ fn main() {
     );
 
     // 4. what does the ORP solver do with the same budget?
-    let cfg = SaConfig { iters: 6000, seed: 3, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 6000,
+        seed: 3,
+        ..Default::default()
+    };
     let (res, m_opt) = solve_orp(n, 11, &cfg).expect("feasible");
     println!(
         "ORP solver (free m): m_opt={m_opt}, h-ASPL={:.4}, D={}",

@@ -21,12 +21,25 @@ fn main() {
     println!("ORP instance: n = {n} hosts, r = {r} ports/switch");
     println!("continuous Moore bound predicts m_opt = {m_opt} switches");
     println!("  predicted h-ASPL bound at m_opt: {bound:.4}");
-    println!("  Theorem-2 lower bound:           {:.4}", haspl_lower_bound(n as u64, r as u64));
-    println!("  Theorem-1 diameter bound:        {}", diameter_lower_bound(n as u64, r as u64));
+    println!(
+        "  Theorem-2 lower bound:           {:.4}",
+        haspl_lower_bound(n as u64, r as u64)
+    );
+    println!(
+        "  Theorem-1 diameter bound:        {}",
+        diameter_lower_bound(n as u64, r as u64)
+    );
 
-    let cfg = SaConfig { iters: 5000, seed: 42, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 5000,
+        seed: 42,
+        ..Default::default()
+    };
     let (result, m) = solve_orp(n, r, &cfg).expect("feasible instance");
-    println!("\nannealed with {} proposals ({} accepted):", result.proposed, result.accepted);
+    println!(
+        "\nannealed with {} proposals ({} accepted):",
+        result.proposed, result.accepted
+    );
     println!("  switches used:   {m}");
     println!("  h-ASPL achieved: {:.4}", result.metrics.haspl);
     println!("  diameter:        {}", result.metrics.diameter);

@@ -1,0 +1,293 @@
+//! Offline micro-benchmark harness exposing the criterion API surface
+//! this workspace uses: [`Criterion::bench_function`], benchmark groups
+//! with `sample_size` / `bench_with_input`, [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is warmed up, the per-iteration cost is
+//! estimated, then `sample_size` batches are measured and the median /
+//! min / max per-iteration times are reported on stdout. Every
+//! measurement is also recorded on the [`Criterion`] instance so
+//! harness-free benches can post-process results (e.g. write a JSON
+//! artifact). Environment knobs: `CRITERION_SAMPLE_MS` (per-batch target
+//! in ms, default 20), `CRITERION_WARMUP_MS` (default 100).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name, empty for ungrouped benches.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sampled batch, per iteration.
+    pub min_ns: f64,
+    /// Slowest sampled batch, per iteration.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id, as upstream.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    iterations: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Measures `body`, collecting the configured number of samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 100);
+        let sample_target = env_ms("CRITERION_SAMPLE_MS", 20);
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup || warm_iters == 0 {
+            black_box(body());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch =
+            ((sample_target.as_secs_f64() / est.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(per_iter * 1e9);
+            *self.iterations += batch;
+        }
+    }
+}
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run("", &id.name, 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// All measurements recorded so far (for JSON artifacts).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn run<F>(&mut self, group: &str, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(sample_size);
+        let mut iterations = 0u64;
+        f(&mut Bencher {
+            samples: &mut samples,
+            sample_size,
+            iterations: &mut iterations,
+        });
+        if samples.is_empty() {
+            // the closure never called iter(); nothing to report
+            return;
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let m = Measurement {
+            group: group.to_string(),
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: samples[0],
+            max_ns: *samples.last().expect("non-empty samples"),
+            iterations,
+        };
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "bench {label:<52} median {:>12}   (min {}, max {}, {} iters)",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.max_ns),
+            m.iterations
+        );
+        self.results.push(m);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (name, size) = (self.name.clone(), self.sample_size);
+        self.criterion.run(&name, &id.name, size, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let (name, size) = (self.name.clone(), self.sample_size);
+        self.criterion.run(&name, &id.name, size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_measurements() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u32 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3)
+            .bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[1].group, "grp");
+        assert_eq!(c.measurements()[1].id, "sq/4");
+        assert!(c.measurements()[0].median_ns > 0.0);
+    }
+}

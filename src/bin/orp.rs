@@ -32,22 +32,46 @@ fn arg_num<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
 }
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
-    let n: u64 = args.first().and_then(|a| a.parse().ok()).ok_or("usage: orp bounds <n> <r>")?;
-    let r: u64 = args.get(1).and_then(|a| a.parse().ok()).ok_or("usage: orp bounds <n> <r>")?;
+    let n: u64 = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .ok_or("usage: orp bounds <n> <r>")?;
+    let r: u64 = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .ok_or("usage: orp bounds <n> <r>")?;
     let (m_opt, a_opt) = optimal_switch_count(n, r);
     println!("order n = {n}, radix r = {r}");
-    println!("diameter lower bound (Thm 1):  {}", diameter_lower_bound(n, r));
-    println!("h-ASPL lower bound (Thm 2):    {:.4}", haspl_lower_bound(n, r));
+    println!(
+        "diameter lower bound (Thm 1):  {}",
+        diameter_lower_bound(n, r)
+    );
+    println!(
+        "h-ASPL lower bound (Thm 2):    {:.4}",
+        haspl_lower_bound(n, r)
+    );
     println!("predicted m_opt:               {m_opt}");
     println!("continuous Moore bound there:  {a_opt:.4}");
     Ok(())
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let n: u32 = args.first().and_then(|a| a.parse().ok()).ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
-    let r: u32 = args.get(1).and_then(|a| a.parse().ok()).ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
+    let n: u32 = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
+    let r: u32 = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
     let iters: usize = arg_num(args, 2, 8000);
-    let cfg = SaConfig { iters, seed: 1, parallel_eval: n >= 1024, ..Default::default() };
+    // parallel_eval defaults to None: the engine auto-selects threading
+    // from the switch count and available CPUs.
+    let cfg = SaConfig {
+        iters,
+        seed: 1,
+        ..Default::default()
+    };
     let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
     println!(
         "m = {m}, h-ASPL = {:.4} (bound {:.4}), diameter = {}",
@@ -66,7 +90,12 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     let g = load(args.first().ok_or("usage: orp eval <file.hsg>")?)?;
     g.validate().map_err(|e| e.to_string())?;
     let pm = path_metrics(&g).ok_or("graph is disconnected")?;
-    println!("n = {}, m = {}, r = {}", g.num_hosts(), g.num_switches(), g.radix());
+    println!(
+        "n = {}, m = {}, r = {}",
+        g.num_hosts(),
+        g.num_switches(),
+        g.radix()
+    );
     println!("links = {}", g.num_links());
     println!("h-ASPL = {:.4}", pm.haspl);
     println!("diameter = {}", pm.diameter);
@@ -76,8 +105,13 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         diameter_lower_bound(g.num_hosts() as u64, g.radix() as u64)
     );
     let hist = g.host_distribution();
-    println!("host distribution (hosts: switches): {:?}",
-        hist.iter().enumerate().filter(|(_, &c)| c > 0).collect::<Vec<_>>());
+    println!(
+        "host distribution (hosts: switches): {:?}",
+        hist.iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }
 
@@ -85,31 +119,61 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     use orp::topo::prelude::*;
     let n: u32 = arg_num(args, 0, 1024);
     let r: u32 = arg_num(args, 1, 16);
-    println!("{:<28} {:>5} {:>4} {:>8} {:>3}", "topology", "m", "r", "h-ASPL", "D");
+    println!(
+        "{:<28} {:>5} {:>4} {:>8} {:>3}",
+        "topology", "m", "r", "h-ASPL", "D"
+    );
     let row = |name: String, g: &HostSwitchGraph| {
         let pm = path_metrics(g).expect("connected");
-        println!("{:<28} {:>5} {:>4} {:>8.4} {:>3}", name, g.num_switches(), g.radix(), pm.haspl, pm.diameter);
+        println!(
+            "{:<28} {:>5} {:>4} {:>8.4} {:>3}",
+            name,
+            g.num_switches(),
+            g.radix(),
+            pm.haspl,
+            pm.diameter
+        );
     };
     let torus = Torus::paper_5d();
     if n <= torus.max_hosts() {
-        row(torus.name(), &torus.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+        row(
+            torus.name(),
+            &torus
+                .build_with_hosts(n, AttachOrder::Sequential)
+                .map_err(|e| e.to_string())?,
+        );
     }
     let df = Dragonfly::paper_a8();
     if n <= df.max_hosts() {
-        row(df.name(), &df.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+        row(
+            df.name(),
+            &df.build_with_hosts(n, AttachOrder::Sequential)
+                .map_err(|e| e.to_string())?,
+        );
     }
     let ft = FatTree::paper_16ary();
     if n <= ft.max_hosts() {
-        row(ft.name(), &ft.build_with_hosts(n, AttachOrder::Sequential).map_err(|e| e.to_string())?);
+        row(
+            ft.name(),
+            &ft.build_with_hosts(n, AttachOrder::Sequential)
+                .map_err(|e| e.to_string())?,
+        );
     }
-    let cfg = SaConfig { iters: 5000, seed: 1, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 5000,
+        seed: 1,
+        ..Default::default()
+    };
     let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
     row(format!("proposed ORP (m_opt={m})"), &res.graph);
     Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let g = load(args.first().ok_or("usage: orp simulate <file.hsg> [bench] [iters]")?)?;
+    let g = load(
+        args.first()
+            .ok_or("usage: orp simulate <file.hsg> [bench] [iters]")?,
+    )?;
     let name = args.get(1).map(String::as_str).unwrap_or("MG");
     let bench = Benchmark::all()
         .into_iter()
@@ -127,7 +191,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
-    let g = load(args.first().ok_or("usage: orp partition <file.hsg> [max_k]")?)?;
+    let g = load(
+        args.first()
+            .ok_or("usage: orp partition <file.hsg> [max_k]")?,
+    )?;
     let max_k: usize = arg_num(args, 1, 16);
     let n = g.num_hosts();
     let mut edges: Vec<(u32, u32)> = (0..n).map(|h| (h, n + g.switch_of(h))).collect();
@@ -142,17 +209,39 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_layout(args: &[String]) -> Result<(), String> {
-    let g = load(args.first().ok_or("usage: orp layout <file.hsg> [switches_per_cabinet]")?)?;
+    let g = load(
+        args.first()
+            .ok_or("usage: orp layout <file.hsg> [switches_per_cabinet]")?,
+    )?;
     let per: u32 = arg_num(args, 1, 1);
     let hw = HardwareModel::default();
     let naive = evaluate(&g, &Floorplan::new(&g, per), &hw);
     let opt = evaluate(&g, &optimized_floorplan(&g, per, 1), &hw);
     println!("{:<26} {:>12} {:>12}", "", "id-order", "optimized");
-    println!("{:<26} {:>12.0} {:>12.0}", "cable length (m)", naive.cable_m, opt.cable_m);
-    println!("{:<26} {:>12} {:>12}", "optical cables", naive.optical_cables, opt.optical_cables);
-    println!("{:<26} {:>12.0} {:>12.0}", "power (W)", naive.total_power(), opt.total_power());
-    println!("{:<26} {:>12.0} {:>12.0}", "cable cost ($)", naive.cable_cost, opt.cable_cost);
-    println!("{:<26} {:>12.0} {:>12.0}", "total cost ($)", naive.total_cost(), opt.total_cost());
+    println!(
+        "{:<26} {:>12.0} {:>12.0}",
+        "cable length (m)", naive.cable_m, opt.cable_m
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "optical cables", naive.optical_cables, opt.optical_cables
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.0}",
+        "power (W)",
+        naive.total_power(),
+        opt.total_power()
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.0}",
+        "cable cost ($)", naive.cable_cost, opt.cable_cost
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12.0}",
+        "total cost ($)",
+        naive.total_cost(),
+        opt.total_cost()
+    );
     Ok(())
 }
 

@@ -11,7 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `orp-core` | host-switch graphs, h-ASPL metrics, bounds, SA solver |
+//! | [`core`] | `orp-core` | host-switch graphs, h-ASPL metrics, bounds, the transactional search engine, SA solver |
 //! | [`topo`] | `orp-topo` | torus, mesh, dragonfly, fat-tree, Slim Fly |
 //! | [`route`] | `orp-route` | shortest-path/ECMP, up*/down*, Valiant |
 //! | [`netsim`] | `orp-netsim` | fluid + packet simulators, MPI, NPB skeletons |

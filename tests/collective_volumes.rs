@@ -83,7 +83,10 @@ fn rabenseifner_is_bandwidth_optimal() {
     let (_, vol_rab) = run(n, |b| b.allreduce_rabenseifner(total));
     let (_, vol_rd) = run(n, |b| b.allreduce(total));
     let expect_rab = n as f64 * 2.0 * total * (1.0 - 1.0 / n as f64);
-    assert!((vol_rab - expect_rab).abs() < 1.0, "{vol_rab} vs {expect_rab}");
+    assert!(
+        (vol_rab - expect_rab).abs() < 1.0,
+        "{vol_rab} vs {expect_rab}"
+    );
     // Rabenseifner moves strictly less than recursive doubling for n ≥ 8
     assert!(vol_rab < vol_rd, "{vol_rab} vs {vol_rd}");
 }

@@ -11,7 +11,11 @@ use orp::core::metrics::{path_metrics, path_metrics_par};
 use orp::topo::attach::relabel_hosts_dfs;
 
 fn small_cfg() -> SaConfig {
-    SaConfig { iters: 1500, seed: 11, ..Default::default() }
+    SaConfig {
+        iters: 1500,
+        seed: 11,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -31,7 +35,11 @@ fn solve_respects_all_lower_bounds() {
         // may beat it slightly only when m < m_opt (tree-like regime),
         // never at m = m_opt
         let cmb = continuous_moore_haspl(n as u64, m as u64, r as u64);
-        assert!(res.metrics.haspl >= cmb - 0.25, "far below Moore? {}", res.metrics.haspl);
+        assert!(
+            res.metrics.haspl >= cmb - 0.25,
+            "far below Moore? {}",
+            res.metrics.haspl
+        );
     }
 }
 
@@ -80,8 +88,16 @@ fn sequential_and_parallel_metrics_agree_on_solutions() {
 
 #[test]
 fn deeper_annealing_never_hurts_the_best() {
-    let short = SaConfig { iters: 300, seed: 5, ..Default::default() };
-    let long = SaConfig { iters: 3000, seed: 5, ..Default::default() };
+    let short = SaConfig {
+        iters: 300,
+        seed: 5,
+        ..Default::default()
+    };
+    let long = SaConfig {
+        iters: 3000,
+        seed: 5,
+        ..Default::default()
+    };
     let (a, _) = solve_orp(96, 10, &short).expect("feasible");
     let (b, _) = solve_orp(96, 10, &long).expect("feasible");
     assert!(b.metrics.haspl <= a.metrics.haspl + 1e-12);

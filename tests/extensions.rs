@@ -22,14 +22,25 @@ fn exact_certifies_theorem2_and_annealer() {
     let exact = solve_exact(n, r, 4).expect("solvable");
     let lb = haspl_lower_bound(n as u64, r as u64);
     assert!(exact.metrics.haspl >= lb - 1e-9);
-    let cfg = SaConfig { iters: 3000, seed: 1, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 3000,
+        seed: 1,
+        ..Default::default()
+    };
     let (sa, _) = solve_orp(n, r, &cfg).expect("feasible");
-    assert!(sa.metrics.haspl >= exact.metrics.haspl - 1e-9, "SA beat exhaustive search?!");
+    assert!(
+        sa.metrics.haspl >= exact.metrics.haspl - 1e-9,
+        "SA beat exhaustive search?!"
+    );
 }
 
 #[test]
 fn annealed_solution_scores_well_on_odp_metrics() {
-    let cfg = SaConfig { iters: 3000, seed: 2, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 3000,
+        seed: 2,
+        ..Default::default()
+    };
     let (res, _) = solve_orp(256, 12, &cfg).expect("feasible");
     let sc = odp::score(&res.graph).expect("connected fabric");
     // the switch fabric of a good ORP solution has a modest ASPL gap
@@ -40,7 +51,11 @@ fn annealed_solution_scores_well_on_odp_metrics() {
 
 #[test]
 fn odp_edge_list_reimports_into_orp_pipeline() {
-    let cfg = SaConfig { iters: 800, seed: 3, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 800,
+        seed: 3,
+        ..Default::default()
+    };
     let (res, _) = solve_orp(64, 10, &cfg).expect("feasible");
     let fabric_text = odp::to_edge_list(&res.graph);
     let fabric = odp::from_edge_list(&fabric_text, 10).expect("parses");
@@ -54,9 +69,15 @@ fn slim_fly_is_a_strong_conventional_baseline() {
     // at matched (n, r): slim fly q=5 balanced (r=11) vs annealed ORP
     let sf = SlimFly::balanced(5);
     let n = 128;
-    let g = sf.build_with_hosts(n, AttachOrder::RoundRobin).expect("fits");
+    let g = sf
+        .build_with_hosts(n, AttachOrder::RoundRobin)
+        .expect("fits");
     let h_sf = path_metrics(&g).unwrap().haspl;
-    let cfg = SaConfig { iters: 4000, seed: 5, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 4000,
+        seed: 5,
+        ..Default::default()
+    };
     let (res, _) = solve_orp(n, sf.radix, &cfg).expect("feasible");
     // ORP with free m should at least match a diameter-2 MMS fabric with
     // its host count — and slim fly itself must beat a same-budget ER
@@ -89,9 +110,17 @@ fn valiant_doubles_paths_but_balances_hotspots() {
 
 #[test]
 fn ecmp_never_slower_than_single_path_on_fat_tree_alltoall() {
-    let ft = FatTree { k: 8 }.build_with_hosts(128, AttachOrder::Sequential).unwrap();
+    let ft = FatTree { k: 8 }
+        .build_with_hosts(128, AttachOrder::Sequential)
+        .unwrap();
     let mk = |mode| {
-        let net = Network::new(&ft, NetConfig { route_mode: mode, ..Default::default() });
+        let net = Network::new(
+            &ft,
+            NetConfig {
+                route_mode: mode,
+                ..Default::default()
+            },
+        );
         let mut b = orp::netsim::mpi::ProgramBuilder::new(128);
         b.alltoall(64.0 * 1024.0);
         simulate(&net, b.build()).time
@@ -113,17 +142,33 @@ fn packet_model_confirms_fluid_contention_factor() {
     let net = Network::new(&g, NetConfig::default());
     let bytes = 256.0 * DEFAULT_MTU;
     let demands: Vec<FlowDemand> = vec![
-        FlowDemand { src: 0, dst: 2, bytes },
-        FlowDemand { src: 1, dst: 3, bytes },
+        FlowDemand {
+            src: 0,
+            dst: 2,
+            bytes,
+        },
+        FlowDemand {
+            src: 1,
+            dst: 3,
+            bytes,
+        },
     ];
     let pkt = packet_simulate(&net, &demands, DEFAULT_MTU);
     let one = bytes / net.config().bandwidth;
-    assert!(pkt.makespan > 2.0 * one && pkt.makespan < 2.3 * one, "{}", pkt.makespan);
+    assert!(
+        pkt.makespan > 2.0 * one && pkt.makespan < 2.3 * one,
+        "{}",
+        pkt.makespan
+    );
 }
 
 #[test]
 fn placement_reduces_cost_for_the_annealed_topology() {
-    let cfg = SaConfig { iters: 2000, seed: 7, ..Default::default() };
+    let cfg = SaConfig {
+        iters: 2000,
+        seed: 7,
+        ..Default::default()
+    };
     let (res, _) = solve_orp(256, 12, &cfg).expect("feasible");
     let hw = HardwareModel::default();
     let naive = evaluate(&res.graph, &Floorplan::new(&res.graph, 4), &hw);
@@ -135,9 +180,13 @@ fn placement_reduces_cost_for_the_annealed_topology() {
 #[test]
 fn patterns_expose_topology_differences() {
     // transpose should hit a torus harder than a slim fly of similar size
-    let torus = Torus { dim: 2, base: 8, radix: 8 }
-        .build_with_hosts(64, AttachOrder::Sequential)
-        .unwrap();
+    let torus = Torus {
+        dim: 2,
+        base: 8,
+        radix: 8,
+    }
+    .build_with_hosts(64, AttachOrder::Sequential)
+    .unwrap();
     let sf = SlimFly { q: 5, radix: 9 }
         .build_with_hosts(64, AttachOrder::RoundRobin)
         .unwrap();

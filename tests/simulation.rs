@@ -29,7 +29,10 @@ fn shorter_topologies_finish_alltoall_faster() {
     let t_clique = alltoall_time(&clique_g, n, 64.0);
     let t_sparse = alltoall_time(&sparse_g, n, 64.0);
     assert!(t_star < t_clique, "star {t_star} vs clique {t_clique}");
-    assert!(t_clique < t_sparse, "clique {t_clique} vs sparse {t_sparse}");
+    assert!(
+        t_clique < t_sparse,
+        "clique {t_clique} vs sparse {t_sparse}"
+    );
 }
 
 #[test]
@@ -53,9 +56,13 @@ fn npb_runs_on_all_topology_families() {
     let graphs: Vec<(&str, orp::core::HostSwitchGraph)> = vec![
         (
             "torus",
-            Torus { dim: 3, base: 4, radix: 8 }
-                .build_with_hosts(ranks, AttachOrder::Sequential)
-                .unwrap(),
+            Torus {
+                dim: 3,
+                base: 4,
+                radix: 8,
+            }
+            .build_with_hosts(ranks, AttachOrder::Sequential)
+            .unwrap(),
         ),
         (
             "dragonfly",
@@ -65,7 +72,9 @@ fn npb_runs_on_all_topology_families() {
         ),
         (
             "fattree",
-            FatTree { k: 8 }.build_with_hosts(ranks, AttachOrder::Sequential).unwrap(),
+            FatTree { k: 8 }
+                .build_with_hosts(ranks, AttachOrder::Sequential)
+                .unwrap(),
         ),
         ("random", random_general(ranks, 16, 8, 3).unwrap()),
     ];
@@ -74,7 +83,12 @@ fn npb_runs_on_all_topology_families() {
         let results = run_suite(&net, &Benchmark::all(), ranks, 1);
         for r in &results {
             assert!(r.time > 0.0, "{name}/{}", r.name);
-            assert!(r.time < 60.0, "{name}/{} absurd simulated time {}", r.name, r.time);
+            assert!(
+                r.time < 60.0,
+                "{name}/{} absurd simulated time {}",
+                r.name,
+                r.time
+            );
             assert!(r.mops.is_finite() && r.mops > 0.0, "{name}/{}", r.name);
         }
         // EP must be topology-insensitive: its time is dominated by the
@@ -94,7 +108,9 @@ fn identical_flops_across_topologies() {
     // the Mop/s comparison is only fair if the flop count is invariant
     let ranks = 64u32;
     let a = random_general(ranks, 16, 8, 3).unwrap();
-    let b = FatTree { k: 8 }.build_with_hosts(ranks, AttachOrder::Sequential).unwrap();
+    let b = FatTree { k: 8 }
+        .build_with_hosts(ranks, AttachOrder::Sequential)
+        .unwrap();
     for bench in Benchmark::all() {
         let net_a = Network::new(&a, NetConfig::default());
         let net_b = Network::new(&b, NetConfig::default());
@@ -120,14 +136,32 @@ fn contention_slows_shared_links() {
     // hosts 0,1 on switch 0; hosts 2,3 on switch 1
     pb.raw(0, orp::netsim::Op::Send { to: 2, bytes });
     pb.raw(1, orp::netsim::Op::Send { to: 3, bytes });
-    pb.raw(2, orp::netsim::Op::SendRecv { to: 0, bytes, from: 0 });
-    pb.raw(3, orp::netsim::Op::SendRecv { to: 1, bytes, from: 1 });
+    pb.raw(
+        2,
+        orp::netsim::Op::SendRecv {
+            to: 0,
+            bytes,
+            from: 0,
+        },
+    );
+    pb.raw(
+        3,
+        orp::netsim::Op::SendRecv {
+            to: 1,
+            bytes,
+            from: 1,
+        },
+    );
     pb.raw(0, orp::netsim::Op::Recv { from: 2 });
     pb.raw(1, orp::netsim::Op::Recv { from: 3 });
     let rep = simulate(&net, pb.build());
     let cfg = net.config();
     let one_flow = bytes / cfg.bandwidth;
     // 2 flows per direction share each unidirectional link: 2× serialization
-    assert!(rep.time > 2.0 * one_flow, "no contention visible: {}", rep.time);
+    assert!(
+        rep.time > 2.0 * one_flow,
+        "no contention visible: {}",
+        rep.time
+    );
     assert!(rep.time < 3.0 * one_flow, "too much: {}", rep.time);
 }

@@ -4,8 +4,7 @@
 //! identity.
 
 use orp::core::bounds::{
-    clique_capacity, continuous_moore_haspl, haspl_lower_bound, min_clique_switches,
-    moore_haspl,
+    clique_capacity, continuous_moore_haspl, haspl_lower_bound, min_clique_switches, moore_haspl,
 };
 use orp::core::construct::{clique, random_regular};
 use orp::core::exact::solve_exact;
@@ -66,7 +65,11 @@ fn theorem3_certified_by_exhaustive_search() {
 /// measured h-ASPL of any real graph.
 #[test]
 fn bound_hierarchy_holds() {
-    for (n, m, r, seed) in [(128u32, 32u32, 12u32, 1u64), (256, 64, 12, 2), (96, 24, 10, 3)] {
+    for (n, m, r, seed) in [
+        (128u32, 32u32, 12u32, 1u64),
+        (256, 64, 12, 2),
+        (96, 24, 10, 3),
+    ] {
         let g = random_regular(n, m, r, seed).unwrap();
         let measured = path_metrics(&g).unwrap().haspl;
         let thm2 = haspl_lower_bound(n as u64, r as u64);
@@ -74,7 +77,10 @@ fn bound_hierarchy_holds() {
         let cont = continuous_moore_haspl(n as u64, m as u64, r as u64);
         assert!(thm2 <= moore + 1e-9, "Thm2 {thm2} vs Moore {moore}");
         assert!((moore - cont).abs() < 1e-9, "Eq.2 at a divisor");
-        assert!(moore <= measured + 1e-9, "Moore {moore} vs measured {measured}");
+        assert!(
+            moore <= measured + 1e-9,
+            "Moore {moore} vs measured {measured}"
+        );
     }
 }
 
@@ -87,7 +93,10 @@ fn equation1_exact_for_regular_graphs() {
         let direct = path_metrics(&g).unwrap().haspl;
         let via_eq1 =
             haspl_from_switch_aspl(switch_aspl(&g).unwrap(), g.num_hosts(), g.num_switches());
-        assert!((direct - via_eq1).abs() < 1e-12, "seed {seed}: {direct} vs {via_eq1}");
+        assert!(
+            (direct - via_eq1).abs() < 1e-12,
+            "seed {seed}: {direct} vs {via_eq1}"
+        );
     }
 }
 

@@ -12,21 +12,45 @@ use orp_bench::{bandwidth_series, to_cut_graph};
 fn paper_parameter_table() {
     // §6.3.1: 5-D torus N=3 r=15 → m=243, n ≤ 1215
     let t = Torus::paper_5d();
-    assert_eq!((t.num_switches(), t.max_hosts(), t.radix()), (243, 1215, 15));
+    assert_eq!(
+        (t.num_switches(), t.max_hosts(), t.radix()),
+        (243, 1215, 15)
+    );
     // §6.3.2: dragonfly a=8 → m=264, r=15, n ≤ 1056
     let d = Dragonfly::paper_a8();
-    assert_eq!((d.num_switches(), d.max_hosts(), d.radix()), (264, 1056, 15));
+    assert_eq!(
+        (d.num_switches(), d.max_hosts(), d.radix()),
+        (264, 1056, 15)
+    );
     // §6.3.3: 16-ary fat-tree → m=320, r=16, n=1024
     let f = FatTree::paper_16ary();
-    assert_eq!((f.num_switches(), f.max_hosts(), f.radix()), (320, 1024, 16));
+    assert_eq!(
+        (f.num_switches(), f.max_hosts(), f.radix()),
+        (320, 1024, 16)
+    );
 }
 
 #[test]
 fn paper_instances_build_and_validate() {
     for (name, g) in [
-        ("torus", Torus::paper_5d().build_with_hosts(1024, AttachOrder::Sequential).unwrap()),
-        ("dragonfly", Dragonfly::paper_a8().build_with_hosts(1024, AttachOrder::Sequential).unwrap()),
-        ("fattree", FatTree::paper_16ary().build_with_hosts(1024, AttachOrder::Sequential).unwrap()),
+        (
+            "torus",
+            Torus::paper_5d()
+                .build_with_hosts(1024, AttachOrder::Sequential)
+                .unwrap(),
+        ),
+        (
+            "dragonfly",
+            Dragonfly::paper_a8()
+                .build_with_hosts(1024, AttachOrder::Sequential)
+                .unwrap(),
+        ),
+        (
+            "fattree",
+            FatTree::paper_16ary()
+                .build_with_hosts(1024, AttachOrder::Sequential)
+                .unwrap(),
+        ),
     ] {
         g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(g.num_hosts(), 1024, "{name}");
@@ -38,9 +62,15 @@ fn paper_instances_build_and_validate() {
 #[test]
 fn topology_haspl_ordering() {
     // at 1024 hosts: dragonfly (diameter 3 fabric) < fat-tree ≈ torus
-    let torus = Torus::paper_5d().build_with_hosts(1024, AttachOrder::Sequential).unwrap();
-    let df = Dragonfly::paper_a8().build_with_hosts(1024, AttachOrder::Sequential).unwrap();
-    let ft = FatTree::paper_16ary().build_with_hosts(1024, AttachOrder::Sequential).unwrap();
+    let torus = Torus::paper_5d()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .unwrap();
+    let df = Dragonfly::paper_a8()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .unwrap();
+    let ft = FatTree::paper_16ary()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .unwrap();
     let (ht, hd, hf) = (
         path_metrics(&torus).unwrap().haspl,
         path_metrics(&df).unwrap().haspl,
@@ -53,10 +83,16 @@ fn topology_haspl_ordering() {
 #[test]
 fn fat_tree_has_highest_bisection() {
     // §6.3.3: the fat-tree is built for full bisection bandwidth
-    let ft = FatTree { k: 8 }.build_with_hosts(128, AttachOrder::Sequential).unwrap();
-    let torus = Torus { dim: 3, base: 4, radix: 8 }
+    let ft = FatTree { k: 8 }
         .build_with_hosts(128, AttachOrder::Sequential)
         .unwrap();
+    let torus = Torus {
+        dim: 3,
+        base: 4,
+        radix: 8,
+    }
+    .build_with_hosts(128, AttachOrder::Sequential)
+    .unwrap();
     let cut_ft = partition(&to_cut_graph(&ft), 2, &PartitionConfig::default()).cut;
     let cut_torus = partition(&to_cut_graph(&torus), 2, &PartitionConfig::default()).cut;
     assert!(
@@ -67,7 +103,9 @@ fn fat_tree_has_highest_bisection() {
 
 #[test]
 fn bandwidth_series_covers_p2_to_16() {
-    let g = Dragonfly { a: 4 }.build_with_hosts(64, AttachOrder::Sequential).unwrap();
+    let g = Dragonfly { a: 4 }
+        .build_with_hosts(64, AttachOrder::Sequential)
+        .unwrap();
     let s = bandwidth_series(&g, 1);
     assert_eq!(s.first().unwrap().0, 2);
     assert_eq!(s.last().unwrap().0, 16);
@@ -76,8 +114,12 @@ fn bandwidth_series_covers_p2_to_16() {
 
 #[test]
 fn layout_reports_track_switch_counts() {
-    let torus = Torus::paper_5d().build_with_hosts(1024, AttachOrder::Sequential).unwrap();
-    let df = Dragonfly::paper_a8().build_with_hosts(1024, AttachOrder::Sequential).unwrap();
+    let torus = Torus::paper_5d()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .unwrap();
+    let df = Dragonfly::paper_a8()
+        .build_with_hosts(1024, AttachOrder::Sequential)
+        .unwrap();
     let rt = evaluate_default(&torus);
     let rd = evaluate_default(&df);
     assert_eq!(rt.switches, 243);
@@ -92,7 +134,11 @@ fn layout_reports_track_switch_counts() {
 
 #[test]
 fn attach_order_changes_placement_not_structure() {
-    let t = Torus { dim: 2, base: 4, radix: 8 };
+    let t = Torus {
+        dim: 2,
+        base: 4,
+        radix: 8,
+    };
     let seq = t.build_with_hosts(40, AttachOrder::Sequential).unwrap();
     let rr = t.build_with_hosts(40, AttachOrder::RoundRobin).unwrap();
     assert_eq!(seq.num_links(), rr.num_links());
