@@ -19,21 +19,21 @@ fn bench_collectives(c: &mut Criterion) {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.alltoall(1e3);
-            simulate(&net, pb.build())
+            simulate(&net, pb.build()).unwrap()
         })
     });
     group.bench_function("allreduce_1MB", |b| {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.allreduce(1e6);
-            simulate(&net, pb.build())
+            simulate(&net, pb.build()).unwrap()
         })
     });
     group.bench_function("barrier", |b| {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.barrier();
-            simulate(&net, pb.build())
+            simulate(&net, pb.build()).unwrap()
         })
     });
     group.finish();
@@ -46,7 +46,7 @@ fn bench_npb(c: &mut Criterion) {
     group.sample_size(10);
     for bench in [Benchmark::Mg, Benchmark::Cg, Benchmark::Bt] {
         group.bench_function(bench.name(), |b| {
-            b.iter(|| run_benchmark(&net, bench, 256, Class::A, 1))
+            b.iter(|| run_benchmark(&net, bench, 256, Class::A, 1).unwrap())
         });
     }
     group.finish();

@@ -34,7 +34,7 @@ fn run(
         ..Default::default()
     };
     let net = Network::new(g, cfg);
-    run_suite(&net, benches, g.num_hosts(), iters)
+    run_suite(&net, benches, g.num_hosts(), iters).expect("fault-free suite simulates")
 }
 
 fn main() {

@@ -19,7 +19,7 @@ fn main() {
     );
     for b in Benchmark::all() {
         let t = Instant::now();
-        let r = run_benchmark(&net, b, n, b.paper_class(), 1);
+        let r = run_benchmark(&net, b, n, b.paper_class(), 1).unwrap();
         println!(
             "{:<5} {:>12.6} {:>14.0} {:>10} {:>10.2}",
             r.name,

@@ -69,8 +69,12 @@ fn main() {
         let mut packet_rank = Vec::new();
         for (name, g) in &topos {
             let net = Network::new(g, NetConfig::default());
-            let fl = simulate(&net, pattern.programs(n, bytes, 1, effort.seed)).time;
-            let pk = packet_simulate_pattern(&net, pattern, bytes, effort.seed).makespan;
+            let fl = simulate(&net, pattern.programs(n, bytes, 1, effort.seed))
+                .unwrap()
+                .time;
+            let pk = packet_simulate_pattern(&net, pattern, bytes, effort.seed)
+                .unwrap()
+                .makespan;
             println!("{name:<16} {:>12.4} {:>12.4}", fl * 1e3, pk * 1e3);
             fluid_rank.push((name.clone(), fl));
             packet_rank.push((name.clone(), pk));

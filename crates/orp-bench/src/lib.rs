@@ -135,7 +135,7 @@ pub struct Comparison {
 }
 
 /// Key facts of one topology instance.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TopoSummary {
     /// Display name.
     pub name: String,
@@ -193,7 +193,7 @@ pub fn performance_panel(
     effort: &Effort,
 ) -> Vec<BenchResult> {
     let net = Network::new(g, NetConfig::default());
-    run_suite(&net, benches, ranks, effort.npb_iters)
+    run_suite(&net, benches, ranks, effort.npb_iters).expect("fault-free suite simulates")
 }
 
 /// Power/cost of a populated graph under the default deployment.

@@ -46,6 +46,7 @@ pub mod bounds;
 pub mod construct;
 pub mod error;
 pub mod exact;
+pub mod fault;
 pub mod graph;
 pub mod io;
 pub mod metrics;
@@ -55,6 +56,7 @@ pub mod random_graphs;
 pub mod search;
 
 pub use error::GraphError;
+pub use fault::{DegradedMetrics, FaultSet, FaultView};
 pub use graph::{Host, HostSwitchGraph, Switch};
 pub use metrics::{path_metrics, path_metrics_par, PathMetrics};
 pub use search::SearchState;

@@ -1,0 +1,115 @@
+//! Property test: the non-mutating [`FaultView`] is observationally
+//! identical to physically pruning the failed elements out of the graph.
+//!
+//! Each case builds a random host-switch graph, samples a random
+//! [`FaultSet`], and checks that
+//!
+//! * the degraded metrics computed *through* the view equal the degraded
+//!   metrics of the pruned copy under an **empty** fault set (the
+//!   label-invariant fields: alive hosts, reachable pairs, h-ASPL,
+//!   diameter, connectedness),
+//! * the surviving adjacency seen through the view matches the pruned
+//!   graph's physical links edge-for-edge (pruning preserves switch ids
+//!   and compacts host ids),
+//! * alive-host and largest-component counts agree.
+
+use orp_core::construct::random_general;
+use orp_core::fault::{FaultSet, FaultView};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn view_matches_pruned_copy(
+        gseed in 0u64..32,
+        fseed in proptest::prelude::any::<u64>(),
+        m in 6u32..20,
+        hosts_per in 1u32..4,
+        sw_pct in 0u32..30,
+        ln_pct in 0u32..30,
+    ) {
+        let n = m * hosts_per;
+        let r = hosts_per + 5;
+        let g = random_general(n, m, r, gseed).expect("constructible instance");
+        let faults = FaultSet::sample(
+            &g,
+            sw_pct as f64 / 100.0,
+            ln_pct as f64 / 100.0,
+            fseed,
+        );
+        let view = FaultView::new(&g, &faults);
+        let through_view = view.degraded_metrics();
+
+        let pruned = view.pruned_graph();
+        let no_faults = FaultSet::new();
+        let on_pruned = FaultView::new(&pruned, &no_faults).degraded_metrics();
+
+        // Label-invariant observables must agree exactly.
+        prop_assert_eq!(through_view.alive_hosts, on_pruned.alive_hosts);
+        prop_assert_eq!(through_view.alive_hosts, pruned.num_hosts());
+        prop_assert_eq!(through_view.reachable_pairs, on_pruned.reachable_pairs);
+        prop_assert_eq!(through_view.diameter, on_pruned.diameter);
+        prop_assert_eq!(through_view.connected, on_pruned.connected);
+        match (through_view.haspl, on_pruned.haspl) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() < 1e-12,
+                "h-ASPL diverged: view {a} vs pruned {b}"
+            ),
+            (a, b) => prop_assert!(false, "h-ASPL presence diverged: {a:?} vs {b:?}"),
+        }
+
+        // The pruned graph never carries a failed element: same number of
+        // physical links as surviving view edges.
+        let view_edges: usize = view
+            .surviving_adjacency()
+            .iter()
+            .map(|row| row.len())
+            .sum::<usize>()
+            / 2;
+        prop_assert_eq!(pruned.num_links(), view_edges);
+
+        // Component accounting is consistent with the reachable pairs.
+        let comp = view.largest_component_hosts();
+        prop_assert!(comp.len() as u32 <= through_view.alive_hosts);
+        let comp_pairs = comp.len() as u64 * (comp.len() as u64).saturating_sub(1) / 2;
+        prop_assert!(through_view.reachable_pairs >= comp_pairs);
+        if through_view.connected {
+            prop_assert_eq!(comp.len() as u32, through_view.alive_hosts);
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_is_identity(gseed in 0u64..16, m in 4u32..16) {
+        let n = m * 2;
+        let g = random_general(n, m, 6, gseed).expect("constructible instance");
+        let no_faults = FaultSet::new();
+        let view = FaultView::new(&g, &no_faults);
+        let dm = view.degraded_metrics();
+        prop_assert_eq!(dm.alive_hosts, g.num_hosts());
+        prop_assert!((dm.reachable_fraction - 1.0).abs() < 1e-15);
+        prop_assert!(dm.connected);
+        let full = orp_core::metrics::path_metrics(&g);
+        match (dm.haspl, full) {
+            (Some(a), Some(f)) => prop_assert!((a - f.haspl).abs() < 1e-12),
+            (None, None) => {}
+            (a, f) => prop_assert!(false, "haspl presence diverged: {a:?} vs {f:?}"),
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic(
+        gseed in 0u64..16,
+        fseed in proptest::prelude::any::<u64>(),
+        pct in 0u32..40,
+    ) {
+        let g = random_general(24, 12, 6, gseed).expect("constructible instance");
+        let rate = pct as f64 / 100.0;
+        let a = FaultSet::sample(&g, rate, rate, fseed);
+        let b = FaultSet::sample(&g, rate, rate, fseed);
+        prop_assert_eq!(a.failed_switches(), b.failed_switches());
+        prop_assert_eq!(a.failed_links(), b.failed_links());
+        prop_assert_eq!(a.failed_host_links(), b.failed_host_links());
+    }
+}

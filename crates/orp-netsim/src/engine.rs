@@ -10,8 +10,73 @@
 //! activation delay before a flow starts streaming.
 
 use crate::network::{LinkId, Network};
+use orp_core::graph::Host;
+use orp_route::RoutingTable;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Blocked ranks with no pending events or flows: the program is
+    /// ill-formed (e.g. a receive whose send never happens).
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        time: f64,
+        /// Ranks that had not finished their programs.
+        blocked_ranks: Vec<u32>,
+        /// Flows still active (streaming but unable to unblock anyone).
+        active_flows: usize,
+    },
+    /// Faults cut communicating ranks off from each other (or killed the
+    /// host a rank was running on).
+    Partitioned {
+        /// Simulated time of the cut.
+        time: f64,
+        /// The ranks that can no longer make progress.
+        ranks: Vec<u32>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Deadlock {
+                time,
+                blocked_ranks,
+                active_flows,
+            } => write!(
+                f,
+                "deadlock at t={time}: {} ranks blocked, {active_flows} active flows",
+                blocked_ranks.len()
+            ),
+            Self::Partitioned { time, ranks } => write!(
+                f,
+                "network partitioned at t={time}: ranks {ranks:?} cut off"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A network element dying mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Switch `s` fails: every incident link (and every host on it) dies.
+    Switch(u32),
+    /// The undirected switch–switch link `{a, b}` fails (both directions).
+    Link(u32, u32),
+}
+
+/// A scheduled mid-run fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time at which the element dies.
+    pub time: f64,
+    /// What dies.
+    pub fault: NetFault,
+}
 
 /// One step of a rank's program.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +132,9 @@ struct Flow {
     rate: f64,
     src: u32,
     dst: u32,
+    /// ECMP hash the flow was routed with; re-used when faults force a
+    /// re-route so repeated runs stay deterministic.
+    hash: u64,
     active: bool,
     finished: bool,
 }
@@ -81,6 +149,7 @@ struct Channel {
 enum Event {
     Activate(u32),
     ComputeDone(u32),
+    Fault(u32),
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -132,6 +201,12 @@ pub struct Simulator<'a> {
     total_flops: f64,
     peak_flows: usize,
     flow_seq: u64,
+    // degraded operation
+    placement: Vec<Host>,
+    fault_events: Vec<FaultEvent>,
+    dead_link: Vec<bool>,
+    dead_host: Vec<bool>,
+    fault_table: Option<RoutingTable>,
 }
 
 impl<'a> Simulator<'a> {
@@ -140,13 +215,29 @@ impl<'a> Simulator<'a> {
     /// # Panics
     /// Panics if there are more ranks than hosts.
     pub fn new(net: &'a Network, programs: Vec<Program>) -> Self {
-        assert!(
-            programs.len() <= net.num_hosts() as usize,
-            "{} ranks exceed {} hosts",
+        let placement = (0..programs.len() as u32).collect();
+        Self::with_placement(net, programs, placement)
+    }
+
+    /// Prepares a simulation with rank `r` running on host
+    /// `placement[r]` — how a degraded run packs its ranks onto the
+    /// surviving hosts. Two ranks may share a host (their messages
+    /// become loopback deliveries).
+    ///
+    /// # Panics
+    /// Panics if `placement` is not one valid host per rank.
+    pub fn with_placement(net: &'a Network, programs: Vec<Program>, placement: Vec<Host>) -> Self {
+        assert_eq!(
+            placement.len(),
             programs.len(),
-            net.num_hosts()
+            "placement must name one host per rank"
+        );
+        assert!(
+            placement.iter().all(|&h| h < net.num_hosts()),
+            "placement host out of range"
         );
         let nl = net.num_links() as usize;
+        let dead_host = (0..net.num_hosts()).map(|h| net.host_dead(h)).collect();
         Self {
             net,
             ranks: vec![
@@ -175,7 +266,18 @@ impl<'a> Simulator<'a> {
             total_flops: 0.0,
             peak_flows: 0,
             flow_seq: 0,
+            placement,
+            fault_events: Vec::new(),
+            dead_link: vec![false; nl],
+            dead_host,
+            fault_table: None,
         }
+    }
+
+    /// Schedules a network element to die at simulated time `at`.
+    pub fn schedule_fault(&mut self, at: f64, fault: NetFault) {
+        assert!(at >= 0.0 && at.is_finite(), "fault time must be finite");
+        self.fault_events.push(FaultEvent { time: at, fault });
     }
 
     fn push_event(&mut self, t: f64, e: Event) {
@@ -190,14 +292,35 @@ impl<'a> Simulator<'a> {
         !c.done && !c.computing && !c.waiting_send && c.waiting_recv_from == NO_RECV
     }
 
-    fn start_flow(&mut self, src: u32, dst: u32, bytes: f64) {
-        if src == dst {
-            // loopback: deliver immediately
+    /// Routes `src → dst` (ranks) through the current table — the
+    /// fault-rebuilt one once any fault has struck.
+    fn route_ranks(&self, src: u32, dst: u32, hash: u64) -> Result<Vec<LinkId>, SimError> {
+        let (hs, hd) = (self.placement[src as usize], self.placement[dst as usize]);
+        if self.dead_host[hs as usize] || self.dead_host[hd as usize] {
+            return Err(SimError::Partitioned {
+                time: self.now,
+                ranks: vec![src, dst],
+            });
+        }
+        match &self.fault_table {
+            Some(t) => self.net.route_with(t, hs, hd, hash),
+            None => self.net.route(hs, hd, hash),
+        }
+        .map_err(|_| SimError::Partitioned {
+            time: self.now,
+            ranks: vec![src, dst],
+        })
+    }
+
+    fn start_flow(&mut self, src: u32, dst: u32, bytes: f64) -> Result<(), SimError> {
+        if self.placement[src as usize] == self.placement[dst as usize] {
+            // same host (or same rank): loopback, deliver immediately
             self.deliver(src, dst);
-            return;
+            return Ok(());
         }
         self.flow_seq += 1;
-        let route = self.net.route(src, dst, self.flow_seq).into_boxed_slice();
+        let hash = self.flow_seq;
+        let route = self.route_ranks(src, dst, hash)?.into_boxed_slice();
         let delay = self.net.message_delay(route.len());
         let id = self.flows.len() as u32;
         self.flows.push(Flow {
@@ -206,12 +329,14 @@ impl<'a> Simulator<'a> {
             rate: 0.0,
             src,
             dst,
+            hash,
             active: false,
             finished: false,
         });
         self.total_flows += 1;
         self.total_bytes += bytes.max(0.0);
         self.push_event(self.now + delay, Event::Activate(id));
+        Ok(())
     }
 
     /// Marks one message from `src` delivered at `dst`, waking the blocked
@@ -257,15 +382,15 @@ impl<'a> Simulator<'a> {
     }
 
     /// Runs rank `r` until it blocks or finishes.
-    fn run_rank(&mut self, r: u32) {
+    fn run_rank(&mut self, r: u32) -> Result<(), SimError> {
         loop {
             if !self.rank_runnable(r) {
-                return;
+                return Ok(());
             }
             let pc = self.ranks[r as usize].pc as usize;
             let Some(&op) = self.programs[r as usize].get(pc) else {
                 self.ranks[r as usize].done = true;
-                return;
+                return Ok(());
             };
             self.ranks[r as usize].pc += 1;
             match op {
@@ -277,18 +402,100 @@ impl<'a> Simulator<'a> {
                 }
                 Op::Send { to, bytes } => {
                     self.ranks[r as usize].waiting_send = true;
-                    self.start_flow(r, to, bytes);
+                    self.start_flow(r, to, bytes)?;
                 }
                 Op::Recv { from } => {
                     self.try_recv(r, from);
                 }
                 Op::SendRecv { to, bytes, from } => {
                     self.ranks[r as usize].waiting_send = true;
-                    self.start_flow(r, to, bytes);
+                    self.start_flow(r, to, bytes)?;
                     self.try_recv(r, from);
                 }
             }
         }
+    }
+
+    /// Kills a network element at the current time: marks its directed
+    /// links dead, rebuilds the routing table around the wreckage, and
+    /// re-routes every unfinished flow whose path crossed a dead link.
+    /// Active flows are torn down and re-issued (remaining bytes intact)
+    /// after a fresh message delay; pending flows just swap routes.
+    fn apply_fault(&mut self, fault: NetFault) -> Result<(), SimError> {
+        let n = self.net.num_hosts();
+        match fault {
+            NetFault::Link(a, b) => {
+                for (u, v) in [(a, b), (b, a)] {
+                    if let Some(id) = self.net.sw_link(u, v) {
+                        self.dead_link[id as usize] = true;
+                    }
+                }
+            }
+            NetFault::Switch(s) => {
+                for (id, v) in self.net.switch_links(s) {
+                    self.dead_link[id as usize] = true;
+                    if let Some(back) = self.net.sw_link(v, s) {
+                        self.dead_link[back as usize] = true;
+                    }
+                }
+                // hosts on the dead switch lose their up/down links
+                let mut casualties = Vec::new();
+                for h in 0..n {
+                    if self.net.switch_of(h) == s && !self.dead_host[h as usize] {
+                        self.dead_host[h as usize] = true;
+                        self.dead_link[h as usize] = true;
+                        self.dead_link[(n + h) as usize] = true;
+                        casualties.push(h);
+                    }
+                }
+                // ranks running on those hosts are gone
+                let lost: Vec<u32> = (0..self.ranks.len() as u32)
+                    .filter(|&r| {
+                        !self.ranks[r as usize].done
+                            && casualties.contains(&self.placement[r as usize])
+                    })
+                    .collect();
+                if !lost.is_empty() {
+                    return Err(SimError::Partitioned {
+                        time: self.now,
+                        ranks: lost,
+                    });
+                }
+            }
+        }
+        self.fault_table = Some(RoutingTable::build_adj(
+            &self.net.adjacency_excluding(&self.dead_link),
+        ));
+        // re-route unfinished flows that crossed a now-dead link
+        for fid in 0..self.flows.len() as u32 {
+            let f = &self.flows[fid as usize];
+            if f.finished || !f.route.iter().any(|&l| self.dead_link[l as usize]) {
+                continue;
+            }
+            let (src, dst, hash, was_active) = (f.src, f.dst, f.hash, f.active);
+            let new_route = self.route_ranks(src, dst, hash)?.into_boxed_slice();
+            let delay = self.net.message_delay(new_route.len());
+            let f = &mut self.flows[fid as usize];
+            f.route = new_route;
+            if was_active {
+                // tear down and re-issue: the in-flight bytes already
+                // delivered stay delivered, the rest re-enters after a
+                // fresh message latency on the detour
+                f.active = false;
+                f.rate = 0.0;
+                let pos = self
+                    .active
+                    .iter()
+                    .position(|&x| x == fid)
+                    .expect("active flow is listed");
+                self.active.swap_remove(pos);
+                self.push_event(self.now + delay, Event::Activate(fid));
+                self.rates_dirty = true;
+            }
+            // pending flows keep their original activation event and
+            // simply stream over the new route when it fires
+        }
+        Ok(())
     }
 
     /// Max-min fair progressive filling over the active flows.
@@ -368,17 +575,21 @@ impl<'a> Simulator<'a> {
 
     /// Executes the programs to completion and reports.
     ///
-    /// # Panics
-    /// Panics on deadlock (blocked ranks with no pending events or
-    /// flows), which indicates an ill-formed program.
-    pub fn run(mut self) -> SimReport {
+    /// # Errors
+    /// [`SimError::Deadlock`] when blocked ranks have no pending events
+    /// or flows (an ill-formed program); [`SimError::Partitioned`] when
+    /// scheduled faults cut communicating ranks off.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        for i in 0..self.fault_events.len() as u32 {
+            self.push_event(self.fault_events[i as usize].time, Event::Fault(i));
+        }
         for r in 0..self.ranks.len() as u32 {
             self.runnable.push_back(r);
         }
         loop {
             // 1. drain runnable ranks (may create flows/events)
             while let Some(r) = self.runnable.pop_front() {
-                self.run_rank(r);
+                self.run_rank(r)?;
             }
             if self.ranks.iter().all(|c| c.done) {
                 break;
@@ -406,13 +617,15 @@ impl<'a> Simulator<'a> {
                 Some(et) => et.min(flow_t),
                 None => flow_t,
             };
-            assert!(
-                next_t.is_finite(),
-                "deadlock at t={}: {} ranks blocked, {} active flows",
-                self.now,
-                self.ranks.iter().filter(|c| !c.done).count(),
-                self.active.len()
-            );
+            if !next_t.is_finite() {
+                return Err(SimError::Deadlock {
+                    time: self.now,
+                    blocked_ranks: (0..self.ranks.len() as u32)
+                        .filter(|&r| !self.ranks[r as usize].done)
+                        .collect(),
+                    active_flows: self.active.len(),
+                });
+            }
             self.advance(next_t - self.now);
             self.now = next_t;
             // 4a. complete flows that drained (cluster completions)
@@ -452,7 +665,9 @@ impl<'a> Simulator<'a> {
                 match self.event_payload.remove(&id).expect("payload") {
                     Event::Activate(fid) => {
                         let f = &mut self.flows[fid as usize];
-                        if f.remaining <= 0.0 {
+                        if f.finished || f.active {
+                            // stale event for a flow re-issued by a fault
+                        } else if f.remaining <= 0.0 {
                             f.finished = true;
                             let (src, dst) = (f.src, f.dst);
                             self.deliver(src, dst);
@@ -469,25 +684,42 @@ impl<'a> Simulator<'a> {
                             self.runnable.push_back(r);
                         }
                     }
+                    Event::Fault(i) => {
+                        self.apply_fault(self.fault_events[i as usize].fault)?;
+                    }
                 }
             }
             if self.rates_dirty && !self.active.is_empty() {
                 self.compute_rates();
             }
         }
-        SimReport {
+        Ok(SimReport {
             time: self.now,
             flows: self.total_flows,
             bytes: self.total_bytes,
             peak_flows: self.peak_flows,
             flops: self.total_flops,
-        }
+        })
     }
 }
 
 /// Convenience: builds a [`Simulator`] and runs it.
-pub fn simulate(net: &Network, programs: Vec<Program>) -> SimReport {
+pub fn simulate(net: &Network, programs: Vec<Program>) -> Result<SimReport, SimError> {
     Simulator::new(net, programs).run()
+}
+
+/// Convenience: simulates `programs` while the scheduled `faults` strike
+/// mid-run.
+pub fn simulate_with_faults(
+    net: &Network,
+    programs: Vec<Program>,
+    faults: &[FaultEvent],
+) -> Result<SimReport, SimError> {
+    let mut sim = Simulator::new(net, programs);
+    for fe in faults {
+        sim.schedule_fault(fe.time, fe.fault);
+    }
+    sim.run()
 }
 
 #[cfg(test)]
@@ -509,10 +741,15 @@ mod tests {
         Network::new(&g, NetConfig::default())
     }
 
+    /// Unwraps the common no-fault case.
+    fn sim(net: &Network, programs: Vec<Program>) -> SimReport {
+        simulate(net, programs).unwrap()
+    }
+
     #[test]
     fn empty_programs_finish_instantly() {
         let net = dumbbell(2);
-        let rep = simulate(&net, vec![vec![], vec![]]);
+        let rep = sim(&net, vec![vec![], vec![]]);
         assert_eq!(rep.time, 0.0);
         assert_eq!(rep.flows, 0);
     }
@@ -520,7 +757,7 @@ mod tests {
     #[test]
     fn compute_takes_flops_over_rate() {
         let net = dumbbell(1);
-        let rep = simulate(&net, vec![vec![Op::Compute(1e9)]]);
+        let rep = sim(&net, vec![vec![Op::Compute(1e9)]]);
         assert!((rep.time - 1e9 / 100e9).abs() < 1e-12);
         assert_eq!(rep.flops, 1e9);
     }
@@ -529,7 +766,7 @@ mod tests {
     fn single_transfer_time_is_latency_plus_bytes_over_bw() {
         let net = dumbbell(2); // hosts 0,1 on sw0; 2,3 on sw1
         let bytes = 50e6;
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![Op::Send { to: 2, bytes }],
@@ -554,7 +791,7 @@ mod tests {
         // inter-switch link is shared → twice the single-flow time.
         let net = dumbbell(2);
         let bytes = 50e6;
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![Op::Send { to: 2, bytes }],
@@ -578,7 +815,7 @@ mod tests {
         // 0→1 stays on sw0 (up+down only), 2→3 on sw1: no shared link.
         let net = dumbbell(2);
         let bytes = 50e6;
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![Op::Send { to: 1, bytes }],
@@ -600,7 +837,7 @@ mod tests {
     fn sendrecv_exchanges_in_one_round() {
         let net = dumbbell(1); // host 0 on sw0, host 1 on sw1
         let bytes = 10e6;
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![Op::SendRecv {
@@ -629,7 +866,7 @@ mod tests {
     #[test]
     fn messages_match_in_fifo_order() {
         let net = dumbbell(1);
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![
@@ -644,16 +881,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadlock")]
     fn recv_without_send_deadlocks() {
         let net = dumbbell(1);
-        simulate(&net, vec![vec![Op::Recv { from: 1 }], vec![]]);
+        let err = simulate(&net, vec![vec![Op::Recv { from: 1 }], vec![]]).unwrap_err();
+        match err {
+            SimError::Deadlock {
+                time,
+                blocked_ranks,
+                active_flows,
+            } => {
+                assert_eq!(time, 0.0);
+                assert_eq!(blocked_ranks, vec![0]);
+                assert_eq!(active_flows, 0);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 
     #[test]
     fn zero_byte_message_is_pure_latency() {
         let net = dumbbell(1);
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![
                 vec![Op::Send { to: 1, bytes: 0.0 }],
@@ -672,10 +920,182 @@ mod tests {
     #[test]
     fn loopback_send_is_instant() {
         let net = dumbbell(1);
-        let rep = simulate(
+        let rep = sim(
             &net,
             vec![vec![Op::Send { to: 0, bytes: 1e6 }, Op::Recv { from: 0 }]],
         );
         assert_eq!(rep.time, 0.0);
+    }
+
+    /// 4 switches in a ring, one host each, radix 4.
+    fn ring_net() -> Network {
+        let mut g = HostSwitchGraph::new(4, 4).unwrap();
+        for s in 0..4 {
+            g.add_link(s, (s + 1) % 4).unwrap();
+        }
+        for s in 0..4 {
+            g.attach_host(s).unwrap();
+        }
+        Network::new(&g, NetConfig::default())
+    }
+
+    #[test]
+    fn midrun_link_death_reroutes_and_delivers() {
+        // host 0 → host 1 over the direct s0–s1 link; the link dies while
+        // the flow streams, so it must finish over s0–s3–s2–s1.
+        let net = ring_net();
+        let bytes = 100e6; // 20 ms fault-free: plenty of time to kill it
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes }],
+            vec![Op::Recv { from: 0 }],
+            vec![],
+            vec![],
+        ];
+        let fault_free = sim(&net, programs.clone()).time;
+        let rep = simulate_with_faults(
+            &net,
+            programs,
+            &[FaultEvent {
+                time: fault_free / 2.0,
+                fault: NetFault::Link(0, 1),
+            }],
+        )
+        .unwrap();
+        // delivered, later than fault-free (half re-streamed the long way)
+        assert!(rep.time > fault_free, "{} vs {fault_free}", rep.time);
+        assert!(rep.time < 2.0 * fault_free);
+    }
+
+    #[test]
+    fn midrun_partition_is_structured_error() {
+        // killing both ring cuts between the communicating pair leaves no
+        // surviving route: the run must end with Partitioned, not hang.
+        let net = ring_net();
+        let bytes = 100e6;
+        let t_cut = net.config().sw_overhead * 10.0;
+        let err = simulate_with_faults(
+            &net,
+            vec![
+                vec![Op::Send { to: 2, bytes }],
+                vec![],
+                vec![Op::Recv { from: 0 }],
+                vec![],
+            ],
+            &[
+                FaultEvent {
+                    time: t_cut,
+                    fault: NetFault::Link(0, 1),
+                },
+                FaultEvent {
+                    time: t_cut,
+                    fault: NetFault::Link(2, 3),
+                },
+                FaultEvent {
+                    time: t_cut,
+                    fault: NetFault::Link(0, 3),
+                },
+            ],
+        )
+        .unwrap_err();
+        match err {
+            SimError::Partitioned { time, ranks } => {
+                assert!((time - t_cut).abs() < 1e-12);
+                assert_eq!(ranks, vec![0, 2]);
+            }
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn midrun_switch_death_kills_its_ranks() {
+        let net = ring_net();
+        let err = simulate_with_faults(
+            &net,
+            vec![
+                vec![Op::Send {
+                    to: 1,
+                    bytes: 100e6,
+                }],
+                vec![Op::Recv { from: 0 }],
+                vec![],
+                vec![],
+            ],
+            &[FaultEvent {
+                time: 1e-3,
+                fault: NetFault::Switch(1),
+            }],
+        )
+        .unwrap_err();
+        match err {
+            SimError::Partitioned { ranks, .. } => assert_eq!(ranks, vec![1]),
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn midrun_fault_runs_are_deterministic() {
+        let net = ring_net();
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes: 50e6 }, Op::Recv { from: 1 }],
+            vec![Op::Recv { from: 0 }, Op::Send { to: 0, bytes: 25e6 }],
+            vec![Op::Send { to: 3, bytes: 10e6 }],
+            vec![Op::Recv { from: 2 }],
+        ];
+        let faults = [FaultEvent {
+            time: 5e-3,
+            fault: NetFault::Link(0, 1),
+        }];
+        let a = simulate_with_faults(&net, programs.clone(), &faults).unwrap();
+        let b = simulate_with_faults(&net, programs, &faults).unwrap();
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn fault_after_completion_changes_nothing() {
+        let net = ring_net();
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes: 1e6 }],
+            vec![Op::Recv { from: 0 }],
+            vec![],
+            vec![],
+        ];
+        let plain = sim(&net, programs.clone()).time;
+        let rep = simulate_with_faults(
+            &net,
+            programs,
+            &[FaultEvent {
+                time: plain * 10.0,
+                fault: NetFault::Link(0, 1),
+            }],
+        )
+        .unwrap();
+        assert_eq!(rep.time, plain);
+    }
+
+    #[test]
+    fn placement_routes_between_assigned_hosts() {
+        // ranks 0,1 placed on hosts 0,2 (opposite ring corners): the
+        // message crosses two switch hops instead of one.
+        let net = ring_net();
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes: 0.0 }],
+            vec![Op::Recv { from: 0 }],
+        ];
+        let near = Simulator::with_placement(&net, programs.clone(), vec![0, 1])
+            .run()
+            .unwrap();
+        let far = Simulator::with_placement(&net, programs.clone(), vec![0, 2])
+            .run()
+            .unwrap();
+        let cfg = net.config();
+        assert!((far.time - near.time - cfg.hop_latency).abs() < 1e-12);
+        // co-located ranks communicate by loopback
+        let co = Simulator::with_placement(&net, programs, vec![2, 2])
+            .run()
+            .unwrap();
+        assert_eq!(co.time, 0.0);
+        assert_eq!(co.flows, 0);
     }
 }

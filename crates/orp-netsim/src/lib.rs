@@ -24,9 +24,16 @@
 //!
 //! let g = random_general(16, 4, 8, 1).unwrap();
 //! let net = Network::new(&g, NetConfig::default());
-//! let res = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+//! let res = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
 //! assert!(res.mops > 0.0);
 //! ```
+//!
+//! The stack operates degraded instead of panicking: simulation returns
+//! `Result` ([`engine::SimError`] carries deadlock/partition
+//! diagnostics), networks can be compiled against an
+//! [`orp_core::fault::FaultSet`] ([`network::Network::new_degraded`]),
+//! and mid-run element deaths ([`engine::NetFault`]) tear down and
+//! re-route the affected flows.
 
 #![warn(missing_docs)]
 
@@ -38,6 +45,9 @@ pub mod packet;
 pub mod patterns;
 pub mod report;
 
-pub use engine::{simulate, Op, Program, SimReport};
+pub use engine::{
+    simulate, simulate_with_faults, FaultEvent, NetFault, Op, Program, SimError, SimReport,
+    Simulator,
+};
 pub use network::{NetConfig, Network, RouteMode};
 pub use report::{run_benchmark, run_suite, BenchResult};

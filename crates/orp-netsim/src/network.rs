@@ -9,8 +9,9 @@
 //! switch, so a host talking to many peers serialises on its own port —
 //! exactly the property that makes the host distribution matter.
 
+use orp_core::fault::{FaultSet, FaultView};
 use orp_core::graph::{Host, HostSwitchGraph, Switch};
-use orp_route::RoutingTable;
+use orp_route::{RouteError, RoutingTable};
 
 /// Directed link identifier.
 pub type LinkId = u32;
@@ -72,16 +73,49 @@ pub struct Network {
     sw_offsets: Vec<u32>,
     sw_neighbors: Vec<Switch>,
     num_links: u32,
+    /// Hosts cut off by static faults (empty uplink ⇒ cannot communicate).
+    dead_host: Vec<bool>,
 }
 
 impl Network {
     /// Compiles `g` into a network. Builds the routing table (one BFS per
     /// switch).
     pub fn new(g: &HostSwitchGraph, cfg: NetConfig) -> Self {
+        Self::compile(
+            g,
+            cfg,
+            RoutingTable::build(g),
+            vec![false; g.num_hosts() as usize],
+        )
+    }
+
+    /// Compiles `g` into a network operating degraded under `faults`:
+    /// the routing table avoids failed elements and hosts killed by the
+    /// faults refuse to route ([`RouteError::DeadEndpoint`]).
+    ///
+    /// The link-id space still covers the *full* fabric so that route ids
+    /// stay comparable with the fault-free network; dead links simply
+    /// never appear in any route.
+    pub fn new_degraded(g: &HostSwitchGraph, cfg: NetConfig, faults: &FaultSet) -> Self {
+        let view = FaultView::new(g, faults);
+        let dead_host = (0..g.num_hosts()).map(|h| !view.host_alive(h)).collect();
+        Self::compile(
+            g,
+            cfg,
+            RoutingTable::build_with_faults(g, faults),
+            dead_host,
+        )
+    }
+
+    fn compile(
+        g: &HostSwitchGraph,
+        cfg: NetConfig,
+        table: RoutingTable,
+        dead_host: Vec<bool>,
+    ) -> Self {
         let n = g.num_hosts();
         let m = g.num_switches();
         let host_sw: Vec<Switch> = (0..n).map(|h| g.switch_of(h)).collect();
-        let table = RoutingTable::build(g);
         let mut sw_offsets = Vec::with_capacity(m as usize + 1);
         let mut sw_neighbors = Vec::new();
         // link id layout: [0, n) host uplinks, [n, 2n) host downlinks,
@@ -100,6 +134,7 @@ impl Network {
             sw_offsets,
             sw_neighbors,
             num_links,
+            dead_host,
         }
     }
 
@@ -128,24 +163,79 @@ impl Network {
         &self.table
     }
 
-    fn sw_link(&self, u: Switch, v: Switch) -> LinkId {
-        let lo = self.sw_offsets[u as usize] as usize - 2 * self.num_hosts as usize;
-        let hi = self.sw_offsets[u as usize + 1] as usize - 2 * self.num_hosts as usize;
-        for (i, &w) in self.sw_neighbors[lo..hi].iter().enumerate() {
-            if w == v {
-                return self.sw_offsets[u as usize] + i as u32;
-            }
-        }
-        panic!("no link {u} → {v}");
+    /// Number of switches in the compiled fabric.
+    pub fn num_switches(&self) -> u32 {
+        self.sw_offsets.len() as u32 - 1
+    }
+
+    /// Whether a host was cut off by the static faults this network was
+    /// compiled with (always `false` for [`Network::new`]).
+    pub fn host_dead(&self, h: Host) -> bool {
+        self.dead_host[h as usize]
+    }
+
+    /// The directed switch links leaving `s`, as `(link id, neighbour)`.
+    pub fn switch_links(&self, s: Switch) -> impl Iterator<Item = (LinkId, Switch)> + '_ {
+        let lo = self.sw_offsets[s as usize];
+        let hi = self.sw_offsets[s as usize + 1];
+        let base = 2 * self.num_hosts;
+        self.sw_neighbors[(lo - base) as usize..(hi - base) as usize]
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (lo + i as u32, v))
+    }
+
+    /// The directed link id `u → v`, when that fabric link exists.
+    pub fn sw_link(&self, u: Switch, v: Switch) -> Option<LinkId> {
+        self.switch_links(u)
+            .find(|&(_, w)| w == v)
+            .map(|(id, _)| id)
+    }
+
+    /// The fabric adjacency with dead directed links (indexed by
+    /// [`LinkId`]) removed in both directions — input for rebuilding a
+    /// routing table after mid-run faults.
+    pub fn adjacency_excluding(&self, dead_link: &[bool]) -> Vec<Vec<Switch>> {
+        (0..self.num_switches())
+            .map(|s| {
+                self.switch_links(s)
+                    .filter(|&(id, v)| {
+                        !dead_link[id as usize]
+                            && self
+                                .sw_link(v, s)
+                                .is_none_or(|back| !dead_link[back as usize])
+                    })
+                    .map(|(_, v)| v)
+                    .collect()
+            })
+            .collect()
     }
 
     /// The directed-link route for a flow `src → dst`, ECMP-resolved by
-    /// `flow_hash`. Returns the link ids and the hop count (number of
-    /// traversed links).
-    pub fn route(&self, src: Host, dst: Host, flow_hash: u64) -> Vec<LinkId> {
+    /// `flow_hash`, through this network's own routing table.
+    pub fn route(&self, src: Host, dst: Host, flow_hash: u64) -> Result<Vec<LinkId>, RouteError> {
+        self.route_with(&self.table, src, dst, flow_hash)
+    }
+
+    /// Routes `src → dst` through an externally supplied table — how the
+    /// simulator re-routes after mid-run faults without recompiling the
+    /// network. Dead endpoints and cut-off pairs surface as errors.
+    pub fn route_with(
+        &self,
+        table: &RoutingTable,
+        src: Host,
+        dst: Host,
+        flow_hash: u64,
+    ) -> Result<Vec<LinkId>, RouteError> {
         assert_ne!(src, dst, "self-messages never hit the network");
         let s = self.host_sw[src as usize];
         let d = self.host_sw[dst as usize];
+        if self.dead_host[src as usize] {
+            return Err(RouteError::DeadEndpoint { switch: s });
+        }
+        if self.dead_host[dst as usize] {
+            return Err(RouteError::DeadEndpoint { switch: d });
+        }
         let hash = match self.cfg.route_mode {
             RouteMode::SinglePath => 0,
             RouteMode::Ecmp => flow_hash,
@@ -153,16 +243,16 @@ impl Network {
         let mut links = Vec::with_capacity(8);
         links.push(src); // uplink
         if s != d {
-            let path = self
-                .table
-                .path(s, d, hash)
-                .expect("simulated networks must be connected");
+            let path = table.try_path(s, d, hash)?;
             for w in path.windows(2) {
-                links.push(self.sw_link(w[0], w[1]));
+                links.push(
+                    self.sw_link(w[0], w[1])
+                        .expect("routing tables only use fabric links"),
+                );
             }
         }
         links.push(self.num_hosts + dst); // downlink
-        links
+        Ok(links)
     }
 
     /// Message latency component: software overhead plus per-hop wire and
@@ -191,7 +281,7 @@ mod tests {
     #[test]
     fn route_crosses_expected_links() {
         let (_, net) = line();
-        let r = net.route(0, 1, 0);
+        let r = net.route(0, 1, 0).unwrap();
         // uplink + 2 switch links + downlink
         assert_eq!(r.len(), 4);
         assert_eq!(r[0], 0); // host 0 uplink
@@ -201,9 +291,48 @@ mod tests {
     #[test]
     fn same_switch_route_is_two_links() {
         let (_, net) = line();
-        let r = net.route(0, 2, 0);
+        let r = net.route(0, 2, 0).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r, vec![0, 3 + 2]);
+    }
+
+    #[test]
+    fn degraded_network_reports_cut_pairs() {
+        use orp_core::fault::FaultSet;
+        use orp_route::RouteError;
+        // h0 - s0 - s1 - s2 - h1: killing link (1,2) cuts 0 from 1
+        let (g, _) = line();
+        let mut f = FaultSet::new();
+        f.fail_link(1, 2);
+        let net = Network::new_degraded(&g, NetConfig::default(), &f);
+        assert_eq!(
+            net.route(0, 1, 0),
+            Err(RouteError::Unreachable { src: 0, dst: 2 })
+        );
+        // same-switch pair is unaffected
+        assert!(net.route(0, 2, 0).is_ok());
+        // a dead switch kills its hosts outright
+        let mut f = FaultSet::new();
+        f.fail_switch(2);
+        let net = Network::new_degraded(&g, NetConfig::default(), &f);
+        assert!(net.host_dead(1));
+        assert_eq!(
+            net.route(0, 1, 0),
+            Err(RouteError::DeadEndpoint { switch: 2 })
+        );
+    }
+
+    #[test]
+    fn adjacency_excluding_drops_both_directions() {
+        let (_, net) = line();
+        let mut dead = vec![false; net.num_links() as usize];
+        // kill s0→s1 only; exclusion must drop s1→s0 too
+        let id = net.sw_link(0, 1).unwrap();
+        dead[id as usize] = true;
+        let adj = net.adjacency_excluding(&dead);
+        assert!(adj[0].is_empty());
+        assert_eq!(adj[1], vec![2]);
+        assert_eq!(adj[2], vec![1]);
     }
 
     #[test]
@@ -227,6 +356,6 @@ mod tests {
     #[should_panic(expected = "self-messages")]
     fn self_route_panics() {
         let (_, net) = line();
-        net.route(1, 1, 0);
+        let _ = net.route(1, 1, 0);
     }
 }

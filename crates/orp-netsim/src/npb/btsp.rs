@@ -89,7 +89,7 @@ mod tests {
     fn sim(variant: Variant) -> crate::engine::SimReport {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        simulate(&net, program(16, Class::A, 1, variant))
+        simulate(&net, program(16, Class::A, 1, variant)).unwrap()
     }
 
     #[test]

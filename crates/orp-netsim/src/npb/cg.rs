@@ -80,7 +80,7 @@ mod tests {
     fn cg_completes_on_square_grid() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 2));
+        let rep = simulate(&net, program(16, Class::A, 2)).unwrap();
         assert!(rep.time > 0.0);
         assert!(rep.flows > 0);
     }
@@ -89,7 +89,7 @@ mod tests {
     fn transpose_traffic_present_on_square_grids() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1));
+        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
         // transpose: C(4,2)·... at least the off-diagonal pairs exchange
         assert!(rep.flows >= 12);
     }
@@ -98,8 +98,8 @@ mod tests {
     fn class_b_has_bigger_segments() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let a = simulate(&net, program(16, Class::A, 1));
-        let b = simulate(&net, program(16, Class::B, 1));
+        let a = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let b = simulate(&net, program(16, Class::B, 1)).unwrap();
         assert!(b.bytes > a.bytes * 3.0);
     }
 }

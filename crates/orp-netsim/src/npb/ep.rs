@@ -39,7 +39,7 @@ mod tests {
     fn ep_is_compute_dominated() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A));
+        let rep = simulate(&net, program(16, Class::A)).unwrap();
         let compute_time = 2f64.powi(28) * FLOPS_PER_PAIR / 16.0 / 100e9;
         assert!(rep.time >= compute_time);
         assert!(rep.time < compute_time * 1.1, "comm should be negligible");

@@ -48,7 +48,7 @@ mod tests {
     fn ft_transposes_the_grid() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1));
+        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
         let grid_bytes = 256.0 * 256.0 * 128.0 * 16.0;
         assert!(rep.bytes > grid_bytes * 0.9);
         assert!(rep.bytes < grid_bytes * 1.2);
@@ -59,8 +59,8 @@ mod tests {
     fn class_b_is_heavier() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let a = simulate(&net, program(16, Class::A, 1));
-        let b = simulate(&net, program(16, Class::B, 1));
+        let a = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let b = simulate(&net, program(16, Class::B, 1)).unwrap();
         assert!(b.bytes > a.bytes * 3.0);
         assert!(b.time > a.time);
     }

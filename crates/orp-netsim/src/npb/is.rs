@@ -51,7 +51,7 @@ mod tests {
     fn is_moves_the_whole_key_array_per_iteration() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1));
+        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
         let keys_bytes = (1u64 << 23) as f64 * 4.0;
         // alltoallv moves (n-1)/n of the array, plus the allreduces
         assert!(

@@ -110,7 +110,7 @@ mod tests {
     fn lu_wavefront_completes() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1));
+        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
         assert!(rep.time > 0.0);
         // 4x4 grid, 8 stages per sweep, 2 sweeps: interior links carry
         // 2 messages per rank per stage on average
@@ -123,7 +123,7 @@ mod tests {
         // strictly more than the embarrassing lower bound of stage sums
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1));
+        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
         let stages = 64 / PLANE_AGG;
         let stage_flops = (64.0 / 4.0) * (64.0 / 4.0) * PLANE_AGG as f64 * FLOPS_PER_POINT;
         let sweep_min = 2.0 * stages as f64 * stage_flops / 100e9;

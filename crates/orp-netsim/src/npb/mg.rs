@@ -90,7 +90,7 @@ mod tests {
     fn mg_runs_a_v_cycle() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::B, 1));
+        let rep = simulate(&net, program(16, Class::B, 1)).unwrap();
         assert!(rep.time > 0.0);
         // 15 levels traversed (8 down + 7 up), exchanges at each
         assert!(rep.flows > 15 * 16);
@@ -100,7 +100,7 @@ mod tests {
     fn fine_levels_dominate_volume() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::B, 1));
+        let rep = simulate(&net, program(16, Class::B, 1)).unwrap();
         // finest-level faces: 256²/(…) — volume should far exceed a
         // coarse-only estimate
         assert!(rep.bytes > 1e6);

@@ -10,6 +10,7 @@
 //! wins under contention.
 
 use crate::network::Network;
+use orp_route::RouteError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -57,9 +58,17 @@ impl Ord for Key {
 /// Runs the packet simulation of `demands` over `net` with the given
 /// packet size.
 ///
+/// # Errors
+/// Returns the [`RouteError`] of the first demand with no surviving
+/// route (possible on degraded networks).
+///
 /// # Panics
 /// Panics if a demand routes between identical hosts.
-pub fn packet_simulate(net: &Network, demands: &[FlowDemand], mtu: f64) -> PacketReport {
+pub fn packet_simulate(
+    net: &Network,
+    demands: &[FlowDemand],
+    mtu: f64,
+) -> Result<PacketReport, RouteError> {
     let cfg = *net.config();
     let mtu = mtu.max(1.0);
     // per-flow routes and packet bookkeeping
@@ -71,7 +80,7 @@ pub fn packet_simulate(net: &Network, demands: &[FlowDemand], mtu: f64) -> Packe
     let mut packets: Vec<PacketState> = Vec::new();
     let mut remaining_pkts: Vec<u32> = Vec::with_capacity(demands.len());
     for (fid, d) in demands.iter().enumerate() {
-        let route = net.route(d.src, d.dst, fid as u64);
+        let route = net.route(d.src, d.dst, fid as u64)?;
         let full = (d.bytes / mtu).floor() as u32;
         let tail = d.bytes - full as f64 * mtu;
         let mut count = 0;
@@ -125,22 +134,25 @@ pub fn packet_simulate(net: &Network, demands: &[FlowDemand], mtu: f64) -> Packe
         seq += 1;
     }
     let makespan = completion.iter().copied().fold(0.0, f64::max);
-    PacketReport {
+    Ok(PacketReport {
         completion,
         makespan,
         packets: packets.len() as u64,
         events,
-    }
+    })
 }
 
 /// Convenience: simulate a permutation pattern (see
 /// [`crate::patterns::Pattern`]) at packet level.
+///
+/// # Errors
+/// Returns the [`RouteError`] of the first unroutable demand.
 pub fn packet_simulate_pattern(
     net: &Network,
     pattern: crate::patterns::Pattern,
     bytes: f64,
     seed: u64,
-) -> PacketReport {
+) -> Result<PacketReport, RouteError> {
     let n = net.num_hosts();
     let demands: Vec<FlowDemand> = (0..n)
         .filter_map(|r| {
@@ -185,7 +197,8 @@ mod tests {
                 bytes: 1000.0,
             }],
             DEFAULT_MTU,
-        );
+        )
+        .unwrap();
         // one packet over 3 links: sw_overhead + 3·(tx + hop_latency)
         let tx = 1000.0 / cfg.bandwidth;
         let expect = cfg.sw_overhead + 3.0 * (tx + cfg.hop_latency);
@@ -211,7 +224,8 @@ mod tests {
                 bytes,
             }],
             DEFAULT_MTU,
-        );
+        )
+        .unwrap();
         let tx = DEFAULT_MTU / cfg.bandwidth;
         let expect = cfg.sw_overhead + (3.0 + 9.0) * tx + 3.0 * cfg.hop_latency;
         assert!(
@@ -242,7 +256,8 @@ mod tests {
                 },
             ],
             DEFAULT_MTU,
-        );
+        )
+        .unwrap();
         // the shared switch link carries 128 packets back-to-back
         let floor = 128.0 * DEFAULT_MTU / cfg.bandwidth;
         assert!(rep.makespan > floor, "{} <= {floor}", rep.makespan);
@@ -261,7 +276,8 @@ mod tests {
                 vec![Op::Recv { from: 0 }],
                 vec![],
             ],
-        );
+        )
+        .unwrap();
         let pkt = packet_simulate(
             &net,
             &[FlowDemand {
@@ -270,7 +286,8 @@ mod tests {
                 bytes,
             }],
             DEFAULT_MTU,
-        );
+        )
+        .unwrap();
         // the packet model adds per-hop serialisation the fluid model
         // folds into latency; agreement within ~5% at this size
         let ratio = pkt.makespan / fluid.time;
@@ -288,8 +305,8 @@ mod tests {
         let mut res = Vec::new();
         for g in [&star, &sparse] {
             let net = Network::new(g, NetConfig::default());
-            let pkt = packet_simulate_pattern(&net, Pattern::UniformPermutation, bytes, 5);
-            let fl = simulate(&net, Pattern::UniformPermutation.programs(16, bytes, 1, 5));
+            let pkt = packet_simulate_pattern(&net, Pattern::UniformPermutation, bytes, 5).unwrap();
+            let fl = simulate(&net, Pattern::UniformPermutation.programs(16, bytes, 1, 5)).unwrap();
             res.push((pkt.makespan, fl.time));
         }
         assert!(res[0].0 < res[1].0, "packet: star should win");
@@ -308,7 +325,8 @@ mod tests {
                 bytes: 0.0,
             }],
             DEFAULT_MTU,
-        );
+        )
+        .unwrap();
         let expect = cfg.sw_overhead + 3.0 * cfg.hop_latency;
         assert!((rep.makespan - expect).abs() < 1e-12);
     }

@@ -170,7 +170,7 @@ mod tests {
     fn all_patterns_simulate() {
         let net = net16();
         for p in Pattern::all() {
-            let rep = simulate(&net, p.programs(16, 1e4, 2, 7));
+            let rep = simulate(&net, p.programs(16, 1e4, 2, 7)).unwrap();
             assert!(rep.time > 0.0, "{}", p.name());
         }
     }
@@ -179,8 +179,12 @@ mod tests {
     fn hotspot_is_slowest_for_equal_bytes() {
         // all 15 senders serialise on rank 0's downlink
         let net = net16();
-        let hot = simulate(&net, Pattern::Hotspot.programs(16, 1e6, 1, 7)).time;
-        let nn = simulate(&net, Pattern::NearestNeighbor.programs(16, 1e6, 1, 7)).time;
+        let hot = simulate(&net, Pattern::Hotspot.programs(16, 1e6, 1, 7))
+            .unwrap()
+            .time;
+        let nn = simulate(&net, Pattern::NearestNeighbor.programs(16, 1e6, 1, 7))
+            .unwrap()
+            .time;
         assert!(hot > nn * 3.0, "hotspot {hot} vs neighbor {nn}");
     }
 

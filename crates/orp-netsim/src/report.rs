@@ -1,7 +1,7 @@
 //! Benchmark reporting: runs an NPB skeleton on a network and expresses
 //! the result in the paper's currency (operations per second).
 
-use crate::engine::{simulate, SimReport};
+use crate::engine::{simulate, SimError, SimReport};
 use crate::network::Network;
 use crate::npb::{Benchmark, Class};
 use serde::{Deserialize, Serialize};
@@ -39,25 +39,32 @@ impl BenchResult {
 }
 
 /// Runs one NPB benchmark on `net` with `ranks` MPI processes.
+///
+/// # Errors
+/// Propagates [`SimError`] from the simulation (deadlock or partition —
+/// possible on degraded networks).
 pub fn run_benchmark(
     net: &Network,
     bench: Benchmark,
     ranks: u32,
     class: Class,
     iters: usize,
-) -> BenchResult {
+) -> Result<BenchResult, SimError> {
     let programs = bench.build(ranks, class, iters);
-    let rep = simulate(net, programs);
-    BenchResult::from_report(bench.name(), rep)
+    let rep = simulate(net, programs)?;
+    Ok(BenchResult::from_report(bench.name(), rep))
 }
 
 /// Runs a suite of benchmarks, returning results in order.
+///
+/// # Errors
+/// Fails on the first benchmark whose simulation fails.
 pub fn run_suite(
     net: &Network,
     benches: &[Benchmark],
     ranks: u32,
     iters: usize,
-) -> Vec<BenchResult> {
+) -> Result<Vec<BenchResult>, SimError> {
     benches
         .iter()
         .map(|&b| run_benchmark(net, b, ranks, b.paper_class(), iters))
@@ -74,7 +81,7 @@ mod tests {
     fn suite_runs_all_benchmarks_small() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let results = run_suite(&net, &Benchmark::all(), 16, 1);
+        let results = run_suite(&net, &Benchmark::all(), 16, 1).unwrap();
         assert_eq!(results.len(), 8);
         for r in &results {
             assert!(r.time > 0.0, "{}", r.name);
@@ -86,7 +93,7 @@ mod tests {
     fn mops_is_flops_over_time() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
         assert!((r.mops - r.flops / r.time / 1e6).abs() < r.mops * 1e-12);
     }
 
@@ -94,7 +101,7 @@ mod tests {
     fn serializes_to_json() {
         let g = random_general(16, 4, 8, 1).unwrap();
         let net = Network::new(&g, NetConfig::default());
-        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1);
+        let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
         let j = serde_json::to_string(&r).unwrap();
         assert!(j.contains("EP"));
     }

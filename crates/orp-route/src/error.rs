@@ -1,0 +1,38 @@
+//! Structured routing errors.
+//!
+//! Fault-degraded networks can legitimately cut host pairs off; routing
+//! reports that as data, not as a panic or a bare `None`.
+
+use orp_core::graph::Switch;
+
+/// Why a route could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No surviving path connects the two switches.
+    Unreachable {
+        /// Source switch.
+        src: Switch,
+        /// Destination switch.
+        dst: Switch,
+    },
+    /// An endpoint (or the up*/down* root) is a failed switch.
+    DeadEndpoint {
+        /// The failed switch.
+        switch: Switch,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unreachable { src, dst } => {
+                write!(f, "no surviving route from switch {src} to switch {dst}")
+            }
+            Self::DeadEndpoint { switch } => {
+                write!(f, "switch {switch} has failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}

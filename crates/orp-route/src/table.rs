@@ -5,6 +5,8 @@
 //! per-flow ECMP selection hashes the flow id over that set, matching how
 //! real fabrics (and SimGrid's SMPI) pick one path per flow.
 
+use crate::error::RouteError;
+use orp_core::fault::{FaultSet, FaultView};
 use orp_core::graph::{HostSwitchGraph, Switch};
 
 /// Dense all-pairs next-hop table over the switch graph.
@@ -21,16 +23,45 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// Builds the table with one BFS per destination.
     pub fn build(g: &HostSwitchGraph) -> Self {
-        let m = g.num_switches();
-        let mm = m as usize;
+        let adj: Vec<Vec<Switch>> = (0..g.num_switches())
+            .map(|s| g.neighbors(s).to_vec())
+            .collect();
+        Self::build_adj(&adj)
+    }
+
+    /// Builds the table against the surviving part of `g` under `faults`:
+    /// failed switches and links never appear as next hops, and pairs cut
+    /// off by the faults simply become unreachable in the table.
+    pub fn build_with_faults(g: &HostSwitchGraph, faults: &FaultSet) -> Self {
+        Self::build_adj(&FaultView::new(g, faults).surviving_adjacency())
+    }
+
+    /// Builds the table from explicit adjacency lists (index = switch id).
+    /// The core constructor [`build`](Self::build) and
+    /// [`build_with_faults`](Self::build_with_faults) both reduce to.
+    pub fn build_adj(adj: &[Vec<Switch>]) -> Self {
+        let mm = adj.len();
+        let m = mm as u32;
         let mut dist = vec![u32::MAX; mm * mm];
         let mut nh_offsets = Vec::with_capacity(mm * mm + 1);
         let mut nh_targets = Vec::new();
         nh_offsets.push(0u32);
-        // distances first
+        // distances first: one BFS per destination
+        let mut queue = std::collections::VecDeque::with_capacity(mm);
         for d in 0..m {
-            let row = g.switch_distances(d);
-            dist[d as usize * mm..(d as usize + 1) * mm].copy_from_slice(&row);
+            let row = &mut dist[d as usize * mm..(d as usize + 1) * mm];
+            row[d as usize] = 0;
+            queue.clear();
+            queue.push_back(d);
+            while let Some(u) = queue.pop_front() {
+                let du = row[u as usize];
+                for &v in &adj[u as usize] {
+                    if row[v as usize] == u32::MAX {
+                        row[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
         }
         // next hops: neighbour v of s is a shortest next hop toward d iff
         // dist[v→d] + 1 == dist[s→d]
@@ -38,7 +69,7 @@ impl RoutingTable {
             let drow = &dist[d as usize * mm..(d as usize + 1) * mm];
             for s in 0..m {
                 if s != d && drow[s as usize] != u32::MAX {
-                    for &v in g.neighbors(s) {
+                    for &v in &adj[s as usize] {
                         if drow[v as usize].wrapping_add(1) == drow[s as usize] {
                             nh_targets.push(v);
                         }
@@ -103,6 +134,18 @@ impl RoutingTable {
             debug_assert!(path.len() <= self.m as usize + 1, "routing loop");
         }
         Some(path)
+    }
+
+    /// Like [`path`](Self::path) but with a structured error when the
+    /// pair is cut off — the API degraded networks route through.
+    pub fn try_path(
+        &self,
+        s: Switch,
+        d: Switch,
+        flow_hash: u64,
+    ) -> Result<Vec<Switch>, RouteError> {
+        self.path(s, d, flow_hash)
+            .ok_or(RouteError::Unreachable { src: s, dst: d })
     }
 }
 
@@ -186,5 +229,43 @@ mod tests {
         assert_eq!(t.distance(0, 2), None);
         assert_eq!(t.next_hop(0, 2, 0), None);
         assert_eq!(t.path(0, 2, 0), None);
+        assert_eq!(
+            t.try_path(0, 2, 0),
+            Err(RouteError::Unreachable { src: 0, dst: 2 })
+        );
+    }
+
+    #[test]
+    fn fault_table_avoids_failed_elements() {
+        let g = ring(6);
+        let mut f = FaultSet::new();
+        f.fail_link(0, 1);
+        let t = RoutingTable::build_with_faults(&g, &f);
+        // 0→1 must now go the long way round
+        assert_eq!(t.distance(0, 1), Some(5));
+        let p = t.try_path(0, 1, 7).unwrap();
+        assert_eq!(p, vec![0, 5, 4, 3, 2, 1]);
+        // dead switch cuts its neighbours' detours too
+        f.fail_switch(3);
+        let t = RoutingTable::build_with_faults(&g, &f);
+        assert_eq!(
+            t.try_path(0, 1, 0),
+            Err(RouteError::Unreachable { src: 0, dst: 1 })
+        );
+        assert_eq!(t.distance(3, 3), Some(0));
+        assert_eq!(t.distance(2, 3), None);
+    }
+
+    #[test]
+    fn fault_free_fault_table_matches_plain_build() {
+        let g = ring(8);
+        let plain = RoutingTable::build(&g);
+        let faulted = RoutingTable::build_with_faults(&g, &FaultSet::new());
+        for s in 0..8 {
+            for d in 0..8 {
+                assert_eq!(plain.distance(s, d), faulted.distance(s, d));
+                assert_eq!(plain.next_hops(s, d), faulted.next_hops(s, d));
+            }
+        }
     }
 }

@@ -5,6 +5,8 @@
 //! followed by zero or more down links, which provably rules out cyclic
 //! channel dependencies.
 
+use crate::error::RouteError;
+use orp_core::fault::{FaultSet, FaultView};
 use orp_core::graph::{HostSwitchGraph, Switch};
 use std::collections::VecDeque;
 
@@ -36,15 +38,42 @@ impl UpDownRouting {
     /// (state = switch × "have we descended yet"), so the produced routes
     /// are *shortest legal* paths.
     pub fn build(g: &HostSwitchGraph, root: Switch) -> Self {
-        let m = g.num_switches();
-        let mm = m as usize;
+        let adj: Vec<Vec<Switch>> = (0..g.num_switches())
+            .map(|s| g.neighbors(s).to_vec())
+            .collect();
+        Self::build_adj(&adj, root)
+    }
+
+    /// Builds up*/down* tables over the surviving part of `g` under
+    /// `faults`. Fails with [`RouteError::DeadEndpoint`] when the chosen
+    /// root switch itself has failed (re-rooting is the caller's policy
+    /// decision, not ours).
+    pub fn build_with_faults(
+        g: &HostSwitchGraph,
+        faults: &FaultSet,
+        root: Switch,
+    ) -> Result<Self, RouteError> {
+        if faults.switch_failed(root) {
+            return Err(RouteError::DeadEndpoint { switch: root });
+        }
+        Ok(Self::build_adj(
+            &FaultView::new(g, faults).surviving_adjacency(),
+            root,
+        ))
+    }
+
+    /// Builds up*/down* tables from explicit adjacency lists (index =
+    /// switch id), rooted at `root`.
+    pub fn build_adj(adj: &[Vec<Switch>], root: Switch) -> Self {
+        let mm = adj.len();
+        let m = mm as u32;
         // BFS levels from root
         let mut level = vec![u32::MAX; mm];
         let mut q = VecDeque::new();
         level[root as usize] = 0;
         q.push_back(root);
         while let Some(u) = q.pop_front() {
-            for &v in g.neighbors(u) {
+            for &v in &adj[u as usize] {
                 if level[v as usize] == u32::MAX {
                     level[v as usize] = level[u as usize] + 1;
                     q.push_back(v);
@@ -75,7 +104,7 @@ impl UpDownRouting {
                 let (v, phase) = (state / 2, state % 2);
                 let dv = sdist[state as usize];
                 // predecessors u with a legal move u→v landing in `phase`
-                for &u in g.neighbors(v) {
+                for &u in &adj[v as usize] {
                     let up = this.is_up(u, v);
                     // u→v up: requires u in phase 0, lands in phase 0
                     // u→v down: u in any phase, lands in phase 1
@@ -137,6 +166,13 @@ impl UpDownRouting {
             }
         }
         Some(path)
+    }
+
+    /// Like [`path`](Self::path) but with a structured error when no
+    /// legal up*/down* path survives between the pair.
+    pub fn try_path(&self, s: Switch, d: Switch) -> Result<Vec<Switch>, RouteError> {
+        self.path(s, d)
+            .ok_or(RouteError::Unreachable { src: s, dst: d })
     }
 
     /// BFS level of a switch (root = 0).
@@ -231,6 +267,39 @@ mod tests {
         // A path down then up must be flagged illegal.
         assert!(!r.is_legal_path(&[0, 1, 2, 1, 0]));
         assert!(r.is_legal_path(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn fault_build_skips_dead_elements() {
+        let g = ring(6);
+        let mut f = FaultSet::new();
+        f.fail_link(2, 3);
+        let r = UpDownRouting::build_with_faults(&g, &f, 0).unwrap();
+        // every surviving pair still reachable, never via the dead link
+        for s in 0..6 {
+            for d in 0..6 {
+                let p = r.try_path(s, d).unwrap();
+                assert!(r.is_legal_path(&p));
+                assert!(!p
+                    .windows(2)
+                    .any(|w| { (w[0].min(w[1]), w[0].max(w[1])) == (2, 3) }));
+            }
+        }
+        // dead root is a structured error, not a broken table
+        f.fail_switch(0);
+        assert_eq!(
+            UpDownRouting::build_with_faults(&g, &f, 0).unwrap_err(),
+            RouteError::DeadEndpoint { switch: 0 }
+        );
+        // cutting the ring twice partitions it
+        let mut f2 = FaultSet::new();
+        f2.fail_link(1, 2).fail_link(4, 5);
+        let r = UpDownRouting::build_with_faults(&g, &f2, 0).unwrap();
+        assert_eq!(
+            r.try_path(1, 2),
+            Err(RouteError::Unreachable { src: 1, dst: 2 })
+        );
+        assert!(r.try_path(2, 4).is_ok());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property test: routing tables rebuilt against a [`FaultSet`] never
+//! route through a failed element, and their reachability verdicts match
+//! the fault view's BFS exactly.
+//!
+//! For random graphs and random fault sets, every ordered switch pair is
+//! checked:
+//!
+//! * `Ok(path)` ⇒ the path starts/ends at the endpoints, every switch on
+//!   it is alive, every consecutive hop is a *surviving* link, and the
+//!   length equals the surviving-graph BFS distance (fault-aware routing
+//!   stays shortest-path),
+//! * `Err(Unreachable)` ⇒ the BFS over the surviving graph also says the
+//!   pair is disconnected — the structured error is never spurious.
+//!
+//! The same discipline is checked for up*/down* routing (paths may be
+//! longer than shortest, but must still avoid every failed element).
+
+use orp_core::construct::random_general;
+use orp_core::fault::{FaultSet, FaultView};
+use orp_route::{RouteError, RoutingTable, UpDownRouting};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fault_tables_avoid_dead_elements_and_stay_shortest(
+        gseed in 0u64..32,
+        fseed in proptest::prelude::any::<u64>(),
+        m in 6u32..16,
+        sw_pct in 0u32..30,
+        ln_pct in 0u32..30,
+        hash in proptest::prelude::any::<u64>(),
+    ) {
+        let g = random_general(m * 2, m, 7, gseed).expect("constructible instance");
+        let faults = FaultSet::sample(&g, sw_pct as f64 / 100.0, ln_pct as f64 / 100.0, fseed);
+        let view = FaultView::new(&g, &faults);
+        let table = RoutingTable::build_with_faults(&g, &faults);
+
+        for s in 0..m {
+            let dist = view.switch_distances(s);
+            for d in 0..m {
+                if s == d {
+                    continue;
+                }
+                match table.try_path(s, d, hash) {
+                    Ok(path) => {
+                        prop_assert_eq!(*path.first().unwrap(), s);
+                        prop_assert_eq!(*path.last().unwrap(), d);
+                        // fault-aware routing stays shortest-path
+                        prop_assert_eq!(path.len() as u32 - 1, dist[d as usize]);
+                        for w in path.windows(2) {
+                            prop_assert!(
+                                view.switch_alive(w[0]) && view.switch_alive(w[1]),
+                                "path visits dead switch: {:?}",
+                                w
+                            );
+                            prop_assert!(
+                                view.link_alive(w[0], w[1]),
+                                "path crosses dead link {:?}",
+                                w
+                            );
+                        }
+                    }
+                    Err(RouteError::Unreachable { src, dst }) => {
+                        prop_assert_eq!(src, s);
+                        prop_assert_eq!(dst, d);
+                        // the structured error is never spurious
+                        prop_assert_eq!(dist[d as usize], u32::MAX);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_fault_tables_avoid_dead_elements(
+        gseed in 0u64..32,
+        fseed in proptest::prelude::any::<u64>(),
+        m in 6u32..16,
+        sw_pct in 0u32..25,
+        ln_pct in 0u32..25,
+    ) {
+        let g = random_general(m * 2, m, 7, gseed).expect("constructible instance");
+        let faults = FaultSet::sample(&g, sw_pct as f64 / 100.0, ln_pct as f64 / 100.0, fseed);
+        let view = FaultView::new(&g, &faults);
+        // Root on the first surviving switch; a fully dead graph must be
+        // rejected with a structured error.
+        let root = (0..m).find(|&s| view.switch_alive(s));
+        let Some(root) = root else {
+            prop_assert!(matches!(
+                UpDownRouting::build_with_faults(&g, &faults, 0),
+                Err(RouteError::DeadEndpoint { .. })
+            ));
+            return proptest::TestOutcome::Pass;
+        };
+        let ud = UpDownRouting::build_with_faults(&g, &faults, root)
+            .expect("live root builds");
+        for s in 0..m {
+            let dist = view.switch_distances(s);
+            for d in 0..m {
+                if s == d {
+                    continue;
+                }
+                match ud.try_path(s, d) {
+                    Ok(path) => {
+                        prop_assert_eq!(*path.first().unwrap(), s);
+                        prop_assert_eq!(*path.last().unwrap(), d);
+                        for w in path.windows(2) {
+                            prop_assert!(view.switch_alive(w[0]) && view.switch_alive(w[1]));
+                            prop_assert!(view.link_alive(w[0], w[1]));
+                        }
+                    }
+                    Err(_) => {
+                        // Up*/down* may legitimately fail on pairs whose
+                        // only connection bypasses the tree, but never on
+                        // pairs in root's component: up-to-root/down-to-d
+                        // always exists there.
+                        let root_dist = view.switch_distances(root);
+                        if root_dist[s as usize] != u32::MAX && root_dist[d as usize] != u32::MAX {
+                            // up*/down* must not fail inside root's component
+                            prop_assert_eq!(dist[d as usize], u32::MAX);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -68,7 +68,7 @@ fn main() {
     let (name, g) = build(&topology, ranks);
     println!("simulating NPB on {name} with {ranks} MPI ranks\n");
     let net = Network::new(&g, NetConfig::default());
-    let results = run_suite(&net, &Benchmark::all(), ranks, 2);
+    let results = run_suite(&net, &Benchmark::all(), ranks, 2).expect("fault-free suite simulates");
     println!(
         "{:<5} {:>12} {:>14} {:>10} {:>14}",
         "bench", "sim time/s", "Mop/s", "flows", "bytes moved"

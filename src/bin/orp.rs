@@ -182,7 +182,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let iters: usize = arg_num(args, 2, 1);
     let ranks = g.num_hosts();
     let net = Network::new(&g, NetConfig::default());
-    let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters);
+    let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters)
+        .map_err(|e| format!("simulation failed: {e}"))?;
     println!(
         "{} on {} ranks: sim time {:.6} s, {:.0} Mop/s, {} flows, {:.3e} bytes",
         res.name, ranks, res.time, res.mops, res.flows, res.bytes

@@ -17,7 +17,7 @@ fn run(n: u32, f: impl FnOnce(&mut ProgramBuilder)) -> (u64, f64) {
     let net = net(n);
     let mut b = ProgramBuilder::new(n);
     f(&mut b);
-    let rep = simulate(&net, b.build());
+    let rep = simulate(&net, b.build()).unwrap();
     (rep.flows, rep.bytes)
 }
 
@@ -119,7 +119,7 @@ fn reduce_computes_combines() {
     let net = net(16);
     let mut b = ProgramBuilder::new(16);
     b.reduce(0, 8000.0);
-    let rep = simulate(&net, b.build());
+    let rep = simulate(&net, b.build()).unwrap();
     // 15 combine steps of bytes/8 flops each
     assert!((rep.flops - 15.0 * 1000.0).abs() < 1e-6);
 }

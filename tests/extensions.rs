@@ -123,7 +123,7 @@ fn ecmp_never_slower_than_single_path_on_fat_tree_alltoall() {
         );
         let mut b = orp::netsim::mpi::ProgramBuilder::new(128);
         b.alltoall(64.0 * 1024.0);
-        simulate(&net, b.build()).time
+        simulate(&net, b.build()).unwrap().time
     };
     let single = mk(RouteMode::SinglePath);
     let ecmp = mk(RouteMode::Ecmp);
@@ -153,7 +153,7 @@ fn packet_model_confirms_fluid_contention_factor() {
             bytes,
         },
     ];
-    let pkt = packet_simulate(&net, &demands, DEFAULT_MTU);
+    let pkt = packet_simulate(&net, &demands, DEFAULT_MTU).unwrap();
     let one = bytes / net.config().bandwidth;
     assert!(
         pkt.makespan > 2.0 * one && pkt.makespan < 2.3 * one,
@@ -192,7 +192,9 @@ fn patterns_expose_topology_differences() {
         .unwrap();
     let run = |g: &orp::core::HostSwitchGraph| {
         let net = Network::new(g, NetConfig::default());
-        simulate(&net, Pattern::Transpose.programs(64, 32.0 * 1024.0, 1, 3)).time
+        simulate(&net, Pattern::Transpose.programs(64, 32.0 * 1024.0, 1, 3))
+            .unwrap()
+            .time
     };
     assert!(run(&sf) < run(&torus), "slim fly should win transpose");
 }

@@ -10,7 +10,7 @@ use orp::netsim::simulate;
 fn run(bench: Benchmark, n: u32, class: Class) -> orp::netsim::SimReport {
     let g = random_general(n, (n / 4).max(4), 10, 3).unwrap();
     let net = Network::new(&g, NetConfig::default());
-    simulate(&net, bench.build(n, class, 1))
+    simulate(&net, bench.build(n, class, 1)).unwrap()
 }
 
 #[test]
@@ -107,8 +107,8 @@ fn per_iteration_structure_is_steady_state() {
     let g = random_general(16, 4, 10, 3).unwrap();
     let net = Network::new(&g, NetConfig::default());
     for bench in [Benchmark::Is, Benchmark::Mg, Benchmark::Cg] {
-        let one = simulate(&net, bench.build(16, Class::A, 1));
-        let three = simulate(&net, bench.build(16, Class::A, 3));
+        let one = simulate(&net, bench.build(16, Class::A, 1)).unwrap();
+        let three = simulate(&net, bench.build(16, Class::A, 3)).unwrap();
         let byte_ratio = three.bytes / one.bytes;
         assert!(
             (2.9..3.1).contains(&byte_ratio),

@@ -14,7 +14,7 @@ fn alltoall_time(g: &orp::core::HostSwitchGraph, ranks: u32, bytes: f64) -> f64 
     let net = Network::new(g, NetConfig::default());
     let mut b = ProgramBuilder::new(ranks);
     b.alltoall(bytes);
-    simulate(&net, b.build()).time
+    simulate(&net, b.build()).unwrap().time
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn npb_runs_on_all_topology_families() {
     ];
     for (name, g) in graphs {
         let net = Network::new(&g, NetConfig::default());
-        let results = run_suite(&net, &Benchmark::all(), ranks, 1);
+        let results = run_suite(&net, &Benchmark::all(), ranks, 1).unwrap();
         for r in &results {
             assert!(r.time > 0.0, "{name}/{}", r.name);
             assert!(
@@ -114,8 +114,8 @@ fn identical_flops_across_topologies() {
     for bench in Benchmark::all() {
         let net_a = Network::new(&a, NetConfig::default());
         let net_b = Network::new(&b, NetConfig::default());
-        let ra = run_suite(&net_a, &[bench], ranks, 1);
-        let rb = run_suite(&net_b, &[bench], ranks, 1);
+        let ra = run_suite(&net_a, &[bench], ranks, 1).unwrap();
+        let rb = run_suite(&net_b, &[bench], ranks, 1).unwrap();
         assert_eq!(ra[0].flops, rb[0].flops, "{}", bench.name());
         assert_eq!(ra[0].flows, rb[0].flows, "{}", bench.name());
     }
@@ -154,7 +154,7 @@ fn contention_slows_shared_links() {
     );
     pb.raw(0, orp::netsim::Op::Recv { from: 2 });
     pb.raw(1, orp::netsim::Op::Recv { from: 3 });
-    let rep = simulate(&net, pb.build());
+    let rep = simulate(&net, pb.build()).unwrap();
     let cfg = net.config();
     let one_flow = bytes / cfg.bandwidth;
     // 2 flows per direction share each unidirectional link: 2× serialization
