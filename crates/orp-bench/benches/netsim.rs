@@ -5,35 +5,35 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use orp_core::construct::random_general;
 use orp_netsim::mpi::ProgramBuilder;
-use orp_netsim::network::{NetConfig, Network};
+use orp_netsim::network::Network;
 use orp_netsim::npb::{Benchmark, Class};
 use orp_netsim::report::run_benchmark;
-use orp_netsim::simulate;
+use orp_netsim::Simulator;
 
 fn bench_collectives(c: &mut Criterion) {
     let g = random_general(256, 55, 12, 7).expect("constructible");
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let mut group = c.benchmark_group("simulate_256_ranks");
     group.sample_size(10);
     group.bench_function("alltoall_1kB", |b| {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.alltoall(1e3);
-            simulate(&net, pb.build()).unwrap()
+            Simulator::builder(&net).programs(pb.build()).run().unwrap()
         })
     });
     group.bench_function("allreduce_1MB", |b| {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.allreduce(1e6);
-            simulate(&net, pb.build()).unwrap()
+            Simulator::builder(&net).programs(pb.build()).run().unwrap()
         })
     });
     group.bench_function("barrier", |b| {
         b.iter(|| {
             let mut pb = ProgramBuilder::new(256);
             pb.barrier();
-            simulate(&net, pb.build()).unwrap()
+            Simulator::builder(&net).programs(pb.build()).run().unwrap()
         })
     });
     group.finish();
@@ -41,7 +41,7 @@ fn bench_collectives(c: &mut Criterion) {
 
 fn bench_npb(c: &mut Criterion) {
     let g = random_general(256, 55, 12, 7).expect("constructible");
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let mut group = c.benchmark_group("npb_256_ranks");
     group.sample_size(10);
     for bench in [Benchmark::Mg, Benchmark::Cg, Benchmark::Bt] {

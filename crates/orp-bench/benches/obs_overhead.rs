@@ -1,0 +1,111 @@
+//! Overhead of the observability layer on the annealer's hot loop.
+//!
+//! Three variants of the same `n = 64`, `r = 8` anneal:
+//!
+//! * `legacy` — the free [`orp_core::anneal::anneal`] entry point (the
+//!   pre-builder API surface),
+//! * `builder_disabled` — [`Anneal::builder`] with an explicitly
+//!   attached *disabled* [`Recorder`] (the zero-cost claim under test),
+//! * `builder_enabled` — the same run with a recording `Recorder`, for
+//!   reference.
+//!
+//! The disabled-recorder run must stay within a few percent of the
+//! legacy entry point; the artifact (`results/BENCH_obs_overhead.json`)
+//! records medians and the disabled/legacy ratio.
+
+use criterion::Criterion;
+use orp_bench::write_json;
+use orp_core::anneal::{Anneal, MoveKind, SaConfig};
+use orp_core::construct::random_general;
+use orp_core::graph::HostSwitchGraph;
+use orp_obs::Recorder;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    n: u32,
+    r: u32,
+    sa_iters: usize,
+    rows: Vec<Row>,
+    /// `builder_disabled` median over `legacy` median.
+    disabled_over_legacy: f64,
+    /// `builder_enabled` median over `legacy` median.
+    enabled_over_legacy: f64,
+}
+
+fn cfg() -> SaConfig {
+    SaConfig::builder().iters(2_000).seed(11).build()
+}
+
+fn start() -> HostSwitchGraph {
+    random_general(64, 12, 8, 11).expect("constructible")
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("anneal_n64");
+    group.sample_size(10);
+    group.bench_function("legacy", |b| {
+        b.iter(|| orp_core::anneal::anneal(start(), MoveKind::TwoNeighborSwing, &cfg()).unwrap())
+    });
+    group.bench_function("builder_disabled", |b| {
+        b.iter(|| {
+            Anneal::builder(start())
+                .config(cfg())
+                .recorder(Recorder::disabled())
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("builder_enabled", |b| {
+        b.iter(|| {
+            Anneal::builder(start())
+                .config(cfg())
+                .recorder(Recorder::enabled())
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let rows: Vec<Row> = c
+        .measurements()
+        .iter()
+        .map(|m| Row {
+            id: m.id.clone(),
+            median_ns: m.median_ns,
+            min_ns: m.min_ns,
+            max_ns: m.max_ns,
+            iterations: m.iterations,
+        })
+        .collect();
+    let median = |id: &str| {
+        rows.iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
+            .expect("bench ran")
+    };
+    let artifact = Artifact {
+        n: 64,
+        r: 8,
+        sa_iters: 2_000,
+        disabled_over_legacy: median("builder_disabled") / median("legacy"),
+        enabled_over_legacy: median("builder_enabled") / median("legacy"),
+        rows,
+    };
+    println!(
+        "disabled/legacy = {:.4}, enabled/legacy = {:.4}",
+        artifact.disabled_over_legacy, artifact.enabled_over_legacy
+    );
+    let path = write_json("BENCH_obs_overhead", &artifact);
+    eprintln!("wrote {}", path.display());
+}

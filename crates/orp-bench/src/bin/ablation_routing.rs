@@ -33,7 +33,7 @@ fn run(
         route_mode: mode,
         ..Default::default()
     };
-    let net = Network::new(g, cfg);
+    let net = Network::builder(g).config(cfg).build();
     run_suite(&net, benches, g.num_hosts(), iters).expect("fault-free suite simulates")
 }
 

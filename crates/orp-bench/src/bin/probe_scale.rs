@@ -4,15 +4,16 @@
 //! a record of simulator event counts.
 
 use orp_core::construct::random_general;
-use orp_netsim::network::{NetConfig, Network};
+use orp_netsim::network::Network;
 use orp_netsim::npb::Benchmark;
 use orp_netsim::report::run_benchmark;
+use orp_obs::{ChromeTrace, Recorder};
 use std::time::Instant;
 
 fn main() {
     let n = 1024;
     let g = random_general(n, 194, 15, 7).expect("constructible");
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     println!(
         "{:<5} {:>12} {:>14} {:>10} {:>10}",
         "bench", "sim time/s", "Mop/s", "flows", "wall/s"
@@ -29,4 +30,14 @@ fn main() {
             t.elapsed().as_secs_f64()
         );
     }
+
+    // one extra recorded MG run (kept out of the timing loop above so
+    // recording cannot perturb the wall-clock numbers), exported as a
+    // Chrome trace of flow lifecycle and link utilization
+    let rec = Recorder::enabled();
+    let traced = Network::builder(&g).recorder(rec.clone()).build();
+    run_benchmark(&traced, Benchmark::Mg, n, Benchmark::Mg.paper_class(), 1).unwrap();
+    rec.export_to(&ChromeTrace, "results/TRACE_probe_scale_mg.json")
+        .expect("write trace");
+    eprintln!("wrote results/TRACE_probe_scale_mg.json");
 }

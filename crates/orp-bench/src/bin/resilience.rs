@@ -11,11 +11,11 @@
 //! * edge-disjoint shortest-path diversity over sampled host pairs,
 //! * NPB CG Mop/s on the surviving fabric — ranks are placed on the
 //!   largest connected host component via
-//!   [`orp_netsim::Simulator::with_placement`],
+//!   [`orp_netsim::SimulatorBuilder::placement`],
 //!
 //! plus one *mid-run* scenario per topology: CG on the healthy network
 //! with a switch–switch link dying halfway through the fault-free
-//! makespan ([`orp_netsim::simulate_with_faults`]) — either the run
+//! makespan ([`orp_netsim::SimulatorBuilder::fault_schedule`]) — either the run
 //! completes over recomputed routes (slowdown reported) or it
 //! partitions (reported as such, never a hang).
 //!
@@ -27,10 +27,8 @@ use orp_bench::{proposed_topology, write_json, Effort, TopoSummary};
 use orp_core::fault::{FaultSet, FaultView};
 use orp_core::graph::{Host, HostSwitchGraph};
 use orp_netsim::npb::Benchmark;
-use orp_netsim::{
-    simulate_with_faults, BenchResult, FaultEvent, NetConfig, NetFault, Network, SimError,
-    Simulator,
-};
+use orp_netsim::{BenchResult, FaultEvent, NetFault, Network, SimError, Simulator};
+use orp_obs::{ChromeTrace, Recorder};
 use orp_topo::prelude::*;
 use serde::Serialize;
 
@@ -141,7 +139,10 @@ fn degraded_cg(
 ) -> Result<BenchResult, SimError> {
     let programs = Benchmark::Cg.build(ranks, Benchmark::Cg.paper_class(), iters);
     let placement: Vec<Host> = component[..ranks as usize].to_vec();
-    let rep = Simulator::with_placement(net, programs, placement).run()?;
+    let rep = Simulator::builder(net)
+        .programs(programs)
+        .placement(placement)
+        .run()?;
     Ok(BenchResult::from_report(Benchmark::Cg.name(), rep))
 }
 
@@ -152,7 +153,6 @@ fn sweep(
     seeds: &[u64],
     iters: usize,
 ) -> TopoResilience {
-    let cfg = NetConfig::default();
     let mut samples = Vec::new();
     for &rate in rates {
         for &seed in seeds {
@@ -163,7 +163,7 @@ fn sweep(
             let component = view.largest_component_hosts();
             let ranks = prev_pow2(component.len() as u32);
             let cg_mops = if ranks >= 2 {
-                let net = Network::new_degraded(g, cfg, &faults);
+                let net = Network::builder(g).faults(&faults).build();
                 degraded_cg(&net, &component, ranks, iters)
                     .ok()
                     .map(|r| r.mops)
@@ -235,10 +235,11 @@ fn mean_opt(vals: impl Iterator<Item = Option<f64>>) -> Option<f64> {
 /// Runs CG healthy, then again with the first switch–switch link of
 /// host 0's switch dying at half the healthy makespan.
 fn midrun_scenario(g: &HostSwitchGraph, iters: usize) -> MidRun {
-    let net = Network::new(g, NetConfig::default());
+    let net = Network::builder(g).build();
     let ranks = prev_pow2(g.num_hosts());
     let programs = || Benchmark::Cg.build(ranks, Benchmark::Cg.paper_class(), iters);
-    let healthy = Simulator::new(&net, programs())
+    let healthy = Simulator::builder(&net)
+        .programs(programs())
         .run()
         .expect("healthy CG run completes");
     let s = g.switch_of(0);
@@ -248,7 +249,11 @@ fn midrun_scenario(g: &HostSwitchGraph, iters: usize) -> MidRun {
         time: at,
         fault: NetFault::Link(s, t),
     }];
-    match simulate_with_faults(&net, programs(), &fault) {
+    match Simulator::builder(&net)
+        .programs(programs())
+        .fault_schedule(&fault)
+        .run()
+    {
         Ok(rep) => MidRun {
             link: (s, t),
             at,
@@ -352,6 +357,7 @@ fn main() {
         }
     }
 
+    let midrun_at = results[0].midrun.at;
     let report = Report {
         hosts: n,
         rates,
@@ -361,4 +367,24 @@ fn main() {
     };
     let path = write_json("BENCH_resilience", &report);
     eprintln!("wrote {}", path.display());
+
+    // one recorded replay of the proposed topology's mid-run scenario,
+    // exported as a Chrome trace (flow lifecycle + fault/reroute events)
+    let rec = Recorder::enabled();
+    let net = Network::builder(&orp).recorder(rec.clone()).build();
+    let ranks = prev_pow2(orp.num_hosts());
+    let programs = Benchmark::Cg.build(ranks, Benchmark::Cg.paper_class(), effort.npb_iters);
+    let s = orp.switch_of(0);
+    let t = orp.neighbors(s)[0];
+    let fault = [FaultEvent {
+        time: midrun_at,
+        fault: NetFault::Link(s, t),
+    }];
+    let _ = Simulator::builder(&net)
+        .programs(programs)
+        .fault_schedule(&fault)
+        .run();
+    rec.export_to(&ChromeTrace, "results/TRACE_resilience_midrun.json")
+        .expect("write midrun trace");
+    eprintln!("wrote results/TRACE_resilience_midrun.json");
 }

@@ -1,0 +1,66 @@
+//! Telemetry smoke + trace artifact: anneal the paper-scale `n = 128`,
+//! `r = 8` instance with a recording [`Recorder`] attached and export
+//! the run as a Chrome `trace_event` file
+//! (`results/TRACE_anneal_n128.json`, open in `chrome://tracing` or
+//! Perfetto).
+//!
+//! The binary double-checks its own output — the trace must parse as
+//! JSON and contain a non-empty `traceEvents` array, and the recorded
+//! run must report the same telemetry counters the annealer printed —
+//! so CI can use it as the observability smoke test
+//! (`ORP_SA_ITERS` scales the effort as usual).
+
+use orp_bench::Effort;
+use orp_core::anneal::Anneal;
+use orp_core::bounds::optimal_switch_count;
+use orp_core::construct::random_general;
+use orp_obs::{ChromeTrace, Recorder, Sink, TextProgress};
+
+fn main() {
+    let effort = Effort::from_env();
+    let (n, r) = (128u32, 8u32);
+    let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
+
+    let rec = Recorder::enabled();
+    let start = random_general(n, m_opt as u32, r, effort.seed).expect("constructible");
+    let res = Anneal::builder(start)
+        .config(effort.sa_config())
+        .recorder(rec.clone())
+        .run()
+        .expect("anneal completes");
+    eprintln!(
+        "annealed n={n} r={r} m={m_opt}: h-ASPL {:.4}, {} proposals, {} accepted",
+        res.metrics.haspl, res.proposed, res.accepted
+    );
+
+    let snap = rec.snapshot().expect("recorder is enabled");
+    assert_eq!(
+        snap.counter("anneal.proposed"),
+        Some(res.proposed as u64),
+        "telemetry counter must match the annealer's own accounting"
+    );
+    assert_eq!(snap.counter("anneal.accepted"), Some(res.accepted as u64));
+    assert!(
+        snap.histogram("anneal.eval_ns").is_some(),
+        "eval latency histogram missing"
+    );
+
+    let path = "results/TRACE_anneal_n128.json";
+    rec.export_to(&ChromeTrace, path)
+        .expect("write trace artifact");
+
+    // the artifact must be valid JSON with a non-empty traceEvents array
+    let text = std::fs::read_to_string(path).expect("trace readable");
+    let v: serde::Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let events = v
+        .get_field("traceEvents")
+        .expect("trace has a traceEvents field");
+    let serde::Value::Array(events) = events else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!events.is_empty(), "trace has no events");
+    eprintln!("wrote {path} ({} trace events)", events.len());
+
+    // human-readable summary on stdout
+    println!("{}", TextProgress.render(&snap));
+}

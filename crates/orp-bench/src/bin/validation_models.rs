@@ -9,10 +9,11 @@
 
 use orp_bench::{proposed_sketch, write_json, Effort};
 use orp_core::graph::HostSwitchGraph;
-use orp_netsim::network::{NetConfig, Network};
+use orp_netsim::network::Network;
 use orp_netsim::packet::{packet_simulate_pattern, DEFAULT_MTU};
 use orp_netsim::patterns::Pattern;
-use orp_netsim::simulate;
+use orp_netsim::Simulator;
+use orp_obs::{ChromeTrace, Recorder};
 use orp_topo::prelude::*;
 use serde::Serialize;
 
@@ -68,8 +69,10 @@ fn main() {
         let mut fluid_rank = Vec::new();
         let mut packet_rank = Vec::new();
         for (name, g) in &topos {
-            let net = Network::new(g, NetConfig::default());
-            let fl = simulate(&net, pattern.programs(n, bytes, 1, effort.seed))
+            let net = Network::builder(g).build();
+            let fl = Simulator::builder(&net)
+                .programs(pattern.programs(n, bytes, 1, effort.seed))
+                .run()
                 .unwrap()
                 .time;
             let pk = packet_simulate_pattern(&net, pattern, bytes, effort.seed)
@@ -102,4 +105,17 @@ fn main() {
     println!("\nwinner agreement: {agreements}/{total} patterns");
     let path = write_json("validation_models", &cells);
     println!("wrote {}", path.display());
+
+    // recorded fluid run of the first topology under uniform-permutation
+    // traffic, exported as a Chrome trace for inspection
+    let rec = Recorder::enabled();
+    let (_, g) = &topos[0];
+    let traced = Network::builder(g).recorder(rec.clone()).build();
+    Simulator::builder(&traced)
+        .programs(Pattern::UniformPermutation.programs(n, bytes, 1, effort.seed))
+        .run()
+        .unwrap();
+    rec.export_to(&ChromeTrace, "results/TRACE_validation_uniform.json")
+        .expect("write trace");
+    eprintln!("wrote results/TRACE_validation_uniform.json");
 }

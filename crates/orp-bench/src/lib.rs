@@ -16,7 +16,7 @@ use orp_core::anneal::{solve_orp, SaConfig, SaResult};
 use orp_core::graph::HostSwitchGraph;
 use orp_core::metrics::path_metrics;
 use orp_layout::{evaluate, Floorplan, HardwareModel};
-use orp_netsim::network::{NetConfig, Network};
+use orp_netsim::network::Network;
 use orp_netsim::npb::Benchmark;
 use orp_netsim::report::{run_suite, BenchResult};
 use orp_partition::{partition, Graph as CutGraph, PartitionConfig};
@@ -192,7 +192,7 @@ pub fn performance_panel(
     ranks: u32,
     effort: &Effort,
 ) -> Vec<BenchResult> {
-    let net = Network::new(g, NetConfig::default());
+    let net = Network::builder(g).build();
     run_suite(&net, benches, ranks, effort.npb_iters).expect("fault-free suite simulates")
 }
 

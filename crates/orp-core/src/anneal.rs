@@ -11,6 +11,7 @@ use crate::graph::HostSwitchGraph;
 use crate::metrics::PathMetrics;
 use crate::ops::{sample_swap, sample_swing, Swing};
 use crate::search::SearchState;
+use orp_obs::{Event, Recorder};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -30,7 +31,7 @@ pub enum MoveKind {
 }
 
 /// Annealing schedule and bookkeeping knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaConfig {
     /// Number of proposed moves.
     pub iters: usize,
@@ -77,6 +78,74 @@ impl SaConfig {
             ..Self::default()
         }
     }
+
+    /// Starts a typed builder pre-loaded with the defaults.
+    pub fn builder() -> SaConfigBuilder {
+        SaConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Typed builder for [`SaConfig`]; obtain via [`SaConfig::builder`].
+///
+/// ```
+/// use orp_core::anneal::SaConfig;
+/// let cfg = SaConfig::builder().iters(500).seed(7).build();
+/// assert_eq!(cfg.iters, 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaConfigBuilder {
+    cfg: SaConfig,
+}
+
+impl SaConfigBuilder {
+    /// Number of proposed moves.
+    pub fn iters(mut self, iters: usize) -> Self {
+        self.cfg.iters = iters;
+        self
+    }
+
+    /// Initial temperature (h-ASPL units).
+    pub fn t0(mut self, t0: f64) -> Self {
+        self.cfg.t0 = t0;
+        self
+    }
+
+    /// Final temperature.
+    pub fn t_end(mut self, t_end: f64) -> Self {
+        self.cfg.t_end = t_end;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Retries when sampling a valid move.
+    pub fn sample_attempts(mut self, attempts: usize) -> Self {
+        self.cfg.sample_attempts = attempts;
+        self
+    }
+
+    /// Best-so-far history stride (0 = no history).
+    pub fn history_stride(mut self, stride: usize) -> Self {
+        self.cfg.history_stride = stride;
+        self
+    }
+
+    /// Overrides the parallel-evaluation heuristic.
+    pub fn parallel_eval(mut self, parallel: bool) -> Self {
+        self.cfg.parallel_eval = Some(parallel);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SaConfig {
+        self.cfg
+    }
 }
 
 /// Outcome of an annealing run.
@@ -109,10 +178,26 @@ struct Annealer {
     /// Candidate buffer for the 2-neighbor second swing, reused across
     /// proposals so the steady state allocates nothing.
     cand_buf: Vec<u32>,
+    /// Telemetry handle; the default no-op recorder costs one branch per
+    /// call and never touches the RNG, so recording cannot change results.
+    rec: Recorder,
+    /// Current iteration (for best-trajectory telemetry).
+    it: usize,
+    /// Accepted-move mix, tracked unconditionally (plain integer adds)
+    /// and published as counters only when the recorder is enabled.
+    swap_accepted: usize,
+    swing_accepted: usize,
+    two_neighbor_first: usize,
+    two_neighbor_second: usize,
 }
 
 impl Annealer {
-    fn new(g: HostSwitchGraph, seed: u64, parallel: Option<bool>) -> Result<Self, GraphError> {
+    fn new(
+        g: HostSwitchGraph,
+        seed: u64,
+        parallel: Option<bool>,
+        rec: Recorder,
+    ) -> Result<Self, GraphError> {
         let mut state = SearchState::new(g, parallel)?;
         let cur = state.evaluate().ok_or(GraphError::Disconnected)?;
         Ok(Self {
@@ -126,7 +211,19 @@ impl Annealer {
             disconnected: 0,
             history: Vec::new(),
             cand_buf: Vec::new(),
+            rec,
+            it: 0,
+            swap_accepted: 0,
+            swing_accepted: 0,
+            two_neighbor_first: 0,
+            two_neighbor_second: 0,
         })
+    }
+
+    /// Runs the batched-BFS evaluation under the eval-latency histogram.
+    fn evaluate_timed(&mut self) -> Option<PathMetrics> {
+        let state = &mut self.state;
+        self.rec.time("anneal.eval_ns", || state.evaluate())
     }
 
     fn metropolis(&mut self, delta: f64, t: f64) -> bool {
@@ -145,6 +242,14 @@ impl Annealer {
         if metrics.haspl < self.best_metrics.haspl {
             self.best_metrics = metrics;
             self.best = self.state.graph().clone();
+            if self.rec.is_enabled() {
+                self.rec
+                    .series("anneal.best_haspl", self.it as f64, metrics.haspl);
+                self.rec.emit(Event::Best {
+                    iter: self.it as u64,
+                    value: metrics.haspl,
+                });
+            }
         }
     }
 
@@ -161,12 +266,13 @@ impl Annealer {
         self.proposed += 1;
         self.state.begin();
         self.state.apply_swap(s).expect("sampled swap is valid");
-        match self.state.evaluate() {
+        match self.evaluate_timed() {
             Some(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
                     self.state.commit();
                     self.note_accept(m2);
+                    self.swap_accepted += 1;
                     return true;
                 }
                 self.state.rollback();
@@ -193,12 +299,13 @@ impl Annealer {
         self.proposed += 1;
         self.state.begin();
         self.state.apply_swing(s).expect("sampled swing is valid");
-        match self.state.evaluate() {
+        match self.evaluate_timed() {
             Some(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
                     self.state.commit();
                     self.note_accept(m2);
+                    self.swing_accepted += 1;
                     return true;
                 }
                 self.state.rollback();
@@ -228,12 +335,13 @@ impl Annealer {
         // Step 1: the 1-neighbor solution.
         self.state.begin();
         self.state.apply_swing(s1).expect("sampled swing is valid");
-        if let Some(m1) = self.state.evaluate() {
+        if let Some(m1) = self.evaluate_timed() {
             let delta = m1.haspl - self.cur.haspl;
             if self.metropolis(delta, t) {
                 // Step 2: accept the 1-neighbor solution.
                 self.state.commit();
                 self.note_accept(m1);
+                self.two_neighbor_first += 1;
                 return true;
             }
         } else {
@@ -269,7 +377,7 @@ impl Annealer {
         if let Some(s2) = s2 {
             self.state.begin();
             self.state.apply_swing(s2).expect("validated candidate");
-            if let Some(m2) = self.state.evaluate() {
+            if let Some(m2) = self.evaluate_timed() {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
                     // Step 4: accept the 2-neighbor solution — the inner
@@ -277,6 +385,7 @@ impl Annealer {
                     self.state.commit();
                     self.state.commit();
                     self.note_accept(m2);
+                    self.two_neighbor_second += 1;
                     return true;
                 }
             } else {
@@ -290,6 +399,7 @@ impl Annealer {
     }
 
     fn run(mut self, kind: MoveKind, cfg: &SaConfig) -> SaResult {
+        let span = self.rec.span("anneal.run");
         let iters = cfg.iters.max(1);
         // Geometric cooling; degenerate temperatures fall back to constant.
         let ratio = if cfg.t0 > 0.0 && cfg.t_end > 0.0 {
@@ -297,8 +407,15 @@ impl Annealer {
         } else {
             1.0
         };
+        // Phase telemetry: ten phases per run, each reporting its local
+        // proposal/acceptance mix (so acceptance-rate decay is visible).
+        let phase_stride = (iters / 10).max(1);
+        let mut phase_index = 0u32;
+        let mut phase_base_proposed = 0usize;
+        let mut phase_base_accepted = 0usize;
         let mut t = cfg.t0;
         for it in 0..cfg.iters {
+            self.it = it;
             let _accepted = match kind {
                 MoveKind::Swap => self.step_swap(t, cfg.sample_attempts),
                 MoveKind::Swing => self.step_swing(t, cfg.sample_attempts),
@@ -308,7 +425,36 @@ impl Annealer {
             if cfg.history_stride > 0 && it % cfg.history_stride == 0 {
                 self.history.push((it, self.best_metrics.haspl));
             }
+            if self.rec.is_enabled() && (it + 1) % phase_stride == 0 {
+                self.rec.emit(Event::Phase {
+                    index: phase_index,
+                    temperature: t,
+                    proposed: (self.proposed - phase_base_proposed) as u64,
+                    accepted: (self.accepted - phase_base_accepted) as u64,
+                    best: self.best_metrics.haspl,
+                });
+                phase_index += 1;
+                phase_base_proposed = self.proposed;
+                phase_base_accepted = self.accepted;
+            }
         }
+        if self.rec.is_enabled() {
+            self.rec.incr("anneal.proposed", self.proposed as u64);
+            self.rec.incr("anneal.accepted", self.accepted as u64);
+            self.rec
+                .incr("anneal.disconnected", self.disconnected as u64);
+            self.rec
+                .incr("anneal.swap_accepted", self.swap_accepted as u64);
+            self.rec
+                .incr("anneal.swing_accepted", self.swing_accepted as u64);
+            self.rec
+                .incr("anneal.two_neighbor_first", self.two_neighbor_first as u64);
+            self.rec.incr(
+                "anneal.two_neighbor_second",
+                self.two_neighbor_second as u64,
+            );
+        }
+        drop(span);
         SaResult {
             graph: self.best,
             metrics: self.best_metrics,
@@ -320,15 +466,83 @@ impl Annealer {
     }
 }
 
+/// Builder-style entry point for one annealing run.
+///
+/// This is the redesigned public API: every knob is optional, and an
+/// [`orp_obs::Recorder`] can be attached without touching the search
+/// itself (the recorder never feeds back into the RNG, so a recording
+/// run is bit-identical to an unrecorded one).
+///
+/// ```
+/// use orp_core::anneal::{Anneal, MoveKind, SaConfig};
+/// use orp_core::construct::random_regular;
+///
+/// let start = random_regular(16, 4, 6, 1).unwrap();
+/// let res = Anneal::builder(start)
+///     .kind(MoveKind::Swap)
+///     .config(SaConfig::builder().iters(50).seed(1).build())
+///     .run()
+///     .unwrap();
+/// assert!(res.proposed <= 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anneal {
+    start: HostSwitchGraph,
+    kind: MoveKind,
+    cfg: SaConfig,
+    rec: Recorder,
+}
+
+impl Anneal {
+    /// Starts a builder annealing `start` with the defaults: the
+    /// 2-neighbor swing neighbourhood, [`SaConfig::default`], and no
+    /// recording.
+    pub fn builder(start: HostSwitchGraph) -> Self {
+        Self {
+            start,
+            kind: MoveKind::TwoNeighborSwing,
+            cfg: SaConfig::default(),
+            rec: Recorder::disabled(),
+        }
+    }
+
+    /// Which neighbourhood to explore.
+    pub fn kind(mut self, kind: MoveKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Schedule and bookkeeping knobs.
+    pub fn config(mut self, cfg: SaConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Attaches a telemetry recorder (defaults to the no-op recorder).
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// Runs the annealer.
+    pub fn run(self) -> Result<SaResult, GraphError> {
+        Ok(
+            Annealer::new(self.start, self.cfg.seed, self.cfg.parallel_eval, self.rec)?
+                .run(self.kind, &self.cfg),
+        )
+    }
+}
+
 /// Anneals an arbitrary starting graph with the chosen move kind.
 ///
-/// The starting graph must have all host pairs connected.
+/// The starting graph must have all host pairs connected. This is the
+/// recorder-less convenience form of [`Anneal::builder`].
 pub fn anneal(
     start: HostSwitchGraph,
     kind: MoveKind,
     cfg: &SaConfig,
 ) -> Result<SaResult, GraphError> {
-    Ok(Annealer::new(start, cfg.seed, cfg.parallel_eval)?.run(kind, cfg))
+    Anneal::builder(start).kind(kind).config(cfg.clone()).run()
 }
 
 /// §5.1: swap-based annealing over regular host-switch graphs with `m`
@@ -578,6 +792,57 @@ mod tests {
         )
         .unwrap();
         res.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn recorded_run_is_identical_and_populates_telemetry() {
+        let cfg = small_cfg(300);
+        let start = random_general(48, 12, 8, 3).unwrap();
+        let plain = anneal(start.clone(), MoveKind::TwoNeighborSwing, &cfg).unwrap();
+        let rec = Recorder::enabled();
+        let traced = Anneal::builder(start)
+            .kind(MoveKind::TwoNeighborSwing)
+            .config(cfg)
+            .recorder(rec.clone())
+            .run()
+            .unwrap();
+        // recording must not perturb the search
+        assert_eq!(plain.graph, traced.graph);
+        assert_eq!(plain.accepted, traced.accepted);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("anneal.proposed"),
+            Some(traced.proposed as u64)
+        );
+        assert_eq!(
+            snap.counter("anneal.accepted"),
+            Some(traced.accepted as u64)
+        );
+        assert_eq!(snap.event_count("anneal.phase"), 10);
+        assert!(snap.histogram("anneal.eval_ns").unwrap().count >= traced.proposed as u64);
+        assert!(!snap.series("anneal.best_haspl").unwrap().is_empty());
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "anneal.run");
+    }
+
+    #[test]
+    fn sa_config_builder_matches_struct_literal() {
+        let built = SaConfig::builder()
+            .iters(123)
+            .t0(0.5)
+            .t_end(1e-4)
+            .seed(9)
+            .sample_attempts(8)
+            .history_stride(10)
+            .parallel_eval(false)
+            .build();
+        assert_eq!(built.iters, 123);
+        assert_eq!(built.t0, 0.5);
+        assert_eq!(built.t_end, 1e-4);
+        assert_eq!(built.seed, 9);
+        assert_eq!(built.sample_attempts, 8);
+        assert_eq!(built.history_stride, 10);
+        assert_eq!(built.parallel_eval, Some(false));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod ops;
 pub mod random_graphs;
 pub mod search;
 
+pub use anneal::{Anneal, MoveKind, SaConfig, SaConfigBuilder, SaResult};
 pub use error::GraphError;
 pub use fault::{DegradedMetrics, FaultSet, FaultView};
 pub use graph::{Host, HostSwitchGraph, Switch};

@@ -11,6 +11,7 @@
 
 use crate::network::{LinkId, Network};
 use orp_core::graph::Host;
+use orp_obs::{Event as ObsEvent, FaultKind, FlowStage, Recorder};
 use orp_route::RoutingTable;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -175,8 +176,8 @@ impl Ord for TimeKey {
     }
 }
 
-/// The simulator. Construct with [`Simulator::new`], then call
-/// [`Simulator::run`].
+/// The simulator. Construct with [`Simulator::builder`], then call
+/// [`SimulatorBuilder::run`].
 pub struct Simulator<'a> {
     net: &'a Network,
     ranks: Vec<RankCtx>,
@@ -207,26 +208,142 @@ pub struct Simulator<'a> {
     dead_link: Vec<bool>,
     dead_host: Vec<bool>,
     fault_table: Option<RoutingTable>,
+    // telemetry (no-op recorder unless attached; never feeds back into
+    // the simulation, so recording cannot change results)
+    rec: Recorder,
+    /// Per-link bytes moved; allocated only when the recorder records.
+    link_bytes: Vec<f64>,
+}
+
+/// Builder for [`Simulator`]; obtain via [`Simulator::builder`].
+///
+/// ```
+/// use orp_netsim::{Network, Op, Simulator};
+/// # let mut g = orp_core::graph::HostSwitchGraph::new(2, 3).unwrap();
+/// # g.add_link(0, 1).unwrap();
+/// # g.attach_host(0).unwrap();
+/// # g.attach_host(1).unwrap();
+/// let net = Network::builder(&g).build();
+/// let report = Simulator::builder(&net)
+///     .programs(vec![
+///         vec![Op::Send { to: 1, bytes: 1e6 }],
+///         vec![Op::Recv { from: 0 }],
+///     ])
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.flows, 1);
+/// ```
+pub struct SimulatorBuilder<'a> {
+    net: &'a Network,
+    programs: Vec<Program>,
+    placement: Option<Vec<Host>>,
+    faults: Vec<FaultEvent>,
+    rec: Option<Recorder>,
+}
+
+impl<'a> SimulatorBuilder<'a> {
+    /// The per-rank programs (defaults to none).
+    pub fn programs(mut self, programs: Vec<Program>) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    /// Places rank `r` on host `placement[r]` — how a degraded run packs
+    /// its ranks onto the surviving hosts. Two ranks may share a host
+    /// (their messages become loopback deliveries). Defaults to rank `r`
+    /// on host `r`.
+    pub fn placement(mut self, placement: Vec<Host>) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Schedules network elements to die mid-run (appended to any
+    /// already-scheduled faults).
+    pub fn fault_schedule(mut self, faults: &[FaultEvent]) -> Self {
+        self.faults.extend_from_slice(faults);
+        self
+    }
+
+    /// Attaches a telemetry recorder. Defaults to the recorder the
+    /// network was built with (the no-op recorder unless one was
+    /// attached there).
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = Some(rec);
+        self
+    }
+
+    /// Finishes the builder without running (for callers that still
+    /// need [`Simulator::schedule_fault`]).
+    ///
+    /// # Panics
+    /// Panics if the placement is not one valid host per rank.
+    pub fn build(self) -> Simulator<'a> {
+        let net = self.net;
+        let placement = self
+            .placement
+            .unwrap_or_else(|| (0..self.programs.len() as u32).collect());
+        let rec = self.rec.unwrap_or_else(|| net.recorder().clone());
+        let mut sim = Simulator::prepare(net, self.programs, placement, rec);
+        for fe in &self.faults {
+            sim.schedule_fault(fe.time, fe.fault);
+        }
+        sim
+    }
+
+    /// Builds the simulator and executes the programs to completion.
+    ///
+    /// # Errors
+    /// See [`Simulator::run`].
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.build().run()
+    }
 }
 
 impl<'a> Simulator<'a> {
+    /// Starts a builder simulating on `net`.
+    pub fn builder(net: &'a Network) -> SimulatorBuilder<'a> {
+        SimulatorBuilder {
+            net,
+            programs: Vec::new(),
+            placement: None,
+            faults: Vec::new(),
+            rec: None,
+        }
+    }
+
     /// Prepares a simulation of `programs` (rank `r` runs on host `r`).
     ///
     /// # Panics
     /// Panics if there are more ranks than hosts.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulator::builder(net).programs(programs)` and `.run()` or `.build()`"
+    )]
     pub fn new(net: &'a Network, programs: Vec<Program>) -> Self {
-        let placement = (0..programs.len() as u32).collect();
-        Self::with_placement(net, programs, placement)
+        Self::builder(net).programs(programs).build()
     }
 
-    /// Prepares a simulation with rank `r` running on host
-    /// `placement[r]` — how a degraded run packs its ranks onto the
-    /// surviving hosts. Two ranks may share a host (their messages
-    /// become loopback deliveries).
+    /// Prepares a simulation with rank `r` running on host `placement[r]`.
     ///
     /// # Panics
     /// Panics if `placement` is not one valid host per rank.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulator::builder(net).programs(programs).placement(placement)`"
+    )]
     pub fn with_placement(net: &'a Network, programs: Vec<Program>, placement: Vec<Host>) -> Self {
+        Self::builder(net)
+            .programs(programs)
+            .placement(placement)
+            .build()
+    }
+
+    fn prepare(
+        net: &'a Network,
+        programs: Vec<Program>,
+        placement: Vec<Host>,
+        rec: Recorder,
+    ) -> Self {
         assert_eq!(
             placement.len(),
             programs.len(),
@@ -238,6 +355,11 @@ impl<'a> Simulator<'a> {
         );
         let nl = net.num_links() as usize;
         let dead_host = (0..net.num_hosts()).map(|h| net.host_dead(h)).collect();
+        let link_bytes = if rec.is_enabled() {
+            vec![0.0; nl]
+        } else {
+            Vec::new()
+        };
         Self {
             net,
             ranks: vec![
@@ -271,6 +393,8 @@ impl<'a> Simulator<'a> {
             dead_link: vec![false; nl],
             dead_host,
             fault_table: None,
+            rec,
+            link_bytes,
         }
     }
 
@@ -315,6 +439,7 @@ impl<'a> Simulator<'a> {
     fn start_flow(&mut self, src: u32, dst: u32, bytes: f64) -> Result<(), SimError> {
         if self.placement[src as usize] == self.placement[dst as usize] {
             // same host (or same rank): loopback, deliver immediately
+            self.rec.incr("sim.loopback_msgs", 1);
             self.deliver(src, dst);
             return Ok(());
         }
@@ -335,6 +460,15 @@ impl<'a> Simulator<'a> {
         });
         self.total_flows += 1;
         self.total_bytes += bytes.max(0.0);
+        if self.rec.is_enabled() {
+            self.rec.emit(ObsEvent::Flow {
+                stage: FlowStage::Created,
+                id: id as u64,
+                src,
+                dst,
+                bytes: bytes.max(0.0),
+            });
+        }
         self.push_event(self.now + delay, Event::Activate(id));
         Ok(())
     }
@@ -422,6 +556,21 @@ impl<'a> Simulator<'a> {
     /// Active flows are torn down and re-issued (remaining bytes intact)
     /// after a fresh message delay; pending flows just swap routes.
     fn apply_fault(&mut self, fault: NetFault) -> Result<(), SimError> {
+        if self.rec.is_enabled() {
+            self.rec.incr("sim.faults", 1);
+            self.rec.emit(match fault {
+                NetFault::Switch(s) => ObsEvent::Fault {
+                    kind: FaultKind::SwitchDown,
+                    a: s,
+                    b: 0,
+                },
+                NetFault::Link(a, b) => ObsEvent::Fault {
+                    kind: FaultKind::LinkDown,
+                    a,
+                    b,
+                },
+            });
+        }
         let n = self.net.num_hosts();
         match fault {
             NetFault::Link(a, b) => {
@@ -467,6 +616,7 @@ impl<'a> Simulator<'a> {
             &self.net.adjacency_excluding(&self.dead_link),
         ));
         // re-route unfinished flows that crossed a now-dead link
+        let mut rerouted = 0u64;
         for fid in 0..self.flows.len() as u32 {
             let f = &self.flows[fid as usize];
             if f.finished || !f.route.iter().any(|&l| self.dead_link[l as usize]) {
@@ -474,6 +624,16 @@ impl<'a> Simulator<'a> {
             }
             let (src, dst, hash, was_active) = (f.src, f.dst, f.hash, f.active);
             let new_route = self.route_ranks(src, dst, hash)?.into_boxed_slice();
+            rerouted += 1;
+            if self.rec.is_enabled() {
+                self.rec.emit(ObsEvent::Flow {
+                    stage: FlowStage::Rerouted,
+                    id: fid as u64,
+                    src,
+                    dst,
+                    bytes: self.flows[fid as usize].remaining,
+                });
+            }
             let delay = self.net.message_delay(new_route.len());
             let f = &mut self.flows[fid as usize];
             f.route = new_route;
@@ -495,6 +655,10 @@ impl<'a> Simulator<'a> {
             // pending flows keep their original activation event and
             // simply stream over the new route when it fires
         }
+        if self.rec.is_enabled() {
+            self.rec.incr("sim.reroutes", rerouted);
+            self.rec.emit(ObsEvent::Reroute { flows: rerouted });
+        }
         Ok(())
     }
 
@@ -513,6 +677,14 @@ impl<'a> Simulator<'a> {
                     self.link_cap[l as usize] = bw;
                 }
                 self.link_count[l as usize] += 1;
+            }
+        }
+        if self.rec.is_enabled() {
+            // per-link flow multiplicity at this reallocation — the
+            // contention ("queue depth") histogram
+            for &l in &self.touched_links {
+                self.rec
+                    .record("sim.queue_depth", self.link_count[l as usize] as u64);
             }
         }
         let mut unfrozen: Vec<u32> = self.active.clone();
@@ -565,9 +737,16 @@ impl<'a> Simulator<'a> {
     /// Advances simulated time by `dt`, streaming active flows.
     fn advance(&mut self, dt: f64) {
         if dt > 0.0 {
+            let track = !self.link_bytes.is_empty();
             for &fid in &self.active {
                 let f = &mut self.flows[fid as usize];
+                let moved = (f.rate * dt).min(f.remaining);
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                if track {
+                    for &l in f.route.iter() {
+                        self.link_bytes[l as usize] += moved;
+                    }
+                }
             }
             self.now += dt;
         }
@@ -580,6 +759,7 @@ impl<'a> Simulator<'a> {
     /// or flows (an ill-formed program); [`SimError::Partitioned`] when
     /// scheduled faults cut communicating ranks off.
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        let _span = self.rec.span("sim.run");
         for i in 0..self.fault_events.len() as u32 {
             self.push_event(self.fault_events[i as usize].time, Event::Fault(i));
         }
@@ -646,6 +826,15 @@ impl<'a> Simulator<'a> {
                         f.active = false;
                         f.finished = true;
                         let (src, dst) = (f.src, f.dst);
+                        if self.rec.is_enabled() {
+                            self.rec.emit(ObsEvent::Flow {
+                                stage: FlowStage::Completed,
+                                id: fid as u64,
+                                src,
+                                dst,
+                                bytes: 0.0,
+                            });
+                        }
                         self.deliver(src, dst);
                         changed = true;
                     } else {
@@ -670,12 +859,31 @@ impl<'a> Simulator<'a> {
                         } else if f.remaining <= 0.0 {
                             f.finished = true;
                             let (src, dst) = (f.src, f.dst);
+                            if self.rec.is_enabled() {
+                                self.rec.emit(ObsEvent::Flow {
+                                    stage: FlowStage::Completed,
+                                    id: fid as u64,
+                                    src,
+                                    dst,
+                                    bytes: 0.0,
+                                });
+                            }
                             self.deliver(src, dst);
                         } else {
                             f.active = true;
+                            let (src, dst, remaining) = (f.src, f.dst, f.remaining);
                             self.active.push(fid);
                             self.peak_flows = self.peak_flows.max(self.active.len());
                             self.rates_dirty = true;
+                            if self.rec.is_enabled() {
+                                self.rec.emit(ObsEvent::Flow {
+                                    stage: FlowStage::Activated,
+                                    id: fid as u64,
+                                    src,
+                                    dst,
+                                    bytes: remaining,
+                                });
+                            }
                         }
                     }
                     Event::ComputeDone(r) => {
@@ -693,6 +901,25 @@ impl<'a> Simulator<'a> {
                 self.compute_rates();
             }
         }
+        if self.rec.is_enabled() {
+            self.rec.incr("sim.flows", self.total_flows);
+            self.rec.incr("sim.bytes", self.total_bytes as u64);
+            // per-link load profile over the whole run: byte volume and
+            // utilization (parts-per-million of link capacity × runtime)
+            let capacity = self.net.config().bandwidth * self.now;
+            let mut links_used = 0u64;
+            for &b in &self.link_bytes {
+                if b > 0.0 {
+                    links_used += 1;
+                    self.rec.record("sim.link_bytes", b as u64);
+                    if capacity > 0.0 {
+                        self.rec
+                            .record("sim.link_util_ppm", (b / capacity * 1e6) as u64);
+                    }
+                }
+            }
+            self.rec.incr("sim.links_used", links_used);
+        }
         Ok(SimReport {
             time: self.now,
             flows: self.total_flows,
@@ -704,28 +931,34 @@ impl<'a> Simulator<'a> {
 }
 
 /// Convenience: builds a [`Simulator`] and runs it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::builder(net).programs(programs).run()`"
+)]
 pub fn simulate(net: &Network, programs: Vec<Program>) -> Result<SimReport, SimError> {
-    Simulator::new(net, programs).run()
+    Simulator::builder(net).programs(programs).run()
 }
 
 /// Convenience: simulates `programs` while the scheduled `faults` strike
 /// mid-run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::builder(net).programs(programs).fault_schedule(faults).run()`"
+)]
 pub fn simulate_with_faults(
     net: &Network,
     programs: Vec<Program>,
     faults: &[FaultEvent],
 ) -> Result<SimReport, SimError> {
-    let mut sim = Simulator::new(net, programs);
-    for fe in faults {
-        sim.schedule_fault(fe.time, fe.fault);
-    }
-    sim.run()
+    Simulator::builder(net)
+        .programs(programs)
+        .fault_schedule(faults)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::NetConfig;
     use orp_core::graph::HostSwitchGraph;
 
     /// Two switches, `per` hosts each, one inter-switch link.
@@ -738,12 +971,24 @@ mod tests {
             }
         }
         // hosts 0..per on switch 0? attach order: alternating per loop above
-        Network::new(&g, NetConfig::default())
+        Network::builder(&g).build()
     }
 
     /// Unwraps the common no-fault case.
     fn sim(net: &Network, programs: Vec<Program>) -> SimReport {
-        simulate(net, programs).unwrap()
+        Simulator::builder(net).programs(programs).run().unwrap()
+    }
+
+    /// Runs with a mid-run fault schedule.
+    fn sim_faults(
+        net: &Network,
+        programs: Vec<Program>,
+        faults: &[FaultEvent],
+    ) -> Result<SimReport, SimError> {
+        Simulator::builder(net)
+            .programs(programs)
+            .fault_schedule(faults)
+            .run()
     }
 
     #[test]
@@ -883,7 +1128,10 @@ mod tests {
     #[test]
     fn recv_without_send_deadlocks() {
         let net = dumbbell(1);
-        let err = simulate(&net, vec![vec![Op::Recv { from: 1 }], vec![]]).unwrap_err();
+        let err = Simulator::builder(&net)
+            .programs(vec![vec![Op::Recv { from: 1 }], vec![]])
+            .run()
+            .unwrap_err();
         match err {
             SimError::Deadlock {
                 time,
@@ -936,7 +1184,7 @@ mod tests {
         for s in 0..4 {
             g.attach_host(s).unwrap();
         }
-        Network::new(&g, NetConfig::default())
+        Network::builder(&g).build()
     }
 
     #[test]
@@ -952,7 +1200,7 @@ mod tests {
             vec![],
         ];
         let fault_free = sim(&net, programs.clone()).time;
-        let rep = simulate_with_faults(
+        let rep = sim_faults(
             &net,
             programs,
             &[FaultEvent {
@@ -973,7 +1221,7 @@ mod tests {
         let net = ring_net();
         let bytes = 100e6;
         let t_cut = net.config().sw_overhead * 10.0;
-        let err = simulate_with_faults(
+        let err = sim_faults(
             &net,
             vec![
                 vec![Op::Send { to: 2, bytes }],
@@ -1009,7 +1257,7 @@ mod tests {
     #[test]
     fn midrun_switch_death_kills_its_ranks() {
         let net = ring_net();
-        let err = simulate_with_faults(
+        let err = sim_faults(
             &net,
             vec![
                 vec![Op::Send {
@@ -1045,8 +1293,8 @@ mod tests {
             time: 5e-3,
             fault: NetFault::Link(0, 1),
         }];
-        let a = simulate_with_faults(&net, programs.clone(), &faults).unwrap();
-        let b = simulate_with_faults(&net, programs, &faults).unwrap();
+        let a = sim_faults(&net, programs.clone(), &faults).unwrap();
+        let b = sim_faults(&net, programs, &faults).unwrap();
         assert_eq!(a.time, b.time);
         assert_eq!(a.flows, b.flows);
         assert_eq!(a.bytes, b.bytes);
@@ -1062,7 +1310,7 @@ mod tests {
             vec![],
         ];
         let plain = sim(&net, programs.clone()).time;
-        let rep = simulate_with_faults(
+        let rep = sim_faults(
             &net,
             programs,
             &[FaultEvent {
@@ -1083,19 +1331,115 @@ mod tests {
             vec![Op::Send { to: 1, bytes: 0.0 }],
             vec![Op::Recv { from: 0 }],
         ];
-        let near = Simulator::with_placement(&net, programs.clone(), vec![0, 1])
+        let near = Simulator::builder(&net)
+            .programs(programs.clone())
+            .placement(vec![0, 1])
             .run()
             .unwrap();
-        let far = Simulator::with_placement(&net, programs.clone(), vec![0, 2])
+        let far = Simulator::builder(&net)
+            .programs(programs.clone())
+            .placement(vec![0, 2])
             .run()
             .unwrap();
         let cfg = net.config();
         assert!((far.time - near.time - cfg.hop_latency).abs() < 1e-12);
         // co-located ranks communicate by loopback
-        let co = Simulator::with_placement(&net, programs, vec![2, 2])
+        let co = Simulator::builder(&net)
+            .programs(programs)
+            .placement(vec![2, 2])
             .run()
             .unwrap();
         assert_eq!(co.time, 0.0);
         assert_eq!(co.flows, 0);
+    }
+
+    #[test]
+    fn recorded_run_is_identical_and_tracks_flow_lifecycle() {
+        let net = ring_net();
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes: 50e6 }, Op::Recv { from: 1 }],
+            vec![Op::Recv { from: 0 }, Op::Send { to: 0, bytes: 25e6 }],
+            vec![Op::Send { to: 3, bytes: 10e6 }],
+            vec![Op::Recv { from: 2 }],
+        ];
+        let faults = [FaultEvent {
+            time: 5e-3,
+            fault: NetFault::Link(0, 1),
+        }];
+        let plain = sim_faults(&net, programs.clone(), &faults).unwrap();
+        let rec = Recorder::enabled();
+        let traced = Simulator::builder(&net)
+            .programs(programs)
+            .fault_schedule(&faults)
+            .recorder(rec.clone())
+            .run()
+            .unwrap();
+        // recording must not perturb the simulation
+        assert_eq!(plain.time, traced.time);
+        assert_eq!(plain.flows, traced.flows);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("sim.flows"), Some(traced.flows));
+        assert_eq!(snap.event_count("flow.created"), traced.flows as usize);
+        assert_eq!(snap.event_count("flow.completed"), traced.flows as usize);
+        assert_eq!(snap.event_count("fault.link_down"), 1);
+        assert_eq!(snap.event_count("fault.reroute"), 1);
+        assert!(snap.event_count("flow.rerouted") >= 1);
+        assert!(snap.histogram("sim.queue_depth").unwrap().count > 0);
+        assert!(snap.histogram("sim.link_bytes").unwrap().count > 0);
+        assert!(snap.counter("sim.links_used").unwrap_or(0) > 0);
+        assert!(snap.spans.iter().any(|s| s.name == "sim.run"));
+    }
+
+    #[test]
+    fn simulator_inherits_network_recorder() {
+        let mut g = HostSwitchGraph::new(2, 3).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.attach_host(0).unwrap();
+        g.attach_host(1).unwrap();
+        let rec = Recorder::enabled();
+        let net = Network::builder(&g).recorder(rec.clone()).build();
+        Simulator::builder(&net)
+            .programs(vec![
+                vec![Op::Send { to: 1, bytes: 1e6 }],
+                vec![Op::Recv { from: 0 }],
+            ])
+            .run()
+            .unwrap();
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("sim.flows"), Some(1));
+        assert!(snap.spans.iter().any(|s| s.name == "net.compile"));
+        assert!(snap.spans.iter().any(|s| s.name == "sim.run"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_builder() {
+        let net = dumbbell(2);
+        let programs: Vec<Program> = vec![
+            vec![Op::Send { to: 2, bytes: 5e6 }],
+            vec![Op::Send { to: 3, bytes: 5e6 }],
+            vec![Op::Recv { from: 0 }],
+            vec![Op::Recv { from: 1 }],
+        ];
+        let legacy = simulate(&net, programs.clone()).unwrap();
+        let built = Simulator::builder(&net)
+            .programs(programs.clone())
+            .run()
+            .unwrap();
+        assert_eq!(legacy.time, built.time);
+        assert_eq!(legacy.flows, built.flows);
+        let legacy = Simulator::new(&net, programs.clone()).run().unwrap();
+        assert_eq!(legacy.time, built.time);
+        let legacy = Simulator::with_placement(&net, programs.clone(), vec![0, 1, 2, 3])
+            .run()
+            .unwrap();
+        assert_eq!(legacy.time, built.time);
+        let faults = [FaultEvent {
+            time: 1e-3,
+            fault: NetFault::Link(0, 1),
+        }];
+        let legacy = simulate_with_faults(&net, programs.clone(), &faults);
+        let built = sim_faults(&net, programs, &faults);
+        assert_eq!(legacy.is_ok(), built.is_ok());
     }
 }

@@ -18,12 +18,12 @@
 //!
 //! ```
 //! use orp_core::construct::random_general;
-//! use orp_netsim::network::{NetConfig, Network};
+//! use orp_netsim::network::Network;
 //! use orp_netsim::npb::{Benchmark, Class};
 //! use orp_netsim::report::run_benchmark;
 //!
 //! let g = random_general(16, 4, 8, 1).unwrap();
-//! let net = Network::new(&g, NetConfig::default());
+//! let net = Network::builder(&g).build();
 //! let res = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
 //! assert!(res.mops > 0.0);
 //! ```
@@ -31,9 +31,14 @@
 //! The stack operates degraded instead of panicking: simulation returns
 //! `Result` ([`engine::SimError`] carries deadlock/partition
 //! diagnostics), networks can be compiled against an
-//! [`orp_core::fault::FaultSet`] ([`network::Network::new_degraded`]),
-//! and mid-run element deaths ([`engine::NetFault`]) tear down and
-//! re-route the affected flows.
+//! [`orp_core::fault::FaultSet`]
+//! ([`network::NetworkBuilder::faults`]), and mid-run element deaths
+//! ([`engine::NetFault`]) tear down and re-route the affected flows.
+//!
+//! Both builders accept an [`orp_obs::Recorder`] for zero-cost-when-off
+//! telemetry: flow lifecycle events, per-link utilization and
+//! queue-depth histograms, and fault/reroute records (see the `orp-obs`
+//! crate docs for the sinks).
 
 #![warn(missing_docs)]
 
@@ -45,9 +50,10 @@ pub mod packet;
 pub mod patterns;
 pub mod report;
 
+#[allow(deprecated)]
+pub use engine::{simulate, simulate_with_faults};
 pub use engine::{
-    simulate, simulate_with_faults, FaultEvent, NetFault, Op, Program, SimError, SimReport,
-    Simulator,
+    FaultEvent, NetFault, Op, Program, SimError, SimReport, Simulator, SimulatorBuilder,
 };
-pub use network::{NetConfig, Network, RouteMode};
+pub use network::{NetConfig, Network, NetworkBuilder, RouteMode};
 pub use report::{run_benchmark, run_suite, BenchResult};

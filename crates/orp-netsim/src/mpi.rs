@@ -408,13 +408,13 @@ impl ProgramBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     fn net(n: u32) -> Network {
         let g = random_general(n, (n / 4).max(2), 8, 42).unwrap();
-        Network::new(&g, NetConfig::default())
+        Network::builder(&g).build()
     }
 
     #[test]
@@ -422,7 +422,7 @@ mod tests {
         let net = net(16);
         let mut b = ProgramBuilder::new(16);
         b.barrier();
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         // dissemination: 4 rounds × 16 ranks, minus loopbacks (none here)
         assert_eq!(rep.flows, 4 * 16);
         assert!(rep.time > 0.0);
@@ -434,7 +434,7 @@ mod tests {
         for root in [0u32, 5] {
             let mut b = ProgramBuilder::new(16);
             b.bcast(root, 1e6);
-            let rep = simulate(&net, b.build()).unwrap();
+            let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
             assert_eq!(rep.flows, 15, "root {root}");
         }
     }
@@ -444,7 +444,7 @@ mod tests {
         let net = net(16);
         let mut b = ProgramBuilder::new(16);
         b.reduce(3, 1e6);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 15);
         assert!(rep.flops > 0.0);
     }
@@ -454,7 +454,7 @@ mod tests {
         let net = net(16);
         let mut b = ProgramBuilder::new(16);
         b.allreduce(8.0);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         // log2(16)=4 rounds × 16 ranks
         assert_eq!(rep.flows, 64);
     }
@@ -462,10 +462,10 @@ mod tests {
     #[test]
     fn allreduce_non_power_of_two_falls_back() {
         let g = random_general(12, 3, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let mut b = ProgramBuilder::new(12);
         b.allreduce(8.0);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 22); // 11 reduce + 11 bcast
     }
 
@@ -474,7 +474,7 @@ mod tests {
         let net = net(8);
         let mut b = ProgramBuilder::new(8);
         b.alltoall(1e3);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 8 * 7);
         assert!((rep.bytes - 56.0 * 1e3).abs() < 1.0);
     }
@@ -484,7 +484,7 @@ mod tests {
         let net = net(8);
         let mut b = ProgramBuilder::new(8);
         b.alltoallv(|s, d| if (s + d) % 2 == 0 { 2e3 } else { 0.0 });
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 56);
         let expect: f64 = (0..8u32)
             .flat_map(|s| (0..8u32).filter(move |&d| d != s).map(move |d| (s, d)))
@@ -498,7 +498,7 @@ mod tests {
         let net = net(8);
         let mut b = ProgramBuilder::new(8);
         b.allgather(1e4);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 8 * 7);
     }
 
@@ -507,7 +507,7 @@ mod tests {
         let net = net(8);
         let mut b = ProgramBuilder::new(8);
         b.reduce_scatter(8e6);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         // 3 rounds × 8 ranks
         assert_eq!(rep.flows, 24);
         // volumes halve: 4e6 + 2e6 + 1e6 per rank
@@ -522,7 +522,7 @@ mod tests {
         b.alltoall(1e4);
         b.allreduce(64.0);
         b.barrier();
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert!(rep.time > 1e-3); // at least the compute time
     }
 
@@ -531,10 +531,10 @@ mod tests {
         let net = net(16);
         let mut b = ProgramBuilder::new(16);
         b.scatter(0, 1e3);
-        let rep_s = simulate(&net, b.build()).unwrap();
+        let rep_s = Simulator::builder(&net).programs(b.build()).run().unwrap();
         let mut b = ProgramBuilder::new(16);
         b.gather(0, 1e3);
-        let rep_g = simulate(&net, b.build()).unwrap();
+        let rep_g = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep_s.flows, 15);
         assert_eq!(rep_g.flows, 15);
         // tree sends carry whole subtrees: total bytes > 15 blocks,
@@ -549,7 +549,7 @@ mod tests {
         let total = 8e6;
         let mut b = ProgramBuilder::new(8);
         b.allreduce_rabenseifner(total);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         // reduce-scatter: 8·(4+2+1)MB/8… plus allgather mirror: the
         // whole thing moves 2·(n-1)/n·total per rank
         let expect = 2.0 * 7.0 / 8.0 * total * 8.0 / 8.0 * 8.0 / 8.0;
@@ -561,23 +561,23 @@ mod tests {
     #[test]
     fn rabenseifner_non_power_of_two_falls_back() {
         let g = random_general(12, 3, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let mut b = ProgramBuilder::new(12);
         b.allreduce_rabenseifner(1e6);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert_eq!(rep.flows, 22);
     }
 
     #[test]
     fn collectives_on_two_ranks() {
         let g = random_general(2, 2, 4, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let mut b = ProgramBuilder::new(2);
         b.bcast(0, 1e3);
         b.allreduce(8.0);
         b.barrier();
         b.alltoall(1e3);
-        let rep = simulate(&net, b.build()).unwrap();
+        let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
         assert!(rep.time > 0.0);
         assert_eq!(rep.flows, 1 + 2 + 2 + 2);
     }

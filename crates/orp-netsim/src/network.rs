@@ -11,6 +11,7 @@
 
 use orp_core::fault::{FaultSet, FaultView};
 use orp_core::graph::{Host, HostSwitchGraph, Switch};
+use orp_obs::{Event, FaultKind, Recorder};
 use orp_route::{RouteError, RoutingTable};
 
 /// Directed link identifier.
@@ -75,36 +76,118 @@ pub struct Network {
     num_links: u32,
     /// Hosts cut off by static faults (empty uplink ⇒ cannot communicate).
     dead_host: Vec<bool>,
+    /// Telemetry handle inherited by simulators built on this network.
+    rec: Recorder,
+}
+
+/// Builder for [`Network`]; obtain via [`Network::builder`].
+///
+/// ```
+/// use orp_netsim::{NetConfig, Network};
+/// # let mut g = orp_core::graph::HostSwitchGraph::new(2, 3).unwrap();
+/// # g.add_link(0, 1).unwrap();
+/// # g.attach_host(0).unwrap();
+/// # g.attach_host(1).unwrap();
+/// let net = Network::builder(&g).config(NetConfig::default()).build();
+/// assert_eq!(net.num_hosts(), 2);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder<'g> {
+    graph: &'g HostSwitchGraph,
+    cfg: NetConfig,
+    faults: Option<&'g FaultSet>,
+    rec: Recorder,
+}
+
+impl<'g> NetworkBuilder<'g> {
+    /// Physical constants (defaults to [`NetConfig::default`]).
+    pub fn config(mut self, cfg: NetConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Compiles the network operating degraded under `faults`: the
+    /// routing table avoids failed elements and hosts killed by the
+    /// faults refuse to route ([`RouteError::DeadEndpoint`]).
+    ///
+    /// The link-id space still covers the *full* fabric so that route
+    /// ids stay comparable with the fault-free network; dead links
+    /// simply never appear in any route.
+    pub fn faults(mut self, faults: &'g FaultSet) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a telemetry recorder (defaults to the no-op recorder).
+    /// Simulators built on the network inherit it.
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// Compiles the network (one BFS per switch for the routing table).
+    pub fn build(self) -> Network {
+        let g = self.graph;
+        let span = self.rec.span("net.compile");
+        let (table, dead_host) = match self.faults {
+            None => (RoutingTable::build(g), vec![false; g.num_hosts() as usize]),
+            Some(faults) => {
+                if self.rec.is_enabled() {
+                    for &s in faults.failed_switches() {
+                        self.rec.emit(Event::Fault {
+                            kind: FaultKind::SwitchDown,
+                            a: s,
+                            b: 0,
+                        });
+                    }
+                    for &(a, b) in faults.failed_links() {
+                        self.rec.emit(Event::Fault {
+                            kind: FaultKind::LinkDown,
+                            a,
+                            b,
+                        });
+                    }
+                }
+                let view = FaultView::new(g, faults);
+                let dead_host = (0..g.num_hosts()).map(|h| !view.host_alive(h)).collect();
+                (RoutingTable::build_with_faults(g, faults), dead_host)
+            }
+        };
+        let net = Network::compile(g, self.cfg, table, dead_host, self.rec.clone());
+        drop(span);
+        net
+    }
 }
 
 impl Network {
-    /// Compiles `g` into a network. Builds the routing table (one BFS per
-    /// switch).
-    pub fn new(g: &HostSwitchGraph, cfg: NetConfig) -> Self {
-        Self::compile(
-            g,
-            cfg,
-            RoutingTable::build(g),
-            vec![false; g.num_hosts() as usize],
-        )
+    /// Starts a builder compiling `g` (fault-free, default config, no
+    /// recording unless configured otherwise).
+    pub fn builder(g: &HostSwitchGraph) -> NetworkBuilder<'_> {
+        NetworkBuilder {
+            graph: g,
+            cfg: NetConfig::default(),
+            faults: None,
+            rec: Recorder::disabled(),
+        }
     }
 
-    /// Compiles `g` into a network operating degraded under `faults`:
-    /// the routing table avoids failed elements and hosts killed by the
-    /// faults refuse to route ([`RouteError::DeadEndpoint`]).
-    ///
-    /// The link-id space still covers the *full* fabric so that route ids
-    /// stay comparable with the fault-free network; dead links simply
-    /// never appear in any route.
+    /// Compiles `g` into a network. Builds the routing table (one BFS per
+    /// switch).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Network::builder(g).config(cfg).build()`"
+    )]
+    pub fn new(g: &HostSwitchGraph, cfg: NetConfig) -> Self {
+        Self::builder(g).config(cfg).build()
+    }
+
+    /// Compiles `g` into a network operating degraded under `faults`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Network::builder(g).config(cfg).faults(&faults).build()`"
+    )]
     pub fn new_degraded(g: &HostSwitchGraph, cfg: NetConfig, faults: &FaultSet) -> Self {
-        let view = FaultView::new(g, faults);
-        let dead_host = (0..g.num_hosts()).map(|h| !view.host_alive(h)).collect();
-        Self::compile(
-            g,
-            cfg,
-            RoutingTable::build_with_faults(g, faults),
-            dead_host,
-        )
+        Self::builder(g).config(cfg).faults(faults).build()
     }
 
     fn compile(
@@ -112,6 +195,7 @@ impl Network {
         cfg: NetConfig,
         table: RoutingTable,
         dead_host: Vec<bool>,
+        rec: Recorder,
     ) -> Self {
         let n = g.num_hosts();
         let m = g.num_switches();
@@ -135,12 +219,19 @@ impl Network {
             sw_neighbors,
             num_links,
             dead_host,
+            rec,
         }
     }
 
     /// The simulation constants.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// The telemetry recorder this network was built with (the no-op
+    /// recorder unless one was attached via the builder).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Number of hosts.
@@ -274,7 +365,7 @@ mod tests {
         g.attach_host(0).unwrap();
         g.attach_host(2).unwrap();
         g.attach_host(0).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         (g, net)
     }
 
@@ -304,7 +395,7 @@ mod tests {
         let (g, _) = line();
         let mut f = FaultSet::new();
         f.fail_link(1, 2);
-        let net = Network::new_degraded(&g, NetConfig::default(), &f);
+        let net = Network::builder(&g).faults(&f).build();
         assert_eq!(
             net.route(0, 1, 0),
             Err(RouteError::Unreachable { src: 0, dst: 2 })
@@ -314,7 +405,7 @@ mod tests {
         // a dead switch kills its hosts outright
         let mut f = FaultSet::new();
         f.fail_switch(2);
-        let net = Network::new_degraded(&g, NetConfig::default(), &f);
+        let net = Network::builder(&g).faults(&f).build();
         assert!(net.host_dead(1));
         assert_eq!(
             net.route(0, 1, 0),
@@ -357,5 +448,40 @@ mod tests {
     fn self_route_panics() {
         let (_, net) = line();
         let _ = net.route(1, 1, 0);
+    }
+
+    #[test]
+    fn builder_records_static_faults() {
+        let (g, _) = line();
+        let mut f = FaultSet::new();
+        f.fail_link(1, 2);
+        f.fail_switch(2);
+        let rec = Recorder::enabled();
+        let net = Network::builder(&g)
+            .faults(&f)
+            .recorder(rec.clone())
+            .build();
+        assert!(net.recorder().is_enabled());
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.event_count("fault.link_down"), 1);
+        assert_eq!(snap.event_count("fault.switch_down"), 1);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "net.compile");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructors_match_builder() {
+        let (g, _) = line();
+        let legacy = Network::new(&g, NetConfig::default());
+        let built = Network::builder(&g).build();
+        assert_eq!(legacy.num_links(), built.num_links());
+        assert_eq!(legacy.route(0, 1, 0), built.route(0, 1, 0));
+        let mut f = FaultSet::new();
+        f.fail_link(1, 2);
+        let legacy = Network::new_degraded(&g, NetConfig::default(), &f);
+        let built = Network::builder(&g).faults(&f).build();
+        assert_eq!(legacy.route(0, 1, 0), built.route(0, 1, 0));
+        assert_eq!(legacy.route(0, 2, 0), built.route(0, 2, 0));
     }
 }

@@ -82,14 +82,17 @@ pub fn program(n: u32, class: Class, iters: usize, variant: Variant) -> Vec<Prog
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     fn sim(variant: Variant) -> crate::engine::SimReport {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        simulate(&net, program(16, Class::A, 1, variant)).unwrap()
+        let net = Network::builder(&g).build();
+        Simulator::builder(&net)
+            .programs(program(16, Class::A, 1, variant))
+            .run()
+            .unwrap()
     }
 
     #[test]

@@ -72,15 +72,18 @@ pub fn program(n: u32, class: Class, iters: usize) -> Vec<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn cg_completes_on_square_grid() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 2)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 2))
+            .run()
+            .unwrap();
         assert!(rep.time > 0.0);
         assert!(rep.flows > 0);
     }
@@ -88,8 +91,11 @@ mod tests {
     #[test]
     fn transpose_traffic_present_on_square_grids() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
         // transpose: C(4,2)·... at least the off-diagonal pairs exchange
         assert!(rep.flows >= 12);
     }
@@ -97,9 +103,15 @@ mod tests {
     #[test]
     fn class_b_has_bigger_segments() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let a = simulate(&net, program(16, Class::A, 1)).unwrap();
-        let b = simulate(&net, program(16, Class::B, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let a = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
+        let b = Simulator::builder(&net)
+            .programs(program(16, Class::B, 1))
+            .run()
+            .unwrap();
         assert!(b.bytes > a.bytes * 3.0);
     }
 }

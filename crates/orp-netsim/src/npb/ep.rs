@@ -31,15 +31,18 @@ pub fn program(n: u32, class: Class) -> Vec<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn ep_is_compute_dominated() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A))
+            .run()
+            .unwrap();
         let compute_time = 2f64.powi(28) * FLOPS_PER_PAIR / 16.0 / 100e9;
         assert!(rep.time >= compute_time);
         assert!(rep.time < compute_time * 1.1, "comm should be negligible");

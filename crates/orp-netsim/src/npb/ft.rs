@@ -40,15 +40,18 @@ pub fn program(n: u32, class: Class, iters: usize) -> Vec<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn ft_transposes_the_grid() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
         let grid_bytes = 256.0 * 256.0 * 128.0 * 16.0;
         assert!(rep.bytes > grid_bytes * 0.9);
         assert!(rep.bytes < grid_bytes * 1.2);
@@ -58,9 +61,15 @@ mod tests {
     #[test]
     fn class_b_is_heavier() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let a = simulate(&net, program(16, Class::A, 1)).unwrap();
-        let b = simulate(&net, program(16, Class::B, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let a = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
+        let b = Simulator::builder(&net)
+            .programs(program(16, Class::B, 1))
+            .run()
+            .unwrap();
         assert!(b.bytes > a.bytes * 3.0);
         assert!(b.time > a.time);
     }

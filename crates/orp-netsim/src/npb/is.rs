@@ -43,15 +43,18 @@ pub fn program(n: u32, class: Class, iters: usize) -> Vec<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn is_moves_the_whole_key_array_per_iteration() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
         let keys_bytes = (1u64 << 23) as f64 * 4.0;
         // alltoallv moves (n-1)/n of the array, plus the allreduces
         assert!(

@@ -102,15 +102,18 @@ impl Wavefront for ProgramBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn lu_wavefront_completes() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
         assert!(rep.time > 0.0);
         // 4x4 grid, 8 stages per sweep, 2 sweeps: interior links carry
         // 2 messages per rank per stage on average
@@ -122,8 +125,11 @@ mod tests {
         // wavefront time ≈ (stages + pipeline depth) × stage time:
         // strictly more than the embarrassing lower bound of stage sums
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::A, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::A, 1))
+            .run()
+            .unwrap();
         let stages = 64 / PLANE_AGG;
         let stage_flops = (64.0 / 4.0) * (64.0 / 4.0) * PLANE_AGG as f64 * FLOPS_PER_POINT;
         let sweep_min = 2.0 * stages as f64 * stage_flops / 100e9;

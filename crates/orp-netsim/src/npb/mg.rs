@@ -82,15 +82,18 @@ pub fn program(n: u32, class: Class, iters: usize) -> Vec<Program> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     #[test]
     fn mg_runs_a_v_cycle() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::B, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::B, 1))
+            .run()
+            .unwrap();
         assert!(rep.time > 0.0);
         // 15 levels traversed (8 down + 7 up), exchanges at each
         assert!(rep.flows > 15 * 16);
@@ -99,8 +102,11 @@ mod tests {
     #[test]
     fn fine_levels_dominate_volume() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
-        let rep = simulate(&net, program(16, Class::B, 1)).unwrap();
+        let net = Network::builder(&g).build();
+        let rep = Simulator::builder(&net)
+            .programs(program(16, Class::B, 1))
+            .run()
+            .unwrap();
         // finest-level faces: 256²/(…) — volume should far exceed a
         // coarse-only estimate
         assert!(rep.bytes > 1e6);

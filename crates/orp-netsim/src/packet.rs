@@ -169,8 +169,7 @@ pub fn packet_simulate_pattern(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, Op};
-    use crate::network::NetConfig;
+    use crate::engine::{Op, Simulator};
     use orp_core::construct::random_general;
     use orp_core::HostSwitchGraph;
 
@@ -182,7 +181,7 @@ mod tests {
         g.attach_host(1).unwrap();
         g.attach_host(1).unwrap();
         // hosts 0,1 on sw0; 2,3 on sw1
-        Network::new(&g, NetConfig::default())
+        Network::builder(&g).build()
     }
 
     #[test]
@@ -268,16 +267,15 @@ mod tests {
     fn fluid_and_packet_models_agree_on_single_flow() {
         let net = dumbbell();
         let bytes = 100.0 * DEFAULT_MTU;
-        let fluid = simulate(
-            &net,
-            vec![
+        let fluid = Simulator::builder(&net)
+            .programs(vec![
                 vec![Op::Send { to: 2, bytes }],
                 vec![],
                 vec![Op::Recv { from: 0 }],
                 vec![],
-            ],
-        )
-        .unwrap();
+            ])
+            .run()
+            .unwrap();
         let pkt = packet_simulate(
             &net,
             &[FlowDemand {
@@ -304,9 +302,12 @@ mod tests {
         let bytes = 16.0 * DEFAULT_MTU;
         let mut res = Vec::new();
         for g in [&star, &sparse] {
-            let net = Network::new(g, NetConfig::default());
+            let net = Network::builder(g).build();
             let pkt = packet_simulate_pattern(&net, Pattern::UniformPermutation, bytes, 5).unwrap();
-            let fl = simulate(&net, Pattern::UniformPermutation.programs(16, bytes, 1, 5)).unwrap();
+            let fl = Simulator::builder(&net)
+                .programs(Pattern::UniformPermutation.programs(16, bytes, 1, 5))
+                .run()
+                .unwrap();
             res.push((pkt.makespan, fl.time));
         }
         assert!(res[0].0 < res[1].0, "packet: star should win");

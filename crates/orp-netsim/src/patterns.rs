@@ -122,13 +122,13 @@ impl Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
-    use crate::network::{NetConfig, Network};
+    use crate::engine::Simulator;
+    use crate::network::Network;
     use orp_core::construct::random_general;
 
     fn net16() -> Network {
         let g = random_general(16, 4, 8, 1).unwrap();
-        Network::new(&g, NetConfig::default())
+        Network::builder(&g).build()
     }
 
     #[test]
@@ -170,7 +170,10 @@ mod tests {
     fn all_patterns_simulate() {
         let net = net16();
         for p in Pattern::all() {
-            let rep = simulate(&net, p.programs(16, 1e4, 2, 7)).unwrap();
+            let rep = Simulator::builder(&net)
+                .programs(p.programs(16, 1e4, 2, 7))
+                .run()
+                .unwrap();
             assert!(rep.time > 0.0, "{}", p.name());
         }
     }
@@ -179,10 +182,14 @@ mod tests {
     fn hotspot_is_slowest_for_equal_bytes() {
         // all 15 senders serialise on rank 0's downlink
         let net = net16();
-        let hot = simulate(&net, Pattern::Hotspot.programs(16, 1e6, 1, 7))
+        let hot = Simulator::builder(&net)
+            .programs(Pattern::Hotspot.programs(16, 1e6, 1, 7))
+            .run()
             .unwrap()
             .time;
-        let nn = simulate(&net, Pattern::NearestNeighbor.programs(16, 1e6, 1, 7))
+        let nn = Simulator::builder(&net)
+            .programs(Pattern::NearestNeighbor.programs(16, 1e6, 1, 7))
+            .run()
             .unwrap()
             .time;
         assert!(hot > nn * 3.0, "hotspot {hot} vs neighbor {nn}");

@@ -1,7 +1,7 @@
 //! Benchmark reporting: runs an NPB skeleton on a network and expresses
 //! the result in the paper's currency (operations per second).
 
-use crate::engine::{simulate, SimError, SimReport};
+use crate::engine::{SimError, SimReport, Simulator};
 use crate::network::Network;
 use crate::npb::{Benchmark, Class};
 use serde::{Deserialize, Serialize};
@@ -51,7 +51,7 @@ pub fn run_benchmark(
     iters: usize,
 ) -> Result<BenchResult, SimError> {
     let programs = bench.build(ranks, class, iters);
-    let rep = simulate(net, programs)?;
+    let rep = Simulator::builder(net).programs(programs).run()?;
     Ok(BenchResult::from_report(bench.name(), rep))
 }
 
@@ -74,13 +74,12 @@ pub fn run_suite(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::NetConfig;
     use orp_core::construct::random_general;
 
     #[test]
     fn suite_runs_all_benchmarks_small() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let results = run_suite(&net, &Benchmark::all(), 16, 1).unwrap();
         assert_eq!(results.len(), 8);
         for r in &results {
@@ -92,7 +91,7 @@ mod tests {
     #[test]
     fn mops_is_flops_over_time() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
         assert!((r.mops - r.flops / r.time / 1e6).abs() < r.mops * 1e-12);
     }
@@ -100,7 +99,7 @@ mod tests {
     #[test]
     fn serializes_to_json() {
         let g = random_general(16, 4, 8, 1).unwrap();
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let r = run_benchmark(&net, Benchmark::Ep, 16, Class::A, 1).unwrap();
         let j = serde_json::to_string(&r).unwrap();
         assert!(j.contains("EP"));

@@ -1,0 +1,200 @@
+//! The typed event taxonomy recorded into the [`crate::Journal`].
+//!
+//! Events are small `Copy` records — the journal is a ring buffer in the
+//! hot path of the simulator, so an event must never allocate. Each
+//! event renders to a dotted name (stable across PRs; sinks and tests
+//! key on it) plus a list of numeric arguments.
+
+/// Lifecycle stage of a simulated network flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStage {
+    /// The flow was created by a send (route resolved, latency pending).
+    Created,
+    /// The flow started streaming after its activation delay.
+    Activated,
+    /// The flow drained and its message was delivered.
+    Completed,
+    /// A mid-run fault forced the flow onto a new route.
+    Rerouted,
+}
+
+impl FlowStage {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Created => "flow.created",
+            Self::Activated => "flow.activated",
+            Self::Completed => "flow.completed",
+            Self::Rerouted => "flow.rerouted",
+        }
+    }
+}
+
+/// Which network element a fault event killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A switch died (with every incident link and attached host).
+    SwitchDown,
+    /// An undirected switch–switch link died (both directions).
+    LinkDown,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            Self::SwitchDown => "fault.switch_down",
+            Self::LinkDown => "fault.link_down",
+        }
+    }
+}
+
+/// One recorded occurrence. See DESIGN.md §4d for the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Annealer phase boundary: schedule position and phase-local stats.
+    Phase {
+        /// Phase index (0-based).
+        index: u32,
+        /// Temperature at the phase boundary.
+        temperature: f64,
+        /// Moves proposed within the phase.
+        proposed: u64,
+        /// Moves accepted within the phase.
+        accepted: u64,
+        /// Best h-ASPL so far.
+        best: f64,
+    },
+    /// The annealer found a new global best.
+    Best {
+        /// Iteration at which it was found.
+        iter: u64,
+        /// The new best h-ASPL.
+        value: f64,
+    },
+    /// A simulated flow changed lifecycle stage.
+    Flow {
+        /// Stage entered.
+        stage: FlowStage,
+        /// Flow id (per-simulation sequence number).
+        id: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+    /// A network element died (static or mid-run fault).
+    Fault {
+        /// What kind of element died.
+        kind: FaultKind,
+        /// The switch (for [`FaultKind::SwitchDown`]) or one endpoint.
+        a: u32,
+        /// The other link endpoint (0 for switch deaths).
+        b: u32,
+    },
+    /// Routes were rebuilt after a fault.
+    Reroute {
+        /// Unfinished flows that were moved onto new routes.
+        flows: u64,
+    },
+    /// Freeform named marker with one numeric payload.
+    Mark {
+        /// Marker name (dotted, like all taxonomy names).
+        name: &'static str,
+        /// Payload value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The event's stable dotted name (e.g. `"flow.created"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Phase { .. } => "anneal.phase",
+            Self::Best { .. } => "anneal.best",
+            Self::Flow { stage, .. } => stage.name(),
+            Self::Fault { kind, .. } => kind.name(),
+            Self::Reroute { .. } => "fault.reroute",
+            Self::Mark { name, .. } => name,
+        }
+    }
+
+    /// The event's numeric arguments as `(key, value)` pairs, in a
+    /// stable order — what the sinks serialize.
+    pub fn args(&self) -> Vec<(&'static str, f64)> {
+        match *self {
+            Self::Phase {
+                index,
+                temperature,
+                proposed,
+                accepted,
+                best,
+            } => vec![
+                ("index", index as f64),
+                ("temperature", temperature),
+                ("proposed", proposed as f64),
+                ("accepted", accepted as f64),
+                ("best", best),
+            ],
+            Self::Best { iter, value } => vec![("iter", iter as f64), ("value", value)],
+            Self::Flow {
+                id,
+                src,
+                dst,
+                bytes,
+                ..
+            } => vec![
+                ("id", id as f64),
+                ("src", src as f64),
+                ("dst", dst as f64),
+                ("bytes", bytes),
+            ],
+            Self::Fault { a, b, .. } => vec![("a", a as f64), ("b", b as f64)],
+            Self::Reroute { flows } => vec![("flows", flows as f64)],
+            Self::Mark { value, .. } => vec![("value", value)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_dotted_and_stable() {
+        let e = Event::Flow {
+            stage: FlowStage::Created,
+            id: 1,
+            src: 0,
+            dst: 2,
+            bytes: 10.0,
+        };
+        assert_eq!(e.name(), "flow.created");
+        assert_eq!(
+            Event::Fault {
+                kind: FaultKind::LinkDown,
+                a: 1,
+                b: 2
+            }
+            .name(),
+            "fault.link_down"
+        );
+        assert_eq!(
+            Event::Mark {
+                name: "custom.thing",
+                value: 0.0
+            }
+            .name(),
+            "custom.thing"
+        );
+    }
+
+    #[test]
+    fn args_carry_the_payload() {
+        let e = Event::Best {
+            iter: 42,
+            value: 3.5,
+        };
+        assert_eq!(e.args(), vec![("iter", 42.0), ("value", 3.5)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! A fixed-capacity ring buffer of timestamped [`Event`]s.
+//!
+//! The journal bounds observability memory: a simulation can emit
+//! millions of flow events, and keeping the *latest* window (plus a
+//! count of what was dropped) is the right trade for a post-mortem
+//! artifact. Pushing is `O(1)` amortized with no allocation once the
+//! ring is warm.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+
+/// One journal entry: an [`Event`] plus its record time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// The ring buffer. Oldest entries are evicted (and counted) once
+/// capacity is reached.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    ring: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    /// A journal keeping at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ts_us: u64, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TimedEvent { ts_us, event });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_latest_when_overflowing() {
+        let mut j = Journal::with_capacity(3);
+        for i in 0..5u64 {
+            j.push(
+                i,
+                Event::Mark {
+                    name: "m",
+                    value: i as f64,
+                },
+            );
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let ts: Vec<u64> = j.events().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut j = Journal::with_capacity(0);
+        j.push(
+            0,
+            Event::Mark {
+                name: "m",
+                value: 0.0,
+            },
+        );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.capacity(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Pluggable snapshot renderers.
+//!
+//! A [`Sink`] turns a [`Snapshot`] into text; the recorder knows nothing
+//! about formats. Three sinks ship here:
+//!
+//! * [`JsonSummary`] — machine-readable rollup (counters, histogram
+//!   digests, series, journal) for `results/` artifacts,
+//! * [`ChromeTrace`] — the Chrome `trace_event` JSON array format;
+//!   open the file in `chrome://tracing` or <https://ui.perfetto.dev>,
+//! * [`TextProgress`] — a human-readable one-screen report.
+//!
+//! JSON is emitted by hand (no serde dependency): the snapshot model is
+//! flat and the writer below escapes strings and normalises non-finite
+//! floats to `null`, which keeps every emitted artifact parseable.
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders a [`Snapshot`] to text.
+pub trait Sink {
+    /// Produce the sink's textual artifact.
+    fn render(&self, snap: &Snapshot) -> String;
+}
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON rollup of everything in the snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSummary;
+
+impl Sink for JsonSummary {
+    fn render(&self, snap: &Snapshot) -> String {
+        let mut o = String::with_capacity(4096);
+        o.push_str("{\n  \"elapsed_us\": ");
+        let _ = write!(o, "{}", snap.elapsed_us);
+        o.push_str(",\n  \"counters\": {");
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(name, &mut o);
+            let _ = write!(o, ": {v}");
+        }
+        o.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in snap.histograms.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(name, &mut o);
+            let _ = write!(
+                o,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": ",
+                h.count, h.sum, h.min, h.max
+            );
+            num(h.mean, &mut o);
+            let _ = write!(
+                o,
+                ", \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.p50, h.p90, h.p99
+            );
+        }
+        o.push_str("\n  },\n  \"series\": {");
+        for (i, (name, pts)) in snap.series.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(name, &mut o);
+            o.push_str(": [");
+            for (j, p) in pts.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                o.push('[');
+                num(p.x, &mut o);
+                o.push_str(", ");
+                num(p.y, &mut o);
+                o.push(']');
+            }
+            o.push(']');
+        }
+        let _ = write!(
+            o,
+            "\n  }},\n  \"dropped_events\": {},\n  \"dropped_spans\": {},\n  \"events\": [",
+            snap.dropped_events, snap.dropped_spans
+        );
+        for (i, e) in snap.events.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            let _ = write!(o, "{{\"ts_us\": {}, \"name\": ", e.ts_us);
+            esc(e.event.name(), &mut o);
+            o.push_str(", \"args\": {");
+            for (j, (k, v)) in e.event.args().iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                esc(k, &mut o);
+                o.push_str(": ");
+                num(*v, &mut o);
+            }
+            o.push_str("}}");
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+}
+
+/// Chrome `trace_event` export. Spans become complete (`"X"`) events,
+/// journal entries become instants (`"i"`), and series become counter
+/// (`"C"`) tracks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChromeTrace;
+
+impl Sink for ChromeTrace {
+    fn render(&self, snap: &Snapshot) -> String {
+        let mut o = String::with_capacity(8192);
+        o.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        let mut first = true;
+        let mut sep = |o: &mut String| {
+            o.push_str(if std::mem::take(&mut first) {
+                "\n"
+            } else {
+                ",\n"
+            });
+        };
+        for s in &snap.spans {
+            sep(&mut o);
+            o.push_str("{\"ph\": \"X\", \"pid\": 1, \"tid\": ");
+            let _ = write!(o, "{}", s.tid);
+            o.push_str(", \"name\": ");
+            esc(s.name, &mut o);
+            let _ = write!(
+                o,
+                ", \"ts\": {}, \"dur\": {}}}",
+                s.start_us,
+                s.dur_us.max(1)
+            );
+        }
+        for e in &snap.events {
+            sep(&mut o);
+            o.push_str("{\"ph\": \"i\", \"pid\": 1, \"tid\": 0, \"s\": \"p\", \"name\": ");
+            esc(e.event.name(), &mut o);
+            let _ = write!(o, ", \"ts\": {}, \"args\": {{", e.ts_us);
+            for (j, (k, v)) in e.event.args().iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                esc(k, &mut o);
+                o.push_str(": ");
+                num(*v, &mut o);
+            }
+            o.push_str("}}");
+        }
+        for (name, pts) in &snap.series {
+            for p in pts {
+                sep(&mut o);
+                o.push_str("{\"ph\": \"C\", \"pid\": 1, \"name\": ");
+                esc(name, &mut o);
+                let _ = write!(o, ", \"ts\": {}, \"args\": {{\"value\": ", p.ts_us);
+                num(p.y, &mut o);
+                o.push_str("}}");
+            }
+        }
+        // final counter values as one closing sample per counter
+        for (name, v) in &snap.counters {
+            sep(&mut o);
+            o.push_str("{\"ph\": \"C\", \"pid\": 1, \"name\": ");
+            esc(name, &mut o);
+            let _ = write!(
+                o,
+                ", \"ts\": {}, \"args\": {{\"value\": {v}}}}}",
+                snap.elapsed_us
+            );
+        }
+        o.push_str("\n]}\n");
+        o
+    }
+}
+
+/// Plain-text progress/summary report for terminals and logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextProgress;
+
+impl Sink for TextProgress {
+    fn render(&self, snap: &Snapshot) -> String {
+        let mut o = String::with_capacity(1024);
+        let _ = writeln!(
+            o,
+            "== observability after {:.3} s ==",
+            snap.elapsed_us as f64 / 1e6
+        );
+        if !snap.counters.is_empty() {
+            let _ = writeln!(o, "counters:");
+            for (name, v) in &snap.counters {
+                let _ = writeln!(o, "  {name:<32} {v}");
+            }
+        }
+        if !snap.histograms.is_empty() {
+            let _ = writeln!(
+                o,
+                "histograms:                        {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "count", "mean", "p50", "p99", "max"
+            );
+            for (name, h) in &snap.histograms {
+                let _ = writeln!(
+                    o,
+                    "  {name:<32} {:>10} {:>12.1} {:>12} {:>12} {:>12}",
+                    h.count, h.mean, h.p50, h.p99, h.max
+                );
+            }
+        }
+        if snap.dropped_events > 0 || snap.dropped_spans > 0 {
+            let _ = writeln!(
+                o,
+                "dropped: {} events, {} spans",
+                snap.dropped_events, snap.dropped_spans
+            );
+        }
+        let _ = writeln!(
+            o,
+            "{} journal events, {} spans, {} series",
+            snap.events.len(),
+            snap.spans.len(),
+            snap.series.len()
+        );
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::recorder::Recorder;
+
+    fn populated() -> Snapshot {
+        let rec = Recorder::enabled();
+        rec.incr("flows", 3);
+        rec.record("eval_ns", 1_500);
+        rec.record("eval_ns", 2_500);
+        rec.series("best", 0.0, 3.5);
+        rec.series("best", 100.0, 3.25);
+        rec.emit(Event::Best {
+            iter: 10,
+            value: 3.25,
+        });
+        drop(rec.span("phase \"zero\"")); // exercises escaping
+        rec.snapshot().unwrap()
+    }
+
+    #[test]
+    fn json_summary_parses() {
+        let text = JsonSummary.render(&populated());
+        let v: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(
+            v.get_field("counters").unwrap().get_field("flows").unwrap(),
+            &serde::Value::Int(3)
+        );
+        let h = v
+            .get_field("histograms")
+            .unwrap()
+            .get_field("eval_ns")
+            .unwrap();
+        assert_eq!(h.get_field("count").unwrap(), &serde::Value::Int(2));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_all_phases() {
+        let text = ChromeTrace.render(&populated());
+        let v: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+        let serde::Value::Array(events) = v.get_field("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!events.is_empty());
+        let phases: Vec<&serde::Value> =
+            events.iter().map(|e| e.get_field("ph").unwrap()).collect();
+        for ph in ["X", "i", "C"] {
+            assert!(
+                phases.iter().any(|p| **p == serde::Value::Str(ph.into())),
+                "missing phase {ph}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let snap = Snapshot::default();
+        for text in [JsonSummary.render(&snap), ChromeTrace.render(&snap)] {
+            let _: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+        }
+    }
+
+    #[test]
+    fn text_progress_mentions_counters() {
+        let text = TextProgress.render(&populated());
+        assert!(text.contains("flows"));
+        assert!(text.contains("eval_ns"));
+    }
+
+    #[test]
+    fn non_finite_series_values_become_null() {
+        let rec = Recorder::enabled();
+        rec.series("s", 0.0, f64::NAN);
+        let text = JsonSummary.render(&rec.snapshot().unwrap());
+        let _: serde::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(text.contains("null"));
+    }
+}

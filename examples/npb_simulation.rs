@@ -9,7 +9,7 @@
 
 use orp::core::anneal::{solve_orp, SaConfig};
 use orp::core::HostSwitchGraph;
-use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
 use orp::netsim::report::run_suite;
 use orp::topo::attach::relabel_hosts_dfs;
@@ -67,7 +67,7 @@ fn main() {
 
     let (name, g) = build(&topology, ranks);
     println!("simulating NPB on {name} with {ranks} MPI ranks\n");
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let results = run_suite(&net, &Benchmark::all(), ranks, 2).expect("fault-free suite simulates");
     println!(
         "{:<5} {:>12} {:>14} {:>10} {:>14}",

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! orp bounds  <n> <r>                  lower bounds and m_opt prediction
-//! orp solve   <n> <r> [iters] [out]    anneal a topology, optionally save it
+//! orp solve   <n> <r> [iters] [out] [--trace t.json]
+//!                                      anneal a topology, optionally save it;
+//!                                      --trace writes a Chrome trace of the run
 //! orp eval    <file.hsg>               metrics of a saved host-switch graph
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
 //! orp simulate <file.hsg> [bench]      run an NPB kernel on a saved graph
@@ -10,15 +12,16 @@
 //! orp layout  <file.hsg> [per_cab]     floorplan power/cost (naive + optimized)
 //! ```
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::{solve_orp, Anneal, SaConfig};
 use orp::core::bounds::{diameter_lower_bound, haspl_lower_bound, optimal_switch_count};
 use orp::core::io;
 use orp::core::metrics::path_metrics;
 use orp::core::HostSwitchGraph;
 use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
-use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
 use orp::netsim::report::run_benchmark;
+use orp::obs::{ChromeTrace, Recorder};
 use orp::partition::{partition, Graph as CutGraph, PartitionConfig};
 use std::process::ExitCode;
 
@@ -56,15 +59,30 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let n: u32 = args
+    // split off `--trace <path>` before positional parsing
+    let mut trace: Option<String> = None;
+    let mut pos: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            trace = Some(
+                it.next()
+                    .ok_or("--trace needs a path, e.g. --trace results/trace.json")?
+                    .clone(),
+            );
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    let n: u32 = pos
         .first()
         .and_then(|a| a.parse().ok())
-        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
-    let r: u32 = args
+        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json]")?;
+    let r: u32 = pos
         .get(1)
         .and_then(|a| a.parse().ok())
-        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg]")?;
-    let iters: usize = arg_num(args, 2, 8000);
+        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json]")?;
+    let iters: usize = arg_num(&pos, 2, 8000);
     // parallel_eval defaults to None: the engine auto-selects threading
     // from the switch count and available CPUs.
     let cfg = SaConfig {
@@ -72,16 +90,35 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         seed: 1,
         ..Default::default()
     };
-    let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
+    let rec = if trace.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    // the same pipeline as `solve_orp`, with the recorder attached
+    let (m, _) = orp::core::bounds::optimal_switch_count(n as u64, r as u64);
+    let m = m as u32;
+    let start =
+        orp::core::construct::random_general(n, m, r, cfg.seed).map_err(|e| e.to_string())?;
+    let res = Anneal::builder(start)
+        .config(cfg)
+        .recorder(rec.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
     println!(
         "m = {m}, h-ASPL = {:.4} (bound {:.4}), diameter = {}",
         res.metrics.haspl,
         haspl_lower_bound(n as u64, r as u64),
         res.metrics.diameter
     );
-    if let Some(out) = args.get(3) {
+    if let Some(out) = pos.get(3) {
         std::fs::write(out, io::to_string(&res.graph)).map_err(|e| e.to_string())?;
         println!("wrote {out}");
+    }
+    if let Some(path) = trace {
+        rec.export_to(&ChromeTrace, &path)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path} (open in chrome://tracing or Perfetto)");
     }
     Ok(())
 }
@@ -181,7 +218,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown benchmark {name}; one of BT CG EP FT IS LU MG SP"))?;
     let iters: usize = arg_num(args, 2, 1);
     let ranks = g.num_hosts();
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters)
         .map_err(|e| format!("simulation failed: {e}"))?;
     println!(

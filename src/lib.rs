@@ -17,6 +17,7 @@
 //! | [`netsim`] | `orp-netsim` | fluid + packet simulators, MPI, NPB skeletons |
 //! | [`partition`] | `orp-partition` | multilevel k-way partitioner, max-flow |
 //! | [`layout`] | `orp-layout` | floorplans, cables, power/cost, placement |
+//! | [`obs`] | `orp-obs` | zero-cost-when-off telemetry: spans, counters, histograms, trace export |
 //!
 //! ## The 30-second tour
 //!
@@ -32,10 +33,95 @@
 //! assert_eq!(m as u64, m_opt);
 //! assert!(result.metrics.haspl >= bound * 0.95); // sanity, not tightness
 //! ```
+//!
+//! ## Builders and telemetry
+//!
+//! The solver and simulator are driven through builders that optionally
+//! carry an [`obs::Recorder`]; a disabled recorder (the default) costs
+//! one branch per probe, so the same code path serves production runs
+//! and instrumented ones:
+//!
+//! ```
+//! use orp::prelude::*;
+//!
+//! let rec = Recorder::enabled();
+//! let result = Anneal::builder(orp::core::construct::random_general(16, 4, 8, 1).unwrap())
+//!     .config(SaConfig::builder().iters(200).seed(7).build())
+//!     .recorder(rec.clone())
+//!     .run()
+//!     .unwrap();
+//! assert!(result.metrics.haspl > 0.0);
+//! let json = rec.snapshot().map(|s| JsonSummary.render(&s)).unwrap();
+//! assert!(json.contains("anneal.proposed"));
+//! ```
 
 pub use orp_core as core;
 pub use orp_layout as layout;
 pub use orp_netsim as netsim;
+pub use orp_obs as obs;
 pub use orp_partition as partition;
 pub use orp_route as route;
 pub use orp_topo as topo;
+
+/// Any error the toolkit's fallible entry points can produce, unified so
+/// applications can `?` across crate boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Graph construction or solver failure ([`core::GraphError`]).
+    Graph(core::GraphError),
+    /// Routing failure ([`route::RouteError`]).
+    Route(route::RouteError),
+    /// Simulation failure ([`netsim::SimError`]).
+    Sim(netsim::SimError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Graph(e) => write!(f, "graph: {e}"),
+            Self::Route(e) => write!(f, "route: {e}"),
+            Self::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Graph(e) => Some(e),
+            Self::Route(e) => Some(e),
+            Self::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<core::GraphError> for Error {
+    fn from(e: core::GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<route::RouteError> for Error {
+    fn from(e: route::RouteError) -> Self {
+        Self::Route(e)
+    }
+}
+
+impl From<netsim::SimError> for Error {
+    fn from(e: netsim::SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// One-stop imports for the builder-style API:
+/// `use orp::prelude::*;`.
+pub mod prelude {
+    pub use crate::core::anneal::{solve_orp, Anneal, MoveKind, SaConfig, SaResult};
+    pub use crate::core::graph::HostSwitchGraph;
+    pub use crate::netsim::{
+        FaultEvent, NetConfig, NetFault, Network, NetworkBuilder, Op, Program, SimReport,
+        Simulator, SimulatorBuilder,
+    };
+    pub use crate::obs::{ChromeTrace, JsonSummary, Recorder, Sink, TextProgress};
+    pub use crate::Error;
+}

@@ -5,19 +5,19 @@
 
 use orp::core::construct::random_general;
 use orp::netsim::mpi::ProgramBuilder;
-use orp::netsim::network::{NetConfig, Network};
-use orp::netsim::simulate;
+use orp::netsim::network::Network;
+use orp::netsim::Simulator;
 
 fn net(n: u32) -> Network {
     let g = random_general(n, (n / 4).max(2), 10, 5).unwrap();
-    Network::new(&g, NetConfig::default())
+    Network::builder(&g).build()
 }
 
 fn run(n: u32, f: impl FnOnce(&mut ProgramBuilder)) -> (u64, f64) {
     let net = net(n);
     let mut b = ProgramBuilder::new(n);
     f(&mut b);
-    let rep = simulate(&net, b.build()).unwrap();
+    let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
     (rep.flows, rep.bytes)
 }
 
@@ -119,7 +119,7 @@ fn reduce_computes_combines() {
     let net = net(16);
     let mut b = ProgramBuilder::new(16);
     b.reduce(0, 8000.0);
-    let rep = simulate(&net, b.build()).unwrap();
+    let rep = Simulator::builder(&net).programs(b.build()).run().unwrap();
     // 15 combine steps of bytes/8 flops each
     assert!((rep.flops - 15.0 * 1000.0).abs() < 1e-6);
 }

@@ -12,7 +12,7 @@ use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::{NetConfig, Network, RouteMode};
 use orp::netsim::packet::{packet_simulate, FlowDemand, DEFAULT_MTU};
 use orp::netsim::patterns::Pattern;
-use orp::netsim::simulate;
+use orp::netsim::Simulator;
 use orp::route::{RoutingTable, ValiantRouting};
 use orp::topo::prelude::*;
 
@@ -114,16 +114,19 @@ fn ecmp_never_slower_than_single_path_on_fat_tree_alltoall() {
         .build_with_hosts(128, AttachOrder::Sequential)
         .unwrap();
     let mk = |mode| {
-        let net = Network::new(
-            &ft,
-            NetConfig {
+        let net = Network::builder(&ft)
+            .config(NetConfig {
                 route_mode: mode,
                 ..Default::default()
-            },
-        );
+            })
+            .build();
         let mut b = orp::netsim::mpi::ProgramBuilder::new(128);
         b.alltoall(64.0 * 1024.0);
-        simulate(&net, b.build()).unwrap().time
+        Simulator::builder(&net)
+            .programs(b.build())
+            .run()
+            .unwrap()
+            .time
     };
     let single = mk(RouteMode::SinglePath);
     let ecmp = mk(RouteMode::Ecmp);
@@ -139,7 +142,7 @@ fn packet_model_confirms_fluid_contention_factor() {
     for s in [0u32, 0, 1, 1] {
         g.attach_host(s).unwrap();
     }
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let bytes = 256.0 * DEFAULT_MTU;
     let demands: Vec<FlowDemand> = vec![
         FlowDemand {
@@ -191,8 +194,10 @@ fn patterns_expose_topology_differences() {
         .build_with_hosts(64, AttachOrder::RoundRobin)
         .unwrap();
     let run = |g: &orp::core::HostSwitchGraph| {
-        let net = Network::new(g, NetConfig::default());
-        simulate(&net, Pattern::Transpose.programs(64, 32.0 * 1024.0, 1, 3))
+        let net = Network::builder(g).build();
+        Simulator::builder(&net)
+            .programs(Pattern::Transpose.programs(64, 32.0 * 1024.0, 1, 3))
+            .run()
             .unwrap()
             .time
     };

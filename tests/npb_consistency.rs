@@ -3,14 +3,17 @@
 //! with rank count and class.
 
 use orp::core::construct::random_general;
-use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::network::Network;
 use orp::netsim::npb::{Benchmark, Class};
-use orp::netsim::simulate;
+use orp::netsim::Simulator;
 
 fn run(bench: Benchmark, n: u32, class: Class) -> orp::netsim::SimReport {
     let g = random_general(n, (n / 4).max(4), 10, 3).unwrap();
-    let net = Network::new(&g, NetConfig::default());
-    simulate(&net, bench.build(n, class, 1)).unwrap()
+    let net = Network::builder(&g).build();
+    Simulator::builder(&net)
+        .programs(bench.build(n, class, 1))
+        .run()
+        .unwrap()
 }
 
 #[test]
@@ -105,10 +108,16 @@ fn total_flops_are_rank_count_invariant() {
 fn per_iteration_structure_is_steady_state() {
     // 3 iterations ≈ 3 × 1 iteration in both bytes and flows
     let g = random_general(16, 4, 10, 3).unwrap();
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     for bench in [Benchmark::Is, Benchmark::Mg, Benchmark::Cg] {
-        let one = simulate(&net, bench.build(16, Class::A, 1)).unwrap();
-        let three = simulate(&net, bench.build(16, Class::A, 3)).unwrap();
+        let one = Simulator::builder(&net)
+            .programs(bench.build(16, Class::A, 1))
+            .run()
+            .unwrap();
+        let three = Simulator::builder(&net)
+            .programs(bench.build(16, Class::A, 3))
+            .run()
+            .unwrap();
         let byte_ratio = three.bytes / one.bytes;
         assert!(
             (2.9..3.1).contains(&byte_ratio),

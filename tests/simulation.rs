@@ -4,17 +4,21 @@
 
 use orp::core::construct::{clique, random_general, star};
 use orp::netsim::mpi::ProgramBuilder;
-use orp::netsim::network::{NetConfig, Network};
+use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
 use orp::netsim::report::run_suite;
-use orp::netsim::simulate;
+use orp::netsim::Simulator;
 use orp::topo::prelude::*;
 
 fn alltoall_time(g: &orp::core::HostSwitchGraph, ranks: u32, bytes: f64) -> f64 {
-    let net = Network::new(g, NetConfig::default());
+    let net = Network::builder(g).build();
     let mut b = ProgramBuilder::new(ranks);
     b.alltoall(bytes);
-    simulate(&net, b.build()).unwrap().time
+    Simulator::builder(&net)
+        .programs(b.build())
+        .run()
+        .unwrap()
+        .time
 }
 
 #[test]
@@ -79,7 +83,7 @@ fn npb_runs_on_all_topology_families() {
         ("random", random_general(ranks, 16, 8, 3).unwrap()),
     ];
     for (name, g) in graphs {
-        let net = Network::new(&g, NetConfig::default());
+        let net = Network::builder(&g).build();
         let results = run_suite(&net, &Benchmark::all(), ranks, 1).unwrap();
         for r in &results {
             assert!(r.time > 0.0, "{name}/{}", r.name);
@@ -112,8 +116,8 @@ fn identical_flops_across_topologies() {
         .build_with_hosts(ranks, AttachOrder::Sequential)
         .unwrap();
     for bench in Benchmark::all() {
-        let net_a = Network::new(&a, NetConfig::default());
-        let net_b = Network::new(&b, NetConfig::default());
+        let net_a = Network::builder(&a).build();
+        let net_b = Network::builder(&b).build();
         let ra = run_suite(&net_a, &[bench], ranks, 1).unwrap();
         let rb = run_suite(&net_b, &[bench], ranks, 1).unwrap();
         assert_eq!(ra[0].flops, rb[0].flops, "{}", bench.name());
@@ -130,7 +134,7 @@ fn contention_slows_shared_links() {
     for s in [0u32, 0, 1, 1] {
         g.attach_host(s).unwrap();
     }
-    let net = Network::new(&g, NetConfig::default());
+    let net = Network::builder(&g).build();
     let bytes = 10e6;
     let mut pb = ProgramBuilder::new(4);
     // hosts 0,1 on switch 0; hosts 2,3 on switch 1
@@ -154,7 +158,7 @@ fn contention_slows_shared_links() {
     );
     pb.raw(0, orp::netsim::Op::Recv { from: 2 });
     pb.raw(1, orp::netsim::Op::Recv { from: 3 });
-    let rep = simulate(&net, pb.build()).unwrap();
+    let rep = Simulator::builder(&net).programs(pb.build()).run().unwrap();
     let cfg = net.config();
     let one_flow = bytes / cfg.bandwidth;
     // 2 flows per direction share each unidirectional link: 2× serialization
