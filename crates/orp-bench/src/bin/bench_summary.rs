@@ -1,0 +1,173 @@
+//! Bench-artifact collator: folds every `results/BENCH_*.json` (and
+//! `crates/orp-bench/results/BENCH_*.json`) into one machine-readable
+//! `results/BENCH_SUMMARY.json` so the perf trajectory stays
+//! comparable across PRs without knowing each artifact's shape.
+//!
+//! Each summary entry is `{source, metric, value, unit, seed, git_rev}`
+//! (schema documented in EXPERIMENTS.md): numeric leaves of the
+//! artifact's JSON tree become dotted-path metrics, shallowest paths
+//! first, capped per file so sample-heavy artifacts don't drown the
+//! headline numbers. Units are inferred from well-known name suffixes;
+//! everything else is dimensionless (`""`).
+
+use orp_bench::write_json;
+use serde::{Serialize, Value};
+use std::path::Path;
+
+/// Per-artifact entry cap: headline metrics live near the root, so
+/// shallow-first truncation keeps the signal and drops raw samples.
+const MAX_ENTRIES_PER_FILE: usize = 64;
+
+#[derive(Debug, Clone, Serialize)]
+struct Entry {
+    /// Artifact file stem, e.g. `BENCH_resilience`.
+    source: String,
+    /// Dotted path of the numeric leaf, e.g. `topologies.0.summary.haspl`.
+    metric: String,
+    /// The value.
+    value: f64,
+    /// Inferred unit (`s`, `Mop/s`, `bytes`, … or `""`).
+    unit: String,
+    /// The artifact's top-level `seed` field when present.
+    seed: Option<u64>,
+    /// `git rev-parse --short HEAD` at collation time.
+    git_rev: String,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Summary {
+    git_rev: String,
+    files: Vec<String>,
+    entries: Vec<Entry>,
+}
+
+fn unit_of(metric: &str) -> &'static str {
+    let leaf = metric.rsplit('.').next().unwrap_or(metric);
+    match () {
+        _ if leaf.ends_with("mops") || leaf == "mops" => "Mop/s",
+        _ if leaf.ends_with("_us") => "µs",
+        _ if leaf.ends_with("_ns") => "ns",
+        _ if leaf.ends_with("time") || leaf == "at" || leaf == "makespan" => "s",
+        _ if leaf.contains("bytes") => "bytes",
+        _ if leaf.contains("power") => "W",
+        _ if leaf.contains("cost") => "$",
+        _ if leaf.contains("ppm") => "ppm",
+        _ if leaf.contains("fraction") || leaf.contains("probability") => "ratio",
+        _ => "",
+    }
+}
+
+/// Collects `(depth, path, value)` for every numeric leaf.
+fn flatten(v: &Value, path: &str, depth: usize, out: &mut Vec<(usize, String, f64)>) {
+    match v {
+        Value::Int(i) => out.push((depth, path.to_string(), *i as f64)),
+        Value::Float(f) => out.push((depth, path.to_string(), *f)),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let p = if path.is_empty() {
+                    i.to_string()
+                } else {
+                    format!("{path}.{i}")
+                };
+                flatten(item, &p, depth + 1, out);
+            }
+        }
+        Value::Object(fields) => {
+            for (k, item) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten(item, &p, depth + 1, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn collate(path: &Path, rev: &str, entries: &mut Vec<Entry>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let root: Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let source = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown")
+        .to_string();
+    let seed = root.get_field("seed").ok().and_then(|v| match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    });
+    let mut leaves = Vec::new();
+    flatten(&root, "", 0, &mut leaves);
+    // shallow-first, then path order, so truncation keeps headlines
+    leaves.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let total = leaves.len();
+    leaves.truncate(MAX_ENTRIES_PER_FILE);
+    if total > MAX_ENTRIES_PER_FILE {
+        eprintln!(
+            "  {source}: {total} numeric leaves, keeping the {MAX_ENTRIES_PER_FILE} shallowest"
+        );
+    }
+    for (_, metric, value) in leaves {
+        entries.push(Entry {
+            source: source.clone(),
+            metric: metric.clone(),
+            value,
+            unit: unit_of(&metric).to_string(),
+            seed,
+            git_rev: rev.to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn main() {
+    let rev = git_rev();
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for dir in ["results", "crates/orp-bench/results"] {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("");
+            if name.starts_with("BENCH_") && name.ends_with(".json") && name != "BENCH_SUMMARY.json"
+            {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    let mut entries = Vec::new();
+    let mut collated = Vec::new();
+    for f in &files {
+        match collate(f, &rev, &mut entries) {
+            Ok(()) => collated.push(f.display().to_string()),
+            Err(e) => eprintln!("  skipping {}: {e}", f.display()),
+        }
+    }
+    let summary = Summary {
+        git_rev: rev,
+        files: collated,
+        entries,
+    };
+    println!(
+        "collated {} artifacts into {} entries (rev {})",
+        summary.files.len(),
+        summary.entries.len(),
+        summary.git_rev
+    );
+    let path = write_json("BENCH_SUMMARY", &summary);
+    eprintln!("wrote {}", path.display());
+}

@@ -138,6 +138,15 @@ struct Flow {
     hash: u64,
     active: bool,
     finished: bool,
+    /// Original payload size (for the completion-time decomposition).
+    bytes: f64,
+    /// Simulated creation time.
+    created: f64,
+    /// First-route activation delay (the propagation component).
+    prop: f64,
+    /// Accumulated streaming time; only maintained while a recorder is
+    /// attached (the decomposition's serialization + queueing share).
+    active_time: f64,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -163,6 +172,8 @@ struct RankCtx {
 }
 
 const NO_RECV: u32 = u32::MAX;
+/// Sentinel for "this rank has no recorded parent flow yet".
+const NO_FLOW: u64 = u64::MAX;
 
 /// Time-ordered event queue key (f64 wrapped for the heap).
 #[derive(PartialEq, PartialOrd)]
@@ -213,6 +224,17 @@ pub struct Simulator<'a> {
     rec: Recorder,
     /// Per-link bytes moved; allocated only when the recorder records.
     link_bytes: Vec<f64>,
+    /// Per-link time-integral of flow multiplicity (seconds of flow
+    /// presence); allocated only when the recorder records.
+    link_busy: Vec<f64>,
+    /// Per-link peak flow multiplicity; allocated only when the recorder
+    /// records.
+    link_peak: Vec<u32>,
+    /// Per-rank id of the flow whose delivery last unblocked the rank —
+    /// the parent of flows it subsequently issues (`flow.dep` edges).
+    /// Only maintained while a recorder is attached; never read by the
+    /// simulation itself.
+    dep_parent: Vec<u64>,
 }
 
 /// Builder for [`Simulator`]; obtain via [`Simulator::builder`].
@@ -355,10 +377,15 @@ impl<'a> Simulator<'a> {
         );
         let nl = net.num_links() as usize;
         let dead_host = (0..net.num_hosts()).map(|h| net.host_dead(h)).collect();
-        let link_bytes = if rec.is_enabled() {
-            vec![0.0; nl]
+        let (link_bytes, link_busy, link_peak, dep_parent) = if rec.is_enabled() {
+            (
+                vec![0.0; nl],
+                vec![0.0; nl],
+                vec![0u32; nl],
+                vec![NO_FLOW; programs.len()],
+            )
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
         Self {
             net,
@@ -395,6 +422,9 @@ impl<'a> Simulator<'a> {
             fault_table: None,
             rec,
             link_bytes,
+            link_busy,
+            link_peak,
+            dep_parent,
         }
     }
 
@@ -440,7 +470,8 @@ impl<'a> Simulator<'a> {
         if self.placement[src as usize] == self.placement[dst as usize] {
             // same host (or same rank): loopback, deliver immediately
             self.rec.incr("sim.loopback_msgs", 1);
-            self.deliver(src, dst);
+            // loopback carries no flow id: it breaks the dependency chain
+            self.deliver(src, dst, None);
             return Ok(());
         }
         self.flow_seq += 1;
@@ -457,6 +488,10 @@ impl<'a> Simulator<'a> {
             hash,
             active: false,
             finished: false,
+            bytes: bytes.max(0.0),
+            created: self.now,
+            prop: delay,
+            active_time: 0.0,
         });
         self.total_flows += 1;
         self.total_bytes += bytes.max(0.0);
@@ -468,14 +503,31 @@ impl<'a> Simulator<'a> {
                 dst,
                 bytes: bytes.max(0.0),
             });
+            let parent = self.dep_parent[src as usize];
+            if parent != NO_FLOW {
+                self.rec.emit(ObsEvent::FlowDep {
+                    flow: id as u64,
+                    parent,
+                });
+            }
         }
         self.push_event(self.now + delay, Event::Activate(id));
         Ok(())
     }
 
     /// Marks one message from `src` delivered at `dst`, waking the blocked
-    /// sender and/or receiver.
-    fn deliver(&mut self, src: u32, dst: u32) {
+    /// sender and/or receiver. `flow` is the completed flow that carried
+    /// the message (`None` for loopback), recorded as the dependency
+    /// parent of whatever the unblocked ranks do next.
+    fn deliver(&mut self, src: u32, dst: u32, flow: Option<u64>) {
+        if let Some(fid) = flow {
+            if self.rec.is_enabled() {
+                // blocking semantics: anything src or dst does after this
+                // instant happens-after this delivery
+                self.dep_parent[src as usize] = fid;
+                self.dep_parent[dst as usize] = fid;
+            }
+        }
         self.channels.entry((src, dst)).or_default().delivered += 1;
         // wake the sender (blocking send semantics)
         if let Some(c) = self.ranks.get_mut(src as usize) {
@@ -548,6 +600,68 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+    }
+
+    /// Finishes flow `fid` at the current time: marks it done, emits its
+    /// completion records (lifecycle event, latency decomposition, and
+    /// per-fabric-hop enqueue/drain times), and delivers its message.
+    /// The caller removes the flow from `active` if it was streaming.
+    fn finish_flow(&mut self, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        f.active = false;
+        f.finished = true;
+        let (src, dst) = (f.src, f.dst);
+        if self.rec.is_enabled() {
+            let f = &self.flows[fid as usize];
+            let (bytes, created, prop, active_time) = (f.bytes, f.created, f.prop, f.active_time);
+            let route: Vec<LinkId> = f.route.to_vec();
+            let cfg = *self.net.config();
+            self.rec.emit(ObsEvent::Flow {
+                stage: FlowStage::Completed,
+                id: fid as u64,
+                src,
+                dst,
+                bytes: 0.0,
+            });
+            // exact by construction: the four components telescope to
+            // completed - created (what the analyze engine relies on)
+            let serialization = bytes / cfg.bandwidth;
+            let queueing = active_time - serialization;
+            let stall = (self.now - created) - active_time - prop;
+            self.rec.emit(ObsEvent::FlowDone {
+                id: fid as u64,
+                src,
+                dst,
+                bytes,
+                hops: route.len() as u32,
+                created,
+                completed: self.now,
+                propagation: prop,
+                serialization,
+                queueing,
+                stall,
+            });
+            // fabric hops: head arrival is pipelined off the creation
+            // time, tail departure counts back from the completion time
+            let hops = route.len();
+            for (i, &l) in route.iter().enumerate() {
+                let (kind, from, to) = self.net.link_endpoints(l);
+                if kind != 2 {
+                    continue;
+                }
+                let enqueue = created + cfg.sw_overhead + i as f64 * cfg.hop_latency;
+                let drain = (self.now - (hops - 1 - i) as f64 * cfg.hop_latency).max(enqueue);
+                self.rec.emit(ObsEvent::Hop {
+                    flow: fid as u64,
+                    index: i as u32,
+                    from,
+                    to,
+                    enqueue,
+                    drain,
+                });
+            }
+        }
+        self.deliver(src, dst, Some(fid as u64));
     }
 
     /// Kills a network element at the current time: marks its directed
@@ -683,8 +797,11 @@ impl<'a> Simulator<'a> {
             // per-link flow multiplicity at this reallocation — the
             // contention ("queue depth") histogram
             for &l in &self.touched_links {
-                self.rec
-                    .record("sim.queue_depth", self.link_count[l as usize] as u64);
+                let c = self.link_count[l as usize];
+                self.rec.record("sim.queue_depth", c as u64);
+                if c > self.link_peak[l as usize] {
+                    self.link_peak[l as usize] = c;
+                }
             }
         }
         let mut unfrozen: Vec<u32> = self.active.clone();
@@ -743,8 +860,12 @@ impl<'a> Simulator<'a> {
                 let moved = (f.rate * dt).min(f.remaining);
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
                 if track {
+                    f.active_time += dt;
                     for &l in f.route.iter() {
                         self.link_bytes[l as usize] += moved;
+                        // flow-seconds; divided by the makespan at the end
+                        // of the run this is the time-averaged sharing
+                        self.link_busy[l as usize] += dt;
                     }
                 }
             }
@@ -822,20 +943,7 @@ impl<'a> Simulator<'a> {
                     };
                     if f.remaining <= 1e-9 || left_t <= 1e-12 {
                         self.active.swap_remove(i);
-                        let f = &mut self.flows[fid as usize];
-                        f.active = false;
-                        f.finished = true;
-                        let (src, dst) = (f.src, f.dst);
-                        if self.rec.is_enabled() {
-                            self.rec.emit(ObsEvent::Flow {
-                                stage: FlowStage::Completed,
-                                id: fid as u64,
-                                src,
-                                dst,
-                                bytes: 0.0,
-                            });
-                        }
-                        self.deliver(src, dst);
+                        self.finish_flow(fid);
                         changed = true;
                     } else {
                         i += 1;
@@ -857,18 +965,7 @@ impl<'a> Simulator<'a> {
                         if f.finished || f.active {
                             // stale event for a flow re-issued by a fault
                         } else if f.remaining <= 0.0 {
-                            f.finished = true;
-                            let (src, dst) = (f.src, f.dst);
-                            if self.rec.is_enabled() {
-                                self.rec.emit(ObsEvent::Flow {
-                                    stage: FlowStage::Completed,
-                                    id: fid as u64,
-                                    src,
-                                    dst,
-                                    bytes: 0.0,
-                                });
-                            }
-                            self.deliver(src, dst);
+                            self.finish_flow(fid);
                         } else {
                             f.active = true;
                             let (src, dst, remaining) = (f.src, f.dst, f.remaining);
@@ -908,17 +1005,41 @@ impl<'a> Simulator<'a> {
             // utilization (parts-per-million of link capacity × runtime)
             let capacity = self.net.config().bandwidth * self.now;
             let mut links_used = 0u64;
-            for &b in &self.link_bytes {
+            for l in 0..self.link_bytes.len() {
+                let b = self.link_bytes[l];
                 if b > 0.0 {
                     links_used += 1;
                     self.rec.record("sim.link_bytes", b as u64);
+                    let util_ppm = if capacity > 0.0 {
+                        b / capacity * 1e6
+                    } else {
+                        0.0
+                    };
                     if capacity > 0.0 {
-                        self.rec
-                            .record("sim.link_util_ppm", (b / capacity * 1e6) as u64);
+                        self.rec.record("sim.link_util_ppm", util_ppm as u64);
                     }
+                    let (kind, a, bb) = self.net.link_endpoints(l as u32);
+                    self.rec.emit(ObsEvent::LinkLoad {
+                        link: l as u32,
+                        a,
+                        b: bb,
+                        kind: kind as u32,
+                        bytes: b,
+                        util_ppm,
+                        avg_flows: if self.now > 0.0 {
+                            self.link_busy[l] / self.now
+                        } else {
+                            0.0
+                        },
+                        peak_flows: self.link_peak[l],
+                    });
                 }
             }
             self.rec.incr("sim.links_used", links_used);
+            self.rec.emit(ObsEvent::Mark {
+                name: "sim.completed",
+                value: self.now,
+            });
         }
         Ok(SimReport {
             time: self.now,
@@ -1388,6 +1509,85 @@ mod tests {
         assert!(snap.histogram("sim.link_bytes").unwrap().count > 0);
         assert!(snap.counter("sim.links_used").unwrap_or(0) > 0);
         assert!(snap.spans.iter().any(|s| s.name == "sim.run"));
+        // analysis-layer records: one decomposition per flow, a load
+        // rollup per used link, hop timings, and the completion mark
+        assert_eq!(snap.event_count("flow.done"), traced.flows as usize);
+        assert_eq!(
+            snap.event_count("link.load") as u64,
+            snap.counter("sim.links_used").unwrap()
+        );
+        assert!(snap.event_count("flow.hop") > 0);
+        assert!(snap.event_count("flow.dep") > 0);
+        assert_eq!(snap.event_count("sim.completed"), 1);
+        let done_mark = snap.events.iter().find_map(|e| match e.event {
+            ObsEvent::Mark {
+                name: "sim.completed",
+                value,
+            } => Some(value),
+            _ => None,
+        });
+        assert_eq!(done_mark, Some(traced.time));
+    }
+
+    #[test]
+    fn flow_done_components_sum_to_end_to_end_latency() {
+        let net = ring_net();
+        let programs = vec![
+            vec![Op::Send { to: 1, bytes: 50e6 }, Op::Recv { from: 1 }],
+            vec![Op::Recv { from: 0 }, Op::Send { to: 0, bytes: 25e6 }],
+            vec![Op::Send { to: 3, bytes: 10e6 }],
+            vec![Op::Recv { from: 2 }],
+        ];
+        let faults = [FaultEvent {
+            time: 5e-3,
+            fault: NetFault::Link(0, 1),
+        }];
+        let rec = Recorder::enabled();
+        Simulator::builder(&net)
+            .programs(programs)
+            .fault_schedule(&faults)
+            .recorder(rec.clone())
+            .run()
+            .unwrap();
+        let snap = rec.snapshot().unwrap();
+        let mut seen = 0;
+        for e in &snap.events {
+            if let ObsEvent::FlowDone {
+                created,
+                completed,
+                propagation,
+                serialization,
+                queueing,
+                stall,
+                bytes,
+                hops,
+                ..
+            } = e.event
+            {
+                seen += 1;
+                let total = completed - created;
+                let sum = propagation + serialization + queueing + stall;
+                assert!(
+                    (total - sum).abs() <= 1e-9 * total.max(1.0),
+                    "decomposition must telescope: total={total} sum={sum}"
+                );
+                assert!(bytes > 0.0 && hops >= 2);
+                assert!(propagation > 0.0 && serialization > 0.0);
+            }
+        }
+        assert!(seen >= 3, "expected every non-loopback flow decomposed");
+        // hop timings are ordered and bounded by the flow lifetime
+        for e in &snap.events {
+            if let ObsEvent::Hop { enqueue, drain, .. } = e.event {
+                assert!(drain >= enqueue);
+            }
+        }
+        // dependency edges never point forward in time
+        for e in &snap.events {
+            if let ObsEvent::FlowDep { flow, parent } = e.event {
+                assert!(parent < flow, "parent flow must be created earlier");
+            }
+        }
     }
 
     #[test]

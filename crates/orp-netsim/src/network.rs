@@ -351,6 +351,30 @@ impl Network {
     pub fn message_delay(&self, hops: usize) -> f64 {
         self.cfg.sw_overhead + hops as f64 * self.cfg.hop_latency
     }
+
+    /// Classifies a directed link id as `(kind, a, b)`: kind 0 is a host
+    /// uplink (`a` = host, `b` = its switch), kind 1 a host downlink
+    /// (`a` = switch, `b` = host), kind 2 a switch→switch fabric link
+    /// (`a` → `b`). Inverse of the link-id layout of [`Network::route`].
+    ///
+    /// # Panics
+    /// Panics when `id >= num_links()`.
+    pub fn link_endpoints(&self, id: LinkId) -> (u8, u32, u32) {
+        let n = self.num_hosts;
+        assert!(id < self.num_links, "link id out of range");
+        if id < n {
+            return (0, id, self.host_sw[id as usize]);
+        }
+        if id < 2 * n {
+            let h = id - n;
+            return (1, self.host_sw[h as usize], h);
+        }
+        // sw_offsets is sorted (with duplicates for fabric-less switches);
+        // the owner is the last switch whose first slot is <= id
+        let s = self.sw_offsets.partition_point(|&o| o <= id) - 1;
+        let v = self.sw_neighbors[(id - 2 * n) as usize];
+        (2, s as u32, v)
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +465,30 @@ mod tests {
         let cfg = net.config();
         assert!((d4 - d2 - 2.0 * cfg.hop_latency).abs() < 1e-15);
         assert!(d2 > cfg.sw_overhead);
+    }
+
+    #[test]
+    fn link_endpoints_invert_the_id_layout() {
+        let (g, net) = line();
+        let n = g.num_hosts();
+        // uplinks and downlinks
+        for h in 0..n {
+            assert_eq!(net.link_endpoints(h), (0, h, g.switch_of(h)));
+            assert_eq!(net.link_endpoints(n + h), (1, g.switch_of(h), h));
+        }
+        // every fabric link round-trips through sw_link
+        for s in 0..net.num_switches() {
+            for (id, v) in net.switch_links(s) {
+                assert_eq!(net.link_endpoints(id), (2, s, v));
+            }
+        }
+        // the links of an actual route classify sensibly
+        let r = net.route(0, 1, 0).unwrap();
+        assert_eq!(net.link_endpoints(r[0]).0, 0);
+        assert_eq!(net.link_endpoints(*r.last().unwrap()).0, 1);
+        for &l in &r[1..r.len() - 1] {
+            assert_eq!(net.link_endpoints(l).0, 2);
+        }
     }
 
     #[test]

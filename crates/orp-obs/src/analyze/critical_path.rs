@@ -1,0 +1,201 @@
+//! Critical-path extraction over the flow-dependency DAG.
+//!
+//! Nodes are completed flows (intervals `[start, end]` in simulated
+//! time); edges say "this flow's issuing rank was last unblocked by
+//! that flow's delivery". The critical path is found backwards from
+//! the latest-finishing flow: at each step the *gating* parent is the
+//! dependency with the latest end time — the one that actually held
+//! the child back. The gap between a parent's end and its child's
+//! start is rank-local time (compute, or blocking on a different
+//! channel), reported as per-edge slack.
+
+use std::collections::HashMap;
+
+/// One schedulable unit: a flow's lifetime in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpNode {
+    /// Flow id.
+    pub id: u64,
+    /// Creation time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+/// One step of the extracted path, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStep {
+    /// Flow id.
+    pub id: u64,
+    /// Creation time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+    /// Slack before this step: time between the previous step's end
+    /// (or zero, for the first step) and this step's start.
+    pub gap: f64,
+}
+
+/// The chain of flows gating completion.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CriticalPath {
+    /// Path steps, earliest first.
+    pub steps: Vec<PathStep>,
+    /// End time of the final step.
+    pub makespan: f64,
+}
+
+impl CriticalPath {
+    /// Total slack along the path (the first step's lead-in included):
+    /// rank-local compute and blocked time between the path's flows.
+    pub fn total_gap(&self) -> f64 {
+        self.steps.iter().map(|s| s.gap).sum()
+    }
+}
+
+/// Extracts the critical path from `nodes` and dependency `edges`
+/// (`(child, parent)` pairs; edges naming unknown ids are ignored).
+///
+/// Ties — several nodes sharing the latest end — break toward the
+/// smallest id so the result is deterministic. Cycles (impossible in
+/// simulator output, possible in hand-built inputs) are cut by
+/// refusing to revisit a node.
+pub fn critical_path(nodes: &[CpNode], edges: &[(u64, u64)]) -> CriticalPath {
+    let by_id: HashMap<u64, CpNode> = nodes.iter().map(|n| (n.id, *n)).collect();
+    let mut parents: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(child, parent) in edges {
+        if by_id.contains_key(&child) && by_id.contains_key(&parent) {
+            parents.entry(child).or_default().push(parent);
+        }
+    }
+    // sink: latest end, smallest id on ties
+    let Some(sink) = nodes
+        .iter()
+        .copied()
+        .max_by(|a, b| a.end.total_cmp(&b.end).then_with(|| b.id.cmp(&a.id)))
+    else {
+        return CriticalPath::default();
+    };
+    let mut rev = vec![sink];
+    let mut visited: std::collections::HashSet<u64> = [sink.id].into();
+    let mut cur = sink;
+    while let Some(ps) = parents.get(&cur.id) {
+        let Some(gate) = ps
+            .iter()
+            .filter(|p| !visited.contains(p))
+            .filter_map(|p| by_id.get(p))
+            .copied()
+            .max_by(|a, b| a.end.total_cmp(&b.end).then_with(|| b.id.cmp(&a.id)))
+        else {
+            break;
+        };
+        visited.insert(gate.id);
+        rev.push(gate);
+        cur = gate;
+    }
+    rev.reverse();
+    let mut steps = Vec::with_capacity(rev.len());
+    let mut prev_end = 0.0;
+    for n in rev {
+        steps.push(PathStep {
+            id: n.id,
+            start: n.start,
+            end: n.end,
+            gap: n.start - prev_end,
+        });
+        prev_end = n.end;
+    }
+    CriticalPath {
+        steps,
+        makespan: sink.end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u64, start: f64, end: f64) -> CpNode {
+        CpNode { id, start, end }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_path() {
+        let cp = critical_path(&[], &[]);
+        assert!(cp.steps.is_empty());
+        assert_eq!(cp.makespan, 0.0);
+    }
+
+    #[test]
+    fn single_chain_is_the_path() {
+        let nodes = [n(0, 0.0, 10.0), n(1, 10.0, 20.0), n(2, 21.0, 30.0)];
+        let edges = [(1, 0), (2, 1)];
+        let cp = critical_path(&nodes, &edges);
+        assert_eq!(
+            cp.steps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(cp.makespan, 30.0);
+        assert_eq!(cp.steps[0].gap, 0.0);
+        assert_eq!(cp.steps[1].gap, 0.0);
+        assert_eq!(cp.steps[2].gap, 1.0); // rank-local second between 1 and 2
+        assert_eq!(cp.total_gap(), 1.0);
+    }
+
+    #[test]
+    fn diamond_follows_the_slow_branch() {
+        // A forks to B (slow) and C (fast); D joins both.
+        let nodes = [
+            n(0, 0.0, 10.0),  // A
+            n(1, 10.0, 20.0), // B — slow branch
+            n(2, 10.0, 15.0), // C — fast branch, has slack
+            n(3, 20.0, 30.0), // D
+        ];
+        let edges = [(1, 0), (2, 0), (3, 1), (3, 2)];
+        let cp = critical_path(&nodes, &edges);
+        assert_eq!(
+            cp.steps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        assert_eq!(cp.makespan, 30.0);
+        assert_eq!(cp.total_gap(), 0.0);
+    }
+
+    #[test]
+    fn parallel_independent_flows_pick_the_latest_finisher() {
+        let nodes = [n(0, 0.0, 5.0), n(1, 0.0, 9.0), n(2, 1.0, 4.0)];
+        let cp = critical_path(&nodes, &[]);
+        assert_eq!(cp.steps.len(), 1);
+        assert_eq!(cp.steps[0].id, 1);
+        assert_eq!(cp.makespan, 9.0);
+    }
+
+    #[test]
+    fn end_ties_break_to_the_smallest_id() {
+        let nodes = [n(5, 0.0, 10.0), n(2, 0.0, 10.0), n(7, 0.0, 10.0)];
+        let cp = critical_path(&nodes, &[]);
+        assert_eq!(cp.steps[0].id, 2);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let nodes = [n(0, 0.0, 10.0), n(1, 5.0, 12.0)];
+        let edges = [(1, 0), (0, 1)]; // impossible in real traces
+        let cp = critical_path(&nodes, &edges);
+        assert_eq!(
+            cp.steps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn edges_to_unknown_nodes_are_ignored() {
+        let nodes = [n(0, 0.0, 10.0), n(1, 10.0, 20.0)];
+        let edges = [(1, 0), (1, 99), (98, 0)];
+        let cp = critical_path(&nodes, &edges);
+        assert_eq!(
+            cp.steps.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Link hotspot ranking.
+//!
+//! A link is "hot" when it is both highly utilized *and* shared — a
+//! saturated link carrying one flow delays nobody else, and an idle
+//! link shared by many delays nothing. The score multiplies
+//! utilization by the time-averaged sharing, i.e. utilization-weighted
+//! queueing pressure.
+
+use super::LinkRecord;
+
+/// One ranked link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    /// The underlying load record.
+    pub link: LinkRecord,
+    /// `utilization × avg_flows`; higher is hotter.
+    pub score: f64,
+}
+
+/// Ranks `links` by utilization-weighted queueing and returns the top
+/// `k` (fewer when the trace has fewer loaded links). Deterministic:
+/// score ties break toward the smaller link id.
+pub fn hotspots(links: &[LinkRecord], k: usize) -> Vec<Hotspot> {
+    let mut ranked: Vec<Hotspot> = links
+        .iter()
+        .map(|l| Hotspot {
+            link: *l,
+            score: l.util_ppm / 1e6 * l.avg_flows,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.link.link.cmp(&b.link.link))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(id: u32, util_ppm: f64, avg_flows: f64) -> LinkRecord {
+        LinkRecord {
+            link: id,
+            a: 0,
+            b: 1,
+            kind: 2,
+            bytes: 1.0,
+            util_ppm,
+            avg_flows,
+            peak_flows: 1,
+        }
+    }
+
+    #[test]
+    fn ranks_by_utilization_weighted_sharing() {
+        let links = [
+            link(0, 900_000.0, 1.0), // saturated but unshared: 0.9
+            link(1, 500_000.0, 4.0), // busy and contended: 2.0
+            link(2, 100_000.0, 9.0), // shared but idle: 0.9
+        ];
+        let top = hotspots(&links, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].link.link, 1);
+        assert!((top[0].score - 2.0).abs() < 1e-12);
+        // 0 and 2 tie at 0.9; the smaller id wins the remaining slot
+        assert_eq!(top[1].link.link, 0);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything() {
+        assert_eq!(hotspots(&[link(3, 1.0, 1.0)], 10).len(), 1);
+        assert!(hotspots(&[], 10).is_empty());
+    }
+}

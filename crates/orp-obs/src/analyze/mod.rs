@@ -1,0 +1,462 @@
+//! Latency-attribution analysis over recorded telemetry.
+//!
+//! PR 3 taught the toolkit to *record* — flow lifecycles, per-link
+//! histograms, span trees — and this module family teaches it to
+//! *explain*. The entry point is [`TraceData`]: a normalized view of a
+//! run's telemetry built either live from a [`Snapshot`]
+//! ([`TraceData::from_snapshot`]) or offline from an exported Chrome
+//! trace ([`TraceData::parse_chrome`]). On top of it sit:
+//!
+//! * [`critical_path`] — which chain of flows gated completion, with
+//!   per-edge slack,
+//! * [`attribute`] — the end-to-end makespan split into propagation /
+//!   serialization / queueing / reroute-stall / compute / tail,
+//! * [`hotspots`] — top-k links by utilization-weighted queueing,
+//! * [`aggregate_spans`] / [`collapsed_stacks`] — self/total span-tree
+//!   rollup and a flamegraph-style folded-stack export,
+//! * [`diff`] — align two runs and attribute the completion-time delta,
+//! * [`render_report`] / [`render_diff`] — the text faces behind
+//!   `orp report` and `orp diff`.
+//!
+//! Everything leans on one invariant the simulator upholds: for every
+//! `flow.done` record the four latency components sum *exactly* to
+//! `completed - created`, so attributions telescope with no unexplained
+//! remainder.
+
+mod breakdown;
+mod critical_path;
+mod diff;
+mod hotspot;
+mod report;
+mod spans;
+
+pub use breakdown::{attribute, Attribution, Breakdown};
+pub use critical_path::{critical_path, CpNode, CriticalPath, PathStep};
+pub use diff::{diff, DiffComponent, TraceDiff};
+pub use hotspot::{hotspots, Hotspot};
+pub use report::{render_diff, render_report};
+pub use spans::{aggregate_spans, collapsed_stacks, SpanAgg};
+
+use crate::event::Event;
+use crate::snapshot::Snapshot;
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// One completed flow's latency decomposition (mirrors
+/// [`Event::FlowDone`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    /// Flow id (per-simulation sequence number).
+    pub id: u64,
+    /// Source rank.
+    pub src: u32,
+    /// Destination rank.
+    pub dst: u32,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Links on the final route.
+    pub hops: u32,
+    /// Simulated creation time.
+    pub created: f64,
+    /// Simulated delivery time.
+    pub completed: f64,
+    /// Activation-delay component.
+    pub propagation: f64,
+    /// Uncontended streaming component.
+    pub serialization: f64,
+    /// Contention component.
+    pub queueing: f64,
+    /// Reroute/re-issue component.
+    pub stall: f64,
+}
+
+/// One fabric hop of a flow's route (mirrors [`Event::Hop`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopRecord {
+    /// Owning flow.
+    pub flow: u64,
+    /// Route position (0-based).
+    pub index: u32,
+    /// Source switch.
+    pub from: u32,
+    /// Destination switch.
+    pub to: u32,
+    /// Head-arrival time (simulated seconds).
+    pub enqueue: f64,
+    /// Tail-departure time (simulated seconds).
+    pub drain: f64,
+}
+
+/// Whole-run load rollup for one directed link (mirrors
+/// [`Event::LinkLoad`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRecord {
+    /// Directed link id.
+    pub link: u32,
+    /// Source endpoint.
+    pub a: u32,
+    /// Destination endpoint.
+    pub b: u32,
+    /// 0 = host uplink, 1 = host downlink, 2 = switch→switch.
+    pub kind: u32,
+    /// Bytes moved over the run.
+    pub bytes: f64,
+    /// Utilization in ppm of capacity × makespan.
+    pub util_ppm: f64,
+    /// Time-averaged flows sharing the link.
+    pub avg_flows: f64,
+    /// Peak flows sharing the link.
+    pub peak_flows: u32,
+}
+
+/// One completed span with an owned name (parsed traces cannot borrow
+/// `&'static str` like [`crate::SpanRecord`] does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// Span name.
+    pub name: String,
+    /// Start, microseconds since recorder creation.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Recording thread id.
+    pub tid: u32,
+}
+
+/// A normalized, analysis-ready view of one run's telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Per-flow latency decompositions.
+    pub flows: Vec<FlowRecord>,
+    /// Flow-dependency edges as `(flow, parent)`.
+    pub deps: Vec<(u64, u64)>,
+    /// Per-fabric-hop timings.
+    pub hops: Vec<HopRecord>,
+    /// Per-link load rollups.
+    pub links: Vec<LinkRecord>,
+    /// Completed spans.
+    pub spans: Vec<SpanInfo>,
+    /// Final counter values, sorted by name.
+    pub counters: Vec<(String, f64)>,
+    /// Journal event multiplicities by name.
+    pub event_counts: BTreeMap<String, usize>,
+    /// Simulated makespan from the `sim.completed` mark, if present.
+    pub completed_time: Option<f64>,
+    /// Events the bounded journal evicted before export.
+    pub dropped_events: u64,
+}
+
+impl TraceData {
+    /// Builds the analysis view from a live [`Snapshot`].
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let mut data = TraceData {
+            counters: snap
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), *v as f64))
+                .collect(),
+            spans: snap
+                .spans
+                .iter()
+                .map(|s| SpanInfo {
+                    name: s.name.to_string(),
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                    tid: s.tid,
+                })
+                .collect(),
+            dropped_events: snap.dropped_events,
+            ..TraceData::default()
+        };
+        for te in &snap.events {
+            *data
+                .event_counts
+                .entry(te.event.name().to_string())
+                .or_insert(0) += 1;
+            match te.event {
+                Event::FlowDone {
+                    id,
+                    src,
+                    dst,
+                    bytes,
+                    hops,
+                    created,
+                    completed,
+                    propagation,
+                    serialization,
+                    queueing,
+                    stall,
+                } => data.flows.push(FlowRecord {
+                    id,
+                    src,
+                    dst,
+                    bytes,
+                    hops,
+                    created,
+                    completed,
+                    propagation,
+                    serialization,
+                    queueing,
+                    stall,
+                }),
+                Event::FlowDep { flow, parent } => data.deps.push((flow, parent)),
+                Event::Hop {
+                    flow,
+                    index,
+                    from,
+                    to,
+                    enqueue,
+                    drain,
+                } => data.hops.push(HopRecord {
+                    flow,
+                    index,
+                    from,
+                    to,
+                    enqueue,
+                    drain,
+                }),
+                Event::LinkLoad {
+                    link,
+                    a,
+                    b,
+                    kind,
+                    bytes,
+                    util_ppm,
+                    avg_flows,
+                    peak_flows,
+                } => data.links.push(LinkRecord {
+                    link,
+                    a,
+                    b,
+                    kind,
+                    bytes,
+                    util_ppm,
+                    avg_flows,
+                    peak_flows,
+                }),
+                Event::Mark {
+                    name: "sim.completed",
+                    value,
+                } => data.completed_time = Some(value),
+                _ => {}
+            }
+        }
+        data
+    }
+
+    /// Parses an exported Chrome `trace_event` JSON file (the
+    /// [`crate::ChromeTrace`] sink's output) back into the analysis
+    /// view.
+    ///
+    /// # Errors
+    /// A human-readable message when the text is not valid JSON or not
+    /// shaped like a Chrome trace (`traceEvents` array of objects).
+    pub fn parse_chrome(text: &str) -> Result<Self, String> {
+        let root: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let events = root
+            .get_field("traceEvents")
+            .map_err(|e| format!("not a Chrome trace: {e}"))?;
+        let Value::Array(events) = events else {
+            return Err("not a Chrome trace: traceEvents is not an array".into());
+        };
+        let mut data = TraceData::default();
+        let mut counters: BTreeMap<String, f64> = BTreeMap::new();
+        for ev in events {
+            let Ok(Value::Str(ph)) = ev.get_field("ph") else {
+                continue;
+            };
+            let name = match ev.get_field("name") {
+                Ok(Value::Str(s)) => s.clone(),
+                _ => continue,
+            };
+            match ph.as_str() {
+                "X" => {
+                    let tid = num_field(ev, "tid").unwrap_or(0.0);
+                    let ts = num_field(ev, "ts").unwrap_or(0.0);
+                    let dur = num_field(ev, "dur").unwrap_or(0.0);
+                    data.spans.push(SpanInfo {
+                        name,
+                        start_us: ts.max(0.0) as u64,
+                        dur_us: dur.max(0.0) as u64,
+                        tid: tid.max(0.0) as u32,
+                    });
+                }
+                "i" => {
+                    *data.event_counts.entry(name.clone()).or_insert(0) += 1;
+                    let args = ev.get_field("args").ok();
+                    data.parse_instant(&name, args);
+                }
+                "C" => {
+                    let v = ev
+                        .get_field("args")
+                        .ok()
+                        .and_then(|a| a.get_field("value").ok())
+                        .and_then(as_num)
+                        .unwrap_or(0.0);
+                    // counter tracks sample over time; keep the last value
+                    counters.insert(name, v);
+                }
+                _ => {}
+            }
+        }
+        if let Some(d) = counters.remove("obs.dropped_events") {
+            data.dropped_events = d.max(0.0) as u64;
+        }
+        data.counters = counters.into_iter().collect();
+        Ok(data)
+    }
+
+    fn parse_instant(&mut self, name: &str, args: Option<&Value>) {
+        let get = |field: &str| -> f64 {
+            args.and_then(|a| a.get_field(field).ok())
+                .and_then(as_num)
+                .unwrap_or(0.0)
+        };
+        match name {
+            "flow.done" => self.flows.push(FlowRecord {
+                id: get("id") as u64,
+                src: get("src") as u32,
+                dst: get("dst") as u32,
+                bytes: get("bytes"),
+                hops: get("hops") as u32,
+                created: get("created"),
+                completed: get("completed"),
+                propagation: get("propagation"),
+                serialization: get("serialization"),
+                queueing: get("queueing"),
+                stall: get("stall"),
+            }),
+            "flow.dep" => self.deps.push((get("flow") as u64, get("parent") as u64)),
+            "flow.hop" => self.hops.push(HopRecord {
+                flow: get("flow") as u64,
+                index: get("index") as u32,
+                from: get("from") as u32,
+                to: get("to") as u32,
+                enqueue: get("enqueue"),
+                drain: get("drain"),
+            }),
+            "link.load" => self.links.push(LinkRecord {
+                link: get("link") as u32,
+                a: get("a") as u32,
+                b: get("b") as u32,
+                kind: get("kind") as u32,
+                bytes: get("bytes"),
+                util_ppm: get("util_ppm"),
+                avg_flows: get("avg_flows"),
+                peak_flows: get("peak_flows") as u32,
+            }),
+            "sim.completed" => self.completed_time = Some(get("value")),
+            _ => {}
+        }
+    }
+
+    /// The run's simulated makespan: the `sim.completed` mark when
+    /// present, otherwise the latest flow completion.
+    pub fn makespan(&self) -> f64 {
+        self.completed_time
+            .unwrap_or_else(|| self.flows.iter().map(|f| f.completed).fold(0.0, f64::max))
+    }
+}
+
+fn as_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn num_field(obj: &Value, field: &str) -> Option<f64> {
+    obj.get_field(field).ok().and_then(as_num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::{ChromeTrace, Sink};
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::enabled();
+        rec.incr("sim.flows", 2);
+        drop(rec.span("sim.run"));
+        rec.emit(Event::FlowDone {
+            id: 0,
+            src: 0,
+            dst: 1,
+            bytes: 100.0,
+            hops: 3,
+            created: 0.0,
+            completed: 2.0,
+            propagation: 0.5,
+            serialization: 1.0,
+            queueing: 0.25,
+            stall: 0.25,
+        });
+        rec.emit(Event::FlowDep { flow: 1, parent: 0 });
+        rec.emit(Event::Hop {
+            flow: 0,
+            index: 1,
+            from: 0,
+            to: 1,
+            enqueue: 0.5,
+            drain: 1.9,
+        });
+        rec.emit(Event::LinkLoad {
+            link: 8,
+            a: 0,
+            b: 1,
+            kind: 2,
+            bytes: 100.0,
+            util_ppm: 250_000.0,
+            avg_flows: 1.25,
+            peak_flows: 2,
+        });
+        rec.emit(Event::Mark {
+            name: "sim.completed",
+            value: 2.0,
+        });
+        rec
+    }
+
+    #[test]
+    fn snapshot_and_chrome_parse_agree() {
+        let rec = sample_recorder();
+        let snap = rec.snapshot().unwrap();
+        let live = TraceData::from_snapshot(&snap);
+        let parsed = TraceData::parse_chrome(&ChromeTrace.render(&snap)).unwrap();
+        assert_eq!(live.flows, parsed.flows);
+        assert_eq!(live.deps, parsed.deps);
+        assert_eq!(live.hops, parsed.hops);
+        assert_eq!(live.links, parsed.links);
+        assert_eq!(live.completed_time, Some(2.0));
+        assert_eq!(parsed.completed_time, Some(2.0));
+        assert_eq!(live.makespan(), 2.0);
+        assert_eq!(live.event_counts.get("flow.done"), Some(&1));
+        assert_eq!(parsed.event_counts.get("flow.done"), Some(&1));
+        assert!(parsed.spans.iter().any(|s| s.name == "sim.run"));
+        assert!(parsed
+            .counters
+            .iter()
+            .any(|(n, v)| n == "sim.flows" && *v == 2.0));
+    }
+
+    #[test]
+    fn parse_chrome_rejects_garbage() {
+        assert!(TraceData::parse_chrome("not json").is_err());
+        assert!(TraceData::parse_chrome("{\"other\": 1}").is_err());
+        assert!(TraceData::parse_chrome("{\"traceEvents\": 3}").is_err());
+    }
+
+    #[test]
+    fn dropped_counter_round_trips() {
+        let mut snap = sample_recorder().snapshot().unwrap();
+        snap.dropped_events = 7;
+        let parsed = TraceData::parse_chrome(&ChromeTrace.render(&snap)).unwrap();
+        assert_eq!(parsed.dropped_events, 7);
+        assert!(!parsed
+            .counters
+            .iter()
+            .any(|(n, _)| n == "obs.dropped_events"));
+    }
+}

@@ -104,6 +104,86 @@ pub enum Event {
         /// Payload value.
         value: f64,
     },
+    /// Per-flow latency decomposition, emitted once when a flow
+    /// completes. All times are **simulated seconds** (deterministic,
+    /// unlike the wall-clock journal timestamp), and the four
+    /// components sum to exactly `completed - created` — the invariant
+    /// the `orp_obs::analyze` attribution engine builds on.
+    FlowDone {
+        /// Flow id (per-simulation sequence number).
+        id: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Links on the final route (host up/down links included).
+        hops: u32,
+        /// Simulated time the flow was created (send issued).
+        created: f64,
+        /// Simulated time the message was delivered.
+        completed: f64,
+        /// First-route activation delay (software overhead + per-hop
+        /// wire/switch latency).
+        propagation: f64,
+        /// `bytes / bandwidth` — the time the payload would need on an
+        /// uncontended link.
+        serialization: f64,
+        /// Streaming time beyond serialization: contention on shared
+        /// links under max-min fair sharing.
+        queueing: f64,
+        /// Non-streaming time beyond the first activation delay —
+        /// reroute/re-issue penalties after mid-run faults.
+        stall: f64,
+    },
+    /// Flow-dependency edge: `flow`'s issuing rank was last unblocked
+    /// by the delivery of `parent`. The edges span the DAG that
+    /// critical-path extraction walks.
+    FlowDep {
+        /// The dependent (later) flow.
+        flow: u64,
+        /// The flow whose delivery gated it.
+        parent: u64,
+    },
+    /// One fabric (switch→switch) hop of a completed flow's route, with
+    /// the modelled head-arrival (enqueue) and tail-departure (drain)
+    /// times in simulated seconds.
+    Hop {
+        /// The flow this hop belongs to.
+        flow: u64,
+        /// Position of the link on the route (0-based, counting host
+        /// up/down links too).
+        index: u32,
+        /// Source switch of the directed link.
+        from: u32,
+        /// Destination switch of the directed link.
+        to: u32,
+        /// Simulated time the message head reached this link.
+        enqueue: f64,
+        /// Simulated time the message tail left this link.
+        drain: f64,
+    },
+    /// Whole-run load rollup for one directed link, emitted at the end
+    /// of a simulation for every link that carried bytes.
+    LinkLoad {
+        /// Directed link id.
+        link: u32,
+        /// Source endpoint (host for uplinks, switch otherwise).
+        a: u32,
+        /// Destination endpoint (host for downlinks, switch otherwise).
+        b: u32,
+        /// 0 = host uplink, 1 = host downlink, 2 = switch→switch.
+        kind: u32,
+        /// Bytes moved over the link during the run.
+        bytes: f64,
+        /// Utilization in parts-per-million of `bandwidth × makespan`.
+        util_ppm: f64,
+        /// Time-averaged number of flows sharing the link.
+        avg_flows: f64,
+        /// Peak number of flows sharing the link.
+        peak_flows: u32,
+    },
 }
 
 impl Event {
@@ -116,6 +196,10 @@ impl Event {
             Self::Fault { kind, .. } => kind.name(),
             Self::Reroute { .. } => "fault.reroute",
             Self::Mark { name, .. } => name,
+            Self::FlowDone { .. } => "flow.done",
+            Self::FlowDep { .. } => "flow.dep",
+            Self::Hop { .. } => "flow.hop",
+            Self::LinkLoad { .. } => "link.load",
         }
     }
 
@@ -152,6 +236,68 @@ impl Event {
             Self::Fault { a, b, .. } => vec![("a", a as f64), ("b", b as f64)],
             Self::Reroute { flows } => vec![("flows", flows as f64)],
             Self::Mark { value, .. } => vec![("value", value)],
+            Self::FlowDone {
+                id,
+                src,
+                dst,
+                bytes,
+                hops,
+                created,
+                completed,
+                propagation,
+                serialization,
+                queueing,
+                stall,
+            } => vec![
+                ("id", id as f64),
+                ("src", src as f64),
+                ("dst", dst as f64),
+                ("bytes", bytes),
+                ("hops", hops as f64),
+                ("created", created),
+                ("completed", completed),
+                ("propagation", propagation),
+                ("serialization", serialization),
+                ("queueing", queueing),
+                ("stall", stall),
+            ],
+            Self::FlowDep { flow, parent } => {
+                vec![("flow", flow as f64), ("parent", parent as f64)]
+            }
+            Self::Hop {
+                flow,
+                index,
+                from,
+                to,
+                enqueue,
+                drain,
+            } => vec![
+                ("flow", flow as f64),
+                ("index", index as f64),
+                ("from", from as f64),
+                ("to", to as f64),
+                ("enqueue", enqueue),
+                ("drain", drain),
+            ],
+            Self::LinkLoad {
+                link,
+                a,
+                b,
+                kind,
+                bytes,
+                util_ppm,
+                avg_flows,
+                peak_flows,
+            } => vec![
+                ("link", link as f64),
+                ("a", a as f64),
+                ("b", b as f64),
+                ("kind", kind as f64),
+                ("bytes", bytes),
+                ("util_ppm", util_ppm),
+                ("avg_flows", avg_flows),
+                ("peak_flows", peak_flows as f64),
+            ],
         }
     }
 }
@@ -186,6 +332,55 @@ mod tests {
             }
             .name(),
             "custom.thing"
+        );
+    }
+
+    #[test]
+    fn analysis_event_names_and_args_are_stable() {
+        let done = Event::FlowDone {
+            id: 7,
+            src: 1,
+            dst: 2,
+            bytes: 100.0,
+            hops: 4,
+            created: 0.5,
+            completed: 1.5,
+            propagation: 0.1,
+            serialization: 0.2,
+            queueing: 0.3,
+            stall: 0.4,
+        };
+        assert_eq!(done.name(), "flow.done");
+        let args = done.args();
+        assert_eq!(args.len(), 11);
+        assert_eq!(args[0], ("id", 7.0));
+        assert_eq!(args[10], ("stall", 0.4));
+        assert_eq!(Event::FlowDep { flow: 3, parent: 1 }.name(), "flow.dep");
+        assert_eq!(
+            Event::Hop {
+                flow: 3,
+                index: 1,
+                from: 0,
+                to: 5,
+                enqueue: 0.0,
+                drain: 1.0
+            }
+            .name(),
+            "flow.hop"
+        );
+        assert_eq!(
+            Event::LinkLoad {
+                link: 9,
+                a: 0,
+                b: 1,
+                kind: 2,
+                bytes: 5.0,
+                util_ppm: 100.0,
+                avg_flows: 1.5,
+                peak_flows: 3
+            }
+            .name(),
+            "link.load"
         );
     }
 

@@ -16,6 +16,9 @@
 //! * pluggable [`Sink`]s turning a [`Snapshot`] into artifacts:
 //!   [`JsonSummary`], [`ChromeTrace`] (load in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev)), and [`TextProgress`].
+//! * [`analyze`] — the latency-attribution engine over recorded
+//!   telemetry: critical paths, makespan breakdowns, link hotspots,
+//!   span flamegraphs, and two-run trace diffing.
 //!
 //! Instrumentation must never change results: a [`Recorder`] only
 //! *observes* — it holds no RNG, and nothing in the toolkit reads it
@@ -42,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod event;
 mod histogram;
 mod journal;

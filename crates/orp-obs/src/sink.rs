@@ -188,6 +188,17 @@ impl Sink for ChromeTrace {
                 snap.elapsed_us
             );
         }
+        // journal truncation marker so trace consumers can tell a
+        // complete export from a clipped one
+        if snap.dropped_events > 0 {
+            sep(&mut o);
+            let _ = write!(
+                o,
+                "{{\"ph\": \"C\", \"pid\": 1, \"name\": \"obs.dropped_events\", \
+                 \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+                snap.elapsed_us, snap.dropped_events
+            );
+        }
         o.push_str("\n]}\n");
         o
     }
@@ -228,7 +239,9 @@ impl Sink for TextProgress {
         if snap.dropped_events > 0 || snap.dropped_spans > 0 {
             let _ = writeln!(
                 o,
-                "dropped: {} events, {} spans",
+                "WARNING: journal truncated — dropped {} events, {} spans; \
+                 analysis over this snapshot is incomplete (raise \
+                 ObsConfig::journal_capacity)",
                 snap.dropped_events, snap.dropped_spans
             );
         }

@@ -1,0 +1,100 @@
+//! Property tests pinning [`Histogram`] quantiles to the documented
+//! log-linear error bound: every estimate is the lower boundary of the
+//! bucket holding the exact rank-`⌈q·n⌉` order statistic, so it never
+//! exceeds the exact answer and trails it by at most one bucket width
+//! (≤ 1/32 of the value's magnitude — the "~3% relative error" the
+//! crate docs promise).
+
+use orp_obs::Histogram;
+use proptest::prelude::*;
+
+/// Deterministic value stream (splitmix64) so a failing case replays
+/// from the shrunk `(seed, …)` tuple alone.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The reference answer: quantile `q` over the raw values with the same
+/// rank convention as `Histogram::quantile` (`⌈q·n⌉`, at least 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_is_within_one_log_linear_bucket(
+        (len, seed, q_mil, scale) in (1usize..300, any::<u64>(), 0u64..=1000, 1u32..48)
+    ) {
+        let mask = (1u64 << scale) - 1;
+        let mut state = seed;
+        let mut h = Histogram::new();
+        let mut values: Vec<u64> = (0..len)
+            .map(|_| splitmix(&mut state) & mask)
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+
+        let q = q_mil as f64 / 1000.0;
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q).expect("non-empty histogram");
+
+        // never above the exact order statistic …
+        prop_assert!(
+            est <= exact,
+            "q={q}: estimate {est} above exact {exact}"
+        );
+        // … and within one bucket width below it (width ≤ value/32,
+        // and exact buckets below 32 make the error zero there).
+        prop_assert!(
+            exact - est <= exact / 32 + 1,
+            "q={q}: estimate {est} misses exact {exact} by {} (> {} allowed)",
+            exact - est,
+            exact / 32 + 1
+        );
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max(
+        (len, seed, scale) in (1usize..200, any::<u64>(), 1u32..40)
+    ) {
+        let mask = (1u64 << scale) - 1;
+        let mut state = seed;
+        let mut h = Histogram::new();
+        for _ in 0..len {
+            h.record(splitmix(&mut state) & mask);
+        }
+        // q = 0 resolves rank 1 and clamps up to the observed minimum;
+        // q = 1 must land in the last non-empty bucket, clamped to max.
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        let p100 = h.quantile(1.0).expect("non-empty");
+        let max = h.max().expect("non-empty");
+        prop_assert!(p100 <= max && max - p100 <= max / 32 + 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        (len, seed, scale) in (2usize..200, any::<u64>(), 1u32..40)
+    ) {
+        let mask = (1u64 << scale) - 1;
+        let mut state = seed;
+        let mut h = Histogram::new();
+        for _ in 0..len {
+            h.record(splitmix(&mut state) & mask);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            let lo = h.quantile(w[0]).unwrap();
+            let hi = h.quantile(w[1]).unwrap();
+            prop_assert!(lo <= hi, "q={} gave {lo} > q={} gave {hi}", w[0], w[1]);
+        }
+    }
+}

@@ -7,7 +7,12 @@
 //!                                      --trace writes a Chrome trace of the run
 //! orp eval    <file.hsg>               metrics of a saved host-switch graph
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
-//! orp simulate <file.hsg> [bench]      run an NPB kernel on a saved graph
+//! orp simulate <file.hsg> [bench] [iters] [--trace t.json]
+//!                                      run an NPB kernel on a saved graph;
+//!                                      --trace records flow/hop telemetry
+//! orp report  <trace.json> [--top k] [--collapsed]
+//!                                      latency attribution of a recorded trace
+//! orp diff    <a.json> <b.json>        attribute the makespan delta of two runs
 //! orp partition <file.hsg> [k]         bandwidth (edge cut) for P = 2..k
 //! orp layout  <file.hsg> [per_cab]     floorplan power/cost (naive + optimized)
 //! ```
@@ -21,7 +26,10 @@ use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
 use orp::netsim::report::run_benchmark;
-use orp::obs::{ChromeTrace, Recorder};
+use orp::obs::analyze::{
+    aggregate_spans, collapsed_stacks, diff, render_diff, render_report, TraceData,
+};
+use orp::obs::{ChromeTrace, ObsConfig, Recorder};
 use orp::partition::{partition, Graph as CutGraph, PartitionConfig};
 use std::process::ExitCode;
 
@@ -32,6 +40,36 @@ fn load(path: &str) -> Result<HostSwitchGraph, String> {
 
 fn arg_num<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
     args.get(i).and_then(|a| a.parse().ok()).unwrap_or(default)
+}
+
+/// Splits `--flag <value>` out of `args`, returning the value and the
+/// remaining positional arguments.
+fn split_value_flag(args: &[String], flag: &str) -> Result<(Option<String>, Vec<String>), String> {
+    let mut value = None;
+    let mut pos = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            value = Some(
+                it.next()
+                    .ok_or_else(|| format!("{flag} needs a value, e.g. {flag} results/out.json"))?
+                    .clone(),
+            );
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((value, pos))
+}
+
+/// A recorder sized for full-fidelity trace export: NPB runs at n=128
+/// emit hundreds of thousands of flow/hop events, far past the default
+/// journal ring.
+fn trace_recorder() -> Recorder {
+    Recorder::with_config(ObsConfig {
+        journal_capacity: 1 << 21,
+        ..ObsConfig::default()
+    })
 }
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
@@ -207,24 +245,66 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let g = load(
-        args.first()
-            .ok_or("usage: orp simulate <file.hsg> [bench] [iters]")?,
-    )?;
-    let name = args.get(1).map(String::as_str).unwrap_or("MG");
+    let usage = "usage: orp simulate <file.hsg> [bench] [iters] [--trace t.json]";
+    let (trace, pos) = split_value_flag(args, "--trace")?;
+    let g = load(pos.first().ok_or(usage)?)?;
+    let name = pos.get(1).map(String::as_str).unwrap_or("MG");
     let bench = Benchmark::all()
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown benchmark {name}; one of BT CG EP FT IS LU MG SP"))?;
-    let iters: usize = arg_num(args, 2, 1);
+    let iters: usize = arg_num(&pos, 2, 1);
     let ranks = g.num_hosts();
-    let net = Network::builder(&g).build();
+    let rec = if trace.is_some() {
+        trace_recorder()
+    } else {
+        Recorder::disabled()
+    };
+    // the simulator inherits the network's recorder
+    let net = Network::builder(&g).recorder(rec.clone()).build();
     let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters)
         .map_err(|e| format!("simulation failed: {e}"))?;
     println!(
         "{} on {} ranks: sim time {:.6} s, {:.0} Mop/s, {} flows, {:.3e} bytes",
         res.name, ranks, res.time, res.mops, res.flows, res.bytes
     );
+    if let Some(path) = trace {
+        rec.export_to(&ChromeTrace, &path)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path} (open in chrome://tracing, or run `orp report {path}`)");
+    }
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<TraceData, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    TraceData::parse_chrome(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let usage = "usage: orp report <trace.json> [--top k] [--collapsed]";
+    let (top, pos) = split_value_flag(args, "--top")?;
+    let collapsed = pos.iter().any(|a| a == "--collapsed");
+    let pos: Vec<String> = pos.into_iter().filter(|a| a != "--collapsed").collect();
+    let top: usize = top.and_then(|t| t.parse().ok()).unwrap_or(10);
+    let data = load_trace(pos.first().ok_or(usage)?)?;
+    if collapsed {
+        // folded stacks for flamegraph tooling instead of the report
+        print!("{}", collapsed_stacks(&aggregate_spans(&data.spans)));
+    } else {
+        print!("{}", render_report(&data, top));
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let usage = "usage: orp diff <a.json> <b.json>";
+    let a_path = args.first().ok_or(usage)?;
+    let b_path = args.get(1).ok_or(usage)?;
+    let a = load_trace(a_path)?;
+    let b = load_trace(b_path)?;
+    let d = diff(&a, &b)?;
+    print!("{}", render_diff(a_path, b_path, &d));
     Ok(())
 }
 
@@ -286,7 +366,9 @@ fn cmd_layout(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: orp <bounds|solve|eval|compare|simulate|partition|layout> ...");
+        eprintln!(
+            "usage: orp <bounds|solve|eval|compare|simulate|report|diff|partition|layout> ..."
+        );
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
@@ -296,6 +378,8 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(rest),
         "compare" => cmd_compare(rest),
         "simulate" => cmd_simulate(rest),
+        "report" => cmd_report(rest),
+        "diff" => cmd_diff(rest),
         "partition" => cmd_partition(rest),
         "layout" => cmd_layout(rest),
         other => Err(format!("unknown command {other}")),

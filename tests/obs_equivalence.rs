@@ -74,6 +74,14 @@ proptest! {
         prop_assert_eq!(plain.flops, traced.flops);
         let snap = rec.snapshot().unwrap();
         prop_assert_eq!(snap.counter("sim.flows"), Some(traced.flows));
+        // the analysis events cover the whole run: one completion record
+        // per flow, one load record per used link, one end-of-run mark
+        prop_assert_eq!(snap.event_count("flow.done") as u64, traced.flows);
+        prop_assert_eq!(
+            Some(snap.event_count("link.load") as u64),
+            snap.counter("sim.links_used")
+        );
+        prop_assert_eq!(snap.event_count("sim.completed"), 1);
     }
 
     #[test]
