@@ -10,7 +10,9 @@ use crate::error::GraphError;
 use crate::graph::HostSwitchGraph;
 use crate::metrics::PathMetrics;
 use crate::ops::{sample_swap, sample_swing, Swing};
-use crate::search::SearchState;
+use crate::search::{
+    resolve_parallel_eval, EvalOutcome, EvalPathKind, SearchState, EARLY_REJECT_LOG,
+};
 use orp_obs::{Event, Recorder};
 use rand::Rng;
 use rand::SeedableRng;
@@ -51,6 +53,20 @@ pub struct SaConfig {
     /// [`crate::search::PARALLEL_SWITCH_THRESHOLD`] switches and more
     /// than one CPU is available. `Some(_)` overrides the heuristic.
     pub parallel_eval: Option<bool>,
+    /// Exact evaluation worker-thread count. `None` (the default) defers
+    /// to `parallel_eval`; `Some(w)` pins the persistent pool to `w`
+    /// workers regardless of the heuristic — [`solve_orp_multi`] uses
+    /// this to split the machine's cores across restart workers.
+    /// Results are bit-identical for every worker count.
+    pub eval_workers: Option<usize>,
+    /// Enables the Δh-ASPL lower-bound early reject: a proposal the
+    /// distance cache can prove is uphill by more than
+    /// [`crate::search::EARLY_REJECT_LOG`]` × t` (acceptance probability
+    /// below `exp(−40)`) is rejected without running any BFS. On by
+    /// default. The skipped Metropolis draw advances the RNG stream
+    /// differently, so toggling this changes trajectories (each setting
+    /// remains fully seed-reproducible).
+    pub early_reject: bool,
 }
 
 impl Default for SaConfig {
@@ -63,6 +79,8 @@ impl Default for SaConfig {
             sample_attempts: 32,
             history_stride: 0,
             parallel_eval: None,
+            eval_workers: None,
+            early_reject: true,
         }
     }
 }
@@ -142,6 +160,18 @@ impl SaConfigBuilder {
         self
     }
 
+    /// Pins the evaluation pool to an exact worker count.
+    pub fn eval_workers(mut self, workers: usize) -> Self {
+        self.cfg.eval_workers = Some(workers);
+        self
+    }
+
+    /// Enables or disables the lower-bound early reject.
+    pub fn early_reject(mut self, on: bool) -> Self {
+        self.cfg.early_reject = on;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SaConfig {
         self.cfg
@@ -189,22 +219,23 @@ struct Annealer {
     swing_accepted: usize,
     two_neighbor_first: usize,
     two_neighbor_second: usize,
+    /// Whether guarded evaluation may early-reject without a BFS.
+    early_reject: bool,
 }
 
 impl Annealer {
-    fn new(
-        g: HostSwitchGraph,
-        seed: u64,
-        parallel: Option<bool>,
-        rec: Recorder,
-    ) -> Result<Self, GraphError> {
-        let mut state = SearchState::new(g, parallel)?;
+    fn new(g: HostSwitchGraph, cfg: &SaConfig, rec: Recorder) -> Result<Self, GraphError> {
+        let workers = cfg
+            .eval_workers
+            .map(|w| w.max(1))
+            .unwrap_or_else(|| resolve_parallel_eval(cfg.parallel_eval, g.num_switches()));
+        let mut state = SearchState::with_workers(g, workers)?;
         let cur = state.evaluate().ok_or(GraphError::Disconnected)?;
         Ok(Self {
             best: state.graph().clone(),
             best_metrics: cur,
             state,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cur,
             accepted: 0,
             proposed: 0,
@@ -217,13 +248,36 @@ impl Annealer {
             swing_accepted: 0,
             two_neighbor_first: 0,
             two_neighbor_second: 0,
+            early_reject: cfg.early_reject,
         })
     }
 
-    /// Runs the batched-BFS evaluation under the eval-latency histogram.
-    fn evaluate_timed(&mut self) -> Option<PathMetrics> {
+    /// Runs one guarded evaluation under the eval-latency histogram.
+    ///
+    /// At temperature `t` the Metropolis rule accepts an uphill move of
+    /// `Δ` with probability `exp(-Δ/t)`, so any proposal whose h-ASPL
+    /// lower bound exceeds `cur + EARLY_REJECT_LOG·t` would be accepted
+    /// with probability below `exp(-EARLY_REJECT_LOG)` — effectively
+    /// never — and the guard skips the BFS for it entirely.
+    fn evaluate_timed(&mut self, t: f64) -> EvalOutcome {
+        let reject_above = if self.early_reject {
+            Some(self.cur.haspl + EARLY_REJECT_LOG * t.max(0.0))
+        } else {
+            None
+        };
         let state = &mut self.state;
-        self.rec.time("anneal.eval_ns", || state.evaluate())
+        let out = self
+            .rec
+            .time("anneal.eval_ns", || state.evaluate_guarded(reject_above));
+        let stats = self.state.eval_stats();
+        if stats.last_kind == EvalPathKind::Incremental {
+            // histogram of the affected-source fraction, in percent
+            self.rec.record(
+                "eval.affected_pct",
+                (100 * u64::from(stats.last_affected)) / u64::from(stats.last_sources.max(1)),
+            );
+        }
+        out
     }
 
     fn metropolis(&mut self, delta: f64, t: f64) -> bool {
@@ -266,8 +320,8 @@ impl Annealer {
         self.proposed += 1;
         self.state.begin();
         self.state.apply_swap(s).expect("sampled swap is valid");
-        match self.evaluate_timed() {
-            Some(m2) => {
+        match self.evaluate_timed(t) {
+            EvalOutcome::Metrics(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
                     self.state.commit();
@@ -278,7 +332,11 @@ impl Annealer {
                 self.state.rollback();
                 false
             }
-            None => {
+            EvalOutcome::EarlyRejected(_) => {
+                self.state.rollback();
+                false
+            }
+            EvalOutcome::Disconnected => {
                 self.disconnected += 1;
                 self.state.rollback();
                 false
@@ -299,8 +357,8 @@ impl Annealer {
         self.proposed += 1;
         self.state.begin();
         self.state.apply_swing(s).expect("sampled swing is valid");
-        match self.evaluate_timed() {
-            Some(m2) => {
+        match self.evaluate_timed(t) {
+            EvalOutcome::Metrics(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
                 if self.metropolis(delta, t) {
                     self.state.commit();
@@ -311,7 +369,11 @@ impl Annealer {
                 self.state.rollback();
                 false
             }
-            None => {
+            EvalOutcome::EarlyRejected(_) => {
+                self.state.rollback();
+                false
+            }
+            EvalOutcome::Disconnected => {
                 self.disconnected += 1;
                 self.state.rollback();
                 false
@@ -335,17 +397,21 @@ impl Annealer {
         // Step 1: the 1-neighbor solution.
         self.state.begin();
         self.state.apply_swing(s1).expect("sampled swing is valid");
-        if let Some(m1) = self.evaluate_timed() {
-            let delta = m1.haspl - self.cur.haspl;
-            if self.metropolis(delta, t) {
-                // Step 2: accept the 1-neighbor solution.
-                self.state.commit();
-                self.note_accept(m1);
-                self.two_neighbor_first += 1;
-                return true;
+        match self.evaluate_timed(t) {
+            EvalOutcome::Metrics(m1) => {
+                let delta = m1.haspl - self.cur.haspl;
+                if self.metropolis(delta, t) {
+                    // Step 2: accept the 1-neighbor solution.
+                    self.state.commit();
+                    self.note_accept(m1);
+                    self.two_neighbor_first += 1;
+                    return true;
+                }
             }
-        } else {
-            self.disconnected += 1;
+            // An early-rejected first swing falls through to the second
+            // swing, exactly like a Metropolis rejection would.
+            EvalOutcome::EarlyRejected(_) => {}
+            EvalOutcome::Disconnected => self.disconnected += 1,
         }
         // Step 3: the 2-neighbor solution swing(s_d, s_c, s_b):
         // pick d adjacent to c (excluding a), rewire {d,c} and move a host
@@ -377,19 +443,21 @@ impl Annealer {
         if let Some(s2) = s2 {
             self.state.begin();
             self.state.apply_swing(s2).expect("validated candidate");
-            if let Some(m2) = self.evaluate_timed() {
-                let delta = m2.haspl - self.cur.haspl;
-                if self.metropolis(delta, t) {
-                    // Step 4: accept the 2-neighbor solution — the inner
-                    // commit folds s2 into the outer transaction.
-                    self.state.commit();
-                    self.state.commit();
-                    self.note_accept(m2);
-                    self.two_neighbor_second += 1;
-                    return true;
+            match self.evaluate_timed(t) {
+                EvalOutcome::Metrics(m2) => {
+                    let delta = m2.haspl - self.cur.haspl;
+                    if self.metropolis(delta, t) {
+                        // Step 4: accept the 2-neighbor solution — the inner
+                        // commit folds s2 into the outer transaction.
+                        self.state.commit();
+                        self.state.commit();
+                        self.note_accept(m2);
+                        self.two_neighbor_second += 1;
+                        return true;
+                    }
                 }
-            } else {
-                self.disconnected += 1;
+                EvalOutcome::EarlyRejected(_) => {}
+                EvalOutcome::Disconnected => self.disconnected += 1,
             }
             self.state.rollback();
         }
@@ -453,6 +521,13 @@ impl Annealer {
                 "anneal.two_neighbor_second",
                 self.two_neighbor_second as u64,
             );
+            // Which eval path ran: full recompute vs affected-source
+            // re-BFS vs guard-skipped (no BFS at all).
+            let stats = *self.state.eval_stats();
+            self.rec.incr("eval.full", stats.full);
+            self.rec.incr("eval.incremental", stats.incremental);
+            self.rec.incr("eval.early_reject", stats.early_rejected);
+            self.rec.incr("eval.repaired", stats.repaired);
         }
         drop(span);
         SaResult {
@@ -526,10 +601,7 @@ impl Anneal {
 
     /// Runs the annealer.
     pub fn run(self) -> Result<SaResult, GraphError> {
-        Ok(
-            Annealer::new(self.start, self.cfg.seed, self.cfg.parallel_eval, self.rec)?
-                .run(self.kind, &self.cfg),
-        )
+        Ok(Annealer::new(self.start, &self.cfg, self.rec)?.run(self.kind, &self.cfg))
     }
 }
 
@@ -582,14 +654,21 @@ pub fn solve_orp_multi(
 ) -> Result<(SaResult, u32), GraphError> {
     let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
     let m_opt = m_opt as u32;
+    // Split the machine across the restarts instead of pinning every
+    // inner eval to one core: with `restarts < cores` the leftover cores
+    // feed each restart's persistent eval pool. An explicit
+    // `eval_workers` in `cfg` wins over the split.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let per_restart = cfg
+        .eval_workers
+        .map(|w| w.max(1))
+        .unwrap_or_else(|| (cores / restarts.max(1)).max(1));
     let results: Vec<Result<SaResult, GraphError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..restarts.max(1) as u64)
             .map(|i| {
                 let mut c = cfg.clone();
                 c.seed = cfg.seed.wrapping_add(i);
-                // the inner evaluation stays sequential; parallelism comes
-                // from the restarts themselves
-                c.parallel_eval = Some(false);
+                c.eval_workers = Some(per_restart);
                 scope.spawn(move || anneal_general(n, m_opt, r, &c))
             })
             .collect();
@@ -835,6 +914,8 @@ mod tests {
             .sample_attempts(8)
             .history_stride(10)
             .parallel_eval(false)
+            .eval_workers(3)
+            .early_reject(false)
             .build();
         assert_eq!(built.iters, 123);
         assert_eq!(built.t0, 0.5);
@@ -843,6 +924,42 @@ mod tests {
         assert_eq!(built.sample_attempts, 8);
         assert_eq!(built.history_stride, 10);
         assert_eq!(built.parallel_eval, Some(false));
+        assert_eq!(built.eval_workers, Some(3));
+        assert!(!built.early_reject);
+    }
+
+    #[test]
+    fn eval_worker_count_does_not_change_results() {
+        // Every pool size reduces partial sums in deterministic order, so
+        // pinning more eval workers is a pure wall-clock knob.
+        let one = SaConfig {
+            eval_workers: Some(1),
+            ..small_cfg(300)
+        };
+        let three = SaConfig {
+            eval_workers: Some(3),
+            ..small_cfg(300)
+        };
+        let a = anneal_general(48, 12, 8, &one).unwrap();
+        let b = anneal_general(48, 12, 8, &three).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn early_reject_off_still_converges() {
+        // Disabling the guard changes which proposals consume RNG draws,
+        // so results may differ from the guarded run — but the run itself
+        // must stay valid and each setting stays seed-reproducible.
+        let cfg = SaConfig {
+            early_reject: false,
+            ..small_cfg(400)
+        };
+        let a = anneal_general(48, 12, 8, &cfg).unwrap();
+        let b = anneal_general(48, 12, 8, &cfg).unwrap();
+        assert_eq!(a.graph, b.graph);
+        a.graph.validate().unwrap();
     }
 
     #[test]

@@ -120,7 +120,12 @@ fn source_contribution(
     })
 }
 
-fn finalize(
+/// Shared metric accounting for every evaluator (the source-at-a-time
+/// oracle here and the batched/incremental engine in
+/// [`crate::search::SearchState`]): halves the ordered inter-switch sum,
+/// adds the intra-switch `k(k−1)/2` pairs at length 2, and divides by the
+/// host-pair count.
+pub(crate) fn finalize_metrics(
     n: u64,
     counts: &[u32],
     inter_ordered_sum: u64,
@@ -183,7 +188,7 @@ pub fn path_metrics_with(csr: &SwitchCsr, counts: &[u32], n: u32) -> Option<Path
             max_d = max_d.max(e);
         }
     }
-    Some(finalize(n as u64, counts, ordered_sum, max_d, any))
+    Some(finalize_metrics(n as u64, counts, ordered_sum, max_d, any))
 }
 
 /// Parallel variant of [`path_metrics`]; worthwhile from a few hundred
@@ -241,7 +246,7 @@ pub fn path_metrics_par(g: &HostSwitchGraph) -> Option<PathMetrics> {
         max_d = max_d.max(d);
         any |= a;
     }
-    Some(finalize(n as u64, &counts, ordered_sum, max_d, any))
+    Some(finalize_metrics(n as u64, &counts, ordered_sum, max_d, any))
 }
 
 /// h-ASPL of a regular host-switch graph from the ASPL of its switch

@@ -33,17 +33,66 @@
 //! diameters of ORP solutions (3–5) the whole sweep touches each adjacency
 //! list a handful of times instead of once per source, which is roughly an
 //! order of magnitude faster than source-at-a-time BFS even before
-//! threading. Batches are independent, so large instances can additionally
-//! split them across OS threads (see [`resolve_parallel_eval`]).
+//! threading.
+//!
+//! # Incremental delta evaluation
+//!
+//! On instances up to [`CACHE_MAX_SWITCHES`] switches the engine keeps a
+//! **per-source distance cache**: an `m × m` matrix of `u16` hop counts
+//! plus per-source aggregates (host-weighted path sums, per-distance
+//! hostful-switch histograms, eccentricities). A swap or swing perturbs at
+//! most three switch links, and the *exact* set of sources whose distance
+//! vector changes is computable from the cached rows alone:
+//!
+//! * an **added** link `{u, v}` changes the distances from `s` iff
+//!   `|d(s,u) − d(s,v)| ≥ 2` (the shortcut strictly improves the farther
+//!   endpoint, and only then can anything downstream improve);
+//! * a **removed** link `{u, v}` with `d(s,u) + 1 = d(s,v)` changes the
+//!   distances from `s` iff `v` has no *other* surviving neighbour `w`
+//!   with `d(s,w) = d(s,u)` — an alternate BFS parent keeps `d(s,v)` and
+//!   therefore every distance below it intact; if `d(s,u) = d(s,v)` the
+//!   link lies on no shortest path at all.
+//!
+//! Only the affected sources are repacked into 64-wide batches and
+//! re-swept; everything else is scored from the cached aggregates in
+//! `O(m)`. Edge deltas accumulate *lazily* (rollback pushes the inverse
+//! delta, so a rejected proposal that never re-evaluated cancels to a
+//! no-op), and the full sweep remains both the fallback (large `m`, deep
+//! graphs) and the correctness oracle of the equivalence suites.
+//!
+//! Threaded sweeps run on a **persistent worker pool** owned by the
+//! `SearchState` (workers park between proposals); no thread is ever
+//! spawned per proposal.
 
 use crate::error::GraphError;
 use crate::graph::{Host, HostSwitchGraph, Switch};
-use crate::metrics::{PathMetrics, SwitchCsr};
+use crate::metrics::{finalize_metrics, PathMetrics, SwitchCsr};
 use crate::ops::{EdgeSet, Swap, Swing};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Switch count from which the auto heuristic turns on threaded
 /// evaluation (when more than one CPU is available).
 pub const PARALLEL_SWITCH_THRESHOLD: u32 = 256;
+
+/// Largest switch count for which the distance cache is kept (`m × m`
+/// `u16` rows: 32 MiB at this bound). Above it the engine always runs
+/// the full batched sweep.
+pub const CACHE_MAX_SWITCHES: usize = 4096;
+
+/// Largest representable hop count in the cache; a BFS level reaching
+/// this depth permanently disables the cache for the instance (ORP
+/// graphs have single-digit diameters, so this only triggers on
+/// degenerate path-like inputs).
+const CACHE_MAX_DIST: usize = 128;
+
+/// Cache marker for an unreachable switch.
+const INVALID_DIST: u16 = u16::MAX;
+
+/// `−ln` of the Metropolis acceptance probability below which guarded
+/// evaluation may early-reject without running a BFS
+/// (`exp(−40) ≈ 4·10⁻¹⁸`, far below one draw in a lifetime of runs).
+pub const EARLY_REJECT_LOG: f64 = 40.0;
 
 /// Resolves the effective number of evaluation worker threads from the
 /// user's override (`SaConfig::parallel_eval`) and the instance size:
@@ -175,6 +224,15 @@ struct BatchSums {
     reached: u64,
 }
 
+impl BatchSums {
+    #[inline]
+    fn absorb(&mut self, b: BatchSums) {
+        self.weighted += b.weighted;
+        self.max_d = self.max_d.max(b.max_d);
+        self.reached += b.reached;
+    }
+}
+
 /// Sweeps sources `srcs[lo..hi]` (at most 64) in lockstep: bit `i` of a
 /// mask tracks source `srcs[lo + i]`.
 fn sweep_batch(
@@ -231,6 +289,1355 @@ fn sweep_batch(
     }
 }
 
+// ---- distance cache ----------------------------------------------------
+
+/// Raw views into the cache arrays, so one sweep implementation serves
+/// both the sequential path and the worker pool (each batch writes only
+/// the rows and aggregates of its own sources, which are disjoint).
+#[derive(Debug, Clone, Copy)]
+struct CachePtrs {
+    rows: *mut u16,
+    wsum: *mut u64,
+    hist: *mut u32,
+    ecc: *mut u16,
+    nreach: *mut u32,
+    valid: *mut bool,
+    m: usize,
+}
+
+// SAFETY: the pointers are only dereferenced for sources assigned to the
+// holder, and distinct workers are assigned disjoint sources.
+unsafe impl Send for CachePtrs {}
+unsafe impl Sync for CachePtrs {}
+
+/// As [`sweep_batch`], but additionally fills the cache row and
+/// per-source aggregates of every swept source. Returns `false` when a
+/// BFS level reaches [`CACHE_MAX_DIST`] (cache must be disabled).
+fn sweep_batch_cached(
+    csr: &SlotCsr,
+    counts: &[u32],
+    srcs: &[u32],
+    scratch: &mut EvalScratch,
+    c: &CachePtrs,
+) -> bool {
+    debug_assert!(!srcs.is_empty() && srcs.len() <= 64);
+    let m = csr.len();
+    debug_assert_eq!(m, c.m);
+    scratch.reset(m);
+    // SAFETY: every source in `srcs` is owned by this batch; rows and
+    // per-source aggregates of distinct sources never alias.
+    unsafe {
+        for &s in srcs {
+            let s = s as usize;
+            let row = c.rows.add(s * m);
+            std::ptr::write_bytes(row, 0xFF, m); // u16::MAX everywhere
+            *row.add(s) = 0;
+        }
+    }
+    for (i, &s) in srcs.iter().enumerate() {
+        scratch.cur[s as usize] = 1 << i;
+        scratch.seen[s as usize] = 1 << i;
+    }
+    let mut depth = 0usize;
+    loop {
+        depth += 1;
+        if depth >= CACHE_MAX_DIST {
+            return false;
+        }
+        let mut active = false;
+        for v in 0..m {
+            let mut gather = 0u64;
+            for &u in csr.neighbors(v as u32) {
+                gather |= scratch.cur[u as usize];
+            }
+            let new = gather & !scratch.seen[v];
+            scratch.next[v] = new;
+            if new != 0 {
+                scratch.seen[v] |= new;
+                active = true;
+                let mut bits = new;
+                while bits != 0 {
+                    let s = srcs[bits.trailing_zeros() as usize] as usize;
+                    bits &= bits - 1;
+                    // SAFETY: `s` belongs to this batch (see above).
+                    unsafe {
+                        *c.rows.add(s * m + v) = depth as u16;
+                    }
+                }
+            }
+        }
+        if !active {
+            break;
+        }
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
+    }
+    // Aggregates come from a sequential post-pass over each finished
+    // row — far cheaper than scalar updates inside the frontier bit
+    // loop above, which would cost one scattered read-modify-write per
+    // (source, switch) pair.
+    // SAFETY: as above.
+    unsafe {
+        for &s in srcs {
+            recompute_aggregates_ptr(c, s as usize, counts);
+            *c.valid.add(s as usize) = true;
+        }
+    }
+    true
+}
+
+/// Rebuilds the aggregates of source `s` from its stored row: a single
+/// sequential pass shared by the sweep workers and the formula-repair
+/// path.
+///
+/// # Safety
+/// The caller must own source `s` (no other thread may touch its row or
+/// aggregate slots), and the row must be fully written.
+unsafe fn recompute_aggregates_ptr(c: &CachePtrs, s: usize, counts: &[u32]) {
+    let m = c.m;
+    let row = std::slice::from_raw_parts(c.rows.add(s * m), m);
+    let hist = std::slice::from_raw_parts_mut(c.hist.add(s * CACHE_MAX_DIST), CACHE_MAX_DIST);
+    hist.fill(0);
+    let mut wsum = 0u64;
+    let mut nreach = 0u32;
+    let mut ecc = 0u16;
+    for (v, (&d, &kv)) in row.iter().zip(counts.iter().take(m)).enumerate() {
+        if v == s || d == INVALID_DIST || kv == 0 {
+            continue;
+        }
+        wsum += kv as u64 * (d as u64 + 2);
+        hist[d as usize] += 1;
+        nreach += 1;
+        ecc = ecc.max(d);
+    }
+    *c.wsum.add(s) = wsum;
+    *c.nreach.add(s) = nreach;
+    *c.ecc.add(s) = ecc;
+}
+
+/// The per-source distance cache: one `u16` row per switch (hop counts to
+/// every other switch) plus the aggregates that let a proposal be scored
+/// without re-visiting unaffected rows.
+///
+/// Invariants (for every row with `valid[s]`):
+/// * `rows[s]` holds the hop distances of the graph **minus the pending
+///   [`DistCache::edge_delta`]** — rows are only refreshed inside
+///   `evaluate`, edge mutations between evaluations just accumulate;
+/// * `wsum[s] = Σ_{v≠s, k_v>0, reachable} k_v·(d(s,v)+2)`,
+///   `hist[s][d] = #{v≠s : k_v>0, d(s,v)=d}`, `nreach[s] = Σ_d hist[s][d]`
+///   and `ecc[s] = max{d : hist[s][d]>0}` — all wrt the row *as stored*
+///   and the **current** host counts (host moves adjust them eagerly and
+///   reversibly in `O(valid rows)`).
+#[derive(Debug)]
+struct DistCache {
+    m: usize,
+    rows: Vec<u16>,
+    valid: Vec<bool>,
+    wsum: Vec<u64>,
+    hist: Vec<u32>,
+    ecc: Vec<u16>,
+    nreach: Vec<u32>,
+    /// Net link changes since the rows were last refreshed, as
+    /// `(a, b, net)` with `a < b`; entries cancelling to net 0 are
+    /// dropped, so a rolled-back proposal leaves no trace.
+    edge_delta: Vec<(Switch, Switch, i32)>,
+    /// Set when a sweep overflowed [`CACHE_MAX_DIST`]; the engine then
+    /// falls back to full sweeps forever.
+    disabled: bool,
+    // -- transactional snapshots ------------------------------------
+    /// Sources whose rows were overwritten inside an open transaction,
+    /// with their pre-overwrite validity; one arena entry of `m`
+    /// distances each in [`Self::snap_rows`]. Restored in reverse on
+    /// rollback, so the earliest (pre-transaction) copy wins.
+    snap_src: Vec<(u32, bool)>,
+    /// Row arena backing [`Self::snap_src`].
+    snap_rows: Vec<u16>,
+    /// `snap_src` boundary per open transaction level.
+    snap_marks: Vec<usize>,
+    /// Copy of [`Self::edge_delta`] at each `begin`, restored wholesale
+    /// on rollback (the restored rows match the restored graph, so the
+    /// inverse notes pushed by undo replay are discarded).
+    saved_deltas: Vec<Vec<(Switch, Switch, i32)>>,
+    // -- scan scratch (never snapshotted) ---------------------------
+    /// Per-source classification bits (`ADD_AFF` / `DEL_AFF` /
+    /// `NO_STRICT`).
+    flags: Vec<u8>,
+    /// Per-removal shortest-path-side marker (0 = not on one, 1 = far
+    /// endpoint is `v`, 2 = far endpoint is `u`).
+    wneed: Vec<u8>,
+    /// Per-removal witness bits (bit 0: any witness, bit 1: witness not
+    /// using an added link).
+    wit: Vec<u8>,
+    /// `max(k_far)` over witness-less removals, per source.
+    strict: Vec<u32>,
+    // -- repair scratch (epoch-stamped, never cleared) ----------------
+    /// Current epoch; a stamp array entry equals it iff set this source.
+    ep: u32,
+    /// Stamp: vertex already examined as an orphan candidate.
+    cand_ep: Vec<u32>,
+    /// Stamp: vertex orphaned (all strict shortest-path parents gone).
+    orphan_ep: Vec<u32>,
+    /// Stamp: orphan settled by the re-relaxation.
+    settled_ep: Vec<u32>,
+    /// Bucket queue over hop distance, shared by orphan descent and
+    /// re-relaxation (each drains the buckets it fills).
+    buckets: Vec<Vec<u32>>,
+    /// Orphans of the current source.
+    orphans: Vec<u32>,
+    /// Rows the last [`Self::repair_rows`] call actually rewrote —
+    /// conservatively-routed rows a surviving witness protected are
+    /// excluded, so the affected-row statistics stay meaningful.
+    touched: u32,
+}
+
+/// [`DistCache::flags`] bit: some added link can shorten this source.
+const ADD_AFF: u8 = 1;
+/// [`DistCache::flags`] bit: some removed link lengthens this source
+/// (it was on a shortest path and no alternate parent survives).
+const DEL_AFF: u8 = 2;
+/// [`DistCache::flags`] bit: some removal's only surviving witness goes
+/// through an added link, so this row is *not* exact for the graph
+/// minus that link alone and must run the decremental phase.
+const NO_STRICT: u8 = 4;
+/// [`DistCache::flags`] bit, set during repair (not classification):
+/// the decremental phase actually rewrote entries of this row — it is
+/// already snapshotted and counts as touched even if the insertion
+/// relaxation then finds nothing to shrink.
+const DEL_CHANGED: u8 = 8;
+
+/// Read-only result of classifying the pending edge delta against the
+/// cached rows.
+#[derive(Debug, Default)]
+struct DeltaScan {
+    /// Whether some hostful source has no valid row (its aggregates are
+    /// unknown — early reject is then impossible).
+    invalid_hostful: bool,
+    /// Whether the guard's allowance bound applies: at most one
+    /// net-added link (the single-add distance formula the improvement
+    /// bound rests on does not compose across simultaneous adds).
+    guardable: bool,
+    /// Lower bound on the increase of the *ordered* weighted path sum
+    /// from witness-less removals, over sources the add cannot touch.
+    strict_sum: u64,
+    /// Upper bound on the decrease of the ordered weighted path sum from
+    /// the added link: an ordered pair `(s, x)` can only improve if `s`
+    /// sits strictly behind one endpoint and `x` strictly behind the
+    /// other, and then by at most `min(diff(s), diff(x)) − 1`, so the
+    /// total decrease is at most `2·min(Su·Kv, Sv·Ku)` where
+    /// `Su = Σ k_s·(diff(s)−1)` and `Ku = Σ k_s` over sources behind `u`
+    /// (resp. `v`).
+    allowance: u64,
+}
+
+impl DistCache {
+    fn new(m: usize) -> Option<Self> {
+        if !(2..=CACHE_MAX_SWITCHES).contains(&m) {
+            return None;
+        }
+        Some(Self {
+            m,
+            rows: vec![INVALID_DIST; m * m],
+            valid: vec![false; m],
+            wsum: vec![0; m],
+            hist: vec![0; m * CACHE_MAX_DIST],
+            ecc: vec![0; m],
+            nreach: vec![0; m],
+            edge_delta: Vec::new(),
+            disabled: false,
+            snap_src: Vec::new(),
+            snap_rows: Vec::new(),
+            snap_marks: Vec::new(),
+            saved_deltas: Vec::new(),
+            flags: vec![0; m],
+            wneed: vec![0; m],
+            wit: vec![0; m],
+            strict: vec![0; m],
+            ep: 0,
+            cand_ep: vec![0; m],
+            orphan_ep: vec![0; m],
+            settled_ep: vec![0; m],
+            buckets: vec![Vec::new(); CACHE_MAX_DIST + 1],
+            orphans: Vec::new(),
+            touched: 0,
+        })
+    }
+
+    // -- transactional snapshots --------------------------------------
+
+    /// Opens a snapshot level (called from [`SearchState::begin`]).
+    fn mark(&mut self) {
+        if self.disabled {
+            return;
+        }
+        self.snap_marks.push(self.snap_src.len());
+        self.saved_deltas.push(self.edge_delta.clone());
+    }
+
+    /// Folds the innermost snapshot level into its parent (commit): the
+    /// entries stay restorable by an enclosing rollback and are dropped
+    /// only when the outermost transaction commits.
+    fn commit_mark(&mut self) {
+        if self.disabled {
+            return;
+        }
+        self.snap_marks.pop();
+        self.saved_deltas.pop();
+        if self.snap_marks.is_empty() {
+            self.snap_src.clear();
+            self.snap_rows.clear();
+        }
+    }
+
+    /// Restores every row dirtied since the innermost `mark` (reverse
+    /// order, so the earliest copy wins) and rewinds the edge delta to
+    /// its state at `begin`. Aggregates of restored rows are recomputed
+    /// against `counts`, which the caller passes *after* replaying the
+    /// undo log — so host counts are already rolled back.
+    fn rollback_mark(&mut self, counts: &[u32]) {
+        if self.disabled {
+            return;
+        }
+        let (Some(boundary), Some(saved)) = (self.snap_marks.pop(), self.saved_deltas.pop()) else {
+            return;
+        };
+        let m = self.m;
+        while self.snap_src.len() > boundary {
+            let (s, was_valid) = self.snap_src.pop().expect("len > boundary");
+            let s = s as usize;
+            let off = self.snap_src.len() * m;
+            self.rows[s * m..(s + 1) * m].copy_from_slice(&self.snap_rows[off..off + m]);
+            self.snap_rows.truncate(off);
+            self.valid[s] = was_valid;
+            if was_valid {
+                // restored rows were validated when first stored
+                let ok = self.recompute_aggregates(s, counts);
+                debug_assert!(ok, "snapshot row of source {s} holds an oversized distance");
+            }
+        }
+        self.edge_delta = saved;
+    }
+
+    /// Saves row `s` (and its validity) before a sweep or repair
+    /// overwrites it. Only meaningful while a snapshot level is open.
+    fn snapshot_row(&mut self, s: u32) {
+        debug_assert!(!self.snap_marks.is_empty());
+        let s_idx = s as usize;
+        self.snap_src.push((s, self.valid[s_idx]));
+        self.snap_rows
+            .extend_from_slice(&self.rows[s_idx * self.m..(s_idx + 1) * self.m]);
+    }
+
+    /// Rebuilds `wsum`/`hist`/`ecc`/`nreach` of source `s` from its row
+    /// and the given host counts — one sequential scan. Returns `false`
+    /// if the row holds a finite distance beyond what the histogram can
+    /// index (only reachable through formula repair).
+    #[must_use]
+    fn recompute_aggregates(&mut self, s: usize, counts: &[u32]) -> bool {
+        let m = self.m;
+        let row = &self.rows[s * m..(s + 1) * m];
+        let hist = &mut self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
+        hist.fill(0);
+        let mut wsum = 0u64;
+        let mut nreach = 0u32;
+        let mut ecc = 0u16;
+        for (v, (&d, &k)) in row.iter().zip(counts).enumerate() {
+            if v == s || d == INVALID_DIST {
+                continue;
+            }
+            // hostless switches count too: a later host move must be
+            // able to index `hist[d]`
+            if d >= CACHE_MAX_DIST as u16 {
+                return false;
+            }
+            if k == 0 {
+                continue;
+            }
+            wsum += k as u64 * (d as u64 + 2);
+            hist[d as usize] += 1;
+            nreach += 1;
+            ecc = ecc.max(d);
+        }
+        self.wsum[s] = wsum;
+        self.nreach[s] = nreach;
+        self.ecc[s] = ecc;
+        true
+    }
+
+    fn ptrs(&mut self) -> CachePtrs {
+        CachePtrs {
+            rows: self.rows.as_mut_ptr(),
+            wsum: self.wsum.as_mut_ptr(),
+            hist: self.hist.as_mut_ptr(),
+            ecc: self.ecc.as_mut_ptr(),
+            nreach: self.nreach.as_mut_ptr(),
+            valid: self.valid.as_mut_ptr(),
+            m: self.m,
+        }
+    }
+
+    #[inline]
+    fn row(&self, s: usize) -> &[u16] {
+        &self.rows[s * self.m..(s + 1) * self.m]
+    }
+
+    /// Accumulates a link change (`net = ±1`); exact inverses cancel.
+    fn note_edge(&mut self, a: Switch, b: Switch, net: i32) {
+        if self.disabled {
+            return;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(pos) = self.edge_delta.iter().position(|&(x, y, _)| (x, y) == key) {
+            self.edge_delta[pos].2 += net;
+            if self.edge_delta[pos].2 == 0 {
+                self.edge_delta.swap_remove(pos);
+            }
+        } else {
+            self.edge_delta.push((key.0, key.1, net));
+        }
+    }
+
+    /// Eagerly re-weights every valid row for a host-count change at `v`.
+    /// Self-inverse under the opposite delta, so transaction rollback
+    /// (which replays the inverse host move) restores the aggregates
+    /// exactly.
+    fn note_host_delta(&mut self, v: Switch, old_k: u32, new_k: u32) {
+        if self.disabled || old_k == new_k {
+            return;
+        }
+        let m = self.m;
+        let v = v as usize;
+        let dk = new_k as i64 - old_k as i64;
+        for s in 0..m {
+            if !self.valid[s] || s == v {
+                continue;
+            }
+            // All valid rows describe the same graph, so `d(s,v)` can be
+            // read from `v`'s own row — a sequential scan instead of an
+            // `m`-stride column walk (one cache miss per source).
+            let d = if self.valid[v] {
+                self.rows[v * m + s]
+            } else {
+                self.rows[s * m + v]
+            };
+            if d == INVALID_DIST {
+                continue;
+            }
+            let du = d as usize;
+            self.wsum[s] = (self.wsum[s] as i64 + dk * (du as i64 + 2)) as u64;
+            if old_k == 0 {
+                self.hist[s * CACHE_MAX_DIST + du] += 1;
+                self.nreach[s] += 1;
+                if d > self.ecc[s] {
+                    self.ecc[s] = d;
+                }
+            } else if new_k == 0 {
+                let base = s * CACHE_MAX_DIST;
+                self.hist[base + du] -= 1;
+                self.nreach[s] -= 1;
+                if self.hist[base + du] == 0 && d == self.ecc[s] {
+                    let mut e = du;
+                    while e > 0 && self.hist[base + e] == 0 {
+                        e -= 1;
+                    }
+                    self.ecc[s] = e as u16;
+                }
+            }
+        }
+    }
+
+    /// Classifies every row against the pending edge delta, pushing the
+    /// sources that must be re-swept (affected or invalid, hostful or
+    /// not — the cache keeps every row warm so host moves onto hostless
+    /// switches never cold-start) into `rebfs`. Read-only on the cache
+    /// itself, so an early reject can abandon the result without repair
+    /// work.
+    fn scan_delta(
+        &mut self,
+        csr: &SlotCsr,
+        counts: &[u32],
+        rebfs: &mut Vec<u32>,
+        repair: &mut Vec<u32>,
+    ) -> DeltaScan {
+        rebfs.clear();
+        repair.clear();
+        let mut scan = DeltaScan::default();
+        let m = self.m;
+        // Split the pending delta once; swings keep |adds| = |dels| = 1,
+        // swaps 2 and 2.
+        let mut adds: Vec<(u32, u32)> = Vec::with_capacity(4);
+        let mut dels: Vec<(u32, u32)> = Vec::with_capacity(4);
+        for &(a, b, net) in &self.edge_delta {
+            if net > 0 {
+                adds.push((a, b));
+            } else if net < 0 {
+                dels.push((a, b));
+            }
+        }
+        scan.guardable = adds.len() <= 1;
+        for (s, (&ok, &k)) in self.valid.iter().zip(counts).enumerate().take(m) {
+            if !ok {
+                if k > 0 {
+                    scan.invalid_hostful = true;
+                }
+                rebfs.push(s as u32);
+            }
+        }
+        if adds.is_empty() && dels.is_empty() {
+            return scan;
+        }
+        // Every pass below reads whole rows sequentially (d(s,x) is read
+        // from x's row — valid rows all describe the same graph, so the
+        // symmetric entry is identical and the `m`-stride column walk of
+        // a per-source formulation is avoided). That needs the rows of
+        // every delta endpoint and witness candidate; if any is missing
+        // (only possible before the first full sweep), classification is
+        // impossible and every row is conservatively re-swept.
+        let mut conservative = adds
+            .iter()
+            .chain(&dels)
+            .any(|&(u, v)| !self.valid[u as usize] || !self.valid[v as usize]);
+        for &(u, v) in &dels {
+            conservative |= csr
+                .neighbors(u)
+                .iter()
+                .chain(csr.neighbors(v))
+                .any(|&w| !self.valid[w as usize]);
+        }
+        if conservative {
+            scan.guardable = false;
+            for s in 0..m {
+                if self.valid[s] {
+                    rebfs.push(s as u32);
+                }
+            }
+            rebfs.sort_unstable();
+            return scan;
+        }
+        self.flags[..m].fill(0);
+        self.strict[..m].fill(0);
+        // Added links: `s` can shrink iff its endpoint distances differ
+        // by ≥ 2 (or one endpoint is unreachable — reachability gain).
+        // Accumulates the behind-u / behind-v host masses of the
+        // single-add improvement allowance (see `DeltaScan::allowance`).
+        let (mut su, mut ku, mut sv, mut kv) = (0u64, 0u64, 0u64, 0u64);
+        for &(u, v) in &adds {
+            let base_u = u as usize * m;
+            let base_v = v as usize * m;
+            for (s, &ks) in counts.iter().enumerate().take(m) {
+                if !self.valid[s] {
+                    continue;
+                }
+                let (du, dv) = (self.rows[base_u + s], self.rows[base_v + s]);
+                if du == INVALID_DIST && dv == INVALID_DIST {
+                    continue; // joins two components not containing s
+                }
+                if du == INVALID_DIST || dv == INVALID_DIST {
+                    // s gains reachability: pairs only appear (weighted
+                    // sum grows), so no allowance is needed — but the
+                    // row must be re-derived
+                    self.flags[s] |= ADD_AFF;
+                    continue;
+                }
+                let ks = u64::from(ks);
+                if du + 2 <= dv {
+                    // s strictly behind u: improving pairs enter the new
+                    // link at u and exit towards targets behind v
+                    self.flags[s] |= ADD_AFF;
+                    if scan.guardable {
+                        su += ks * (dv - du - 1) as u64;
+                        ku += ks;
+                    }
+                } else if dv + 2 <= du {
+                    self.flags[s] |= ADD_AFF;
+                    if scan.guardable {
+                        sv += ks * (du - dv - 1) as u64;
+                        kv += ks;
+                    }
+                }
+            }
+        }
+        scan.allowance = 2 * (su * kv).min(sv * ku);
+        // Removed links, one at a time: `s` lengthens iff the link was on
+        // a shortest path from `s` (endpoint levels differ — by exactly 1,
+        // since it was an edge) and the far endpoint has no alternate
+        // parent. A parent in the *post-delta* adjacency keeps every
+        // distance intact — inductively down the BFS levels — but a
+        // parent reached through an added link only proves the combined
+        // delta leaves `s` unchanged, not the removals alone, so it does
+        // not count as a *strict* witness (bit 1), which is what formula
+        // repair needs.
+        for &(u, v) in &dels {
+            let base_u = u as usize * m;
+            let base_v = v as usize * m;
+            for s in 0..m {
+                // add-affected sources still need their removal bits:
+                // they decide repair eligibility (strict increments are
+                // filtered later)
+                self.wneed[s] = if !self.valid[s] {
+                    0
+                } else {
+                    let (du, dv) = (self.rows[base_u + s], self.rows[base_v + s]);
+                    if du == INVALID_DIST || dv == INVALID_DIST || du == dv {
+                        0
+                    } else if du < dv {
+                        1 // far endpoint is v
+                    } else {
+                        2 // far endpoint is u
+                    }
+                };
+            }
+            if !scan.guardable {
+                // No guard will read the strict increments, so the
+                // witness scan (deg(far) whole-row passes) buys nothing:
+                // route every on-DAG source to the decremental phase,
+                // which rediscovers surviving parents at O(deg) per
+                // source and leaves witness-protected rows untouched.
+                for s in 0..m {
+                    if self.wneed[s] != 0 {
+                        self.flags[s] |= DEL_AFF;
+                    }
+                }
+                continue;
+            }
+            self.wit[..m].fill(0);
+            for (far, need) in [(v, 1u8), (u, 2u8)] {
+                let base_far = far as usize * m;
+                for &w in csr.neighbors(far) {
+                    let key = if far < w { (far, w) } else { (w, far) };
+                    let strict_bit = if adds.contains(&key) { 1 } else { 3 };
+                    let base_w = w as usize * m;
+                    for s in 0..m {
+                        if self.wneed[s] == need {
+                            let dw = self.rows[base_w + s];
+                            if dw != INVALID_DIST && dw + 1 == self.rows[base_far + s] {
+                                self.wit[s] |= strict_bit;
+                            }
+                        }
+                    }
+                }
+            }
+            for s in 0..m {
+                if self.wneed[s] == 0 {
+                    continue;
+                }
+                let far = if self.wneed[s] == 1 { v } else { u };
+                if self.wit[s] & 1 == 0 {
+                    self.flags[s] |= DEL_AFF;
+                    // the farther endpoint strictly recedes by ≥ 1
+                    self.strict[s] = self.strict[s].max(counts[far as usize]);
+                }
+                if self.wit[s] & 2 == 0 {
+                    self.flags[s] |= NO_STRICT;
+                }
+            }
+        }
+        // Every affected source — add endpoints included — is repaired
+        // in place (decremental orphan re-relaxation for the removals,
+        // then incremental insertion relaxation for the adds — see
+        // `repair_rows`); re-BFS is reserved for invalid rows.
+        for (s, &ks) in counts.iter().enumerate().take(m) {
+            if !self.valid[s] {
+                continue; // already queued
+            }
+            let f = self.flags[s];
+            let ks = u64::from(ks);
+            if f & ADD_AFF == 0 {
+                // strict increments only for sources the add cannot
+                // rescue
+                scan.strict_sum += ks * self.strict[s] as u64;
+            }
+            if f & (ADD_AFF | DEL_AFF) == 0 {
+                continue;
+            }
+            repair.push(s as u32);
+        }
+        scan
+    }
+
+    /// Scores the graph from the aggregates alone (`O(m)`); requires
+    /// every hostful source to hold a valid, refreshed row.
+    fn totals(&self, counts: &[u32]) -> BatchSums {
+        let mut t = BatchSums::default();
+        for (s, &k) in counts.iter().enumerate().take(self.m) {
+            if k == 0 {
+                continue;
+            }
+            debug_assert!(self.valid[s], "hostful source {s} lacks a cache row");
+            t.weighted += k as u64 * self.wsum[s];
+            t.max_d = t.max_d.max(self.ecc[s] as u32);
+            t.reached += 1 + self.nreach[s] as u64;
+        }
+        t
+    }
+
+    /// Lower bound on the *ordered* weighted path sum after the pending
+    /// delta: stale aggregates (with current host counts), plus the
+    /// strict-removal increments (those sources' distances cannot have
+    /// been rescued by the add), minus the add-improvement allowance
+    /// (which over-covers every pair whose distance can shrink). Valid
+    /// only for guardable scans with no invalid hostful row.
+    fn lower_bound_weighted(&self, counts: &[u32], scan: &DeltaScan) -> u64 {
+        let mut w = scan.strict_sum;
+        for (s, &k) in counts.iter().enumerate().take(self.m) {
+            if k > 0 {
+                w += k as u64 * self.wsum[s];
+            }
+        }
+        w.saturating_sub(scan.allowance)
+    }
+
+    /// Repairs every source in `repair` fully in place — no BFS. Two
+    /// phases, each per source:
+    ///
+    /// 1. **Decremental re-relaxation** (sources some removal touches):
+    ///    orphan descent finds exactly the vertices whose every strict
+    ///    shortest-path parent is gone, then a bucket-Dijkstra
+    ///    re-settles them from the unorphaned boundary. The row then
+    ///    holds `d_del` — the distances of the graph minus the removals
+    ///    (added links excluded throughout).
+    /// 2. **Incremental insertion relaxation**: each add `(u,v)` seeds
+    ///    its endpoints with `d_del(s,v)+1` / `d_del(s,u)+1`, and the
+    ///    decrease wavefront propagates through the live adjacency —
+    ///    which already contains the added links, so add-over-add
+    ///    chains relax transitively. A shortest new path decomposes at
+    ///    its first added link into an add-free prefix (already exact
+    ///    in `d_del`) plus a seeded suffix, so the relaxation reaches
+    ///    every entry that shrinks; every candidate is a real walk
+    ///    length, so it never undershoots. Work is O(changed entries ·
+    ///    degree) per source, not O(m).
+    ///
+    /// Both phases patch `wsum`/`hist`/`ecc`/`nreach` per rewritten
+    /// entry and snapshot a row just before its first write when a
+    /// transaction is open, so untouched rows cost nothing.
+    ///
+    /// Returns `false` when a repaired finite distance reaches
+    /// [`CACHE_MAX_DIST`] (caller must release the cache).
+    fn repair_rows(&mut self, csr: &SlotCsr, repair: &[u32], counts: &[u32]) -> bool {
+        self.touched = 0;
+        if repair.is_empty() {
+            return true;
+        }
+        let mut adds: Vec<(u32, u32, u32)> = Vec::new();
+        let mut dels: Vec<(u32, u32)> = Vec::new();
+        for &(a, b, net) in &self.edge_delta {
+            if net > 0 {
+                adds.push((a, b, net as u32));
+            } else {
+                dels.push((a, b));
+            }
+        }
+        if !dels.is_empty() {
+            for &s in repair {
+                let s = s as usize;
+                if self.flags[s] & (DEL_AFF | NO_STRICT) != 0 {
+                    match self.del_repair_source(csr, s, &adds, &dels, counts) {
+                        None => return false,
+                        Some(true) => self.flags[s] |= DEL_CHANGED,
+                        Some(false) => {}
+                    }
+                }
+            }
+        }
+        if adds.is_empty() {
+            // the decremental phase keeps rows and aggregates in sync
+            for &s in repair {
+                if self.flags[s as usize] & DEL_CHANGED != 0 {
+                    self.touched += 1;
+                }
+            }
+            return true;
+        }
+        for &s in repair {
+            let s = s as usize;
+            let snapshotted = self.flags[s] & DEL_CHANGED != 0;
+            match self.add_repair_source(csr, s, &adds, counts, snapshotted) {
+                None => return false,
+                Some(c) => self.touched += u32::from(c || snapshotted),
+            }
+        }
+        true
+    }
+
+    /// Insertion counterpart of [`Self::del_repair_source`]: given a
+    /// row holding `d_del`, seeds each pending add's endpoints with the
+    /// opposite endpoint's distance plus one and settles the decrease
+    /// wavefront in ascending key order through the live adjacency
+    /// (bucket Dijkstra; a popped key at or above the current entry is
+    /// stale and skipped). Only entries that actually shrink are
+    /// touched, and the aggregates are patched per write — the
+    /// eccentricity is re-read from the histogram when the previous
+    /// maximum shrank. Returns `None` when a new finite distance
+    /// reaches [`CACHE_MAX_DIST`], otherwise whether anything changed.
+    fn add_repair_source(
+        &mut self,
+        csr: &SlotCsr,
+        s: usize,
+        adds: &[(u32, u32, u32)],
+        counts: &[u32],
+        snapshotted: bool,
+    ) -> Option<bool> {
+        let m = self.m;
+        let base = s * m;
+        let mut lo = CACHE_MAX_DIST;
+        let mut seeded = false;
+        for &(u, v, _) in adds {
+            let (du, dv) = (self.rows[base + u as usize], self.rows[base + v as usize]);
+            for (x, cand) in [(v, du.saturating_add(1)), (u, dv.saturating_add(1))] {
+                if cand < self.rows[base + x as usize] {
+                    let key = (cand as usize).min(CACHE_MAX_DIST);
+                    self.buckets[key].push(x);
+                    lo = lo.min(key);
+                    seeded = true;
+                }
+            }
+        }
+        if !seeded {
+            return Some(false);
+        }
+        if !snapshotted && !self.snap_marks.is_empty() {
+            self.snapshot_row(s as u32);
+        }
+        let mut overflow = false;
+        let mut ecc_dirty = false;
+        let mut key = lo;
+        while key <= CACHE_MAX_DIST {
+            while let Some(x) = self.buckets[key].pop() {
+                let xi = x as usize;
+                let d_old = self.rows[base + xi];
+                if key >= d_old as usize {
+                    continue; // stale: already settled at least as close
+                }
+                if key >= CACHE_MAX_DIST {
+                    overflow = true; // finite but beyond histogram range
+                    continue; // keep draining the buckets
+                }
+                self.rows[base + xi] = key as u16;
+                let kx = counts[xi];
+                if d_old == INVALID_DIST {
+                    // newly reachable through an added link
+                    if kx != 0 {
+                        self.wsum[s] += kx as u64 * (key as u64 + 2);
+                        self.hist[s * CACHE_MAX_DIST + key] += 1;
+                        self.nreach[s] += 1;
+                        self.ecc[s] = self.ecc[s].max(key as u16);
+                    }
+                } else if kx != 0 {
+                    self.wsum[s] -= kx as u64 * (d_old as u64 - key as u64);
+                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
+                    self.hist[s * CACHE_MAX_DIST + key] += 1;
+                    if d_old == self.ecc[s] {
+                        ecc_dirty = true;
+                    }
+                }
+                let cand = key + 1;
+                for &w in csr.neighbors(x) {
+                    if cand < usize::from(self.rows[base + w as usize]) {
+                        self.buckets[cand.min(CACHE_MAX_DIST)].push(w);
+                    }
+                }
+            }
+            key += 1;
+        }
+        if overflow {
+            return None;
+        }
+        if ecc_dirty {
+            // the histogram is current again: its highest non-empty
+            // bucket is the surviving eccentricity
+            let hist = &self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
+            self.ecc[s] = hist.iter().rposition(|&c| c != 0).unwrap_or(0) as u16;
+        }
+        Some(true)
+    }
+
+    /// Phase 1 of [`Self::repair_rows`] for one source: rewrites the
+    /// stored row from the pre-delta distances to `d_del` (graph minus
+    /// the removals, added links excluded). Touches only the orphaned
+    /// region plus its boundary, patching `wsum`/`hist`/`ecc`/`nreach`
+    /// per rewritten entry so the aggregates never need a rebuild, and
+    /// snapshots the row just before the first write when a
+    /// transaction is open. Returns `None` on distance overflow,
+    /// otherwise whether any entry was rewritten (a row whose every
+    /// on-DAG removal keeps a surviving strict parent is untouched, and
+    /// its aggregates stay exact).
+    fn del_repair_source(
+        &mut self,
+        csr: &SlotCsr,
+        s: usize,
+        adds: &[(u32, u32, u32)],
+        dels: &[(u32, u32)],
+        counts: &[u32],
+    ) -> Option<bool> {
+        let m = self.m;
+        let base = s * m;
+        if self.ep == u32::MAX {
+            self.cand_ep.iter_mut().for_each(|e| *e = 0);
+            self.orphan_ep.iter_mut().for_each(|e| *e = 0);
+            self.settled_ep.iter_mut().for_each(|e| *e = 0);
+            self.ep = 0;
+        }
+        self.ep += 1;
+        let ep = self.ep;
+        self.orphans.clear();
+        // -- orphan descent ------------------------------------------
+        // Seed with the far endpoint of every removal that sat on the
+        // shortest-path DAG of `s` (endpoint levels differ by 1).
+        let mut lo = CACHE_MAX_DIST;
+        let mut pending = 0usize;
+        for &(a, b) in dels {
+            let (da, db) = (self.rows[base + a as usize], self.rows[base + b as usize]);
+            if da == INVALID_DIST || db == INVALID_DIST || da == db {
+                continue;
+            }
+            let (far, lvl) = if da < db { (b, db) } else { (a, da) };
+            let lvl = lvl as usize;
+            debug_assert!(lvl < CACHE_MAX_DIST);
+            self.buckets[lvl].push(far);
+            lo = lo.min(lvl);
+            pending += 1;
+        }
+        let mut lvl = lo;
+        while pending > 0 && lvl < CACHE_MAX_DIST {
+            while let Some(x) = self.buckets[lvl].pop() {
+                pending -= 1;
+                let xi = x as usize;
+                if self.cand_ep[xi] == ep {
+                    continue;
+                }
+                self.cand_ep[xi] = ep;
+                if self.strict_parent_survives(csr, adds, base, x, lvl as u16) {
+                    continue;
+                }
+                self.orphan_ep[xi] = ep;
+                self.orphans.push(x);
+                // shortest-path children may have lost their last parent
+                let mut skip = Self::added_copies(adds, x);
+                for &y in csr.neighbors(x) {
+                    if Self::consume_added(&mut skip, y) {
+                        continue;
+                    }
+                    let yi = y as usize;
+                    if self.rows[base + yi] == lvl as u16 + 1 && self.cand_ep[yi] != ep {
+                        self.buckets[lvl + 1].push(y);
+                        pending += 1;
+                    }
+                }
+            }
+            lvl += 1;
+        }
+        if self.orphans.is_empty() {
+            return Some(false);
+        }
+        // The row is about to be rewritten: save it now if a snapshot
+        // level is open, so witness-protected rows never pay for one.
+        if !self.snap_marks.is_empty() {
+            self.snapshot_row(s as u32);
+        }
+        // -- re-relaxation (unit-weight Dijkstra from the boundary) ---
+        let mut lo = CACHE_MAX_DIST;
+        for oi in 0..self.orphans.len() {
+            let x = self.orphans[oi];
+            let mut best = u32::from(INVALID_DIST);
+            let mut skip = Self::added_copies(adds, x);
+            for &w in csr.neighbors(x) {
+                if Self::consume_added(&mut skip, w) {
+                    continue;
+                }
+                let wi = w as usize;
+                let dw = self.rows[base + wi];
+                if self.orphan_ep[wi] != ep && dw != INVALID_DIST {
+                    best = best.min(u32::from(dw) + 1);
+                }
+            }
+            if best < u32::from(INVALID_DIST) {
+                let key = (best as usize).min(CACHE_MAX_DIST);
+                self.buckets[key].push(x);
+                lo = lo.min(key);
+            }
+        }
+        let mut overflow = false;
+        let mut key = lo;
+        while key <= CACHE_MAX_DIST {
+            while let Some(x) = self.buckets[key].pop() {
+                let xi = x as usize;
+                if self.settled_ep[xi] == ep {
+                    continue;
+                }
+                self.settled_ep[xi] = ep;
+                if key >= CACHE_MAX_DIST {
+                    overflow = true;
+                    continue; // keep draining the buckets
+                }
+                // Patch the aggregates in place: orphan distances grow
+                // strictly, so the eccentricity only ratchets up here.
+                let d_old = self.rows[base + xi];
+                self.rows[base + xi] = key as u16;
+                debug_assert!((key as u16) > d_old);
+                let kx = counts[xi];
+                if kx != 0 {
+                    self.wsum[s] += kx as u64 * (key as u64 - d_old as u64);
+                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
+                    self.hist[s * CACHE_MAX_DIST + key] += 1;
+                    self.ecc[s] = self.ecc[s].max(key as u16);
+                }
+                let mut skip = Self::added_copies(adds, x);
+                for &w in csr.neighbors(x) {
+                    if Self::consume_added(&mut skip, w) {
+                        continue;
+                    }
+                    let wi = w as usize;
+                    if self.orphan_ep[wi] == ep && self.settled_ep[wi] != ep {
+                        self.buckets[(key + 1).min(CACHE_MAX_DIST)].push(w);
+                    }
+                }
+            }
+            key += 1;
+        }
+        if overflow {
+            return None;
+        }
+        // orphans the boundary never reached are now unreachable
+        let mut ecc_dirty = false;
+        for oi in 0..self.orphans.len() {
+            let xi = self.orphans[oi] as usize;
+            if self.settled_ep[xi] != ep {
+                let d_old = self.rows[base + xi];
+                self.rows[base + xi] = INVALID_DIST;
+                let kx = counts[xi];
+                if kx != 0 {
+                    self.wsum[s] -= kx as u64 * (d_old as u64 + 2);
+                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
+                    self.nreach[s] -= 1;
+                    if d_old == self.ecc[s] {
+                        ecc_dirty = true;
+                    }
+                }
+            }
+        }
+        if ecc_dirty {
+            // the histogram is current again: its highest non-empty
+            // bucket is the surviving eccentricity
+            let hist = &self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
+            self.ecc[s] = hist.iter().rposition(|&c| c != 0).unwrap_or(0) as u16;
+        }
+        Some(true)
+    }
+
+    /// The added-link copies incident to `x`, as `(other endpoint,
+    /// copies to skip)` — iterating `csr` neighbors must ignore exactly
+    /// that many occurrences to see the strict (minus-removals,
+    /// minus-adds) adjacency. Parallel pre-existing copies survive.
+    #[inline]
+    fn added_copies(adds: &[(u32, u32, u32)], x: u32) -> [(u32, u32); 4] {
+        let mut skip = [(u32::MAX, 0u32); 4];
+        let mut n = 0;
+        for &(a, b, mult) in adds {
+            let other = if a == x {
+                b
+            } else if b == x {
+                a
+            } else {
+                continue;
+            };
+            if n < skip.len() {
+                skip[n] = (other, mult);
+                n += 1;
+            }
+        }
+        skip
+    }
+
+    /// Consumes one skip token for neighbor `w`, returning `true` if
+    /// this occurrence is an added copy.
+    #[inline]
+    fn consume_added(skip: &mut [(u32, u32); 4], w: u32) -> bool {
+        for e in skip.iter_mut() {
+            if e.0 == w && e.1 > 0 {
+                e.1 -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `x` keeps a surviving strict shortest-path parent (level
+    /// exactly one below, reached neither through an added link nor an
+    /// already-orphaned vertex).
+    #[inline]
+    fn strict_parent_survives(
+        &self,
+        csr: &SlotCsr,
+        adds: &[(u32, u32, u32)],
+        base: usize,
+        x: u32,
+        lvl: u16,
+    ) -> bool {
+        let mut skip = Self::added_copies(adds, x);
+        for &w in csr.neighbors(x) {
+            if Self::consume_added(&mut skip, w) {
+                continue;
+            }
+            let wi = w as usize;
+            if u32::from(self.rows[base + wi]) + 1 == u32::from(lvl)
+                && self.orphan_ep[wi] != self.ep
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops the bulk storage once the cache is disabled.
+    fn release(&mut self) {
+        self.disabled = true;
+        self.rows = Vec::new();
+        self.hist = Vec::new();
+        self.wsum = Vec::new();
+        self.ecc = Vec::new();
+        self.nreach = Vec::new();
+        self.valid = vec![false; self.m];
+        self.edge_delta = Vec::new();
+        self.snap_src = Vec::new();
+        self.snap_rows = Vec::new();
+        self.snap_marks = Vec::new();
+        self.saved_deltas = Vec::new();
+        self.flags = Vec::new();
+        self.wneed = Vec::new();
+        self.wit = Vec::new();
+        self.strict = Vec::new();
+        self.cand_ep = Vec::new();
+        self.orphan_ep = Vec::new();
+        self.settled_ep = Vec::new();
+        self.buckets = Vec::new();
+        self.orphans = Vec::new();
+    }
+}
+
+// ---- persistent evaluation worker pool ---------------------------------
+
+/// One sweep job, published to the pool by the evaluating thread. All
+/// pointers stay valid until the job completes (the publisher blocks).
+#[derive(Debug, Clone, Copy)]
+struct JobPacket {
+    csr: *const SlotCsr,
+    counts: *const u32,
+    counts_len: usize,
+    srcs: *const u32,
+    srcs_len: usize,
+    scratch: *mut EvalScratch,
+    cache: Option<CachePtrs>,
+}
+
+// SAFETY: the publisher blocks until every worker finished, scratch
+// buffers are indexed per worker, and cached sweeps write disjoint rows.
+unsafe impl Send for JobPacket {}
+unsafe impl Sync for JobPacket {}
+
+#[derive(Debug)]
+struct PoolCtl {
+    seq: u64,
+    shutdown: bool,
+    job: Option<JobPacket>,
+    active: usize,
+    partials: Vec<BatchSums>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    ctl: Mutex<PoolCtl>,
+    go: Condvar,
+    done: Condvar,
+    next: AtomicUsize,
+    overflow: AtomicBool,
+}
+
+/// Persistent evaluation workers: spawned once per [`SearchState`],
+/// parked on a condvar between proposals, woken by sequence number.
+/// Replaces the per-proposal `std::thread::scope` spawn of the previous
+/// engine — the steady-state eval path creates no threads at all.
+#[derive(Debug)]
+struct EvalPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Executes this worker's share of `job` (batches are claimed from a
+/// shared atomic counter, so load balances dynamically).
+fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSums {
+    // SAFETY: the publisher keeps every pointer alive until the job is
+    // complete, and `scratch.add(worker)` is this worker's exclusive
+    // buffer.
+    let (csr, counts, srcs, scratch) = unsafe {
+        (
+            &*job.csr,
+            std::slice::from_raw_parts(job.counts, job.counts_len),
+            std::slice::from_raw_parts(job.srcs, job.srcs_len),
+            &mut *job.scratch.add(worker),
+        )
+    };
+    let mut acc = BatchSums::default();
+    let nbatches = srcs.len().div_ceil(64);
+    loop {
+        let b = shared.next.fetch_add(1, Ordering::Relaxed);
+        if b >= nbatches {
+            break;
+        }
+        let lo = b * 64;
+        let hi = (lo + 64).min(srcs.len());
+        match &job.cache {
+            Some(c) => {
+                if !sweep_batch_cached(csr, counts, &srcs[lo..hi], scratch, c) {
+                    shared.overflow.store(true, Ordering::Relaxed);
+                }
+            }
+            None => acc.absorb(sweep_batch(csr, counts, &srcs[lo..hi], scratch)),
+        }
+    }
+    acc
+}
+
+impl EvalPool {
+    /// Spawns `extra` parked workers (the evaluating thread itself acts
+    /// as worker 0).
+    fn spawn(extra: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            ctl: Mutex::new(PoolCtl {
+                seq: 0,
+                shutdown: false,
+                job: None,
+                active: 0,
+                partials: vec![BatchSums::default(); extra + 1],
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            overflow: AtomicBool::new(false),
+        });
+        let handles = (1..=extra)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut last_seen = 0u64;
+                    loop {
+                        let job = {
+                            let mut ctl = shared.ctl.lock().expect("pool lock");
+                            loop {
+                                if ctl.shutdown {
+                                    return;
+                                }
+                                if ctl.seq != last_seen {
+                                    if let Some(job) = ctl.job {
+                                        last_seen = ctl.seq;
+                                        break job;
+                                    }
+                                }
+                                ctl = shared.go.wait(ctl).expect("pool wait");
+                            }
+                        };
+                        let acc = pool_process(&job, w, &shared);
+                        let mut ctl = shared.ctl.lock().expect("pool lock");
+                        ctl.partials[w] = acc;
+                        ctl.active -= 1;
+                        if ctl.active == 0 {
+                            shared.done.notify_one();
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Runs one sweep job across the pool (the caller participates as
+    /// worker 0) and returns the combined sums plus the overflow flag.
+    fn run(&self, job: JobPacket) -> (BatchSums, bool) {
+        self.shared.next.store(0, Ordering::Relaxed);
+        self.shared.overflow.store(false, Ordering::Relaxed);
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool lock");
+            ctl.seq += 1;
+            ctl.job = Some(job);
+            ctl.active = self.handles.len();
+            for p in &mut ctl.partials {
+                *p = BatchSums::default();
+            }
+        }
+        self.shared.go.notify_all();
+        let mine = pool_process(&job, 0, &self.shared);
+        let mut ctl = self.shared.ctl.lock().expect("pool lock");
+        while ctl.active > 0 {
+            ctl = self.shared.done.wait(ctl).expect("pool wait");
+        }
+        ctl.job = None;
+        let mut totals = mine;
+        for p in &ctl.partials {
+            totals.absorb(*p);
+        }
+        (totals, self.shared.overflow.load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool lock");
+            ctl.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---- evaluation outcome & stats ----------------------------------------
+
+/// Which code path scored the last proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalPathKind {
+    /// Full batched sweep over every hostful source.
+    #[default]
+    Full,
+    /// Affected-source re-sweep over the distance cache.
+    Incremental,
+    /// Guarded evaluation proved the move hopeless without any BFS.
+    EarlyRejected,
+}
+
+/// Running counters for the evaluation paths, exposed for telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Evaluations that swept every hostful source.
+    pub full: u64,
+    /// Evaluations served by the affected-source re-sweep.
+    pub incremental: u64,
+    /// Guarded evaluations rejected from the lower bound alone.
+    pub early_rejected: u64,
+    /// Sources fixed by the closed-form single-add distance formula
+    /// instead of a re-BFS (a subset of the incremental evaluations'
+    /// affected sources).
+    pub repaired: u64,
+    /// Path taken by the most recent evaluation.
+    pub last_kind: EvalPathKind,
+    /// Sources re-swept by the most recent evaluation.
+    pub last_affected: u32,
+    /// Source universe of the most recent evaluation (every switch on
+    /// the cached path, hostful switches on the plain path).
+    pub last_sources: u32,
+}
+
+/// Result of [`SearchState::evaluate_guarded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalOutcome {
+    /// The graph was scored.
+    Metrics(PathMetrics),
+    /// Some host pair is unreachable.
+    Disconnected,
+    /// The proposal was provably worse than the caller's threshold; no
+    /// BFS ran and the cache is untouched. Contains the proven h-ASPL
+    /// lower bound.
+    EarlyRejected(f64),
+}
+
 /// One entry of the undo log; each names the *applied* mutation, so
 /// rollback performs its inverse.
 #[derive(Debug, Clone, Copy)]
@@ -251,7 +1658,9 @@ enum UndoOp {
 /// keeps all four structures consistent by construction; the structures
 /// are never rebuilt after [`SearchState::new`]. Scoring via
 /// [`SearchState::evaluate`] reuses per-worker [`EvalScratch`] buffers —
-/// after warm-up a proposal allocates nothing.
+/// after warm-up a proposal allocates nothing — and, on instances up to
+/// [`CACHE_MAX_SWITCHES`] switches, re-sweeps only the sources whose
+/// distance vectors the move can actually change (see the module docs).
 #[derive(Debug)]
 pub struct SearchState {
     g: HostSwitchGraph,
@@ -264,6 +1673,11 @@ pub struct SearchState {
     workers: usize,
     scratch: Vec<EvalScratch>,
     srcs: Vec<u32>,
+    cache: Option<DistCache>,
+    pool: Option<EvalPool>,
+    rebfs_buf: Vec<u32>,
+    repair_buf: Vec<u32>,
+    stats: EvalStats,
 }
 
 impl SearchState {
@@ -275,13 +1689,33 @@ impl SearchState {
     /// unreachable (the annealer requires a connected start), and with
     /// [`GraphError::InvalidParameters`] on fewer than two hosts.
     pub fn new(start: HostSwitchGraph, parallel: Option<bool>) -> Result<Self, GraphError> {
+        let workers = resolve_parallel_eval(parallel, start.num_switches());
+        Self::with_options(start, workers, true)
+    }
+
+    /// As [`SearchState::new`] with an explicit evaluation worker count
+    /// (clamped to at least 1).
+    pub fn with_workers(start: HostSwitchGraph, workers: usize) -> Result<Self, GraphError> {
+        Self::with_options(start, workers, true)
+    }
+
+    /// Full-control constructor: explicit worker count and whether the
+    /// incremental distance cache may be used (`false` forces the full
+    /// batched sweep on every evaluation — the correctness oracle and
+    /// the baseline of the `incremental_eval` benchmark).
+    pub fn with_options(
+        start: HostSwitchGraph,
+        workers: usize,
+        distance_cache: bool,
+    ) -> Result<Self, GraphError> {
         if start.num_hosts() < 2 {
             return Err(GraphError::InvalidParameters(
                 "search needs at least two hosts".into(),
             ));
         }
         let counts = start.host_counts();
-        let workers = resolve_parallel_eval(parallel, start.num_switches());
+        let workers = workers.max(1);
+        let m = start.num_switches() as usize;
         let mut state = Self {
             csr: SlotCsr::from_graph(&start),
             edges: EdgeSet::from_graph(&start),
@@ -293,6 +1727,15 @@ impl SearchState {
             workers,
             scratch: vec![EvalScratch::default(); workers],
             srcs: Vec::new(),
+            cache: if distance_cache {
+                DistCache::new(m)
+            } else {
+                None
+            },
+            pool: (workers > 1).then(|| EvalPool::spawn(workers - 1)),
+            rebfs_buf: Vec::new(),
+            repair_buf: Vec::new(),
+            stats: EvalStats::default(),
         };
         if state.evaluate().is_none() {
             return Err(GraphError::Disconnected);
@@ -330,6 +1773,18 @@ impl SearchState {
         self.workers
     }
 
+    /// Whether the incremental distance cache is live for this instance.
+    #[inline]
+    pub fn cache_active(&self) -> bool {
+        self.cache.as_ref().is_some_and(|c| !c.disabled)
+    }
+
+    /// Evaluation-path counters (full vs incremental vs early-rejected).
+    #[inline]
+    pub fn eval_stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
     /// Consumes the engine, returning the graph.
     pub fn into_graph(self) -> HostSwitchGraph {
         self.g
@@ -341,6 +1796,9 @@ impl SearchState {
     /// matched by exactly one [`Self::commit`] or [`Self::rollback`].
     pub fn begin(&mut self) {
         self.txn_marks.push(self.undo.len());
+        if let Some(c) = &mut self.cache {
+            c.mark();
+        }
     }
 
     /// Whether a transaction is currently open.
@@ -353,6 +1811,9 @@ impl SearchState {
     /// the enclosing transaction, if one is open).
     pub fn commit(&mut self) {
         self.txn_marks.pop().expect("commit without begin");
+        if let Some(c) = &mut self.cache {
+            c.commit_mark();
+        }
         if self.txn_marks.is_empty() {
             self.undo.clear();
         }
@@ -360,6 +1821,11 @@ impl SearchState {
 
     /// Reverts every mutation of the innermost transaction, restoring the
     /// graph, CSR, host counts, and edge set to their state at `begin`.
+    /// The distance cache restores the snapshots of every row an
+    /// in-transaction evaluation overwrote and rewinds its pending edge
+    /// delta, so a rejected proposal leaves the cache exactly as `begin`
+    /// found it — the *next* proposal's affected set is not inflated by
+    /// the rejected one.
     pub fn rollback(&mut self) {
         let mark = self.txn_marks.pop().expect("rollback without begin");
         while self.undo.len() > mark {
@@ -369,23 +1835,34 @@ impl SearchState {
                 UndoOp::MovedHost(h, from) => self.raw_move_host(h, from),
             }
         }
+        if let Some(c) = &mut self.cache {
+            c.rollback_mark(&self.counts);
+        }
     }
 
     fn raw_link(&mut self, a: Switch, b: Switch) {
         self.g.add_link(a, b).expect("undo-logged link re-add");
         self.csr.add_link(a, b);
         self.edges.insert(a, b);
+        if let Some(c) = &mut self.cache {
+            c.note_edge(a, b, 1);
+        }
     }
 
     fn raw_unlink(&mut self, a: Switch, b: Switch) {
         self.g.remove_link(a, b).expect("undo-logged link removal");
         self.csr.remove_link(a, b);
         self.edges.remove(a, b);
+        if let Some(c) = &mut self.cache {
+            c.note_edge(a, b, -1);
+        }
     }
 
     fn raw_move_host(&mut self, h: Host, to: Switch) {
         let from = self.g.switch_of(h);
         self.g.move_host(h, to).expect("undo-logged host move");
+        let from_old = self.counts[from as usize];
+        let to_old = self.counts[to as usize];
         self.counts[from as usize] -= 1;
         if self.counts[from as usize] == 0 {
             self.hostful -= 1;
@@ -394,6 +1871,10 @@ impl SearchState {
             self.hostful += 1;
         }
         self.counts[to as usize] += 1;
+        if let Some(c) = &mut self.cache {
+            c.note_host_delta(from, from_old, from_old - 1);
+            c.note_host_delta(to, to_old, to_old + 1);
+        }
     }
 
     fn link(&mut self, a: Switch, b: Switch) {
@@ -448,104 +1929,189 @@ impl SearchState {
     /// Scores the current (possibly uncommitted) graph: h-ASPL, diameter,
     /// and total pair length, or `None` if some host pair is unreachable.
     ///
-    /// Runs the batched BFS over the in-place CSR and reused scratch; no
-    /// structure is rebuilt and, past the first call, nothing is
-    /// allocated (single-worker path).
+    /// On cache-eligible instances only the sources affected by the edge
+    /// delta since the last evaluation are re-swept; otherwise (and as
+    /// the fallback) the full batched BFS runs over the in-place CSR and
+    /// reused scratch.
     pub fn evaluate(&mut self) -> Option<PathMetrics> {
+        match self.evaluate_guarded(None) {
+            EvalOutcome::Metrics(m) => Some(m),
+            EvalOutcome::Disconnected => None,
+            EvalOutcome::EarlyRejected(_) => unreachable!("no reject threshold given"),
+        }
+    }
+
+    /// As [`Self::evaluate`], but with an optional early-reject
+    /// threshold: if the engine can prove from the cached distances alone
+    /// that the new h-ASPL exceeds `reject_above` (possible when no
+    /// added link shortcuts any source and some removed link strictly
+    /// lengthens a path), it returns [`EvalOutcome::EarlyRejected`]
+    /// without running any BFS and without touching the cache — the
+    /// caller is expected to roll the proposal back.
+    pub fn evaluate_guarded(&mut self, reject_above: Option<f64>) -> EvalOutcome {
         let n = self.g.num_hosts() as u64;
         self.srcs.clear();
+        let counts = &self.counts;
         self.srcs
-            .extend((0..self.csr.len() as u32).filter(|&s| self.counts[s as usize] > 0));
-        let totals = if self.workers > 1 && self.srcs.len() > 64 {
-            self.sweep_all_threaded()
+            .extend((0..self.csr.len() as u32).filter(|&s| counts[s as usize] > 0));
+        if self.cache_active() {
+            if let Some(outcome) = self.evaluate_cached(n, reject_above) {
+                return outcome;
+            }
+            // the cached sweep overflowed CACHE_MAX_DIST: drop the cache
+            // and fall through to the plain path
+            if let Some(c) = &mut self.cache {
+                c.release();
+            }
+        }
+        let totals = self.sweep_all_plain();
+        self.stats.full += 1;
+        self.stats.last_kind = EvalPathKind::Full;
+        self.stats.last_affected = self.srcs.len() as u32;
+        self.stats.last_sources = self.srcs.len() as u32;
+        self.finish(n, totals)
+    }
+
+    /// The cache-backed evaluation path; `None` means the cache
+    /// overflowed and the caller must fall back to the plain sweep.
+    fn evaluate_cached(&mut self, n: u64, reject_above: Option<f64>) -> Option<EvalOutcome> {
+        let in_txn = self.in_txn();
+        let cache = self.cache.as_mut().expect("cache_active checked");
+        let scan = cache.scan_delta(
+            &self.csr,
+            &self.counts,
+            &mut self.rebfs_buf,
+            &mut self.repair_buf,
+        );
+        if let Some(limit) = reject_above {
+            if scan.guardable && !scan.invalid_hostful {
+                let weighted = cache.lower_bound_weighted(&self.counts, &scan);
+                let lb = finalize_metrics(n, &self.counts, weighted, 0, weighted > 0).haspl;
+                if lb > limit {
+                    self.stats.early_rejected += 1;
+                    self.stats.last_kind = EvalPathKind::EarlyRejected;
+                    self.stats.last_affected = 0;
+                    self.stats.last_sources = self.srcs.len() as u32;
+                    return Some(EvalOutcome::EarlyRejected(lb));
+                }
+            }
+        }
+        let full = self.rebfs_buf.len() == self.csr.len();
+        let cache = self.cache.as_mut().expect("cache_active checked");
+        if in_txn {
+            // Rows rewritten wholesale by re-BFS are snapshotted here;
+            // the repair path saves its rows lazily at the write sites,
+            // so conservatively-routed rows a witness protects never
+            // pay for a copy.
+            for &s in self.rebfs_buf.iter() {
+                cache.snapshot_row(s);
+            }
+        }
+        let ptrs = cache.ptrs();
+        let ok = if !self.rebfs_buf.is_empty() {
+            if self.workers > 1 && self.rebfs_buf.len() > 64 {
+                let job = JobPacket {
+                    csr: &self.csr,
+                    counts: self.counts.as_ptr(),
+                    counts_len: self.counts.len(),
+                    srcs: self.rebfs_buf.as_ptr(),
+                    srcs_len: self.rebfs_buf.len(),
+                    scratch: self.scratch.as_mut_ptr(),
+                    cache: Some(ptrs),
+                };
+                let (_, overflow) = self.pool.as_ref().expect("workers > 1").run(job);
+                !overflow
+            } else {
+                let mut ok = true;
+                for lo in (0..self.rebfs_buf.len()).step_by(64) {
+                    let hi = (lo + 64).min(self.rebfs_buf.len());
+                    ok &= sweep_batch_cached(
+                        &self.csr,
+                        &self.counts,
+                        &self.rebfs_buf[lo..hi],
+                        &mut self.scratch[0],
+                        &ptrs,
+                    );
+                }
+                ok
+            }
+        } else {
+            true
+        };
+        if !ok {
+            return None;
+        }
+        let cache = self.cache.as_mut().expect("cache_active checked");
+        // The endpoints' rows are fresh now; repair every other
+        // affected row in place (decremental phase + insertion formula).
+        if !cache.repair_rows(&self.csr, &self.repair_buf, &self.counts) {
+            return None;
+        }
+        cache.edge_delta.clear();
+        let totals = cache.totals(&self.counts);
+        if full {
+            self.stats.full += 1;
+            self.stats.last_kind = EvalPathKind::Full;
+        } else {
+            self.stats.incremental += 1;
+            self.stats.last_kind = EvalPathKind::Incremental;
+        }
+        let touched = self.cache.as_ref().expect("cache_active checked").touched;
+        self.stats.repaired += u64::from(touched);
+        self.stats.last_affected = self.rebfs_buf.len() as u32 + touched;
+        self.stats.last_sources = self.csr.len() as u32;
+        Some(self.finish(n, totals))
+    }
+
+    /// Full batched sweep with no cache involvement, on the pool when
+    /// the instance is large enough.
+    fn sweep_all_plain(&mut self) -> BatchSums {
+        if self.workers > 1 && self.srcs.len() > 64 {
+            let job = JobPacket {
+                csr: &self.csr,
+                counts: self.counts.as_ptr(),
+                counts_len: self.counts.len(),
+                srcs: self.srcs.as_ptr(),
+                srcs_len: self.srcs.len(),
+                scratch: self.scratch.as_mut_ptr(),
+                cache: None,
+            };
+            self.pool.as_ref().expect("workers > 1").run(job).0
         } else {
             let mut totals = BatchSums::default();
             for lo in (0..self.srcs.len()).step_by(64) {
                 let hi = (lo + 64).min(self.srcs.len());
-                let b = sweep_batch(
+                totals.absorb(sweep_batch(
                     &self.csr,
                     &self.counts,
                     &self.srcs[lo..hi],
                     &mut self.scratch[0],
-                );
-                totals.weighted += b.weighted;
-                totals.max_d = totals.max_d.max(b.max_d);
-                totals.reached += b.reached;
+                ));
             }
             totals
-        };
+        }
+    }
+
+    /// Connectivity check plus the shared metric accounting.
+    fn finish(&self, n: u64, totals: BatchSums) -> EvalOutcome {
         // every source must have reached every hostful switch
         if totals.reached != self.srcs.len() as u64 * self.hostful {
-            return None;
+            return EvalOutcome::Disconnected;
         }
-        Some(Self::finalize(n, &self.counts, totals))
-    }
-
-    /// Splits the source batches across `self.workers` scoped threads,
-    /// each with its own scratch. Thread spawning does allocate — the
-    /// threaded path trades that for BFS throughput on large `m`.
-    fn sweep_all_threaded(&mut self) -> BatchSums {
-        let batches: Vec<&[u32]> = self.srcs.chunks(64).collect();
-        let per_worker = batches.len().div_ceil(self.workers);
-        let (csr, counts) = (&self.csr, &self.counts);
-        let partials: Vec<BatchSums> = std::thread::scope(|scope| {
-            let handles: Vec<_> = batches
-                .chunks(per_worker)
-                .zip(self.scratch.iter_mut())
-                .map(|(work, scratch)| {
-                    scope.spawn(move || {
-                        let mut acc = BatchSums::default();
-                        for batch in work {
-                            let b = sweep_batch(csr, counts, batch, scratch);
-                            acc.weighted += b.weighted;
-                            acc.max_d = acc.max_d.max(b.max_d);
-                            acc.reached += b.reached;
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("eval worker panicked"))
-                .collect()
-        });
-        let mut totals = BatchSums::default();
-        for p in partials {
-            totals.weighted += p.weighted;
-            totals.max_d = totals.max_d.max(p.max_d);
-            totals.reached += p.reached;
-        }
-        totals
-    }
-
-    /// Identical accounting to `metrics::finalize`: halve the ordered
-    /// inter-switch sum, add the `ℓ = 2` intra-switch pairs, and lift the
-    /// switch diameter by the two host hops.
-    fn finalize(n: u64, counts: &[u32], totals: BatchSums) -> PathMetrics {
-        let mut total = totals.weighted / 2;
-        let mut diameter = if totals.weighted > 0 {
-            totals.max_d + 2
-        } else {
-            0
-        };
-        for &k in counts {
-            let k = k as u64;
-            if k >= 2 {
-                total += k * (k - 1) / 2 * 2;
-                diameter = diameter.max(2);
-            }
-        }
-        let pairs = n * (n - 1) / 2;
-        PathMetrics {
-            haspl: total as f64 / pairs as f64,
-            diameter,
-            total_length: total,
-        }
+        EvalOutcome::Metrics(finalize_metrics(
+            n,
+            &self.counts,
+            totals.weighted,
+            totals.max_d,
+            totals.weighted > 0,
+        ))
     }
 
     /// Debug-grade cross-check that every incremental structure matches a
-    /// from-scratch derivation (used by the property suite).
+    /// from-scratch derivation (used by the property suites): host
+    /// counts, adjacency, edge set, and — when the distance cache is live
+    /// — its aggregates against its rows and, once the pending edge delta
+    /// is settled, its rows against fresh single-source BFS distances.
     pub fn check_consistency(&self) -> Result<(), String> {
         let fresh_counts = self.g.host_counts();
         if self.counts != fresh_counts {
@@ -571,6 +2137,66 @@ impl SearchState {
         if ours != theirs {
             return Err(format!("edge set diverged: {ours:?} vs {theirs:?}"));
         }
+        self.check_cache_consistency()
+    }
+
+    /// Distance-cache part of [`Self::check_consistency`].
+    fn check_cache_consistency(&self) -> Result<(), String> {
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        if cache.disabled {
+            return Ok(());
+        }
+        let m = cache.m;
+        let settled = cache.edge_delta.is_empty();
+        for s in 0..m {
+            if !cache.valid[s] {
+                continue;
+            }
+            let row = cache.row(s);
+            // aggregates must match the row as stored + current counts
+            let mut wsum = 0u64;
+            let mut hist = vec![0u32; CACHE_MAX_DIST];
+            let mut nreach = 0u32;
+            let mut ecc = 0u16;
+            for (v, (&d, &k)) in row.iter().zip(&self.counts).enumerate() {
+                if v == s || d == INVALID_DIST || k == 0 {
+                    continue;
+                }
+                wsum += k as u64 * (d as u64 + 2);
+                hist[d as usize] += 1;
+                nreach += 1;
+                ecc = ecc.max(d);
+            }
+            if wsum != cache.wsum[s]
+                || nreach != cache.nreach[s]
+                || ecc != cache.ecc[s]
+                || hist != cache.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST]
+            {
+                return Err(format!(
+                    "cache aggregates of source {s} diverged from its row \
+                     (wsum {} vs {}, nreach {} vs {}, ecc {} vs {})",
+                    cache.wsum[s], wsum, cache.nreach[s], nreach, cache.ecc[s], ecc
+                ));
+            }
+            if settled {
+                // rows must equal fresh BFS distances of the owned graph
+                let fresh = self.g.switch_distances(s as u32);
+                for (v, (&cached, &f)) in row.iter().zip(&fresh).enumerate() {
+                    let f16 = if f == u32::MAX {
+                        INVALID_DIST
+                    } else {
+                        f as u16
+                    };
+                    if cached != f16 {
+                        return Err(format!(
+                            "cached distance d({s},{v}) = {cached} diverged from fresh {f16}"
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -583,6 +2209,95 @@ mod tests {
     use crate::ops::{sample_swap, sample_swing};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    /// Side-by-side cost of the plain vs cache-filling batched sweep;
+    /// run with `--ignored --nocapture` on a release build when tuning.
+    #[test]
+    #[ignore = "perf harness, not a correctness check"]
+    fn bfs_sweep_cost_comparison() {
+        let m = 4096u32;
+        let g = random_general(4 * m, m, 12, 7).unwrap();
+        let mut st = SearchState::with_options(g, 1, true).unwrap();
+        let srcs: Vec<u32> = (0..m).collect();
+        let mut scratch = EvalScratch::default();
+        for round in 0..3 {
+            let t0 = std::time::Instant::now();
+            let mut sums = BatchSums::default();
+            for lo in (0..srcs.len()).step_by(64) {
+                sums.absorb(sweep_batch(
+                    &st.csr,
+                    &st.counts,
+                    &srcs[lo..lo + 64],
+                    &mut scratch,
+                ));
+            }
+            let plain = t0.elapsed();
+            let cache = st.cache.as_mut().unwrap();
+            let ptrs = cache.ptrs();
+            let t0 = std::time::Instant::now();
+            for lo in (0..srcs.len()).step_by(64) {
+                assert!(sweep_batch_cached(
+                    &st.csr,
+                    &st.counts,
+                    &srcs[lo..lo + 64],
+                    &mut scratch,
+                    &ptrs,
+                ));
+            }
+            let cached = t0.elapsed();
+            println!(
+                "round {round}: plain {plain:?}  cached {cached:?}  (weighted {})",
+                sums.weighted
+            );
+        }
+    }
+
+    /// Prints how swap/swing proposals classify sources (re-BFS vs
+    /// formula repair vs untouched); run with `--ignored --nocapture`
+    /// when tuning the scan.
+    #[test]
+    #[ignore = "perf harness, not a correctness check"]
+    fn delta_classification_profile() {
+        let m = 1024u32;
+        let g = random_general(4 * m, m, 12, 7).unwrap();
+        let mut st = SearchState::with_options(g, 1, true).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for round in 0..8 {
+            for swing in [false, true] {
+                st.begin();
+                let ok = if swing {
+                    sample_swing(&st.g, &st.edges, &mut rng, 32)
+                        .map(|s| st.apply_swing(s).unwrap())
+                        .is_some()
+                } else {
+                    sample_swap(&st.g, &st.edges, &mut rng, 32)
+                        .map(|s| st.apply_swap(s).unwrap())
+                        .is_some()
+                };
+                if !ok {
+                    st.rollback();
+                    continue;
+                }
+                let counts = st.counts.clone();
+                let cache = st.cache.as_mut().unwrap();
+                let (mut rebfs, mut repair) = (Vec::new(), Vec::new());
+                cache.scan_delta(&st.csr, &counts, &mut rebfs, &mut repair);
+                let mu = cache.m;
+                let count = |bit: u8| (0..mu).filter(|&s| cache.flags[s] & bit != 0).count();
+                println!(
+                    "round {round} {}: rebfs {:>4} repair {:>4}  add_aff {:>4} del_aff {:>4} \
+                     no_strict {:>4}",
+                    if swing { "swing" } else { "swap " },
+                    rebfs.len(),
+                    repair.len(),
+                    count(ADD_AFF),
+                    count(DEL_AFF),
+                    count(NO_STRICT),
+                );
+                st.rollback();
+            }
+        }
+    }
 
     /// Structural equality up to adjacency-list ordering (rollback uses
     /// `swap_remove`, which permutes neighbour lists).
@@ -654,6 +2369,61 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_matches_sequential_across_random_walk() {
+        // explicit worker count so the pool is exercised even on 1-CPU
+        // machines; both engines must follow bit-identical trajectories
+        let g = random_general(256, 72, 10, 21).unwrap();
+        let mut seq = SearchState::with_workers(g.clone(), 1).unwrap();
+        let mut par = SearchState::with_workers(g, 3).unwrap();
+        assert_eq!(par.workers(), 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for step in 0..60 {
+            let Some(s) = sample_swing(seq.graph(), seq.edges(), &mut rng, 24) else {
+                continue;
+            };
+            seq.begin();
+            par.begin();
+            seq.apply_swing(s).unwrap();
+            par.apply_swing(s).unwrap();
+            assert_eq!(seq.evaluate(), par.evaluate(), "step {step}");
+            if step % 3 == 0 {
+                seq.commit();
+                par.commit();
+            } else {
+                seq.rollback();
+                par.rollback();
+            }
+        }
+        assert_eq!(seq.evaluate(), par.evaluate());
+        par.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cache_disabled_engine_matches_cached() {
+        let g = random_general(96, 24, 8, 3).unwrap();
+        let mut plain = SearchState::with_options(g.clone(), 1, false).unwrap();
+        let mut cached = SearchState::with_options(g, 1, true).unwrap();
+        assert!(!plain.cache_active());
+        assert!(cached.cache_active());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..80 {
+            let Some(s) = sample_swap(plain.graph(), plain.edges(), &mut rng, 24) else {
+                continue;
+            };
+            plain.begin();
+            cached.begin();
+            plain.apply_swap(s).unwrap();
+            cached.apply_swap(s).unwrap();
+            assert_eq!(plain.evaluate(), cached.evaluate());
+            plain.rollback();
+            cached.rollback();
+        }
+        assert_eq!(plain.evaluate(), cached.evaluate());
+        cached.check_consistency().unwrap();
+        assert!(cached.eval_stats().incremental > 0);
+    }
+
+    #[test]
     fn disconnection_detected() {
         let mut g = HostSwitchGraph::new(4, 4).unwrap();
         g.add_link(0, 1).unwrap();
@@ -664,6 +2434,39 @@ mod tests {
             SearchState::new(g, Some(false)),
             Err(GraphError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn uncommitted_disconnection_is_caught_incrementally() {
+        // two 4-cycles joined by {0,4} and {2,6}; the swap rewires both
+        // cross links to internal chords, disconnecting the halves — the
+        // affected-source scan must surface it without a full sweep
+        let mut g = HostSwitchGraph::new(8, 4).unwrap();
+        for s in 0..4 {
+            g.add_link(s, (s + 1) % 4).unwrap();
+            g.add_link(4 + s, 4 + (s + 1) % 4).unwrap();
+        }
+        g.add_link(0, 4).unwrap();
+        g.add_link(2, 6).unwrap();
+        for s in 0..8 {
+            g.attach_host(s).unwrap();
+        }
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let before = st.evaluate().unwrap();
+        st.begin();
+        // {0,4},{6,2} -> {0,2},{6,4}: both new links are intra-cycle
+        let s = Swap {
+            a: 0,
+            b: 4,
+            c: 6,
+            d: 2,
+        };
+        assert!(s.is_valid(st.graph()));
+        st.apply_swap(s).unwrap();
+        assert!(st.evaluate().is_none());
+        st.rollback();
+        assert_eq!(st.evaluate().unwrap(), before);
+        st.check_consistency().unwrap();
     }
 
     #[test]
@@ -796,6 +2599,118 @@ mod tests {
         }
         st.check_consistency().unwrap();
         assert_eq!(st.evaluate().unwrap(), path_metrics(st.graph()).unwrap());
+    }
+
+    #[test]
+    fn early_reject_fires_on_a_provably_uphill_swing() {
+        // Hub 0 with leaves 1..4 plus chord {1,2}; hosts 1@1, 4@3, 4@4.
+        // Swing{a:3, b:0, c:1} removes the hub link of the heavy leaf 3,
+        // re-hangs it off leaf 1, and moves 1's host to the hub: for
+        // sources 0 and 4 the removal has no witness (strict ≥ +20 on
+        // the ordered sum), while everything behind the added link's
+        // far side is hostless, so the improvement allowance is 0 — the
+        // guard must prove the move uphill without any BFS.
+        let mut g = HostSwitchGraph::new(5, 5).unwrap();
+        for leaf in 1..5 {
+            g.add_link(0, leaf).unwrap();
+        }
+        g.add_link(1, 2).unwrap();
+        g.attach_host(1).unwrap();
+        for _ in 0..4 {
+            g.attach_host(3).unwrap();
+            g.attach_host(4).unwrap();
+        }
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let cur = st.evaluate().unwrap();
+        st.begin();
+        let s = Swing { a: 3, b: 0, c: 1 };
+        assert!(s.is_valid(st.graph()));
+        st.apply_swing(s).unwrap();
+        let outcome = st.evaluate_guarded(Some(cur.haspl));
+        let EvalOutcome::EarlyRejected(lb) = outcome else {
+            panic!("expected an early reject, got {outcome:?}");
+        };
+        assert!(lb > cur.haspl);
+        let truth = path_metrics(st.graph()).unwrap();
+        assert!(
+            truth.haspl >= lb - 1e-9,
+            "lower bound {lb} exceeds truth {}",
+            truth.haspl
+        );
+        assert_eq!(st.eval_stats().early_rejected, 1);
+        assert_eq!(st.eval_stats().last_kind, EvalPathKind::EarlyRejected);
+        // the rejected proposal must not have corrupted the cache
+        st.rollback();
+        assert_eq!(st.evaluate().unwrap(), cur);
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn guarded_evaluation_is_sound_on_random_walks() {
+        // Every early reject must prove a genuine lower bound, and a
+        // guarded engine must stay bit-identical to an unguarded one.
+        let g = random_general(128, 32, 8, 7).unwrap();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        let cur = st.evaluate().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for step in 0..300 {
+            st.begin();
+            let applied = if step % 2 == 0 {
+                match sample_swing(st.graph(), st.edges(), &mut rng, 24) {
+                    Some(s) => {
+                        st.apply_swing(s).unwrap();
+                        true
+                    }
+                    None => false,
+                }
+            } else {
+                match sample_swap(st.graph(), st.edges(), &mut rng, 24) {
+                    Some(s) => {
+                        st.apply_swap(s).unwrap();
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !applied {
+                st.rollback();
+                continue;
+            }
+            match st.evaluate_guarded(Some(cur.haspl)) {
+                EvalOutcome::EarlyRejected(lb) => {
+                    assert!(lb > cur.haspl);
+                    if let Some(truth) = path_metrics(st.graph()) {
+                        assert!(
+                            truth.haspl >= lb - 1e-9,
+                            "lower bound {lb} exceeds truth {}",
+                            truth.haspl
+                        );
+                    }
+                }
+                EvalOutcome::Metrics(m) => {
+                    assert_eq!(m, path_metrics(st.graph()).unwrap());
+                }
+                EvalOutcome::Disconnected => {
+                    assert!(path_metrics(st.graph()).is_none());
+                }
+            }
+            st.rollback();
+        }
+        // the rejected proposals must not have corrupted the cache
+        assert_eq!(st.evaluate().unwrap(), cur);
+        st.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cache_survives_depth_overflow_by_disabling() {
+        // a 300-ring has eccentricity 150 > CACHE_MAX_DIST: the engine
+        // must fall back to the full sweep and still score correctly
+        let g = ring(300, 1, 4);
+        let expect = path_metrics(&g).unwrap();
+        let mut st = SearchState::new(g, Some(false)).unwrap();
+        assert!(!st.cache_active());
+        assert_eq!(st.evaluate().unwrap(), expect);
+        assert!(st.eval_stats().full >= 2);
     }
 
     #[test]
