@@ -1,0 +1,116 @@
+//! Open-loop scale scenario for the event-queue simulation core: ≥100k
+//! concurrent flows under the approximate fair-sharing model (the exact
+//! max-min model re-solves a global allocation per flow change and is
+//! quadratic at this scale — the whole point of the pluggable model).
+//!
+//! Writes `results/BENCH_eventsim.json` with the makespan, event-queue
+//! throughput (events/sec of wall time), and peak queue depth. Knobs:
+//!
+//! * `ORP_EVENTSIM_FLOWS` — injected flow count (default 120000).
+//! * `ORP_EVENTSIM_BUDGET_S` — wall-clock budget in seconds; the run
+//!   fails if simulation exceeds it (default 300, CI smoke uses less).
+
+use orp_bench::write_json;
+use orp_core::construct::random_general;
+use orp_netsim::network::Network;
+use orp_netsim::{InjectedFlow, SharingMode, Simulator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct EventSimBench {
+    sharing: String,
+    hosts: u32,
+    switches: u32,
+    injected_flows: usize,
+    /// Peak simultaneously streaming flows (the ≥100k acceptance bar).
+    peak_concurrent_flows: usize,
+    sim_time_s: f64,
+    wall_time_s: f64,
+    events_processed: u64,
+    events_cancelled: u64,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+}
+
+fn main() {
+    let n_flows: usize = std::env::var("ORP_EVENTSIM_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000);
+    let budget_s: f64 = std::env::var("ORP_EVENTSIM_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300.0);
+
+    let (hosts, switches, radix) = (256u32, 64u32, 12u32);
+    let g = random_general(hosts, switches, radix, 7).expect("feasible fabric");
+    let net = Network::builder(&g).build();
+
+    // all flows released within 1 ms; a 1 MB flow needs ≥0.2 ms solo and
+    // far longer under this contention, so nearly all stream at once
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let flows: Vec<InjectedFlow> = (0..n_flows)
+        .map(|_| {
+            let src = rng.gen_range(0..hosts);
+            let mut dst = rng.gen_range(0..hosts);
+            while dst == src {
+                dst = rng.gen_range(0..hosts);
+            }
+            InjectedFlow {
+                at: rng.gen_range(0u32..1_000_000) as f64 * 1e-9,
+                src,
+                dst,
+                bytes: 1e6,
+            }
+        })
+        .collect();
+
+    let start = Instant::now();
+    let rep = Simulator::builder(&net)
+        .inject(&flows)
+        .sharing(SharingMode::ApproxFair)
+        .run()
+        .expect("open-loop run completes");
+    let wall = start.elapsed().as_secs_f64();
+
+    let bench = EventSimBench {
+        sharing: SharingMode::ApproxFair.name().into(),
+        hosts,
+        switches,
+        injected_flows: n_flows,
+        peak_concurrent_flows: rep.peak_flows,
+        sim_time_s: rep.time,
+        wall_time_s: wall,
+        events_processed: rep.events,
+        events_cancelled: rep.events_cancelled,
+        events_per_sec: rep.events as f64 / wall.max(1e-9),
+        peak_queue_depth: rep.peak_queue_depth,
+    };
+    println!(
+        "eventsim: {} flows (peak {} concurrent) in {:.2}s wall — \
+         {:.0} events/s, peak queue depth {}, simulated {:.4}s",
+        bench.injected_flows,
+        bench.peak_concurrent_flows,
+        bench.wall_time_s,
+        bench.events_per_sec,
+        bench.peak_queue_depth,
+        bench.sim_time_s
+    );
+    assert_eq!(rep.flows as usize, n_flows, "every injected flow ran");
+    if n_flows >= 100_000 {
+        assert!(
+            bench.peak_concurrent_flows >= 100_000,
+            "scenario must reach 100k concurrent flows (peak {})",
+            bench.peak_concurrent_flows
+        );
+    }
+    assert!(
+        wall <= budget_s,
+        "wall-clock budget exceeded: {wall:.1}s > {budget_s}s"
+    );
+    let path = write_json("BENCH_eventsim", &bench);
+    println!("wrote {}", path.display());
+}

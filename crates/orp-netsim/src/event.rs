@@ -1,0 +1,55 @@
+//! Event vocabulary of the simulation core.
+//!
+//! Every state change in the simulator is a timestamped event addressed
+//! to a component: a flow activating after its message latency, a rank
+//! finishing a compute phase, a scheduled fault striking, an injected
+//! open-loop flow arriving, or a completion the throughput-sharing model
+//! scheduled for itself. Events are totally ordered by `(time, seq)` —
+//! the [`crate::queue::EventQueue`] assigns `seq` in schedule order, so
+//! simultaneous events fire deterministically in the order they were
+//! scheduled.
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Cancellation is how the approximate sharing model keeps completion
+/// times lazily correct: whenever a link's flow population changes, the
+/// stale completion event is cancelled and a fresh one scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// Time-ordered queue key (`f64` wrapped for the heap).
+///
+/// Simulation times are never NaN, which makes the partial order total.
+#[derive(Debug, PartialEq, PartialOrd)]
+pub(crate) struct TimeKey(pub(crate) f64);
+
+impl Eq for TimeKey {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("simulation times are never NaN")
+    }
+}
+
+/// The simulator's event payloads, addressed by component:
+/// flows (`Activate`), ranks (`ComputeDone`), the fault injector
+/// (`Fault`), the open-loop source (`Inject`), and the sharing model
+/// (`Model` carries an opaque token the model chose — the approximate
+/// model uses link ids).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// Flow `fid` finishes its activation delay and starts streaming.
+    Activate(u32),
+    /// Rank `r` finishes its compute phase.
+    ComputeDone(u32),
+    /// Scheduled fault `i` (index into the fault schedule) strikes.
+    Fault(u32),
+    /// Open-loop injected flow `i` (index into the injection list)
+    /// arrives.
+    Inject(u32),
+    /// A completion event the throughput-sharing model scheduled for
+    /// itself via [`crate::context::SimContext::schedule_model_event`].
+    Model(u32),
+}

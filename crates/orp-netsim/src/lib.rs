@@ -10,8 +10,14 @@
 //! Layering:
 //!
 //! * [`network`] — links, routes, and physical constants,
-//! * [`engine`] — the discrete-event fluid simulator and the per-rank
-//!   [`engine::Op`] programs it executes,
+//! * [`queue`] / [`event`] / [`context`] — the explicit event-queue
+//!   core: timestamped events addressed to components, with O(1)
+//!   cancellation,
+//! * [`sharing`] — pluggable throughput-sharing models (exact max-min
+//!   and approximate per-link fair sharing),
+//! * [`engine`] — the discrete-event simulator orchestrating ranks,
+//!   faults, and open-loop injection over the queue, executing per-rank
+//!   [`engine::Op`] programs,
 //! * [`mpi`] — collective algorithms building those programs,
 //! * [`npb`] — the eight NPB kernels (EP, IS, FT, MG, CG, LU, BT, SP),
 //! * [`report`] — Mop/s accounting as plotted in Figs. 9a/10a/11a.
@@ -42,18 +48,29 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod engine;
+pub mod event;
 pub mod mpi;
 pub mod network;
 pub mod npb;
 pub mod packet;
 pub mod patterns;
+pub mod queue;
+mod rank;
 pub mod report;
+pub mod sharing;
 
+pub use context::SimContext;
 #[allow(deprecated)]
 pub use engine::{simulate, simulate_with_faults};
 pub use engine::{
-    FaultEvent, NetFault, Op, Program, SimError, SimReport, Simulator, SimulatorBuilder,
+    FaultEvent, InjectedFlow, NetFault, Op, Program, SimError, SimReport, Simulator,
+    SimulatorBuilder,
 };
+pub use event::EventId;
 pub use network::{NetConfig, Network, NetworkBuilder, RouteMode};
-pub use report::{run_benchmark, run_suite, BenchResult};
+pub use queue::EventQueue;
+pub use rank::{BlockedRank, WaitReason};
+pub use report::{run_benchmark, run_benchmark_with, run_suite, BenchResult};
+pub use sharing::{SharingMode, ThroughputSharingModel};

@@ -10,9 +10,8 @@
 //! wins under contention.
 
 use crate::network::Network;
+use crate::queue::EventQueue;
 use orp_route::RouteError;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Default packet size (bytes) — a typical InfiniBand MTU.
 pub const DEFAULT_MTU: f64 = 4096.0;
@@ -39,20 +38,6 @@ pub struct PacketReport {
     pub packets: u64,
     /// Total packet-hop events processed.
     pub events: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Key(f64, u64);
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-    }
 }
 
 /// Runs the packet simulation of `demands` over `net` with the given
@@ -104,19 +89,14 @@ pub fn packet_simulate(
     }
     let mut busy = vec![0.0f64; net.num_links() as usize];
     let mut completion = vec![0.0f64; demands.len()];
-    // event: (time, seq) -> (packet, hop). seq keeps FIFO order stable.
-    let mut heap: BinaryHeap<Reverse<(Key, u32, u16)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    for (pid, p) in packets.iter().enumerate() {
+    // events are (packet, hop); the queue's (time, seq) ordering keeps
+    // FIFO order stable among same-time arrivals
+    let mut queue: EventQueue<(u32, u16)> = EventQueue::new();
+    for pid in 0..packets.len() as u32 {
         // software overhead charged once at injection
-        let t0 = cfg.sw_overhead;
-        heap.push(Reverse((Key(t0, seq), pid as u32, 0)));
-        seq += 1;
-        let _ = p;
+        queue.schedule(cfg.sw_overhead, (pid, 0));
     }
-    let mut events = 0u64;
-    while let Some(Reverse((Key(t, _), pid, hop))) = heap.pop() {
-        events += 1;
+    while let Some((t, (pid, hop))) = queue.pop() {
         let p = &packets[pid as usize];
         if hop as usize == p.route.len() {
             // delivered
@@ -130,15 +110,14 @@ pub fn packet_simulate(
         let tx = p.bytes / cfg.bandwidth;
         busy[link] = start + tx;
         let arrive = start + tx + cfg.hop_latency;
-        heap.push(Reverse((Key(arrive, seq), pid, hop + 1)));
-        seq += 1;
+        queue.schedule(arrive, (pid, hop + 1));
     }
     let makespan = completion.iter().copied().fold(0.0, f64::max);
     Ok(PacketReport {
         completion,
         makespan,
         packets: packets.len() as u64,
-        events,
+        events: queue.processed(),
     })
 }
 

@@ -1,0 +1,211 @@
+//! Binary-heap event queue with O(log n) scheduling and O(1)
+//! cancellation.
+//!
+//! The queue is the single source of time in the simulation core: every
+//! future state change is an entry keyed by `(time, seq)` where `seq` is
+//! the schedule-order sequence number, so delivery is a deterministic
+//! total order even among simultaneous events.
+//!
+//! Cancellation uses tombstones: [`EventQueue::cancel`] removes the
+//! payload from a side map and leaves the heap entry behind; [`pop`]
+//! and [`peek_time`] skip entries whose payload is gone. This makes
+//! cancel O(1) — essential for the approximate sharing model, which
+//! cancels and reschedules a link's completion event on every population
+//! change — at the cost of dead heap entries that are reclaimed lazily.
+//!
+//! [`pop`]: EventQueue::pop
+//! [`peek_time`]: EventQueue::peek_time
+
+use crate::event::{EventId, TimeKey};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Time-ordered event queue over payloads of type `T`.
+///
+/// Tracks its own telemetry — events scheduled, processed, cancelled,
+/// and the peak number of live (uncancelled, undelivered) events — so
+/// the simulator can attribute its overhead through `orp-obs` without
+/// the queue knowing anything about recorders.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(TimeKey, u64)>>,
+    payloads: HashMap<u64, T>,
+    next_seq: u64,
+    scheduled: u64,
+    processed: u64,
+    cancelled: u64,
+    peak_depth: usize,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_seq: 0,
+            scheduled: 0,
+            processed: 0,
+            cancelled: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `t` and returns a
+    /// handle that can cancel it. Events at equal times fire in
+    /// schedule order.
+    pub fn schedule(&mut self, t: f64, payload: T) -> EventId {
+        debug_assert!(t.is_finite(), "scheduled event at non-finite time {t}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((TimeKey(t), seq)));
+        self.payloads.insert(seq, payload);
+        self.scheduled += 1;
+        self.peak_depth = self.peak_depth.max(self.payloads.len());
+        EventId(seq)
+    }
+
+    /// Cancels a scheduled event. Returns the payload if the event was
+    /// still pending, `None` if it already fired or was already
+    /// cancelled — cancellation is idempotent and never delivers stale
+    /// events.
+    pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        let p = self.payloads.remove(&id.0);
+        if p.is_some() {
+            self.cancelled += 1;
+        }
+        p
+    }
+
+    /// Time of the next live event, skipping tombstones of cancelled
+    /// events (which are dropped as they surface).
+    pub fn peek_time(&mut self) -> Option<f64> {
+        while let Some(Reverse((TimeKey(t), seq))) = self.heap.peek() {
+            if self.payloads.contains_key(seq) {
+                return Some(*t);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops the next live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        while let Some(Reverse((TimeKey(t), seq))) = self.heap.pop() {
+            if let Some(p) = self.payloads.remove(&seq) {
+                self.processed += 1;
+                return Some((t, p));
+            }
+        }
+        None
+    }
+
+    /// Pops the next live event only if it fires at or before
+    /// `deadline`; otherwise leaves the queue untouched.
+    pub fn pop_due(&mut self, deadline: f64) -> Option<(f64, T)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (scheduled, not yet fired or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events delivered over the queue's lifetime.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Total events cancelled before delivery.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Peak number of live events ever pending at once.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_deliver_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    #[test]
+    fn cancelled_events_never_deliver() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "cancel is idempotent");
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(q.processed(), 1);
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "later");
+        assert_eq!(q.pop_due(4.0), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(5.0), Some((5.0, "later")));
+    }
+
+    #[test]
+    fn depth_counts_live_events_only() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(i as f64, i)).collect();
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.peak_depth(), 10);
+        for id in &ids[..5] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peak_depth(), 10, "peak is a high-water mark");
+    }
+}

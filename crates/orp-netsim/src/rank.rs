@@ -1,0 +1,282 @@
+//! MPI ranks as an event-driven simulation component.
+//!
+//! Each rank runs its [`Program`](crate::engine::Program) as a little
+//! state machine: [`Ranks::step`] advances a rank until it either needs
+//! the engine (start a compute timer, issue a flow) or blocks (send
+//! awaiting delivery, receive awaiting a message). Message completion
+//! re-enters through [`Ranks::deliver`]; compute timers through
+//! [`Ranks::compute_done`]. Wake-ups go onto an internal FIFO the engine
+//! drains — FIFO order is part of the deterministic-results contract
+//! (flow ids, and with them ECMP hashes, are assigned in wake order).
+
+use crate::engine::{Op, Program};
+use std::collections::{HashMap, VecDeque};
+
+/// What a blocked rank is waiting for — carried by
+/// [`SimError::Deadlock`](crate::engine::SimError::Deadlock) and
+/// [`SimError::Stalled`](crate::engine::SimError::Stalled) so the error
+/// itself says *why* each rank cannot make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// Blocked in a receive with no matching message from `from`.
+    Recv {
+        /// Rank the receive is posted against.
+        from: u32,
+    },
+    /// Blocked in a send whose message to `to` was never delivered.
+    SendDelivery {
+        /// Destination rank of the undelivered send.
+        to: u32,
+    },
+    /// Blocked in a sendrecv: the outgoing message to `to` undelivered
+    /// *and* no matching message from `from`.
+    SendRecv {
+        /// Destination rank of the undelivered send.
+        to: u32,
+        /// Rank the receive half is posted against.
+        from: u32,
+    },
+    /// Mid-compute (cannot occur in a deadlock report — a compute phase
+    /// always has a pending completion event — but a snapshot taken
+    /// mid-run can observe it).
+    Compute,
+}
+
+impl std::fmt::Display for WaitReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Recv { from } => write!(f, "recv from {from}"),
+            Self::SendDelivery { to } => write!(f, "send to {to} undelivered"),
+            Self::SendRecv { to, from } => {
+                write!(f, "sendrecv (to {to} undelivered, recv from {from})")
+            }
+            Self::Compute => write!(f, "computing"),
+        }
+    }
+}
+
+/// A rank that had not finished its program when progress stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedRank {
+    /// The rank id.
+    pub rank: u32,
+    /// What it was waiting for.
+    pub reason: WaitReason,
+}
+
+/// What [`Ranks::step`] needs the engine to do before the rank can
+/// continue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Step {
+    /// Rank is blocked, computing, or done — nothing to do.
+    Idle,
+    /// Start a compute timer of `flops` floating-point operations.
+    Compute {
+        /// Work to burn before [`Ranks::compute_done`].
+        flops: f64,
+    },
+    /// Issue a message flow (the rank now blocks on its delivery).
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Payload bytes.
+        bytes: f64,
+    },
+    /// Issue a flow *and* post a receive (MPI_Sendrecv).
+    SendRecv {
+        /// Destination rank of the outgoing message.
+        to: u32,
+        /// Outgoing payload bytes.
+        bytes: f64,
+        /// Source rank of the awaited incoming message.
+        from: u32,
+    },
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RankCtx {
+    pc: u32,
+    waiting_send: bool,
+    /// Destination of the blocking send (diagnostics only).
+    send_to: u32,
+    waiting_recv_from: u32, // u32::MAX = none
+    computing: bool,
+    done: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ChannelState {
+    delivered: u32,
+    consumed: u32,
+}
+
+const NO_RECV: u32 = u32::MAX;
+
+/// All ranks of a simulation plus their message-matching state.
+#[derive(Debug)]
+pub(crate) struct Ranks {
+    programs: Vec<Program>,
+    ctx: Vec<RankCtx>,
+    channels: HashMap<(u32, u32), ChannelState>,
+    waiting_rx: HashMap<(u32, u32), u32>,
+    runnable: VecDeque<u32>,
+}
+
+impl Ranks {
+    pub(crate) fn new(programs: Vec<Program>) -> Self {
+        let n = programs.len();
+        Self {
+            programs,
+            ctx: vec![
+                RankCtx {
+                    waiting_recv_from: NO_RECV,
+                    ..Default::default()
+                };
+                n
+            ],
+            channels: HashMap::new(),
+            waiting_rx: HashMap::new(),
+            runnable: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.ctx.len()
+    }
+
+    pub(crate) fn all_done(&self) -> bool {
+        self.ctx.iter().all(|c| c.done)
+    }
+
+    pub(crate) fn is_done(&self, r: u32) -> bool {
+        self.ctx[r as usize].done
+    }
+
+    /// Enqueues every rank for its initial run (FIFO, rank order).
+    pub(crate) fn enqueue_all(&mut self) {
+        for r in 0..self.ctx.len() as u32 {
+            self.runnable.push_back(r);
+        }
+    }
+
+    pub(crate) fn pop_runnable(&mut self) -> Option<u32> {
+        self.runnable.pop_front()
+    }
+
+    fn runnable(&self, r: u32) -> bool {
+        let c = &self.ctx[r as usize];
+        !c.done && !c.computing && !c.waiting_send && c.waiting_recv_from == NO_RECV
+    }
+
+    /// Advances rank `r` to its next engine-visible action. Receives are
+    /// resolved internally (consuming a pending message or blocking);
+    /// everything else is returned for the engine to perform.
+    pub(crate) fn step(&mut self, r: u32) -> Step {
+        loop {
+            if !self.runnable(r) {
+                return Step::Idle;
+            }
+            let pc = self.ctx[r as usize].pc as usize;
+            let Some(&op) = self.programs[r as usize].get(pc) else {
+                self.ctx[r as usize].done = true;
+                return Step::Idle;
+            };
+            self.ctx[r as usize].pc += 1;
+            match op {
+                Op::Compute(flops) => {
+                    self.ctx[r as usize].computing = true;
+                    return Step::Compute { flops };
+                }
+                Op::Send { to, bytes } => {
+                    let c = &mut self.ctx[r as usize];
+                    c.waiting_send = true;
+                    c.send_to = to;
+                    return Step::Send { to, bytes };
+                }
+                Op::Recv { from } => {
+                    self.try_recv(r, from);
+                }
+                Op::SendRecv { to, bytes, from } => {
+                    let c = &mut self.ctx[r as usize];
+                    c.waiting_send = true;
+                    c.send_to = to;
+                    return Step::SendRecv { to, bytes, from };
+                }
+            }
+        }
+    }
+
+    /// Tries to consume a pending message `from → me`; blocks the rank
+    /// otherwise.
+    pub(crate) fn try_recv(&mut self, me: u32, from: u32) {
+        let ch = self.channels.entry((from, me)).or_default();
+        if ch.delivered > ch.consumed {
+            ch.consumed += 1;
+        } else {
+            self.ctx[me as usize].waiting_recv_from = from;
+            let prev = self.waiting_rx.insert((from, me), me);
+            debug_assert!(prev.is_none(), "double recv on one channel");
+        }
+    }
+
+    /// Marks one message from `src` delivered at `dst`, waking the
+    /// blocked sender and/or receiver (sender first — wake order feeds
+    /// the FIFO and is part of the determinism contract).
+    pub(crate) fn deliver(&mut self, src: u32, dst: u32) {
+        self.channels.entry((src, dst)).or_default().delivered += 1;
+        // wake the sender (blocking send semantics)
+        if let Some(c) = self.ctx.get_mut(src as usize) {
+            if c.waiting_send {
+                c.waiting_send = false;
+                if self.runnable(src) {
+                    self.runnable.push_back(src);
+                }
+            }
+        }
+        // wake a waiting receiver
+        if let Some(&r) = self.waiting_rx.get(&(src, dst)) {
+            let ch = self.channels.get_mut(&(src, dst)).expect("just touched");
+            if ch.delivered > ch.consumed {
+                ch.consumed += 1;
+                self.waiting_rx.remove(&(src, dst));
+                let c = &mut self.ctx[r as usize];
+                debug_assert_eq!(c.waiting_recv_from, src);
+                c.waiting_recv_from = NO_RECV;
+                if self.runnable(r) {
+                    self.runnable.push_back(r);
+                }
+            }
+        }
+    }
+
+    /// A compute timer elapsed for rank `r`.
+    pub(crate) fn compute_done(&mut self, r: u32) {
+        self.ctx[r as usize].computing = false;
+        if self.runnable(r) {
+            self.runnable.push_back(r);
+        }
+    }
+
+    /// Every unfinished rank with the reason it cannot progress, in
+    /// rank order — the payload of the deadlock/stall errors.
+    pub(crate) fn blocked(&self) -> Vec<BlockedRank> {
+        (0..self.ctx.len() as u32)
+            .filter(|&r| !self.ctx[r as usize].done)
+            .map(|r| {
+                let c = &self.ctx[r as usize];
+                let reason = match (c.waiting_send, c.waiting_recv_from != NO_RECV) {
+                    (true, true) => WaitReason::SendRecv {
+                        to: c.send_to,
+                        from: c.waiting_recv_from,
+                    },
+                    (true, false) => WaitReason::SendDelivery { to: c.send_to },
+                    (false, true) => WaitReason::Recv {
+                        from: c.waiting_recv_from,
+                    },
+                    (false, false) => WaitReason::Compute,
+                };
+                BlockedRank { rank: r, reason }
+            })
+            .collect()
+    }
+}

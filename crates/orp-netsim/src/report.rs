@@ -4,6 +4,7 @@
 use crate::engine::{SimError, SimReport, Simulator};
 use crate::network::Network;
 use crate::npb::{Benchmark, Class};
+use crate::sharing::SharingMode;
 use serde::{Deserialize, Serialize};
 
 /// Result of one benchmark on one network.
@@ -50,8 +51,26 @@ pub fn run_benchmark(
     class: Class,
     iters: usize,
 ) -> Result<BenchResult, SimError> {
+    run_benchmark_with(net, bench, ranks, class, iters, SharingMode::default())
+}
+
+/// [`run_benchmark`] under an explicit throughput-sharing model.
+///
+/// # Errors
+/// Propagates [`SimError`] from the simulation.
+pub fn run_benchmark_with(
+    net: &Network,
+    bench: Benchmark,
+    ranks: u32,
+    class: Class,
+    iters: usize,
+    sharing: SharingMode,
+) -> Result<BenchResult, SimError> {
     let programs = bench.build(ranks, class, iters);
-    let rep = Simulator::builder(net).programs(programs).run()?;
+    let rep = Simulator::builder(net)
+        .programs(programs)
+        .sharing(sharing)
+        .run()?;
     Ok(BenchResult::from_report(bench.name(), rep))
 }
 

@@ -1,0 +1,341 @@
+//! Approximate fair sharing with per-link lazy completion times.
+//!
+//! The exact model re-solves a global allocation on every flow change;
+//! this model touches **only the links the change crosses**, following
+//! the `FairThroughputSharingModel` idiom: each link serves the flows
+//! queued on it processor-sharing style in a *virtual-time* domain,
+//! where a flow's finish tag is fixed at insertion and population
+//! changes only rescale the clock rate — so a change is O(route length
+//! × log flows): settle each touched link's virtual clock, cancel its
+//! pending drain event, and reschedule from the (unchanged) heap head.
+//!
+//! Approximation: a flow queues on its single most-contended link at
+//! insertion time (its bottleneck); other links on the route count the
+//! flow for contention but don't throttle it. Accuracy bound (asserted
+//! by the `sharing_models` proptest): with `α` the peak concurrent-flow
+//! multiplicity of any link during the run, every flow's instantaneous
+//! rate in *both* models lies in `[bw/α, bw]` — exact max-min because
+//! progressive filling's first (global-bottleneck) share is already
+//! `≥ bw/α` and shares only grow, approximate because a link with `c ≤
+//! α` flows serves each at `bw/c`. Hence per-flow streaming times agree
+//! within a factor of `α` either way.
+
+use super::{Flow, LinkStats, ThroughputSharingModel};
+use crate::context::SimContext;
+use crate::event::EventId;
+use crate::network::LinkId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual-time heap key (f64 wrapped; never NaN).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+struct VKey(f64);
+impl Eq for VKey {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("virtual times are never NaN")
+    }
+}
+
+/// Per-link processor-sharing queue in the virtual-work domain.
+#[derive(Debug, Default)]
+struct FairLink {
+    /// Flows whose route crosses this link (throttled here or not).
+    count: u32,
+    /// Cumulative virtual work served per flow (bytes); advances at
+    /// `bw/count` while any flow crosses the link.
+    vtime: f64,
+    /// Time of the last virtual-clock settlement.
+    last: f64,
+    /// Flows bottlenecked on this link, keyed by virtual finish tag.
+    /// Entries are tombstoned lazily via slot generation checks.
+    heap: BinaryHeap<Reverse<(VKey, u32, u32)>>,
+    /// Pending drain event for the heap head, if any.
+    event: Option<EventId>,
+}
+
+/// Per-flow queueing state (indexed by flow id, grown on demand).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Link the flow is queued (throttled) on.
+    bottleneck: LinkId,
+    /// Virtual finish tag on the bottleneck link.
+    v_finish: f64,
+    /// Bytes remaining when the flow was queued.
+    queued_rem: f64,
+    /// Insert generation; heap entries from older generations are dead.
+    gen: u32,
+    /// Flow finished or was torn down; heap entries are stale.
+    removed: bool,
+}
+
+const NO_LINK: LinkId = LinkId::MAX;
+
+impl Default for Slot {
+    fn default() -> Self {
+        Self {
+            bottleneck: NO_LINK,
+            v_finish: 0.0,
+            queued_rem: 0.0,
+            gen: 0,
+            removed: true,
+        }
+    }
+}
+
+/// The approximate per-link fair-sharing model.
+#[derive(Debug)]
+pub struct ApproxFairSharing {
+    bw: f64,
+    links: Vec<FairLink>,
+    slots: Vec<Slot>,
+    n_active: usize,
+    /// Scratch copy of the route being mutated (avoids aliasing flows).
+    scratch: Vec<LinkId>,
+}
+
+impl ApproxFairSharing {
+    /// Model over `num_links` directed links of `bandwidth` bytes/s each.
+    pub fn new(num_links: usize, bandwidth: f64) -> Self {
+        let mut links = Vec::with_capacity(num_links);
+        links.resize_with(num_links, FairLink::default);
+        Self {
+            bw: bandwidth,
+            links,
+            slots: Vec::new(),
+            n_active: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Advances link `l`'s virtual clock to wall time `t`.
+    fn settle_link(&mut self, l: LinkId, t: f64, tel: &mut LinkStats) {
+        let count = self.links[l as usize].count;
+        let last = self.links[l as usize].last;
+        if count > 0 && t > last {
+            self.links[l as usize].vtime += (t - last) * (self.bw / count as f64);
+            if tel.tracking() {
+                tel.link_busy[l as usize] += (t - last) * count as f64;
+            }
+        }
+        self.links[l as usize].last = t;
+    }
+
+    /// True if a heap entry no longer refers to a queued flow.
+    fn is_tombstone(&self, fid: u32, gen: u32) -> bool {
+        let s = &self.slots[fid as usize];
+        s.removed || s.gen != gen
+    }
+
+    /// Re-arms link `l`'s drain event from its current head: cancel the
+    /// stale event, drop tombstones, schedule at the head's finish time.
+    fn reschedule(&mut self, l: LinkId, t: f64, ctx: &mut SimContext<'_>) {
+        if let Some(id) = self.links[l as usize].event.take() {
+            ctx.cancel(id);
+        }
+        loop {
+            let Some(&Reverse((VKey(v), fid, gen))) = self.links[l as usize].heap.peek() else {
+                return;
+            };
+            if self.is_tombstone(fid, gen) {
+                self.links[l as usize].heap.pop();
+                continue;
+            }
+            let lk = &self.links[l as usize];
+            debug_assert!(lk.count > 0, "queued flow must be counted");
+            let dt = (v - lk.vtime).max(0.0) * lk.count as f64 / self.bw;
+            self.links[l as usize].event = Some(ctx.schedule_model_event(t + dt, l));
+            return;
+        }
+    }
+
+    /// Completes flow `fid` at time `t`: zeroes it, charges telemetry,
+    /// and detaches it from every link on its route (heap entries stay
+    /// behind as tombstones). Caller reschedules the touched links.
+    fn complete_flow(&mut self, fid: u32, t: f64, flows: &mut [Flow], tel: &mut LinkStats) {
+        self.slots[fid as usize].removed = true;
+        let served = self.slots[fid as usize].queued_rem;
+        let f = &mut flows[fid as usize];
+        f.remaining = 0.0;
+        f.rate = 0.0;
+        if tel.tracking() {
+            f.active_time += t - f.activated;
+            for &l in f.route.iter() {
+                tel.link_bytes[l as usize] += served;
+            }
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&f.route);
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.settle_link(l, t, tel);
+            self.links[l as usize].count -= 1;
+        }
+        self.n_active -= 1;
+    }
+
+    /// Virtual-time comparison slack: generous in absolute terms (a
+    /// micro-byte) and relative terms; an undershoot only costs one
+    /// extra tiny reschedule, an overshoot completes a flow marginally
+    /// early in virtual work — both within the model's approximation.
+    fn eps(v: f64) -> f64 {
+        1e-6 + 1e-9 * v.abs()
+    }
+}
+
+impl ThroughputSharingModel for ApproxFairSharing {
+    fn insert(
+        &mut self,
+        fid: u32,
+        flows: &mut [Flow],
+        ctx: &mut SimContext<'_>,
+        tel: &mut LinkStats,
+    ) {
+        let t = ctx.now();
+        if self.slots.len() <= fid as usize {
+            self.slots.resize(fid as usize + 1, Slot::default());
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&flows[fid as usize].route);
+        // settle every crossed link at the old population, then join
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.settle_link(l, t, tel);
+            self.links[l as usize].count += 1;
+        }
+        if tel.rec.is_enabled() {
+            for &l in &self.scratch {
+                let c = self.links[l as usize].count;
+                tel.rec.record("sim.queue_depth", c as u64);
+                if c > tel.link_peak[l as usize] {
+                    tel.link_peak[l as usize] = c;
+                }
+            }
+        }
+        // queue on the most contended link (first wins ties)
+        let mut b = self.scratch[0];
+        for &l in &self.scratch[1..] {
+            if self.links[l as usize].count > self.links[b as usize].count {
+                b = l;
+            }
+        }
+        let rem = flows[fid as usize].remaining;
+        let s = &mut self.slots[fid as usize];
+        s.bottleneck = b;
+        s.v_finish = self.links[b as usize].vtime + rem;
+        s.queued_rem = rem;
+        s.gen = s.gen.wrapping_add(1);
+        s.removed = false;
+        let tag = (VKey(s.v_finish), fid, s.gen);
+        self.links[b as usize].heap.push(Reverse(tag));
+        flows[fid as usize].rate = self.bw / self.links[b as usize].count as f64;
+        flows[fid as usize].activated = t;
+        self.n_active += 1;
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.reschedule(l, t, ctx);
+        }
+    }
+
+    fn remove(
+        &mut self,
+        fid: u32,
+        flows: &mut [Flow],
+        ctx: &mut SimContext<'_>,
+        tel: &mut LinkStats,
+    ) {
+        let t = ctx.now();
+        debug_assert!(!self.slots[fid as usize].removed, "flow is queued");
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&flows[fid as usize].route);
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.settle_link(l, t, tel);
+        }
+        // progress = virtual work served on the bottleneck since queueing
+        let s = self.slots[fid as usize];
+        let rem_now = (s.v_finish - self.links[s.bottleneck as usize].vtime)
+            .max(0.0)
+            .min(s.queued_rem);
+        let served = s.queued_rem - rem_now;
+        self.slots[fid as usize].removed = true;
+        let f = &mut flows[fid as usize];
+        f.remaining = rem_now;
+        f.rate = 0.0;
+        if tel.tracking() {
+            f.active_time += t - f.activated;
+            for &l in f.route.iter() {
+                tel.link_bytes[l as usize] += served;
+            }
+        }
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.links[l as usize].count -= 1;
+        }
+        self.n_active -= 1;
+        for i in 0..self.scratch.len() {
+            let l = self.scratch[i];
+            self.reschedule(l, t, ctx);
+        }
+    }
+
+    fn settle(&mut self, _flows: &mut [Flow], _tel: &mut LinkStats) {}
+
+    fn settle_tail(&mut self, _flows: &mut [Flow], _tel: &mut LinkStats) {}
+
+    fn next_completion_time(&self, _flows: &[Flow], _now: f64) -> f64 {
+        // completions arrive as scheduled drain events, never intrinsically
+        f64::INFINITY
+    }
+
+    fn advance(&mut self, _flows: &mut [Flow], _dt: f64, _tel: &mut LinkStats) {
+        // per-link virtual clocks settle lazily when a change touches them
+    }
+
+    fn collect_finished(&mut self, _flows: &mut [Flow], _out: &mut Vec<u32>) {}
+
+    fn on_event(
+        &mut self,
+        token: u32,
+        flows: &mut [Flow],
+        ctx: &mut SimContext<'_>,
+        tel: &mut LinkStats,
+        finished: &mut Vec<u32>,
+    ) {
+        let l = token as LinkId;
+        let t = ctx.now();
+        self.links[l as usize].event = None; // it just fired
+        self.settle_link(l, t, tel);
+        // drain every head whose finish tag the virtual clock has reached
+        let mark = finished.len();
+        while let Some(&Reverse((VKey(v), fid, gen))) = self.links[l as usize].heap.peek() {
+            if self.is_tombstone(fid, gen) {
+                self.links[l as usize].heap.pop();
+                continue;
+            }
+            if v <= self.links[l as usize].vtime + Self::eps(v) {
+                self.links[l as usize].heap.pop();
+                self.complete_flow(fid, t, flows, tel);
+                finished.push(fid);
+            } else {
+                break;
+            }
+        }
+        // re-arm this link and every link the drained flows released
+        self.reschedule(l, t, ctx);
+        for &fid in &finished[mark..] {
+            let route: Vec<LinkId> = flows[fid as usize].route.to_vec();
+            for l2 in route {
+                if l2 != l {
+                    self.reschedule(l2, t, ctx);
+                }
+            }
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.n_active
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact max-min fair sharing by progressive filling.
+//!
+//! This is the original engine's allocation, ported operation-for-
+//! operation so that reports stay bit-identical to the pre-event-queue
+//! engine (the `sim_compat` gate in `orp-bench` holds it to that).
+//! Whenever the active set changes, the whole allocation is re-solved:
+//! find the bottleneck link (minimum capacity/count), freeze every flow
+//! crossing a link at that share, subtract, repeat. O(active flows ×
+//! links) per change — exact, but quadratic across a flow's lifetime.
+
+use super::{Flow, LinkStats, ThroughputSharingModel};
+use crate::context::SimContext;
+use crate::network::LinkId;
+
+/// Exact progressive-filling max-min model (the default).
+#[derive(Debug)]
+pub struct MaxMinFair {
+    bw: f64,
+    /// Streaming flow ids, in activation order (completion scans and
+    /// rate solves iterate this order — part of the bit-compat surface).
+    active: Vec<u32>,
+    dirty: bool,
+    // scratch buffers for rate computation
+    link_count: Vec<u32>,
+    link_cap: Vec<f64>,
+    touched_links: Vec<LinkId>,
+}
+
+impl MaxMinFair {
+    /// Model over `num_links` directed links of `bandwidth` bytes/s each.
+    pub fn new(num_links: usize, bandwidth: f64) -> Self {
+        Self {
+            bw: bandwidth,
+            active: Vec::new(),
+            dirty: false,
+            link_count: vec![0; num_links],
+            link_cap: vec![0.0; num_links],
+            touched_links: Vec::new(),
+        }
+    }
+
+    /// Max-min fair progressive filling over the active flows.
+    fn compute_rates(&mut self, flows: &mut [Flow], tel: &mut LinkStats) {
+        let bw = self.bw;
+        for &l in &self.touched_links {
+            self.link_count[l as usize] = 0;
+            self.link_cap[l as usize] = bw;
+        }
+        self.touched_links.clear();
+        for &fid in &self.active {
+            for &l in flows[fid as usize].route.iter() {
+                if self.link_count[l as usize] == 0 {
+                    self.touched_links.push(l);
+                    self.link_cap[l as usize] = bw;
+                }
+                self.link_count[l as usize] += 1;
+            }
+        }
+        if tel.rec.is_enabled() {
+            // per-link flow multiplicity at this reallocation — the
+            // contention ("queue depth") histogram
+            for &l in &self.touched_links {
+                let c = self.link_count[l as usize];
+                tel.rec.record("sim.queue_depth", c as u64);
+                if c > tel.link_peak[l as usize] {
+                    tel.link_peak[l as usize] = c;
+                }
+            }
+        }
+        let mut unfrozen: Vec<u32> = self.active.clone();
+        while !unfrozen.is_empty() {
+            // bottleneck link = min cap/count among links carrying flows
+            let mut share = f64::INFINITY;
+            for &l in &self.touched_links {
+                let c = self.link_count[l as usize];
+                if c > 0 {
+                    let s = self.link_cap[l as usize] / c as f64;
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            if !share.is_finite() {
+                break;
+            }
+            // freeze every unfrozen flow crossing a bottleneck-tight link
+            let mut still = Vec::with_capacity(unfrozen.len());
+            let eps = share * 1e-9;
+            for &fid in &unfrozen {
+                let tight = flows[fid as usize].route.iter().any(|&l| {
+                    let c = self.link_count[l as usize];
+                    c > 0 && self.link_cap[l as usize] / c as f64 <= share + eps
+                });
+                if tight {
+                    flows[fid as usize].rate = share;
+                    for &l in flows[fid as usize].route.iter() {
+                        self.link_cap[l as usize] -= share;
+                        self.link_count[l as usize] -= 1;
+                    }
+                } else {
+                    still.push(fid);
+                }
+            }
+            debug_assert!(still.len() < unfrozen.len(), "filling must progress");
+            if still.len() == unfrozen.len() {
+                // numerical corner: freeze everything at the current share
+                for &fid in &still {
+                    flows[fid as usize].rate = share;
+                }
+                break;
+            }
+            unfrozen = still;
+        }
+        self.dirty = false;
+    }
+}
+
+impl ThroughputSharingModel for MaxMinFair {
+    fn insert(
+        &mut self,
+        fid: u32,
+        _flows: &mut [Flow],
+        _ctx: &mut SimContext<'_>,
+        _tel: &mut LinkStats,
+    ) {
+        self.active.push(fid);
+        self.dirty = true;
+    }
+
+    fn remove(
+        &mut self,
+        fid: u32,
+        flows: &mut [Flow],
+        _ctx: &mut SimContext<'_>,
+        _tel: &mut LinkStats,
+    ) {
+        flows[fid as usize].rate = 0.0;
+        let pos = self
+            .active
+            .iter()
+            .position(|&x| x == fid)
+            .expect("active flow is listed");
+        self.active.swap_remove(pos);
+        self.dirty = true;
+    }
+
+    fn settle(&mut self, flows: &mut [Flow], tel: &mut LinkStats) {
+        if self.dirty {
+            self.compute_rates(flows, tel);
+        }
+    }
+
+    fn settle_tail(&mut self, flows: &mut [Flow], tel: &mut LinkStats) {
+        if self.dirty && !self.active.is_empty() {
+            self.compute_rates(flows, tel);
+        }
+    }
+
+    fn next_completion_time(&self, flows: &[Flow], now: f64) -> f64 {
+        let mut flow_dt = f64::INFINITY;
+        for &fid in &self.active {
+            let f = &flows[fid as usize];
+            let dt = if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else {
+                f64::INFINITY
+            };
+            if dt < flow_dt {
+                flow_dt = dt;
+            }
+        }
+        now + flow_dt
+    }
+
+    fn advance(&mut self, flows: &mut [Flow], dt: f64, tel: &mut LinkStats) {
+        if dt > 0.0 {
+            let track = tel.tracking();
+            for &fid in &self.active {
+                let f = &mut flows[fid as usize];
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                if track {
+                    f.active_time += dt;
+                    for &l in f.route.iter() {
+                        tel.link_bytes[l as usize] += moved;
+                        // flow-seconds; divided by the makespan at the end
+                        // of the run this is the time-averaged sharing
+                        tel.link_busy[l as usize] += dt;
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_finished(&mut self, flows: &mut [Flow], out: &mut Vec<u32>) {
+        if self.active.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        let mut changed = false;
+        while i < self.active.len() {
+            let fid = self.active[i];
+            let f = &flows[fid as usize];
+            let left_t = if f.rate > 0.0 {
+                f.remaining / f.rate
+            } else {
+                f64::INFINITY
+            };
+            if f.remaining <= 1e-9 || left_t <= 1e-12 {
+                self.active.swap_remove(i);
+                out.push(fid);
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if changed {
+            self.dirty = true;
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        _token: u32,
+        _flows: &mut [Flow],
+        _ctx: &mut SimContext<'_>,
+        _tel: &mut LinkStats,
+        _finished: &mut Vec<u32>,
+    ) {
+        debug_assert!(false, "exact max-min schedules no model events");
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}

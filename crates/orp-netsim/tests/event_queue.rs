@@ -1,0 +1,87 @@
+//! Property tests of the event-queue core invariants (ISSUE.md satellite):
+//! delivery is totally ordered by `(time, seq)`, and a cancelled event is
+//! never delivered — no stale completion can fire after its flow changed.
+
+use orp_netsim::queue::EventQueue;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random event times drawn from a small set of buckets so equal
+/// timestamps (the interesting case for the seq tie-break) are common.
+fn times(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.gen_range(0u32..8) as f64 * 1e-3)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_is_totally_ordered_by_time_then_seq((n, seed) in (1usize..200, any::<u64>())) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let ts = times(seed, n);
+        for (i, &t) in ts.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last: Option<(f64, usize)> = None;
+        let mut delivered = 0usize;
+        while let Some((t, payload)) = q.pop() {
+            if let Some((lt, lp)) = last {
+                prop_assert!(t >= lt, "time went backwards: {t} after {lt}");
+                if t == lt {
+                    // equal times fire in schedule order — payloads are
+                    // schedule indices, so they must increase
+                    prop_assert!(
+                        payload > lp,
+                        "same-time events out of schedule order: {payload} after {lp}"
+                    );
+                }
+            }
+            prop_assert!((ts[payload] - t).abs() == 0.0, "payload delivered at wrong time");
+            last = Some((t, payload));
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, n);
+        prop_assert_eq!(q.processed(), n as u64);
+        prop_assert_eq!(q.scheduled(), n as u64);
+        prop_assert_eq!(q.cancelled(), 0);
+        prop_assert!(q.peak_depth() >= 1);
+    }
+
+    #[test]
+    fn cancellation_never_delivers_stale_events((n, seed) in (1usize..200, any::<u64>())) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let ts = times(seed, n);
+        let ids: Vec<_> = ts.iter().enumerate().map(|(i, &t)| q.schedule(t, i)).collect();
+        // cancel a random subset — the "stale completion times" of the
+        // approximate sharing model — some of them twice
+        let mut cancelled = vec![false; n];
+        for (i, &id) in ids.iter().enumerate() {
+            if rng.gen_range(0u32..3) == 0 {
+                prop_assert!(q.cancel(id).is_some(), "live event must cancel");
+                cancelled[i] = true;
+                // double-cancel is an idempotent no-op
+                prop_assert!(q.cancel(id).is_none());
+            }
+        }
+        let n_cancelled = cancelled.iter().filter(|&&c| c).count();
+        prop_assert_eq!(q.len(), n - n_cancelled);
+        let mut seen = vec![false; n];
+        while let Some((_, payload)) = q.pop() {
+            prop_assert!(!cancelled[payload], "cancelled event {payload} delivered");
+            prop_assert!(!seen[payload], "event {payload} delivered twice");
+            seen[payload] = true;
+            // cancelling after delivery is a no-op too
+            prop_assert!(q.cancel(ids[payload]).is_none());
+        }
+        for i in 0..n {
+            prop_assert!(seen[i] == !cancelled[i], "event {} lost", i);
+        }
+        prop_assert_eq!(q.processed() + q.cancelled(), q.scheduled());
+        prop_assert_eq!(q.cancelled(), n_cancelled as u64);
+    }
+}

@@ -119,8 +119,8 @@ pub mod prelude {
     pub use crate::core::anneal::{solve_orp, Anneal, MoveKind, SaConfig, SaResult};
     pub use crate::core::graph::HostSwitchGraph;
     pub use crate::netsim::{
-        FaultEvent, NetConfig, NetFault, Network, NetworkBuilder, Op, Program, SimReport,
-        Simulator, SimulatorBuilder,
+        BlockedRank, FaultEvent, InjectedFlow, NetConfig, NetFault, Network, NetworkBuilder, Op,
+        Program, SharingMode, SimError, SimReport, Simulator, SimulatorBuilder, WaitReason,
     };
     pub use crate::obs::{ChromeTrace, JsonSummary, Recorder, Sink, TextProgress};
     pub use crate::Error;

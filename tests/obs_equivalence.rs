@@ -6,7 +6,7 @@
 use orp::core::anneal::{Anneal, MoveKind, SaConfig};
 use orp::core::construct::random_general;
 use orp::netsim::patterns::Pattern;
-use orp::netsim::{FaultEvent, NetFault, Network, Simulator};
+use orp::netsim::{FaultEvent, NetFault, Network, SharingMode, Simulator};
 use orp::obs::Recorder;
 use proptest::prelude::*;
 
@@ -54,34 +54,51 @@ proptest! {
 
     #[test]
     fn recording_simulation_is_bit_identical((n, m, r, seed) in instance()) {
-        let g = random_general(n, m, r, seed).unwrap();
-        let programs = Pattern::NearestNeighbor.programs(n, 1e5, 1, seed);
-        let plain_net = Network::builder(&g).build();
-        let plain = Simulator::builder(&plain_net)
-            .programs(programs.clone())
-            .run()
-            .unwrap();
-        let rec = Recorder::enabled();
-        let traced_net = Network::builder(&g).recorder(rec.clone()).build();
-        let traced = Simulator::builder(&traced_net)
-            .programs(programs)
-            .run()
-            .unwrap();
-        prop_assert_eq!(plain.time, traced.time);
-        prop_assert_eq!(plain.flows, traced.flows);
-        prop_assert_eq!(plain.bytes, traced.bytes);
-        prop_assert_eq!(plain.peak_flows, traced.peak_flows);
-        prop_assert_eq!(plain.flops, traced.flops);
-        let snap = rec.snapshot().unwrap();
-        prop_assert_eq!(snap.counter("sim.flows"), Some(traced.flows));
-        // the analysis events cover the whole run: one completion record
-        // per flow, one load record per used link, one end-of-run mark
-        prop_assert_eq!(snap.event_count("flow.done") as u64, traced.flows);
-        prop_assert_eq!(
-            Some(snap.event_count("link.load") as u64),
-            snap.counter("sim.links_used")
-        );
-        prop_assert_eq!(snap.event_count("sim.completed"), 1);
+        // the telemetry-never-perturbs contract must hold under every
+        // throughput-sharing model, including the event-cancelling
+        // approximate one
+        for mode in [SharingMode::ExactMaxMin, SharingMode::ApproxFair] {
+            let g = random_general(n, m, r, seed).unwrap();
+            let programs = Pattern::NearestNeighbor.programs(n, 1e5, 1, seed);
+            let plain_net = Network::builder(&g).build();
+            let plain = Simulator::builder(&plain_net)
+                .programs(programs.clone())
+                .sharing(mode)
+                .run()
+                .unwrap();
+            let rec = Recorder::enabled();
+            let traced_net = Network::builder(&g).recorder(rec.clone()).build();
+            let traced = Simulator::builder(&traced_net)
+                .programs(programs)
+                .sharing(mode)
+                .run()
+                .unwrap();
+            prop_assert_eq!(plain.time, traced.time);
+            prop_assert_eq!(plain.flows, traced.flows);
+            prop_assert_eq!(plain.bytes, traced.bytes);
+            prop_assert_eq!(plain.peak_flows, traced.peak_flows);
+            prop_assert_eq!(plain.flops, traced.flops);
+            // the event-queue core is part of the bit-identity surface
+            prop_assert_eq!(plain.events, traced.events);
+            prop_assert_eq!(plain.events_cancelled, traced.events_cancelled);
+            prop_assert_eq!(plain.peak_queue_depth, traced.peak_queue_depth);
+            let snap = rec.snapshot().unwrap();
+            prop_assert_eq!(snap.counter("sim.flows"), Some(traced.flows));
+            prop_assert_eq!(snap.counter("events.processed"), Some(traced.events));
+            prop_assert_eq!(
+                snap.counter("events.cancelled"),
+                Some(traced.events_cancelled)
+            );
+            prop_assert!(snap.histogram("sim.event_queue_depth").is_some());
+            // the analysis events cover the whole run: one completion record
+            // per flow, one load record per used link, one end-of-run mark
+            prop_assert_eq!(snap.event_count("flow.done") as u64, traced.flows);
+            prop_assert_eq!(
+                Some(snap.event_count("link.load") as u64),
+                snap.counter("sim.links_used")
+            );
+            prop_assert_eq!(snap.event_count("sim.completed"), 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property test of the approximate sharing model's documented accuracy
+//! bound (ISSUE.md satellite; see `orp_netsim::sharing::fair` and
+//! DESIGN.md §5d): with `α` the peak concurrent-flow multiplicity of any
+//! link, every flow's instantaneous rate in *both* models lies in
+//! `[bw/α, bw]`, so per-flow streaming times agree within a factor `α`.
+//!
+//! Random open-loop workloads are injected under both models; per-flow
+//! completion times are read back from the recorded `flow.done` events
+//! (injected-flow ids depend only on the injection schedule, so the same
+//! id names the same flow in both runs).
+
+use orp::core::construct::random_general;
+use orp::netsim::network::Network;
+use orp::netsim::{InjectedFlow, SharingMode, Simulator};
+use orp::obs::{Event as ObsEvent, Recorder};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Per-flow `(created, completed, propagation)` keyed by flow id.
+fn flow_times(
+    net: &Network,
+    flows: &[InjectedFlow],
+    mode: SharingMode,
+) -> (HashMap<u64, (f64, f64, f64)>, usize) {
+    let rec = Recorder::enabled();
+    let rep = Simulator::builder(net)
+        .inject(flows)
+        .sharing(mode)
+        .recorder(rec.clone())
+        .run()
+        .unwrap();
+    let snap = rec.snapshot().unwrap();
+    let mut out = HashMap::new();
+    for e in &snap.events {
+        if let ObsEvent::FlowDone {
+            id,
+            created,
+            completed,
+            propagation,
+            ..
+        } = e.event
+        {
+            out.insert(id, (created, completed, propagation));
+        }
+    }
+    (out, rep.peak_flows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn approx_flow_times_stay_within_alpha_of_exact(
+        (n_flows, seed) in (2usize..40, any::<u64>()),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = random_general(16, 6, 8, seed.wrapping_add(1)).unwrap();
+        let net = Network::builder(&g).build();
+        let hosts = net.num_hosts();
+        let flows: Vec<InjectedFlow> = (0..n_flows)
+            .filter_map(|_| {
+                let src = rng.gen_range(0..hosts);
+                let dst = rng.gen_range(0..hosts);
+                // loopback demands create no flow; skip them so every
+                // demand owns a flow id in both runs
+                (src != dst).then(|| InjectedFlow {
+                    at: rng.gen_range(0u32..1000) as f64 * 1e-6,
+                    src,
+                    dst,
+                    bytes: rng.gen_range(1u32..2000) as f64 * 1e4,
+                })
+            })
+            .collect();
+        prop_assume!(!flows.is_empty());
+
+        let (exact, peak_e) = flow_times(&net, &flows, SharingMode::ExactMaxMin);
+        let (approx, peak_a) = flow_times(&net, &flows, SharingMode::ApproxFair);
+        prop_assert_eq!(exact.len(), flows.len());
+        prop_assert_eq!(approx.len(), flows.len());
+
+        // α bound: peak concurrent flows ≥ peak per-link multiplicity
+        // in either model, so this is a conservative (loose) α
+        let alpha = peak_e.max(peak_a).max(1) as f64;
+        for (id, &(c_e, t_e, p_e)) in &exact {
+            let &(c_a, t_a, p_a) = approx.get(id).expect("same ids in both runs");
+            // creation and activation delay are model-independent
+            prop_assert!((c_e - c_a).abs() < 1e-12);
+            prop_assert!((p_e - p_a).abs() < 1e-12);
+            // streaming time = end-to-end minus the activation delay
+            let s_e = t_e - c_e - p_e;
+            let s_a = t_a - c_a - p_a;
+            prop_assert!(s_e > 0.0 && s_a > 0.0, "flow {} never streamed", id);
+            let ratio = s_a / s_e;
+            let slack = 1.0 + 1e-6;
+            prop_assert!(
+                ratio <= alpha * slack && ratio >= 1.0 / (alpha * slack),
+                "flow {} streaming-time ratio {} outside [1/{}, {}]",
+                id, ratio, alpha, alpha
+            );
+        }
+    }
+}
