@@ -12,7 +12,7 @@
 
 #![warn(missing_docs)]
 
-use orp_core::anneal::{solve_orp, SaConfig, SaResult};
+use orp_core::anneal::{Anneal, SaConfig, SaResult};
 use orp_core::graph::HostSwitchGraph;
 use orp_core::metrics::path_metrics;
 use orp_layout::{evaluate, Floorplan, HardwareModel};
@@ -67,8 +67,34 @@ impl Effort {
 /// Builds the paper's proposed topology for `(n, r)`: `m_opt` from the
 /// continuous Moore bound, 2-neighbor-swing annealing, then the
 /// depth-first host relabelling of §6.2.1.
+///
+/// When `ORP_CKPT_DIR` is set, the anneal checkpoints crash-safely to
+/// `<dir>/solve_n<n>_r<r>_i<iters>_s<seed>.orp` and resumes from an
+/// existing snapshot automatically — a killed figure sweep picks up
+/// mid-solve instead of restarting from scratch (and, by the resume
+/// invariant, produces the bit-identical topology either way).
 pub fn proposed_topology(n: u32, r: u32, effort: &Effort) -> (HostSwitchGraph, SaResult, u32) {
-    let (res, m_opt) = solve_orp(n, r, &effort.sa_config()).expect("feasible ORP instance");
+    let cfg = effort.sa_config();
+    let (m_opt, _) = orp_core::bounds::optimal_switch_count(n as u64, r as u64);
+    let m_opt = m_opt as u32;
+    let start =
+        orp_core::construct::random_general(n, m_opt, r, cfg.seed).expect("feasible ORP instance");
+    let mut b = Anneal::builder(start).config(cfg);
+    if let Some(dir) = std::env::var_os("ORP_CKPT_DIR") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+        // iters and seed are part of the name: a checkpoint is only
+        // resumable under the exact config that wrote it
+        let path = dir.join(format!(
+            "solve_n{n}_r{r}_i{}_s{}.orp",
+            effort.sa_iters, effort.seed
+        ));
+        if path.exists() {
+            b = b.resume_from(&path);
+        }
+        b = b.checkpoint(&path);
+    }
+    let res = b.run().expect("feasible ORP instance");
     let relabeled = relabel_hosts_dfs(&res.graph, 0);
     (relabeled, res, m_opt)
 }
@@ -203,14 +229,17 @@ pub fn layout_panel(g: &HostSwitchGraph) -> orp_layout::LayoutReport {
 }
 
 /// Writes a JSON artifact under `results/` (created on demand), and
-/// returns the path.
+/// returns the path. The write is atomic (sibling temp file + rename)
+/// so a crash mid-write never leaves a truncated artifact behind.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(
+    orp_core::ckpt::atomic_write(
         &path,
-        serde_json::to_string_pretty(value).expect("serialize"),
+        serde_json::to_string_pretty(value)
+            .expect("serialize")
+            .as_bytes(),
     )
     .expect("write artifact");
     path

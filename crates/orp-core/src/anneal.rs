@@ -5,18 +5,28 @@
 //! predicts `m_opt` from the continuous Moore bound.
 
 use crate::bounds::optimal_switch_count;
+use crate::ckpt::{self, CkptError, Decoder, Encoder};
 use crate::construct::{random_general, random_regular};
-use crate::error::GraphError;
+use crate::error::{GraphError, SaError, WorkerPanic};
 use crate::graph::HostSwitchGraph;
 use crate::metrics::PathMetrics;
 use crate::ops::{sample_swap, sample_swing, Swing};
 use crate::search::{
     resolve_parallel_eval, EvalOutcome, EvalPathKind, SearchState, EARLY_REJECT_LOG,
 };
+use crate::watchdog::{ProgressHandle, WatchSource, Watchdog, WatchdogConfig};
 use orp_obs::{Event, Recorder};
 use rand::Rng;
 use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use rand_chacha::{ChaCha8Rng, CHACHA_STATE_WORDS};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Default checkpoint stride for [`Anneal::checkpoint`]: a save every
+/// this many iterations keeps the measured overhead well under 2% of
+/// wall time (see `results/BENCH_ckpt_overhead.json`) while bounding
+/// lost work on a kill.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 5000;
 
 /// Which neighbourhood the annealer explores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +40,25 @@ pub enum MoveKind {
     /// The 2-neighbor swing of §5.2 (Fig. 4): try a swing; if rejected,
     /// try the follow-up swing whose net effect is a swap.
     TwoNeighborSwing,
+}
+
+impl MoveKind {
+    fn code(self) -> u8 {
+        match self {
+            Self::Swap => 0,
+            Self::Swing => 1,
+            Self::TwoNeighborSwing => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(Self::Swap),
+            1 => Some(Self::Swing),
+            2 => Some(Self::TwoNeighborSwing),
+            _ => None,
+        }
+    }
 }
 
 /// Annealing schedule and bookkeeping knobs.
@@ -221,14 +250,51 @@ struct Annealer {
     two_neighbor_second: usize,
     /// Whether guarded evaluation may early-reject without a BFS.
     early_reject: bool,
+    /// Next iteration to execute — 0 for a fresh run, the checkpointed
+    /// boundary after a resume.
+    next_it: usize,
+    /// Current temperature, carried in the struct (not loop-local) so a
+    /// checkpoint stores its exact bits: a resumed run keeps cooling by
+    /// multiplication from the saved value, bit-identically to the
+    /// uninterrupted run (recomputing `t0 · ratioᵏ` would not be).
+    t: f64,
+    /// Phase-telemetry cursor (hoisted for checkpointing).
+    phase_index: u32,
+    phase_base_proposed: usize,
+    phase_base_accepted: usize,
+}
+
+fn encode_metrics(m: &PathMetrics, enc: &mut Encoder) {
+    enc.put_f64(m.haspl);
+    enc.put_u32(m.diameter);
+    enc.put_u64(m.total_length);
+}
+
+fn decode_metrics(dec: &mut Decoder<'_>) -> Result<PathMetrics, CkptError> {
+    Ok(PathMetrics {
+        haspl: dec.get_f64()?,
+        diameter: dec.get_u32()?,
+        total_length: dec.get_u64()?,
+    })
+}
+
+/// Run-control knobs threaded into the annealing loop: where and how
+/// often to checkpoint, and the watchdog handle to report progress to.
+#[derive(Debug, Default)]
+struct RunCtl {
+    ckpt_path: Option<PathBuf>,
+    every: usize,
+    watch: Option<ProgressHandle>,
+    window_secs: f64,
+    /// Deterministic interruption point: force-checkpoint and bail out
+    /// *before* executing this iteration, exactly like a watchdog stall.
+    /// Used by the resume tests to cut a run at a known boundary.
+    stop_after: Option<usize>,
 }
 
 impl Annealer {
     fn new(g: HostSwitchGraph, cfg: &SaConfig, rec: Recorder) -> Result<Self, GraphError> {
-        let workers = cfg
-            .eval_workers
-            .map(|w| w.max(1))
-            .unwrap_or_else(|| resolve_parallel_eval(cfg.parallel_eval, g.num_switches()));
+        let workers = Self::resolved_workers(g.num_switches(), cfg);
         let mut state = SearchState::with_workers(g, workers)?;
         let cur = state.evaluate().ok_or(GraphError::Disconnected)?;
         Ok(Self {
@@ -249,6 +315,204 @@ impl Annealer {
             two_neighbor_first: 0,
             two_neighbor_second: 0,
             early_reject: cfg.early_reject,
+            next_it: 0,
+            t: cfg.t0,
+            phase_index: 0,
+            phase_base_proposed: 0,
+            phase_base_accepted: 0,
+        })
+    }
+
+    fn resolved_workers(g_switches: u32, cfg: &SaConfig) -> usize {
+        cfg.eval_workers
+            .map(|w| w.max(1))
+            .unwrap_or_else(|| resolve_parallel_eval(cfg.parallel_eval, g_switches))
+    }
+
+    /// Serializes the complete mid-run state. Everything that feeds the
+    /// remaining iterations is captured bit-exactly: the config echo
+    /// (validated on resume), loop cursors, move counters, current/best
+    /// metrics, the RNG mid-stream state, both graphs in their exact
+    /// internal order, the [`crate::ops::EdgeSet`] storage order the
+    /// sampler indexes into, and the recorded history. The `DistCache`
+    /// and eval telemetry are deliberately *not* serialized — the cache
+    /// is rebuilt exactly on load (cached and full evaluation are
+    /// bit-identical by the PR 5 guarantee).
+    fn encode_ckpt(&self, kind: MoveKind, cfg: &SaConfig, enc: &mut Encoder) {
+        // Config echo.
+        enc.put_u8(kind.code());
+        enc.put_u64(cfg.iters as u64);
+        enc.put_f64(cfg.t0);
+        enc.put_f64(cfg.t_end);
+        enc.put_u64(cfg.seed);
+        enc.put_u64(cfg.sample_attempts as u64);
+        enc.put_u64(cfg.history_stride as u64);
+        enc.put_bool(cfg.early_reject);
+        // Loop cursors.
+        enc.put_u64(self.next_it as u64);
+        enc.put_f64(self.t);
+        // Counters.
+        enc.put_u64(self.proposed as u64);
+        enc.put_u64(self.accepted as u64);
+        enc.put_u64(self.disconnected as u64);
+        enc.put_u64(self.swap_accepted as u64);
+        enc.put_u64(self.swing_accepted as u64);
+        enc.put_u64(self.two_neighbor_first as u64);
+        enc.put_u64(self.two_neighbor_second as u64);
+        enc.put_u32(self.phase_index);
+        enc.put_u64(self.phase_base_proposed as u64);
+        enc.put_u64(self.phase_base_accepted as u64);
+        // Metrics (raw f64 bits).
+        encode_metrics(&self.cur, enc);
+        encode_metrics(&self.best_metrics, enc);
+        // RNG mid-stream state.
+        enc.put_u32_slice(&self.rng.state_words());
+        // Current graph + the sampler's edge order, then the best graph.
+        self.state.graph().encode_exact(enc);
+        let order = self.state.edges().edges();
+        enc.put_u64(order.len() as u64);
+        for &(a, b) in order {
+            enc.put_u32(a);
+            enc.put_u32(b);
+        }
+        self.best.encode_exact(enc);
+        // History.
+        enc.put_u64(self.history.len() as u64);
+        for &(it, v) in &self.history {
+            enc.put_u64(it as u64);
+            enc.put_f64(v);
+        }
+    }
+
+    /// Atomically writes the current state to `path`.
+    fn save_ckpt(&self, kind: MoveKind, cfg: &SaConfig, path: &Path) -> Result<(), CkptError> {
+        let span = self.rec.span("anneal.checkpoint");
+        let mut enc = Encoder::new();
+        self.encode_ckpt(kind, cfg, &mut enc);
+        let r = ckpt::write_checkpoint(path, ckpt::KIND_ANNEAL, &enc.into_bytes());
+        drop(span);
+        if r.is_ok() {
+            self.rec.incr("anneal.checkpoints", 1);
+        }
+        r
+    }
+
+    /// Rebuilds an annealer from a checkpoint payload. The config and
+    /// move kind of the resuming call must match the checkpointed ones
+    /// (`eval_workers`/`parallel_eval` excepted — worker count is a
+    /// pure wall-clock knob). After restoring, the search state is
+    /// re-evaluated from scratch and the result is required to match
+    /// the checkpointed metrics bit-for-bit, so silent drift between
+    /// the stored graph and stored metrics is impossible.
+    fn from_ckpt(
+        payload: &[u8],
+        kind: MoveKind,
+        cfg: &SaConfig,
+        rec: Recorder,
+    ) -> Result<Self, SaError> {
+        let bad = |what: &str| SaError::Ckpt(CkptError::BadSection(what.into()));
+        let mut dec = Decoder::new(payload);
+        let stored_kind = MoveKind::from_code(dec.get_u8().map_err(SaError::Ckpt)?)
+            .ok_or_else(|| bad("unknown move kind"))?;
+        if stored_kind != kind {
+            return Err(bad("move kind does not match the checkpoint"));
+        }
+        let d = |r: Result<u64, CkptError>| r.map_err(SaError::Ckpt);
+        let df = |r: Result<f64, CkptError>| r.map_err(SaError::Ckpt);
+        let iters = d(dec.get_u64())?;
+        let t0 = df(dec.get_f64())?;
+        let t_end = df(dec.get_f64())?;
+        let seed = d(dec.get_u64())?;
+        let sample_attempts = d(dec.get_u64())?;
+        let history_stride = d(dec.get_u64())?;
+        let early_reject = dec.get_bool().map_err(SaError::Ckpt)?;
+        if iters != cfg.iters as u64
+            || t0.to_bits() != cfg.t0.to_bits()
+            || t_end.to_bits() != cfg.t_end.to_bits()
+            || seed != cfg.seed
+            || sample_attempts != cfg.sample_attempts as u64
+            || history_stride != cfg.history_stride as u64
+            || early_reject != cfg.early_reject
+        {
+            return Err(bad(
+                "config does not match the checkpoint (iters/t0/t_end/seed/\
+                 sample_attempts/history_stride/early_reject must be identical)",
+            ));
+        }
+        let next_it = d(dec.get_u64())? as usize;
+        let t = df(dec.get_f64())?;
+        let proposed = d(dec.get_u64())? as usize;
+        let accepted = d(dec.get_u64())? as usize;
+        let disconnected = d(dec.get_u64())? as usize;
+        let swap_accepted = d(dec.get_u64())? as usize;
+        let swing_accepted = d(dec.get_u64())? as usize;
+        let two_neighbor_first = d(dec.get_u64())? as usize;
+        let two_neighbor_second = d(dec.get_u64())? as usize;
+        let phase_index = dec.get_u32().map_err(SaError::Ckpt)?;
+        let phase_base_proposed = d(dec.get_u64())? as usize;
+        let phase_base_accepted = d(dec.get_u64())? as usize;
+        let cur = decode_metrics(&mut dec).map_err(SaError::Ckpt)?;
+        let best_metrics = decode_metrics(&mut dec).map_err(SaError::Ckpt)?;
+        let rng_words = dec.get_u32_vec().map_err(SaError::Ckpt)?;
+        let rng_words: [u32; CHACHA_STATE_WORDS] = rng_words
+            .try_into()
+            .map_err(|_| bad("rng state has the wrong length"))?;
+        let cur_graph = HostSwitchGraph::decode_exact(&mut dec).map_err(SaError::Ckpt)?;
+        let n_edges = d(dec.get_u64())? as usize;
+        let mut edge_order = Vec::with_capacity(n_edges.min(payload.len() / 8));
+        for _ in 0..n_edges {
+            let a = dec.get_u32().map_err(SaError::Ckpt)?;
+            let b = dec.get_u32().map_err(SaError::Ckpt)?;
+            edge_order.push((a, b));
+        }
+        let best = HostSwitchGraph::decode_exact(&mut dec).map_err(SaError::Ckpt)?;
+        let n_hist = d(dec.get_u64())? as usize;
+        let mut history = Vec::with_capacity(n_hist.min(payload.len() / 16));
+        for _ in 0..n_hist {
+            let it = d(dec.get_u64())? as usize;
+            let v = df(dec.get_f64())?;
+            history.push((it, v));
+        }
+        if next_it as u64 > iters {
+            return Err(bad("iteration cursor past the end of the schedule"));
+        }
+        let workers = Self::resolved_workers(cur_graph.num_switches(), cfg);
+        let mut state = SearchState::with_edge_order(cur_graph, workers, &edge_order)
+            .map_err(|e| SaError::Ckpt(CkptError::BadSection(format!("search state: {e}"))))?;
+        let reeval = state
+            .evaluate()
+            .ok_or_else(|| bad("restored graph is disconnected"))?;
+        if reeval.haspl.to_bits() != cur.haspl.to_bits()
+            || reeval.total_length != cur.total_length
+            || reeval.diameter != cur.diameter
+        {
+            return Err(bad(
+                "re-evaluated metrics do not match the checkpointed metrics",
+            ));
+        }
+        Ok(Self {
+            state,
+            rng: ChaCha8Rng::from_state_words(&rng_words),
+            cur,
+            best,
+            best_metrics,
+            accepted,
+            proposed,
+            disconnected,
+            history,
+            cand_buf: Vec::new(),
+            rec,
+            it: next_it,
+            swap_accepted,
+            swing_accepted,
+            two_neighbor_first,
+            two_neighbor_second,
+            early_reject: cfg.early_reject,
+            next_it,
+            t,
+            phase_index,
+            phase_base_proposed,
+            phase_base_accepted,
         })
     }
 
@@ -307,19 +571,41 @@ impl Annealer {
         }
     }
 
+    /// Converts a failed move application into a structured, diagnosable
+    /// error (instead of the historical panic): the transaction is
+    /// unwound `depth` levels so the state stays consistent for a final
+    /// checkpoint, and the error names the move and iteration.
+    fn invariant_broken(
+        &mut self,
+        what: &'static str,
+        depth: usize,
+        source: GraphError,
+    ) -> SaError {
+        for _ in 0..depth {
+            self.state.rollback();
+        }
+        SaError::InvariantBroken {
+            what,
+            iter: self.it as u64,
+            source,
+        }
+    }
+
     /// One swap proposal; returns whether it was accepted.
-    fn step_swap(&mut self, t: f64, attempts: usize) -> bool {
+    fn step_swap(&mut self, t: f64, attempts: usize) -> Result<bool, SaError> {
         let Some(s) = sample_swap(
             self.state.graph(),
             self.state.edges(),
             &mut self.rng,
             attempts,
         ) else {
-            return false;
+            return Ok(false);
         };
         self.proposed += 1;
         self.state.begin();
-        self.state.apply_swap(s).expect("sampled swap is valid");
+        if let Err(e) = self.state.apply_swap(s) {
+            return Err(self.invariant_broken("swap", 1, e));
+        }
         match self.evaluate_timed(t) {
             EvalOutcome::Metrics(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
@@ -327,36 +613,38 @@ impl Annealer {
                     self.state.commit();
                     self.note_accept(m2);
                     self.swap_accepted += 1;
-                    return true;
+                    return Ok(true);
                 }
                 self.state.rollback();
-                false
+                Ok(false)
             }
             EvalOutcome::EarlyRejected(_) => {
                 self.state.rollback();
-                false
+                Ok(false)
             }
             EvalOutcome::Disconnected => {
                 self.disconnected += 1;
                 self.state.rollback();
-                false
+                Ok(false)
             }
         }
     }
 
     /// One plain-swing proposal.
-    fn step_swing(&mut self, t: f64, attempts: usize) -> bool {
+    fn step_swing(&mut self, t: f64, attempts: usize) -> Result<bool, SaError> {
         let Some(s) = sample_swing(
             self.state.graph(),
             self.state.edges(),
             &mut self.rng,
             attempts,
         ) else {
-            return false;
+            return Ok(false);
         };
         self.proposed += 1;
         self.state.begin();
-        self.state.apply_swing(s).expect("sampled swing is valid");
+        if let Err(e) = self.state.apply_swing(s) {
+            return Err(self.invariant_broken("swing", 1, e));
+        }
         match self.evaluate_timed(t) {
             EvalOutcome::Metrics(m2) => {
                 let delta = m2.haspl - self.cur.haspl;
@@ -364,19 +652,19 @@ impl Annealer {
                     self.state.commit();
                     self.note_accept(m2);
                     self.swing_accepted += 1;
-                    return true;
+                    return Ok(true);
                 }
                 self.state.rollback();
-                false
+                Ok(false)
             }
             EvalOutcome::EarlyRejected(_) => {
                 self.state.rollback();
-                false
+                Ok(false)
             }
             EvalOutcome::Disconnected => {
                 self.disconnected += 1;
                 self.state.rollback();
-                false
+                Ok(false)
             }
         }
     }
@@ -384,19 +672,21 @@ impl Annealer {
     /// One 2-neighbor-swing proposal (the four steps of §5.2), expressed
     /// as a nested transaction: the second swing stacks on the first and
     /// either both commit or both unwind.
-    fn step_two_neighbor(&mut self, t: f64, attempts: usize) -> bool {
+    fn step_two_neighbor(&mut self, t: f64, attempts: usize) -> Result<bool, SaError> {
         let Some(s1) = sample_swing(
             self.state.graph(),
             self.state.edges(),
             &mut self.rng,
             attempts,
         ) else {
-            return false;
+            return Ok(false);
         };
         self.proposed += 1;
         // Step 1: the 1-neighbor solution.
         self.state.begin();
-        self.state.apply_swing(s1).expect("sampled swing is valid");
+        if let Err(e) = self.state.apply_swing(s1) {
+            return Err(self.invariant_broken("swing", 1, e));
+        }
         match self.evaluate_timed(t) {
             EvalOutcome::Metrics(m1) => {
                 let delta = m1.haspl - self.cur.haspl;
@@ -405,7 +695,7 @@ impl Annealer {
                     self.state.commit();
                     self.note_accept(m1);
                     self.two_neighbor_first += 1;
-                    return true;
+                    return Ok(true);
                 }
             }
             // An early-rejected first swing falls through to the second
@@ -442,7 +732,10 @@ impl Annealer {
         };
         if let Some(s2) = s2 {
             self.state.begin();
-            self.state.apply_swing(s2).expect("validated candidate");
+            if let Err(e) = self.state.apply_swing(s2) {
+                // Unwind both the inner and the outer transaction.
+                return Err(self.invariant_broken("2-neighbor second swing", 2, e));
+            }
             match self.evaluate_timed(t) {
                 EvalOutcome::Metrics(m2) => {
                     let delta = m2.haspl - self.cur.haspl;
@@ -453,7 +746,7 @@ impl Annealer {
                         self.state.commit();
                         self.note_accept(m2);
                         self.two_neighbor_second += 1;
-                        return true;
+                        return Ok(true);
                     }
                 }
                 EvalOutcome::EarlyRejected(_) => {}
@@ -463,10 +756,10 @@ impl Annealer {
         }
         // Otherwise the initial solution holds.
         self.state.rollback();
-        false
+        Ok(false)
     }
 
-    fn run(mut self, kind: MoveKind, cfg: &SaConfig) -> SaResult {
+    fn run(mut self, kind: MoveKind, cfg: &SaConfig, ctl: &RunCtl) -> Result<SaResult, SaError> {
         let span = self.rec.span("anneal.run");
         let iters = cfg.iters.max(1);
         // Geometric cooling; degenerate temperatures fall back to constant.
@@ -477,33 +770,69 @@ impl Annealer {
         };
         // Phase telemetry: ten phases per run, each reporting its local
         // proposal/acceptance mix (so acceptance-rate decay is visible).
+        // The cursors live on `self` so checkpoints carry them.
         let phase_stride = (iters / 10).max(1);
-        let mut phase_index = 0u32;
-        let mut phase_base_proposed = 0usize;
-        let mut phase_base_accepted = 0usize;
-        let mut t = cfg.t0;
-        for it in 0..cfg.iters {
+        while self.next_it < cfg.iters {
+            let it = self.next_it;
             self.it = it;
+            // A checkpoint taken here captures the state *between*
+            // iterations — the quiescent boundary the resume invariant
+            // is defined at.
+            if let Some(path) = &ctl.ckpt_path {
+                if ctl.every > 0 && it > 0 && it.is_multiple_of(ctl.every) {
+                    self.save_ckpt(kind, cfg, path)?;
+                }
+            }
+            let stalled = ctl.watch.as_ref().is_some_and(|w| w.is_stalled());
+            if stalled || ctl.stop_after == Some(it) {
+                if let Some(watch) = &ctl.watch {
+                    watch.acknowledge_stall();
+                }
+                let checkpoint = match &ctl.ckpt_path {
+                    Some(p) => {
+                        self.save_ckpt(kind, cfg, p)?;
+                        Some(p.clone())
+                    }
+                    None => None,
+                };
+                return Err(SaError::Stalled {
+                    window_secs: ctl.window_secs,
+                    iter: it as u64,
+                    checkpoint,
+                });
+            }
+            let t = self.t;
             let _accepted = match kind {
-                MoveKind::Swap => self.step_swap(t, cfg.sample_attempts),
-                MoveKind::Swing => self.step_swing(t, cfg.sample_attempts),
-                MoveKind::TwoNeighborSwing => self.step_two_neighbor(t, cfg.sample_attempts),
+                MoveKind::Swap => self.step_swap(t, cfg.sample_attempts)?,
+                MoveKind::Swing => self.step_swing(t, cfg.sample_attempts)?,
+                MoveKind::TwoNeighborSwing => self.step_two_neighbor(t, cfg.sample_attempts)?,
             };
-            t *= ratio;
-            if cfg.history_stride > 0 && it % cfg.history_stride == 0 {
+            self.t *= ratio;
+            self.next_it = it + 1;
+            if let Some(watch) = &ctl.watch {
+                watch.tick();
+            }
+            if cfg.history_stride > 0 && it.is_multiple_of(cfg.history_stride) {
                 self.history.push((it, self.best_metrics.haspl));
             }
-            if self.rec.is_enabled() && (it + 1) % phase_stride == 0 {
+            if self.rec.is_enabled() && (it + 1).is_multiple_of(phase_stride) {
                 self.rec.emit(Event::Phase {
-                    index: phase_index,
-                    temperature: t,
-                    proposed: (self.proposed - phase_base_proposed) as u64,
-                    accepted: (self.accepted - phase_base_accepted) as u64,
+                    index: self.phase_index,
+                    temperature: self.t,
+                    proposed: (self.proposed - self.phase_base_proposed) as u64,
+                    accepted: (self.accepted - self.phase_base_accepted) as u64,
                     best: self.best_metrics.haspl,
                 });
-                phase_index += 1;
-                phase_base_proposed = self.proposed;
-                phase_base_accepted = self.accepted;
+                self.phase_index += 1;
+                self.phase_base_proposed = self.proposed;
+                self.phase_base_accepted = self.accepted;
+            }
+        }
+        // Final save: a kill between completion and the caller consuming
+        // the result still resumes (trivially) to the identical answer.
+        if let Some(path) = &ctl.ckpt_path {
+            if ctl.every > 0 {
+                self.save_ckpt(kind, cfg, path)?;
             }
         }
         if self.rec.is_enabled() {
@@ -530,14 +859,14 @@ impl Annealer {
             self.rec.incr("eval.repaired", stats.repaired);
         }
         drop(span);
-        SaResult {
+        Ok(SaResult {
             graph: self.best,
             metrics: self.best_metrics,
             proposed: self.proposed,
             accepted: self.accepted,
             disconnected: self.disconnected,
             history: self.history,
-        }
+        })
     }
 }
 
@@ -566,18 +895,32 @@ pub struct Anneal {
     kind: MoveKind,
     cfg: SaConfig,
     rec: Recorder,
+    ckpt: Option<PathBuf>,
+    every: usize,
+    resume: Option<PathBuf>,
+    watchdog: Option<Duration>,
+    watch_source: WatchSource,
+    watch_worker: u32,
+    watch_hard_exit: bool,
 }
 
 impl Anneal {
     /// Starts a builder annealing `start` with the defaults: the
-    /// 2-neighbor swing neighbourhood, [`SaConfig::default`], and no
-    /// recording.
+    /// 2-neighbor swing neighbourhood, [`SaConfig::default`], no
+    /// recording, no checkpointing, no watchdog.
     pub fn builder(start: HostSwitchGraph) -> Self {
         Self {
             start,
             kind: MoveKind::TwoNeighborSwing,
             cfg: SaConfig::default(),
             rec: Recorder::disabled(),
+            ckpt: None,
+            every: DEFAULT_CHECKPOINT_EVERY,
+            resume: None,
+            watchdog: None,
+            watch_source: WatchSource::Anneal,
+            watch_worker: 0,
+            watch_hard_exit: false,
         }
     }
 
@@ -599,9 +942,88 @@ impl Anneal {
         self
     }
 
-    /// Runs the annealer.
-    pub fn run(self) -> Result<SaResult, GraphError> {
-        Ok(Annealer::new(self.start, &self.cfg, self.rec)?.run(self.kind, &self.cfg))
+    /// Enables crash-safe checkpointing: the run state is atomically
+    /// saved to `path` every [`Anneal::checkpoint_every`] iterations
+    /// (and once on completion). A run killed at any point and resumed
+    /// via [`Anneal::resume_from`] produces the bit-identical final
+    /// result of the uninterrupted run.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ckpt = Some(path.into());
+        self
+    }
+
+    /// Checkpoint stride in iterations (default
+    /// [`DEFAULT_CHECKPOINT_EVERY`]; 0 disables periodic saves while
+    /// keeping stall force-checkpoints).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Resumes from a checkpoint previously written by this builder
+    /// (the starting graph is ignored). The config and move kind must
+    /// match the checkpointed run — everything except
+    /// `eval_workers`/`parallel_eval`, which are pure wall-clock knobs.
+    /// Fails with [`SaError::Ckpt`] if the file is missing, corrupt,
+    /// truncated, of the wrong kind/version, or config-incompatible.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Arms a stall watchdog: if no iteration completes within
+    /// `window` (wall clock), the run emits a structured
+    /// `watchdog.stalled` diagnostic, force-checkpoints (when a
+    /// checkpoint path is set), and returns [`SaError::Stalled`]
+    /// instead of hanging forever.
+    pub fn watchdog(mut self, window: Duration) -> Self {
+        self.watchdog = Some(window);
+        self
+    }
+
+    /// Labels the watchdog diagnostics with a source kind and worker
+    /// index (multi-restart solves tag each restart).
+    pub fn watchdog_label(mut self, source: WatchSource, worker: u32) -> Self {
+        self.watch_source = source;
+        self.watch_worker = worker;
+        self
+    }
+
+    /// Lets the watchdog abort the whole process if the run is so
+    /// wedged it never reaches an iteration boundary to observe the
+    /// stall verdict (see [`WatchdogConfig::hard_exit`]). Intended for
+    /// the CLI; library callers should leave this off.
+    pub fn watchdog_hard_exit(mut self, yes: bool) -> Self {
+        self.watch_hard_exit = yes;
+        self
+    }
+
+    /// Runs the annealer (resuming first if configured).
+    pub fn run(self) -> Result<SaResult, SaError> {
+        let annealer = match &self.resume {
+            Some(p) => {
+                let payload = ckpt::read_checkpoint(p, ckpt::KIND_ANNEAL)?;
+                Annealer::from_ckpt(&payload, self.kind, &self.cfg, self.rec.clone())?
+            }
+            None => Annealer::new(self.start, &self.cfg, self.rec.clone())?,
+        };
+        let wd = self.watchdog.map(|window| {
+            Watchdog::spawn(
+                WatchdogConfig::new(window)
+                    .source(self.watch_source)
+                    .worker(self.watch_worker)
+                    .hard_exit(self.watch_hard_exit),
+                self.rec.clone(),
+            )
+        });
+        let ctl = RunCtl {
+            ckpt_path: self.ckpt,
+            every: self.every,
+            watch: wd.as_ref().map(Watchdog::handle),
+            window_secs: self.watchdog.map_or(0.0, |w| w.as_secs_f64()),
+            stop_after: None,
+        };
+        annealer.run(self.kind, &self.cfg, &ctl)
     }
 }
 
@@ -609,24 +1031,20 @@ impl Anneal {
 ///
 /// The starting graph must have all host pairs connected. This is the
 /// recorder-less convenience form of [`Anneal::builder`].
-pub fn anneal(
-    start: HostSwitchGraph,
-    kind: MoveKind,
-    cfg: &SaConfig,
-) -> Result<SaResult, GraphError> {
+pub fn anneal(start: HostSwitchGraph, kind: MoveKind, cfg: &SaConfig) -> Result<SaResult, SaError> {
     Anneal::builder(start).kind(kind).config(cfg.clone()).run()
 }
 
 /// §5.1: swap-based annealing over regular host-switch graphs with `m`
 /// switches (`m | n` required).
-pub fn anneal_regular(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, GraphError> {
+pub fn anneal_regular(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, SaError> {
     let start = random_regular(n, m, r, cfg.seed)?;
     anneal(start, MoveKind::Swap, cfg)
 }
 
 /// §5.2: 2-neighbor-swing annealing from a balanced random graph with `m`
 /// switches (any `m`).
-pub fn anneal_general(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, GraphError> {
+pub fn anneal_general(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult, SaError> {
     let start = random_general(n, m, r, cfg.seed)?;
     anneal(start, MoveKind::TwoNeighborSwing, cfg)
 }
@@ -635,25 +1053,102 @@ pub fn anneal_general(n: u32, m: u32, r: u32, cfg: &SaConfig) -> Result<SaResult
 /// the continuous Moore bound, then run the 2-neighbor-swing annealer.
 ///
 /// Returns the result together with the predicted `m_opt`.
-pub fn solve_orp(n: u32, r: u32, cfg: &SaConfig) -> Result<(SaResult, u32), GraphError> {
+pub fn solve_orp(n: u32, r: u32, cfg: &SaConfig) -> Result<(SaResult, u32), SaError> {
     let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
     let m_opt = m_opt as u32;
     let res = anneal_general(n, m_opt, r, cfg)?;
     Ok((res, m_opt))
 }
 
-/// Multi-restart [`solve_orp`]: runs `restarts` independently seeded
-/// annealers on parallel OS threads and keeps the best result. Restart
-/// `i` uses seed `cfg.seed + i`, so the single-restart case reproduces
-/// [`solve_orp`] exactly.
-pub fn solve_orp_multi(
+/// Robustness knobs for [`solve_orp_multi_report`]: per-restart
+/// checkpoints, resume, and stall supervision.
+#[derive(Debug, Clone, Default)]
+pub struct MultiOpts {
+    /// Per-restart checkpoint prefix: restart `i` checkpoints to
+    /// `<prefix>.r<i>` (see [`restart_ckpt_path`]), so one crashed
+    /// worker never loses its siblings' progress.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint stride (0 = [`DEFAULT_CHECKPOINT_EVERY`]).
+    pub checkpoint_every: usize,
+    /// Resume each restart whose checkpoint file already exists;
+    /// restarts without one start fresh.
+    pub resume: bool,
+    /// Arm a per-restart stall watchdog with this window.
+    pub watchdog: Option<Duration>,
+}
+
+/// Outcome of a multi-restart solve that survived at least one restart:
+/// the best result plus a structured account of what happened to the
+/// rest.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Best result over the restarts that completed.
+    pub result: SaResult,
+    /// The predicted optimal switch count the restarts annealed with.
+    pub m_opt: u32,
+    /// Restarts that ran to completion.
+    pub completed: usize,
+    /// Restarts that panicked, with per-worker diagnostics. A panicked
+    /// sibling no longer poisons the solve — the surviving results are
+    /// still returned.
+    pub panics: Vec<WorkerPanic>,
+    /// Restarts that returned a structured error (e.g. stalled), with
+    /// their indices.
+    pub errors: Vec<(usize, SaError)>,
+}
+
+/// Checkpoint path for restart `i` of a multi-restart solve: the
+/// configured prefix with `.r<i>` appended.
+pub fn restart_ckpt_path(prefix: &Path, i: usize) -> PathBuf {
+    let mut os = prefix.as_os_str().to_owned();
+    os.push(format!(".r{i}"));
+    PathBuf::from(os)
+}
+
+/// Runs `restarts` closures on parallel scoped threads, capturing
+/// panics instead of propagating them. Returns one entry per restart:
+/// the closure's result, or `Err(message)` if it panicked.
+fn scoped_restarts<T, F>(restarts: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..restarts).map(|i| scope.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|p| {
+                    p.downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into())
+                })
+            })
+            .collect()
+    })
+}
+
+/// Multi-restart [`solve_orp`] with the full robustness surface:
+/// independently seeded annealers on parallel OS threads, per-restart
+/// checkpoints/resume/watchdog via [`MultiOpts`], and panic isolation —
+/// a crashed worker is reported in [`MultiReport::panics`] while its
+/// siblings' results survive. Restart `i` uses seed `cfg.seed + i`, so
+/// the single-restart case reproduces [`solve_orp`] exactly.
+///
+/// Fails only when *no* restart completes: with the first structured
+/// error if one exists, else [`SaError::AllWorkersPanicked`].
+pub fn solve_orp_multi_report(
     n: u32,
     r: u32,
     cfg: &SaConfig,
     restarts: usize,
-) -> Result<(SaResult, u32), GraphError> {
+    opts: &MultiOpts,
+) -> Result<MultiReport, SaError> {
     let (m_opt, _) = optimal_switch_count(n as u64, r as u64);
     let m_opt = m_opt as u32;
+    let restarts = restarts.max(1);
     // Split the machine across the restarts instead of pinning every
     // inner eval to one core: with `restarts < cores` the leftover cores
     // feed each restart's persistent eval pool. An explicit
@@ -662,41 +1157,87 @@ pub fn solve_orp_multi(
     let per_restart = cfg
         .eval_workers
         .map(|w| w.max(1))
-        .unwrap_or_else(|| (cores / restarts.max(1)).max(1));
-    let results: Vec<Result<SaResult, GraphError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..restarts.max(1) as u64)
-            .map(|i| {
-                let mut c = cfg.clone();
-                c.seed = cfg.seed.wrapping_add(i);
-                c.eval_workers = Some(per_restart);
-                scope.spawn(move || anneal_general(n, m_opt, r, &c))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("restart worker panicked"))
-            .collect()
+        .unwrap_or_else(|| (cores / restarts).max(1));
+    let outcomes = scoped_restarts(restarts, |i| {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        c.eval_workers = Some(per_restart);
+        let start = random_general(n, m_opt, r, c.seed)?;
+        let mut b = Anneal::builder(start)
+            .kind(MoveKind::TwoNeighborSwing)
+            .config(c);
+        if let Some(prefix) = &opts.checkpoint {
+            let path = restart_ckpt_path(prefix, i);
+            if opts.resume && path.exists() {
+                b = b.resume_from(&path);
+            }
+            b = b.checkpoint(&path);
+            if opts.checkpoint_every > 0 {
+                b = b.checkpoint_every(opts.checkpoint_every);
+            }
+        }
+        if let Some(window) = opts.watchdog {
+            b = b
+                .watchdog(window)
+                .watchdog_label(WatchSource::Restart, i as u32);
+        }
+        b.run()
     });
     let mut best: Option<SaResult> = None;
-    let mut last_err = None;
-    for res in results {
-        match res {
-            Ok(r) => {
+    let mut completed = 0usize;
+    let mut panics = Vec::new();
+    let mut errors = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok(res)) => {
+                completed += 1;
                 if best
                     .as_ref()
-                    .map(|b| r.metrics.haspl < b.metrics.haspl)
+                    .map(|b| res.metrics.haspl < b.metrics.haspl)
                     .unwrap_or(true)
                 {
-                    best = Some(r);
+                    best = Some(res);
                 }
             }
-            Err(e) => last_err = Some(e),
+            Ok(Err(e)) => errors.push((i, e)),
+            Err(message) => panics.push(WorkerPanic {
+                restart: i,
+                seed: cfg.seed.wrapping_add(i as u64),
+                message,
+            }),
         }
     }
     match best {
-        Some(b) => Ok((b, m_opt)),
-        None => Err(last_err.unwrap_or(GraphError::ConstructionFailed("no restarts ran".into()))),
+        Some(result) => Ok(MultiReport {
+            result,
+            m_opt,
+            completed,
+            panics,
+            errors,
+        }),
+        None => match errors.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None if !panics.is_empty() => Err(SaError::AllWorkersPanicked(panics)),
+            None => Err(SaError::Graph(GraphError::ConstructionFailed(
+                "no restarts ran".into(),
+            ))),
+        },
     }
+}
+
+/// Multi-restart [`solve_orp`]: runs `restarts` independently seeded
+/// annealers on parallel OS threads and keeps the best result. Restart
+/// `i` uses seed `cfg.seed + i`, so the single-restart case reproduces
+/// [`solve_orp`] exactly. Thin wrapper over [`solve_orp_multi_report`]
+/// with default [`MultiOpts`] (no checkpoints, no watchdog).
+pub fn solve_orp_multi(
+    n: u32,
+    r: u32,
+    cfg: &SaConfig,
+    restarts: usize,
+) -> Result<(SaResult, u32), SaError> {
+    let report = solve_orp_multi_report(n, r, cfg, restarts, &MultiOpts::default())?;
+    Ok((report.result, report.m_opt))
 }
 
 /// Calibrates an initial temperature from the instance itself: samples
@@ -968,5 +1509,221 @@ mod tests {
         g.attach_host(0).unwrap();
         g.attach_host(1).unwrap();
         assert!(anneal(g, MoveKind::Swap, &small_cfg(10)).is_err());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("orp_anneal_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The tentpole invariant: a run cut at *any* iteration boundary and
+    /// resumed from its forced checkpoint finishes with the bit-identical
+    /// result of the uninterrupted run — graph, metric bits, counters,
+    /// and history all equal.
+    #[test]
+    fn interrupted_resume_is_bit_identical() {
+        let dir = temp_dir("resume");
+        let path = dir.join("run.ckpt");
+        let cfg = SaConfig {
+            history_stride: 50,
+            ..small_cfg(600)
+        };
+        let start = random_general(48, 12, 8, cfg.seed).unwrap();
+        let reference = anneal(start.clone(), MoveKind::TwoNeighborSwing, &cfg).unwrap();
+        for cut in [1usize, 123, 250, 599] {
+            let annealer = Annealer::new(start.clone(), &cfg, Recorder::disabled()).unwrap();
+            let ctl = RunCtl {
+                ckpt_path: Some(path.clone()),
+                stop_after: Some(cut),
+                ..Default::default()
+            };
+            let err = annealer
+                .run(MoveKind::TwoNeighborSwing, &cfg, &ctl)
+                .unwrap_err();
+            assert!(matches!(err, SaError::Stalled { iter, .. } if iter == cut as u64));
+            let resumed = Anneal::builder(start.clone())
+                .kind(MoveKind::TwoNeighborSwing)
+                .config(cfg.clone())
+                .resume_from(&path)
+                .run()
+                .unwrap();
+            assert_eq!(resumed.graph, reference.graph, "cut at {cut}");
+            assert_eq!(
+                resumed.metrics.haspl.to_bits(),
+                reference.metrics.haspl.to_bits(),
+                "cut at {cut}"
+            );
+            assert_eq!(resumed.metrics, reference.metrics);
+            assert_eq!(resumed.proposed, reference.proposed, "cut at {cut}");
+            assert_eq!(resumed.accepted, reference.accepted, "cut at {cut}");
+            assert_eq!(resumed.disconnected, reference.disconnected);
+            assert_eq!(resumed.history, reference.history, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Resuming twice in a row (kill the resumed run too) still lands on
+    /// the uninterrupted result.
+    #[test]
+    fn double_interruption_still_resumes_exactly() {
+        let dir = temp_dir("resume2");
+        let path = dir.join("run.ckpt");
+        let cfg = small_cfg(500);
+        let start = random_general(48, 12, 8, cfg.seed).unwrap();
+        let reference = anneal(start.clone(), MoveKind::Swap, &cfg).unwrap();
+        // First cut at 150 from a fresh run.
+        let a = Annealer::new(start.clone(), &cfg, Recorder::disabled()).unwrap();
+        let ctl = RunCtl {
+            ckpt_path: Some(path.clone()),
+            stop_after: Some(150),
+            ..Default::default()
+        };
+        a.run(MoveKind::Swap, &cfg, &ctl).unwrap_err();
+        // Second cut at 350 from the resumed run.
+        let payload = ckpt::read_checkpoint(&path, ckpt::KIND_ANNEAL).unwrap();
+        let b = Annealer::from_ckpt(&payload, MoveKind::Swap, &cfg, Recorder::disabled()).unwrap();
+        let ctl = RunCtl {
+            ckpt_path: Some(path.clone()),
+            stop_after: Some(350),
+            ..Default::default()
+        };
+        b.run(MoveKind::Swap, &cfg, &ctl).unwrap_err();
+        // Final resume runs to completion.
+        let resumed = Anneal::builder(start)
+            .kind(MoveKind::Swap)
+            .config(cfg.clone())
+            .resume_from(&path)
+            .run()
+            .unwrap();
+        assert_eq!(resumed.graph, reference.graph);
+        assert_eq!(resumed.metrics, reference.metrics);
+        assert_eq!(resumed.accepted, reference.accepted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_kind_and_missing_file() {
+        let dir = temp_dir("reject");
+        let path = dir.join("run.ckpt");
+        let cfg = small_cfg(300);
+        let start = random_general(48, 12, 8, cfg.seed).unwrap();
+        let a = Annealer::new(start.clone(), &cfg, Recorder::disabled()).unwrap();
+        let ctl = RunCtl {
+            ckpt_path: Some(path.clone()),
+            stop_after: Some(100),
+            ..Default::default()
+        };
+        a.run(MoveKind::TwoNeighborSwing, &cfg, &ctl).unwrap_err();
+        // Different seed: the config echo must match bitwise.
+        let other = SaConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        let err = Anneal::builder(start.clone())
+            .config(other)
+            .resume_from(&path)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SaError::Ckpt(CkptError::BadSection(_))));
+        // Different move kind.
+        let err = Anneal::builder(start.clone())
+            .kind(MoveKind::Swap)
+            .config(cfg.clone())
+            .resume_from(&path)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SaError::Ckpt(CkptError::BadSection(_))));
+        // Missing file surfaces as an IO checkpoint error.
+        let err = Anneal::builder(start)
+            .config(cfg)
+            .resume_from(dir.join("nope.ckpt"))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SaError::Ckpt(CkptError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_worker_count_does_not_change_resume() {
+        // `eval_workers` is exempt from the config echo: resuming with a
+        // different pool size is allowed and bit-identical.
+        let dir = temp_dir("workers");
+        let path = dir.join("run.ckpt");
+        let cfg = SaConfig {
+            eval_workers: Some(1),
+            ..small_cfg(400)
+        };
+        let start = random_general(48, 12, 8, cfg.seed).unwrap();
+        let reference = anneal(start.clone(), MoveKind::TwoNeighborSwing, &cfg).unwrap();
+        let a = Annealer::new(start.clone(), &cfg, Recorder::disabled()).unwrap();
+        let ctl = RunCtl {
+            ckpt_path: Some(path.clone()),
+            stop_after: Some(200),
+            ..Default::default()
+        };
+        a.run(MoveKind::TwoNeighborSwing, &cfg, &ctl).unwrap_err();
+        let resumed = Anneal::builder(start)
+            .config(SaConfig {
+                eval_workers: Some(3),
+                ..cfg
+            })
+            .resume_from(&path)
+            .run()
+            .unwrap();
+        assert_eq!(resumed.graph, reference.graph);
+        assert_eq!(resumed.metrics, reference.metrics);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scoped_restarts_captures_panics() {
+        let out = scoped_restarts(3, |i| {
+            if i == 1 {
+                panic!("boom {i}");
+            }
+            i * 10
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Err("boom 1".to_string()));
+        assert_eq!(out[2], Ok(20));
+    }
+
+    #[test]
+    fn multi_report_writes_per_restart_checkpoints_and_resumes() {
+        let dir = temp_dir("multi");
+        let prefix = dir.join("solve.ckpt");
+        let cfg = small_cfg(300);
+        let opts = MultiOpts {
+            checkpoint: Some(prefix.clone()),
+            checkpoint_every: 100,
+            ..Default::default()
+        };
+        let report = solve_orp_multi_report(64, 10, &cfg, 2, &opts).unwrap();
+        assert_eq!(report.completed, 2);
+        assert!(report.panics.is_empty());
+        assert!(report.errors.is_empty());
+        assert!(restart_ckpt_path(&prefix, 0).exists());
+        assert!(restart_ckpt_path(&prefix, 1).exists());
+        // Plain multi-restart must agree with the checkpointed one.
+        let (plain, m) = solve_orp_multi(64, 10, &cfg, 2).unwrap();
+        assert_eq!(report.m_opt, m);
+        assert_eq!(report.result.graph, plain.graph);
+        // Resuming from the completed checkpoints lands on the same
+        // answer immediately.
+        let resumed = solve_orp_multi_report(
+            64,
+            10,
+            &cfg,
+            2,
+            &MultiOpts {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.result.graph, report.result.graph);
+        assert_eq!(resumed.result.metrics, report.result.metrics);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

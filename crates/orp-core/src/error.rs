@@ -1,6 +1,8 @@
 //! Error types shared across the crate.
 
+use crate::ckpt::CkptError;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors arising from constructing or mutating a [`crate::HostSwitchGraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +99,135 @@ impl fmt::Display for GraphError {
 }
 
 impl std::error::Error for GraphError {}
+
+/// Diagnostic record for one crashed restart worker of
+/// [`crate::anneal::solve_orp_multi`]: which restart it was, the seed
+/// it ran with (for offline reproduction), and the panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Restart index (0-based).
+    pub restart: usize,
+    /// The derived seed that restart annealed with.
+    pub seed: u64,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restart {} (seed {}) panicked: {}",
+            self.restart, self.seed, self.message
+        )
+    }
+}
+
+/// Errors from running the simulated-annealing search.
+///
+/// Wraps [`GraphError`] (the historical failure mode — e.g. a
+/// disconnected start graph) and adds the robustness layer's structured
+/// failures: broken move invariants, checkpoint I/O, watchdog stalls,
+/// and restart-worker panics. `Clone + PartialEq` so results containing
+/// it stay comparable in tests and the facade error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaError {
+    /// The underlying graph/search operation failed.
+    Graph(GraphError),
+    /// A sampled move failed to apply — an internal invariant of the
+    /// sampler/search-state pair broke. Formerly a panic; now carries
+    /// enough context to diagnose the break from the error alone.
+    InvariantBroken {
+        /// Which move application broke (e.g. `"swap"`, `"swing"`).
+        what: &'static str,
+        /// Iteration at which it broke.
+        iter: u64,
+        /// The graph-level error the application returned.
+        source: GraphError,
+    },
+    /// Checkpoint save/load failed or the file was invalid.
+    Ckpt(CkptError),
+    /// The watchdog saw no progress within its window,
+    /// force-checkpointed (if a checkpoint path was configured), and
+    /// aborted the run resumably instead of hanging forever.
+    Stalled {
+        /// The watchdog window in wall-clock seconds.
+        window_secs: f64,
+        /// Iteration the run had reached when the stall was detected.
+        iter: u64,
+        /// Where the force-checkpoint was written, if anywhere.
+        checkpoint: Option<PathBuf>,
+    },
+    /// Every restart worker of a multi-restart solve panicked, so there
+    /// is no surviving result to return. Partial crashes (some workers
+    /// survive) do **not** produce this — see
+    /// [`crate::anneal::MultiReport`].
+    AllWorkersPanicked(
+        /// One record per crashed worker.
+        Vec<WorkerPanic>,
+    ),
+}
+
+impl fmt::Display for SaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Graph(e) => write!(f, "{e}"),
+            Self::InvariantBroken { what, iter, source } => write!(
+                f,
+                "internal invariant broken at iteration {iter}: sampled {what} failed to \
+                 apply: {source}"
+            ),
+            Self::Ckpt(e) => write!(f, "{e}"),
+            Self::Stalled {
+                window_secs,
+                iter,
+                checkpoint,
+            } => {
+                write!(
+                    f,
+                    "no progress for {window_secs} s (stalled at iteration {iter})"
+                )?;
+                match checkpoint {
+                    Some(p) => write!(
+                        f,
+                        "; state checkpointed to {} — resume from it",
+                        p.display()
+                    ),
+                    None => write!(f, "; no checkpoint path configured"),
+                }
+            }
+            Self::AllWorkersPanicked(panics) => {
+                write!(f, "all {} restart workers panicked", panics.len())?;
+                if let Some(first) = panics.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Graph(e) | Self::InvariantBroken { source: e, .. } => Some(e),
+            Self::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SaError {
+    fn from(e: GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<CkptError> for SaError {
+    fn from(e: CkptError) -> Self {
+        Self::Ckpt(e)
+    }
+}
 
 /// Errors from parsing the textual graph format.
 #[derive(Debug, Clone, PartialEq, Eq)]

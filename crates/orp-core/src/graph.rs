@@ -362,6 +362,65 @@ impl HostSwitchGraph {
         }
     }
 
+    /// Serializes the **exact internal representation** — adjacency and
+    /// host lists in their current in-memory order — for checkpointing.
+    ///
+    /// This is deliberately different from [`crate::io::to_string`],
+    /// which sorts links for a diff-friendly text format: the local
+    /// search samples moves by indexing into these lists, so a resumed
+    /// run is only bit-identical to the uninterrupted one if the stored
+    /// order survives the round trip.
+    pub fn encode_exact(&self, enc: &mut crate::ckpt::Encoder) {
+        enc.put_u32(self.radix);
+        enc.put_u32_slice(&self.host_sw);
+        enc.put_u64(self.sw_adj.len() as u64);
+        for (adj, hosts) in self.sw_adj.iter().zip(&self.sw_hosts) {
+            enc.put_u32_slice(adj);
+            enc.put_u32_slice(hosts);
+        }
+    }
+
+    /// Reverses [`HostSwitchGraph::encode_exact`], re-validating every
+    /// structural invariant (port budgets, symmetry, cross-references)
+    /// so a corrupted-but-checksum-valid payload cannot smuggle in an
+    /// inconsistent graph.
+    pub fn decode_exact(
+        dec: &mut crate::ckpt::Decoder<'_>,
+    ) -> Result<Self, crate::ckpt::CkptError> {
+        use crate::ckpt::CkptError;
+        let radix = dec.get_u32()?;
+        let host_sw = dec.get_u32_vec()?;
+        let m = dec.get_u64()? as usize;
+        let mut sw_adj = Vec::new();
+        let mut sw_hosts = Vec::new();
+        for _ in 0..m {
+            sw_adj.push(dec.get_u32_vec()?);
+            sw_hosts.push(dec.get_u32_vec()?);
+        }
+        let g = Self {
+            radix,
+            host_sw,
+            sw_adj,
+            sw_hosts,
+        };
+        if g.radix < 3 || g.sw_adj.is_empty() {
+            return Err(CkptError::BadSection(
+                "graph: bad radix or no switches".into(),
+            ));
+        }
+        if g.host_sw.iter().any(|&s| s as usize >= m) {
+            return Err(CkptError::BadSection(
+                "graph: host switch out of range".into(),
+            ));
+        }
+        if g.sw_adj.iter().flatten().any(|&s| s as usize >= m) {
+            return Err(CkptError::BadSection("graph: neighbor out of range".into()));
+        }
+        g.validate()
+            .map_err(|e| CkptError::BadSection(format!("graph: {e}")))?;
+        Ok(g)
+    }
+
     /// Whether the graph is *k-regular* in the paper's sense: every switch
     /// has the same number of switch-neighbours and the same number of
     /// hosts. Returns that `(k, hosts_per_switch)` if so.

@@ -43,6 +43,7 @@
 pub mod analysis;
 pub mod anneal;
 pub mod bounds;
+pub mod ckpt;
 pub mod construct;
 pub mod error;
 pub mod exact;
@@ -54,10 +55,13 @@ pub mod odp;
 pub mod ops;
 pub mod random_graphs;
 pub mod search;
+pub mod watchdog;
 
-pub use anneal::{Anneal, MoveKind, SaConfig, SaConfigBuilder, SaResult};
-pub use error::GraphError;
+pub use anneal::{Anneal, MoveKind, MultiOpts, MultiReport, SaConfig, SaConfigBuilder, SaResult};
+pub use ckpt::{Checkpointable, CkptError};
+pub use error::{GraphError, SaError, WorkerPanic};
 pub use fault::{DegradedMetrics, FaultSet, FaultView};
 pub use graph::{Host, HostSwitchGraph, Switch};
 pub use metrics::{path_metrics, path_metrics_par, PathMetrics};
 pub use search::SearchState;
+pub use watchdog::{WatchSource, Watchdog, WatchdogConfig};

@@ -142,6 +142,27 @@ impl EdgeSet {
         s
     }
 
+    /// Rebuilds the set with an *explicit* storage order.
+    ///
+    /// [`EdgeSet::sample`] indexes into the internal vector, and
+    /// [`EdgeSet::remove`] uses swap-remove, so after a long run the
+    /// order is a function of the whole move history. Checkpoint/resume
+    /// must reproduce that exact order — a set rebuilt via
+    /// [`EdgeSet::from_graph`] would hold the same edges in a different
+    /// order and desynchronize the RNG-driven sampling. Duplicates are
+    /// rejected (`None`).
+    pub fn from_ordered(edges: &[(Switch, Switch)]) -> Option<Self> {
+        let mut s = Self::default();
+        for &(a, b) in edges {
+            let k = Self::key(a, b);
+            if s.index.insert(k, s.edges.len()).is_some() {
+                return None;
+            }
+            s.edges.push(k);
+        }
+        Some(s)
+    }
+
     /// Number of links.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1699,6 +1699,35 @@ impl SearchState {
         Self::with_options(start, workers, true)
     }
 
+    /// Checkpoint-restore constructor: as [`SearchState::with_workers`]
+    /// but with an explicit [`EdgeSet`] storage order.
+    ///
+    /// The edge set's internal order after a long run is a function of
+    /// the whole move history (swap-remove on every removal), and move
+    /// sampling indexes into it — so resuming a run bit-identically
+    /// requires restoring that exact order, not rebuilding it from the
+    /// graph. `edge_order` must hold exactly the graph's links, each
+    /// once, in the checkpointed order.
+    pub fn with_edge_order(
+        start: HostSwitchGraph,
+        workers: usize,
+        edge_order: &[(Switch, Switch)],
+    ) -> Result<Self, GraphError> {
+        let edges = EdgeSet::from_ordered(edge_order).ok_or_else(|| {
+            GraphError::InvalidParameters("edge order contains duplicates".into())
+        })?;
+        if edges.len() != start.num_links()
+            || edge_order.iter().any(|&(a, b)| !start.has_link(a, b))
+        {
+            return Err(GraphError::InvalidParameters(
+                "edge order does not match the graph's links".into(),
+            ));
+        }
+        let mut state = Self::with_options(start, workers, true)?;
+        state.edges = edges;
+        Ok(state)
+    }
+
     /// Full-control constructor: explicit worker count and whether the
     /// incremental distance cache may be used (`false` forces the full
     /// batched sweep on every evaluation — the correctness oracle and

@@ -53,3 +53,38 @@ pub(crate) enum Event {
     /// itself via [`crate::context::SimContext::schedule_model_event`].
     Model(u32),
 }
+
+impl Event {
+    /// Checkpoint encoding: one tag byte plus the component index.
+    pub(crate) fn encode(self, enc: &mut orp_core::ckpt::Encoder) {
+        let (tag, v) = match self {
+            Self::Activate(v) => (0u8, v),
+            Self::ComputeDone(v) => (1, v),
+            Self::Fault(v) => (2, v),
+            Self::Inject(v) => (3, v),
+            Self::Model(v) => (4, v),
+        };
+        enc.put_u8(tag);
+        enc.put_u32(v);
+    }
+
+    /// Inverse of [`Event::encode`].
+    pub(crate) fn decode(
+        dec: &mut orp_core::ckpt::Decoder<'_>,
+    ) -> Result<Self, orp_core::ckpt::CkptError> {
+        let tag = dec.get_u8()?;
+        let v = dec.get_u32()?;
+        Ok(match tag {
+            0 => Self::Activate(v),
+            1 => Self::ComputeDone(v),
+            2 => Self::Fault(v),
+            3 => Self::Inject(v),
+            4 => Self::Model(v),
+            other => {
+                return Err(orp_core::ckpt::CkptError::BadSection(format!(
+                    "unknown event tag {other}"
+                )))
+            }
+        })
+    }
+}

@@ -41,6 +41,14 @@
 //! ([`network::NetworkBuilder::faults`]), and mid-run element deaths
 //! ([`engine::NetFault`]) tear down and re-route the affected flows.
 //!
+//! Long runs are crash-safe: [`engine::SimulatorBuilder::checkpoint`]
+//! periodically snapshots the complete simulator state (event queue,
+//! rank contexts, flows, sharing-model internals) to an atomic,
+//! checksummed file; [`engine::SimulatorBuilder::resume_from`]
+//! continues a killed run bit-identically; and
+//! [`engine::SimulatorBuilder::watchdog`] turns a wall-clock hang into
+//! a force-checkpointed, resumable [`engine::SimError::Wedged`].
+//!
 //! Both builders accept an [`orp_obs::Recorder`] for zero-cost-when-off
 //! telemetry: flow lifecycle events, per-link utilization and
 //! queue-depth histograms, and fault/reroute records (see the `orp-obs`
@@ -65,12 +73,14 @@ pub use context::SimContext;
 #[allow(deprecated)]
 pub use engine::{simulate, simulate_with_faults};
 pub use engine::{
-    FaultEvent, InjectedFlow, NetFault, Op, Program, SimError, SimReport, Simulator,
-    SimulatorBuilder,
+    FaultEvent, InjectedFlow, NetFault, Op, Program, SimCheckpoint, SimError, SimReport, Simulator,
+    SimulatorBuilder, SIM_CKPT_EVERY_DEFAULT,
 };
 pub use event::EventId;
 pub use network::{NetConfig, Network, NetworkBuilder, RouteMode};
 pub use queue::EventQueue;
 pub use rank::{BlockedRank, WaitReason};
-pub use report::{run_benchmark, run_benchmark_with, run_suite, BenchResult};
+pub use report::{
+    run_benchmark, run_benchmark_configured, run_benchmark_with, run_suite, BenchResult,
+};
 pub use sharing::{SharingMode, ThroughputSharingModel};

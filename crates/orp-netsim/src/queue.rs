@@ -145,6 +145,54 @@ impl<T> EventQueue<T> {
     pub fn peak_depth(&self) -> usize {
         self.peak_depth
     }
+
+    /// Sequence number the next scheduled event will get.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Snapshot of every live (scheduled, not fired or cancelled) event
+    /// as `(time, seq, payload)`, sorted in delivery order. Tombstones
+    /// of cancelled events are dropped — they are unobservable.
+    pub(crate) fn live_entries(&self) -> Vec<(f64, u64, &T)> {
+        let mut out: Vec<(f64, u64, &T)> = self
+            .heap
+            .iter()
+            .filter_map(|Reverse((TimeKey(t), seq))| self.payloads.get(seq).map(|p| (*t, *seq, p)))
+            .collect();
+        out.sort_unstable_by_key(|a| (TimeKey(a.0), a.1));
+        out
+    }
+
+    /// Rebuilds a queue from a [`live_entries`](Self::live_entries)
+    /// snapshot plus the lifetime counters, preserving each event's
+    /// original sequence number (so [`EventId`](crate::event::EventId)
+    /// handles held elsewhere stay valid) and therefore the exact
+    /// delivery order of the snapshotted queue.
+    pub(crate) fn restore(
+        entries: Vec<(f64, u64, T)>,
+        next_seq: u64,
+        scheduled: u64,
+        processed: u64,
+        cancelled: u64,
+        peak_depth: usize,
+    ) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        let mut payloads = HashMap::with_capacity(entries.len());
+        for (t, seq, payload) in entries {
+            heap.push(Reverse((TimeKey(t), seq)));
+            payloads.insert(seq, payload);
+        }
+        Self {
+            heap,
+            payloads,
+            next_seq,
+            scheduled,
+            processed,
+            cancelled,
+            peak_depth,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! (flow ids, and with them ECMP hashes, are assigned in wake order).
 
 use crate::engine::{Op, Program};
+use orp_core::ckpt::{CkptError, Decoder, Encoder};
 use std::collections::{HashMap, VecDeque};
 
 /// What a blocked rank is waiting for — carried by
@@ -255,6 +256,115 @@ impl Ranks {
         if self.runnable(r) {
             self.runnable.push_back(r);
         }
+    }
+
+    /// Serializes the mutable matching state (program counters, channel
+    /// delivery counts, posted receives, and the runnable FIFO in
+    /// order). The programs themselves are builder configuration and
+    /// are *not* serialized — the engine echoes a checksum of them.
+    /// HashMaps are emitted key-sorted so identical states byte-match.
+    pub(crate) fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_u64(self.ctx.len() as u64);
+        for c in &self.ctx {
+            enc.put_u32(c.pc);
+            enc.put_bool(c.waiting_send);
+            enc.put_u32(c.send_to);
+            enc.put_u32(c.waiting_recv_from);
+            enc.put_bool(c.computing);
+            enc.put_bool(c.done);
+        }
+        let mut chans: Vec<(u32, u32, u32, u32)> = self
+            .channels
+            .iter()
+            .map(|(&(a, b), s)| (a, b, s.delivered, s.consumed))
+            .collect();
+        chans.sort_unstable();
+        enc.put_u64(chans.len() as u64);
+        for (a, b, delivered, consumed) in chans {
+            enc.put_u32(a);
+            enc.put_u32(b);
+            enc.put_u32(delivered);
+            enc.put_u32(consumed);
+        }
+        let mut rx: Vec<(u32, u32, u32)> = self
+            .waiting_rx
+            .iter()
+            .map(|(&(a, b), &r)| (a, b, r))
+            .collect();
+        rx.sort_unstable();
+        enc.put_u64(rx.len() as u64);
+        for (a, b, r) in rx {
+            enc.put_u32(a);
+            enc.put_u32(b);
+            enc.put_u32(r);
+        }
+        enc.put_u64(self.runnable.len() as u64);
+        for &r in &self.runnable {
+            enc.put_u32(r);
+        }
+    }
+
+    /// Restores state written by [`Ranks::encode_state`] over the same
+    /// programs, validating every index against them.
+    pub(crate) fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CkptError> {
+        let bad = |what: String| CkptError::BadSection(what);
+        let n = self.ctx.len();
+        let stored = dec.get_u64()? as usize;
+        if stored != n {
+            return Err(bad(format!("ranks: {stored} contexts, expected {n}")));
+        }
+        let mut ctx = Vec::with_capacity(n);
+        for r in 0..n {
+            let c = RankCtx {
+                pc: dec.get_u32()?,
+                waiting_send: dec.get_bool()?,
+                send_to: dec.get_u32()?,
+                waiting_recv_from: dec.get_u32()?,
+                computing: dec.get_bool()?,
+                done: dec.get_bool()?,
+            };
+            if c.pc as usize > self.programs[r].len() {
+                return Err(bad(format!("ranks: pc out of range for rank {r}")));
+            }
+            ctx.push(c);
+        }
+        let nc = dec.get_u64()? as usize;
+        let mut channels = HashMap::with_capacity(nc);
+        for _ in 0..nc {
+            let key = (dec.get_u32()?, dec.get_u32()?);
+            let st = ChannelState {
+                delivered: dec.get_u32()?,
+                consumed: dec.get_u32()?,
+            };
+            if st.consumed > st.delivered {
+                return Err(bad("ranks: channel consumed more than delivered".into()));
+            }
+            channels.insert(key, st);
+        }
+        let nr = dec.get_u64()? as usize;
+        let mut waiting_rx = HashMap::with_capacity(nr);
+        for _ in 0..nr {
+            let key = (dec.get_u32()?, dec.get_u32()?);
+            let r = dec.get_u32()?;
+            if r as usize >= n {
+                return Err(bad("ranks: waiting receiver out of range".into()));
+            }
+            waiting_rx.insert(key, r);
+        }
+        let nq = dec.get_u64()? as usize;
+        let mut runnable = VecDeque::with_capacity(nq);
+        for _ in 0..nq {
+            let r = dec.get_u32()?;
+            if r as usize >= n {
+                return Err(bad("ranks: runnable rank out of range".into()));
+            }
+            runnable.push_back(r);
+        }
+        self.ctx = ctx;
+        self.channels = channels;
+        self.waiting_rx = waiting_rx;
+        self.runnable = runnable;
+        Ok(())
     }
 
     /// Every unfinished rank with the reason it cannot progress, in

@@ -1,7 +1,7 @@
 //! Benchmark reporting: runs an NPB skeleton on a network and expresses
 //! the result in the paper's currency (operations per second).
 
-use crate::engine::{SimError, SimReport, Simulator};
+use crate::engine::{SimError, SimReport, Simulator, SimulatorBuilder};
 use crate::network::Network;
 use crate::npb::{Benchmark, Class};
 use crate::sharing::SharingMode;
@@ -66,11 +66,31 @@ pub fn run_benchmark_with(
     iters: usize,
     sharing: SharingMode,
 ) -> Result<BenchResult, SimError> {
+    run_benchmark_configured(net, bench, ranks, class, iters, sharing, |b| b)
+}
+
+/// [`run_benchmark_with`] with a hook that finishes configuring the
+/// simulator builder — checkpointing, watchdog, fault schedules, or any
+/// other [`SimulatorBuilder`] knob the benchmark harness itself does not
+/// model.
+///
+/// # Errors
+/// Propagates [`SimError`] from the simulation.
+pub fn run_benchmark_configured<F>(
+    net: &Network,
+    bench: Benchmark,
+    ranks: u32,
+    class: Class,
+    iters: usize,
+    sharing: SharingMode,
+    configure: F,
+) -> Result<BenchResult, SimError>
+where
+    F: for<'a> FnOnce(SimulatorBuilder<'a>) -> SimulatorBuilder<'a>,
+{
     let programs = bench.build(ranks, class, iters);
-    let rep = Simulator::builder(net)
-        .programs(programs)
-        .sharing(sharing)
-        .run()?;
+    let builder = Simulator::builder(net).programs(programs).sharing(sharing);
+    let rep = configure(builder).run()?;
     Ok(BenchResult::from_report(bench.name(), rep))
 }
 

@@ -24,6 +24,7 @@ use super::{Flow, LinkStats, ThroughputSharingModel};
 use crate::context::SimContext;
 use crate::event::EventId;
 use crate::network::LinkId;
+use orp_core::ckpt::{CkptError, Decoder, Encoder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -337,5 +338,107 @@ impl ThroughputSharingModel for ApproxFairSharing {
 
     fn active_count(&self) -> usize {
         self.n_active
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_f64(self.bw);
+        enc.put_u64(self.links.len() as u64);
+        for l in &self.links {
+            enc.put_u32(l.count);
+            enc.put_f64(l.vtime);
+            enc.put_f64(l.last);
+            // Heap entries (including tombstones — they are skipped
+            // lazily, so preserving the multiset preserves behavior),
+            // sorted in pop order so identical states byte-match and
+            // the rebuilt heap pops identically.
+            let mut entries: Vec<(VKey, u32, u32)> = l.heap.iter().map(|&Reverse(e)| e).collect();
+            entries.sort_unstable();
+            enc.put_u64(entries.len() as u64);
+            for (VKey(v), fid, gen) in entries {
+                enc.put_f64(v);
+                enc.put_u32(fid);
+                enc.put_u32(gen);
+            }
+            match l.event {
+                Some(id) => {
+                    enc.put_bool(true);
+                    enc.put_u64(id.0);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        enc.put_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            enc.put_u32(s.bottleneck);
+            enc.put_f64(s.v_finish);
+            enc.put_f64(s.queued_rem);
+            enc.put_u32(s.gen);
+            enc.put_bool(s.removed);
+        }
+        enc.put_u64(self.n_active as u64);
+        // scratch is rebuilt on every use and carries no state
+    }
+
+    fn decode_state(&mut self, dec: &mut Decoder<'_>, num_flows: usize) -> Result<(), CkptError> {
+        let bad = |what: &str| CkptError::BadSection(format!("approx-fair model: {what}"));
+        let bw = dec.get_f64()?;
+        if bw.to_bits() != self.bw.to_bits() {
+            return Err(bad("bandwidth does not match"));
+        }
+        let nl = dec.get_u64()? as usize;
+        if nl != self.links.len() {
+            return Err(bad("link count does not match"));
+        }
+        let mut links = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            let count = dec.get_u32()?;
+            let vtime = dec.get_f64()?;
+            let last = dec.get_f64()?;
+            let ne = dec.get_u64()? as usize;
+            let mut heap = BinaryHeap::with_capacity(ne);
+            for _ in 0..ne {
+                let v = dec.get_f64()?;
+                if v.is_nan() {
+                    return Err(bad("NaN virtual finish tag"));
+                }
+                let fid = dec.get_u32()?;
+                let gen = dec.get_u32()?;
+                heap.push(Reverse((VKey(v), fid, gen)));
+            }
+            let event = if dec.get_bool()? {
+                Some(EventId(dec.get_u64()?))
+            } else {
+                None
+            };
+            links.push(FairLink {
+                count,
+                vtime,
+                last,
+                heap,
+                event,
+            });
+        }
+        let ns = dec.get_u64()? as usize;
+        if ns > num_flows {
+            return Err(bad("more slots than flows"));
+        }
+        let mut slots = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let s = Slot {
+                bottleneck: dec.get_u32()?,
+                v_finish: dec.get_f64()?,
+                queued_rem: dec.get_f64()?,
+                gen: dec.get_u32()?,
+                removed: dec.get_bool()?,
+            };
+            if s.bottleneck != NO_LINK && s.bottleneck as usize >= nl {
+                return Err(bad("slot bottleneck out of range"));
+            }
+            slots.push(s);
+        }
+        self.links = links;
+        self.slots = slots;
+        self.n_active = dec.get_u64()? as usize;
+        Ok(())
     }
 }

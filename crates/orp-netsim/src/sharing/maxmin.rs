@@ -11,6 +11,7 @@
 use super::{Flow, LinkStats, ThroughputSharingModel};
 use crate::context::SimContext;
 use crate::network::LinkId;
+use orp_core::ckpt::{CkptError, Decoder, Encoder};
 
 /// Exact progressive-filling max-min model (the default).
 #[derive(Debug)]
@@ -232,5 +233,34 @@ impl ThroughputSharingModel for MaxMinFair {
 
     fn active_count(&self) -> usize {
         self.active.len()
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_f64(self.bw);
+        enc.put_u32_slice(&self.active);
+        enc.put_bool(self.dirty);
+        // link_count/link_cap/touched_links are pure scratch: after
+        // every solve the counts of all touched links return to zero
+        // (or are reset via touched_links on the next solve before
+        // being read), so a fresh zeroed model plus `dirty` reproduces
+        // the next allocation bit-identically.
+    }
+
+    fn decode_state(&mut self, dec: &mut Decoder<'_>, num_flows: usize) -> Result<(), CkptError> {
+        let bw = dec.get_f64()?;
+        if bw.to_bits() != self.bw.to_bits() {
+            return Err(CkptError::BadSection(
+                "max-min model: bandwidth does not match".into(),
+            ));
+        }
+        let active = dec.get_u32_vec()?;
+        if active.iter().any(|&f| f as usize >= num_flows) {
+            return Err(CkptError::BadSection(
+                "max-min model: active flow out of range".into(),
+            ));
+        }
+        self.active = active;
+        self.dirty = dec.get_bool()?;
+        Ok(())
     }
 }

@@ -21,6 +21,7 @@ pub mod maxmin;
 
 use crate::context::SimContext;
 use crate::network::LinkId;
+use orp_core::ckpt::{CkptError, Decoder, Encoder};
 use orp_obs::Recorder;
 
 /// Which throughput-sharing model a simulation runs with.
@@ -189,6 +190,25 @@ pub trait ThroughputSharingModel: std::fmt::Debug {
 
     /// Number of flows currently streaming under this model.
     fn active_count(&self) -> usize;
+
+    /// Serializes the model's complete mutable state for a simulator
+    /// checkpoint. Everything a future [`insert`]/[`advance`]/
+    /// [`on_event`] depends on must be captured bit-exactly (floats as
+    /// raw bits); pure scratch buffers whose contents are recomputed
+    /// before being read may be skipped.
+    ///
+    /// [`insert`]: ThroughputSharingModel::insert
+    /// [`advance`]: ThroughputSharingModel::advance
+    /// [`on_event`]: ThroughputSharingModel::on_event
+    fn encode_state(&self, enc: &mut Encoder);
+
+    /// Restores state written by [`encode_state`] into a freshly
+    /// constructed model of the same mode/size, validating flow ids
+    /// against `num_flows` and structural parameters against the
+    /// construction arguments.
+    ///
+    /// [`encode_state`]: ThroughputSharingModel::encode_state
+    fn decode_state(&mut self, dec: &mut Decoder<'_>, num_flows: usize) -> Result<(), CkptError>;
 }
 
 /// Constructs the model for `mode` on a fabric of `num_links` links with

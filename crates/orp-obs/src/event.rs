@@ -164,6 +164,22 @@ pub enum Event {
         /// Simulated time the message tail left this link.
         drain: f64,
     },
+    /// A watchdog detected stalled progress: the monitored worker made
+    /// no progress (no accepted move, no processed event) within its
+    /// wall-clock window. Emitted just before the run force-checkpoints
+    /// and exits with a resumable error.
+    Stalled {
+        /// What stalled: 0 = annealer, 1 = simulator, 2 = restart
+        /// worker.
+        source: u32,
+        /// Worker / restart index (0 for single-worker runs).
+        worker: u32,
+        /// The watchdog window in wall-clock seconds.
+        window_secs: f64,
+        /// Progress ticks the worker had reported before stalling
+        /// (iterations or processed events).
+        progress: u64,
+    },
     /// Whole-run load rollup for one directed link, emitted at the end
     /// of a simulation for every link that carried bytes.
     LinkLoad {
@@ -199,6 +215,7 @@ impl Event {
             Self::FlowDone { .. } => "flow.done",
             Self::FlowDep { .. } => "flow.dep",
             Self::Hop { .. } => "flow.hop",
+            Self::Stalled { .. } => "watchdog.stalled",
             Self::LinkLoad { .. } => "link.load",
         }
     }
@@ -278,6 +295,17 @@ impl Event {
                 ("to", to as f64),
                 ("enqueue", enqueue),
                 ("drain", drain),
+            ],
+            Self::Stalled {
+                source,
+                worker,
+                window_secs,
+                progress,
+            } => vec![
+                ("source", source as f64),
+                ("worker", worker as f64),
+                ("window_secs", window_secs),
+                ("progress", progress as f64),
             ],
             Self::LinkLoad {
                 link,

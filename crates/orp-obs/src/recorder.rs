@@ -235,7 +235,8 @@ impl Recorder {
 
     /// Renders the current snapshot through `sink` and writes it to
     /// `path`. Returns `Ok(false)` without touching the filesystem when
-    /// disabled.
+    /// disabled. The write is atomic — a sibling temp file renamed into
+    /// place — so a crash mid-export never leaves a truncated trace.
     pub fn export_to(
         &self,
         sink: &dyn Sink,
@@ -249,11 +250,36 @@ impl Recorder {
                         std::fs::create_dir_all(dir)?;
                     }
                 }
-                std::fs::write(path, text)?;
+                atomic_write(path.as_ref(), text.as_bytes())?;
                 Ok(true)
             }
         }
     }
+}
+
+/// Crash-safe file write: stage in a sibling `.tmp`, fsync, rename.
+/// (A local copy of `orp_core::ckpt::atomic_write` — this crate sits
+/// below `orp-core` in the dependency graph and cannot call it.)
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[derive(Debug)]

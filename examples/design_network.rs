@@ -56,6 +56,7 @@ fn main() {
         report.cable_cost / 1e3
     );
 
-    std::fs::write(&out, io::to_string(&graph)).expect("write design");
+    orp::core::ckpt::atomic_write(std::path::Path::new(&out), io::to_string(&graph).as_bytes())
+        .expect("write design");
     println!("\nwrote {out} (parse it back with orp_core::io::from_str)");
 }

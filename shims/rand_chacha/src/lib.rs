@@ -33,7 +33,42 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// Number of `u32` words in a serialized [`ChaCha8Rng`] state
+/// (8 key words + 2 counter halves + 16 buffer words + 1 buffer index).
+pub const CHACHA_STATE_WORDS: usize = 27;
+
 impl ChaCha8Rng {
+    /// Exports the complete generator state — key, block counter, the
+    /// current output buffer, and the next unread index — as a flat word
+    /// array. Restoring via [`ChaCha8Rng::from_state_words`] resumes the
+    /// stream bit-exactly mid-block, which is what checkpoint/resume of
+    /// a seeded search needs.
+    pub fn state_words(&self) -> [u32; CHACHA_STATE_WORDS] {
+        let mut w = [0u32; CHACHA_STATE_WORDS];
+        w[..8].copy_from_slice(&self.key);
+        w[8] = self.counter as u32;
+        w[9] = (self.counter >> 32) as u32;
+        w[10..26].copy_from_slice(&self.buf);
+        w[26] = self.idx as u32;
+        w
+    }
+
+    /// Rebuilds a generator from [`ChaCha8Rng::state_words`] output.
+    /// The buffer index is clamped to the exhausted position so a
+    /// corrupted word cannot cause an out-of-bounds read.
+    pub fn from_state_words(w: &[u32; CHACHA_STATE_WORDS]) -> Self {
+        let mut key = [0u32; 8];
+        key.copy_from_slice(&w[..8]);
+        let mut buf = [0u32; 16];
+        buf.copy_from_slice(&w[10..26]);
+        Self {
+            key,
+            counter: w[8] as u64 | ((w[9] as u64) << 32),
+            buf,
+            idx: (w[26] as usize).min(16),
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&SIGMA);

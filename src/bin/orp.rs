@@ -3,13 +3,18 @@
 //! ```text
 //! orp bounds  <n> <r>                  lower bounds and m_opt prediction
 //! orp solve   <n> <r> [iters] [out] [--trace t.json]
+//!             [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs]
 //!                                      anneal a topology, optionally save it;
-//!                                      --trace writes a Chrome trace of the run
+//!                                      --trace writes a Chrome trace of the run;
+//!                                      --checkpoint saves crash-safe snapshots
+//!                                      (resumable with --resume, bit-identical)
 //! orp eval    <file.hsg>               metrics of a saved host-switch graph
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
 //! orp simulate <file.hsg> [bench] [iters] [--trace t.json]
+//!             [--checkpoint ck.orp] [--resume] [--watchdog secs]
 //!                                      run an NPB kernel on a saved graph;
-//!                                      --trace records flow/hop telemetry
+//!                                      --trace records flow/hop telemetry;
+//!                                      --checkpoint/--resume work as for solve
 //! orp report  <trace.json> [--top k] [--collapsed]
 //!                                      latency attribution of a recorded trace
 //! orp diff    <a.json> <b.json>        attribute the makespan delta of two runs
@@ -25,7 +30,8 @@ use orp::core::HostSwitchGraph;
 use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
-use orp::netsim::report::run_benchmark;
+use orp::netsim::report::run_benchmark_configured;
+use orp::netsim::SharingMode;
 use orp::obs::analyze::{
     aggregate_spans, collapsed_stacks, diff, render_diff, render_report, TraceData,
 };
@@ -97,29 +103,19 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
-    // split off `--trace <path>` before positional parsing
-    let mut trace: Option<String> = None;
-    let mut pos: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--trace" {
-            trace = Some(
-                it.next()
-                    .ok_or("--trace needs a path, e.g. --trace results/trace.json")?
-                    .clone(),
-            );
-        } else {
-            pos.push(a.clone());
-        }
+    let usage = "usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json] \
+                 [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs]";
+    let (trace, pos) = split_value_flag(args, "--trace")?;
+    let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
+    let (every, pos) = split_value_flag(&pos, "--every")?;
+    let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
+    let resume = pos.iter().any(|a| a == "--resume");
+    let pos: Vec<String> = pos.into_iter().filter(|a| a != "--resume").collect();
+    if resume && ckpt.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
     }
-    let n: u32 = pos
-        .first()
-        .and_then(|a| a.parse().ok())
-        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json]")?;
-    let r: u32 = pos
-        .get(1)
-        .and_then(|a| a.parse().ok())
-        .ok_or("usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json]")?;
+    let n: u32 = pos.first().and_then(|a| a.parse().ok()).ok_or(usage)?;
+    let r: u32 = pos.get(1).and_then(|a| a.parse().ok()).ok_or(usage)?;
     let iters: usize = arg_num(&pos, 2, 8000);
     // parallel_eval defaults to None: the engine auto-selects threading
     // from the switch count and available CPUs.
@@ -138,19 +134,48 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let m = m as u32;
     let start =
         orp::core::construct::random_general(n, m, r, cfg.seed).map_err(|e| e.to_string())?;
-    let res = Anneal::builder(start)
-        .config(cfg)
-        .recorder(rec.clone())
-        .run()
-        .map_err(|e| e.to_string())?;
+    let mut builder = Anneal::builder(start).config(cfg).recorder(rec.clone());
+    if let Some(ck) = &ckpt {
+        builder = builder.checkpoint(ck);
+        if resume && std::path::Path::new(ck).exists() {
+            builder = builder.resume_from(ck);
+            eprintln!("resuming from {ck}");
+        }
+    }
+    if let Some(e) = every {
+        let e: usize = e.parse().map_err(|_| "--every needs an iteration count")?;
+        builder = builder.checkpoint_every(e);
+    }
+    if let Some(w) = watchdog {
+        let secs: f64 = w.parse().map_err(|_| "--watchdog needs seconds")?;
+        // the CLI opts into hard process exit: a loop too wedged to
+        // reach its own iteration boundary must not hang the terminal
+        builder = builder
+            .watchdog(std::time::Duration::from_secs_f64(secs))
+            .watchdog_hard_exit(true);
+    }
+    let res = builder.run().map_err(|e| e.to_string())?;
     println!(
         "m = {m}, h-ASPL = {:.4} (bound {:.4}), diameter = {}",
         res.metrics.haspl,
         haspl_lower_bound(n as u64, r as u64),
         res.metrics.diameter
     );
+    // machine-readable state line: the kill-and-resume smoke test
+    // compares this across interrupted and uninterrupted runs
+    println!(
+        "solve-state: haspl_bits={:#018x} proposed={} accepted={} disconnected={}",
+        res.metrics.haspl.to_bits(),
+        res.proposed,
+        res.accepted,
+        res.disconnected
+    );
     if let Some(out) = pos.get(3) {
-        std::fs::write(out, io::to_string(&res.graph)).map_err(|e| e.to_string())?;
+        orp::core::ckpt::atomic_write(
+            std::path::Path::new(out),
+            io::to_string(&res.graph).as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
     if let Some(path) = trace {
@@ -245,8 +270,16 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let usage = "usage: orp simulate <file.hsg> [bench] [iters] [--trace t.json]";
+    let usage = "usage: orp simulate <file.hsg> [bench] [iters] [--trace t.json] \
+                 [--checkpoint ck.orp] [--resume] [--watchdog secs]";
     let (trace, pos) = split_value_flag(args, "--trace")?;
+    let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
+    let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
+    let resume = pos.iter().any(|a| a == "--resume");
+    let pos: Vec<String> = pos.into_iter().filter(|a| a != "--resume").collect();
+    if resume && ckpt.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
     let g = load(pos.first().ok_or(usage)?)?;
     let name = pos.get(1).map(String::as_str).unwrap_or("MG");
     let bench = Benchmark::all()
@@ -260,13 +293,44 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
+    let watchdog: Option<f64> = match watchdog {
+        Some(w) => Some(w.parse().map_err(|_| "--watchdog needs seconds")?),
+        None => None,
+    };
     // the simulator inherits the network's recorder
     let net = Network::builder(&g).recorder(rec.clone()).build();
-    let res = run_benchmark(&net, bench, ranks, bench.paper_class(), iters)
-        .map_err(|e| format!("simulation failed: {e}"))?;
+    let res = run_benchmark_configured(
+        &net,
+        bench,
+        ranks,
+        bench.paper_class(),
+        iters,
+        SharingMode::default(),
+        |mut b| {
+            if let Some(ck) = &ckpt {
+                b = b.checkpoint(ck);
+                if resume && std::path::Path::new(ck).exists() {
+                    b = b.resume_from(ck);
+                    eprintln!("resuming from {ck}");
+                }
+            }
+            if let Some(secs) = watchdog {
+                b = b.watchdog(std::time::Duration::from_secs_f64(secs));
+            }
+            b
+        },
+    )
+    .map_err(|e| format!("simulation failed: {e}"))?;
     println!(
         "{} on {} ranks: sim time {:.6} s, {:.0} Mop/s, {} flows, {:.3e} bytes",
         res.name, ranks, res.time, res.mops, res.flows, res.bytes
+    );
+    // machine-readable state line for kill-and-resume comparisons
+    println!(
+        "sim-state: time_bits={:#018x} flows={} bytes_bits={:#018x}",
+        res.time.to_bits(),
+        res.flows,
+        res.bytes.to_bits()
     );
     if let Some(path) = trace {
         rec.export_to(&ChromeTrace, &path)

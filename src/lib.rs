@@ -73,6 +73,12 @@ pub enum Error {
     Route(route::RouteError),
     /// Simulation failure ([`netsim::SimError`]).
     Sim(netsim::SimError),
+    /// Annealing failure — stall, worker panic, invariant breach, or a
+    /// checkpoint problem ([`core::SaError`]).
+    Sa(core::SaError),
+    /// Checkpoint save/load failure outside a solve or simulation
+    /// ([`core::CkptError`]).
+    Ckpt(core::CkptError),
 }
 
 impl std::fmt::Display for Error {
@@ -81,6 +87,8 @@ impl std::fmt::Display for Error {
             Self::Graph(e) => write!(f, "graph: {e}"),
             Self::Route(e) => write!(f, "route: {e}"),
             Self::Sim(e) => write!(f, "simulation: {e}"),
+            Self::Sa(e) => write!(f, "solve: {e}"),
+            Self::Ckpt(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -91,6 +99,8 @@ impl std::error::Error for Error {
             Self::Graph(e) => Some(e),
             Self::Route(e) => Some(e),
             Self::Sim(e) => Some(e),
+            Self::Sa(e) => Some(e),
+            Self::Ckpt(e) => Some(e),
         }
     }
 }
@@ -113,14 +123,32 @@ impl From<netsim::SimError> for Error {
     }
 }
 
+impl From<core::SaError> for Error {
+    fn from(e: core::SaError) -> Self {
+        Self::Sa(e)
+    }
+}
+
+impl From<core::CkptError> for Error {
+    fn from(e: core::CkptError) -> Self {
+        Self::Ckpt(e)
+    }
+}
+
 /// One-stop imports for the builder-style API:
 /// `use orp::prelude::*;`.
 pub mod prelude {
-    pub use crate::core::anneal::{solve_orp, Anneal, MoveKind, SaConfig, SaResult};
+    pub use crate::core::anneal::{
+        solve_orp, Anneal, MoveKind, MultiOpts, MultiReport, SaConfig, SaResult,
+    };
+    pub use crate::core::ckpt::{Checkpointable, CkptError};
+    pub use crate::core::error::SaError;
     pub use crate::core::graph::HostSwitchGraph;
+    pub use crate::core::watchdog::{WatchSource, Watchdog, WatchdogConfig};
     pub use crate::netsim::{
         BlockedRank, FaultEvent, InjectedFlow, NetConfig, NetFault, Network, NetworkBuilder, Op,
-        Program, SharingMode, SimError, SimReport, Simulator, SimulatorBuilder, WaitReason,
+        Program, SharingMode, SimCheckpoint, SimError, SimReport, Simulator, SimulatorBuilder,
+        WaitReason,
     };
     pub use crate::obs::{ChromeTrace, JsonSummary, Recorder, Sink, TextProgress};
     pub use crate::Error;
