@@ -5,10 +5,10 @@
 //! cycle-plus-matching, Barabási–Albert — on h-ASPL and diameter.
 
 use orp_bench::{write_json, Effort};
-use orp_core::anneal::solve_orp;
 use orp_core::bounds::{haspl_lower_bound, optimal_switch_count};
 use orp_core::metrics::path_metrics;
 use orp_core::random_graphs::{barabasi_albert, cycle_plus_matching, erdos_renyi, watts_strogatz};
+use orp_core::solver::Solver;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -75,7 +75,11 @@ fn main() {
         barabasi_albert(n, m, 5, r, effort.seed).ok(),
     );
     let cfg = effort.sa_config();
-    let (res, _) = solve_orp(n, r, &cfg).expect("feasible");
+    let res = Solver::builder(n, r)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     add(&mut rows, "ORP annealed (ours)", Some(res.graph));
     if let (Some(best_random), Some(ours)) = (
         rows.iter()

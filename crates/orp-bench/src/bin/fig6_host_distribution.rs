@@ -7,8 +7,8 @@
 //! (b) n=1024 r=12, (c) n=1024 r=24.
 
 use orp_bench::{write_json, Effort};
-use orp_core::anneal::solve_orp;
 use orp_core::bounds::haspl_lower_bound;
+use orp_core::solver::Solver;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,7 +29,8 @@ fn main() {
     for (n, r) in combos {
         // parallel_eval stays None: the engine auto-selects threading
         let cfg = effort.sa_config();
-        let (res, m_opt) = solve_orp(n, r, &cfg).expect("feasible");
+        let report = Solver::builder(n, r).config(cfg).run().expect("feasible");
+        let (res, m_opt) = (report.result, report.m_opt);
         let hist = res.graph.host_distribution();
         let lb = haspl_lower_bound(n as u64, r as u64);
         println!(

@@ -464,6 +464,10 @@ pub trait Checkpointable: Sized {
 pub const KIND_ANNEAL: u32 = 1;
 /// Kind tag for event-simulator checkpoints (`orp-netsim`).
 pub const KIND_SIM: u32 = 2;
+/// Kind tag for parallel-tempering checkpoints
+/// ([`crate::temper::Temper`]): a ladder header plus one embedded
+/// annealer payload per replica.
+pub const KIND_TEMPER: u32 = 3;
 
 #[cfg(test)]
 mod tests {

@@ -127,9 +127,10 @@ fn compose(left: u32, m: u32, pos: u32, out: &mut Vec<u32>, f: &mut impl FnMut(&
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::anneal::{solve_orp, SaConfig};
+    use crate::anneal::SaConfig;
     use crate::bounds::{haspl_lower_bound, min_clique_switches};
     use crate::construct::{clique, star};
+    use crate::solver::Solver;
 
     #[test]
     fn star_is_exactly_optimal_when_hosts_fit() {
@@ -177,7 +178,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let (sa, _) = solve_orp(n, r, &cfg).unwrap();
+        let sa = Solver::builder(n, r).config(cfg).run().unwrap().result;
         // SA fixes m = m_opt, the exhaustive search roams all m — SA may
         // only match or exceed slightly; require within 5 %.
         assert!(

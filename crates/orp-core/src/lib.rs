@@ -29,13 +29,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use orp_core::anneal::{solve_orp, SaConfig};
+//! use orp_core::solver::Solver;
+//! use orp_core::anneal::SaConfig;
 //! use orp_core::bounds::haspl_lower_bound;
 //!
 //! let cfg = SaConfig { iters: 500, seed: 42, ..Default::default() };
-//! let (result, m_opt) = solve_orp(64, 10, &cfg).unwrap();
-//! assert_eq!(result.graph.num_switches(), m_opt);
-//! assert!(result.metrics.haspl >= haspl_lower_bound(64, 10));
+//! let report = Solver::builder(64, 10).config(cfg).run().unwrap();
+//! assert_eq!(report.result.graph.num_switches(), report.m_opt);
+//! assert!(report.result.metrics.haspl >= haspl_lower_bound(64, 10));
 //! ```
 
 #![warn(missing_docs)]
@@ -55,7 +56,10 @@ pub mod odp;
 pub mod ops;
 pub mod random_graphs;
 pub mod search;
+pub mod solver;
+pub mod temper;
 pub mod watchdog;
+pub mod wsdeque;
 
 pub use anneal::{Anneal, MoveKind, MultiOpts, MultiReport, SaConfig, SaConfigBuilder, SaResult};
 pub use ckpt::{Checkpointable, CkptError};
@@ -63,5 +67,7 @@ pub use error::{GraphError, SaError, WorkerPanic};
 pub use fault::{DegradedMetrics, FaultSet, FaultView};
 pub use graph::{Host, HostSwitchGraph, Switch};
 pub use metrics::{path_metrics, path_metrics_par, PathMetrics};
-pub use search::SearchState;
+pub use search::{CacheCodec, CacheMode, SearchConfig, SearchState};
+pub use solver::{SolveReport, Solver};
+pub use temper::{geometric_ladder, ExchangeStats, Temper, TemperResult};
 pub use watchdog::{WatchSource, Watchdog, WatchdogConfig};

@@ -37,9 +37,9 @@
 //!
 //! # Incremental delta evaluation
 //!
-//! On instances up to [`CACHE_MAX_SWITCHES`] switches the engine keeps a
-//! **per-source distance cache**: an `m × m` matrix of `u16` hop counts
-//! plus per-source aggregates (host-weighted path sums, per-distance
+//! On cache-eligible instances (see [`SearchConfig`]) the engine keeps a
+//! **per-source distance cache**: an `m × m` matrix of hop counts plus
+//! per-source aggregates (host-weighted path sums, per-distance
 //! hostful-switch histograms, eccentricities). A swap or swing perturbs at
 //! most three switch links, and the *exact* set of sources whose distance
 //! vector changes is computable from the cached rows alone:
@@ -60,39 +60,81 @@
 //! no-op), and the full sweep remains both the fallback (large `m`, deep
 //! graphs) and the correctness oracle of the equivalence suites.
 //!
-//! Threaded sweeps run on a **persistent worker pool** owned by the
-//! `SearchState` (workers park between proposals); no thread is ever
-//! spawned per proposal.
+//! # Row codecs and memory budget
+//!
+//! The cache rows come in two codecs, picked by [`SearchConfig`]:
+//!
+//! * **Dense** — one `u16` per entry, distances up to 127 (the legacy
+//!   layout, and the [`CacheMode::Auto`] choice up to
+//!   [`CACHE_MAX_SWITCHES`] switches);
+//! * **Packed** ([`CacheMode::Compressed`]) — one `u8` per entry,
+//!   distances up to 63, halving the matrix so Graph-Golf-scale
+//!   instances (`n = 65536`) fit a few GiB. ORP diameters are
+//!   single-digit, so the tighter cap never binds on real searches.
+//!
+//! Transactional row snapshots are run-length encoded (a repaired row
+//! differs from its pre-image in a handful of runs), so rejected
+//! proposals at large `m` do not copy whole rows around.
+//!
+//! # Sharded parallel repair
+//!
+//! Re-BFS batches **and** per-source repairs are scheduled together on
+//! the persistent worker pool through per-worker Chase–Lev deques
+//! ([`crate::wsdeque`]): the publisher seeds each worker with a
+//! contiguous shard of the task list, workers drain their own deque and
+//! steal from siblings when idle. Every repair touches only its own
+//! source's row, aggregates, and flags, so workers never contend; the
+//! totals are reduced sequentially afterwards, which keeps the result
+//! bit-identical for every worker count and codec.
 
 use crate::error::GraphError;
 use crate::graph::{Host, HostSwitchGraph, Switch};
 use crate::metrics::{finalize_metrics, PathMetrics, SwitchCsr};
 use crate::ops::{EdgeSet, Swap, Swing};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::wsdeque::{Deque, Steal};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Switch count from which the auto heuristic turns on threaded
 /// evaluation (when more than one CPU is available).
 pub const PARALLEL_SWITCH_THRESHOLD: u32 = 256;
 
-/// Largest switch count for which the distance cache is kept (`m × m`
-/// `u16` rows: 32 MiB at this bound). Above it the engine always runs
-/// the full batched sweep.
+/// Largest switch count for which [`CacheMode::Auto`] picks the dense
+/// (`u16`) row codec; above it the auto mode switches to the packed
+/// (`u8`) codec while the memory budget allows.
 pub const CACHE_MAX_SWITCHES: usize = 4096;
 
-/// Largest representable hop count in the cache; a BFS level reaching
-/// this depth permanently disables the cache for the instance (ORP
-/// graphs have single-digit diameters, so this only triggers on
-/// degenerate path-like inputs).
-const CACHE_MAX_DIST: usize = 128;
+/// Distance cap of the dense (`u16`) rows; a BFS level reaching it
+/// permanently disables the cache for the instance (ORP graphs have
+/// single-digit diameters, so this only triggers on degenerate
+/// path-like inputs).
+const DENSE_MAX_DIST: usize = 128;
+
+/// Distance cap of the packed (`u8`) rows.
+const PACKED_MAX_DIST: usize = 64;
 
 /// Cache marker for an unreachable switch.
 const INVALID_DIST: u16 = u16::MAX;
+
+/// Packed-row byte marking an unreachable switch.
+const PACKED_INVALID: u8 = u8::MAX;
 
 /// `−ln` of the Metropolis acceptance probability below which guarded
 /// evaluation may early-reject without running a BFS
 /// (`exp(−40) ≈ 4·10⁻¹⁸`, far below one draw in a lifetime of runs).
 pub const EARLY_REJECT_LOG: f64 = 40.0;
+
+/// Default [`SearchConfig::memory_budget_bytes`]: 8 GiB — enough for
+/// the packed codec at m = 65536 switches (~4.3 GiB) and the dense
+/// codec up to m = 16384, so [`CacheMode::Auto`] covers the whole
+/// Graph-Golf range out of the box.
+pub const DEFAULT_CACHE_BUDGET: usize = 1 << 33;
+
+/// Minimum combined task count (sweep batches + repairs) before a
+/// cached evaluation engages the worker pool; below it the condvar
+/// round trip costs more than the work.
+const POOL_TASK_THRESHOLD: usize = 32;
 
 /// Resolves the effective number of evaluation worker threads from the
 /// user's override (`SaConfig::parallel_eval`) and the instance size:
@@ -106,6 +148,116 @@ pub fn resolve_parallel_eval(override_flag: Option<bool>, num_switches: u32) -> 
         cpus.max(1)
     } else {
         1
+    }
+}
+
+// ---- search configuration ----------------------------------------------
+
+/// How the distance cache is provisioned (see [`SearchConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Dense rows up to [`CACHE_MAX_SWITCHES`] switches, packed rows
+    /// beyond that while the budget allows, no cache otherwise.
+    #[default]
+    Auto,
+    /// Force the dense `u16` codec (or no cache if over budget).
+    Dense,
+    /// Force the packed `u8` codec (or no cache if over budget).
+    Compressed,
+    /// Never build a distance cache: every evaluation is a full sweep.
+    Off,
+}
+
+impl FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "dense" => Ok(Self::Dense),
+            "compressed" => Ok(Self::Compressed),
+            "off" => Ok(Self::Off),
+            other => Err(format!(
+                "unknown cache mode {other:?} (expected auto|dense|compressed|off)"
+            )),
+        }
+    }
+}
+
+/// The row codec a [`SearchConfig`] resolved to for a given instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCodec {
+    /// `u16` entries, distances up to 127.
+    Dense,
+    /// `u8` entries, distances up to 63 — half the memory.
+    Packed,
+}
+
+/// Tunables of the evaluation engine, surfaced through
+/// `Solver::builder()` and `orp solve --cache-mode/--mem-budget`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Distance-cache provisioning policy.
+    pub cache_mode: CacheMode,
+    /// Upper bound on the cache's bulk allocation (rows + histograms);
+    /// a mode whose codec would exceed it degrades to no cache.
+    pub memory_budget_bytes: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            cache_mode: CacheMode::Auto,
+            memory_budget_bytes: DEFAULT_CACHE_BUDGET,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A config that disables the distance cache entirely.
+    pub fn off() -> Self {
+        Self {
+            cache_mode: CacheMode::Off,
+            ..Self::default()
+        }
+    }
+
+    /// Bytes of bulk storage the dense codec needs for `m` switches.
+    pub fn dense_cache_bytes(m: usize) -> usize {
+        m.saturating_mul(m)
+            .saturating_mul(2)
+            .saturating_add(m.saturating_mul(DENSE_MAX_DIST * 4 + 15))
+    }
+
+    /// Bytes of bulk storage the packed codec needs for `m` switches.
+    pub fn compressed_cache_bytes(m: usize) -> usize {
+        m.saturating_mul(m)
+            .saturating_add(m.saturating_mul(PACKED_MAX_DIST * 4 + 15))
+    }
+
+    /// The codec this config provisions for an `m`-switch instance, or
+    /// `None` when the cache stays off (mode `Off`, degenerate `m`, or
+    /// over budget).
+    pub fn resolve_codec(&self, m: usize) -> Option<CacheCodec> {
+        if m < 2 {
+            return None;
+        }
+        let dense_fits = Self::dense_cache_bytes(m) <= self.memory_budget_bytes;
+        let packed_fits = Self::compressed_cache_bytes(m) <= self.memory_budget_bytes;
+        match self.cache_mode {
+            CacheMode::Off => None,
+            CacheMode::Dense => dense_fits.then_some(CacheCodec::Dense),
+            CacheMode::Compressed => packed_fits.then_some(CacheCodec::Packed),
+            CacheMode::Auto => {
+                if m <= CACHE_MAX_SWITCHES && dense_fits {
+                    Some(CacheCodec::Dense)
+                } else if packed_fits {
+                    Some(CacheCodec::Packed)
+                } else {
+                    None
+                }
+            }
+        }
     }
 }
 
@@ -291,12 +443,57 @@ fn sweep_batch(
 
 // ---- distance cache ----------------------------------------------------
 
-/// Raw views into the cache arrays, so one sweep implementation serves
-/// both the sequential path and the worker pool (each batch writes only
-/// the rows and aggregates of its own sources, which are disjoint).
+/// Codec-dispatched row storage of the distance cache.
+#[derive(Debug)]
+enum RowStore {
+    /// One `u16` per entry.
+    Dense(Vec<u16>),
+    /// One `u8` per entry; [`PACKED_INVALID`] marks unreachable.
+    Packed(Vec<u8>),
+}
+
+/// Reads entry `(s, v)` of the row store as a logical `u16` distance.
+#[inline]
+fn row_get(store: &RowStore, m: usize, s: usize, v: usize) -> u16 {
+    match store {
+        RowStore::Dense(rows) => rows[s * m + v],
+        RowStore::Packed(rows) => {
+            let b = rows[s * m + v];
+            if b == PACKED_INVALID {
+                INVALID_DIST
+            } else {
+                u16::from(b)
+            }
+        }
+    }
+}
+
+/// Run-length encodes row `s` as flattened `(value, run)` `u16` pairs
+/// appended to `out`; runs split at `u16::MAX`.
+fn encode_row_rle(store: &RowStore, m: usize, s: usize, out: &mut Vec<u16>) {
+    let mut v = 0usize;
+    while v < m {
+        let val = row_get(store, m, s, v);
+        let mut run = 1usize;
+        while v + run < m && run < u16::MAX as usize && row_get(store, m, s, v + run) == val {
+            run += 1;
+        }
+        out.push(val);
+        out.push(run as u16);
+        v += run;
+    }
+}
+
+/// Raw views into the cache arrays, so one sweep/repair implementation
+/// serves both the sequential path and the worker pool (each task writes
+/// only the row and aggregates of its own sources, which are disjoint).
 #[derive(Debug, Clone, Copy)]
 struct CachePtrs {
-    rows: *mut u16,
+    /// Byte pointer into the row store; interpretation follows `codec`.
+    rows: *mut u8,
+    codec: CacheCodec,
+    /// Distance cap (and histogram stride) of this cache.
+    max_dist: usize,
     wsum: *mut u64,
     hist: *mut u32,
     ecc: *mut u16,
@@ -310,9 +507,64 @@ struct CachePtrs {
 unsafe impl Send for CachePtrs {}
 unsafe impl Sync for CachePtrs {}
 
+impl CachePtrs {
+    /// Reads entry `(s, v)` as a logical `u16` distance.
+    ///
+    /// # Safety
+    /// The caller must own source `s` for the duration of the job.
+    #[inline]
+    unsafe fn get(&self, s: usize, v: usize) -> u16 {
+        match self.codec {
+            CacheCodec::Dense => *(self.rows as *const u16).add(s * self.m + v),
+            CacheCodec::Packed => {
+                let b = *self.rows.add(s * self.m + v);
+                if b == PACKED_INVALID {
+                    INVALID_DIST
+                } else {
+                    u16::from(b)
+                }
+            }
+        }
+    }
+
+    /// Writes entry `(s, v)` from a logical `u16` distance.
+    ///
+    /// # Safety
+    /// The caller must own source `s` for the duration of the job.
+    #[inline]
+    unsafe fn set(&self, s: usize, v: usize, d: u16) {
+        match self.codec {
+            CacheCodec::Dense => *(self.rows as *mut u16).add(s * self.m + v) = d,
+            CacheCodec::Packed => {
+                *self.rows.add(s * self.m + v) = if d == INVALID_DIST {
+                    PACKED_INVALID
+                } else {
+                    debug_assert!(d < u16::from(PACKED_INVALID));
+                    d as u8
+                }
+            }
+        }
+    }
+
+    /// Fills row `s` with the unreachable marker (both codecs use
+    /// all-ones bytes for it).
+    ///
+    /// # Safety
+    /// The caller must own source `s` for the duration of the job.
+    #[inline]
+    unsafe fn fill_invalid(&self, s: usize) {
+        match self.codec {
+            CacheCodec::Dense => {
+                std::ptr::write_bytes((self.rows as *mut u16).add(s * self.m), 0xFF, self.m)
+            }
+            CacheCodec::Packed => std::ptr::write_bytes(self.rows.add(s * self.m), 0xFF, self.m),
+        }
+    }
+}
+
 /// As [`sweep_batch`], but additionally fills the cache row and
 /// per-source aggregates of every swept source. Returns `false` when a
-/// BFS level reaches [`CACHE_MAX_DIST`] (cache must be disabled).
+/// BFS level reaches the cache's distance cap (cache must be disabled).
 fn sweep_batch_cached(
     csr: &SlotCsr,
     counts: &[u32],
@@ -329,9 +581,8 @@ fn sweep_batch_cached(
     unsafe {
         for &s in srcs {
             let s = s as usize;
-            let row = c.rows.add(s * m);
-            std::ptr::write_bytes(row, 0xFF, m); // u16::MAX everywhere
-            *row.add(s) = 0;
+            c.fill_invalid(s);
+            c.set(s, s, 0);
         }
     }
     for (i, &s) in srcs.iter().enumerate() {
@@ -341,7 +592,7 @@ fn sweep_batch_cached(
     let mut depth = 0usize;
     loop {
         depth += 1;
-        if depth >= CACHE_MAX_DIST {
+        if depth >= c.max_dist {
             return false;
         }
         let mut active = false;
@@ -361,7 +612,7 @@ fn sweep_batch_cached(
                     bits &= bits - 1;
                     // SAFETY: `s` belongs to this batch (see above).
                     unsafe {
-                        *c.rows.add(s * m + v) = depth as u16;
+                        c.set(s, v, depth as u16);
                     }
                 }
             }
@@ -386,21 +637,20 @@ fn sweep_batch_cached(
 }
 
 /// Rebuilds the aggregates of source `s` from its stored row: a single
-/// sequential pass shared by the sweep workers and the formula-repair
-/// path.
+/// sequential pass shared by the sweep workers and the repair path.
 ///
 /// # Safety
 /// The caller must own source `s` (no other thread may touch its row or
 /// aggregate slots), and the row must be fully written.
 unsafe fn recompute_aggregates_ptr(c: &CachePtrs, s: usize, counts: &[u32]) {
     let m = c.m;
-    let row = std::slice::from_raw_parts(c.rows.add(s * m), m);
-    let hist = std::slice::from_raw_parts_mut(c.hist.add(s * CACHE_MAX_DIST), CACHE_MAX_DIST);
+    let hist = std::slice::from_raw_parts_mut(c.hist.add(s * c.max_dist), c.max_dist);
     hist.fill(0);
     let mut wsum = 0u64;
     let mut nreach = 0u32;
     let mut ecc = 0u16;
-    for (v, (&d, &kv)) in row.iter().zip(counts.iter().take(m)).enumerate() {
+    for (v, &kv) in counts.iter().enumerate().take(m) {
+        let d = c.get(s, v);
         if v == s || d == INVALID_DIST || kv == 0 {
             continue;
         }
@@ -414,12 +664,12 @@ unsafe fn recompute_aggregates_ptr(c: &CachePtrs, s: usize, counts: &[u32]) {
     *c.ecc.add(s) = ecc;
 }
 
-/// The per-source distance cache: one `u16` row per switch (hop counts to
-/// every other switch) plus the aggregates that let a proposal be scored
-/// without re-visiting unaffected rows.
+/// The per-source distance cache: one row per switch (hop counts to
+/// every other switch, stored dense or packed) plus the aggregates that
+/// let a proposal be scored without re-visiting unaffected rows.
 ///
 /// Invariants (for every row with `valid[s]`):
-/// * `rows[s]` holds the hop distances of the graph **minus the pending
+/// * row `s` holds the hop distances of the graph **minus the pending
 ///   [`DistCache::edge_delta`]** — rows are only refreshed inside
 ///   `evaluate`, edge mutations between evaluations just accumulate;
 /// * `wsum[s] = Σ_{v≠s, k_v>0, reachable} k_v·(d(s,v)+2)`,
@@ -430,7 +680,10 @@ unsafe fn recompute_aggregates_ptr(c: &CachePtrs, s: usize, counts: &[u32]) {
 #[derive(Debug)]
 struct DistCache {
     m: usize,
-    rows: Vec<u16>,
+    codec: CacheCodec,
+    /// Distance cap and histogram stride (codec-dependent).
+    max_dist: usize,
+    store: RowStore,
     valid: Vec<bool>,
     wsum: Vec<u64>,
     hist: Vec<u32>,
@@ -440,17 +693,18 @@ struct DistCache {
     /// `(a, b, net)` with `a < b`; entries cancelling to net 0 are
     /// dropped, so a rolled-back proposal leaves no trace.
     edge_delta: Vec<(Switch, Switch, i32)>,
-    /// Set when a sweep overflowed [`CACHE_MAX_DIST`]; the engine then
-    /// falls back to full sweeps forever.
+    /// Set when a sweep or repair overflowed the distance cap; the
+    /// engine then falls back to full sweeps forever.
     disabled: bool,
     // -- transactional snapshots ------------------------------------
     /// Sources whose rows were overwritten inside an open transaction,
-    /// with their pre-overwrite validity; one arena entry of `m`
-    /// distances each in [`Self::snap_rows`]. Restored in reverse on
+    /// with their pre-overwrite validity and the start offset of their
+    /// RLE image in [`Self::snap_rle`]. Restored in reverse on
     /// rollback, so the earliest (pre-transaction) copy wins.
-    snap_src: Vec<(u32, bool)>,
-    /// Row arena backing [`Self::snap_src`].
-    snap_rows: Vec<u16>,
+    snap_src: Vec<(u32, bool, u32)>,
+    /// Run-length arena backing [`Self::snap_src`]: flattened
+    /// `(value, run)` `u16` pairs per saved row.
+    snap_rle: Vec<u16>,
     /// `snap_src` boundary per open transaction level.
     snap_marks: Vec<usize>,
     /// Copy of [`Self::edge_delta`] at each `begin`, restored wholesale
@@ -469,21 +723,7 @@ struct DistCache {
     wit: Vec<u8>,
     /// `max(k_far)` over witness-less removals, per source.
     strict: Vec<u32>,
-    // -- repair scratch (epoch-stamped, never cleared) ----------------
-    /// Current epoch; a stamp array entry equals it iff set this source.
-    ep: u32,
-    /// Stamp: vertex already examined as an orphan candidate.
-    cand_ep: Vec<u32>,
-    /// Stamp: vertex orphaned (all strict shortest-path parents gone).
-    orphan_ep: Vec<u32>,
-    /// Stamp: orphan settled by the re-relaxation.
-    settled_ep: Vec<u32>,
-    /// Bucket queue over hop distance, shared by orphan descent and
-    /// re-relaxation (each drains the buckets it fills).
-    buckets: Vec<Vec<u32>>,
-    /// Orphans of the current source.
-    orphans: Vec<u32>,
-    /// Rows the last [`Self::repair_rows`] call actually rewrote —
+    /// Rows the last repair pass actually rewrote —
     /// conservatively-routed rows a surviving witness protected are
     /// excluded, so the affected-row statistics stay meaningful.
     touched: u32,
@@ -498,11 +738,6 @@ const DEL_AFF: u8 = 2;
 /// through an added link, so this row is *not* exact for the graph
 /// minus that link alone and must run the decremental phase.
 const NO_STRICT: u8 = 4;
-/// [`DistCache::flags`] bit, set during repair (not classification):
-/// the decremental phase actually rewrote entries of this row — it is
-/// already snapshotted and counts as touched even if the insertion
-/// relaxation then finds nothing to shrink.
-const DEL_CHANGED: u8 = 8;
 
 /// Read-only result of classifying the pending edge delta against the
 /// cached rows.
@@ -529,36 +764,37 @@ struct DeltaScan {
 }
 
 impl DistCache {
-    fn new(m: usize) -> Option<Self> {
-        if !(2..=CACHE_MAX_SWITCHES).contains(&m) {
-            return None;
-        }
-        Some(Self {
+    fn with_codec(m: usize, codec: CacheCodec) -> Self {
+        let max_dist = match codec {
+            CacheCodec::Dense => DENSE_MAX_DIST,
+            CacheCodec::Packed => PACKED_MAX_DIST,
+        };
+        let store = match codec {
+            CacheCodec::Dense => RowStore::Dense(vec![INVALID_DIST; m * m]),
+            CacheCodec::Packed => RowStore::Packed(vec![PACKED_INVALID; m * m]),
+        };
+        Self {
             m,
-            rows: vec![INVALID_DIST; m * m],
+            codec,
+            max_dist,
+            store,
             valid: vec![false; m],
             wsum: vec![0; m],
-            hist: vec![0; m * CACHE_MAX_DIST],
+            hist: vec![0; m * max_dist],
             ecc: vec![0; m],
             nreach: vec![0; m],
             edge_delta: Vec::new(),
             disabled: false,
             snap_src: Vec::new(),
-            snap_rows: Vec::new(),
+            snap_rle: Vec::new(),
             snap_marks: Vec::new(),
             saved_deltas: Vec::new(),
             flags: vec![0; m],
             wneed: vec![0; m],
             wit: vec![0; m],
             strict: vec![0; m],
-            ep: 0,
-            cand_ep: vec![0; m],
-            orphan_ep: vec![0; m],
-            settled_ep: vec![0; m],
-            buckets: vec![Vec::new(); CACHE_MAX_DIST + 1],
-            orphans: Vec::new(),
             touched: 0,
-        })
+        }
     }
 
     // -- transactional snapshots --------------------------------------
@@ -583,7 +819,7 @@ impl DistCache {
         self.saved_deltas.pop();
         if self.snap_marks.is_empty() {
             self.snap_src.clear();
-            self.snap_rows.clear();
+            self.snap_rle.clear();
         }
     }
 
@@ -599,13 +835,12 @@ impl DistCache {
         let (Some(boundary), Some(saved)) = (self.snap_marks.pop(), self.saved_deltas.pop()) else {
             return;
         };
-        let m = self.m;
         while self.snap_src.len() > boundary {
-            let (s, was_valid) = self.snap_src.pop().expect("len > boundary");
+            let (s, was_valid, start) = self.snap_src.pop().expect("len > boundary");
             let s = s as usize;
-            let off = self.snap_src.len() * m;
-            self.rows[s * m..(s + 1) * m].copy_from_slice(&self.snap_rows[off..off + m]);
-            self.snap_rows.truncate(off);
+            let start = start as usize;
+            self.decode_snap_row(s, start);
+            self.snap_rle.truncate(start);
             self.valid[s] = was_valid;
             if was_valid {
                 // restored rows were validated when first stored
@@ -616,14 +851,48 @@ impl DistCache {
         self.edge_delta = saved;
     }
 
+    /// Decodes the RLE image at `snap_rle[start..]` back into row `s`.
+    fn decode_snap_row(&mut self, s: usize, start: usize) {
+        let m = self.m;
+        let rle = &self.snap_rle[start..];
+        let mut v = 0usize;
+        let mut i = 0usize;
+        match &mut self.store {
+            RowStore::Dense(rows) => {
+                let base = s * m;
+                while v < m {
+                    let (val, run) = (rle[i], rle[i + 1] as usize);
+                    i += 2;
+                    rows[base + v..base + v + run].fill(val);
+                    v += run;
+                }
+            }
+            RowStore::Packed(rows) => {
+                let base = s * m;
+                while v < m {
+                    let (val, run) = (rle[i], rle[i + 1] as usize);
+                    i += 2;
+                    let b = if val == INVALID_DIST {
+                        PACKED_INVALID
+                    } else {
+                        val as u8
+                    };
+                    rows[base + v..base + v + run].fill(b);
+                    v += run;
+                }
+            }
+        }
+        debug_assert_eq!(i, rle.len(), "trailing RLE data after row {s}");
+    }
+
     /// Saves row `s` (and its validity) before a sweep or repair
     /// overwrites it. Only meaningful while a snapshot level is open.
     fn snapshot_row(&mut self, s: u32) {
         debug_assert!(!self.snap_marks.is_empty());
         let s_idx = s as usize;
-        self.snap_src.push((s, self.valid[s_idx]));
-        self.snap_rows
-            .extend_from_slice(&self.rows[s_idx * self.m..(s_idx + 1) * self.m]);
+        let start = self.snap_rle.len() as u32;
+        self.snap_src.push((s, self.valid[s_idx], start));
+        encode_row_rle(&self.store, self.m, s_idx, &mut self.snap_rle);
     }
 
     /// Rebuilds `wsum`/`hist`/`ecc`/`nreach` of source `s` from its row
@@ -633,19 +902,20 @@ impl DistCache {
     #[must_use]
     fn recompute_aggregates(&mut self, s: usize, counts: &[u32]) -> bool {
         let m = self.m;
-        let row = &self.rows[s * m..(s + 1) * m];
-        let hist = &mut self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
+        let max_dist = self.max_dist;
+        let hist = &mut self.hist[s * max_dist..(s + 1) * max_dist];
         hist.fill(0);
         let mut wsum = 0u64;
         let mut nreach = 0u32;
         let mut ecc = 0u16;
-        for (v, (&d, &k)) in row.iter().zip(counts).enumerate() {
+        for (v, &k) in counts.iter().enumerate().take(m) {
+            let d = row_get(&self.store, m, s, v);
             if v == s || d == INVALID_DIST {
                 continue;
             }
             // hostless switches count too: a later host move must be
             // able to index `hist[d]`
-            if d >= CACHE_MAX_DIST as u16 {
+            if d >= max_dist as u16 {
                 return false;
             }
             if k == 0 {
@@ -663,8 +933,14 @@ impl DistCache {
     }
 
     fn ptrs(&mut self) -> CachePtrs {
+        let rows = match &mut self.store {
+            RowStore::Dense(r) => r.as_mut_ptr() as *mut u8,
+            RowStore::Packed(r) => r.as_mut_ptr(),
+        };
         CachePtrs {
-            rows: self.rows.as_mut_ptr(),
+            rows,
+            codec: self.codec,
+            max_dist: self.max_dist,
             wsum: self.wsum.as_mut_ptr(),
             hist: self.hist.as_mut_ptr(),
             ecc: self.ecc.as_mut_ptr(),
@@ -672,11 +948,6 @@ impl DistCache {
             valid: self.valid.as_mut_ptr(),
             m: self.m,
         }
-    }
-
-    #[inline]
-    fn row(&self, s: usize) -> &[u16] {
-        &self.rows[s * self.m..(s + 1) * self.m]
     }
 
     /// Accumulates a link change (`net = ±1`); exact inverses cancel.
@@ -704,6 +975,7 @@ impl DistCache {
             return;
         }
         let m = self.m;
+        let max_dist = self.max_dist;
         let v = v as usize;
         let dk = new_k as i64 - old_k as i64;
         for s in 0..m {
@@ -714,9 +986,9 @@ impl DistCache {
             // read from `v`'s own row — a sequential scan instead of an
             // `m`-stride column walk (one cache miss per source).
             let d = if self.valid[v] {
-                self.rows[v * m + s]
+                row_get(&self.store, m, v, s)
             } else {
-                self.rows[s * m + v]
+                row_get(&self.store, m, s, v)
             };
             if d == INVALID_DIST {
                 continue;
@@ -724,13 +996,13 @@ impl DistCache {
             let du = d as usize;
             self.wsum[s] = (self.wsum[s] as i64 + dk * (du as i64 + 2)) as u64;
             if old_k == 0 {
-                self.hist[s * CACHE_MAX_DIST + du] += 1;
+                self.hist[s * max_dist + du] += 1;
                 self.nreach[s] += 1;
                 if d > self.ecc[s] {
                     self.ecc[s] = d;
                 }
             } else if new_k == 0 {
-                let base = s * CACHE_MAX_DIST;
+                let base = s * max_dist;
                 self.hist[base + du] -= 1;
                 self.nreach[s] -= 1;
                 if self.hist[base + du] == 0 && d == self.ecc[s] {
@@ -820,13 +1092,12 @@ impl DistCache {
         // single-add improvement allowance (see `DeltaScan::allowance`).
         let (mut su, mut ku, mut sv, mut kv) = (0u64, 0u64, 0u64, 0u64);
         for &(u, v) in &adds {
-            let base_u = u as usize * m;
-            let base_v = v as usize * m;
             for (s, &ks) in counts.iter().enumerate().take(m) {
                 if !self.valid[s] {
                     continue;
                 }
-                let (du, dv) = (self.rows[base_u + s], self.rows[base_v + s]);
+                let du = row_get(&self.store, m, u as usize, s);
+                let dv = row_get(&self.store, m, v as usize, s);
                 if du == INVALID_DIST && dv == INVALID_DIST {
                     continue; // joins two components not containing s
                 }
@@ -866,16 +1137,15 @@ impl DistCache {
         // not count as a *strict* witness (bit 1), which is what formula
         // repair needs.
         for &(u, v) in &dels {
-            let base_u = u as usize * m;
-            let base_v = v as usize * m;
             for s in 0..m {
                 // add-affected sources still need their removal bits:
                 // they decide repair eligibility (strict increments are
                 // filtered later)
-                self.wneed[s] = if !self.valid[s] {
+                let need = if !self.valid[s] {
                     0
                 } else {
-                    let (du, dv) = (self.rows[base_u + s], self.rows[base_v + s]);
+                    let du = row_get(&self.store, m, u as usize, s);
+                    let dv = row_get(&self.store, m, v as usize, s);
                     if du == INVALID_DIST || dv == INVALID_DIST || du == dv {
                         0
                     } else if du < dv {
@@ -884,6 +1154,7 @@ impl DistCache {
                         2 // far endpoint is u
                     }
                 };
+                self.wneed[s] = need;
             }
             if !scan.guardable {
                 // No guard will read the strict increments, so the
@@ -900,15 +1171,15 @@ impl DistCache {
             }
             self.wit[..m].fill(0);
             for (far, need) in [(v, 1u8), (u, 2u8)] {
-                let base_far = far as usize * m;
                 for &w in csr.neighbors(far) {
                     let key = if far < w { (far, w) } else { (w, far) };
                     let strict_bit = if adds.contains(&key) { 1 } else { 3 };
-                    let base_w = w as usize * m;
                     for s in 0..m {
                         if self.wneed[s] == need {
-                            let dw = self.rows[base_w + s];
-                            if dw != INVALID_DIST && dw + 1 == self.rows[base_far + s] {
+                            let dw = row_get(&self.store, m, w as usize, s);
+                            if dw != INVALID_DIST
+                                && dw + 1 == row_get(&self.store, m, far as usize, s)
+                            {
                                 self.wit[s] |= strict_bit;
                             }
                         }
@@ -933,7 +1204,7 @@ impl DistCache {
         // Every affected source — add endpoints included — is repaired
         // in place (decremental orphan re-relaxation for the removals,
         // then incremental insertion relaxation for the adds — see
-        // `repair_rows`); re-BFS is reserved for invalid rows.
+        // `repair_one_source`); re-BFS is reserved for invalid rows.
         for (s, &ks) in counts.iter().enumerate().take(m) {
             if !self.valid[s] {
                 continue; // already queued
@@ -985,411 +1256,13 @@ impl DistCache {
         w.saturating_sub(scan.allowance)
     }
 
-    /// Repairs every source in `repair` fully in place — no BFS. Two
-    /// phases, each per source:
-    ///
-    /// 1. **Decremental re-relaxation** (sources some removal touches):
-    ///    orphan descent finds exactly the vertices whose every strict
-    ///    shortest-path parent is gone, then a bucket-Dijkstra
-    ///    re-settles them from the unorphaned boundary. The row then
-    ///    holds `d_del` — the distances of the graph minus the removals
-    ///    (added links excluded throughout).
-    /// 2. **Incremental insertion relaxation**: each add `(u,v)` seeds
-    ///    its endpoints with `d_del(s,v)+1` / `d_del(s,u)+1`, and the
-    ///    decrease wavefront propagates through the live adjacency —
-    ///    which already contains the added links, so add-over-add
-    ///    chains relax transitively. A shortest new path decomposes at
-    ///    its first added link into an add-free prefix (already exact
-    ///    in `d_del`) plus a seeded suffix, so the relaxation reaches
-    ///    every entry that shrinks; every candidate is a real walk
-    ///    length, so it never undershoots. Work is O(changed entries ·
-    ///    degree) per source, not O(m).
-    ///
-    /// Both phases patch `wsum`/`hist`/`ecc`/`nreach` per rewritten
-    /// entry and snapshot a row just before its first write when a
-    /// transaction is open, so untouched rows cost nothing.
-    ///
-    /// Returns `false` when a repaired finite distance reaches
-    /// [`CACHE_MAX_DIST`] (caller must release the cache).
-    fn repair_rows(&mut self, csr: &SlotCsr, repair: &[u32], counts: &[u32]) -> bool {
-        self.touched = 0;
-        if repair.is_empty() {
-            return true;
-        }
-        let mut adds: Vec<(u32, u32, u32)> = Vec::new();
-        let mut dels: Vec<(u32, u32)> = Vec::new();
-        for &(a, b, net) in &self.edge_delta {
-            if net > 0 {
-                adds.push((a, b, net as u32));
-            } else {
-                dels.push((a, b));
-            }
-        }
-        if !dels.is_empty() {
-            for &s in repair {
-                let s = s as usize;
-                if self.flags[s] & (DEL_AFF | NO_STRICT) != 0 {
-                    match self.del_repair_source(csr, s, &adds, &dels, counts) {
-                        None => return false,
-                        Some(true) => self.flags[s] |= DEL_CHANGED,
-                        Some(false) => {}
-                    }
-                }
-            }
-        }
-        if adds.is_empty() {
-            // the decremental phase keeps rows and aggregates in sync
-            for &s in repair {
-                if self.flags[s as usize] & DEL_CHANGED != 0 {
-                    self.touched += 1;
-                }
-            }
-            return true;
-        }
-        for &s in repair {
-            let s = s as usize;
-            let snapshotted = self.flags[s] & DEL_CHANGED != 0;
-            match self.add_repair_source(csr, s, &adds, counts, snapshotted) {
-                None => return false,
-                Some(c) => self.touched += u32::from(c || snapshotted),
-            }
-        }
-        true
-    }
-
-    /// Insertion counterpart of [`Self::del_repair_source`]: given a
-    /// row holding `d_del`, seeds each pending add's endpoints with the
-    /// opposite endpoint's distance plus one and settles the decrease
-    /// wavefront in ascending key order through the live adjacency
-    /// (bucket Dijkstra; a popped key at or above the current entry is
-    /// stale and skipped). Only entries that actually shrink are
-    /// touched, and the aggregates are patched per write — the
-    /// eccentricity is re-read from the histogram when the previous
-    /// maximum shrank. Returns `None` when a new finite distance
-    /// reaches [`CACHE_MAX_DIST`], otherwise whether anything changed.
-    fn add_repair_source(
-        &mut self,
-        csr: &SlotCsr,
-        s: usize,
-        adds: &[(u32, u32, u32)],
-        counts: &[u32],
-        snapshotted: bool,
-    ) -> Option<bool> {
-        let m = self.m;
-        let base = s * m;
-        let mut lo = CACHE_MAX_DIST;
-        let mut seeded = false;
-        for &(u, v, _) in adds {
-            let (du, dv) = (self.rows[base + u as usize], self.rows[base + v as usize]);
-            for (x, cand) in [(v, du.saturating_add(1)), (u, dv.saturating_add(1))] {
-                if cand < self.rows[base + x as usize] {
-                    let key = (cand as usize).min(CACHE_MAX_DIST);
-                    self.buckets[key].push(x);
-                    lo = lo.min(key);
-                    seeded = true;
-                }
-            }
-        }
-        if !seeded {
-            return Some(false);
-        }
-        if !snapshotted && !self.snap_marks.is_empty() {
-            self.snapshot_row(s as u32);
-        }
-        let mut overflow = false;
-        let mut ecc_dirty = false;
-        let mut key = lo;
-        while key <= CACHE_MAX_DIST {
-            while let Some(x) = self.buckets[key].pop() {
-                let xi = x as usize;
-                let d_old = self.rows[base + xi];
-                if key >= d_old as usize {
-                    continue; // stale: already settled at least as close
-                }
-                if key >= CACHE_MAX_DIST {
-                    overflow = true; // finite but beyond histogram range
-                    continue; // keep draining the buckets
-                }
-                self.rows[base + xi] = key as u16;
-                let kx = counts[xi];
-                if d_old == INVALID_DIST {
-                    // newly reachable through an added link
-                    if kx != 0 {
-                        self.wsum[s] += kx as u64 * (key as u64 + 2);
-                        self.hist[s * CACHE_MAX_DIST + key] += 1;
-                        self.nreach[s] += 1;
-                        self.ecc[s] = self.ecc[s].max(key as u16);
-                    }
-                } else if kx != 0 {
-                    self.wsum[s] -= kx as u64 * (d_old as u64 - key as u64);
-                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
-                    self.hist[s * CACHE_MAX_DIST + key] += 1;
-                    if d_old == self.ecc[s] {
-                        ecc_dirty = true;
-                    }
-                }
-                let cand = key + 1;
-                for &w in csr.neighbors(x) {
-                    if cand < usize::from(self.rows[base + w as usize]) {
-                        self.buckets[cand.min(CACHE_MAX_DIST)].push(w);
-                    }
-                }
-            }
-            key += 1;
-        }
-        if overflow {
-            return None;
-        }
-        if ecc_dirty {
-            // the histogram is current again: its highest non-empty
-            // bucket is the surviving eccentricity
-            let hist = &self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
-            self.ecc[s] = hist.iter().rposition(|&c| c != 0).unwrap_or(0) as u16;
-        }
-        Some(true)
-    }
-
-    /// Phase 1 of [`Self::repair_rows`] for one source: rewrites the
-    /// stored row from the pre-delta distances to `d_del` (graph minus
-    /// the removals, added links excluded). Touches only the orphaned
-    /// region plus its boundary, patching `wsum`/`hist`/`ecc`/`nreach`
-    /// per rewritten entry so the aggregates never need a rebuild, and
-    /// snapshots the row just before the first write when a
-    /// transaction is open. Returns `None` on distance overflow,
-    /// otherwise whether any entry was rewritten (a row whose every
-    /// on-DAG removal keeps a surviving strict parent is untouched, and
-    /// its aggregates stay exact).
-    fn del_repair_source(
-        &mut self,
-        csr: &SlotCsr,
-        s: usize,
-        adds: &[(u32, u32, u32)],
-        dels: &[(u32, u32)],
-        counts: &[u32],
-    ) -> Option<bool> {
-        let m = self.m;
-        let base = s * m;
-        if self.ep == u32::MAX {
-            self.cand_ep.iter_mut().for_each(|e| *e = 0);
-            self.orphan_ep.iter_mut().for_each(|e| *e = 0);
-            self.settled_ep.iter_mut().for_each(|e| *e = 0);
-            self.ep = 0;
-        }
-        self.ep += 1;
-        let ep = self.ep;
-        self.orphans.clear();
-        // -- orphan descent ------------------------------------------
-        // Seed with the far endpoint of every removal that sat on the
-        // shortest-path DAG of `s` (endpoint levels differ by 1).
-        let mut lo = CACHE_MAX_DIST;
-        let mut pending = 0usize;
-        for &(a, b) in dels {
-            let (da, db) = (self.rows[base + a as usize], self.rows[base + b as usize]);
-            if da == INVALID_DIST || db == INVALID_DIST || da == db {
-                continue;
-            }
-            let (far, lvl) = if da < db { (b, db) } else { (a, da) };
-            let lvl = lvl as usize;
-            debug_assert!(lvl < CACHE_MAX_DIST);
-            self.buckets[lvl].push(far);
-            lo = lo.min(lvl);
-            pending += 1;
-        }
-        let mut lvl = lo;
-        while pending > 0 && lvl < CACHE_MAX_DIST {
-            while let Some(x) = self.buckets[lvl].pop() {
-                pending -= 1;
-                let xi = x as usize;
-                if self.cand_ep[xi] == ep {
-                    continue;
-                }
-                self.cand_ep[xi] = ep;
-                if self.strict_parent_survives(csr, adds, base, x, lvl as u16) {
-                    continue;
-                }
-                self.orphan_ep[xi] = ep;
-                self.orphans.push(x);
-                // shortest-path children may have lost their last parent
-                let mut skip = Self::added_copies(adds, x);
-                for &y in csr.neighbors(x) {
-                    if Self::consume_added(&mut skip, y) {
-                        continue;
-                    }
-                    let yi = y as usize;
-                    if self.rows[base + yi] == lvl as u16 + 1 && self.cand_ep[yi] != ep {
-                        self.buckets[lvl + 1].push(y);
-                        pending += 1;
-                    }
-                }
-            }
-            lvl += 1;
-        }
-        if self.orphans.is_empty() {
-            return Some(false);
-        }
-        // The row is about to be rewritten: save it now if a snapshot
-        // level is open, so witness-protected rows never pay for one.
-        if !self.snap_marks.is_empty() {
-            self.snapshot_row(s as u32);
-        }
-        // -- re-relaxation (unit-weight Dijkstra from the boundary) ---
-        let mut lo = CACHE_MAX_DIST;
-        for oi in 0..self.orphans.len() {
-            let x = self.orphans[oi];
-            let mut best = u32::from(INVALID_DIST);
-            let mut skip = Self::added_copies(adds, x);
-            for &w in csr.neighbors(x) {
-                if Self::consume_added(&mut skip, w) {
-                    continue;
-                }
-                let wi = w as usize;
-                let dw = self.rows[base + wi];
-                if self.orphan_ep[wi] != ep && dw != INVALID_DIST {
-                    best = best.min(u32::from(dw) + 1);
-                }
-            }
-            if best < u32::from(INVALID_DIST) {
-                let key = (best as usize).min(CACHE_MAX_DIST);
-                self.buckets[key].push(x);
-                lo = lo.min(key);
-            }
-        }
-        let mut overflow = false;
-        let mut key = lo;
-        while key <= CACHE_MAX_DIST {
-            while let Some(x) = self.buckets[key].pop() {
-                let xi = x as usize;
-                if self.settled_ep[xi] == ep {
-                    continue;
-                }
-                self.settled_ep[xi] = ep;
-                if key >= CACHE_MAX_DIST {
-                    overflow = true;
-                    continue; // keep draining the buckets
-                }
-                // Patch the aggregates in place: orphan distances grow
-                // strictly, so the eccentricity only ratchets up here.
-                let d_old = self.rows[base + xi];
-                self.rows[base + xi] = key as u16;
-                debug_assert!((key as u16) > d_old);
-                let kx = counts[xi];
-                if kx != 0 {
-                    self.wsum[s] += kx as u64 * (key as u64 - d_old as u64);
-                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
-                    self.hist[s * CACHE_MAX_DIST + key] += 1;
-                    self.ecc[s] = self.ecc[s].max(key as u16);
-                }
-                let mut skip = Self::added_copies(adds, x);
-                for &w in csr.neighbors(x) {
-                    if Self::consume_added(&mut skip, w) {
-                        continue;
-                    }
-                    let wi = w as usize;
-                    if self.orphan_ep[wi] == ep && self.settled_ep[wi] != ep {
-                        self.buckets[(key + 1).min(CACHE_MAX_DIST)].push(w);
-                    }
-                }
-            }
-            key += 1;
-        }
-        if overflow {
-            return None;
-        }
-        // orphans the boundary never reached are now unreachable
-        let mut ecc_dirty = false;
-        for oi in 0..self.orphans.len() {
-            let xi = self.orphans[oi] as usize;
-            if self.settled_ep[xi] != ep {
-                let d_old = self.rows[base + xi];
-                self.rows[base + xi] = INVALID_DIST;
-                let kx = counts[xi];
-                if kx != 0 {
-                    self.wsum[s] -= kx as u64 * (d_old as u64 + 2);
-                    self.hist[s * CACHE_MAX_DIST + d_old as usize] -= 1;
-                    self.nreach[s] -= 1;
-                    if d_old == self.ecc[s] {
-                        ecc_dirty = true;
-                    }
-                }
-            }
-        }
-        if ecc_dirty {
-            // the histogram is current again: its highest non-empty
-            // bucket is the surviving eccentricity
-            let hist = &self.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST];
-            self.ecc[s] = hist.iter().rposition(|&c| c != 0).unwrap_or(0) as u16;
-        }
-        Some(true)
-    }
-
-    /// The added-link copies incident to `x`, as `(other endpoint,
-    /// copies to skip)` — iterating `csr` neighbors must ignore exactly
-    /// that many occurrences to see the strict (minus-removals,
-    /// minus-adds) adjacency. Parallel pre-existing copies survive.
-    #[inline]
-    fn added_copies(adds: &[(u32, u32, u32)], x: u32) -> [(u32, u32); 4] {
-        let mut skip = [(u32::MAX, 0u32); 4];
-        let mut n = 0;
-        for &(a, b, mult) in adds {
-            let other = if a == x {
-                b
-            } else if b == x {
-                a
-            } else {
-                continue;
-            };
-            if n < skip.len() {
-                skip[n] = (other, mult);
-                n += 1;
-            }
-        }
-        skip
-    }
-
-    /// Consumes one skip token for neighbor `w`, returning `true` if
-    /// this occurrence is an added copy.
-    #[inline]
-    fn consume_added(skip: &mut [(u32, u32); 4], w: u32) -> bool {
-        for e in skip.iter_mut() {
-            if e.0 == w && e.1 > 0 {
-                e.1 -= 1;
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Whether `x` keeps a surviving strict shortest-path parent (level
-    /// exactly one below, reached neither through an added link nor an
-    /// already-orphaned vertex).
-    #[inline]
-    fn strict_parent_survives(
-        &self,
-        csr: &SlotCsr,
-        adds: &[(u32, u32, u32)],
-        base: usize,
-        x: u32,
-        lvl: u16,
-    ) -> bool {
-        let mut skip = Self::added_copies(adds, x);
-        for &w in csr.neighbors(x) {
-            if Self::consume_added(&mut skip, w) {
-                continue;
-            }
-            let wi = w as usize;
-            if u32::from(self.rows[base + wi]) + 1 == u32::from(lvl)
-                && self.orphan_ep[wi] != self.ep
-            {
-                return true;
-            }
-        }
-        false
-    }
-
     /// Drops the bulk storage once the cache is disabled.
     fn release(&mut self) {
         self.disabled = true;
-        self.rows = Vec::new();
+        self.store = match self.codec {
+            CacheCodec::Dense => RowStore::Dense(Vec::new()),
+            CacheCodec::Packed => RowStore::Packed(Vec::new()),
+        };
         self.hist = Vec::new();
         self.wsum = Vec::new();
         self.ecc = Vec::new();
@@ -1397,25 +1270,487 @@ impl DistCache {
         self.valid = vec![false; self.m];
         self.edge_delta = Vec::new();
         self.snap_src = Vec::new();
-        self.snap_rows = Vec::new();
+        self.snap_rle = Vec::new();
         self.snap_marks = Vec::new();
         self.saved_deltas = Vec::new();
         self.flags = Vec::new();
         self.wneed = Vec::new();
         self.wit = Vec::new();
         self.strict = Vec::new();
-        self.cand_ep = Vec::new();
-        self.orphan_ep = Vec::new();
-        self.settled_ep = Vec::new();
-        self.buckets = Vec::new();
-        self.orphans = Vec::new();
     }
+}
+
+// ---- sharded in-place repair -------------------------------------------
+
+/// Per-worker scratch of the sharded repair path: epoch-stamped marker
+/// arrays, the bucket queue, and the worker-local RLE snapshot arena
+/// (merged into the cache's snapshot stack after the job, so workers
+/// never contend on it).
+#[derive(Debug, Default)]
+struct RepairScratch {
+    /// Current epoch; a stamp array entry equals it iff set this source.
+    ep: u32,
+    /// Stamp: vertex already examined as an orphan candidate.
+    cand_ep: Vec<u32>,
+    /// Stamp: vertex orphaned (all strict shortest-path parents gone).
+    orphan_ep: Vec<u32>,
+    /// Stamp: orphan settled by the re-relaxation.
+    settled_ep: Vec<u32>,
+    /// Bucket queue over hop distance, shared by orphan descent and
+    /// re-relaxation (each drains the buckets it fills).
+    buckets: Vec<Vec<u32>>,
+    /// Orphans of the current source.
+    orphans: Vec<u32>,
+    /// Rows this worker snapshotted during the current job, as
+    /// `(source, was_valid, start into snap_rle)`.
+    snaps: Vec<(u32, bool, u32)>,
+    /// RLE arena backing [`Self::snaps`].
+    snap_rle: Vec<u16>,
+    /// Rows this worker's repairs actually rewrote during the job.
+    touched: u32,
+}
+
+impl RepairScratch {
+    fn ensure(&mut self, m: usize, max_dist: usize) {
+        if self.cand_ep.len() != m {
+            self.ep = 0;
+            self.cand_ep = vec![0; m];
+            self.orphan_ep = vec![0; m];
+            self.settled_ep = vec![0; m];
+        }
+        if self.buckets.len() != max_dist + 1 {
+            self.buckets = vec![Vec::new(); max_dist + 1];
+        }
+    }
+
+    fn reset_job(&mut self) {
+        self.touched = 0;
+        self.snaps.clear();
+        self.snap_rle.clear();
+    }
+}
+
+/// Everything a repair task needs, as raw views so the same packet can
+/// be executed by any pool worker. All pointers stay valid until the
+/// job completes (the publisher blocks).
+#[derive(Debug, Clone, Copy)]
+struct RepairCtx {
+    cache: CachePtrs,
+    /// Classification bits from the scan (read-only during repair).
+    flags: *const u8,
+    csr: *const SlotCsr,
+    counts: *const u32,
+    counts_len: usize,
+    adds: *const (u32, u32, u32),
+    adds_len: usize,
+    dels: *const (u32, u32),
+    dels_len: usize,
+    /// Whether a transaction is open (rows must be snapshotted before
+    /// their first write).
+    snap: bool,
+}
+
+// SAFETY: every task dereferences only its own source's row, aggregate
+// slots, and flag byte; the shared inputs (csr/counts/adds/dels) are
+// read-only for the duration of the job.
+unsafe impl Send for RepairCtx {}
+unsafe impl Sync for RepairCtx {}
+
+/// RLE-snapshots the pre-image of row `s` into this worker's local
+/// arena (merged into the cache's snapshot stack after the job).
+///
+/// # Safety
+/// The caller must own source `s` for the duration of the job.
+unsafe fn snapshot_into(rs: &mut RepairScratch, c: &CachePtrs, s: usize) {
+    let start = rs.snap_rle.len() as u32;
+    rs.snaps.push((s as u32, *c.valid.add(s), start));
+    let m = c.m;
+    let mut v = 0usize;
+    while v < m {
+        let val = c.get(s, v);
+        let mut run = 1usize;
+        while v + run < m && run < u16::MAX as usize && c.get(s, v + run) == val {
+            run += 1;
+        }
+        rs.snap_rle.push(val);
+        rs.snap_rle.push(run as u16);
+        v += run;
+    }
+}
+
+/// The added-link copies incident to `x`, as `(other endpoint,
+/// copies to skip)` — iterating `csr` neighbors must ignore exactly
+/// that many occurrences to see the strict (minus-removals,
+/// minus-adds) adjacency. Parallel pre-existing copies survive.
+#[inline]
+fn added_copies(adds: &[(u32, u32, u32)], x: u32) -> [(u32, u32); 4] {
+    let mut skip = [(u32::MAX, 0u32); 4];
+    let mut n = 0;
+    for &(a, b, mult) in adds {
+        let other = if a == x {
+            b
+        } else if b == x {
+            a
+        } else {
+            continue;
+        };
+        if n < skip.len() {
+            skip[n] = (other, mult);
+            n += 1;
+        }
+    }
+    skip
+}
+
+/// Consumes one skip token for neighbor `w`, returning `true` if
+/// this occurrence is an added copy.
+#[inline]
+fn consume_added(skip: &mut [(u32, u32); 4], w: u32) -> bool {
+    for e in skip.iter_mut() {
+        if e.0 == w && e.1 > 0 {
+            e.1 -= 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `x` keeps a surviving strict shortest-path parent (level
+/// exactly one below, reached neither through an added link nor an
+/// already-orphaned vertex).
+///
+/// # Safety
+/// The caller must own source `s` for the duration of the job.
+#[inline]
+unsafe fn strict_parent_survives(
+    c: &CachePtrs,
+    rs: &RepairScratch,
+    csr: &SlotCsr,
+    adds: &[(u32, u32, u32)],
+    s: usize,
+    x: u32,
+    lvl: u16,
+) -> bool {
+    let mut skip = added_copies(adds, x);
+    for &w in csr.neighbors(x) {
+        if consume_added(&mut skip, w) {
+            continue;
+        }
+        let wi = w as usize;
+        if u32::from(c.get(s, wi)) + 1 == u32::from(lvl) && rs.orphan_ep[wi] != rs.ep {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decremental phase for one source: rewrites the stored row from the
+/// pre-delta distances to `d_del` (graph minus the removals, added
+/// links excluded). Orphan descent finds exactly the vertices whose
+/// every strict shortest-path parent is gone, then a bucket-Dijkstra
+/// re-settles them from the unorphaned boundary, patching
+/// `wsum`/`hist`/`ecc`/`nreach` per rewritten entry. Snapshots the row
+/// just before the first write when a transaction is open. Returns
+/// `None` on distance overflow, otherwise whether any entry was
+/// rewritten (a row whose every on-DAG removal keeps a surviving
+/// strict parent is untouched, and its aggregates stay exact).
+///
+/// # Safety
+/// The caller must own source `s` exclusively for the duration of the
+/// job, and every `RepairCtx` pointer must be live.
+unsafe fn del_repair_source(ctx: &RepairCtx, rs: &mut RepairScratch, s: usize) -> Option<bool> {
+    let c = &ctx.cache;
+    let max_dist = c.max_dist;
+    let csr = &*ctx.csr;
+    let counts = std::slice::from_raw_parts(ctx.counts, ctx.counts_len);
+    let adds = std::slice::from_raw_parts(ctx.adds, ctx.adds_len);
+    let dels = std::slice::from_raw_parts(ctx.dels, ctx.dels_len);
+    if rs.ep == u32::MAX {
+        rs.cand_ep.iter_mut().for_each(|e| *e = 0);
+        rs.orphan_ep.iter_mut().for_each(|e| *e = 0);
+        rs.settled_ep.iter_mut().for_each(|e| *e = 0);
+        rs.ep = 0;
+    }
+    rs.ep += 1;
+    let ep = rs.ep;
+    rs.orphans.clear();
+    // -- orphan descent ------------------------------------------
+    // Seed with the far endpoint of every removal that sat on the
+    // shortest-path DAG of `s` (endpoint levels differ by 1).
+    let mut lo = max_dist;
+    let mut pending = 0usize;
+    for &(a, b) in dels {
+        let (da, db) = (c.get(s, a as usize), c.get(s, b as usize));
+        if da == INVALID_DIST || db == INVALID_DIST || da == db {
+            continue;
+        }
+        let (far, lvl) = if da < db { (b, db) } else { (a, da) };
+        let lvl = lvl as usize;
+        debug_assert!(lvl < max_dist);
+        rs.buckets[lvl].push(far);
+        lo = lo.min(lvl);
+        pending += 1;
+    }
+    let mut lvl = lo;
+    while pending > 0 && lvl < max_dist {
+        while let Some(x) = rs.buckets[lvl].pop() {
+            pending -= 1;
+            let xi = x as usize;
+            if rs.cand_ep[xi] == ep {
+                continue;
+            }
+            rs.cand_ep[xi] = ep;
+            if strict_parent_survives(c, rs, csr, adds, s, x, lvl as u16) {
+                continue;
+            }
+            rs.orphan_ep[xi] = ep;
+            rs.orphans.push(x);
+            // shortest-path children may have lost their last parent
+            let mut skip = added_copies(adds, x);
+            for &y in csr.neighbors(x) {
+                if consume_added(&mut skip, y) {
+                    continue;
+                }
+                let yi = y as usize;
+                if c.get(s, yi) == lvl as u16 + 1 && rs.cand_ep[yi] != ep {
+                    rs.buckets[lvl + 1].push(y);
+                    pending += 1;
+                }
+            }
+        }
+        lvl += 1;
+    }
+    if rs.orphans.is_empty() {
+        return Some(false);
+    }
+    // The row is about to be rewritten: save it now if a snapshot
+    // level is open, so witness-protected rows never pay for one.
+    if ctx.snap {
+        snapshot_into(rs, c, s);
+    }
+    // -- re-relaxation (unit-weight Dijkstra from the boundary) ---
+    let mut lo = max_dist;
+    for oi in 0..rs.orphans.len() {
+        let x = rs.orphans[oi];
+        let mut best = u32::from(INVALID_DIST);
+        let mut skip = added_copies(adds, x);
+        for &w in csr.neighbors(x) {
+            if consume_added(&mut skip, w) {
+                continue;
+            }
+            let wi = w as usize;
+            let dw = c.get(s, wi);
+            if rs.orphan_ep[wi] != ep && dw != INVALID_DIST {
+                best = best.min(u32::from(dw) + 1);
+            }
+        }
+        if best < u32::from(INVALID_DIST) {
+            let key = (best as usize).min(max_dist);
+            rs.buckets[key].push(x);
+            lo = lo.min(key);
+        }
+    }
+    let hist = std::slice::from_raw_parts_mut(c.hist.add(s * max_dist), max_dist);
+    let wsum = &mut *c.wsum.add(s);
+    let ecc = &mut *c.ecc.add(s);
+    let nreach = &mut *c.nreach.add(s);
+    let mut overflow = false;
+    let mut key = lo;
+    while key <= max_dist {
+        while let Some(x) = rs.buckets[key].pop() {
+            let xi = x as usize;
+            if rs.settled_ep[xi] == ep {
+                continue;
+            }
+            rs.settled_ep[xi] = ep;
+            if key >= max_dist {
+                overflow = true;
+                continue; // keep draining the buckets
+            }
+            // Patch the aggregates in place: orphan distances grow
+            // strictly, so the eccentricity only ratchets up here.
+            let d_old = c.get(s, xi);
+            c.set(s, xi, key as u16);
+            debug_assert!((key as u16) > d_old);
+            let kx = counts[xi];
+            if kx != 0 {
+                *wsum += kx as u64 * (key as u64 - d_old as u64);
+                hist[d_old as usize] -= 1;
+                hist[key] += 1;
+                *ecc = (*ecc).max(key as u16);
+            }
+            let mut skip = added_copies(adds, x);
+            for &w in csr.neighbors(x) {
+                if consume_added(&mut skip, w) {
+                    continue;
+                }
+                let wi = w as usize;
+                if rs.orphan_ep[wi] == ep && rs.settled_ep[wi] != ep {
+                    rs.buckets[(key + 1).min(max_dist)].push(w);
+                }
+            }
+        }
+        key += 1;
+    }
+    if overflow {
+        return None;
+    }
+    // orphans the boundary never reached are now unreachable
+    let mut ecc_dirty = false;
+    for oi in 0..rs.orphans.len() {
+        let xi = rs.orphans[oi] as usize;
+        if rs.settled_ep[xi] != ep {
+            let d_old = c.get(s, xi);
+            c.set(s, xi, INVALID_DIST);
+            let kx = counts[xi];
+            if kx != 0 {
+                *wsum -= kx as u64 * (d_old as u64 + 2);
+                hist[d_old as usize] -= 1;
+                *nreach -= 1;
+                if d_old == *ecc {
+                    ecc_dirty = true;
+                }
+            }
+        }
+    }
+    if ecc_dirty {
+        // the histogram is current again: its highest non-empty
+        // bucket is the surviving eccentricity
+        *ecc = hist.iter().rposition(|&cnt| cnt != 0).unwrap_or(0) as u16;
+    }
+    Some(true)
+}
+
+/// Insertion phase for one source: given a row holding `d_del`, seeds
+/// each pending add's endpoints with the opposite endpoint's distance
+/// plus one and settles the decrease wavefront in ascending key order
+/// through the live adjacency (bucket Dijkstra; a popped key at or
+/// above the current entry is stale and skipped). Only entries that
+/// actually shrink are touched, and the aggregates are patched per
+/// write — the eccentricity is re-read from the histogram when the
+/// previous maximum shrank. Returns `None` when a new finite distance
+/// reaches the cap, otherwise whether anything changed.
+///
+/// # Safety
+/// As [`del_repair_source`].
+unsafe fn add_repair_source(
+    ctx: &RepairCtx,
+    rs: &mut RepairScratch,
+    s: usize,
+    snapshotted: bool,
+) -> Option<bool> {
+    let c = &ctx.cache;
+    let max_dist = c.max_dist;
+    let csr = &*ctx.csr;
+    let counts = std::slice::from_raw_parts(ctx.counts, ctx.counts_len);
+    let adds = std::slice::from_raw_parts(ctx.adds, ctx.adds_len);
+    let mut lo = max_dist;
+    let mut seeded = false;
+    for &(u, v, _) in adds {
+        let (du, dv) = (c.get(s, u as usize), c.get(s, v as usize));
+        for (x, cand) in [(v, du.saturating_add(1)), (u, dv.saturating_add(1))] {
+            if cand < c.get(s, x as usize) {
+                let key = (cand as usize).min(max_dist);
+                rs.buckets[key].push(x);
+                lo = lo.min(key);
+                seeded = true;
+            }
+        }
+    }
+    if !seeded {
+        return Some(false);
+    }
+    if !snapshotted && ctx.snap {
+        snapshot_into(rs, c, s);
+    }
+    let hist = std::slice::from_raw_parts_mut(c.hist.add(s * max_dist), max_dist);
+    let wsum = &mut *c.wsum.add(s);
+    let ecc = &mut *c.ecc.add(s);
+    let nreach = &mut *c.nreach.add(s);
+    let mut overflow = false;
+    let mut ecc_dirty = false;
+    let mut key = lo;
+    while key <= max_dist {
+        while let Some(x) = rs.buckets[key].pop() {
+            let xi = x as usize;
+            let d_old = c.get(s, xi);
+            if key >= d_old as usize {
+                continue; // stale: already settled at least as close
+            }
+            if key >= max_dist {
+                overflow = true; // finite but beyond histogram range
+                continue; // keep draining the buckets
+            }
+            c.set(s, xi, key as u16);
+            let kx = counts[xi];
+            if d_old == INVALID_DIST {
+                // newly reachable through an added link
+                if kx != 0 {
+                    *wsum += kx as u64 * (key as u64 + 2);
+                    hist[key] += 1;
+                    *nreach += 1;
+                    *ecc = (*ecc).max(key as u16);
+                }
+            } else if kx != 0 {
+                *wsum -= kx as u64 * (d_old as u64 - key as u64);
+                hist[d_old as usize] -= 1;
+                hist[key] += 1;
+                if d_old == *ecc {
+                    ecc_dirty = true;
+                }
+            }
+            let cand = key + 1;
+            for &w in csr.neighbors(x) {
+                if cand < usize::from(c.get(s, w as usize)) {
+                    rs.buckets[cand.min(max_dist)].push(w);
+                }
+            }
+        }
+        key += 1;
+    }
+    if overflow {
+        return None;
+    }
+    if ecc_dirty {
+        // the histogram is current again: its highest non-empty
+        // bucket is the surviving eccentricity
+        *ecc = hist.iter().rposition(|&cnt| cnt != 0).unwrap_or(0) as u16;
+    }
+    Some(true)
+}
+
+/// Runs both repair phases for one source — the unit of work a repair
+/// task executes, identical on the sequential and pool paths. Returns
+/// `false` when a repaired distance overflowed the cap (the cache must
+/// then be released).
+fn repair_one_source(ctx: &RepairCtx, rs: &mut RepairScratch, s: usize) -> bool {
+    // SAFETY: source `s` is owned by exactly one task; everything this
+    // function writes (row `s`, aggregates of `s`, the worker-local
+    // scratch) is private to that task.
+    let flags_s = unsafe { *ctx.flags.add(s) };
+    let mut changed = false;
+    if ctx.dels_len > 0 && flags_s & (DEL_AFF | NO_STRICT) != 0 {
+        match unsafe { del_repair_source(ctx, rs, s) } {
+            None => return false,
+            Some(c) => changed = c,
+        }
+    }
+    if ctx.adds_len > 0 {
+        match unsafe { add_repair_source(ctx, rs, s, changed) } {
+            None => return false,
+            Some(c) => changed |= c,
+        }
+    }
+    rs.touched += u32::from(changed);
+    true
 }
 
 // ---- persistent evaluation worker pool ---------------------------------
 
-/// One sweep job, published to the pool by the evaluating thread. All
-/// pointers stay valid until the job completes (the publisher blocks).
+/// One evaluation job, published to the pool by the evaluating thread.
+/// Task ids below the batch count (`⌈srcs_len/64⌉`) are 64-wide sweep
+/// batches; the rest index into `repair`. All pointers stay valid until
+/// the job completes (the publisher blocks).
 #[derive(Debug, Clone, Copy)]
 struct JobPacket {
     csr: *const SlotCsr,
@@ -1425,10 +1760,15 @@ struct JobPacket {
     srcs_len: usize,
     scratch: *mut EvalScratch,
     cache: Option<CachePtrs>,
+    repair: *const u32,
+    repair_len: usize,
+    rctx: Option<RepairCtx>,
+    rscratch: *mut RepairScratch,
 }
 
 // SAFETY: the publisher blocks until every worker finished, scratch
-// buffers are indexed per worker, and cached sweeps write disjoint rows.
+// buffers are indexed per worker, and cached sweeps/repairs write
+// disjoint rows.
 unsafe impl Send for JobPacket {}
 unsafe impl Sync for JobPacket {}
 
@@ -1446,7 +1786,11 @@ struct PoolShared {
     ctl: Mutex<PoolCtl>,
     go: Condvar,
     done: Condvar,
-    next: AtomicUsize,
+    /// One work-stealing deque per worker (index 0 = the publisher).
+    /// The publisher seeds each with a contiguous shard of the task
+    /// list before the job is published; tasks are never re-pushed, so
+    /// an observed-empty deque stays empty for the rest of the job.
+    deques: Vec<Deque<u32>>,
     overflow: AtomicBool,
 }
 
@@ -1460,12 +1804,13 @@ struct EvalPool {
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
-/// Executes this worker's share of `job` (batches are claimed from a
-/// shared atomic counter, so load balances dynamically).
+/// Executes this worker's share of `job`: drains the worker's own deque
+/// (LIFO), then steals the oldest tasks from siblings until every deque
+/// has been observed empty.
 fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSums {
     // SAFETY: the publisher keeps every pointer alive until the job is
-    // complete, and `scratch.add(worker)` is this worker's exclusive
-    // buffer.
+    // complete, and `scratch.add(worker)` / `rscratch.add(worker)` are
+    // this worker's exclusive buffers.
     let (csr, counts, srcs, scratch) = unsafe {
         (
             &*job.csr,
@@ -1474,22 +1819,62 @@ fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSum
             &mut *job.scratch.add(worker),
         )
     };
-    let mut acc = BatchSums::default();
+    let repair: &[u32] = if job.repair_len == 0 {
+        &[]
+    } else {
+        // SAFETY: as above.
+        unsafe { std::slice::from_raw_parts(job.repair, job.repair_len) }
+    };
     let nbatches = srcs.len().div_ceil(64);
-    loop {
-        let b = shared.next.fetch_add(1, Ordering::Relaxed);
-        if b >= nbatches {
-            break;
+    let mut acc = BatchSums::default();
+    let exec = |t: usize, acc: &mut BatchSums, scratch: &mut EvalScratch| {
+        if t < nbatches {
+            let lo = t * 64;
+            let hi = (lo + 64).min(srcs.len());
+            match &job.cache {
+                Some(c) => {
+                    if !sweep_batch_cached(csr, counts, &srcs[lo..hi], scratch, c) {
+                        shared.overflow.store(true, Ordering::Relaxed);
+                    }
+                }
+                None => acc.absorb(sweep_batch(csr, counts, &srcs[lo..hi], scratch)),
+            }
+        } else {
+            let s = repair[t - nbatches] as usize;
+            let ctx = job.rctx.as_ref().expect("repair task without context");
+            // SAFETY: worker-indexed exclusive scratch (see above).
+            let rs = unsafe { &mut *job.rscratch.add(worker) };
+            if !repair_one_source(ctx, rs, s) {
+                shared.overflow.store(true, Ordering::Relaxed);
+            }
         }
-        let lo = b * 64;
-        let hi = (lo + 64).min(srcs.len());
-        match &job.cache {
-            Some(c) => {
-                if !sweep_batch_cached(csr, counts, &srcs[lo..hi], scratch, c) {
-                    shared.overflow.store(true, Ordering::Relaxed);
+    };
+    while let Some(t) = shared.deques[worker].pop() {
+        exec(t as usize, &mut acc, scratch);
+    }
+    let nw = shared.deques.len();
+    if nw > 1 {
+        let mut victim = (worker + 1) % nw;
+        let mut empties = 0usize;
+        while empties < nw - 1 {
+            if victim == worker {
+                victim = (victim + 1) % nw;
+                continue;
+            }
+            match shared.deques[victim].steal() {
+                Steal::Success(t) => {
+                    exec(t as usize, &mut acc, scratch);
+                    empties = 0;
+                }
+                Steal::Retry => {
+                    std::hint::spin_loop();
+                    empties = 0;
+                }
+                Steal::Empty => {
+                    empties += 1;
+                    victim = (victim + 1) % nw;
                 }
             }
-            None => acc.absorb(sweep_batch(csr, counts, &srcs[lo..hi], scratch)),
         }
     }
     acc
@@ -1497,8 +1882,8 @@ fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSum
 
 impl EvalPool {
     /// Spawns `extra` parked workers (the evaluating thread itself acts
-    /// as worker 0).
-    fn spawn(extra: usize) -> Self {
+    /// as worker 0); each deque holds up to `task_cap` tasks.
+    fn spawn(extra: usize, task_cap: usize) -> Self {
         let shared = Arc::new(PoolShared {
             ctl: Mutex::new(PoolCtl {
                 seq: 0,
@@ -1509,7 +1894,9 @@ impl EvalPool {
             }),
             go: Condvar::new(),
             done: Condvar::new(),
-            next: AtomicUsize::new(0),
+            deques: (0..=extra)
+                .map(|_| Deque::with_capacity(task_cap))
+                .collect(),
             overflow: AtomicBool::new(false),
         });
         let handles = (1..=extra)
@@ -1547,11 +1934,27 @@ impl EvalPool {
         Self { shared, handles }
     }
 
-    /// Runs one sweep job across the pool (the caller participates as
-    /// worker 0) and returns the combined sums plus the overflow flag.
-    fn run(&self, job: JobPacket) -> (BatchSums, bool) {
-        self.shared.next.store(0, Ordering::Relaxed);
+    /// Runs one job of `ntasks` tasks across the pool (the caller
+    /// participates as worker 0) and returns the combined sums plus the
+    /// overflow flag.
+    fn run(&self, job: JobPacket, ntasks: usize) -> (BatchSums, bool) {
         self.shared.overflow.store(false, Ordering::Relaxed);
+        // Seed each worker's deque with a contiguous shard of the task
+        // list (worker i owns tasks [i·per, (i+1)·per)): contiguous
+        // source ranges keep each worker's row writes dense in memory,
+        // and stealing rebalances the tail. The job publish below
+        // (mutex + condvar) orders these pushes before any worker's
+        // first pop or steal.
+        let nw = self.handles.len() + 1;
+        let per = ntasks.div_ceil(nw);
+        for (w, dq) in self.shared.deques.iter().enumerate() {
+            debug_assert!(dq.is_empty());
+            let lo = (w * per).min(ntasks);
+            let hi = ((w + 1) * per).min(ntasks);
+            for t in lo..hi {
+                assert!(dq.push(t as u32), "deque sized below the job's task count");
+            }
+        }
         {
             let mut ctl = self.shared.ctl.lock().expect("pool lock");
             ctl.seq += 1;
@@ -1612,10 +2015,11 @@ pub struct EvalStats {
     pub incremental: u64,
     /// Guarded evaluations rejected from the lower bound alone.
     pub early_rejected: u64,
-    /// Sources fixed by the closed-form single-add distance formula
-    /// instead of a re-BFS (a subset of the incremental evaluations'
-    /// affected sources).
+    /// Sources fixed by the in-place repair path instead of a re-BFS
+    /// (a subset of the incremental evaluations' affected sources).
     pub repaired: u64,
+    /// Jobs dispatched to the work-stealing worker pool.
+    pub pool_jobs: u64,
     /// Path taken by the most recent evaluation.
     pub last_kind: EvalPathKind,
     /// Sources re-swept by the most recent evaluation.
@@ -1658,9 +2062,12 @@ enum UndoOp {
 /// keeps all four structures consistent by construction; the structures
 /// are never rebuilt after [`SearchState::new`]. Scoring via
 /// [`SearchState::evaluate`] reuses per-worker [`EvalScratch`] buffers —
-/// after warm-up a proposal allocates nothing — and, on instances up to
-/// [`CACHE_MAX_SWITCHES`] switches, re-sweeps only the sources whose
-/// distance vectors the move can actually change (see the module docs).
+/// after warm-up a proposal allocates nothing — and, whenever the
+/// [`SearchConfig`] provisions a distance cache (dense or packed),
+/// re-sweeps only the sources whose distance vectors the move can
+/// actually change (see the module docs). On multi-worker engines the
+/// re-sweeps *and* per-source repairs of one evaluation are scheduled
+/// over the pool's work-stealing deques as a single job.
 #[derive(Debug)]
 pub struct SearchState {
     g: HostSwitchGraph,
@@ -1677,6 +2084,15 @@ pub struct SearchState {
     pool: Option<EvalPool>,
     rebfs_buf: Vec<u32>,
     repair_buf: Vec<u32>,
+    /// Per-worker repair scratch (index 0 doubles as the sequential
+    /// path's scratch).
+    rscratch: Vec<RepairScratch>,
+    /// Pending delta split for the repair tasks, reused per evaluation.
+    adds_buf: Vec<(u32, u32, u32)>,
+    dels_buf: Vec<(u32, u32)>,
+    /// Reusable `(source, worker, index)` keys for the deterministic
+    /// post-job snapshot merge.
+    snap_order: Vec<(u32, u32, u32)>,
     stats: EvalStats,
 }
 
@@ -1690,13 +2106,30 @@ impl SearchState {
     /// [`GraphError::InvalidParameters`] on fewer than two hosts.
     pub fn new(start: HostSwitchGraph, parallel: Option<bool>) -> Result<Self, GraphError> {
         let workers = resolve_parallel_eval(parallel, start.num_switches());
-        Self::with_options(start, workers, true)
+        Self::with_search(start, workers, SearchConfig::default())
     }
 
     /// As [`SearchState::new`] with an explicit evaluation worker count
     /// (clamped to at least 1).
     pub fn with_workers(start: HostSwitchGraph, workers: usize) -> Result<Self, GraphError> {
-        Self::with_options(start, workers, true)
+        Self::with_search(start, workers, SearchConfig::default())
+    }
+
+    /// Compatibility constructor: explicit worker count and whether the
+    /// incremental distance cache may be used (`false` forces the full
+    /// batched sweep on every evaluation — the correctness oracle and
+    /// the baseline of the `incremental_eval` benchmark).
+    pub fn with_options(
+        start: HostSwitchGraph,
+        workers: usize,
+        distance_cache: bool,
+    ) -> Result<Self, GraphError> {
+        let cfg = if distance_cache {
+            SearchConfig::default()
+        } else {
+            SearchConfig::off()
+        };
+        Self::with_search(start, workers, cfg)
     }
 
     /// Checkpoint-restore constructor: as [`SearchState::with_workers`]
@@ -1713,29 +2146,15 @@ impl SearchState {
         workers: usize,
         edge_order: &[(Switch, Switch)],
     ) -> Result<Self, GraphError> {
-        let edges = EdgeSet::from_ordered(edge_order).ok_or_else(|| {
-            GraphError::InvalidParameters("edge order contains duplicates".into())
-        })?;
-        if edges.len() != start.num_links()
-            || edge_order.iter().any(|&(a, b)| !start.has_link(a, b))
-        {
-            return Err(GraphError::InvalidParameters(
-                "edge order does not match the graph's links".into(),
-            ));
-        }
-        let mut state = Self::with_options(start, workers, true)?;
-        state.edges = edges;
-        Ok(state)
+        Self::with_search_edge_order(start, workers, SearchConfig::default(), edge_order)
     }
 
-    /// Full-control constructor: explicit worker count and whether the
-    /// incremental distance cache may be used (`false` forces the full
-    /// batched sweep on every evaluation — the correctness oracle and
-    /// the baseline of the `incremental_eval` benchmark).
-    pub fn with_options(
+    /// Full-control constructor: explicit worker count and cache
+    /// provisioning policy (see [`SearchConfig::resolve_codec`]).
+    pub fn with_search(
         start: HostSwitchGraph,
         workers: usize,
-        distance_cache: bool,
+        cfg: SearchConfig,
     ) -> Result<Self, GraphError> {
         if start.num_hosts() < 2 {
             return Err(GraphError::InvalidParameters(
@@ -1745,6 +2164,9 @@ impl SearchState {
         let counts = start.host_counts();
         let workers = workers.max(1);
         let m = start.num_switches() as usize;
+        // worst case per job: every source re-swept in 64-wide batches
+        // plus every source repaired
+        let task_cap = m + m.div_ceil(64);
         let mut state = Self {
             csr: SlotCsr::from_graph(&start),
             edges: EdgeSet::from_graph(&start),
@@ -1756,19 +2178,44 @@ impl SearchState {
             workers,
             scratch: vec![EvalScratch::default(); workers],
             srcs: Vec::new(),
-            cache: if distance_cache {
-                DistCache::new(m)
-            } else {
-                None
-            },
-            pool: (workers > 1).then(|| EvalPool::spawn(workers - 1)),
+            cache: cfg
+                .resolve_codec(m)
+                .map(|codec| DistCache::with_codec(m, codec)),
+            pool: (workers > 1).then(|| EvalPool::spawn(workers - 1, task_cap)),
             rebfs_buf: Vec::new(),
             repair_buf: Vec::new(),
+            rscratch: (0..workers).map(|_| RepairScratch::default()).collect(),
+            adds_buf: Vec::new(),
+            dels_buf: Vec::new(),
+            snap_order: Vec::new(),
             stats: EvalStats::default(),
         };
         if state.evaluate().is_none() {
             return Err(GraphError::Disconnected);
         }
+        Ok(state)
+    }
+
+    /// As [`SearchState::with_search`] with an explicit [`EdgeSet`]
+    /// storage order (see [`SearchState::with_edge_order`]).
+    pub fn with_search_edge_order(
+        start: HostSwitchGraph,
+        workers: usize,
+        cfg: SearchConfig,
+        edge_order: &[(Switch, Switch)],
+    ) -> Result<Self, GraphError> {
+        let edges = EdgeSet::from_ordered(edge_order).ok_or_else(|| {
+            GraphError::InvalidParameters("edge order contains duplicates".into())
+        })?;
+        if edges.len() != start.num_links()
+            || edge_order.iter().any(|&(a, b)| !start.has_link(a, b))
+        {
+            return Err(GraphError::InvalidParameters(
+                "edge order does not match the graph's links".into(),
+            ));
+        }
+        let mut state = Self::with_search(start, workers, cfg)?;
+        state.edges = edges;
         Ok(state)
     }
 
@@ -1806,6 +2253,13 @@ impl SearchState {
     #[inline]
     pub fn cache_active(&self) -> bool {
         self.cache.as_ref().is_some_and(|c| !c.disabled)
+    }
+
+    /// The row codec the live distance cache uses, or `None` when every
+    /// evaluation is a full sweep.
+    #[inline]
+    pub fn cache_codec(&self) -> Option<CacheCodec> {
+        self.cache.as_ref().filter(|c| !c.disabled).map(|c| c.codec)
     }
 
     /// Evaluation-path counters (full vs incremental vs early-rejected).
@@ -1958,7 +2412,7 @@ impl SearchState {
     /// Scores the current (possibly uncommitted) graph: h-ASPL, diameter,
     /// and total pair length, or `None` if some host pair is unreachable.
     ///
-    /// On cache-eligible instances only the sources affected by the edge
+    /// On cache-backed instances only the sources affected by the edge
     /// delta since the last evaluation are re-swept; otherwise (and as
     /// the fallback) the full batched BFS runs over the in-place CSR and
     /// reused scratch.
@@ -1987,8 +2441,8 @@ impl SearchState {
             if let Some(outcome) = self.evaluate_cached(n, reject_above) {
                 return outcome;
             }
-            // the cached sweep overflowed CACHE_MAX_DIST: drop the cache
-            // and fall through to the plain path
+            // the cached sweep overflowed the codec's distance cap: drop
+            // the cache and fall through to the plain path
             if let Some(c) = &mut self.cache {
                 c.release();
             }
@@ -2003,6 +2457,14 @@ impl SearchState {
 
     /// The cache-backed evaluation path; `None` means the cache
     /// overflowed and the caller must fall back to the plain sweep.
+    ///
+    /// Re-sweeps and per-source repairs are one combined job: sweeps
+    /// rewrite *invalid* rows, repairs rewrite *valid* rows, and both
+    /// touch only their own source's row and aggregates, so the tasks
+    /// are independent and the pool schedules them over its
+    /// work-stealing deques in any order. All reductions (path sums,
+    /// snapshot merge) happen in deterministic sequential order
+    /// afterwards, so the result is bit-identical for any worker count.
     fn evaluate_cached(&mut self, n: u64, reject_above: Option<f64>) -> Option<EvalOutcome> {
         let in_txn = self.in_txn();
         let cache = self.cache.as_mut().expect("cache_active checked");
@@ -2026,6 +2488,7 @@ impl SearchState {
             }
         }
         let full = self.rebfs_buf.len() == self.csr.len();
+        let m = self.csr.len();
         let cache = self.cache.as_mut().expect("cache_active checked");
         if in_txn {
             // Rows rewritten wholesale by re-BFS are snapshotted here;
@@ -2036,46 +2499,112 @@ impl SearchState {
                 cache.snapshot_row(s);
             }
         }
-        let ptrs = cache.ptrs();
-        let ok = if !self.rebfs_buf.is_empty() {
-            if self.workers > 1 && self.rebfs_buf.len() > 64 {
-                let job = JobPacket {
-                    csr: &self.csr,
-                    counts: self.counts.as_ptr(),
-                    counts_len: self.counts.len(),
-                    srcs: self.rebfs_buf.as_ptr(),
-                    srcs_len: self.rebfs_buf.len(),
-                    scratch: self.scratch.as_mut_ptr(),
-                    cache: Some(ptrs),
-                };
-                let (_, overflow) = self.pool.as_ref().expect("workers > 1").run(job);
-                !overflow
-            } else {
-                let mut ok = true;
-                for lo in (0..self.rebfs_buf.len()).step_by(64) {
-                    let hi = (lo + 64).min(self.rebfs_buf.len());
-                    ok &= sweep_batch_cached(
-                        &self.csr,
-                        &self.counts,
-                        &self.rebfs_buf[lo..hi],
-                        &mut self.scratch[0],
-                        &ptrs,
-                    );
-                }
-                ok
+        // split the pending delta once for every repair task
+        self.adds_buf.clear();
+        self.dels_buf.clear();
+        for &(a, b, net) in &cache.edge_delta {
+            if net > 0 {
+                self.adds_buf.push((a, b, net as u32));
+            } else if net < 0 {
+                self.dels_buf.push((a, b));
             }
-        } else {
+        }
+        let max_dist = cache.max_dist;
+        let ptrs = cache.ptrs();
+        let rctx = RepairCtx {
+            cache: ptrs,
+            flags: cache.flags.as_ptr(),
+            csr: &self.csr,
+            counts: self.counts.as_ptr(),
+            counts_len: self.counts.len(),
+            adds: self.adds_buf.as_ptr(),
+            adds_len: self.adds_buf.len(),
+            dels: self.dels_buf.as_ptr(),
+            dels_len: self.dels_buf.len(),
+            snap: in_txn,
+        };
+        for rs in &mut self.rscratch {
+            rs.ensure(m, max_dist);
+            rs.reset_job();
+        }
+        let nbatches = self.rebfs_buf.len().div_ceil(64);
+        let ntasks = nbatches + self.repair_buf.len();
+        let ok = if ntasks == 0 {
             true
+        } else if self.workers > 1 && (self.rebfs_buf.len() > 64 || ntasks >= POOL_TASK_THRESHOLD) {
+            self.stats.pool_jobs += 1;
+            let job = JobPacket {
+                csr: &self.csr,
+                counts: self.counts.as_ptr(),
+                counts_len: self.counts.len(),
+                srcs: self.rebfs_buf.as_ptr(),
+                srcs_len: self.rebfs_buf.len(),
+                scratch: self.scratch.as_mut_ptr(),
+                cache: Some(ptrs),
+                repair: self.repair_buf.as_ptr(),
+                repair_len: self.repair_buf.len(),
+                rctx: Some(rctx),
+                rscratch: self.rscratch.as_mut_ptr(),
+            };
+            let (_, overflow) = self.pool.as_ref().expect("workers > 1").run(job, ntasks);
+            !overflow
+        } else {
+            let mut ok = true;
+            for lo in (0..self.rebfs_buf.len()).step_by(64) {
+                let hi = (lo + 64).min(self.rebfs_buf.len());
+                ok &= sweep_batch_cached(
+                    &self.csr,
+                    &self.counts,
+                    &self.rebfs_buf[lo..hi],
+                    &mut self.scratch[0],
+                    &ptrs,
+                );
+            }
+            if ok {
+                for &s in &self.repair_buf {
+                    if !repair_one_source(&rctx, &mut self.rscratch[0], s as usize) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            ok
         };
         if !ok {
             return None;
         }
         let cache = self.cache.as_mut().expect("cache_active checked");
-        // The endpoints' rows are fresh now; repair every other
-        // affected row in place (decremental phase + insertion formula).
-        if !cache.repair_rows(&self.csr, &self.repair_buf, &self.counts) {
-            return None;
+        if in_txn {
+            // Merge the worker-local row snapshots into the cache's
+            // stack in ascending source order — deterministic no matter
+            // which worker executed (or stole) each repair task. Within
+            // one evaluation each source is saved at most once, and
+            // across evaluations append order preserves time order, so
+            // rollback's reverse replay still restores the earliest
+            // (pre-transaction) image last.
+            self.snap_order.clear();
+            for (w, rs) in self.rscratch.iter().enumerate() {
+                for (i, &(s, _, _)) in rs.snaps.iter().enumerate() {
+                    self.snap_order.push((s, w as u32, i as u32));
+                }
+            }
+            self.snap_order.sort_unstable();
+            for &(s, w, i) in &self.snap_order {
+                let rs = &self.rscratch[w as usize];
+                let (_, was_valid, start) = rs.snaps[i as usize];
+                let end = rs
+                    .snaps
+                    .get(i as usize + 1)
+                    .map_or(rs.snap_rle.len(), |&(_, _, e)| e as usize);
+                cache
+                    .snap_src
+                    .push((s, was_valid, cache.snap_rle.len() as u32));
+                cache
+                    .snap_rle
+                    .extend_from_slice(&rs.snap_rle[start as usize..end]);
+            }
         }
+        cache.touched = self.rscratch.iter().map(|rs| rs.touched).sum();
         cache.edge_delta.clear();
         let totals = cache.totals(&self.counts);
         if full {
@@ -2096,6 +2625,7 @@ impl SearchState {
     /// the instance is large enough.
     fn sweep_all_plain(&mut self) -> BatchSums {
         if self.workers > 1 && self.srcs.len() > 64 {
+            self.stats.pool_jobs += 1;
             let job = JobPacket {
                 csr: &self.csr,
                 counts: self.counts.as_ptr(),
@@ -2104,8 +2634,13 @@ impl SearchState {
                 srcs_len: self.srcs.len(),
                 scratch: self.scratch.as_mut_ptr(),
                 cache: None,
+                repair: std::ptr::null(),
+                repair_len: 0,
+                rctx: None,
+                rscratch: self.rscratch.as_mut_ptr(),
             };
-            self.pool.as_ref().expect("workers > 1").run(job).0
+            let ntasks = self.srcs.len().div_ceil(64);
+            self.pool.as_ref().expect("workers > 1").run(job, ntasks).0
         } else {
             let mut totals = BatchSums::default();
             for lo in (0..self.srcs.len()).step_by(64) {
@@ -2178,18 +2713,19 @@ impl SearchState {
             return Ok(());
         }
         let m = cache.m;
+        let max_dist = cache.max_dist;
         let settled = cache.edge_delta.is_empty();
         for s in 0..m {
             if !cache.valid[s] {
                 continue;
             }
-            let row = cache.row(s);
             // aggregates must match the row as stored + current counts
             let mut wsum = 0u64;
-            let mut hist = vec![0u32; CACHE_MAX_DIST];
+            let mut hist = vec![0u32; max_dist];
             let mut nreach = 0u32;
             let mut ecc = 0u16;
-            for (v, (&d, &k)) in row.iter().zip(&self.counts).enumerate() {
+            for (v, &k) in self.counts.iter().enumerate().take(m) {
+                let d = row_get(&cache.store, m, s, v);
                 if v == s || d == INVALID_DIST || k == 0 {
                     continue;
                 }
@@ -2201,7 +2737,7 @@ impl SearchState {
             if wsum != cache.wsum[s]
                 || nreach != cache.nreach[s]
                 || ecc != cache.ecc[s]
-                || hist != cache.hist[s * CACHE_MAX_DIST..(s + 1) * CACHE_MAX_DIST]
+                || hist != cache.hist[s * max_dist..(s + 1) * max_dist]
             {
                 return Err(format!(
                     "cache aggregates of source {s} diverged from its row \
@@ -2212,12 +2748,13 @@ impl SearchState {
             if settled {
                 // rows must equal fresh BFS distances of the owned graph
                 let fresh = self.g.switch_distances(s as u32);
-                for (v, (&cached, &f)) in row.iter().zip(&fresh).enumerate() {
+                for (v, &f) in fresh.iter().enumerate() {
                     let f16 = if f == u32::MAX {
                         INVALID_DIST
                     } else {
                         f as u16
                     };
+                    let cached = row_get(&cache.store, m, s, v);
                     if cached != f16 {
                         return Err(format!(
                             "cached distance d({s},{v}) = {cached} diverged from fresh {f16}"
@@ -2348,6 +2885,140 @@ mod tests {
             }
         }
         g
+    }
+
+    #[test]
+    fn search_config_resolves_codec_by_mode_and_budget() {
+        let auto = SearchConfig::default();
+        assert_eq!(auto.resolve_codec(64), Some(CacheCodec::Dense));
+        assert_eq!(
+            auto.resolve_codec(CACHE_MAX_SWITCHES + 1),
+            Some(CacheCodec::Packed)
+        );
+        assert_eq!(auto.resolve_codec(1), None);
+        assert_eq!(SearchConfig::off().resolve_codec(64), None);
+        let tight = SearchConfig {
+            cache_mode: CacheMode::Auto,
+            memory_budget_bytes: 1024,
+        };
+        assert_eq!(tight.resolve_codec(4096), None);
+        let forced = SearchConfig {
+            cache_mode: CacheMode::Compressed,
+            ..SearchConfig::default()
+        };
+        assert_eq!(forced.resolve_codec(64), Some(CacheCodec::Packed));
+        assert!(SearchConfig::compressed_cache_bytes(64) < SearchConfig::dense_cache_bytes(64));
+        assert_eq!("compressed".parse::<CacheMode>(), Ok(CacheMode::Compressed));
+        assert_eq!("auto".parse::<CacheMode>(), Ok(CacheMode::Auto));
+        assert!("bogus".parse::<CacheMode>().is_err());
+    }
+
+    #[test]
+    fn compressed_cache_matches_dense_and_plain() {
+        // the packed-u8 codec must follow bit-identical trajectories to
+        // the dense codec and the no-cache oracle across mixed proposals
+        // with commits and rollbacks
+        let g = random_general(96, 24, 8, 13).unwrap();
+        let dense_cfg = SearchConfig {
+            cache_mode: CacheMode::Dense,
+            ..SearchConfig::default()
+        };
+        let packed_cfg = SearchConfig {
+            cache_mode: CacheMode::Compressed,
+            ..SearchConfig::default()
+        };
+        let mut dense = SearchState::with_search(g.clone(), 1, dense_cfg).unwrap();
+        let mut packed = SearchState::with_search(g.clone(), 1, packed_cfg).unwrap();
+        let mut plain = SearchState::with_search(g, 1, SearchConfig::off()).unwrap();
+        assert_eq!(dense.cache_codec(), Some(CacheCodec::Dense));
+        assert_eq!(packed.cache_codec(), Some(CacheCodec::Packed));
+        assert_eq!(plain.cache_codec(), None);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for step in 0..120 {
+            let applied = if step % 2 == 0 {
+                sample_swing(dense.graph(), dense.edges(), &mut rng, 24).map(|s| {
+                    dense.begin();
+                    packed.begin();
+                    plain.begin();
+                    dense.apply_swing(s).unwrap();
+                    packed.apply_swing(s).unwrap();
+                    plain.apply_swing(s).unwrap();
+                })
+            } else {
+                sample_swap(dense.graph(), dense.edges(), &mut rng, 24).map(|s| {
+                    dense.begin();
+                    packed.begin();
+                    plain.begin();
+                    dense.apply_swap(s).unwrap();
+                    packed.apply_swap(s).unwrap();
+                    plain.apply_swap(s).unwrap();
+                })
+            };
+            if applied.is_none() {
+                continue;
+            }
+            let want = plain.evaluate();
+            assert_eq!(dense.evaluate(), want, "step {step}");
+            assert_eq!(packed.evaluate(), want, "step {step}");
+            if step % 3 == 0 && want.is_some() {
+                dense.commit();
+                packed.commit();
+                plain.commit();
+            } else {
+                dense.rollback();
+                packed.rollback();
+                plain.rollback();
+            }
+        }
+        assert_eq!(dense.evaluate(), packed.evaluate());
+        dense.check_consistency().unwrap();
+        packed.check_consistency().unwrap();
+        assert!(packed.eval_stats().incremental > 0);
+    }
+
+    #[test]
+    fn sharded_repair_pool_matches_sequential() {
+        // the combined sweep+repair job on the work-stealing pool must be
+        // bit-identical to the sequential engine, including rollbacks
+        let g = random_general(768, 192, 10, 29).unwrap();
+        let mut seq = SearchState::with_workers(g.clone(), 1).unwrap();
+        let mut par = SearchState::with_workers(g, 3).unwrap();
+        assert_eq!(par.workers(), 3);
+        assert!(par.eval_stats().pool_jobs > 0, "initial fill uses the pool");
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for step in 0..60 {
+            let applied = if step % 2 == 0 {
+                sample_swing(seq.graph(), seq.edges(), &mut rng, 24).map(|s| {
+                    seq.begin();
+                    par.begin();
+                    seq.apply_swing(s).unwrap();
+                    par.apply_swing(s).unwrap();
+                })
+            } else {
+                sample_swap(seq.graph(), seq.edges(), &mut rng, 24).map(|s| {
+                    seq.begin();
+                    par.begin();
+                    seq.apply_swap(s).unwrap();
+                    par.apply_swap(s).unwrap();
+                })
+            };
+            if applied.is_none() {
+                continue;
+            }
+            let want = seq.evaluate();
+            assert_eq!(par.evaluate(), want, "step {step}");
+            if step % 3 == 0 && want.is_some() {
+                seq.commit();
+                par.commit();
+            } else {
+                seq.rollback();
+                par.rollback();
+            }
+        }
+        assert_eq!(seq.evaluate(), par.evaluate());
+        assert_eq!(seq.eval_stats().repaired, par.eval_stats().repaired);
+        assert!(par.eval_stats().repaired > 0, "walk exercised the repairs");
+        par.check_consistency().unwrap();
     }
 
     #[test]
@@ -2732,12 +3403,14 @@ mod tests {
 
     #[test]
     fn cache_survives_depth_overflow_by_disabling() {
-        // a 300-ring has eccentricity 150 > CACHE_MAX_DIST: the engine
-        // must fall back to the full sweep and still score correctly
+        // a 300-ring has eccentricity 150, beyond the dense codec's
+        // 128-hop cap: the engine must fall back to the full sweep and
+        // still score correctly
         let g = ring(300, 1, 4);
         let expect = path_metrics(&g).unwrap();
         let mut st = SearchState::new(g, Some(false)).unwrap();
         assert!(!st.cache_active());
+        assert_eq!(st.cache_codec(), None);
         assert_eq!(st.evaluate().unwrap(), expect);
         assert!(st.eval_stats().full >= 2);
     }

@@ -1,0 +1,261 @@
+//! A Chase–Lev work-stealing deque for scheduling evaluation work
+//! (re-BFS batches and per-source cache repairs) across the persistent
+//! [`crate::search::SearchState`] worker pool.
+//!
+//! One deque per worker: the owner pushes and pops at the *bottom*
+//! (LIFO, cache-friendly), thieves take from the *top* (FIFO, oldest
+//! first). The implementation follows the C11 formulation of Lê,
+//! Pop, Cocco & Fatahalian, "Correct and Efficient Work-Stealing for
+//! Weak Memory Models" (PPoPP'13): a `SeqCst` fence orders the owner's
+//! speculative bottom decrement against concurrent steals, and the
+//! single-element race between `pop` and `steal` is settled by a CAS on
+//! `top`.
+//!
+//! Two deliberate simplifications against the general algorithm:
+//!
+//! * **Fixed capacity.** The scheduler knows the worst-case task count
+//!   per evaluation up front (`⌈sources/64⌉ sweep batches + affected
+//!   repair sources ≤ m + ⌈m/64⌉`), so the ring buffer is sized once
+//!   and [`Deque::push`] simply reports overflow instead of growing —
+//!   no buffer swap, no reclamation problem.
+//! * **`T: Copy`.** Tasks are small ids; a lost race leaves no value to
+//!   drop, so reads of the ring slots need no ownership transfer.
+//!
+//! The scheduler seeds every worker's deque with a contiguous shard of
+//! the task list *before* the job is published (the pool's job mutex
+//! orders those writes ahead of any worker wake-up), then each worker
+//! drains its own deque and steals from its siblings once empty. Every
+//! task is executed exactly once — the property suite drives
+//! concurrent owner/thief interleavings and checks no task is lost or
+//! duplicated.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+
+/// Outcome of a [`Deque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; retrying may succeed.
+    Retry,
+    /// Took the oldest task.
+    Success(T),
+}
+
+/// A fixed-capacity Chase–Lev work-stealing deque. The owner thread
+/// calls [`Deque::push`] / [`Deque::pop`]; any other thread may call
+/// [`Deque::steal`] concurrently.
+#[derive(Debug)]
+pub struct Deque<T> {
+    /// Owner end. Only the owner writes it (the pop/steal CAS protocol
+    /// never needs a thief to).
+    bottom: AtomicIsize,
+    /// Thief end; advanced by successful steals and by the owner when it
+    /// wins the last-element race.
+    top: AtomicIsize,
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: isize,
+}
+
+// SAFETY: slots are plain `Copy` payloads; the Chase–Lev index protocol
+// guarantees a slot is never written (by push) while a concurrent read
+// (by pop/steal) of the same logical element can still win its CAS.
+unsafe impl<T: Copy + Send> Send for Deque<T> {}
+unsafe impl<T: Copy + Send> Sync for Deque<T> {}
+
+impl<T: Copy> Deque<T> {
+    /// A deque holding at most `capacity` tasks (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf,
+            mask: cap as isize - 1,
+        }
+    }
+
+    /// Ring capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of tasks currently queued, as observed by the caller.
+    /// Exact for the owner between operations; a racy estimate for
+    /// everyone else.
+    #[inline]
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque is observed empty (racy for non-owners).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slot(&self, i: isize) -> *mut MaybeUninit<T> {
+        self.buf[(i & self.mask) as usize].get()
+    }
+
+    /// Owner: appends a task at the bottom. Returns `false` (and leaves
+    /// the deque unchanged) when the ring is full.
+    ///
+    /// May also be called by a publisher while every worker is parked —
+    /// external synchronisation (the pool's job handshake) must then
+    /// order the pushes before any concurrent `pop`/`steal`.
+    pub fn push(&self, v: T) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.buf.len() as isize {
+            return false;
+        }
+        // SAFETY: `b - t < capacity`, so slot `b` is not concurrently
+        // readable: a thief reads index `t' >= t` only after its CAS on
+        // `top`, and `b` is at least a full ring ahead of any index a
+        // pending steal could have latched.
+        unsafe {
+            (*self.slot(b)).write(v);
+        }
+        // Publish the slot write before the new bottom becomes visible.
+        self.bottom.store(b + 1, Ordering::Release);
+        true
+    }
+
+    /// Owner: takes the most recently pushed task, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the speculative bottom decrement against thief reads of
+        // `top`: after this fence, either the thief sees the new bottom
+        // or the owner sees the thief's CAS.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: `t <= b` means element `b` existed when the fence ran;
+        // a racing thief can only be after `t = b` (settled below).
+        let v = unsafe { (*self.slot(b)).assume_init_read() };
+        if t == b {
+            // Last element: race a concurrent steal for it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Thief: attempts to take the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Order this thief's top read against the owner's speculative
+        // bottom decrement (pairs with the fence in `pop`).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: `t < b`: slot `t` holds an initialised element, and
+        // `push` cannot overwrite it before `top` passes it — which only
+        // happens through the CAS below.
+        let v = unsafe { (*self.slot(t)).assume_init_read() };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = Deque::with_capacity(8);
+        assert!(d.push(1u32) && d.push(2) && d.push(3));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Steal::Success(1));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_overflow() {
+        let d = Deque::with_capacity(2);
+        assert_eq!(d.capacity(), 2);
+        assert!(d.push(1u32));
+        assert!(d.push(2));
+        assert!(!d.push(3));
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.push(3));
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let d = Deque::with_capacity(4);
+        for round in 0..10u32 {
+            assert!(d.push(round));
+            assert_eq!(d.pop(), Some(round));
+        }
+        assert!(d.is_empty());
+    }
+
+    /// Owner pops while thieves steal: every task observed exactly once.
+    #[test]
+    fn concurrent_steals_lose_nothing() {
+        const TASKS: usize = 10_000;
+        const THIEVES: usize = 3;
+        let d = Deque::with_capacity(TASKS);
+        let seen: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(0)).collect();
+        let stolen = AtomicUsize::new(0);
+        for i in 0..TASKS as u32 {
+            assert!(d.push(i));
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                scope.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                });
+            }
+            while let Some(v) = d.pop() {
+                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} seen {c:?} times");
+        }
+        assert!(stolen.load(Ordering::Relaxed) <= TASKS);
+    }
+}

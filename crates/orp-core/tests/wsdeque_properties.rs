@@ -1,0 +1,182 @@
+//! Property tests of the Chase–Lev work-stealing deque
+//! ([`orp_core::wsdeque`]): under concurrent owner pops and thief
+//! steals, every pushed task is consumed *exactly once* — nothing lost,
+//! nothing duplicated — and the sequential orderings hold (owner pops
+//! LIFO, thieves steal FIFO).
+
+use orp_core::wsdeque::{Deque, Steal};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Owner pushes `tasks` ids while randomly popping; `thieves`
+    /// concurrent stealers drain the rest. The union of everything
+    /// consumed must be the pushed set, each id exactly once.
+    #[test]
+    fn concurrent_consumption_is_exactly_once(
+        tasks in 1usize..600,
+        thieves in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let dq: Deque<u64> = Deque::with_capacity(tasks);
+        let push_done = AtomicBool::new(false);
+        let mut owner_got: Vec<u64> = Vec::new();
+        let mut stolen: Vec<Vec<u64>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..thieves {
+                handles.push(scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        // Sample the flag *before* the steal attempt: an
+                        // Empty observed after `push_done` was already true
+                        // means drained-forever (the owner pushes nothing
+                        // after setting it). Checking the flag after the
+                        // steal instead would race — the owner could push
+                        // everything and finish between our Empty and the
+                        // flag read, stranding tasks in the deque.
+                        let done = push_done.load(Ordering::Acquire);
+                        match dq.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+
+            // owner: interleave pushes with occasional pops
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for id in 0..tasks as u64 {
+                assert!(dq.push(id), "sized for the full task count");
+                if rng.gen_range(0u32..3) == 0 {
+                    if let Some(v) = dq.pop() {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            // a final partial drain, then hand the rest to the thieves
+            while rng.gen::<bool>() {
+                match dq.pop() {
+                    Some(v) => owner_got.push(v),
+                    None => break,
+                }
+            }
+            push_done.store(true, Ordering::Release);
+
+            for h in handles {
+                stolen.push(h.join().expect("thief panicked"));
+            }
+        });
+
+        let mut all: Vec<u64> = owner_got;
+        for s in &stolen {
+            all.extend_from_slice(s);
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..tasks as u64).collect();
+        prop_assert!(
+            all == expect,
+            "consumed multiset must equal the pushed set exactly"
+        );
+    }
+
+    /// Single-threaded semantics: the owner end is a LIFO stack.
+    #[test]
+    fn owner_pops_lifo(len in 0usize..64, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let items: Vec<u32> = (0..len).map(|_| rng.gen()).collect();
+        let dq: Deque<u32> = Deque::with_capacity(items.len().max(1));
+        for &v in &items {
+            prop_assert!(dq.push(v));
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = dq.pop() {
+            popped.push(v);
+        }
+        let mut rev = items.clone();
+        rev.reverse();
+        prop_assert_eq!(popped, rev);
+        prop_assert!(dq.is_empty());
+    }
+
+    /// Single-threaded semantics: the thief end is FIFO (oldest first),
+    /// and a full ring rejects pushes without corrupting anything.
+    #[test]
+    fn thieves_steal_fifo_and_overflow_is_clean(len in 1usize..64, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let items: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..1000)).collect();
+        // capacity rounds up to a power of two; fill to the brim
+        let dq: Deque<u32> = Deque::with_capacity(items.len());
+        for &v in &items {
+            prop_assert!(dq.push(v));
+        }
+        let cap = dq.capacity();
+        for pad in 0..(cap - items.len()) {
+            prop_assert!(dq.push(pad as u32 + 1_000_000));
+        }
+        prop_assert!(!dq.push(42), "full ring must reject the push");
+        prop_assert_eq!(dq.len(), cap);
+
+        let mut taken = Vec::new();
+        for _ in 0..items.len() {
+            match dq.steal() {
+                Steal::Success(v) => taken.push(v),
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        prop_assert!(taken == items, "steals must surface oldest-first");
+    }
+}
+
+/// A deliberately tiny deque under maximal contention: many rounds of
+/// one item contended by the owner and a thief — the single-element CAS
+/// race — must hand the item to exactly one side every round.
+#[test]
+fn single_element_race_never_duplicates() {
+    let dq: Deque<u64> = Deque::with_capacity(2);
+    let rounds = 20_000u64;
+    let go = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let thief = scope.spawn(|| {
+            let mut got = Vec::new();
+            while !done.load(Ordering::Acquire) {
+                if let Steal::Success(v) = dq.steal() {
+                    got.push(v);
+                }
+            }
+            got
+        });
+        go.store(true, Ordering::Release);
+        let mut owner_got = Vec::new();
+        for round in 0..rounds {
+            assert!(dq.push(round));
+            if let Some(v) = dq.pop() {
+                owner_got.push(v);
+            }
+            // anything the owner lost was stolen; wait until the deque
+            // drains so rounds never overlap
+            while !dq.is_empty() {
+                std::hint::spin_loop();
+            }
+        }
+        done.store(true, Ordering::Release);
+        let mut all = thief.join().expect("thief panicked");
+        all.extend_from_slice(&owner_got);
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..rounds).collect();
+        assert_eq!(all, expect, "every round's item consumed exactly once");
+    });
+}

@@ -468,33 +468,6 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Prepares a simulation of `programs` (rank `r` runs on host `r`).
-    ///
-    /// # Panics
-    /// Panics if there are more ranks than hosts.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulator::builder(net).programs(programs)` and `.run()` or `.build()`"
-    )]
-    pub fn new(net: &'a Network, programs: Vec<Program>) -> Self {
-        Self::builder(net).programs(programs).build()
-    }
-
-    /// Prepares a simulation with rank `r` running on host `placement[r]`.
-    ///
-    /// # Panics
-    /// Panics if `placement` is not one valid host per rank.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulator::builder(net).programs(programs).placement(placement)`"
-    )]
-    pub fn with_placement(net: &'a Network, programs: Vec<Program>, placement: Vec<Host>) -> Self {
-        Self::builder(net)
-            .programs(programs)
-            .placement(placement)
-            .build()
-    }
-
     fn prepare(
         net: &'a Network,
         programs: Vec<Program>,
@@ -1628,32 +1601,6 @@ fn decode_queue(dec: &mut Decoder<'_>) -> Result<EventQueue<Event>, CkptError> {
     ))
 }
 
-/// Convenience: builds a [`Simulator`] and runs it.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulator::builder(net).programs(programs).run()`"
-)]
-pub fn simulate(net: &Network, programs: Vec<Program>) -> Result<SimReport, SimError> {
-    Simulator::builder(net).programs(programs).run()
-}
-
-/// Convenience: simulates `programs` while the scheduled `faults` strike
-/// mid-run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulator::builder(net).programs(programs).fault_schedule(faults).run()`"
-)]
-pub fn simulate_with_faults(
-    net: &Network,
-    programs: Vec<Program>,
-    faults: &[FaultEvent],
-) -> Result<SimReport, SimError> {
-    Simulator::builder(net)
-        .programs(programs)
-        .fault_schedule(faults)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2251,8 +2198,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_entry_points_match_builder() {
+    fn builder_entry_points_are_equivalent() {
         let net = dumbbell(2);
         let programs: Vec<Program> = vec![
             vec![Op::Send { to: 2, bytes: 5e6 }],
@@ -2260,26 +2206,33 @@ mod tests {
             vec![Op::Recv { from: 0 }],
             vec![Op::Recv { from: 1 }],
         ];
-        let legacy = simulate(&net, programs.clone()).unwrap();
         let built = Simulator::builder(&net)
             .programs(programs.clone())
             .run()
             .unwrap();
-        assert_eq!(legacy.time, built.time);
-        assert_eq!(legacy.flows, built.flows);
-        let legacy = Simulator::new(&net, programs.clone()).run().unwrap();
-        assert_eq!(legacy.time, built.time);
-        let legacy = Simulator::with_placement(&net, programs.clone(), vec![0, 1, 2, 3])
+        let staged = Simulator::builder(&net)
+            .programs(programs.clone())
+            .build()
             .run()
             .unwrap();
-        assert_eq!(legacy.time, built.time);
+        assert_eq!(staged.time, built.time);
+        assert_eq!(staged.flows, built.flows);
+        let placed = Simulator::builder(&net)
+            .programs(programs.clone())
+            .placement(vec![0, 1, 2, 3])
+            .run()
+            .unwrap();
+        assert_eq!(placed.time, built.time);
         let faults = [FaultEvent {
             time: 1e-3,
             fault: NetFault::Link(0, 1),
         }];
-        let legacy = simulate_with_faults(&net, programs.clone(), &faults);
-        let built = sim_faults(&net, programs, &faults);
-        assert_eq!(legacy.is_ok(), built.is_ok());
+        let a = Simulator::builder(&net)
+            .programs(programs.clone())
+            .fault_schedule(&faults)
+            .run();
+        let b = sim_faults(&net, programs, &faults);
+        assert_eq!(a.is_ok(), b.is_ok());
     }
 
     // ---- approximate sharing model ----

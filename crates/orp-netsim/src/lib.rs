@@ -70,8 +70,6 @@ pub mod report;
 pub mod sharing;
 
 pub use context::SimContext;
-#[allow(deprecated)]
-pub use engine::{simulate, simulate_with_faults};
 pub use engine::{
     FaultEvent, InjectedFlow, NetFault, Op, Program, SimCheckpoint, SimError, SimReport, Simulator,
     SimulatorBuilder, SIM_CKPT_EVERY_DEFAULT,

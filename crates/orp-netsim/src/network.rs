@@ -171,25 +171,6 @@ impl Network {
         }
     }
 
-    /// Compiles `g` into a network. Builds the routing table (one BFS per
-    /// switch).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Network::builder(g).config(cfg).build()`"
-    )]
-    pub fn new(g: &HostSwitchGraph, cfg: NetConfig) -> Self {
-        Self::builder(g).config(cfg).build()
-    }
-
-    /// Compiles `g` into a network operating degraded under `faults`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Network::builder(g).config(cfg).faults(&faults).build()`"
-    )]
-    pub fn new_degraded(g: &HostSwitchGraph, cfg: NetConfig, faults: &FaultSet) -> Self {
-        Self::builder(g).config(cfg).faults(faults).build()
-    }
-
     fn compile(
         g: &HostSwitchGraph,
         cfg: NetConfig,
@@ -518,18 +499,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constructors_match_builder() {
+    fn configured_and_degraded_builders_route_consistently() {
         let (g, _) = line();
-        let legacy = Network::new(&g, NetConfig::default());
+        let cfg_built = Network::builder(&g).config(NetConfig::default()).build();
         let built = Network::builder(&g).build();
-        assert_eq!(legacy.num_links(), built.num_links());
-        assert_eq!(legacy.route(0, 1, 0), built.route(0, 1, 0));
+        assert_eq!(cfg_built.num_links(), built.num_links());
+        assert_eq!(cfg_built.route(0, 1, 0), built.route(0, 1, 0));
         let mut f = FaultSet::new();
         f.fail_link(1, 2);
-        let legacy = Network::new_degraded(&g, NetConfig::default(), &f);
+        let degraded = Network::builder(&g)
+            .config(NetConfig::default())
+            .faults(&f)
+            .build();
         let built = Network::builder(&g).faults(&f).build();
-        assert_eq!(legacy.route(0, 1, 0), built.route(0, 1, 0));
-        assert_eq!(legacy.route(0, 2, 0), built.route(0, 2, 0));
+        assert_eq!(degraded.route(0, 1, 0), built.route(0, 1, 0));
+        assert_eq!(degraded.route(0, 2, 0), built.route(0, 2, 0));
     }
 }

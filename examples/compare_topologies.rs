@@ -6,8 +6,9 @@
 //! cargo run --release --example compare_topologies
 //! ```
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::metrics::path_metrics;
+use orp::core::solver::Solver;
 use orp::core::HostSwitchGraph;
 use orp::layout::evaluate_default;
 use orp::topo::prelude::*;
@@ -56,7 +57,8 @@ fn main() {
             seed: 7,
             ..Default::default()
         };
-        let (res, m_opt) = solve_orp(n, r, &cfg).expect("feasible");
+        let report = Solver::builder(n, r).config(cfg).run().expect("feasible");
+        let (res, m_opt) = (report.result, report.m_opt);
         row(&format!("proposed ORP (r={r}, m={m_opt})"), &res.graph);
     }
 

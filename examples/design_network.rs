@@ -9,9 +9,10 @@
 //! Moore bound, 2-neighbor-swing annealing, DFS host numbering, then a
 //! floorplan with power/cost estimates for the result.
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::bounds::haspl_lower_bound;
 use orp::core::io;
+use orp::core::solver::Solver;
 use orp::layout::{evaluate, Floorplan, HardwareModel};
 use orp::topo::attach::relabel_hosts_dfs;
 
@@ -28,7 +29,11 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
-    let (result, m) = solve_orp(n, r, &cfg).expect("feasible instance");
+    let report = Solver::builder(n, r)
+        .config(cfg)
+        .run()
+        .expect("feasible instance");
+    let (result, m) = (report.result, report.m_opt);
     let graph = relabel_hosts_dfs(&result.graph, 0);
     graph.validate().expect("valid design");
 

@@ -7,7 +7,8 @@
 //! ranks:    power of four up to the topology size  (default: 256)
 //! ```
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
+use orp::core::solver::Solver;
 use orp::core::HostSwitchGraph;
 use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
@@ -51,7 +52,11 @@ fn build(topology: &str, ranks: u32) -> (String, HostSwitchGraph) {
                 seed: 7,
                 ..Default::default()
             };
-            let (res, m) = solve_orp(ranks, 10, &cfg).expect("feasible");
+            let report = Solver::builder(ranks, 10)
+                .config(cfg)
+                .run()
+                .expect("feasible");
+            let (res, m) = (report.result, report.m_opt);
             (
                 format!("proposed ORP (m={m}, r=10)"),
                 relabel_hosts_dfs(&res.graph, 0),

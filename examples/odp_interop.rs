@@ -10,9 +10,10 @@
 //! Hoffman–Singleton graph, which achieves the Moore bound exactly
 //! (ASPL gap 0), the best possible ODP score at (50, 7).
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::metrics::path_metrics;
 use orp::core::odp;
+use orp::core::solver::Solver;
 use orp::topo::prelude::*;
 
 fn main() {
@@ -49,7 +50,8 @@ fn main() {
         seed: 3,
         ..Default::default()
     };
-    let (res, m_opt) = solve_orp(n, 11, &cfg).expect("feasible");
+    let report = Solver::builder(n, 11).config(cfg).run().expect("feasible");
+    let (res, m_opt) = (report.result, report.m_opt);
     println!(
         "ORP solver (free m): m_opt={m_opt}, h-ASPL={:.4}, D={}",
         res.metrics.haspl, res.metrics.diameter

@@ -9,9 +9,10 @@
 //! anneals a host-switch graph with the 2-neighbor swing operation, and
 //! reports how close the result lands to the theoretical lower bound.
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::bounds::{diameter_lower_bound, haspl_lower_bound, optimal_switch_count};
 use orp::core::metrics::path_metrics;
+use orp::core::solver::Solver;
 
 fn main() {
     let n = 256; // order: number of hosts
@@ -35,7 +36,11 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
-    let (result, m) = solve_orp(n, r, &cfg).expect("feasible instance");
+    let report = Solver::builder(n, r)
+        .config(cfg)
+        .run()
+        .expect("feasible instance");
+    let (result, m) = (report.result, report.m_opt);
     println!(
         "\nannealed with {} proposals ({} accepted):",
         result.proposed, result.accepted

@@ -4,10 +4,16 @@
 //! orp bounds  <n> <r>                  lower bounds and m_opt prediction
 //! orp solve   <n> <r> [iters] [out] [--trace t.json]
 //!             [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs]
+//!             [--cache-mode auto|dense|compressed|off] [--mem-budget bytes]
+//!             [--replicas k] [--exchange-every N]
 //!                                      anneal a topology, optionally save it;
 //!                                      --trace writes a Chrome trace of the run;
 //!                                      --checkpoint saves crash-safe snapshots
-//!                                      (resumable with --resume, bit-identical)
+//!                                      (resumable with --resume, bit-identical);
+//!                                      --cache-mode/--mem-budget control the
+//!                                      distance cache (compressed u8 rows reach
+//!                                      n = 65536); --replicas >= 2 runs parallel
+//!                                      tempering over a geometric ladder
 //! orp eval    <file.hsg>               metrics of a saved host-switch graph
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
 //! orp simulate <file.hsg> [bench] [iters] [--trace t.json]
@@ -22,10 +28,13 @@
 //! orp layout  <file.hsg> [per_cab]     floorplan power/cost (naive + optimized)
 //! ```
 
-use orp::core::anneal::{solve_orp, Anneal, SaConfig};
+use orp::core::anneal::{Anneal, SaConfig, SaResult};
 use orp::core::bounds::{diameter_lower_bound, haspl_lower_bound, optimal_switch_count};
 use orp::core::io;
 use orp::core::metrics::path_metrics;
+use orp::core::search::SearchConfig;
+use orp::core::solver::Solver;
+use orp::core::temper::Temper;
 use orp::core::HostSwitchGraph;
 use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::Network;
@@ -104,11 +113,17 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let usage = "usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json] \
-                 [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs]";
+                 [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs] \
+                 [--cache-mode auto|dense|compressed|off] [--mem-budget bytes] \
+                 [--replicas k] [--exchange-every N]";
     let (trace, pos) = split_value_flag(args, "--trace")?;
     let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
     let (every, pos) = split_value_flag(&pos, "--every")?;
     let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
+    let (cache_mode, pos) = split_value_flag(&pos, "--cache-mode")?;
+    let (mem_budget, pos) = split_value_flag(&pos, "--mem-budget")?;
+    let (replicas, pos) = split_value_flag(&pos, "--replicas")?;
+    let (exchange_every, pos) = split_value_flag(&pos, "--exchange-every")?;
     let resume = pos.iter().any(|a| a == "--resume");
     let pos: Vec<String> = pos.into_iter().filter(|a| a != "--resume").collect();
     if resume && ckpt.is_none() {
@@ -117,11 +132,33 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let n: u32 = pos.first().and_then(|a| a.parse().ok()).ok_or(usage)?;
     let r: u32 = pos.get(1).and_then(|a| a.parse().ok()).ok_or(usage)?;
     let iters: usize = arg_num(&pos, 2, 8000);
+    let mut search = SearchConfig::default();
+    if let Some(mode) = cache_mode {
+        search.cache_mode = mode
+            .parse()
+            .map_err(|e: String| format!("--cache-mode: {e}"))?;
+    }
+    if let Some(b) = mem_budget {
+        search.memory_budget_bytes = b
+            .parse()
+            .map_err(|_| "--mem-budget needs a byte count, e.g. 8589934592")?;
+    }
+    let replicas: usize = match replicas {
+        Some(k) => k.parse().map_err(|_| "--replicas needs a replica count")?,
+        None => 1,
+    };
+    let exchange_every: usize = match exchange_every {
+        Some(e) => e
+            .parse()
+            .map_err(|_| "--exchange-every needs an iteration count")?,
+        None => 1000,
+    };
     // parallel_eval defaults to None: the engine auto-selects threading
     // from the switch count and available CPUs.
     let cfg = SaConfig {
         iters,
         seed: 1,
+        search,
         ..Default::default()
     };
     let rec = if trace.is_some() {
@@ -129,32 +166,72 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
-    // the same pipeline as `solve_orp`, with the recorder attached
+    // the same pipeline as `Solver`, with the recorder attached and the
+    // checkpoint written to the exact --checkpoint path
     let (m, _) = orp::core::bounds::optimal_switch_count(n as u64, r as u64);
     let m = m as u32;
     let start =
         orp::core::construct::random_general(n, m, r, cfg.seed).map_err(|e| e.to_string())?;
-    let mut builder = Anneal::builder(start).config(cfg).recorder(rec.clone());
-    if let Some(ck) = &ckpt {
-        builder = builder.checkpoint(ck);
-        if resume && std::path::Path::new(ck).exists() {
-            builder = builder.resume_from(ck);
-            eprintln!("resuming from {ck}");
+    let every: Option<usize> = match every {
+        Some(e) => Some(e.parse().map_err(|_| "--every needs an iteration count")?),
+        None => None,
+    };
+    let watchdog: Option<f64> = match watchdog {
+        Some(w) => Some(w.parse().map_err(|_| "--watchdog needs seconds")?),
+        None => None,
+    };
+    let res: SaResult = if replicas >= 2 {
+        // parallel tempering over a geometric temperature ladder
+        let mut builder = Temper::builder(start)
+            .config(cfg.clone())
+            .ladder(orp::core::temper::geometric_ladder(
+                cfg.t0,
+                cfg.t_end.max(1e-12),
+                replicas,
+            ))
+            .exchange_every(exchange_every)
+            .recorder(rec.clone());
+        if let Some(ck) = &ckpt {
+            builder = builder.checkpoint(ck);
+            if resume && std::path::Path::new(ck).exists() {
+                builder = builder.resume_from(ck);
+                eprintln!("resuming from {ck}");
+            }
         }
-    }
-    if let Some(e) = every {
-        let e: usize = e.parse().map_err(|_| "--every needs an iteration count")?;
-        builder = builder.checkpoint_every(e);
-    }
-    if let Some(w) = watchdog {
-        let secs: f64 = w.parse().map_err(|_| "--watchdog needs seconds")?;
-        // the CLI opts into hard process exit: a loop too wedged to
-        // reach its own iteration boundary must not hang the terminal
-        builder = builder
-            .watchdog(std::time::Duration::from_secs_f64(secs))
-            .watchdog_hard_exit(true);
-    }
-    let res = builder.run().map_err(|e| e.to_string())?;
+        if let Some(e) = every {
+            builder = builder.checkpoint_every_rounds(e.div_ceil(exchange_every).max(1));
+        }
+        if let Some(secs) = watchdog {
+            builder = builder.watchdog(std::time::Duration::from_secs_f64(secs));
+        }
+        let tr = builder.run().map_err(|e| e.to_string())?;
+        println!(
+            "tempering: replicas = {replicas}, exchanges accepted {} / {}",
+            tr.exchanges.accepted, tr.exchanges.attempted
+        );
+        let best = tr.best;
+        tr.results.into_iter().nth(best).expect("best in range")
+    } else {
+        let mut builder = Anneal::builder(start).config(cfg).recorder(rec.clone());
+        if let Some(ck) = &ckpt {
+            builder = builder.checkpoint(ck);
+            if resume && std::path::Path::new(ck).exists() {
+                builder = builder.resume_from(ck);
+                eprintln!("resuming from {ck}");
+            }
+        }
+        if let Some(e) = every {
+            builder = builder.checkpoint_every(e);
+        }
+        if let Some(secs) = watchdog {
+            // the CLI opts into hard process exit: a loop too wedged to
+            // reach its own iteration boundary must not hang the terminal
+            builder = builder
+                .watchdog(std::time::Duration::from_secs_f64(secs))
+                .watchdog_hard_exit(true);
+        }
+        builder.run().map_err(|e| e.to_string())?
+    };
     println!(
         "m = {m}, h-ASPL = {:.4} (bound {:.4}), diameter = {}",
         res.metrics.haspl,
@@ -264,8 +341,14 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         seed: 1,
         ..Default::default()
     };
-    let (res, m) = solve_orp(n, r, &cfg).map_err(|e| e.to_string())?;
-    row(format!("proposed ORP (m_opt={m})"), &res.graph);
+    let report = Solver::builder(n, r)
+        .config(cfg)
+        .run()
+        .map_err(|e| e.to_string())?;
+    row(
+        format!("proposed ORP (m_opt={})", report.m_opt),
+        &report.result.graph,
+    );
     Ok(())
 }
 

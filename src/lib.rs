@@ -22,16 +22,17 @@
 //! ## The 30-second tour
 //!
 //! ```
-//! use orp::core::anneal::{solve_orp, SaConfig};
+//! use orp::core::anneal::SaConfig;
 //! use orp::core::bounds::optimal_switch_count;
+//! use orp::core::solver::Solver;
 //!
 //! // The paper's design recipe: m_opt from the continuous Moore bound…
 //! let (m_opt, bound) = optimal_switch_count(256, 12);
 //! // …then 2-neighbor-swing simulated annealing at that switch count.
 //! let cfg = SaConfig { iters: 2_000, seed: 42, ..Default::default() };
-//! let (result, m) = solve_orp(256, 12, &cfg).unwrap();
-//! assert_eq!(m as u64, m_opt);
-//! assert!(result.metrics.haspl >= bound * 0.95); // sanity, not tightness
+//! let report = Solver::builder(256, 12).config(cfg).run().unwrap();
+//! assert_eq!(report.m_opt as u64, m_opt);
+//! assert!(report.result.metrics.haspl >= bound * 0.95); // sanity, not tightness
 //! ```
 //!
 //! ## Builders and telemetry
@@ -138,12 +139,13 @@ impl From<core::CkptError> for Error {
 /// One-stop imports for the builder-style API:
 /// `use orp::prelude::*;`.
 pub mod prelude {
-    pub use crate::core::anneal::{
-        solve_orp, Anneal, MoveKind, MultiOpts, MultiReport, SaConfig, SaResult,
-    };
+    pub use crate::core::anneal::{Anneal, MoveKind, MultiOpts, MultiReport, SaConfig, SaResult};
     pub use crate::core::ckpt::{Checkpointable, CkptError};
     pub use crate::core::error::SaError;
     pub use crate::core::graph::HostSwitchGraph;
+    pub use crate::core::search::{CacheCodec, CacheMode, SearchConfig};
+    pub use crate::core::solver::{SolveReport, Solver};
+    pub use crate::core::temper::{geometric_ladder, ExchangeStats, Temper, TemperResult};
     pub use crate::core::watchdog::{WatchSource, Watchdog, WatchdogConfig};
     pub use crate::netsim::{
         BlockedRank, FaultEvent, InjectedFlow, NetConfig, NetFault, Network, NetworkBuilder, Op,

@@ -2,12 +2,13 @@
 //! annealing → relabelling → serialization) with bound checks at every
 //! stage.
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::bounds::{
     continuous_moore_haspl, diameter_lower_bound, haspl_lower_bound, optimal_switch_count,
 };
 use orp::core::io;
 use orp::core::metrics::{path_metrics, path_metrics_par};
+use orp::core::solver::Solver;
 use orp::topo::attach::relabel_hosts_dfs;
 
 fn small_cfg() -> SaConfig {
@@ -21,7 +22,11 @@ fn small_cfg() -> SaConfig {
 #[test]
 fn solve_respects_all_lower_bounds() {
     for (n, r) in [(64u32, 8u32), (128, 12), (96, 10)] {
-        let (res, m) = solve_orp(n, r, &small_cfg()).expect("feasible");
+        let report = Solver::builder(n, r)
+            .config(small_cfg())
+            .run()
+            .expect("feasible");
+        let (res, m) = (report.result, report.m_opt);
         let haspl_lb = haspl_lower_bound(n as u64, r as u64);
         let d_lb = diameter_lower_bound(n as u64, r as u64);
         assert!(
@@ -57,7 +62,11 @@ fn m_opt_is_finite_and_feasible_across_grid() {
 
 #[test]
 fn relabelled_graph_has_identical_metrics() {
-    let (res, _) = solve_orp(96, 10, &small_cfg()).expect("feasible");
+    let res = Solver::builder(96, 10)
+        .config(small_cfg())
+        .run()
+        .expect("feasible")
+        .result;
     let relabeled = relabel_hosts_dfs(&res.graph, 0);
     let a = path_metrics(&res.graph).unwrap();
     let b = path_metrics(&relabeled).unwrap();
@@ -68,7 +77,11 @@ fn relabelled_graph_has_identical_metrics() {
 
 #[test]
 fn solution_survives_serialization() {
-    let (res, _) = solve_orp(64, 8, &small_cfg()).expect("feasible");
+    let res = Solver::builder(64, 8)
+        .config(small_cfg())
+        .run()
+        .expect("feasible")
+        .result;
     let text = io::to_string(&res.graph);
     let parsed = io::from_str(&text).expect("own output parses");
     let a = path_metrics(&res.graph).unwrap();
@@ -79,7 +92,11 @@ fn solution_survives_serialization() {
 
 #[test]
 fn sequential_and_parallel_metrics_agree_on_solutions() {
-    let (res, _) = solve_orp(128, 12, &small_cfg()).expect("feasible");
+    let res = Solver::builder(128, 12)
+        .config(small_cfg())
+        .run()
+        .expect("feasible")
+        .result;
     let s = path_metrics(&res.graph).unwrap();
     let p = path_metrics_par(&res.graph).unwrap();
     assert_eq!(s.total_length, p.total_length);
@@ -98,7 +115,15 @@ fn deeper_annealing_never_hurts_the_best() {
         seed: 5,
         ..Default::default()
     };
-    let (a, _) = solve_orp(96, 10, &short).expect("feasible");
-    let (b, _) = solve_orp(96, 10, &long).expect("feasible");
+    let a = Solver::builder(96, 10)
+        .config(short)
+        .run()
+        .expect("feasible")
+        .result;
+    let b = Solver::builder(96, 10)
+        .config(long)
+        .run()
+        .expect("feasible")
+        .result;
     assert!(b.metrics.haspl <= a.metrics.haspl + 1e-12);
 }

@@ -2,12 +2,13 @@
 //! certification, ODP interop, Slim Fly as an ORP baseline, Valiant
 //! routing under simulation assumptions, and placement optimisation.
 
-use orp::core::anneal::{solve_orp, SaConfig};
+use orp::core::anneal::SaConfig;
 use orp::core::bounds::haspl_lower_bound;
 use orp::core::exact::solve_exact;
 use orp::core::metrics::path_metrics;
 use orp::core::odp;
 use orp::core::random_graphs::erdos_renyi;
+use orp::core::solver::Solver;
 use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::{NetConfig, Network, RouteMode};
 use orp::netsim::packet::{packet_simulate, FlowDemand, DEFAULT_MTU};
@@ -27,7 +28,11 @@ fn exact_certifies_theorem2_and_annealer() {
         seed: 1,
         ..Default::default()
     };
-    let (sa, _) = solve_orp(n, r, &cfg).expect("feasible");
+    let sa = Solver::builder(n, r)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     assert!(
         sa.metrics.haspl >= exact.metrics.haspl - 1e-9,
         "SA beat exhaustive search?!"
@@ -41,7 +46,11 @@ fn annealed_solution_scores_well_on_odp_metrics() {
         seed: 2,
         ..Default::default()
     };
-    let (res, _) = solve_orp(256, 12, &cfg).expect("feasible");
+    let res = Solver::builder(256, 12)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     let sc = odp::score(&res.graph).expect("connected fabric");
     // the switch fabric of a good ORP solution has a modest ASPL gap
     assert!(sc.aspl_gap >= 0.0);
@@ -56,7 +65,11 @@ fn odp_edge_list_reimports_into_orp_pipeline() {
         seed: 3,
         ..Default::default()
     };
-    let (res, _) = solve_orp(64, 10, &cfg).expect("feasible");
+    let res = Solver::builder(64, 10)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     let fabric_text = odp::to_edge_list(&res.graph);
     let fabric = odp::from_edge_list(&fabric_text, 10).expect("parses");
     let rehosted = odp::into_host_switch(fabric, 64).expect("fits");
@@ -78,7 +91,11 @@ fn slim_fly_is_a_strong_conventional_baseline() {
         seed: 5,
         ..Default::default()
     };
-    let (res, _) = solve_orp(n, sf.radix, &cfg).expect("feasible");
+    let res = Solver::builder(n, sf.radix)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     // ORP with free m should at least match a diameter-2 MMS fabric with
     // its host count — and slim fly itself must beat a same-budget ER
     let h_orp = res.metrics.haspl;
@@ -172,7 +189,11 @@ fn placement_reduces_cost_for_the_annealed_topology() {
         seed: 7,
         ..Default::default()
     };
-    let (res, _) = solve_orp(256, 12, &cfg).expect("feasible");
+    let res = Solver::builder(256, 12)
+        .config(cfg)
+        .run()
+        .expect("feasible")
+        .result;
     let hw = HardwareModel::default();
     let naive = evaluate(&res.graph, &Floorplan::new(&res.graph, 4), &hw);
     let opt = evaluate(&res.graph, &optimized_floorplan(&res.graph, 4, 1), &hw);

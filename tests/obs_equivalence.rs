@@ -1,7 +1,8 @@
 //! Property tests of the observability layer's core contract: attaching
 //! a recording [`Recorder`] never changes what the solver or simulator
-//! computes, and the builder-style entry points are drop-in equivalents
-//! of the legacy constructors they deprecate.
+//! computes, and the builder-style entry points are deterministic —
+//! rebuilding a network or rerunning a simulation from the same inputs
+//! reproduces every decision bit-for-bit.
 
 use orp::core::anneal::{Anneal, MoveKind, SaConfig};
 use orp::core::construct::random_general;
@@ -102,50 +103,46 @@ proptest! {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn builder_network_matches_legacy_constructor((n, m, r, seed) in instance()) {
+    fn network_builder_is_deterministic((n, m, r, seed) in instance()) {
         let g = random_general(n, m, r, seed).unwrap();
-        let legacy = Network::new(&g, orp::netsim::NetConfig::default());
-        let built = Network::builder(&g).build();
-        prop_assert_eq!(legacy.num_hosts(), built.num_hosts());
-        prop_assert_eq!(legacy.num_links(), built.num_links());
+        let a = Network::builder(&g).config(orp::netsim::NetConfig::default()).build();
+        let b = Network::builder(&g).build();
+        prop_assert_eq!(a.num_hosts(), b.num_hosts());
+        prop_assert_eq!(a.num_links(), b.num_links());
         // identical routing decisions for every host pair
         for s in 0..n.min(6) {
             for d in 0..n.min(6) {
                 if s == d { continue; }
-                prop_assert_eq!(legacy.route(s, d, seed).ok(), built.route(s, d, seed).ok());
+                prop_assert_eq!(a.route(s, d, seed).ok(), b.route(s, d, seed).ok());
             }
         }
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn builder_simulation_matches_legacy_entry_points((n, m, r, seed) in instance()) {
+    fn simulation_reruns_are_bit_identical((n, m, r, seed) in instance()) {
         let g = random_general(n, m, r, seed).unwrap();
         let net = Network::builder(&g).build();
         let programs = Pattern::NearestNeighbor.programs(n, 1e5, 1, seed);
-        let legacy = orp::netsim::simulate(&net, programs.clone()).unwrap();
-        let built = Simulator::builder(&net)
-            .programs(programs.clone())
-            .run()
-            .unwrap();
-        prop_assert_eq!(legacy.time, built.time);
-        prop_assert_eq!(legacy.flows, built.flows);
-        prop_assert_eq!(legacy.bytes, built.bytes);
+        let run = || Simulator::builder(&net).programs(programs.clone()).run().unwrap();
+        let (first, again) = (run(), run());
+        prop_assert_eq!(first.time, again.time);
+        prop_assert_eq!(first.flows, again.flows);
+        prop_assert_eq!(first.bytes, again.bytes);
+        prop_assert_eq!(first.events, again.events);
 
-        // with a fault schedule: simulate_with_faults versus the builder
+        // with a fault schedule: rerun must reproduce the same outcome,
+        // success or failure
         let s = g.switch_of(0);
         let t = g.neighbors(s)[0];
         let fault = [FaultEvent {
-            time: legacy.time / 2.0,
+            time: first.time / 2.0,
             fault: NetFault::Link(s, t),
         }];
-        let lf = orp::netsim::simulate_with_faults(&net, programs.clone(), &fault);
-        let bf = Simulator::builder(&net)
-            .programs(programs)
+        let faulted = || Simulator::builder(&net)
+            .programs(programs.clone())
             .fault_schedule(&fault)
             .run();
-        match (lf, bf) {
+        match (faulted(), faulted()) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.time, b.time);
                 prop_assert_eq!(a.flows, b.flows);
