@@ -1,24 +1,27 @@
 //! Overhead of the observability layer on the annealer's hot loop.
 //!
-//! Three variants of the same `n = 64`, `r = 8` anneal:
+//! Four variants of the same `n = 64`, `r = 8` anneal:
 //!
 //! * `legacy` — the free [`orp_core::anneal::anneal`] entry point (the
 //!   pre-builder API surface),
 //! * `builder_disabled` — [`Anneal::builder`] with an explicitly
 //!   attached *disabled* [`Recorder`] (the zero-cost claim under test),
 //! * `builder_enabled` — the same run with a recording `Recorder`, for
-//!   reference.
+//!   reference,
+//! * `stream_enabled` — recording `Recorder` plus a live [`StreamSink`]
+//!   writing JSONL telemetry, the `orp solve --metrics` configuration.
 //!
 //! The disabled-recorder run must stay within a few percent of the
-//! legacy entry point; the artifact (`results/BENCH_obs_overhead.json`)
-//! records medians and the disabled/legacy ratio.
+//! legacy entry point, and streaming must stay within 2% of the
+//! plain enabled-recorder run; the artifact
+//! (`results/BENCH_obs_overhead.json`) records medians and the ratios.
 
 use criterion::Criterion;
 use orp_bench::write_json;
 use orp_core::anneal::{Anneal, MoveKind, SaConfig};
 use orp_core::construct::random_general;
 use orp_core::graph::HostSwitchGraph;
-use orp_obs::Recorder;
+use orp_obs::{Recorder, StreamSink};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -40,6 +43,9 @@ struct Artifact {
     disabled_over_legacy: f64,
     /// `builder_enabled` median over `legacy` median.
     enabled_over_legacy: f64,
+    /// `stream_enabled` median over `builder_enabled` median — the
+    /// marginal cost of live JSONL streaming (must stay <= 1.02).
+    stream_over_enabled: f64,
 }
 
 fn cfg() -> SaConfig {
@@ -75,6 +81,19 @@ fn main() {
                 .unwrap()
         })
     });
+    let stream_path = std::env::temp_dir().join("orp_obs_overhead_stream.jsonl");
+    let sink = StreamSink::create(&stream_path).expect("stream sink in temp dir");
+    group.bench_function("stream_enabled", |b| {
+        b.iter(|| {
+            Anneal::builder(start())
+                .config(cfg())
+                .recorder(Recorder::enabled())
+                .stream(sink.clone())
+                .run()
+                .unwrap()
+        })
+    });
+    let _ = std::fs::remove_file(&stream_path);
     group.finish();
 
     let rows: Vec<Row> = c
@@ -100,11 +119,12 @@ fn main() {
         sa_iters: 2_000,
         disabled_over_legacy: median("builder_disabled") / median("legacy"),
         enabled_over_legacy: median("builder_enabled") / median("legacy"),
+        stream_over_enabled: median("stream_enabled") / median("builder_enabled"),
         rows,
     };
     println!(
-        "disabled/legacy = {:.4}, enabled/legacy = {:.4}",
-        artifact.disabled_over_legacy, artifact.enabled_over_legacy
+        "disabled/legacy = {:.4}, enabled/legacy = {:.4}, stream/enabled = {:.4}",
+        artifact.disabled_over_legacy, artifact.enabled_over_legacy, artifact.stream_over_enabled
     );
     let path = write_json("BENCH_obs_overhead", &artifact);
     eprintln!("wrote {}", path.display());

@@ -15,7 +15,7 @@ use crate::search::{
 };
 use crate::solver::Solver;
 use crate::watchdog::{ProgressHandle, WatchSource, Watchdog, WatchdogConfig};
-use orp_obs::{Event, Recorder};
+use orp_obs::{Event, Recorder, StreamSink};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::{ChaCha8Rng, CHACHA_STATE_WORDS};
@@ -304,6 +304,13 @@ pub(crate) struct RunCtl {
     /// *before* executing this iteration, exactly like a watchdog stall.
     /// Used by the resume tests to cut a run at a known boundary.
     pub(crate) stop_after: Option<usize>,
+    /// Live telemetry stream: when set (and the recorder is enabled),
+    /// the loop publishes fresh gauges and appends one delta batch on
+    /// the sink's wall-clock cadence.
+    pub(crate) stream: Option<StreamSink>,
+    /// Replica label for parallel tempering: gauges are namespaced
+    /// `r{k}.…` so one stream carries every replica without collisions.
+    pub(crate) stream_label: Option<u32>,
 }
 
 impl Annealer {
@@ -314,6 +321,9 @@ impl Annealer {
     ) -> Result<Self, GraphError> {
         let workers = Self::resolved_workers(g.num_switches(), cfg);
         let mut state = SearchState::with_search(g, workers, cfg.search)?;
+        // Per-worker scheduler counters only tick when someone records;
+        // an unrecorded run keeps the zero-cost (one relaxed load) path.
+        state.set_pool_telemetry(rec.is_enabled());
         let cur = state.evaluate().ok_or(GraphError::Disconnected)?;
         Ok(Self {
             best: state.graph().clone(),
@@ -499,6 +509,7 @@ impl Annealer {
         let mut state =
             SearchState::with_search_edge_order(cur_graph, workers, cfg.search, &edge_order)
                 .map_err(|e| SaError::Ckpt(CkptError::BadSection(format!("search state: {e}"))))?;
+        state.set_pool_telemetry(rec.is_enabled());
         let reeval = state
             .evaluate()
             .ok_or_else(|| bad("restored graph is disconnected"))?;
@@ -860,6 +871,17 @@ impl Annealer {
             if let Some(watch) = &ctl.watch {
                 watch.tick();
             }
+            // Live streaming: `due()` is one lock + clock read, and the
+            // publish/snapshot work only runs when the cadence elapsed,
+            // so the steady-state cost stays under the 2% overhead bar.
+            if let Some(sink) = &ctl.stream {
+                if sink.due() {
+                    let rec = self.rec.clone();
+                    sink.maybe_flush(&rec, || {
+                        self.publish_live(ctl.stream_label, it + 1, cfg.iters);
+                    });
+                }
+            }
             if cfg.history_stride > 0 && it.is_multiple_of(cfg.history_stride) {
                 self.history.push((it, self.best_metrics.haspl));
             }
@@ -877,6 +899,69 @@ impl Annealer {
             }
         }
         Ok(())
+    }
+
+    /// Publishes the live gauge set the streaming dashboard renders:
+    /// progress, proposal/acceptance totals, best-so-far trajectory,
+    /// eval-path mix, per-worker scheduler counters and the distance
+    /// cache footprint. The totals [`Annealer::finish`] publishes
+    /// exactly once as counters are mirrored here as *gauges*
+    /// (absolute, last-write-wins), so a stream read mid-run shows live
+    /// values without ever double counting. With `label = Some(k)`
+    /// every name is prefixed `r{k}.` so tempering replicas share one
+    /// recorder without collisions.
+    fn publish_live(&self, label: Option<u32>, iter: usize, total: usize) {
+        use std::fmt::Write as _;
+        if !self.rec.is_enabled() {
+            return;
+        }
+        let mut name = String::with_capacity(48);
+        let mut put = |suffix: std::fmt::Arguments<'_>, v: f64| {
+            name.clear();
+            if let Some(k) = label {
+                let _ = write!(name, "r{k}.");
+            }
+            let _ = name.write_fmt(suffix);
+            self.rec.gauge_dyn(&name, v);
+        };
+        put(format_args!("progress.iter"), iter as f64);
+        put(format_args!("progress.total"), total as f64);
+        put(format_args!("anneal.proposed"), self.proposed as f64);
+        put(format_args!("anneal.accepted"), self.accepted as f64);
+        put(
+            format_args!("anneal.disconnected"),
+            self.disconnected as f64,
+        );
+        put(format_args!("anneal.best_haspl"), self.best_metrics.haspl);
+        put(format_args!("anneal.temperature"), self.t);
+        let stats = *self.state.eval_stats();
+        put(format_args!("eval.full"), stats.full as f64);
+        put(format_args!("eval.incremental"), stats.incremental as f64);
+        put(
+            format_args!("eval.early_reject"),
+            stats.early_rejected as f64,
+        );
+        put(format_args!("cache.rows_repaired"), stats.repaired as f64);
+        put(format_args!("cache.rows_swept"), stats.swept as f64);
+        put(
+            format_args!("cache.resident_bytes"),
+            self.state.cache_resident_bytes() as f64,
+        );
+        if let Some(codec) = self.state.cache_codec() {
+            put(
+                format_args!("cache.packed"),
+                matches!(codec, crate::search::CacheCodec::Packed) as u8 as f64,
+            );
+        }
+        for (i, w) in self.state.pool_stats().iter().enumerate() {
+            put(format_args!("pool.w{i}.pushes"), w.pushes as f64);
+            put(format_args!("pool.w{i}.pops"), w.pops as f64);
+            put(format_args!("pool.w{i}.steals"), w.steals as f64);
+            put(format_args!("pool.w{i}.steal_fails"), w.steal_fails as f64);
+            put(format_args!("pool.w{i}.busy_ns"), w.busy_ns as f64);
+            put(format_args!("pool.w{i}.idle_ns"), w.idle_ns as f64);
+            put(format_args!("pool.w{i}.peak_depth"), w.peak_depth as f64);
+        }
     }
 
     /// Final checkpoint, telemetry flush and result extraction; call
@@ -916,6 +1001,16 @@ impl Annealer {
             self.rec.incr("eval.incremental", stats.incremental);
             self.rec.incr("eval.early_reject", stats.early_rejected);
             self.rec.incr("eval.repaired", stats.repaired);
+        }
+        // Flush the closing state of *this* run segment to the live
+        // stream (the final counters above ride along). The stream's
+        // own `done` record is written by the owner via
+        // [`StreamSink::finish`] once the whole solve ends.
+        if let Some(sink) = &ctl.stream {
+            let rec = self.rec.clone();
+            sink.flush_now(&rec, || {
+                self.publish_live(ctl.stream_label, self.next_it, cfg.iters.max(1));
+            });
         }
         Ok(SaResult {
             graph: self.best,
@@ -972,6 +1067,7 @@ pub struct Anneal {
     watch_source: WatchSource,
     watch_worker: u32,
     watch_hard_exit: bool,
+    stream: Option<StreamSink>,
 }
 
 impl Anneal {
@@ -991,6 +1087,7 @@ impl Anneal {
             watch_source: WatchSource::Anneal,
             watch_worker: 0,
             watch_hard_exit: false,
+            stream: None,
         }
     }
 
@@ -1068,6 +1165,16 @@ impl Anneal {
         self
     }
 
+    /// Attaches a live metrics stream: on the sink's wall-clock cadence
+    /// the annealing loop publishes fresh gauges (progress, eval mix,
+    /// per-worker scheduler counters, cache footprint) and appends one
+    /// self-describing JSONL batch that `orp watch` can tail mid-run.
+    /// No-op unless a recorder is also attached.
+    pub fn stream(mut self, sink: StreamSink) -> Self {
+        self.stream = Some(sink);
+        self
+    }
+
     /// Runs the annealer (resuming first if configured).
     pub fn run(self) -> Result<SaResult, SaError> {
         let annealer = match &self.resume {
@@ -1092,6 +1199,8 @@ impl Anneal {
             watch: wd.as_ref().map(Watchdog::handle),
             window_secs: self.watchdog.map_or(0.0, |w| w.as_secs_f64()),
             stop_after: None,
+            stream: self.stream,
+            stream_label: None,
         };
         annealer.run(self.kind, &self.cfg, &ctl)
     }

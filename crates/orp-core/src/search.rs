@@ -93,8 +93,9 @@ use crate::metrics::{finalize_metrics, PathMetrics, SwitchCsr};
 use crate::ops::{EdgeSet, Swap, Swing};
 use crate::wsdeque::{Deque, Steal};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Switch count from which the auto heuristic turns on threaded
 /// evaluation (when more than one CPU is available).
@@ -795,6 +796,21 @@ impl DistCache {
             strict: vec![0; m],
             touched: 0,
         }
+    }
+
+    /// Resident bytes of the bulk row store, the per-source aggregates,
+    /// and the live transactional snapshot arena.
+    fn resident_bytes(&self) -> usize {
+        let rows = match &self.store {
+            RowStore::Dense(r) => r.len() * 2,
+            RowStore::Packed(r) => r.len(),
+        };
+        rows + self.hist.len() * 4
+            + self.wsum.len() * 8
+            + self.nreach.len() * 4
+            + self.ecc.len() * 2
+            + self.valid.len()
+            + self.snap_rle.len() * 2
     }
 
     // -- transactional snapshots --------------------------------------
@@ -1781,6 +1797,21 @@ struct PoolCtl {
     partials: Vec<BatchSums>,
 }
 
+/// One worker's cumulative scheduler counters. Written with relaxed
+/// atomics — once per job by the owning worker, pushes/peak by the
+/// publisher at seed time — and read by [`SearchState::pool_stats`].
+/// Untouched (a single relaxed load per job) unless telemetry is on.
+#[derive(Debug, Default)]
+struct LaneStats {
+    pushes: AtomicU64,
+    pops: AtomicU64,
+    steals: AtomicU64,
+    steal_fails: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
 #[derive(Debug)]
 struct PoolShared {
     ctl: Mutex<PoolCtl>,
@@ -1792,6 +1823,10 @@ struct PoolShared {
     /// an observed-empty deque stays empty for the rest of the job.
     deques: Vec<Deque<u32>>,
     overflow: AtomicBool,
+    /// Per-worker scheduler telemetry; populated only while
+    /// [`PoolShared::telemetry`] is set.
+    lanes: Vec<LaneStats>,
+    telemetry: AtomicBool,
 }
 
 /// Persistent evaluation workers: spawned once per [`SearchState`],
@@ -1808,6 +1843,9 @@ struct EvalPool {
 /// (LIFO), then steals the oldest tasks from siblings until every deque
 /// has been observed empty.
 fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSums {
+    let telemetry = shared.telemetry.load(Ordering::Relaxed);
+    let job_start = telemetry.then(Instant::now);
+    let (mut busy_ns, mut pops, mut steals, mut steal_fails) = (0u64, 0u64, 0u64, 0u64);
     // SAFETY: the publisher keeps every pointer alive until the job is
     // complete, and `scratch.add(worker)` / `rscratch.add(worker)` are
     // this worker's exclusive buffers.
@@ -1849,8 +1887,22 @@ fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSum
             }
         }
     };
+    // When telemetry is on, each task execution is bracketed by two
+    // clock reads (tens of ns against µs-scale BFS batches); when off,
+    // `exec` runs bare and the whole function costs one relaxed load.
+    let timed_exec =
+        |t: usize, acc: &mut BatchSums, scratch: &mut EvalScratch, busy_ns: &mut u64| {
+            if telemetry {
+                let t0 = Instant::now();
+                exec(t, acc, scratch);
+                *busy_ns += t0.elapsed().as_nanos() as u64;
+            } else {
+                exec(t, acc, scratch);
+            }
+        };
     while let Some(t) = shared.deques[worker].pop() {
-        exec(t as usize, &mut acc, scratch);
+        pops += 1;
+        timed_exec(t as usize, &mut acc, scratch, &mut busy_ns);
     }
     let nw = shared.deques.len();
     if nw > 1 {
@@ -1863,19 +1915,32 @@ fn pool_process(job: &JobPacket, worker: usize, shared: &PoolShared) -> BatchSum
             }
             match shared.deques[victim].steal() {
                 Steal::Success(t) => {
-                    exec(t as usize, &mut acc, scratch);
+                    steals += 1;
+                    timed_exec(t as usize, &mut acc, scratch, &mut busy_ns);
                     empties = 0;
                 }
                 Steal::Retry => {
+                    steal_fails += 1;
                     std::hint::spin_loop();
                     empties = 0;
                 }
                 Steal::Empty => {
+                    steal_fails += 1;
                     empties += 1;
                     victim = (victim + 1) % nw;
                 }
             }
         }
+    }
+    if let Some(t0) = job_start {
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        let lane = &shared.lanes[worker];
+        lane.pops.fetch_add(pops, Ordering::Relaxed);
+        lane.steals.fetch_add(steals, Ordering::Relaxed);
+        lane.steal_fails.fetch_add(steal_fails, Ordering::Relaxed);
+        lane.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        lane.idle_ns
+            .fetch_add(total_ns.saturating_sub(busy_ns), Ordering::Relaxed);
     }
     acc
 }
@@ -1898,6 +1963,8 @@ impl EvalPool {
                 .map(|_| Deque::with_capacity(task_cap))
                 .collect(),
             overflow: AtomicBool::new(false),
+            lanes: (0..=extra).map(|_| LaneStats::default()).collect(),
+            telemetry: AtomicBool::new(false),
         });
         let handles = (1..=extra)
             .map(|w| {
@@ -1947,12 +2014,21 @@ impl EvalPool {
         // first pop or steal.
         let nw = self.handles.len() + 1;
         let per = ntasks.div_ceil(nw);
+        let telemetry = self.shared.telemetry.load(Ordering::Relaxed);
         for (w, dq) in self.shared.deques.iter().enumerate() {
             debug_assert!(dq.is_empty());
             let lo = (w * per).min(ntasks);
             let hi = ((w + 1) * per).min(ntasks);
             for t in lo..hi {
                 assert!(dq.push(t as u32), "deque sized below the job's task count");
+            }
+            if telemetry && hi > lo {
+                // Tasks are never re-pushed mid-job, so the seeded
+                // shard size is this job's peak depth for the deque.
+                let lane = &self.shared.lanes[w];
+                lane.pushes.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                lane.peak_depth
+                    .fetch_max((hi - lo) as u64, Ordering::Relaxed);
             }
         }
         {
@@ -2018,6 +2094,9 @@ pub struct EvalStats {
     /// Sources fixed by the in-place repair path instead of a re-BFS
     /// (a subset of the incremental evaluations' affected sources).
     pub repaired: u64,
+    /// Cache rows rewritten by a full re-BFS sweep (the expensive
+    /// complement of [`EvalStats::repaired`]).
+    pub swept: u64,
     /// Jobs dispatched to the work-stealing worker pool.
     pub pool_jobs: u64,
     /// Path taken by the most recent evaluation.
@@ -2027,6 +2106,28 @@ pub struct EvalStats {
     /// Source universe of the most recent evaluation (every switch on
     /// the cached path, hostful switches on the plain path).
     pub last_sources: u32,
+}
+
+/// One worker's cumulative scheduler counters, as returned by
+/// [`SearchState::pool_stats`]. All values are totals since the pool
+/// was spawned (telemetry-off stretches contribute nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolWorkerStats {
+    /// Tasks seeded into this worker's deque by job publishers.
+    pub pushes: u64,
+    /// Tasks this worker took from its own deque.
+    pub pops: u64,
+    /// Tasks this worker stole from siblings.
+    pub steals: u64,
+    /// Steal attempts that lost a race or found the victim empty.
+    pub steal_fails: u64,
+    /// Wall nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Wall nanoseconds inside jobs but not executing (stealing,
+    /// spinning, observing empty deques).
+    pub idle_ns: u64,
+    /// Largest task count ever seeded into this worker's deque.
+    pub peak_depth: u64,
 }
 
 /// Result of [`SearchState::evaluate_guarded`].
@@ -2266,6 +2367,47 @@ impl SearchState {
     #[inline]
     pub fn eval_stats(&self) -> &EvalStats {
         &self.stats
+    }
+
+    /// Turns per-worker scheduler telemetry on or off. Off (the
+    /// default), the pool's hot path pays one relaxed load per job;
+    /// on, each task execution is clock-bracketed and the counters
+    /// land in [`SearchState::pool_stats`].
+    pub fn set_pool_telemetry(&self, on: bool) {
+        if let Some(pool) = &self.pool {
+            pool.shared.telemetry.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative per-worker scheduler counters (index 0 = the
+    /// evaluating thread). Empty on single-worker engines; all zeros
+    /// until [`SearchState::set_pool_telemetry`] enables collection.
+    pub fn pool_stats(&self) -> Vec<PoolWorkerStats> {
+        self.pool.as_ref().map_or_else(Vec::new, |pool| {
+            pool.shared
+                .lanes
+                .iter()
+                .map(|l| PoolWorkerStats {
+                    pushes: l.pushes.load(Ordering::Relaxed),
+                    pops: l.pops.load(Ordering::Relaxed),
+                    steals: l.steals.load(Ordering::Relaxed),
+                    steal_fails: l.steal_fails.load(Ordering::Relaxed),
+                    busy_ns: l.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: l.idle_ns.load(Ordering::Relaxed),
+                    peak_depth: l.peak_depth.load(Ordering::Relaxed),
+                })
+                .collect()
+        })
+    }
+
+    /// Resident bytes of the live distance cache (row store, per-source
+    /// aggregates, and transactional snapshots). 0 when no cache is
+    /// provisioned or it disabled itself.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache
+            .as_ref()
+            .filter(|c| !c.disabled)
+            .map_or(0, DistCache::resident_bytes)
     }
 
     /// Consumes the engine, returning the graph.
@@ -2616,6 +2758,7 @@ impl SearchState {
         }
         let touched = self.cache.as_ref().expect("cache_active checked").touched;
         self.stats.repaired += u64::from(touched);
+        self.stats.swept += self.rebfs_buf.len() as u64;
         self.stats.last_affected = self.rebfs_buf.len() as u32 + touched;
         self.stats.last_sources = self.csr.len() as u32;
         Some(self.finish(n, totals))

@@ -29,7 +29,7 @@ use crate::error::{GraphError, SaError, WorkerPanic};
 use crate::search::SearchConfig;
 use crate::temper::{geometric_ladder, ExchangeStats, Temper};
 use crate::watchdog::WatchSource;
-use orp_obs::Recorder;
+use orp_obs::{Recorder, StreamSink};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -69,6 +69,7 @@ pub struct Solver {
     ckpt_every: usize,
     resume: bool,
     watchdog: Option<Duration>,
+    stream: Option<StreamSink>,
 }
 
 impl Solver {
@@ -90,6 +91,7 @@ impl Solver {
             ckpt_every: DEFAULT_CHECKPOINT_EVERY,
             resume: false,
             watchdog: None,
+            stream: None,
         }
     }
 
@@ -182,6 +184,17 @@ impl Solver {
         self
     }
 
+    /// Attaches a live metrics stream. Restart 0 carries it — one
+    /// restart keeps the JSONL gauge names collision-free while still
+    /// showing a representative live view of the solve (all restarts
+    /// run the same schedule; shared counters still aggregate across
+    /// the whole solve through the recorder). No-op unless a recorder
+    /// is also attached.
+    pub fn stream(mut self, sink: StreamSink) -> Self {
+        self.stream = Some(sink);
+        self
+    }
+
     /// Runs the solve. Fails only when *no* restart completes: with
     /// the first structured error if one exists, else
     /// [`SaError::AllWorkersPanicked`].
@@ -211,12 +224,16 @@ impl Solver {
                 c.eval_workers = Some(per_restart);
                 let start = random_general(this.n, m_opt, this.r, c.seed)?;
                 let ckpt_path = this.ckpt.as_ref().map(|p| restart_ckpt_path(p, i));
+                let stream = (i == 0).then(|| this.stream.clone()).flatten();
                 if this.replicas > 1 {
                     let mut b = Temper::builder(start)
                         .kind(this.kind)
                         .config(c)
                         .exchange_every(this.exchange_every)
                         .recorder(this.rec.clone());
+                    if let Some(sink) = stream {
+                        b = b.stream(sink);
+                    }
                     if !this.ladder.is_empty() {
                         b = b.ladder(this.ladder.clone());
                     } else {
@@ -253,6 +270,9 @@ impl Solver {
                         .kind(this.kind)
                         .config(c)
                         .recorder(this.rec.clone());
+                    if let Some(sink) = stream {
+                        b = b.stream(sink);
+                    }
                     if let Some(path) = &ckpt_path {
                         if this.resume && path.exists() {
                             b = b.resume_from(path);

@@ -25,7 +25,7 @@ use crate::ckpt::{self, CkptError, Decoder, Encoder};
 use crate::error::SaError;
 use crate::graph::HostSwitchGraph;
 use crate::watchdog::{WatchSource, Watchdog, WatchdogConfig};
-use orp_obs::Recorder;
+use orp_obs::{Recorder, StreamSink};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::{ChaCha8Rng, CHACHA_STATE_WORDS};
@@ -99,6 +99,13 @@ pub(crate) struct TemperRun {
     next_round: usize,
     attempted: u64,
     accepted: u64,
+    /// Per-adjacent-rung-pair exchange telemetry, indexed by the lower
+    /// rung `j` of the pair `(j, j+1)`. Pure observability: deliberately
+    /// *not* checkpointed (a resumed run restarts these at zero while
+    /// the totals above round-trip exactly), so the stream stays
+    /// self-consistent within one process lifetime.
+    pair_attempted: Vec<u64>,
+    pair_accepted: Vec<u64>,
 }
 
 impl TemperRun {
@@ -115,6 +122,7 @@ impl TemperRun {
             let c = replica_cfg(cfg, ladder, k);
             replicas.push(Annealer::new(start.clone(), &c, rec.clone())?);
         }
+        let pairs = replicas.len().saturating_sub(1);
         Ok(Self {
             rung: (0..replicas.len() as u32).collect(),
             replicas,
@@ -122,6 +130,8 @@ impl TemperRun {
             next_round: 0,
             attempted: 0,
             accepted: 0,
+            pair_attempted: vec![0; pairs],
+            pair_accepted: vec![0; pairs],
         })
     }
 
@@ -224,6 +234,7 @@ impl TemperRun {
             let c = replica_cfg(cfg, ladder, k);
             replicas.push(Annealer::from_ckpt(sub, kind, &c, rec.clone())?);
         }
+        let pairs = replicas.len().saturating_sub(1);
         Ok(Self {
             replicas,
             rung,
@@ -231,6 +242,8 @@ impl TemperRun {
             next_round,
             attempted,
             accepted,
+            pair_attempted: vec![0; pairs],
+            pair_accepted: vec![0; pairs],
         })
     }
 
@@ -250,6 +263,7 @@ impl TemperRun {
             let (a, b) = (holder[j], holder[j + 1]);
             let draw: f64 = self.xrng.gen();
             self.attempted += 1;
+            self.pair_attempted[j] += 1;
             let (ta, tb) = (
                 self.replicas[a].temperature(),
                 self.replicas[b].temperature(),
@@ -266,8 +280,43 @@ impl TemperRun {
                 self.replicas[b].set_temperature(ta);
                 self.rung.swap(a, b);
                 self.accepted += 1;
+                self.pair_accepted[j] += 1;
             }
             j += 2;
+        }
+    }
+
+    /// Publishes the live tempering gauges the streaming dashboard
+    /// renders: overall and per-adjacent-pair exchange attempt/accept
+    /// counts plus every replica's current rung temperature. Gauges are
+    /// absolute (last-write-wins), so a flush at any round boundary
+    /// shows the up-to-date ensemble without double counting.
+    fn publish_gauges(&self, rec: &Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        use std::fmt::Write as _;
+        rec.gauge("temper.round", self.next_round as f64);
+        rec.gauge("temper.exchanges_attempted", self.attempted as f64);
+        rec.gauge("temper.exchanges_accepted", self.accepted as f64);
+        let mut name = String::with_capacity(32);
+        for (j, (&att, &acc)) in self
+            .pair_attempted
+            .iter()
+            .zip(&self.pair_accepted)
+            .enumerate()
+        {
+            name.clear();
+            let _ = write!(name, "temper.pair{j}.attempted");
+            rec.gauge_dyn(&name, att as f64);
+            name.clear();
+            let _ = write!(name, "temper.pair{j}.accepted");
+            rec.gauge_dyn(&name, acc as f64);
+        }
+        for (i, rep) in self.replicas.iter().enumerate() {
+            name.clear();
+            let _ = write!(name, "temper.r{i}.temp");
+            rec.gauge_dyn(&name, rep.temperature());
         }
     }
 
@@ -289,18 +338,24 @@ impl TemperRun {
         let span = rec.span("temper.run");
         let exchange_every = exchange_every.max(1);
         // Replicas never checkpoint themselves — the ensemble does.
-        let sub_ctl = RunCtl {
+        // Each gets the shared stream under its own `r{k}.` label so
+        // one JSONL file carries the whole ensemble.
+        let mut sub_ctl = RunCtl {
             ckpt_path: None,
             every: 0,
             watch: ctl.watch.clone(),
             window_secs: ctl.window_secs,
             stop_after: ctl.stop_after,
+            stream: None,
+            stream_label: None,
         };
         loop {
             let boundary = ((self.next_round + 1) * exchange_every).min(cfg.iters);
             let mut stalled = None;
             for (k, rep) in self.replicas.iter_mut().enumerate() {
                 let c = replica_cfg(cfg, ladder, k);
+                sub_ctl.stream = ctl.stream.clone();
+                sub_ctl.stream_label = Some(k as u32);
                 if let Err(e) = rep.run_range(kind, &c, &sub_ctl, boundary) {
                     stalled = Some(e);
                     break;
@@ -332,6 +387,9 @@ impl TemperRun {
             }
             self.exchange(self.next_round);
             self.next_round += 1;
+            // Exchange stats change only here, so a round boundary is
+            // the one spot live gauges can go stale — refresh them.
+            self.publish_gauges(rec);
             if let Some(path) = &ctl.ckpt_path {
                 if ctl.every > 0 && self.next_round.is_multiple_of(ctl.every) {
                     self.save_ckpt(kind, cfg, ladder, path)
@@ -346,11 +404,16 @@ impl TemperRun {
                     .map_err(SaError::Ckpt)?;
             }
         }
-        let no_ckpt = RunCtl::default();
+        self.publish_gauges(rec);
         let mut results = Vec::with_capacity(self.replicas.len());
         for (k, rep) in self.replicas.into_iter().enumerate() {
             let c = replica_cfg(cfg, ladder, k);
-            results.push(rep.finish(kind, &c, &no_ckpt)?);
+            let finish_ctl = RunCtl {
+                stream: ctl.stream.clone(),
+                stream_label: Some(k as u32),
+                ..RunCtl::default()
+            };
+            results.push(rep.finish(kind, &c, &finish_ctl)?);
         }
         let best = results
             .iter()
@@ -405,6 +468,7 @@ pub struct Temper {
     resume: Option<PathBuf>,
     watchdog: Option<std::time::Duration>,
     watch_worker: u32,
+    stream: Option<StreamSink>,
 }
 
 impl Temper {
@@ -424,6 +488,7 @@ impl Temper {
             resume: None,
             watchdog: None,
             watch_worker: 0,
+            stream: None,
         }
     }
 
@@ -499,6 +564,15 @@ impl Temper {
         self
     }
 
+    /// Attaches a live metrics stream shared by the whole ensemble:
+    /// replica `k` publishes its gauges under the `r{k}.` prefix and
+    /// exchange statistics refresh at every round boundary. No-op
+    /// unless a recorder is also attached.
+    pub fn stream(mut self, sink: StreamSink) -> Self {
+        self.stream = Some(sink);
+        self
+    }
+
     fn effective_ladder(&self) -> Result<Vec<f64>, SaError> {
         let ladder = if self.ladder.is_empty() {
             geometric_ladder(self.cfg.t0, self.cfg.t_end.max(1e-12), 4)
@@ -537,6 +611,8 @@ impl Temper {
             watch: wd.as_ref().map(Watchdog::handle),
             window_secs: self.watchdog.map_or(0.0, |w| w.as_secs_f64()),
             stop_after: None,
+            stream: self.stream.clone(),
+            stream_label: None,
         };
         run.run(
             self.kind,

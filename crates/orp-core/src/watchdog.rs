@@ -217,6 +217,14 @@ fn monitor_loop(shared: &Shared, cfg: &WatchdogConfig, rec: &Recorder) {
             return;
         }
         let now_progress = shared.progress.load(Ordering::Relaxed);
+        // Heartbeat gauge for the live stream: when the monitor last
+        // looked (recorder-relative µs) and the progress count it saw.
+        // Last-write-wins, so `orp watch` flags a silent stream by
+        // comparing the heartbeat stamp against the batch clock.
+        if rec.is_enabled() {
+            rec.gauge("watchdog.heartbeat_us", rec.elapsed_us() as f64);
+            rec.gauge("watchdog.progress", now_progress as f64);
+        }
         if now_progress != last_seen {
             last_seen = now_progress;
             last_change = Instant::now();

@@ -26,7 +26,7 @@ use crate::sharing::{make_model, Flow, LinkStats, SharingMode, ThroughputSharing
 use orp_core::ckpt::{self, Checkpointable, CkptError, Decoder, Encoder};
 use orp_core::graph::Host;
 use orp_core::watchdog::{WatchSource, Watchdog, WatchdogConfig};
-use orp_obs::{Event as ObsEvent, FaultKind, FlowStage, Recorder};
+use orp_obs::{Event as ObsEvent, FaultKind, FlowStage, Recorder, StreamSink};
 use orp_route::RoutingTable;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -285,6 +285,10 @@ pub struct Simulator<'a> {
     /// this many events were processed — the same exit the watchdog
     /// takes, made deterministic for resume tests.
     stop_after_events: Option<u64>,
+    /// Live telemetry stream: the event loop publishes progress gauges
+    /// and appends a delta batch on the sink's wall-clock cadence
+    /// (checked every [`STREAM_CHECK_PASSES`] loop passes).
+    stream: Option<StreamSink>,
 }
 
 /// Builder for [`Simulator`]; obtain via [`Simulator::builder`].
@@ -317,7 +321,14 @@ pub struct SimulatorBuilder<'a> {
     ckpt_every: u64,
     resume_from: Option<PathBuf>,
     watchdog: Option<Duration>,
+    stream: Option<StreamSink>,
 }
+
+/// Event-loop passes between `StreamSink::due` checks. The check is one
+/// mutex lock plus a clock read; amortizing it over this many passes
+/// keeps the streaming overhead unmeasurable at the engine's ~10⁶
+/// events/s while still hitting a 500 ms cadence within ~1 ms.
+const STREAM_CHECK_PASSES: u64 = 1024;
 
 /// Default checkpoint stride: processed events between periodic saves.
 /// Sized so the ~1–2 ms per-save cost stays well under 2% of wall time
@@ -412,6 +423,16 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Attaches a live metrics stream: the event loop publishes
+    /// progress gauges (simulated clock, processed events, queue depth,
+    /// delivered flows/bytes) and appends one self-describing JSONL
+    /// batch on the sink's wall-clock cadence, so `orp watch` can tail
+    /// a long simulation mid-run. No-op unless a recorder is attached.
+    pub fn stream(mut self, sink: StreamSink) -> Self {
+        self.stream = Some(sink);
+        self
+    }
+
     /// Finishes the builder without running (for callers that still
     /// need [`Simulator::schedule_fault`]).
     ///
@@ -438,6 +459,7 @@ impl<'a> SimulatorBuilder<'a> {
         sim.ckpt_every = self.ckpt_every;
         sim.resume_from = self.resume_from;
         sim.watchdog = self.watchdog;
+        sim.stream = self.stream;
         sim
     }
 
@@ -465,6 +487,7 @@ impl<'a> Simulator<'a> {
             ckpt_every: SIM_CKPT_EVERY_DEFAULT,
             resume_from: None,
             watchdog: None,
+            stream: None,
         }
     }
 
@@ -525,6 +548,7 @@ impl<'a> Simulator<'a> {
             resume_from: None,
             watchdog: None,
             stop_after_events: None,
+            stream: None,
         }
     }
 
@@ -1053,6 +1077,34 @@ impl<'a> Simulator<'a> {
     /// or flows (an ill-formed program); [`SimError::Stalled`] for the
     /// same condition after faults struck; [`SimError::Partitioned`]
     /// when scheduled faults cut communicating ranks off;
+    /// Publishes the live gauge set the streaming dashboard renders for
+    /// a simulation: the simulated clock, event-queue progress, and the
+    /// delivered flow/byte totals. Gauges are absolute
+    /// (last-write-wins), so a flush at any loop boundary shows the
+    /// up-to-date run without double counting.
+    fn publish_live(&self) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        self.rec.gauge("sim.now", self.now);
+        self.rec
+            .gauge("sim.events_processed", self.queue.processed() as f64);
+        self.rec
+            .gauge("sim.event_queue_depth", self.queue.len() as f64);
+        self.rec.gauge("sim.flows_done", self.total_flows as f64);
+        self.rec.gauge("sim.bytes", self.total_bytes);
+        self.rec.gauge("sim.peak_flows", self.peak_flows as f64);
+        self.rec
+            .gauge("sim.faults_struck", self.faults_struck as f64);
+    }
+
+    /// Executes the programs (and injected flows) to completion.
+    ///
+    /// # Errors
+    /// [`SimError::Deadlock`] when blocked ranks have no pending events
+    /// or flows (an ill-formed program); [`SimError::Stalled`] for the
+    /// same condition after faults struck; [`SimError::Partitioned`]
+    /// when scheduled faults cut communicating ranks off;
     /// [`SimError::Wedged`] when an armed [`SimulatorBuilder::watchdog`]
     /// saw no progress for its window; [`SimError::Ckpt`] when a
     /// checkpoint save or [`SimulatorBuilder::resume_from`] failed.
@@ -1081,7 +1133,20 @@ impl<'a> Simulator<'a> {
         });
         let watch = watchdog.as_ref().map(Watchdog::handle);
         self.last_ckpt_events = self.queue.processed();
+        let mut passes: u64 = 0;
         loop {
+            // Live streaming, amortized: the clock/lock of `due()` runs
+            // once per STREAM_CHECK_PASSES loop passes, the snapshot
+            // work only when the wall-clock cadence actually elapsed.
+            passes = passes.wrapping_add(1);
+            if passes.is_multiple_of(STREAM_CHECK_PASSES) {
+                if let Some(sink) = &self.stream {
+                    if sink.due() {
+                        let rec = self.rec.clone();
+                        sink.maybe_flush(&rec, || self.publish_live());
+                    }
+                }
+            }
             // crash-safety boundary: every in-flight transition is fully
             // in the queue/ranks/model here, so this is where periodic
             // saves happen and where a stall verdict is converted into a
@@ -1235,6 +1300,12 @@ impl<'a> Simulator<'a> {
                 name: "sim.completed",
                 value: self.now,
             });
+        }
+        // Final stream flush with the closing gauges and counters; the
+        // `done` record itself is written by the stream's owner.
+        if let Some(sink) = &self.stream {
+            let rec = self.rec.clone();
+            sink.flush_now(&rec, || self.publish_live());
         }
         Ok(SimReport {
             time: self.now,

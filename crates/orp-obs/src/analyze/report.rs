@@ -130,6 +130,32 @@ pub fn render_report(data: &TraceData, top_k: usize) -> String {
             );
         }
     }
+    {
+        let counter = |n: &str| {
+            data.counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v as u64)
+        };
+        let mut extra = String::new();
+        crate::stream::render_eval_mix(&mut extra, counter);
+        crate::stream::render_watchdog(
+            &mut extra,
+            0,
+            counter("watchdog.stalls"),
+            None,
+            data.event_counts
+                .iter()
+                .find(|(n, _)| n.as_str() == "watchdog.stalled")
+                .map_or(0, |(_, c)| *c as u64),
+        );
+        if !extra.is_empty() {
+            let _ = writeln!(o, "\nsearch engine:");
+            for line in extra.lines() {
+                let _ = writeln!(o, "  {line}");
+            }
+        }
+    }
     if !data.counters.is_empty() {
         let _ = writeln!(o, "\ncounters:");
         for (name, v) in &data.counters {
@@ -291,6 +317,22 @@ mod tests {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
         assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn report_surfaces_eval_mix_and_watchdog() {
+        let mut data = populated();
+        data.counters.push(("eval.full".into(), 5.0));
+        data.counters.push(("eval.incremental".into(), 90.0));
+        data.counters.push(("eval.early_reject".into(), 5.0));
+        data.counters.push(("watchdog.stalls".into(), 2.0));
+        let text = render_report(&data, 5);
+        assert!(text.contains("eval path mix"), "missing eval mix:\n{text}");
+        assert!(text.contains("incremental 90 (90.0%)"), "{text}");
+        assert!(text.contains("watchdog: 2 stalls"), "{text}");
+        // absent telemetry leaves the section out entirely
+        let bare = render_report(&populated(), 5);
+        assert!(!bare.contains("search engine:"));
     }
 
     #[test]

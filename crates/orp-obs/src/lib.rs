@@ -52,6 +52,7 @@ mod journal;
 mod recorder;
 mod sink;
 mod snapshot;
+pub mod stream;
 
 pub use event::{Event, FaultKind, FlowStage};
 pub use histogram::{Histogram, HistogramSummary};
@@ -59,3 +60,7 @@ pub use journal::{Journal, TimedEvent};
 pub use recorder::{ObsConfig, Recorder, Span};
 pub use sink::{ChromeTrace, JsonSummary, Sink, TextProgress};
 pub use snapshot::{SeriesPoint, Snapshot, SpanRecord};
+pub use stream::{
+    is_stream, parse_stream, read_stream, render_dashboard, render_stream_report, StreamEvent,
+    StreamFollower, StreamSink, StreamState, STREAM_VERSION,
+};

@@ -16,10 +16,17 @@ use crate::histogram::Histogram;
 use crate::journal::Journal;
 use crate::sink::Sink;
 use crate::snapshot::{SeriesPoint, Snapshot, SpanRecord};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 use std::time::Instant;
+
+/// Metric names are `&'static str` on the hot paths (no allocation) but
+/// may be owned for dynamically shaped metrics — per-worker lanes
+/// (`pool.w3.steals`), per-replica rungs (`temper.r2.temp`) — via the
+/// `*_dyn` recording methods.
+type Name = Cow<'static, str>;
 
 /// Capacity knobs for an enabled recorder.
 #[derive(Debug, Clone, Copy)]
@@ -29,8 +36,10 @@ pub struct ObsConfig {
     /// Maximum completed spans kept (further spans are counted, not
     /// stored).
     pub max_spans: usize,
-    /// Maximum points kept per named series (further points are
-    /// dropped silently; record sparsely via a stride instead).
+    /// Maximum points kept per named series. Reaching the cap does not
+    /// drop the tail: the series is decimated in place (every other
+    /// retained point removed, acceptance stride doubled), so memory
+    /// stays bounded while first/last/extrema points survive.
     pub max_series_points: usize,
 }
 
@@ -44,12 +53,78 @@ impl Default for ObsConfig {
     }
 }
 
+/// A bounded series store: keep-every-`stride` doubling decimation.
+///
+/// Every incoming point updates the tracked extrema/last; a point is
+/// *retained* only when its ordinal is a multiple of the current
+/// stride. When the retained vector hits the cap, every odd-positioned
+/// point is dropped and the stride doubles, so memory is O(cap) for
+/// any run length while the kept points stay evenly spaced. The
+/// process is deterministic — a function of the push sequence and the
+/// cap alone — and [`SeriesBuf::collect`] re-inserts the argmin,
+/// argmax, and final points so decimation never erases the envelope.
+#[derive(Debug, Default)]
+struct SeriesBuf {
+    pts: Vec<SeriesPoint>,
+    stride: u64,
+    seen: u64,
+    min: Option<SeriesPoint>,
+    max: Option<SeriesPoint>,
+    last: Option<SeriesPoint>,
+}
+
+impl SeriesBuf {
+    fn push(&mut self, p: SeriesPoint, cap: usize) {
+        if self.stride == 0 {
+            self.stride = 1;
+        }
+        // Strict comparisons keep the *earliest* extremum on ties.
+        if self.min.is_none_or(|m| p.y < m.y) {
+            self.min = Some(p);
+        }
+        if self.max.is_none_or(|m| p.y > m.y) {
+            self.max = Some(p);
+        }
+        self.last = Some(p);
+        if self.seen.is_multiple_of(self.stride) {
+            self.pts.push(p);
+            if self.pts.len() >= cap.max(4) {
+                let mut i = 0usize;
+                self.pts.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The decimated points plus the extrema/final points (if elided),
+    /// sorted by timestamp.
+    fn collect(&self) -> Vec<SeriesPoint> {
+        let mut out = self.pts.clone();
+        for p in [self.min, self.max, self.last].into_iter().flatten() {
+            if !out
+                .iter()
+                .any(|q| q.ts_us == p.ts_us && q.x == p.x && q.y == p.y)
+            {
+                out.push(p);
+            }
+        }
+        out.sort_by(|a, b| a.ts_us.cmp(&b.ts_us).then(a.x.total_cmp(&b.x)));
+        out
+    }
+}
+
 #[derive(Debug)]
 struct State {
     cfg: ObsConfig,
-    counters: BTreeMap<&'static str, u64>,
-    hists: BTreeMap<&'static str, Histogram>,
-    series: BTreeMap<&'static str, Vec<SeriesPoint>>,
+    counters: BTreeMap<Name, u64>,
+    gauges: BTreeMap<Name, f64>,
+    hists: BTreeMap<Name, Histogram>,
+    series: BTreeMap<Name, SeriesBuf>,
     journal: Journal,
     spans: Vec<SpanRecord>,
     dropped_spans: u64,
@@ -107,6 +182,7 @@ impl Recorder {
                 state: Mutex::new(State {
                     cfg,
                     counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
                     hists: BTreeMap::new(),
                     series: BTreeMap::new(),
                     journal: Journal::with_capacity(cfg.journal_capacity),
@@ -124,12 +200,60 @@ impl Recorder {
         self.inner.is_some()
     }
 
+    /// Microseconds since this recorder was created (0 when disabled).
+    /// Lets callers stamp gauges — e.g. a watchdog heartbeat — on the
+    /// same clock every snapshot and stream record uses.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.now_us())
+    }
+
     /// Adds `by` to the named monotonic counter.
     #[inline]
     pub fn incr(&self, name: &'static str, by: u64) {
         if let Some(inner) = &self.inner {
             let mut st = inner.state.lock().expect("recorder poisoned");
-            *st.counters.entry(name).or_insert(0) += by;
+            *st.counters.entry(Cow::Borrowed(name)).or_insert(0) += by;
+        }
+    }
+
+    /// [`Recorder::incr`] for dynamically shaped names (per-worker,
+    /// per-replica). Allocates only on the first sight of a name.
+    #[inline]
+    pub fn incr_dyn(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("recorder poisoned");
+            match st.counters.get_mut(name) {
+                Some(v) => *v += by,
+                None => {
+                    st.counters.insert(Cow::Owned(name.to_string()), by);
+                }
+            }
+        }
+    }
+
+    /// Sets the named gauge (last write wins). Gauges report a current
+    /// level — resident bytes, a replica temperature, a heartbeat —
+    /// where a monotonic counter would be the wrong shape.
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("recorder poisoned");
+            st.gauges.insert(Cow::Borrowed(name), value);
+        }
+    }
+
+    /// [`Recorder::gauge`] for dynamically shaped names.
+    #[inline]
+    pub fn gauge_dyn(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("recorder poisoned");
+            match st.gauges.get_mut(name) {
+                Some(v) => *v = value,
+                None => {
+                    st.gauges.insert(Cow::Owned(name.to_string()), value);
+                }
+            }
         }
     }
 
@@ -138,7 +262,10 @@ impl Recorder {
     pub fn record(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
             let mut st = inner.state.lock().expect("recorder poisoned");
-            st.hists.entry(name).or_default().record(value);
+            st.hists
+                .entry(Cow::Borrowed(name))
+                .or_default()
+                .record(value);
         }
     }
 
@@ -153,23 +280,43 @@ impl Recorder {
                 let out = f();
                 let ns = t.elapsed().as_nanos() as u64;
                 let mut st = inner.state.lock().expect("recorder poisoned");
-                st.hists.entry(name).or_default().record(ns);
+                st.hists.entry(Cow::Borrowed(name)).or_default().record(ns);
                 out
             }
         }
     }
 
-    /// Appends a point to the named time series (bounded by
-    /// [`ObsConfig::max_series_points`]).
+    /// Appends a point to the named time series. Memory is bounded by
+    /// [`ObsConfig::max_series_points`] via deterministic decimation;
+    /// endpoints and extrema are always preserved.
     #[inline]
     pub fn series(&self, name: &'static str, x: f64, y: f64) {
         if let Some(inner) = &self.inner {
             let ts_us = inner.now_us();
             let mut st = inner.state.lock().expect("recorder poisoned");
             let cap = st.cfg.max_series_points;
-            let s = st.series.entry(name).or_default();
-            if s.len() < cap {
-                s.push(SeriesPoint { ts_us, x, y });
+            st.series
+                .entry(Cow::Borrowed(name))
+                .or_default()
+                .push(SeriesPoint { ts_us, x, y }, cap);
+        }
+    }
+
+    /// [`Recorder::series`] for dynamically shaped names.
+    #[inline]
+    pub fn series_dyn(&self, name: &str, x: f64, y: f64) {
+        if let Some(inner) = &self.inner {
+            let ts_us = inner.now_us();
+            let mut st = inner.state.lock().expect("recorder poisoned");
+            let cap = st.cfg.max_series_points;
+            let p = SeriesPoint { ts_us, x, y };
+            match st.series.get_mut(name) {
+                Some(s) => s.push(p, cap),
+                None => {
+                    let mut s = SeriesBuf::default();
+                    s.push(p, cap);
+                    st.series.insert(Cow::Owned(name.to_string()), s);
+                }
             }
         }
     }
@@ -208,17 +355,22 @@ impl Recorder {
             counters: st
                 .counters
                 .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
+                .map(|(k, &v)| (k.clone().into_owned(), v))
+                .collect(),
+            gauges: st
+                .gauges
+                .iter()
+                .map(|(k, &v)| (k.clone().into_owned(), v))
                 .collect(),
             histograms: st
                 .hists
                 .iter()
-                .map(|(&k, h)| (k.to_string(), h.summary()))
+                .map(|(k, h)| (k.clone().into_owned(), h.summary()))
                 .collect(),
             series: st
                 .series
                 .iter()
-                .map(|(&k, s)| (k.to_string(), s.clone()))
+                .map(|(k, s)| (k.clone().into_owned(), s.collect()))
                 .collect(),
             events: st.journal.events().copied().collect(),
             dropped_events: st.journal.dropped(),
@@ -390,15 +542,76 @@ mod tests {
     }
 
     #[test]
-    fn series_is_bounded() {
+    fn series_is_bounded_but_keeps_endpoints_and_extrema() {
+        let cap = 8usize;
         let rec = Recorder::with_config(ObsConfig {
-            max_series_points: 2,
+            max_series_points: cap,
             ..ObsConfig::default()
         });
-        for i in 0..5 {
-            rec.series("s", i as f64, 0.0);
+        let n = 10_000;
+        for i in 0..n {
+            // a vee: minimum in the middle, maximum at the end
+            let y = (i as f64 - 6000.0).abs();
+            rec.series("s", i as f64, y);
         }
-        assert_eq!(rec.snapshot().unwrap().series("s").unwrap().len(), 2);
+        let s = rec.snapshot().unwrap();
+        let pts = s.series("s").unwrap();
+        assert!(pts.len() <= cap + 3, "len {} > cap+3", pts.len());
+        assert!(pts.iter().any(|p| p.x == 0.0), "first point lost");
+        assert!(pts.iter().any(|p| p.x == (n - 1) as f64), "last point lost");
+        assert!(pts.iter().any(|p| p.y == 0.0), "argmin lost");
+        assert!(pts.iter().any(|p| p.y == 6000.0), "argmax lost");
+        // sorted by timestamp
+        assert!(pts.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn decimation_is_deterministic() {
+        let run = || {
+            let mut b = SeriesBuf::default();
+            for i in 0..1000u64 {
+                let p = SeriesPoint {
+                    ts_us: i,
+                    x: i as f64,
+                    y: (i % 37) as f64,
+                };
+                b.push(p, 16);
+            }
+            b.collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(p, q)| p.ts_us == q.ts_us && p.x == q.x && p.y == q.y));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let rec = Recorder::enabled();
+        rec.gauge("g", 1.0);
+        rec.gauge("g", 2.5);
+        rec.gauge_dyn("pool.w0.busy", 7.0);
+        let s = rec.snapshot().unwrap();
+        assert_eq!(s.gauge("g"), Some(2.5));
+        assert_eq!(s.gauge("pool.w0.busy"), Some(7.0));
+        assert_eq!(s.gauge("missing"), None);
+    }
+
+    #[test]
+    fn dyn_names_share_the_store_with_static_names() {
+        let rec = Recorder::enabled();
+        rec.incr("c", 1);
+        rec.incr_dyn("c", 2);
+        rec.incr_dyn("pool.w1.steals", 3);
+        rec.series_dyn("temper.r0.temp", 0.0, 0.9);
+        rec.series_dyn("temper.r0.temp", 1.0, 0.8);
+        let s = rec.snapshot().unwrap();
+        assert_eq!(s.counter("c"), Some(3));
+        assert_eq!(s.counter("pool.w1.steals"), Some(3));
+        assert_eq!(s.series("temper.r0.temp").unwrap().len(), 2);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub trait Sink {
     fn render(&self, snap: &Snapshot) -> String;
 }
 
-fn esc(s: &str, out: &mut String) {
+pub(crate) fn esc(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -40,7 +40,7 @@ fn esc(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn num(v: f64, out: &mut String) {
+pub(crate) fn num(v: f64, out: &mut String) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -62,6 +62,13 @@ impl Sink for JsonSummary {
             o.push_str(if i == 0 { "\n    " } else { ",\n    " });
             esc(name, &mut o);
             let _ = write!(o, ": {v}");
+        }
+        o.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in snap.gauges.iter().enumerate() {
+            o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            esc(name, &mut o);
+            o.push_str(": ");
+            num(*v, &mut o);
         }
         o.push_str("\n  },\n  \"histograms\": {");
         for (i, (name, h)) in snap.histograms.iter().enumerate() {
@@ -222,6 +229,12 @@ impl Sink for TextProgress {
                 let _ = writeln!(o, "  {name:<32} {v}");
             }
         }
+        if !snap.gauges.is_empty() {
+            let _ = writeln!(o, "gauges:");
+            for (name, v) in &snap.gauges {
+                let _ = writeln!(o, "  {name:<32} {v}");
+            }
+        }
         if !snap.histograms.is_empty() {
             let _ = writeln!(
                 o,
@@ -265,6 +278,7 @@ mod tests {
     fn populated() -> Snapshot {
         let rec = Recorder::enabled();
         rec.incr("flows", 3);
+        rec.gauge("cache.resident_bytes", 4096.0);
         rec.record("eval_ns", 1_500);
         rec.record("eval_ns", 2_500);
         rec.series("best", 0.0, 3.5);
@@ -291,6 +305,15 @@ mod tests {
             .get_field("eval_ns")
             .unwrap();
         assert_eq!(h.get_field("count").unwrap(), &serde::Value::Int(2));
+        let g = v
+            .get_field("gauges")
+            .unwrap()
+            .get_field("cache.resident_bytes")
+            .unwrap();
+        assert!(matches!(
+            g,
+            serde::Value::Int(4096) | serde::Value::Float(_)
+        ));
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct Snapshot {
     pub elapsed_us: u64,
     /// Monotonic counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// Histogram digests, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Named time series, sorted by name.
@@ -57,6 +59,11 @@ impl Snapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Digest of a histogram, if it ever recorded a value.

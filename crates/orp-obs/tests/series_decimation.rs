@@ -1,0 +1,84 @@
+//! Property tests pinning the recorder's bounded-series decimation
+//! (keep-every-k doubling): memory stays O(cap) for any run length,
+//! the kept points are a subset of the pushed points in timestamp
+//! order, and the envelope — first, last, earliest argmin, earliest
+//! argmax — always survives.
+
+use orp_obs::{ObsConfig, Recorder};
+use proptest::prelude::*;
+
+/// Deterministic value stream (splitmix64) so a failing case replays
+/// from the shrunk `(seed, …)` tuple alone.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn record_series(cap: usize, ys: &[f64]) -> Vec<(f64, f64)> {
+    let rec = Recorder::with_config(ObsConfig {
+        max_series_points: cap,
+        ..ObsConfig::default()
+    });
+    for (i, &y) in ys.iter().enumerate() {
+        rec.series("s", i as f64, y);
+    }
+    rec.snapshot()
+        .unwrap()
+        .series("s")
+        .map(|pts| pts.iter().map(|p| (p.x, p.y)).collect())
+        .unwrap_or_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decimation_preserves_endpoints_and_extrema(
+        (len, seed, cap) in (1usize..5000, any::<u64>(), 2usize..64)
+    ) {
+        let mut state = seed;
+        let ys: Vec<f64> = (0..len)
+            .map(|_| (splitmix(&mut state) % 10_000) as f64 / 10.0)
+            .collect();
+        let kept = record_series(cap, &ys);
+
+        // bounded: the retained vector never exceeds the (effective)
+        // cap, and collect() adds at most min/max/last on top
+        prop_assert!(
+            kept.len() <= cap.max(4) + 3,
+            "{} points kept for cap {cap}",
+            kept.len()
+        );
+        // subset of the input, in x (== push) order
+        for w in kept.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "out of order: {w:?}");
+        }
+        for &(x, y) in &kept {
+            prop_assert!(ys[x as usize] == y, "point ({x}, {y}) not from the input");
+        }
+        // the envelope survives any decimation
+        prop_assert!(kept.iter().any(|&(x, _)| x == 0.0), "first point lost");
+        prop_assert!(
+            kept.iter().any(|&(x, _)| x == (len - 1) as f64),
+            "last point lost"
+        );
+        let min = ys.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ys.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(kept.iter().any(|&(_, y)| y == min), "argmin lost");
+        prop_assert!(kept.iter().any(|&(_, y)| y == max), "argmax lost");
+    }
+
+    #[test]
+    fn decimation_is_a_pure_function_of_the_push_sequence(
+        (len, seed, cap) in (1usize..2000, any::<u64>(), 2usize..32)
+    ) {
+        let mut state = seed;
+        let ys: Vec<f64> = (0..len)
+            .map(|_| (splitmix(&mut state) % 1000) as f64)
+            .collect();
+        prop_assert_eq!(record_series(cap, &ys), record_series(cap, &ys));
+    }
+}

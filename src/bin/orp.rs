@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! orp bounds  <n> <r>                  lower bounds and m_opt prediction
-//! orp solve   <n> <r> [iters] [out] [--trace t.json]
+//! orp solve   <n> <r> [iters] [out] [--trace t.json] [--metrics m.jsonl]
 //!             [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs]
 //!             [--cache-mode auto|dense|compressed|off] [--mem-budget bytes]
-//!             [--replicas k] [--exchange-every N]
+//!             [--replicas k] [--exchange-every N] [--workers w]
 //!                                      anneal a topology, optionally save it;
 //!                                      --trace writes a Chrome trace of the run;
+//!                                      --metrics streams live JSONL telemetry
+//!                                      you can tail with `orp watch` mid-run;
 //!                                      --checkpoint saves crash-safe snapshots
 //!                                      (resumable with --resume, bit-identical);
 //!                                      --cache-mode/--mem-budget control the
@@ -16,13 +18,19 @@
 //!                                      tempering over a geometric ladder
 //! orp eval    <file.hsg>               metrics of a saved host-switch graph
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
-//! orp simulate <file.hsg> [bench] [iters] [--trace t.json]
+//! orp simulate <file.hsg> [bench] [iters] [--trace t.json] [--metrics m.jsonl]
 //!             [--checkpoint ck.orp] [--resume] [--watchdog secs]
 //!                                      run an NPB kernel on a saved graph;
 //!                                      --trace records flow/hop telemetry;
+//!                                      --metrics streams live progress gauges;
 //!                                      --checkpoint/--resume work as for solve
-//! orp report  <trace.json> [--top k] [--collapsed]
-//!                                      latency attribution of a recorded trace
+//! orp watch   <m.jsonl> [--once] [--interval ms]
+//!                                      live terminal dashboard over a metrics
+//!                                      stream (refreshes until the run's done
+//!                                      record lands; --once renders one frame)
+//! orp report  <trace.json|m.jsonl> [--top k] [--collapsed]
+//!                                      latency attribution of a recorded trace;
+//!                                      metrics streams get a progress report
 //! orp diff    <a.json> <b.json>        attribute the makespan delta of two runs
 //! orp partition <file.hsg> [k]         bandwidth (edge cut) for P = 2..k
 //! orp layout  <file.hsg> [per_cab]     floorplan power/cost (naive + optimized)
@@ -44,7 +52,10 @@ use orp::netsim::SharingMode;
 use orp::obs::analyze::{
     aggregate_spans, collapsed_stacks, diff, render_diff, render_report, TraceData,
 };
-use orp::obs::{ChromeTrace, ObsConfig, Recorder};
+use orp::obs::{
+    is_stream, parse_stream, read_stream, render_dashboard, render_stream_report, ChromeTrace,
+    ObsConfig, Recorder, StreamFollower, StreamSink, StreamState,
+};
 use orp::partition::{partition, Graph as CutGraph, PartitionConfig};
 use std::process::ExitCode;
 
@@ -113,10 +124,13 @@ fn cmd_bounds(args: &[String]) -> Result<(), String> {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let usage = "usage: orp solve <n> <r> [iters] [out.hsg] [--trace t.json] \
-                 [--checkpoint ck.orp] [--every N] [--resume] [--watchdog secs] \
-                 [--cache-mode auto|dense|compressed|off] [--mem-budget bytes] \
-                 [--replicas k] [--exchange-every N]";
+                 [--metrics m.jsonl] [--checkpoint ck.orp] [--every N] [--resume] \
+                 [--watchdog secs] [--cache-mode auto|dense|compressed|off] \
+                 [--mem-budget bytes] [--replicas k] [--exchange-every N] \
+                 [--workers w]";
     let (trace, pos) = split_value_flag(args, "--trace")?;
+    let (metrics, pos) = split_value_flag(&pos, "--metrics")?;
+    let (workers, pos) = split_value_flag(&pos, "--workers")?;
     let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
     let (every, pos) = split_value_flag(&pos, "--every")?;
     let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
@@ -154,17 +168,39 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         None => 1000,
     };
     // parallel_eval defaults to None: the engine auto-selects threading
-    // from the switch count and available CPUs.
-    let cfg = SaConfig {
+    // from the switch count and available CPUs. --workers pins the pool
+    // to an exact thread count (results are bit-identical either way).
+    let mut cfg = SaConfig {
         iters,
         seed: 1,
         search,
         ..Default::default()
     };
-    let rec = if trace.is_some() {
+    if let Some(w) = workers {
+        cfg.eval_workers = Some(w.parse().map_err(|_| "--workers needs a thread count")?);
+    }
+    let rec = if trace.is_some() || metrics.is_some() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    };
+    // --metrics opens the JSONL stream before the run starts so `orp
+    // watch` can follow it from the first flush
+    let sink = match &metrics {
+        Some(p) => {
+            let s = StreamSink::create(p).map_err(|e| format!("{p}: {e}"))?;
+            s.meta(
+                &[("cmd", "solve")],
+                &[
+                    ("n", f64::from(n)),
+                    ("r", f64::from(r)),
+                    ("iters", iters as f64),
+                    ("replicas", replicas as f64),
+                ],
+            );
+            Some(s)
+        }
+        None => None,
     };
     // the same pipeline as `Solver`, with the recorder attached and the
     // checkpoint written to the exact --checkpoint path
@@ -191,6 +227,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             ))
             .exchange_every(exchange_every)
             .recorder(rec.clone());
+        if let Some(s) = &sink {
+            builder = builder.stream(s.clone());
+        }
         if let Some(ck) = &ckpt {
             builder = builder.checkpoint(ck);
             if resume && std::path::Path::new(ck).exists() {
@@ -213,6 +252,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         tr.results.into_iter().nth(best).expect("best in range")
     } else {
         let mut builder = Anneal::builder(start).config(cfg).recorder(rec.clone());
+        if let Some(s) = &sink {
+            builder = builder.stream(s.clone());
+        }
         if let Some(ck) = &ckpt {
             builder = builder.checkpoint(ck);
             if resume && std::path::Path::new(ck).exists() {
@@ -259,6 +301,15 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         rec.export_to(&ChromeTrace, &path)
             .map_err(|e| e.to_string())?;
         println!("wrote {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(s) = &sink {
+        // the engine already published its final batch; this appends the
+        // `done` record so followers know the run completed
+        s.finish(&rec, || ());
+        println!(
+            "wrote {} (inspect with `orp watch --once` or `orp report`)",
+            s.path().display()
+        );
     }
     Ok(())
 }
@@ -354,8 +405,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let usage = "usage: orp simulate <file.hsg> [bench] [iters] [--trace t.json] \
-                 [--checkpoint ck.orp] [--resume] [--watchdog secs]";
+                 [--metrics m.jsonl] [--checkpoint ck.orp] [--resume] [--watchdog secs]";
     let (trace, pos) = split_value_flag(args, "--trace")?;
+    let (metrics, pos) = split_value_flag(&pos, "--metrics")?;
     let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
     let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
     let resume = pos.iter().any(|a| a == "--resume");
@@ -371,13 +423,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown benchmark {name}; one of BT CG EP FT IS LU MG SP"))?;
     let iters: usize = arg_num(&pos, 2, 1);
     let ranks = g.num_hosts();
-    let rec = if trace.is_some() {
+    let rec = if trace.is_some() || metrics.is_some() {
         trace_recorder()
     } else {
         Recorder::disabled()
     };
     let watchdog: Option<f64> = match watchdog {
         Some(w) => Some(w.parse().map_err(|_| "--watchdog needs seconds")?),
+        None => None,
+    };
+    let sink = match &metrics {
+        Some(p) => {
+            let s = StreamSink::create(p).map_err(|e| format!("{p}: {e}"))?;
+            s.meta(
+                &[("cmd", "simulate"), ("bench", bench.name())],
+                &[("ranks", ranks as f64), ("iters", iters as f64)],
+            );
+            Some(s)
+        }
         None => None,
     };
     // the simulator inherits the network's recorder
@@ -390,6 +453,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         iters,
         SharingMode::default(),
         |mut b| {
+            if let Some(s) = &sink {
+                b = b.stream(s.clone());
+            }
             if let Some(ck) = &ckpt {
                 b = b.checkpoint(ck);
                 if resume && std::path::Path::new(ck).exists() {
@@ -420,6 +486,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("wrote {path} (open in chrome://tracing, or run `orp report {path}`)");
     }
+    if let Some(s) = &sink {
+        s.finish(&rec, || ());
+        println!(
+            "wrote {} (inspect with `orp watch --once` or `orp report`)",
+            s.path().display()
+        );
+    }
     Ok(())
 }
 
@@ -429,12 +502,24 @@ fn load_trace(path: &str) -> Result<TraceData, String> {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let usage = "usage: orp report <trace.json> [--top k] [--collapsed]";
+    let usage = "usage: orp report <trace.json|metrics.jsonl> [--top k] [--collapsed]";
     let (top, pos) = split_value_flag(args, "--top")?;
     let collapsed = pos.iter().any(|a| a == "--collapsed");
     let pos: Vec<String> = pos.into_iter().filter(|a| a != "--collapsed").collect();
     let top: usize = top.and_then(|t| t.parse().ok()).unwrap_or(10);
-    let data = load_trace(pos.first().ok_or(usage)?)?;
+    let path = pos.first().ok_or(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if is_stream(&text) {
+        // a live-telemetry stream, not a Chrome trace: summarize the
+        // final state instead of attributing spans
+        if collapsed {
+            return Err("--collapsed needs a Chrome trace, not a metrics stream".into());
+        }
+        let state = parse_stream(&text).map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", render_stream_report(&state));
+        return Ok(());
+    }
+    let data = TraceData::parse_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
     if collapsed {
         // folded stacks for flamegraph tooling instead of the report
         print!("{}", collapsed_stacks(&aggregate_spans(&data.spans)));
@@ -442,6 +527,47 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         print!("{}", render_report(&data, top));
     }
     Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let usage = "usage: orp watch <metrics.jsonl> [--once] [--interval ms]";
+    let (interval, pos) = split_value_flag(args, "--interval")?;
+    let once = pos.iter().any(|a| a == "--once");
+    let pos: Vec<String> = pos.into_iter().filter(|a| a != "--once").collect();
+    let path = pos.first().ok_or(usage)?;
+    let interval = std::time::Duration::from_millis(match interval {
+        Some(ms) => ms.parse().map_err(|_| "--interval needs milliseconds")?,
+        None => 500,
+    });
+    if once {
+        // single frame, no screen clearing: scriptable / CI-friendly
+        let state = read_stream(path)?;
+        print!("{}", render_dashboard(&state, None));
+        return Ok(());
+    }
+    use std::io::Write as _;
+    let mut follower = StreamFollower::new(path);
+    let mut prev: Option<StreamState> = None;
+    loop {
+        let advanced = follower.poll().map_err(|e| format!("{path}: {e}"))?;
+        if advanced || prev.is_none() {
+            // redraw in place, like watch(1): clear screen, cursor home
+            let mut out = std::io::stdout().lock();
+            write!(
+                out,
+                "\x1b[2J\x1b[H{}",
+                render_dashboard(&follower.state, prev.as_ref())
+            )
+            .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            prev = Some(follower.state.clone());
+        }
+        if follower.state.done {
+            println!("run finished.");
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_diff(args: &[String]) -> Result<(), String> {
@@ -514,7 +640,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: orp <bounds|solve|eval|compare|simulate|report|diff|partition|layout> ..."
+            "usage: orp <bounds|solve|eval|compare|simulate|watch|report|diff|partition|layout> ..."
         );
         return ExitCode::FAILURE;
     };
@@ -525,6 +651,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(rest),
         "compare" => cmd_compare(rest),
         "simulate" => cmd_simulate(rest),
+        "watch" => cmd_watch(rest),
         "report" => cmd_report(rest),
         "diff" => cmd_diff(rest),
         "partition" => cmd_partition(rest),
