@@ -18,16 +18,20 @@
 //! activation delay before a flow starts streaming.
 
 use crate::context::SimContext;
-use crate::event::Event;
+use crate::event::{time_sort_bits, Event, TimeKey};
 use crate::network::{LinkId, Network};
+use crate::parallel::{StageItem, StageOut, StagePool};
 use crate::queue::EventQueue;
 use crate::rank::{BlockedRank, Ranks, Step};
-use crate::sharing::{make_model, Flow, LinkStats, SharingMode, ThroughputSharingModel};
+use crate::sharing::{
+    make_model, Flow, FlowAux, LinkStats, RouteBuf, SharingMode, ThroughputSharingModel,
+};
 use orp_core::ckpt::{self, Checkpointable, CkptError, Decoder, Encoder};
 use orp_core::graph::Host;
 use orp_core::watchdog::{WatchSource, Watchdog, WatchdogConfig};
 use orp_obs::{Event as ObsEvent, FaultKind, FlowStage, Recorder, StreamSink};
 use orp_route::RoutingTable;
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -209,6 +213,22 @@ pub struct InjectedFlow {
     pub bytes: f64,
 }
 
+/// One speculatively pre-routed injection, produced by a worker-pool
+/// staging pass running ahead of the injection cursor and consumed —
+/// after validation — when the cursor releases that injection (see
+/// `Simulator::stage_injections`).
+#[derive(Debug)]
+struct StagedInject {
+    /// Index into the injection list this entry was staged for.
+    inj: u32,
+    /// The flow-sequence hash the route was computed under (the value
+    /// `flow_seq` must step to at release); 0 for degenerate same-host
+    /// injections, which consume no sequence number.
+    hash: u64,
+    /// Staged routing outcome; `None` for degenerate injections.
+    out: Option<StageOut>,
+}
+
 /// Simulation outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct SimReport {
@@ -229,6 +249,17 @@ pub struct SimReport {
     pub events_cancelled: u64,
     /// Peak number of pending events in the queue.
     pub peak_queue_depth: usize,
+    /// Tombstoned heap keys the event queue reclaimed by compaction.
+    ///
+    /// Advisory: the count depends on the execution strategy (worker
+    /// count, resume points) even when the simulation outcome is
+    /// bit-identical, so it is excluded from bit-identity comparisons.
+    pub events_compacted: u64,
+    /// Tombstoned per-link heap entries the sharing model reclaimed by
+    /// compaction (advisory, like [`events_compacted`]).
+    ///
+    /// [`events_compacted`]: SimReport::events_compacted
+    pub model_compacted: u64,
 }
 
 /// Sentinel for "this rank has no recorded parent flow yet".
@@ -241,8 +272,20 @@ pub struct Simulator<'a> {
     ranks: Ranks,
     flows: Vec<Flow>,
     model: Box<dyn ThroughputSharingModel>,
+    sharing: SharingMode,
     queue: EventQueue<Event>,
     now: f64,
+    // deterministic parallel staging (see DESIGN.md §9)
+    workers: usize,
+    stage_pool: Option<StagePool>,
+    /// Speculative route cache filled by `stage_injections`, consumed
+    /// front-to-back as the cursor releases injections; cleared
+    /// whenever the routing snapshot changes (a fault strikes).
+    staged: VecDeque<StagedInject>,
+    /// Scratch: items handed to the staging pool this window.
+    stage_items: Vec<StageItem>,
+    /// Scratch: per-item staging results, committed in order.
+    stage_outs: Vec<Option<StageOut>>,
     // stats
     total_flows: u64,
     total_bytes: f64,
@@ -256,8 +299,20 @@ pub struct Simulator<'a> {
     dead_link: Vec<bool>,
     dead_host: Vec<bool>,
     fault_table: Option<RoutingTable>,
-    // open-loop injection
+    // open-loop injection cursor: injections never enter the event
+    // heap — they are released from this sorted cursor, merged with the
+    // queue by `(time, seq)`, which keeps the heap cache-hot at
+    // million-flow scale (see DESIGN.md §9)
     injections: Vec<InjectedFlow>,
+    /// Injection indices stably sorted by release time — the cursor's
+    /// iteration order (for equal times, input order, which is also
+    /// sequence order).
+    inj_order: Vec<u32>,
+    /// Cursor position: next entry of `inj_order` to release.
+    inj_next: usize,
+    /// First of the sequence numbers reserved from the queue for the
+    /// injection list (injection `i` carries seq `inj_seq_base + i`).
+    inj_seq_base: u64,
     injected_live: usize,
     // telemetry (no-op recorder unless attached; never feeds back into
     // the simulation, so recording cannot change results)
@@ -270,6 +325,9 @@ pub struct Simulator<'a> {
     dep_parent: Vec<u64>,
     /// Scratch for completion batches (reused across loop iterations).
     finished_scratch: Vec<u32>,
+    /// Scratch route buffer for injection releases (reused so the
+    /// open-loop path allocates nothing per flow).
+    route_scratch: Vec<LinkId>,
     // crash safety
     /// CRC over the full immutable configuration (programs, placement,
     /// injections, sharing mode, network parameters); echoed into every
@@ -316,6 +374,7 @@ pub struct SimulatorBuilder<'a> {
     faults: Vec<FaultEvent>,
     injections: Vec<InjectedFlow>,
     sharing: SharingMode,
+    workers: usize,
     rec: Option<Recorder>,
     ckpt: Option<PathBuf>,
     ckpt_every: u64,
@@ -372,6 +431,21 @@ impl<'a> SimulatorBuilder<'a> {
     /// [`SharingMode::ExactMaxMin`]).
     pub fn sharing(mut self, mode: SharingMode) -> Self {
         self.sharing = mode;
+        self
+    }
+
+    /// Pre-routes safe injection windows across `n` worker lanes
+    /// (defaults to 1 — fully sequential). The parallel schedule is
+    /// *deterministic*: workers only compute pure per-injection routes
+    /// ahead of time, the event loop stays sequential and commits in
+    /// exact `(time, seq)` order after validating every staged entry,
+    /// so the final [`SimReport`] is bit-identical at any worker count
+    /// (asserted by the `parallel_determinism` proptest and the CI
+    /// smoke). Only [`SharingMode::ApproxFair`] currently has a
+    /// parallel-safe window (open-loop injection bursts); other modes
+    /// accept the setting and run sequentially.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
         self
     }
 
@@ -455,6 +529,7 @@ impl<'a> SimulatorBuilder<'a> {
         for fe in &self.faults {
             sim.schedule_fault(fe.time, fe.fault);
         }
+        sim.workers = self.workers;
         sim.ckpt_path = self.ckpt;
         sim.ckpt_every = self.ckpt_every;
         sim.resume_from = self.resume_from;
@@ -482,6 +557,7 @@ impl<'a> Simulator<'a> {
             faults: Vec::new(),
             injections: Vec::new(),
             sharing: SharingMode::default(),
+            workers: 1,
             rec: None,
             ckpt: None,
             ckpt_every: SIM_CKPT_EVERY_DEFAULT,
@@ -522,8 +598,14 @@ impl<'a> Simulator<'a> {
             ranks: Ranks::new(programs),
             flows: Vec::new(),
             model: make_model(sharing, nl, net.config().bandwidth),
+            sharing,
             queue: EventQueue::new(),
             now: 0.0,
+            workers: 1,
+            stage_pool: None,
+            staged: VecDeque::new(),
+            stage_items: Vec::new(),
+            stage_outs: Vec::new(),
             total_flows: 0,
             total_bytes: 0.0,
             total_flops: 0.0,
@@ -536,11 +618,15 @@ impl<'a> Simulator<'a> {
             dead_host,
             fault_table: None,
             injections,
+            inj_order: Vec::new(),
+            inj_next: 0,
+            inj_seq_base: 0,
             injected_live: 0,
             tel: LinkStats::new(rec.clone(), nl),
             rec,
             dep_parent,
             finished_scratch: Vec::new(),
+            route_scratch: Vec::new(),
             cfg_crc,
             ckpt_path: None,
             ckpt_every: SIM_CKPT_EVERY_DEFAULT,
@@ -588,6 +674,28 @@ impl<'a> Simulator<'a> {
         .map_err(|_| self.partitioned(parties.to_vec()))
     }
 
+    /// [`route_hosts`](Self::route_hosts) into a caller-owned buffer —
+    /// the allocation-free variant the injection release path uses.
+    fn route_hosts_into(
+        &self,
+        hs: Host,
+        hd: Host,
+        hash: u64,
+        parties: [u32; 2],
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), SimError> {
+        if self.dead_host[hs as usize] || self.dead_host[hd as usize] {
+            return Err(self.partitioned(parties.to_vec()));
+        }
+        let table = self
+            .fault_table
+            .as_ref()
+            .unwrap_or_else(|| self.net.routing());
+        self.net
+            .route_with_into(table, hs, hd, hash, out)
+            .map_err(|_| self.partitioned(parties.to_vec()))
+    }
+
     /// Routes `src → dst` (ranks) via their placed hosts.
     fn route_ranks(&self, src: u32, dst: u32, hash: u64) -> Result<Vec<LinkId>, SimError> {
         let (hs, hd) = (self.placement[src as usize], self.placement[dst as usize]);
@@ -598,7 +706,7 @@ impl<'a> Simulator<'a> {
     /// schedules its activation after the message delay.
     fn create_flow(
         &mut self,
-        route: Box<[LinkId]>,
+        route: RouteBuf,
         src: u32,
         dst: u32,
         bytes: f64,
@@ -607,22 +715,27 @@ impl<'a> Simulator<'a> {
     ) {
         let delay = self.net.message_delay(route.len());
         let id = self.flows.len() as u32;
+        debug_assert!(hash <= u32::MAX as u64, "flow sequence outgrew u32");
         self.flows.push(Flow {
             route,
             remaining: bytes.max(0.0),
             rate: 0.0,
             src,
             dst,
-            hash,
+            hash: hash as u32,
             active: false,
             finished: false,
             bytes: bytes.max(0.0),
-            created: self.now,
-            prop: delay,
-            active_time: 0.0,
-            activated: self.now,
             injected,
         });
+        if self.tel.tracking() {
+            self.tel.aux.push(FlowAux {
+                created: self.now,
+                prop: delay,
+                active_time: 0.0,
+                activated: self.now,
+            });
+        }
         self.total_flows += 1;
         self.total_bytes += bytes.max(0.0);
         if self.rec.is_enabled() {
@@ -656,25 +769,143 @@ impl<'a> Simulator<'a> {
         }
         self.flow_seq += 1;
         let hash = self.flow_seq;
-        let route = self.route_ranks(src, dst, hash)?.into_boxed_slice();
+        let route = RouteBuf::from_slice(&self.route_ranks(src, dst, hash)?);
         self.create_flow(route, src, dst, bytes, hash, false);
         Ok(())
     }
 
-    /// Releases open-loop injection `inj` (its `Inject` event fired).
-    fn inject(&mut self, inj: InjectedFlow) -> Result<(), SimError> {
+    /// Releases the open-loop injection at cursor position `pos` (its
+    /// release time has come up in the `(time, seq)` merge with the
+    /// event queue). Uses the speculative route cache when its front
+    /// entry matches this injection *and* the flow-sequence hash it was
+    /// staged under; any mismatch discards the whole cache and falls
+    /// back to inline routing — correctness never depends on staging.
+    fn release_injection(&mut self, pos: usize) -> Result<(), SimError> {
+        let idx = self.inj_order[pos];
+        self.queue.note_external_processed();
+        if self.rec.is_enabled() {
+            self.rec
+                .record("sim.event_queue_depth", self.queue.len() as u64);
+        }
+        let inj = self.injections[idx as usize];
         if inj.src == inj.dst {
-            // degenerate same-host demand: delivered by definition
+            // degenerate same-host demand: delivered by definition,
+            // consumes no flow sequence number
+            match self.staged.pop_front() {
+                Some(s) if s.inj == idx && s.hash == 0 => {}
+                Some(_) => self.staged.clear(),
+                None => {}
+            }
             self.injected_live -= 1;
             return Ok(());
         }
         self.flow_seq += 1;
         let hash = self.flow_seq;
-        let route = self
-            .route_hosts(inj.src, inj.dst, hash, [inj.src, inj.dst])?
-            .into_boxed_slice();
+        let staged = match self.staged.pop_front() {
+            Some(s) if s.inj == idx && s.hash == hash => s.out,
+            Some(_) => {
+                self.staged.clear();
+                None
+            }
+            None => None,
+        };
+        let route = match staged {
+            Some(Ok(route)) => RouteBuf::from_slice(&route),
+            Some(Err(())) => return Err(self.partitioned(vec![inj.src, inj.dst])),
+            None => {
+                // route into a reused scratch so the open-loop hot path
+                // allocates nothing per flow (short routes then land in
+                // the flow record's inline arm)
+                let mut scratch = std::mem::take(&mut self.route_scratch);
+                let res =
+                    self.route_hosts_into(inj.src, inj.dst, hash, [inj.src, inj.dst], &mut scratch);
+                let route = res.map(|()| RouteBuf::from_slice(&scratch));
+                self.route_scratch = scratch;
+                route?
+            }
+        };
         self.create_flow(route, inj.src, inj.dst, inj.bytes, hash, true);
         Ok(())
+    }
+
+    /// Speculatively pre-routes the run of upcoming injections starting
+    /// at cursor position `from` across the worker pool, filling the
+    /// `staged` cache [`release_injection`](Self::release_injection)
+    /// consumes.
+    ///
+    /// This is a *pure prefetch*: routing is a pure function of
+    /// `(topology, fault table, ECMP hash)`, the pass predicts the exact
+    /// flow-sequence hash each injection will draw at release, and the
+    /// release path validates that prediction (and the routing snapshot,
+    /// via [`apply_fault`](Self::apply_fault) clearing the cache) before
+    /// trusting a staged route. The main event loop stays fully
+    /// sequential, so the simulation outcome is bit-identical at any
+    /// worker count — by construction, not by scheduling argument.
+    ///
+    /// The window covers injections released within `message_delay(1)`
+    /// of the first one (anything a release can schedule lands at least
+    /// that far out, so the flows spawned by the window itself cannot
+    /// order between its members), capped to bound cache growth.
+    fn stage_injections(&mut self, from: usize) {
+        /// Upper bound on one staging window (keeps the staged cache and
+        /// the per-window scratch small regardless of burst size).
+        const MAX_WINDOW: usize = 4096;
+        debug_assert!(self.staged.is_empty(), "stage only into an empty cache");
+        let end = self.injections[self.inj_order[from] as usize].at + self.net.message_delay(1);
+        let mut items = std::mem::take(&mut self.stage_items);
+        items.clear();
+        let mut hash = self.flow_seq;
+        for (k, &idx) in self.inj_order[from..].iter().take(MAX_WINDOW).enumerate() {
+            let inj = self.injections[idx as usize];
+            if k > 0 && inj.at >= end {
+                break;
+            }
+            if inj.src == inj.dst {
+                self.staged.push_back(StagedInject {
+                    inj: idx,
+                    hash: 0,
+                    out: None,
+                });
+            } else {
+                hash += 1;
+                self.staged.push_back(StagedInject {
+                    inj: idx,
+                    hash,
+                    // placeholder, overwritten from the staging pass below
+                    out: Some(Err(())),
+                });
+                items.push(StageItem {
+                    src: inj.src,
+                    dst: inj.dst,
+                    hash,
+                });
+            }
+        }
+        let mut outs = std::mem::take(&mut self.stage_outs);
+        outs.clear();
+        outs.resize_with(items.len(), || None);
+        self.stage_pool
+            .as_ref()
+            .expect("staging implies a pool")
+            .stage(
+                self.net,
+                &self.fault_table,
+                &self.dead_host,
+                &items,
+                &mut outs,
+            );
+        let mut k = 0;
+        for s in self.staged.iter_mut() {
+            if s.out.is_some() {
+                s.out = outs[k].take();
+                debug_assert!(s.out.is_some(), "staging fills every slot");
+                k += 1;
+            }
+        }
+        items.clear();
+        outs.clear();
+        self.stage_items = items;
+        self.stage_outs = outs;
     }
 
     /// Marks one message from `src` delivered at `dst`, waking the blocked
@@ -724,8 +955,10 @@ impl<'a> Simulator<'a> {
             self.finish_flow(fid);
         } else {
             f.active = true;
-            f.activated = self.now;
             let (src, dst, remaining) = (f.src, f.dst, f.remaining);
+            if self.tel.tracking() {
+                self.tel.aux[fid as usize].activated = self.now;
+            }
             {
                 let mut ctx = SimContext::new(self.now, &mut self.queue);
                 self.model
@@ -756,7 +989,13 @@ impl<'a> Simulator<'a> {
         let (src, dst, injected) = (f.src, f.dst, f.injected);
         if self.rec.is_enabled() {
             let f = &self.flows[fid as usize];
-            let (bytes, created, prop, active_time) = (f.bytes, f.created, f.prop, f.active_time);
+            let bytes = f.bytes;
+            let FlowAux {
+                created,
+                prop,
+                active_time,
+                ..
+            } = self.tel.aux[fid as usize];
             let route: Vec<LinkId> = f.route.to_vec();
             let cfg = *self.net.config();
             self.rec.emit(ObsEvent::Flow {
@@ -804,6 +1043,10 @@ impl<'a> Simulator<'a> {
                 });
             }
         }
+        // the route is never read again (the fault-reroute scan skips
+        // finished flows): free it so route memory tracks the
+        // *concurrent* flow count, not the total
+        self.flows[fid as usize].route = RouteBuf::EMPTY;
         if injected {
             self.injected_live -= 1;
         } else {
@@ -819,6 +1062,9 @@ impl<'a> Simulator<'a> {
     /// pending flows just swap routes.
     fn apply_fault(&mut self, fault: NetFault) -> Result<(), SimError> {
         self.faults_struck += 1;
+        // speculative routes were computed against the pre-fault
+        // snapshot; the next release restages against the rebuilt table
+        self.staged.clear();
         if self.rec.is_enabled() {
             self.rec.incr("sim.faults", 1);
             self.rec.emit(match fault {
@@ -882,13 +1128,12 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             let (src, dst, hash, was_active, injected) =
-                (f.src, f.dst, f.hash, f.active, f.injected);
-            let new_route = if injected {
+                (f.src, f.dst, f.hash as u64, f.active, f.injected);
+            let new_route = RouteBuf::from_slice(&if injected {
                 self.route_hosts(src, dst, hash, [src, dst])?
             } else {
                 self.route_ranks(src, dst, hash)?
-            }
-            .into_boxed_slice();
+            });
             rerouted += 1;
             if self.rec.is_enabled() {
                 self.rec.emit(ObsEvent::Flow {
@@ -956,7 +1201,7 @@ impl<'a> Simulator<'a> {
         let mut ranks = Encoder::new();
         self.ranks.encode_state(&mut ranks);
         let mut flows = Encoder::new();
-        encode_flows(&self.flows, &mut flows);
+        encode_flows(&self.flows, &self.tel.aux, &mut flows);
         let mut queue = Encoder::new();
         encode_queue(&self.queue, &mut queue);
         let mut model = Encoder::new();
@@ -973,6 +1218,8 @@ impl<'a> Simulator<'a> {
             flow_seq: self.flow_seq,
             faults_struck: self.faults_struck as u64,
             injected_live: self.injected_live as u64,
+            inj_next: self.inj_next as u64,
+            inj_seq_base: self.inj_seq_base,
             dead_link: self.dead_link.clone(),
             dead_host: self.dead_host.clone(),
             ranks: ranks.into_bytes(),
@@ -1014,23 +1261,31 @@ impl<'a> Simulator<'a> {
         let mut rdec = Decoder::new(&ck.ranks);
         self.ranks.decode_state(&mut rdec)?;
         let mut fdec = Decoder::new(&ck.flows);
-        let flows = decode_flows(&mut fdec, self.net.num_links())?;
+        let (flows, aux) = decode_flows(&mut fdec, self.net.num_links())?;
         let mut qdec = Decoder::new(&ck.queue);
         let queue = decode_queue(&mut qdec)?;
-        for (_, _, ev) in queue.live_entries() {
+        for (_, _, _, _, ev) in queue.live_entries() {
             let ok = match *ev {
                 Event::Activate(fid) => (fid as usize) < flows.len(),
                 Event::ComputeDone(r) => (r as usize) < self.ranks.len(),
                 Event::Fault(i) => (i as usize) < self.fault_events.len(),
-                Event::Inject(i) => (i as usize) < self.injections.len(),
                 Event::Model(token) => (token as usize) < nl,
             };
             if !ok {
                 return Err(bad("queued event addresses a component out of range"));
             }
         }
+        if ck.inj_next > self.injections.len() as u64 {
+            return Err(bad("injection cursor past the end of the injection list"));
+        }
         let mut mdec = Decoder::new(&ck.model);
         self.model.decode_state(&mut mdec, flows.len())?;
+        if self.tel.tracking() {
+            // timing table only matters while recording; a snapshot
+            // saved without a recorder restores as zeros (same contract
+            // as dep_parent — telemetry never feeds back)
+            self.tel.aux = aux;
+        }
         self.flows = flows;
         self.queue = queue;
         self.now = ck.now;
@@ -1041,6 +1296,8 @@ impl<'a> Simulator<'a> {
         self.flow_seq = ck.flow_seq;
         self.faults_struck = ck.faults_struck as usize;
         self.injected_live = ck.injected_live as usize;
+        self.inj_next = ck.inj_next as usize;
+        self.inj_seq_base = ck.inj_seq_base;
         self.dead_link = ck.dead_link;
         self.dead_host = ck.dead_host;
         if self.faults_struck > 0 {
@@ -1091,11 +1348,42 @@ impl<'a> Simulator<'a> {
             .gauge("sim.events_processed", self.queue.processed() as f64);
         self.rec
             .gauge("sim.event_queue_depth", self.queue.len() as f64);
+        self.rec.gauge(
+            "sim.injections_pending",
+            self.inj_order.len().saturating_sub(self.inj_next) as f64,
+        );
         self.rec.gauge("sim.flows_done", self.total_flows as f64);
         self.rec.gauge("sim.bytes", self.total_bytes);
         self.rec.gauge("sim.peak_flows", self.peak_flows as f64);
         self.rec
             .gauge("sim.faults_struck", self.faults_struck as f64);
+        // queue health: dead heap keys awaiting reclamation, their
+        // share of the heap, and what compaction already reclaimed
+        let tombs = self.queue.tombstones();
+        let heap = tombs + self.queue.len();
+        self.rec.gauge("sim.queue_tombstones", tombs as f64);
+        self.rec.gauge(
+            "sim.queue_tombstone_ratio",
+            if heap > 0 {
+                tombs as f64 / heap as f64
+            } else {
+                0.0
+            },
+        );
+        self.rec
+            .gauge("sim.events_compacted", self.queue.compacted() as f64);
+        if let Some(pool) = &self.stage_pool {
+            for (k, s) in pool.stats().iter().enumerate() {
+                self.rec.gauge_dyn(
+                    &format!("sim.w{k}.staged"),
+                    s.staged.load(std::sync::atomic::Ordering::Relaxed) as f64,
+                );
+                self.rec.gauge_dyn(
+                    &format!("sim.w{k}.busy_ms"),
+                    s.busy_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e6,
+                );
+            }
+        }
     }
 
     /// Executes the programs (and injected flows) to completion.
@@ -1118,12 +1406,46 @@ impl<'a> Simulator<'a> {
                 self.queue
                     .schedule(self.fault_events[i as usize].time, Event::Fault(i));
             }
-            for i in 0..self.injections.len() as u32 {
-                self.queue
-                    .schedule(self.injections[i as usize].at, Event::Inject(i));
-                self.injected_live += 1;
+            // injections never enter the heap: reserve their sequence
+            // numbers (so they order against queued events exactly as
+            // if scheduled here) and release them from the sorted
+            // cursor instead — a million-flow open-loop scenario costs
+            // one sort, not a million heap entries
+            self.inj_seq_base = self.queue.reserve_seqs(self.injections.len() as u64);
+            self.injected_live += self.injections.len();
+            self.flows.reserve(self.injections.len());
+            if self.tel.tracking() {
+                self.tel.aux.reserve(self.injections.len());
             }
             self.ranks.enqueue_all();
+        }
+        // the cursor's iteration order is derived state, rebuilt
+        // identically on fresh runs and resumes: sorted by release
+        // time with equal times in input (= sequence) order. Sorting
+        // (integer time key, index) pairs keeps the comparator free of
+        // random `injections` lookups — at a million entries that is
+        // several times faster than an index sort with a deref key —
+        // and the index tie-break makes the key total, so the unstable
+        // sort gives exactly the stable-sort order.
+        let mut keyed: Vec<(u64, u32)> = self
+            .injections
+            .iter()
+            .enumerate()
+            .map(|(i, inj)| (time_sort_bits(inj.at), i as u32))
+            .collect();
+        keyed.sort_unstable();
+        self.inj_order = keyed.into_iter().map(|(_, i)| i).collect();
+        // Injection routing is the only per-event work pure enough to
+        // prefetch so far, and only under the approximate model (the
+        // exact model re-solves a global allocation around every
+        // release, so there is nothing independent to precompute). A
+        // zero lookahead (both latency constants zero) leaves no
+        // conservative window to batch.
+        let staging = self.workers > 1
+            && self.sharing == SharingMode::ApproxFair
+            && self.net.message_delay(1) > 0.0;
+        if staging && self.stage_pool.is_none() {
+            self.stage_pool = Some(StagePool::new(self.workers));
         }
         let watchdog = self.watchdog.map(|window| {
             Watchdog::spawn(
@@ -1191,11 +1513,14 @@ impl<'a> Simulator<'a> {
             self.model.settle(&mut self.flows, &mut self.tel);
             // 2. next completion the model tracks intrinsically
             let flow_t = self.model.next_completion_time(&self.flows, self.now);
-            // 3. next queued event
-            let next_t = match self.queue.peek_time() {
+            // 3. next queued event or injection release
+            let mut next_t = match self.queue.peek_time() {
                 Some(et) => et.min(flow_t),
                 None => flow_t,
             };
+            if let Some(&i) = self.inj_order.get(self.inj_next) {
+                next_t = next_t.min(self.injections[i as usize].at);
+            }
             if !next_t.is_finite() {
                 return Err(self.no_progress_error());
             }
@@ -1209,8 +1534,35 @@ impl<'a> Simulator<'a> {
             for &fid in &finished {
                 self.finish_flow(fid);
             }
-            // 4b. pop due queue events
-            while let Some((_, ev)) = self.queue.pop_due(self.now + 1e-15) {
+            // 4b. pop due events, merging queued events with cursor
+            // releases by their total (time, seq) order — exactly the
+            // order the heap would deliver if the injections were in it
+            loop {
+                let deadline = self.now + 1e-15;
+                let inj_key = self
+                    .inj_order
+                    .get(self.inj_next)
+                    .map(|&i| (self.injections[i as usize].at, self.inj_seq_base + i as u64))
+                    .filter(|&(t, _)| t <= deadline);
+                let take_inj = match (inj_key, self.queue.peek_key()) {
+                    (Some((it, iseq)), Some((qt, qseq))) => {
+                        (TimeKey(it), iseq) < (TimeKey(qt), qseq)
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if take_inj {
+                    let pos = self.inj_next;
+                    if staging && self.staged.is_empty() {
+                        self.stage_injections(pos);
+                    }
+                    self.inj_next += 1;
+                    self.release_injection(pos)?;
+                    continue;
+                }
+                let Some((_, ev)) = self.queue.pop_due(deadline) else {
+                    break;
+                };
                 if self.rec.is_enabled() {
                     self.rec
                         .record("sim.event_queue_depth", self.queue.len() as u64);
@@ -1221,10 +1573,6 @@ impl<'a> Simulator<'a> {
                     Event::Fault(i) => {
                         let fault = self.fault_events[i as usize].fault;
                         self.apply_fault(fault)?;
-                    }
-                    Event::Inject(i) => {
-                        let inj = self.injections[i as usize];
-                        self.inject(inj)?;
                     }
                     Event::Model(token) => {
                         finished.clear();
@@ -1261,6 +1609,9 @@ impl<'a> Simulator<'a> {
             self.rec.incr("sim.bytes", self.total_bytes as u64);
             self.rec.incr("events.processed", self.queue.processed());
             self.rec.incr("events.cancelled", self.queue.cancelled());
+            self.rec.incr("events.compacted", self.queue.compacted());
+            self.rec
+                .incr("events.model_compacted", self.model.compacted());
             // per-link load profile over the whole run: byte volume and
             // utilization (parts-per-million of link capacity × runtime)
             let capacity = self.net.config().bandwidth * self.now;
@@ -1316,6 +1667,8 @@ impl<'a> Simulator<'a> {
             events: self.queue.processed(),
             events_cancelled: self.queue.cancelled(),
             peak_queue_depth: self.queue.peak_depth(),
+            events_compacted: self.queue.compacted(),
+            model_compacted: self.model.compacted(),
         })
     }
 }
@@ -1348,6 +1701,11 @@ pub struct SimCheckpoint {
     flow_seq: u64,
     faults_struck: u64,
     injected_live: u64,
+    /// Injection-cursor position: entries of the time-sorted injection
+    /// order already released.
+    inj_next: u64,
+    /// First sequence number of the block reserved for injections.
+    inj_seq_base: u64,
     dead_link: Vec<bool>,
     dead_host: Vec<bool>,
     /// [`Ranks`] state blob (contexts, channels, runnable queue).
@@ -1379,6 +1737,8 @@ impl Checkpointable for SimCheckpoint {
         enc.put_u64(self.flow_seq);
         enc.put_u64(self.faults_struck);
         enc.put_u64(self.injected_live);
+        enc.put_u64(self.inj_next);
+        enc.put_u64(self.inj_seq_base);
         put_bools(enc, &self.dead_link);
         put_bools(enc, &self.dead_host);
         enc.put_bytes(&self.ranks);
@@ -1403,6 +1763,8 @@ impl Checkpointable for SimCheckpoint {
         let flow_seq = dec.get_u64()?;
         let faults_struck = dec.get_u64()?;
         let injected_live = dec.get_u64()?;
+        let inj_next = dec.get_u64()?;
+        let inj_seq_base = dec.get_u64()?;
         let dead_link = get_bools(dec)?;
         let dead_host = get_bools(dec)?;
         let ranks = dec.get_bytes()?.to_vec();
@@ -1426,6 +1788,8 @@ impl Checkpointable for SimCheckpoint {
             flow_seq,
             faults_struck,
             injected_live,
+            inj_next,
+            inj_seq_base,
             dead_link,
             dead_host,
             ranks,
@@ -1544,10 +1908,15 @@ fn encode_faults(faults: &[FaultEvent], enc: &mut Encoder) {
 /// its `finished` flag again (the fault-reroute scan short-circuits on
 /// it), so the checkpoint stays proportional to *live* state instead of
 /// growing linearly with run history.
-fn encode_flows(flows: &[Flow], enc: &mut Encoder) {
+fn encode_flows(flows: &[Flow], aux: &[FlowAux], enc: &mut Encoder) {
     enc.put_u64(flows.len() as u64);
     let live = flows.iter().filter(|f| !f.finished).count();
     enc.put_u64(live as u64);
+    // the per-flow timing table exists only while a recorder is
+    // attached; a snapshot taken without one stores zeros and a
+    // recorder-attached resume starts its decomposition from those
+    // (same contract as the dependency-parent table)
+    enc.put_bool(!aux.is_empty());
     for (fid, f) in flows.iter().enumerate().filter(|(_, f)| !f.finished) {
         enc.put_u64(fid as u64);
         enc.put_u32_slice(&f.route);
@@ -1555,27 +1924,37 @@ fn encode_flows(flows: &[Flow], enc: &mut Encoder) {
         enc.put_f64(f.rate);
         enc.put_u32(f.src);
         enc.put_u32(f.dst);
-        enc.put_u64(f.hash);
+        enc.put_u64(f.hash as u64);
         enc.put_bool(f.active);
         enc.put_f64(f.bytes);
-        enc.put_f64(f.created);
-        enc.put_f64(f.prop);
-        enc.put_f64(f.active_time);
-        enc.put_f64(f.activated);
         enc.put_bool(f.injected);
+        if !aux.is_empty() {
+            let a = &aux[fid];
+            enc.put_f64(a.created);
+            enc.put_f64(a.prop);
+            enc.put_f64(a.active_time);
+            enc.put_f64(a.activated);
+        }
     }
 }
 
 /// Inverse of [`encode_flows`], validating routes against the network.
-fn decode_flows(dec: &mut Decoder<'_>, num_links: u32) -> Result<Vec<Flow>, CkptError> {
+/// Returns the flow table plus the per-flow timing table (all-zeros when
+/// the snapshot was taken without a recorder).
+#[allow(clippy::type_complexity)]
+fn decode_flows(
+    dec: &mut Decoder<'_>,
+    num_links: u32,
+) -> Result<(Vec<Flow>, Vec<FlowAux>), CkptError> {
     let bad = |what: &str| CkptError::BadSection(format!("flow table: {what}"));
     let n = dec.get_u64()? as usize;
     let live = dec.get_u64()? as usize;
     if live > n {
         return Err(bad("more live flows than flows"));
     }
+    let has_aux = dec.get_bool()?;
     let tombstone = || Flow {
-        route: Box::new([]),
+        route: RouteBuf::EMPTY,
         remaining: 0.0,
         rate: 0.0,
         src: 0,
@@ -1584,13 +1963,10 @@ fn decode_flows(dec: &mut Decoder<'_>, num_links: u32) -> Result<Vec<Flow>, Ckpt
         active: false,
         finished: true,
         bytes: 0.0,
-        created: 0.0,
-        prop: 0.0,
-        active_time: 0.0,
-        activated: 0.0,
         injected: false,
     };
     let mut flows: Vec<Flow> = (0..n).map(|_| tombstone()).collect();
+    let mut aux: Vec<FlowAux> = vec![FlowAux::default(); n];
     let mut prev: Option<u64> = None;
     for _ in 0..live {
         let fid = dec.get_u64()?;
@@ -1606,52 +1982,75 @@ fn decode_flows(dec: &mut Decoder<'_>, num_links: u32) -> Result<Vec<Flow>, Ckpt
             return Err(bad("route crosses a link outside the network"));
         }
         flows[fid as usize] = Flow {
-            route: route.into_boxed_slice(),
+            route: RouteBuf::from_slice(&route),
             remaining: dec.get_f64()?,
             rate: dec.get_f64()?,
             src: dec.get_u32()?,
             dst: dec.get_u32()?,
-            hash: dec.get_u64()?,
+            hash: dec.get_u64()? as u32,
             active: dec.get_bool()?,
             finished: false,
             bytes: dec.get_f64()?,
-            created: dec.get_f64()?,
-            prop: dec.get_f64()?,
-            active_time: dec.get_f64()?,
-            activated: dec.get_f64()?,
             injected: dec.get_bool()?,
         };
+        if has_aux {
+            aux[fid as usize] = FlowAux {
+                created: dec.get_f64()?,
+                prop: dec.get_f64()?,
+                active_time: dec.get_f64()?,
+                activated: dec.get_f64()?,
+            };
+        }
     }
-    Ok(flows)
+    Ok((flows, aux))
 }
 
+/// Queue snapshot format version: bumped when the slab arena replaced
+/// the hashed payload map (entries now carry slot + generation so
+/// cancellation handles held by the sharing model survive a resume).
+const QUEUE_FORMAT: u8 = 2;
+
 /// Serializes the event queue: lifetime counters plus every live entry
-/// with its original sequence number (preserving cancellation-handle
-/// validity and the exact delivery order).
+/// with its original sequence number, slot, and generation (preserving
+/// cancellation-handle validity and the exact delivery order).
 fn encode_queue(q: &EventQueue<Event>, enc: &mut Encoder) {
+    enc.put_u8(QUEUE_FORMAT);
     enc.put_u64(q.next_seq());
     enc.put_u64(q.scheduled());
     enc.put_u64(q.processed());
     enc.put_u64(q.cancelled());
+    enc.put_u64(q.compacted());
+    enc.put_u64(q.compactions());
     enc.put_u64(q.peak_depth() as u64);
     let live = q.live_entries();
     enc.put_u64(live.len() as u64);
-    for (t, seq, ev) in live {
+    for (t, seq, slot, gen, ev) in live {
         enc.put_f64(t);
         enc.put_u64(seq);
+        enc.put_u32(slot);
+        enc.put_u32(gen);
         ev.encode(enc);
     }
 }
 
 /// Inverse of [`encode_queue`].
 fn decode_queue(dec: &mut Decoder<'_>) -> Result<EventQueue<Event>, CkptError> {
+    let format = dec.get_u8()?;
+    if format != QUEUE_FORMAT {
+        return Err(CkptError::BadSection(format!(
+            "unsupported event queue format {format} (expected {QUEUE_FORMAT})"
+        )));
+    }
     let next_seq = dec.get_u64()?;
     let scheduled = dec.get_u64()?;
     let processed = dec.get_u64()?;
     let cancelled = dec.get_u64()?;
+    let compacted = dec.get_u64()?;
+    let compactions = dec.get_u64()?;
     let peak_depth = dec.get_u64()? as usize;
     let n = dec.get_u64()? as usize;
     let mut entries = Vec::new();
+    let mut slots_seen = std::collections::HashSet::new();
     for _ in 0..n {
         let t = dec.get_f64()?;
         if !t.is_finite() {
@@ -1665,10 +2064,24 @@ fn decode_queue(dec: &mut Decoder<'_>) -> Result<EventQueue<Event>, CkptError> {
                 "event sequence number ahead of the counter".into(),
             ));
         }
-        entries.push((t, seq, Event::decode(dec)?));
+        let slot = dec.get_u32()?;
+        if !slots_seen.insert(slot) {
+            return Err(CkptError::BadSection(
+                "two queued events share a slab slot".into(),
+            ));
+        }
+        let gen = dec.get_u32()?;
+        entries.push((t, seq, slot, gen, Event::decode(dec)?));
     }
     Ok(EventQueue::restore(
-        entries, next_seq, scheduled, processed, cancelled, peak_depth,
+        entries,
+        next_seq,
+        scheduled,
+        processed,
+        cancelled,
+        compacted,
+        compactions,
+        peak_depth,
     ))
 }
 

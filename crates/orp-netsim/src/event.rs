@@ -2,12 +2,15 @@
 //!
 //! Every state change in the simulator is a timestamped event addressed
 //! to a component: a flow activating after its message latency, a rank
-//! finishing a compute phase, a scheduled fault striking, an injected
-//! open-loop flow arriving, or a completion the throughput-sharing model
-//! scheduled for itself. Events are totally ordered by `(time, seq)` —
-//! the [`crate::queue::EventQueue`] assigns `seq` in schedule order, so
+//! finishing a compute phase, a scheduled fault striking, or a
+//! completion the throughput-sharing model scheduled for itself. Events
+//! are totally ordered by `(time, seq)` — the
+//! [`crate::queue::EventQueue`] assigns `seq` in schedule order, so
 //! simultaneous events fire deterministically in the order they were
-//! scheduled.
+//! scheduled. (Open-loop injections are *not* events: the engine
+//! releases them from a sorted cursor that merges with the queue by the
+//! same `(time, seq)` order, keeping million-flow workloads out of the
+//! heap — see `DESIGN.md` §9.)
 
 /// Handle to a scheduled event, used to cancel it before it fires.
 ///
@@ -16,6 +19,24 @@
 /// stale completion event is cancelled and a fresh one scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// Packs a slab slot index and its generation into a handle.
+    pub(crate) fn pack(slot: u32, gen: u32) -> Self {
+        Self(((slot as u64) << 32) | gen as u64)
+    }
+
+    /// Slab slot this handle addresses.
+    pub(crate) fn slot(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Slot generation the handle was issued for; the handle is stale
+    /// once the slot's generation moves past this.
+    pub(crate) fn generation(self) -> u32 {
+        self.0 as u32
+    }
+}
 
 /// Time-ordered queue key (`f64` wrapped for the heap).
 ///
@@ -33,11 +54,26 @@ impl Ord for TimeKey {
     }
 }
 
+/// Maps a (never-NaN) simulation time to a `u64` whose integer order
+/// matches [`TimeKey`]'s float order — the injection cursor sorts these
+/// instead of comparing floats through an index indirection.
+///
+/// `-0.0` is normalized to `+0.0` first (`t + 0.0` does exactly that
+/// and nothing else), so times `TimeKey` considers equal map to equal
+/// keys and tie-break by index like the float sort would.
+pub(crate) fn time_sort_bits(t: f64) -> u64 {
+    let b = (t + 0.0).to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
 /// The simulator's event payloads, addressed by component:
 /// flows (`Activate`), ranks (`ComputeDone`), the fault injector
-/// (`Fault`), the open-loop source (`Inject`), and the sharing model
-/// (`Model` carries an opaque token the model chose — the approximate
-/// model uses link ids).
+/// (`Fault`), and the sharing model (`Model` carries an opaque token
+/// the model chose — the approximate model uses link ids).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Event {
     /// Flow `fid` finishes its activation delay and starts streaming.
@@ -46,9 +82,6 @@ pub(crate) enum Event {
     ComputeDone(u32),
     /// Scheduled fault `i` (index into the fault schedule) strikes.
     Fault(u32),
-    /// Open-loop injected flow `i` (index into the injection list)
-    /// arrives.
-    Inject(u32),
     /// A completion event the throughput-sharing model scheduled for
     /// itself via [`crate::context::SimContext::schedule_model_event`].
     Model(u32),
@@ -61,8 +94,7 @@ impl Event {
             Self::Activate(v) => (0u8, v),
             Self::ComputeDone(v) => (1, v),
             Self::Fault(v) => (2, v),
-            Self::Inject(v) => (3, v),
-            Self::Model(v) => (4, v),
+            Self::Model(v) => (3, v),
         };
         enc.put_u8(tag);
         enc.put_u32(v);
@@ -78,13 +110,43 @@ impl Event {
             0 => Self::Activate(v),
             1 => Self::ComputeDone(v),
             2 => Self::Fault(v),
-            3 => Self::Inject(v),
-            4 => Self::Model(v),
+            3 => Self::Model(v),
             other => {
                 return Err(orp_core::ckpt::CkptError::BadSection(format!(
                     "unknown event tag {other}"
                 )))
             }
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_sort_bits_orders_like_timekey() {
+        let times = [
+            f64::NEG_INFINITY,
+            -1.5e300,
+            -1.0,
+            -1e-308,
+            -0.0,
+            0.0,
+            1e-308,
+            1e-9,
+            1.0,
+            1.5e300,
+            f64::INFINITY,
+        ];
+        for &a in &times {
+            for &b in &times {
+                assert_eq!(
+                    time_sort_bits(a).cmp(&time_sort_bits(b)),
+                    TimeKey(a).cmp(&TimeKey(b)),
+                    "order mismatch for {a} vs {b}"
+                );
+            }
+        }
     }
 }

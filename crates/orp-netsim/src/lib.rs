@@ -63,6 +63,7 @@ pub mod mpi;
 pub mod network;
 pub mod npb;
 pub mod packet;
+mod parallel;
 pub mod patterns;
 pub mod queue;
 mod rank;

@@ -299,6 +299,24 @@ impl Network {
         dst: Host,
         flow_hash: u64,
     ) -> Result<Vec<LinkId>, RouteError> {
+        let mut links = Vec::new();
+        self.route_with_into(table, src, dst, flow_hash, &mut links)?;
+        Ok(links)
+    }
+
+    /// [`route_with`](Self::route_with) writing into a caller-owned
+    /// buffer (cleared first) — lets per-flow callers reuse one
+    /// allocation across millions of routes. Walks `next_hop` directly,
+    /// skipping the intermediate switch-path Vec `try_path` would
+    /// build, and reserves the exact hop count up front.
+    pub fn route_with_into(
+        &self,
+        table: &RoutingTable,
+        src: Host,
+        dst: Host,
+        flow_hash: u64,
+        links: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
         assert_ne!(src, dst, "self-messages never hit the network");
         let s = self.host_sw[src as usize];
         let d = self.host_sw[dst as usize];
@@ -312,19 +330,29 @@ impl Network {
             RouteMode::SinglePath => 0,
             RouteMode::Ecmp => flow_hash,
         };
-        let mut links = Vec::with_capacity(8);
+        let hops = if s == d {
+            0
+        } else {
+            table
+                .distance(s, d)
+                .ok_or(RouteError::Unreachable { src: s, dst: d })? as usize
+        };
+        links.clear();
+        links.reserve(hops + 2);
         links.push(src); // uplink
-        if s != d {
-            let path = table.try_path(s, d, hash)?;
-            for w in path.windows(2) {
-                links.push(
-                    self.sw_link(w[0], w[1])
-                        .expect("routing tables only use fabric links"),
-                );
-            }
+        let mut cur = s;
+        while cur != d {
+            let nxt = table
+                .next_hop(cur, d, hash)
+                .ok_or(RouteError::Unreachable { src: s, dst: d })?;
+            links.push(
+                self.sw_link(cur, nxt)
+                    .expect("routing tables only use fabric links"),
+            );
+            cur = nxt;
         }
         links.push(self.num_hosts + dst); // downlink
-        Ok(links)
+        Ok(())
     }
 
     /// Message latency component: software overhead plus per-hop wire and

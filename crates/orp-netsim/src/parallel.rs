@@ -1,0 +1,361 @@
+//! Deterministic parallel staging of conservative event windows.
+//!
+//! The engine's parallel mode (see `SimulatorBuilder::workers`) never
+//! lets two threads mutate simulation state: it collects a *safe
+//! window* of upcoming injection-cursor releases — those falling within
+//! the network's minimum activation latency of the next one — and fans
+//! only their **pure** per-item work (ECMP route computation) across a
+//! persistent worker pool. The staged routes are a speculative cache:
+//! the sequential release path validates each entry against the
+//! injection index and flow-sequence hash it was staged under (and
+//! faults invalidate the whole cache), so the simulation outcome is
+//! bit-identical at any worker count by construction; see DESIGN.md §9
+//! for the full argument.
+//!
+//! The pool is a mutex/condvar rendezvous (no channels, no per-batch
+//! allocation): `stage` publishes a job of raw pointers into the
+//! caller's buffers, wakes the workers, processes the first chunk on the
+//! calling thread, and waits for the rest. Pointers never outlive the
+//! call — `stage` returns only after every worker has parked again.
+
+use crate::network::Network;
+use orp_route::RoutingTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One injection to route: endpoints plus the deterministic ECMP hash
+/// the sequential engine would have used.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageItem {
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) hash: u64,
+}
+
+/// Routed result of one [`StageItem`]: the directed-link route, or
+/// `Err(())` when the pair is partitioned / an endpoint is dead (the
+/// coordinator converts it to the engine's structured error, in order).
+pub(crate) type StageOut = Result<Vec<u32>, ()>;
+
+/// Everything a worker needs for one staging window, as raw pointers
+/// into the coordinator's borrows. Valid only while `stage` is running;
+/// the rendezvous guarantees no worker touches them after it returns.
+#[derive(Clone, Copy)]
+struct Job {
+    net: *const Network,
+    fault_table: *const Option<RoutingTable>,
+    dead_host: *const bool,
+    dead_host_len: usize,
+    items: *const StageItem,
+    out: *mut Option<StageOut>,
+    len: usize,
+    chunks: usize,
+}
+
+// SAFETY: the pointers reference data the coordinator keeps alive and
+// un-mutated for the whole rendezvous (`stage` blocks until every chunk
+// is done); `Network`/`RoutingTable` are only read, and each worker
+// writes a disjoint `out` chunk. Same pattern as the search engine's
+// `JobPacket`.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct JobState {
+    job: Option<Job>,
+    /// Bumped per staging window so parked workers can tell a new job
+    /// from the one they just finished.
+    epoch: u64,
+    /// Chunks not yet completed in the current window.
+    remaining: usize,
+    shutdown: bool,
+}
+
+/// Per-worker telemetry, readable while the pool runs.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerStats {
+    /// Items this worker routed.
+    pub(crate) staged: AtomicU64,
+    /// Nanoseconds spent routing (excludes parked time).
+    pub(crate) busy_ns: AtomicU64,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    go: Condvar,
+    done: Condvar,
+    stats: Vec<WorkerStats>,
+}
+
+/// Persistent pool of `workers - 1` threads plus the calling thread
+/// (which always takes chunk 0, so `workers == 1` degenerates to a pure
+/// sequential call with no synchronization).
+pub(crate) struct StagePool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for StagePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagePool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Routes one item against the snapshot the window was opened under.
+fn route_item(
+    net: &Network,
+    fault_table: &Option<RoutingTable>,
+    dead_host: &[bool],
+    item: &StageItem,
+) -> StageOut {
+    if dead_host[item.src as usize] || dead_host[item.dst as usize] {
+        return Err(());
+    }
+    match fault_table {
+        Some(t) => net.route_with(t, item.src, item.dst, item.hash),
+        None => net.route(item.src, item.dst, item.hash),
+    }
+    .map_err(|_| ())
+}
+
+/// Processes chunk `k` of the job (contiguous slice split).
+///
+/// SAFETY: caller guarantees the job's pointers are live and that no
+/// other thread processes the same `k`.
+unsafe fn run_chunk(job: &Job, k: usize, stats: &WorkerStats) {
+    let items = std::slice::from_raw_parts(job.items, job.len);
+    let net = &*job.net;
+    let fault_table = &*job.fault_table;
+    let dead_host = std::slice::from_raw_parts(job.dead_host, job.dead_host_len);
+    let lo = job.len * k / job.chunks;
+    let hi = job.len * (k + 1) / job.chunks;
+    if lo == hi {
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+        let r = route_item(net, fault_table, dead_host, item);
+        // disjoint per-chunk writes
+        *job.out.add(i) = Some(r);
+    }
+    stats
+        .busy_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    stats.staged.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+}
+
+impl StagePool {
+    /// Spawns a pool for `workers` total lanes (the coordinator is lane
+    /// 0; `workers - 1` threads are parked waiting for windows).
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let stats = (0..workers).map(|_| WorkerStats::default()).collect();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState::default()),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            stats,
+        });
+        let threads = (1..workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orp-sim-stage-{k}"))
+                    .spawn(move || worker_loop(&shared, k))
+                    .expect("spawn staging worker")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// Per-worker counters, indexed by lane.
+    pub(crate) fn stats(&self) -> &[WorkerStats] {
+        &self.shared.stats
+    }
+
+    /// Routes `items` across all lanes, writing `out[i] = Some(result)`
+    /// for every item. Blocks until the whole window is staged; `out`
+    /// must be the same length as `items` (its prior contents are
+    /// overwritten).
+    pub(crate) fn stage(
+        &self,
+        net: &Network,
+        fault_table: &Option<RoutingTable>,
+        dead_host: &[bool],
+        items: &[StageItem],
+        out: &mut [Option<StageOut>],
+    ) {
+        assert_eq!(items.len(), out.len());
+        if items.is_empty() {
+            return;
+        }
+        let job = Job {
+            net,
+            fault_table,
+            dead_host: dead_host.as_ptr(),
+            dead_host_len: dead_host.len(),
+            items: items.as_ptr(),
+            out: out.as_mut_ptr(),
+            len: items.len(),
+            chunks: self.workers,
+        };
+        if self.workers == 1 {
+            // SAFETY: pointers are borrows of the arguments, live for
+            // this call; single chunk.
+            unsafe { run_chunk(&job, 0, &self.shared.stats[0]) };
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().expect("stage pool poisoned");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.remaining = self.workers;
+            self.shared.go.notify_all();
+        }
+        // coordinator doubles as lane 0
+        // SAFETY: as above; workers take lanes 1..workers.
+        unsafe { run_chunk(&job, 0, &self.shared.stats[0]) };
+        let mut st = self.shared.state.lock().expect("stage pool poisoned");
+        st.remaining -= 1;
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("stage pool poisoned");
+        }
+        st.job = None;
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("stage pool poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("job set with epoch bump");
+                }
+                st = shared.go.wait(st).expect("stage pool poisoned");
+            }
+        };
+        // SAFETY: the coordinator keeps the job's buffers alive until
+        // every lane reported done; this lane is unique.
+        unsafe { run_chunk(&job, lane, &shared.stats[lane]) };
+        let mut st = shared.state.lock().expect("stage pool poisoned");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl Drop for StagePool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("stage pool poisoned");
+            st.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orp_core::graph::HostSwitchGraph;
+
+    fn small_net() -> Network {
+        let mut g = HostSwitchGraph::new(3, 4).unwrap();
+        g.add_link(0, 1).unwrap();
+        g.add_link(1, 2).unwrap();
+        g.add_link(0, 2).unwrap();
+        for s in 0..3 {
+            g.attach_host(s).unwrap();
+            g.attach_host(s).unwrap();
+        }
+        Network::builder(&g).build()
+    }
+
+    #[test]
+    fn staged_routes_match_sequential_at_any_worker_count() {
+        let net = small_net();
+        let dead = vec![false; net.num_hosts() as usize];
+        let items: Vec<StageItem> = (0..200u32)
+            .map(|i| StageItem {
+                src: i % 6,
+                dst: (i * 5 + 1) % 6,
+                hash: i as u64,
+            })
+            .filter(|it| it.src != it.dst)
+            .collect();
+        let reference: Vec<Option<StageOut>> = items
+            .iter()
+            .map(|it| Some(route_item(&net, &None, &dead, it)))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let pool = StagePool::new(workers);
+            let mut out: Vec<Option<StageOut>> = vec![None; items.len()];
+            pool.stage(&net, &None, &dead, &items, &mut out);
+            assert_eq!(out, reference, "workers={workers}");
+            let staged: u64 = pool
+                .stats()
+                .iter()
+                .map(|s| s.staged.load(Ordering::Relaxed))
+                .sum();
+            assert_eq!(staged, items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn dead_endpoints_stage_as_errors() {
+        let net = small_net();
+        let mut dead = vec![false; net.num_hosts() as usize];
+        dead[1] = true;
+        let pool = StagePool::new(2);
+        let items = [
+            StageItem {
+                src: 0,
+                dst: 1,
+                hash: 7,
+            },
+            StageItem {
+                src: 0,
+                dst: 2,
+                hash: 8,
+            },
+        ];
+        let mut out: Vec<Option<StageOut>> = vec![None; 2];
+        pool.stage(&net, &None, &dead, &items, &mut out);
+        assert_eq!(out[0], Some(Err(())));
+        assert!(matches!(out[1], Some(Ok(_))));
+    }
+
+    #[test]
+    fn pool_survives_many_windows() {
+        let net = small_net();
+        let dead = vec![false; net.num_hosts() as usize];
+        let pool = StagePool::new(3);
+        for round in 0..100u32 {
+            let items = [StageItem {
+                src: round % 6,
+                dst: (round + 1) % 6,
+                hash: round as u64,
+            }];
+            let mut out: Vec<Option<StageOut>> = vec![None];
+            pool.stage(&net, &None, &dead, &items, &mut out);
+            assert!(out[0].is_some());
+        }
+    }
+}

@@ -55,6 +55,10 @@ struct FairLink {
     heap: BinaryHeap<Reverse<(VKey, u32, u32)>>,
     /// Pending drain event for the heap head, if any.
     event: Option<EventId>,
+    /// Tombstoned entries still in `heap` (flows torn down by
+    /// [`ApproxFairSharing::remove`] whose tag has not surfaced yet);
+    /// once they outnumber live entries the heap is compacted.
+    dead: u32,
 }
 
 /// Per-flow queueing state (indexed by flow id, grown on demand).
@@ -95,7 +99,12 @@ pub struct ApproxFairSharing {
     n_active: usize,
     /// Scratch copy of the route being mutated (avoids aliasing flows).
     scratch: Vec<LinkId>,
+    /// Tombstoned heap entries reclaimed by per-link compaction.
+    compacted: u64,
 }
+
+/// Don't compact per-link heaps smaller than this.
+const LINK_COMPACT_MIN: usize = 32;
 
 impl ApproxFairSharing {
     /// Model over `num_links` directed links of `bandwidth` bytes/s each.
@@ -108,6 +117,7 @@ impl ApproxFairSharing {
             slots: Vec::new(),
             n_active: 0,
             scratch: Vec::new(),
+            compacted: 0,
         }
     }
 
@@ -130,18 +140,41 @@ impl ApproxFairSharing {
         s.removed || s.gen != gen
     }
 
+    /// Rebuilds link `l`'s heap keeping only live entries — O(live) —
+    /// once tombstones outnumber them, so fault-heavy teardown churn
+    /// can't grow a link heap without bound.
+    fn maybe_compact_link(&mut self, l: LinkId) {
+        let lk = &mut self.links[l as usize];
+        if lk.heap.len() >= LINK_COMPACT_MIN && (lk.dead as usize) * 2 > lk.heap.len() {
+            let before = lk.heap.len();
+            let mut entries = std::mem::take(&mut lk.heap).into_vec();
+            let slots = &self.slots;
+            entries.retain(|&Reverse((_, fid, gen))| {
+                let s = &slots[fid as usize];
+                !s.removed && s.gen == gen
+            });
+            self.compacted += (before - entries.len()) as u64;
+            let lk = &mut self.links[l as usize];
+            lk.heap = BinaryHeap::from(entries);
+            lk.dead = 0;
+        }
+    }
+
     /// Re-arms link `l`'s drain event from its current head: cancel the
     /// stale event, drop tombstones, schedule at the head's finish time.
     fn reschedule(&mut self, l: LinkId, t: f64, ctx: &mut SimContext<'_>) {
         if let Some(id) = self.links[l as usize].event.take() {
             ctx.cancel(id);
         }
+        self.maybe_compact_link(l);
         loop {
             let Some(&Reverse((VKey(v), fid, gen))) = self.links[l as usize].heap.peek() else {
                 return;
             };
             if self.is_tombstone(fid, gen) {
-                self.links[l as usize].heap.pop();
+                let lk = &mut self.links[l as usize];
+                lk.heap.pop();
+                lk.dead = lk.dead.saturating_sub(1);
                 continue;
             }
             let lk = &self.links[l as usize];
@@ -162,7 +195,8 @@ impl ApproxFairSharing {
         f.remaining = 0.0;
         f.rate = 0.0;
         if tel.tracking() {
-            f.active_time += t - f.activated;
+            let a = &mut tel.aux[fid as usize];
+            a.active_time += t - a.activated;
             for &l in f.route.iter() {
                 tel.link_bytes[l as usize] += served;
             }
@@ -232,11 +266,28 @@ impl ThroughputSharingModel for ApproxFairSharing {
         let tag = (VKey(s.v_finish), fid, s.gen);
         self.links[b as usize].heap.push(Reverse(tag));
         flows[fid as usize].rate = self.bw / self.links[b as usize].count as f64;
-        flows[fid as usize].activated = t;
+        if tel.tracking() {
+            tel.aux[fid as usize].activated = t;
+        }
         self.n_active += 1;
-        for i in 0..self.scratch.len() {
-            let l = self.scratch[i];
-            self.reschedule(l, t, ctx);
+        // Lazy re-arm: joining only rescales the crossed links' clock
+        // rates, so every pending drain event now fires *early* — it
+        // self-corrects in `on_event` (the head tag is not reached, and
+        // the fall-through reschedule recomputes the drain time from
+        // the settled clock). Cancelling and rescheduling each crossed
+        // link here — the old behavior — cost two heap operations per
+        // route hop per insert and dominated the event budget (the
+        // 120k-flow bench cancelled more events than it delivered).
+        // Only two cases need an event *now*, both on the bottleneck:
+        // its heap was idle (no event to correct), or the new tag went
+        // straight to the head (the pending event targets a later tag
+        // and would fire late for this one).
+        let eager = {
+            let lk = &self.links[b as usize];
+            lk.event.is_none() || lk.heap.peek() == Some(&Reverse(tag))
+        };
+        if eager {
+            self.reschedule(b, t, ctx);
         }
     }
 
@@ -262,11 +313,15 @@ impl ThroughputSharingModel for ApproxFairSharing {
             .min(s.queued_rem);
         let served = s.queued_rem - rem_now;
         self.slots[fid as usize].removed = true;
+        // the flow's tag stays behind in the bottleneck heap as a
+        // tombstone until it surfaces or compaction reclaims it
+        self.links[s.bottleneck as usize].dead += 1;
         let f = &mut flows[fid as usize];
         f.remaining = rem_now;
         f.rate = 0.0;
         if tel.tracking() {
-            f.active_time += t - f.activated;
+            let a = &mut tel.aux[fid as usize];
+            a.active_time += t - a.activated;
             for &l in f.route.iter() {
                 tel.link_bytes[l as usize] += served;
             }
@@ -313,7 +368,9 @@ impl ThroughputSharingModel for ApproxFairSharing {
         let mark = finished.len();
         while let Some(&Reverse((VKey(v), fid, gen))) = self.links[l as usize].heap.peek() {
             if self.is_tombstone(fid, gen) {
-                self.links[l as usize].heap.pop();
+                let lk = &mut self.links[l as usize];
+                lk.heap.pop();
+                lk.dead = lk.dead.saturating_sub(1);
                 continue;
             }
             if v <= self.links[l as usize].vtime + Self::eps(v) {
@@ -327,8 +384,9 @@ impl ThroughputSharingModel for ApproxFairSharing {
         // re-arm this link and every link the drained flows released
         self.reschedule(l, t, ctx);
         for &fid in &finished[mark..] {
-            let route: Vec<LinkId> = flows[fid as usize].route.to_vec();
-            for l2 in route {
+            // `reschedule` never touches `flows`, so the route can be
+            // read in place — no per-completion copy.
+            for &l2 in flows[fid as usize].route.iter() {
                 if l2 != l {
                     self.reschedule(l2, t, ctx);
                 }
@@ -376,7 +434,9 @@ impl ThroughputSharingModel for ApproxFairSharing {
             enc.put_bool(s.removed);
         }
         enc.put_u64(self.n_active as u64);
-        // scratch is rebuilt on every use and carries no state
+        enc.put_u64(self.compacted);
+        // scratch is rebuilt on every use and carries no state; per-link
+        // `dead` counts are recomputed from the heaps at decode
     }
 
     fn decode_state(&mut self, dec: &mut Decoder<'_>, num_flows: usize) -> Result<(), CkptError> {
@@ -416,6 +476,7 @@ impl ThroughputSharingModel for ApproxFairSharing {
                 last,
                 heap,
                 event,
+                dead: 0,
             });
         }
         let ns = dec.get_u64()? as usize;
@@ -439,6 +500,25 @@ impl ThroughputSharingModel for ApproxFairSharing {
         self.links = links;
         self.slots = slots;
         self.n_active = dec.get_u64()? as usize;
+        self.compacted = dec.get_u64()?;
+        // recount tombstones now that both heaps and slots are in place
+        for i in 0..self.links.len() {
+            let slots = &self.slots;
+            let dead = self.links[i]
+                .heap
+                .iter()
+                .filter(|&&Reverse((_, fid, gen))| {
+                    slots
+                        .get(fid as usize)
+                        .is_none_or(|s| s.removed || s.gen != gen)
+                })
+                .count() as u32;
+            self.links[i].dead = dead;
+        }
         Ok(())
+    }
+
+    fn compacted(&self) -> u64 {
+        self.compacted
     }
 }

@@ -181,7 +181,7 @@ impl ThroughputSharingModel for MaxMinFair {
                 let moved = (f.rate * dt).min(f.remaining);
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
                 if track {
-                    f.active_time += dt;
+                    tel.aux[fid as usize].active_time += dt;
                     for &l in f.route.iter() {
                         tel.link_bytes[l as usize] += moved;
                         // flow-seconds; divided by the makespan at the end

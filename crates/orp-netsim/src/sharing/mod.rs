@@ -47,33 +47,108 @@ impl SharingMode {
     }
 }
 
+/// Route storage for a [`Flow`]: routes of up to [`RouteBuf::INLINE`]
+/// links live in place, longer ones spill to a box.
+///
+/// On low-diameter fabrics almost every route is `uplink → a hop or
+/// two → downlink`, so the inline arm makes flow creation and teardown
+/// allocation-free and keeps the route on the flow's own cache line —
+/// at a million flows the boxed representation costs a malloc/free pair
+/// per flow plus a dependent load on every model route access, and the
+/// burst of a million tiny frees at teardown sends the allocator into a
+/// long consolidation walk.
+#[derive(Debug)]
+pub(crate) enum RouteBuf {
+    /// `links[..len]` is the route.
+    Inline {
+        len: u8,
+        links: [LinkId; RouteBuf::INLINE],
+    },
+    /// Route longer than the inline arm holds.
+    Boxed(Box<[LinkId]>),
+}
+
+impl RouteBuf {
+    /// Longest route stored without a heap allocation.
+    pub(crate) const INLINE: usize = 4;
+
+    /// The empty route (what finished flows hold).
+    pub(crate) const EMPTY: Self = Self::Inline {
+        len: 0,
+        links: [0; Self::INLINE],
+    };
+
+    pub(crate) fn from_slice(route: &[LinkId]) -> Self {
+        if route.len() <= Self::INLINE {
+            let mut links = [0; Self::INLINE];
+            links[..route.len()].copy_from_slice(route);
+            Self::Inline {
+                len: route.len() as u8,
+                links,
+            }
+        } else {
+            Self::Boxed(route.into())
+        }
+    }
+}
+
+impl std::ops::Deref for RouteBuf {
+    type Target = [LinkId];
+
+    fn deref(&self) -> &[LinkId] {
+        match self {
+            Self::Inline { len, links } => &links[..*len as usize],
+            Self::Boxed(b) => b,
+        }
+    }
+}
+
 /// A network flow as the sharing models see it. Owned by the engine;
 /// models mutate `remaining`/`rate` and read the route.
+///
+/// Kept to 64 bytes (one cache line) so a million concurrent flows cost
+/// 64 MB of flow table: the four timing fields the latency decomposition
+/// needs — and nothing on the simulation path reads — live in
+/// [`FlowAux`] beside the telemetry vectors, allocated only while a
+/// recorder is attached. Short routes live inline in the flow record
+/// ([`RouteBuf`]); the rare boxed route is freed when the flow finishes,
+/// so heap route memory is bounded by the *concurrent* flow count, not
+/// the total.
 #[derive(Debug)]
 pub struct Flow {
-    pub(crate) route: Box<[LinkId]>,
+    pub(crate) route: RouteBuf,
     pub(crate) remaining: f64,
     pub(crate) rate: f64,
     pub(crate) src: u32,
     pub(crate) dst: u32,
     /// ECMP hash the flow was routed with; re-used when faults force a
-    /// re-route so repeated runs stay deterministic.
-    pub(crate) hash: u64,
+    /// re-route so repeated runs stay deterministic. Flow sequence
+    /// numbers fit in `u32` (flow ids are `u32`), so the narrow field
+    /// widens back losslessly.
+    pub(crate) hash: u32,
     pub(crate) active: bool,
     pub(crate) finished: bool,
     /// Original payload size (for the completion-time decomposition).
     pub(crate) bytes: f64,
+    /// Open-loop injected flow: host-addressed, no rank delivery.
+    pub(crate) injected: bool,
+}
+
+/// Telemetry-only timing state of one flow, indexed by flow id in
+/// [`LinkStats::aux`]. Only the latency decomposition reads these, so
+/// they live off the simulation hot path and are maintained (and
+/// allocated) only while a recorder is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FlowAux {
     /// Simulated creation time.
     pub(crate) created: f64,
     /// First-route activation delay (the propagation component).
     pub(crate) prop: f64,
-    /// Accumulated streaming time; only maintained while a recorder is
-    /// attached (the decomposition's serialization + queueing share).
+    /// Accumulated streaming time (the decomposition's serialization +
+    /// queueing share).
     pub(crate) active_time: f64,
     /// Time the flow last started streaming (set at model insert).
     pub(crate) activated: f64,
-    /// Open-loop injected flow: host-addressed, no rank delivery.
-    pub(crate) injected: bool,
 }
 
 /// Per-link telemetry shared between the engine and the sharing models.
@@ -92,6 +167,9 @@ pub struct LinkStats {
     pub(crate) link_busy: Vec<f64>,
     /// Per-link peak flow multiplicity.
     pub(crate) link_peak: Vec<u32>,
+    /// Per-flow timing state for the latency decomposition (indexed by
+    /// flow id, one entry per created flow); empty when not recording.
+    pub(crate) aux: Vec<FlowAux>,
 }
 
 impl LinkStats {
@@ -110,6 +188,7 @@ impl LinkStats {
             link_bytes,
             link_busy,
             link_peak,
+            aux: Vec::new(),
         }
     }
 
@@ -190,6 +269,13 @@ pub trait ThroughputSharingModel: std::fmt::Debug {
 
     /// Number of flows currently streaming under this model.
     fn active_count(&self) -> usize;
+
+    /// Tombstoned bookkeeping entries the model has reclaimed by
+    /// compaction (advisory telemetry; models without internal heaps
+    /// report zero).
+    fn compacted(&self) -> u64 {
+        0
+    }
 
     /// Serializes the model's complete mutable state for a simulator
     /// checkpoint. Everything a future [`insert`]/[`advance`]/

@@ -84,4 +84,81 @@ proptest! {
         prop_assert_eq!(q.processed() + q.cancelled(), q.scheduled());
         prop_assert_eq!(q.cancelled(), n_cancelled as u64);
     }
+
+    /// Slab slots are recycled aggressively under churn; the generation
+    /// tag must make every stale `EventId` (cancelled or delivered) a
+    /// permanent dead letter even when its slot now holds a live event.
+    #[test]
+    fn recycled_slots_never_honor_stale_ids((rounds, seed) in (1usize..40, any::<u64>())) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut stale = Vec::new();
+        let mut live: Vec<(orp_netsim::EventId, u64)> = Vec::new();
+        let mut next_payload = 0u64;
+        let mut expect_delivered: Vec<u64> = Vec::new();
+        for _ in 0..rounds {
+            // schedule a burst — reuses slots freed in earlier rounds
+            for _ in 0..rng.gen_range(1usize..12) {
+                let id = q.schedule(rng.gen_range(0u32..8) as f64 * 1e-3, next_payload);
+                live.push((id, next_payload));
+                next_payload += 1;
+            }
+            // every stale id must stay dead, even though its slot is
+            // likely occupied by one of the events just scheduled
+            for &id in &stale {
+                prop_assert!(q.cancel(id).is_none(), "stale id resurrected");
+            }
+            // retire a random subset: half cancelled, half drained
+            let n_cancel = rng.gen_range(0..=live.len());
+            for _ in 0..n_cancel {
+                let (id, _) = live.swap_remove(rng.gen_range(0..live.len()));
+                prop_assert!(q.cancel(id).is_some());
+                stale.push(id);
+            }
+            let n_pop = rng.gen_range(0..=q.len());
+            for _ in 0..n_pop {
+                let (_, p) = q.pop().expect("queue holds live events");
+                expect_delivered.push(p);
+                let pos = live.iter().position(|&(_, lp)| lp == p).expect("delivered event was live");
+                stale.push(live.swap_remove(pos).0);
+            }
+        }
+        // drain: exactly the never-cancelled payloads come out, once each
+        while let Some((_, p)) = q.pop() {
+            expect_delivered.push(p);
+        }
+        let mut remaining: Vec<u64> = live.iter().map(|&(_, p)| p).collect();
+        remaining.sort_unstable();
+        let mut tail: Vec<u64> = expect_delivered.split_off(expect_delivered.len() - remaining.len());
+        tail.sort_unstable();
+        prop_assert_eq!(tail, remaining);
+        prop_assert_eq!(q.processed() + q.cancelled(), q.scheduled());
+    }
+
+    /// Cancel-heavy churn must not grow the heap without bound: lazy
+    /// tombstones are compacted away once they outnumber live entries.
+    #[test]
+    fn compaction_bounds_tombstones_under_churn(seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut ids = Vec::new();
+        for round in 0..200u32 {
+            for i in 0..32u32 {
+                ids.push(q.schedule(rng.gen_range(0u32..1000) as f64, round * 32 + i));
+            }
+            // cancel almost everything, keeping a small live residue
+            while ids.len() > 4 {
+                let id = ids.swap_remove(rng.gen_range(0..ids.len()));
+                q.cancel(id);
+            }
+            // invariant: dead heap keys never exceed live entries (plus
+            // the small compaction threshold)
+            prop_assert!(
+                q.tombstones() <= q.len().max(64),
+                "tombstones {} vs live {}", q.tombstones(), q.len()
+            );
+        }
+        prop_assert!(q.compactions() > 0, "churn this heavy must compact");
+        prop_assert!(q.compacted() > 0);
+    }
 }

@@ -1,0 +1,92 @@
+//! Property test of the parallel execution contract (ISSUE.md
+//! satellite): for random open-loop injection workloads, under either
+//! sharing model, the `SimReport` is **bit-identical** at any worker
+//! count. Compaction counters are advisory (execution-strategy-
+//! dependent) and deliberately excluded; everything else — including
+//! event and cancellation counts — must match exactly.
+
+use orp_core::construct::random_general;
+use orp_netsim::network::Network;
+use orp_netsim::{InjectedFlow, SharingMode, SimReport, Simulator};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Asserts the non-advisory fields of two reports are bit-identical.
+fn assert_bit_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.time.to_bits(), b.time.to_bits(), "{what}: time");
+    assert_eq!(a.flows, b.flows, "{what}: flows");
+    assert_eq!(a.bytes.to_bits(), b.bytes.to_bits(), "{what}: bytes");
+    assert_eq!(a.peak_flows, b.peak_flows, "{what}: peak_flows");
+    assert_eq!(a.flops.to_bits(), b.flops.to_bits(), "{what}: flops");
+    assert_eq!(a.events, b.events, "{what}: events");
+    assert_eq!(
+        a.events_cancelled, b.events_cancelled,
+        "{what}: events_cancelled"
+    );
+    assert_eq!(
+        a.peak_queue_depth, b.peak_queue_depth,
+        "{what}: peak_queue_depth"
+    );
+}
+
+/// Random open-loop workload: bursts of same-time arrivals (stressing
+/// the window's seq-order commit) mixed with spread-out ones.
+fn workload(seed: u64, n: usize, hosts: u32) -> Vec<InjectedFlow> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0u32..3) > 0 {
+                // stay inside the lookahead window (sub-microsecond gap)
+                t += rng.gen_range(0u32..50) as f64 * 1e-9;
+            } else {
+                t += rng.gen_range(1u32..20) as f64 * 1e-5;
+            }
+            let src = rng.gen_range(0..hosts);
+            // keep a few degenerate src == dst injections in the mix:
+            // they consume no flow sequence number and must not shift
+            // the hashes the window pre-assigns
+            let dst = rng.gen_range(0..hosts);
+            InjectedFlow {
+                at: t,
+                src,
+                dst,
+                bytes: rng.gen_range(1u32..2000) as f64 * 1e3,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn worker_count_never_changes_the_report(
+        (seed, n) in (any::<u64>(), 20usize..200)
+    ) {
+        let g = random_general(16, 4, 8, 1 + (seed % 7) as u64).unwrap();
+        let net = Network::builder(&g).build();
+        let inj = workload(seed, n, net.num_hosts());
+        for mode in [SharingMode::ExactMaxMin, SharingMode::ApproxFair] {
+            let base = Simulator::builder(&net)
+                .inject(&inj)
+                .sharing(mode)
+                .run()
+                .unwrap();
+            for workers in [2usize, 4] {
+                let par = Simulator::builder(&net)
+                    .inject(&inj)
+                    .sharing(mode)
+                    .workers(workers)
+                    .run()
+                    .unwrap();
+                assert_bit_identical(
+                    &base,
+                    &par,
+                    &format!("{mode:?} workers={workers}"),
+                );
+            }
+        }
+    }
+}

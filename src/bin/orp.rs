@@ -20,10 +20,15 @@
 //! orp compare <n> <r>                  ORP vs torus/dragonfly/fat-tree table
 //! orp simulate <file.hsg> [bench] [iters] [--trace t.json] [--metrics m.jsonl]
 //!             [--checkpoint ck.orp] [--resume] [--watchdog secs]
+//!             [--sharing exact|approx] [--workers n] [--inject flows] [--seed s]
 //!                                      run an NPB kernel on a saved graph;
 //!                                      --trace records flow/hop telemetry;
 //!                                      --metrics streams live progress gauges;
-//!                                      --checkpoint/--resume work as for solve
+//!                                      --checkpoint/--resume work as for solve;
+//!                                      --workers stages event windows across
+//!                                      threads (bit-identical at any count);
+//!                                      --inject N replaces the kernel with an
+//!                                      open-loop random workload of N flows
 //! orp watch   <m.jsonl> [--once] [--interval ms]
 //!                                      live terminal dashboard over a metrics
 //!                                      stream (refreshes until the run's done
@@ -48,7 +53,7 @@ use orp::layout::{evaluate, optimized_floorplan, Floorplan, HardwareModel};
 use orp::netsim::network::Network;
 use orp::netsim::npb::Benchmark;
 use orp::netsim::report::run_benchmark_configured;
-use orp::netsim::SharingMode;
+use orp::netsim::{InjectedFlow, SharingMode, Simulator};
 use orp::obs::analyze::{
     aggregate_spans, collapsed_stacks, diff, render_diff, render_report, TraceData,
 };
@@ -57,6 +62,8 @@ use orp::obs::{
     ObsConfig, Recorder, StreamFollower, StreamSink, StreamState,
 };
 use orp::partition::{partition, Graph as CutGraph, PartitionConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<HostSwitchGraph, String> {
@@ -405,17 +412,42 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let usage = "usage: orp simulate <file.hsg> [bench] [iters] [--trace t.json] \
-                 [--metrics m.jsonl] [--checkpoint ck.orp] [--resume] [--watchdog secs]";
+                 [--metrics m.jsonl] [--checkpoint ck.orp] [--resume] [--watchdog secs] \
+                 [--sharing exact|approx] [--workers n] [--inject flows] [--seed s]";
     let (trace, pos) = split_value_flag(args, "--trace")?;
     let (metrics, pos) = split_value_flag(&pos, "--metrics")?;
     let (ckpt, pos) = split_value_flag(&pos, "--checkpoint")?;
     let (watchdog, pos) = split_value_flag(&pos, "--watchdog")?;
+    let (sharing, pos) = split_value_flag(&pos, "--sharing")?;
+    let (workers, pos) = split_value_flag(&pos, "--workers")?;
+    let (inject, pos) = split_value_flag(&pos, "--inject")?;
+    let (seed, pos) = split_value_flag(&pos, "--seed")?;
     let resume = pos.iter().any(|a| a == "--resume");
     let pos: Vec<String> = pos.into_iter().filter(|a| a != "--resume").collect();
     if resume && ckpt.is_none() {
         return Err("--resume requires --checkpoint <path>".into());
     }
+    let sharing = match sharing.as_deref() {
+        None | Some("exact") => SharingMode::ExactMaxMin,
+        Some("approx") => SharingMode::ApproxFair,
+        Some(other) => return Err(format!("unknown sharing mode {other}; exact or approx")),
+    };
+    let workers: usize = match workers {
+        Some(w) => w.parse().map_err(|_| "--workers needs a count")?,
+        None => 1,
+    };
+    let inject: Option<usize> = match inject {
+        Some(n) => Some(n.parse().map_err(|_| "--inject needs a flow count")?),
+        None => None,
+    };
+    let seed: u64 = match seed {
+        Some(s) => s.parse().map_err(|_| "--seed needs an integer")?,
+        None => 42,
+    };
     let g = load(pos.first().ok_or(usage)?)?;
+    if let Some(flows) = inject {
+        return simulate_injection(&g, flows, seed, sharing, workers, metrics.as_deref());
+    }
     let name = pos.get(1).map(String::as_str).unwrap_or("MG");
     let bench = Benchmark::all()
         .into_iter()
@@ -451,8 +483,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ranks,
         bench.paper_class(),
         iters,
-        SharingMode::default(),
+        sharing,
         |mut b| {
+            b = b.workers(workers);
             if let Some(s) = &sink {
                 b = b.stream(s.clone());
             }
@@ -486,6 +519,99 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("wrote {path} (open in chrome://tracing, or run `orp report {path}`)");
     }
+    if let Some(s) = &sink {
+        s.finish(&rec, || ());
+        println!(
+            "wrote {} (inspect with `orp watch --once` or `orp report`)",
+            s.path().display()
+        );
+    }
+    Ok(())
+}
+
+/// `orp simulate --inject N`: an open-loop injection workload instead of
+/// an NPB kernel — N random flows (deterministic in `seed`) released
+/// within 1 ms so they stream concurrently. This is the workload class
+/// the slab event queue and the parallel staging window exist for, and
+/// what CI diffs across `--workers` counts for bit-identity.
+fn simulate_injection(
+    g: &HostSwitchGraph,
+    n_flows: usize,
+    seed: u64,
+    sharing: SharingMode,
+    workers: usize,
+    metrics: Option<&str>,
+) -> Result<(), String> {
+    let hosts = g.num_hosts();
+    if hosts < 2 {
+        return Err("--inject needs a graph with at least 2 hosts".into());
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let flows: Vec<InjectedFlow> = (0..n_flows)
+        .map(|_| {
+            let src = rng.gen_range(0..hosts);
+            let mut dst = rng.gen_range(0..hosts);
+            while dst == src {
+                dst = rng.gen_range(0..hosts);
+            }
+            InjectedFlow {
+                at: rng.gen_range(0u32..1_000_000) as f64 * 1e-9,
+                src,
+                dst,
+                bytes: 1e6,
+            }
+        })
+        .collect();
+    let sink = match metrics {
+        Some(p) => {
+            let s = StreamSink::create(p).map_err(|e| format!("{p}: {e}"))?;
+            s.meta(
+                &[("cmd", "simulate"), ("bench", "inject")],
+                &[
+                    ("flows", n_flows as f64),
+                    ("workers", workers as f64),
+                    ("seed", seed as f64),
+                ],
+            );
+            Some(s)
+        }
+        None => None,
+    };
+    let rec = if sink.is_some() {
+        trace_recorder()
+    } else {
+        Recorder::disabled()
+    };
+    let net = Network::builder(g).recorder(rec.clone()).build();
+    let start = std::time::Instant::now();
+    let mut b = Simulator::builder(&net)
+        .inject(&flows)
+        .sharing(sharing)
+        .workers(workers);
+    if let Some(s) = &sink {
+        b = b.stream(s.clone());
+    }
+    let rep = b.run().map_err(|e| format!("simulation failed: {e}"))?;
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "injected {} flows ({} sharing, {} worker{}): sim time {:.6} s, \
+         {:.0} events/s wall, peak {} flows, {} compacted",
+        rep.flows,
+        sharing.name(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        rep.time,
+        rep.events as f64 / wall.max(1e-9),
+        rep.peak_flows,
+        rep.events_compacted + rep.model_compacted,
+    );
+    // machine-readable state line; CI diffs this across --workers counts
+    println!(
+        "sim-state: time_bits={:#018x} flows={} bytes_bits={:#018x}",
+        rep.time.to_bits(),
+        rep.flows,
+        rep.bytes.to_bits()
+    );
     if let Some(s) = &sink {
         s.finish(&rec, || ());
         println!(
